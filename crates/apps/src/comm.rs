@@ -1,0 +1,178 @@
+//! Detecting communication patterns on multicore systems (§5.3, Fig. 5.1).
+//!
+//! On shared-memory machines, "communication" between threads is a
+//! cross-thread flow dependence: thread A writes an address, thread B reads
+//! it. Aggregating the profiler's cross-thread RAW dependences into a
+//! thread×thread matrix reveals the application's communication pattern —
+//! nearest-neighbour, master-worker, all-to-all — exactly the splash2x
+//! renderings of Fig. 5.1.
+
+use profiler::{DepSet, DepType};
+use serde::Serialize;
+
+/// A thread-to-thread communication matrix: `m[producer][consumer]` counts
+/// distinct cross-thread flow dependences.
+#[derive(Debug, Clone, Serialize)]
+pub struct CommMatrix {
+    /// Number of threads.
+    pub threads: usize,
+    /// Row-major counts.
+    pub counts: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// Count at (producer, consumer).
+    pub fn get(&self, from: u32, to: u32) -> u64 {
+        self.counts[from as usize * self.threads + to as usize]
+    }
+
+    /// Total communication volume.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Heuristic pattern classification for reporting.
+    pub fn pattern(&self) -> &'static str {
+        let n = self.threads;
+        if n < 2 || self.total() == 0 {
+            return "none";
+        }
+        let mut off_diag = 0u64;
+        let mut neighbour = 0u64;
+        let mut to_master = 0u64;
+        for a in 0..n {
+            for b in 0..n {
+                let c = self.counts[a * n + b];
+                if a == b {
+                    continue;
+                }
+                off_diag += c;
+                if a + 1 == b || b + 1 == a {
+                    neighbour += c;
+                }
+                if b == 0 {
+                    to_master += c;
+                }
+            }
+        }
+        if off_diag == 0 {
+            return "private";
+        }
+        if to_master as f64 / off_diag as f64 > 0.8 {
+            return "gather";
+        }
+        if neighbour as f64 / off_diag as f64 > 0.8 {
+            return "nearest-neighbour";
+        }
+        "all-to-all"
+    }
+}
+
+/// Build the communication matrix from a dependence set, counting each
+/// distinct cross-thread RAW once per occurrence weight.
+pub fn comm_matrix(deps: &DepSet, threads: usize) -> CommMatrix {
+    let mut counts = vec![0u64; threads * threads];
+    for (d, n) in deps.iter() {
+        if d.ty == DepType::Raw
+            && d.is_cross_thread()
+            && (d.source_thread as usize) < threads
+            && (d.sink_thread as usize) < threads
+        {
+            counts[d.source_thread as usize * threads + d.sink_thread as usize] += n;
+        }
+    }
+    CommMatrix { threads, counts }
+}
+
+/// ASCII rendering of the matrix (Fig. 5.1 style): rows = producers,
+/// columns = consumers, cells shaded by volume.
+pub fn render_matrix(m: &CommMatrix) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let max = m.counts.iter().copied().max().unwrap_or(0).max(1);
+    let _ = writeln!(out, "producer\\consumer (pattern: {})", m.pattern());
+    let _ = write!(out, "     ");
+    for b in 0..m.threads {
+        let _ = write!(out, "{b:>6}");
+    }
+    let _ = writeln!(out);
+    for a in 0..m.threads {
+        let _ = write!(out, "{a:>4} ");
+        for b in 0..m.threads {
+            let c = m.counts[a * m.threads + b];
+            let shade = match (c * 4 / max, c) {
+                (_, 0) => "     .",
+                (0, _) => "     -",
+                (1, _) => "     +",
+                (2, _) => "     *",
+                _ => "     #",
+            };
+            let _ = write!(out, "{shade}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profiler::{Dep, SrcLoc};
+
+    fn dep(from_t: u32, to_t: u32, line: u32) -> Dep {
+        Dep {
+            sink: SrcLoc::new(line),
+            ty: DepType::Raw,
+            source: SrcLoc::new(line + 1),
+            var: 0,
+            sink_thread: to_t,
+            source_thread: from_t,
+            carried_by: None,
+            race_hint: false,
+        }
+    }
+
+    #[test]
+    fn matrix_counts_cross_thread_flows() {
+        let mut d = DepSet::new();
+        d.insert(dep(1, 0, 5));
+        d.insert(dep(1, 0, 5));
+        d.insert(dep(2, 0, 6));
+        let m = comm_matrix(&d, 4);
+        assert_eq!(m.get(1, 0), 2);
+        assert_eq!(m.get(2, 0), 1);
+        assert_eq!(m.get(0, 1), 0);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn gather_pattern_recognized() {
+        let mut d = DepSet::new();
+        for t in 1..4 {
+            d.insert(dep(t, 0, t * 10));
+        }
+        let m = comm_matrix(&d, 4);
+        assert_eq!(m.pattern(), "gather");
+    }
+
+    #[test]
+    fn neighbour_pattern_recognized() {
+        let mut d = DepSet::new();
+        for t in 0..3u32 {
+            d.insert(dep(t, t + 1, t * 10 + 1));
+            d.insert(dep(t + 1, t, t * 10 + 2));
+        }
+        let m = comm_matrix(&d, 4);
+        assert_eq!(m.pattern(), "nearest-neighbour");
+    }
+
+    #[test]
+    fn render_has_header_and_rows() {
+        let mut d = DepSet::new();
+        d.insert(dep(0, 1, 3));
+        let m = comm_matrix(&d, 2);
+        let text = render_matrix(&m);
+        assert!(text.contains("pattern"));
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! Fig. 4.11: FaceDetection task-graph execution at increasing thread
+//! counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::native::{face_detection_pipeline, FaceDetectInput};
+
+fn facedetection(c: &mut Criterion) {
+    let input = FaceDetectInput {
+        frames: 16,
+        side: 128,
+        scales: 8,
+    };
+    let mut g = c.benchmark_group("facedetection");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8, 16, 32] {
+        g.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| std::hint::black_box(face_detection_pipeline(input, threads)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, facedetection);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig. 2.9: serial vs lock-based vs lock-free profiling engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interp::RunConfig;
+use profiler::{ParallelConfig, ProfileConfig, QueueKind};
+
+fn engines(c: &mut Criterion) {
+    let w = workloads::by_name("MG").unwrap();
+    let p = w.program().unwrap();
+    let mut g = c.benchmark_group("profiler_engines");
+    g.sample_size(10);
+    g.bench_function("native", |b| {
+        b.iter(|| interp::run(&p, interp::NullSink).unwrap())
+    });
+    g.bench_function("serial_signature", |b| {
+        b.iter(|| {
+            profiler::profile_program_with(
+                &p,
+                &ProfileConfig {
+                    sig_slots: Some(1 << 18),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("serial_perfect", |b| {
+        b.iter(|| profiler::profile_program(&p).unwrap())
+    });
+    for (name, queue, workers) in [
+        ("lock_based_8t", QueueKind::LockBased, 8),
+        ("lock_free_8t", QueueKind::LockFree, 8),
+        ("lock_free_16t", QueueKind::LockFree, 16),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                profiler::profile_parallel(
+                    &p,
+                    ParallelConfig {
+                        workers,
+                        queue,
+                        sig_slots: 1 << 16,
+                        ..Default::default()
+                    },
+                    RunConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 2.12: the §2.4 loop-skipping optimization, on and off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use profiler::ProfileConfig;
+
+fn skip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skip_opt");
+    g.sample_size(10);
+    for name in ["FT", "MG", "dotprod"] {
+        let p = workloads::by_name(name).unwrap().program().unwrap();
+        g.bench_function(format!("{name}/plain"), |b| {
+            b.iter(|| profiler::profile_program(&p).unwrap())
+        });
+        g.bench_function(format!("{name}/skip"), |b| {
+            b.iter(|| {
+                profiler::profile_program_with(
+                    &p,
+                    &ProfileConfig {
+                        skip_loops: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, skip);
+criterion_main!(benches);

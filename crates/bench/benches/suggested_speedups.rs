@@ -1,0 +1,42 @@
+//! Table 4.2: sequential vs tool-suggested parallel kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::native::*;
+
+fn speedups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("suggested_speedups");
+    g.sample_size(10);
+
+    g.bench_function("mandelbrot/seq", |b| {
+        b.iter(|| std::hint::black_box(mandelbrot_seq(320, 240, 128)))
+    });
+    g.bench_function("mandelbrot/par", |b| {
+        b.iter(|| std::hint::black_box(mandelbrot_par(320, 240, 128)))
+    });
+
+    let n = 192;
+    let a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64).collect();
+    let bm: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64).collect();
+    g.bench_function("matmul/seq", |b| {
+        b.iter(|| std::hint::black_box(matmul_seq(&a, &bm, n)))
+    });
+    g.bench_function("matmul/par", |b| {
+        b.iter(|| std::hint::black_box(matmul_par(&a, &bm, n)))
+    });
+
+    let data: Vec<u8> = (0..4_000_000u64).map(|i| (i * 31 % 251) as u8).collect();
+    g.bench_function("histogram/seq", |b| {
+        b.iter(|| std::hint::black_box(histogram_seq(&data)))
+    });
+    g.bench_function("histogram/par", |b| {
+        b.iter(|| std::hint::black_box(histogram_par(&data)))
+    });
+
+    g.bench_function("pi/seq", |b| b.iter(|| std::hint::black_box(pi_seq(4_000_000))));
+    g.bench_function("pi/par", |b| b.iter(|| std::hint::black_box(pi_par(4_000_000))));
+
+    g.finish();
+}
+
+criterion_group!(benches, speedups);
+criterion_main!(benches);

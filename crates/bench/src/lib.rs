@@ -1,0 +1,82 @@
+//! `bench` — the experiment harness.
+//!
+//! The `tables` binary regenerates every table and figure of the
+//! dissertation's evaluation (see DESIGN.md's per-experiment index); the
+//! criterion benches under `benches/` measure the performance-sensitive
+//! pieces in isolation. Shared measurement helpers live here.
+
+use interp::{NullSink, Program, RunConfig};
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Native (uninstrumented) execution time of a program.
+pub fn native_time(prog: &Program, reps: usize) -> f64 {
+    time_median(reps, || {
+        interp::run_with_config(prog, NullSink, RunConfig::default()).expect("runs");
+    })
+}
+
+/// Count distinct addresses and total accesses of a program.
+pub fn count_addresses(prog: &Program) -> (usize, u64) {
+    struct Counter {
+        addrs: std::collections::HashSet<u64>,
+        total: u64,
+    }
+    impl interp::Sink for Counter {
+        fn event(&mut self, ev: &interp::Event) {
+            if let interp::Event::Mem(m) = ev {
+                self.addrs.insert(m.addr);
+                self.total += 1;
+            }
+        }
+    }
+    let mut c = Counter {
+        addrs: Default::default(),
+        total: 0,
+    };
+    interp::run(prog, &mut c).expect("runs");
+    (c.addrs.len(), c.total)
+}
+
+/// Format a ratio as `N.N×`.
+pub fn fmt_x(x: f64) -> String {
+    format!("{x:.1}×")
+}
+
+/// Format a fraction as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_addresses_works() {
+        let p = workloads::by_name("dotprod").unwrap().program().unwrap();
+        let (addrs, total) = count_addresses(&p);
+        assert!(addrs >= 1024, "two 512-element arrays: {addrs}");
+        assert!(total > 2048);
+    }
+
+    #[test]
+    fn time_median_positive() {
+        let t = time_median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,667 @@
+//! CU construction: the top-down algorithm (Algorithm 3, §3.2.3) and the
+//! bottom-up variant kept for comparison.
+
+use crate::graph::{CuEdge, CuGraph, CuId};
+use crate::vars::{self, RegionVars, VarId};
+use interp::Program;
+use mir::{RegionId, RegionKind};
+use profiler::{DepSet, DepType, Pet};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a CU came to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CuKind {
+    /// A whole control region satisfied the read-compute-write condition.
+    Region,
+    /// A fragment of a region, split at violating reads.
+    Fragment,
+}
+
+/// A computational unit.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cu {
+    /// Function index.
+    pub func: u32,
+    /// Region the CU belongs to (equals the CU for `Region` kind).
+    pub region: u32,
+    /// First source line covered.
+    pub start_line: u32,
+    /// Last source line covered.
+    pub end_line: u32,
+    /// Whole region or fragment.
+    pub kind: CuKind,
+    /// Variables (global to the region) read — the read phase sources.
+    pub read_set: BTreeSet<VarId>,
+    /// Variables (global to the region) written — the write phase targets.
+    pub write_set: BTreeSet<VarId>,
+    /// The exact lines of a fragment CU (region CUs cover their full span).
+    pub lines: Vec<u32>,
+    /// Static memory+compute instruction count under this CU.
+    pub static_instrs: usize,
+    /// Dynamic weight estimate (instructions executed), for ranking.
+    pub weight: u64,
+}
+
+impl Cu {
+    /// Does this CU cover `line`?
+    pub fn covers(&self, line: u32) -> bool {
+        match self.kind {
+            CuKind::Region => self.start_line <= line && line <= self.end_line,
+            CuKind::Fragment => self.lines.contains(&line),
+        }
+    }
+}
+
+/// Inputs to CU-graph construction.
+pub struct CuBuildInput<'a> {
+    /// The executable program (module + symbol table).
+    pub program: &'a Program,
+    /// Profiled dependences.
+    pub deps: &'a DepSet,
+    /// Execution tree for dynamic weights (optional).
+    pub pet: Option<&'a Pet>,
+}
+
+/// Build the CU graph for every function of the program (top-down).
+pub fn build_cu_graph(input: &CuBuildInput) -> CuGraph<Cu> {
+    build_impl(input, false)
+}
+
+/// Like [`build_cu_graph`], but function bodies are always decomposed into
+/// their child regions and plain-line fragments, even when the whole body
+/// satisfies read-compute-write. Task discovery (§4.2) uses this finer
+/// granularity: "the top-down approach … goes down to cover fine-grained
+/// parallelism if coarse-grained parallelism is not found" (§3.3).
+pub fn build_cu_graph_fine(input: &CuBuildInput) -> CuGraph<Cu> {
+    build_impl(input, true)
+}
+
+fn build_impl(input: &CuBuildInput, split_bodies: bool) -> CuGraph<Cu> {
+    let mut graph = CuGraph::new();
+    let module = &input.program.module;
+    for (fi, _) in module.functions.iter().enumerate() {
+        let mut b = FnBuilder::new(input, fi as u32);
+        b.split_bodies = split_bodies;
+        b.run(&mut graph);
+    }
+    add_edges(input, &mut graph);
+    graph
+}
+
+struct FnBuilder<'a> {
+    input: &'a CuBuildInput<'a>,
+    func: u32,
+    rv: RegionVars,
+    /// For every line with accesses: static instruction count.
+    line_instrs: BTreeMap<u32, usize>,
+    /// Violating read lines per region: sinks of intra-region RAWs on
+    /// region-global variables.
+    violations: Vec<BTreeSet<u32>>,
+    /// Force decomposition of the function-body region (fine granularity).
+    split_bodies: bool,
+}
+
+impl<'a> FnBuilder<'a> {
+    fn new(input: &'a CuBuildInput<'a>, func: u32) -> Self {
+        let module = &input.program.module;
+        let f = &module.functions[func as usize];
+        let rv = vars::analyze(module, func);
+
+        let mut line_instrs: BTreeMap<u32, usize> = BTreeMap::new();
+        for (_, b) in f.iter_blocks() {
+            for i in &b.instrs {
+                if !i.is_marker() {
+                    *line_instrs.entry(i.line()).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Determine violating reads per region. A read of a region-global
+        // variable violates the read-compute-write pattern when it happens
+        // after a write inside the same execution of the region: a RAW
+        // whose endpoints both lie in the region and that is not carried by
+        // the region itself or an enclosing loop.
+        let mut violations: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); f.regions.len()];
+        for (d, _) in input.deps.iter() {
+            if d.ty != DepType::Raw {
+                continue;
+            }
+            let (s, e) = (f.start_line, f.end_line);
+            if d.sink.line < s || d.sink.line > e || d.source.line < s || d.source.line > e {
+                continue;
+            }
+            let name = input.program.symbol(d.var);
+            for (ri, r) in f.regions.iter().enumerate() {
+                if d.sink.line < r.start_line
+                    || d.sink.line > r.end_line
+                    || d.source.line < r.start_line
+                    || d.source.line > r.end_line
+                {
+                    continue;
+                }
+                // Carried by this region or an ancestor: a cross-instance
+                // dependence, not a violation.
+                if let Some((cf, cr)) = d.carried_by {
+                    if cf == func {
+                        let carrier = RegionId(cr);
+                        let here = RegionId(ri as u32);
+                        if vars::region_contains(f, carrier, here) {
+                            continue;
+                        }
+                    }
+                }
+                // The variable must be global to this region.
+                let is_global = rv.global_vars[ri]
+                    .iter()
+                    .any(|&v| vars::var_name(module, v) == name);
+                if is_global {
+                    violations[ri].insert(d.sink.line);
+                }
+            }
+        }
+
+        FnBuilder {
+            input,
+            func,
+            rv,
+            line_instrs,
+            violations,
+            split_bodies: false,
+        }
+    }
+
+    fn run(mut self, graph: &mut CuGraph<Cu>) {
+        self.process(RegionId(0), graph);
+    }
+
+    /// Recursive top-down construction: a violation-free region is one CU;
+    /// otherwise children recurse and the region's plain lines are split
+    /// into fragments at violating reads.
+    fn process(&mut self, region: RegionId, graph: &mut CuGraph<Cu>) -> Vec<CuId> {
+        let module = &self.input.program.module;
+        let f = &module.functions[self.func as usize];
+        let r = &f.regions[region.index()];
+
+        let force_split = self.split_bodies && region == RegionId(0);
+        if self.violations[region.index()].is_empty() && !force_split {
+            let (read_set, write_set) = self.phase_sets(region, r.start_line, r.end_line, None);
+            let static_instrs: usize = self
+                .line_instrs
+                .range(r.start_line..=r.end_line)
+                .map(|(_, &c)| c)
+                .sum();
+            let cu = Cu {
+                func: self.func,
+                region: region.0,
+                start_line: r.start_line,
+                end_line: r.end_line,
+                kind: CuKind::Region,
+                read_set,
+                write_set,
+                lines: Vec::new(),
+                static_instrs,
+                weight: self.weight(region, static_instrs),
+            };
+            return vec![graph.add_cu(cu)];
+        }
+
+        // Region is not a CU: recurse into children, fragment plain lines.
+        let children: Vec<RegionId> = f
+            .regions
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.parent == Some(region))
+            .map(|(i, _)| RegionId(i as u32))
+            .collect();
+        let mut out = Vec::new();
+        for &c in &children {
+            out.extend(self.process(c, graph));
+        }
+
+        // Plain lines: lines with accesses inside this region but outside
+        // every child region.
+        let child_spans: Vec<(u32, u32)> = children
+            .iter()
+            .map(|c| {
+                let cr = &f.regions[c.index()];
+                (cr.start_line, cr.end_line)
+            })
+            .collect();
+        let plain: Vec<u32> = self
+            .line_instrs
+            .range(r.start_line..=r.end_line)
+            .map(|(&l, _)| l)
+            .filter(|&l| !child_spans.iter().any(|&(s, e)| s <= l && l <= e))
+            .collect();
+
+        let viol = &self.violations[region.index()];
+        let mut fragment: Vec<u32> = Vec::new();
+        let mut fragments: Vec<Vec<u32>> = Vec::new();
+        let mut prev: Option<u32> = None;
+        for &l in &plain {
+            // Start a new fragment at violating reads, and whenever a child
+            // region intervenes between consecutive plain lines (fragments
+            // must not straddle nested regions).
+            let child_between = prev.is_some_and(|p| {
+                child_spans.iter().any(|&(s, e)| p < s && e < l)
+            });
+            if (viol.contains(&l) || child_between) && !fragment.is_empty() {
+                fragments.push(std::mem::take(&mut fragment));
+            }
+            fragment.push(l);
+            prev = Some(l);
+        }
+        if !fragment.is_empty() {
+            fragments.push(fragment);
+        }
+        for lines in fragments {
+            let (read_set, write_set) =
+                self.phase_sets(region, lines[0], *lines.last().unwrap(), Some(&lines));
+            let static_instrs: usize = lines
+                .iter()
+                .map(|l| self.line_instrs.get(l).copied().unwrap_or(0))
+                .sum();
+            let cu = Cu {
+                func: self.func,
+                region: region.0,
+                start_line: lines[0],
+                end_line: *lines.last().unwrap(),
+                kind: CuKind::Fragment,
+                read_set,
+                write_set,
+                lines,
+                static_instrs,
+                weight: self.weight(region, static_instrs),
+            };
+            out.push(graph.add_cu(cu));
+        }
+        out
+    }
+
+    /// Read/write phase variable sets: region-global variables accessed in
+    /// the line span (or the explicit line list).
+    fn phase_sets(
+        &self,
+        region: RegionId,
+        start: u32,
+        end: u32,
+        lines: Option<&[u32]>,
+    ) -> (BTreeSet<VarId>, BTreeSet<VarId>) {
+        let globals = &self.rv.global_vars[region.index()];
+        let mut read_set = BTreeSet::new();
+        let mut write_set = BTreeSet::new();
+        let in_span = |l: u32| match lines {
+            Some(ls) => ls.contains(&l),
+            None => start <= l && l <= end,
+        };
+        for (&l, vs) in self.rv.reads.range(start..=end) {
+            if in_span(l) {
+                for v in vs.intersection(globals) {
+                    read_set.insert(*v);
+                }
+            }
+        }
+        for (&l, vs) in self.rv.writes.range(start..=end) {
+            if in_span(l) {
+                for v in vs.intersection(globals) {
+                    write_set.insert(*v);
+                }
+            }
+        }
+        (read_set, write_set)
+    }
+
+    /// Dynamic weight: executed instructions attributed to the CU. Loops
+    /// use the PET's measured counts; other CUs scale static size by the
+    /// iteration count of the innermost enclosing loop (or the function
+    /// entry count).
+    fn weight(&self, region: RegionId, static_instrs: usize) -> u64 {
+        let Some(pet) = self.input.pet else {
+            return static_instrs as u64;
+        };
+        let module = &self.input.program.module;
+        let f = &module.functions[self.func as usize];
+        if f.regions[region.index()].kind == RegionKind::Loop {
+            if let Some((_, _, dyn_instrs)) =
+                pet.loops_aggregated().get(&(self.func, region.0)).copied()
+            {
+                if dyn_instrs > 0 {
+                    return dyn_instrs;
+                }
+            }
+        }
+        // Innermost enclosing loop's iterations, else function entries.
+        let mut cur = Some(region);
+        while let Some(c) = cur {
+            if f.regions[c.index()].kind == RegionKind::Loop {
+                if let Some((_, iters, _)) = pet.loops_aggregated().get(&(self.func, c.0)) {
+                    return static_instrs as u64 * iters.max(&1);
+                }
+            }
+            cur = f.regions[c.index()].parent;
+        }
+        let entries = pet
+            .nodes
+            .iter()
+            .find(|n| n.kind == profiler::PetNodeKind::Function(self.func))
+            .map(|n| n.entries)
+            .unwrap_or(1);
+        static_instrs as u64 * entries
+    }
+}
+
+/// Wire dependence edges between CUs: every profiled dependence whose sink
+/// and source lines map to CUs becomes an edge, subject to the Table 3.1
+/// rules enforced by [`CuGraph::add_edge`].
+fn add_edges(input: &CuBuildInput, graph: &mut CuGraph<Cu>) {
+    // line -> cu: fragments take precedence over region CUs; smaller
+    // region CUs take precedence over enclosing ones.
+    let mut by_line: BTreeMap<u32, CuId> = BTreeMap::new();
+    let span_of = |cu: &Cu| cu.end_line - cu.start_line;
+    let mut order: Vec<CuId> = (0..graph.cus.len()).collect();
+    order.sort_by_key(|&i| {
+        let c = &graph.cus[i];
+        (
+            match c.kind {
+                CuKind::Fragment => 0u8,
+                CuKind::Region => 1,
+            },
+            span_of(c),
+        )
+    });
+    for &i in &order {
+        let c = &graph.cus[i];
+        match c.kind {
+            CuKind::Fragment => {
+                for &l in &c.lines {
+                    by_line.entry(l).or_insert(i);
+                }
+            }
+            CuKind::Region => {
+                for l in c.start_line..=c.end_line {
+                    by_line.entry(l).or_insert(i);
+                }
+            }
+        }
+    }
+    for (d, _) in input.deps.iter() {
+        if d.ty == DepType::Init {
+            continue;
+        }
+        let (Some(&from), Some(&to)) = (by_line.get(&d.sink.line), by_line.get(&d.source.line))
+        else {
+            continue;
+        };
+        graph.add_edge(CuEdge {
+            from,
+            to,
+            ty: d.ty,
+            carried: d.carried_by.is_some(),
+        });
+    }
+}
+
+/// Bottom-up CU construction (§3.2.3), at source-line granularity: every
+/// accessed line in the region starts as its own CU; CUs connected by
+/// intra-iteration WAR dependences merge (a write joins the readers it
+/// overwrites); RAW dependences become edges. Produces the fine-grained
+/// graphs the dissertation found "too fine to discover coarse-grained
+/// parallel tasks" — kept for comparison experiments.
+pub fn build_cus_bottom_up(
+    program: &Program,
+    deps: &DepSet,
+    func: u32,
+    start_line: u32,
+    end_line: u32,
+) -> CuGraph<Vec<u32>> {
+    let f = &program.module.functions[func as usize];
+    let _ = f;
+    let mut lines: BTreeSet<u32> = BTreeSet::new();
+    for (d, _) in deps.iter() {
+        for l in [d.sink.line, d.source.line] {
+            if start_line <= l && l <= end_line {
+                lines.insert(l);
+            }
+        }
+    }
+    let lines: Vec<u32> = lines.into_iter().collect();
+    let idx: BTreeMap<u32, usize> = lines.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+
+    // Union-find over lines; WAR (anti-dependence) merges.
+    let mut parent: Vec<usize> = (0..lines.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != c {
+            let n = parent[c];
+            parent[c] = r;
+            c = n;
+        }
+        r
+    }
+    for (d, _) in deps.iter() {
+        if d.ty == DepType::War && d.carried_by.is_none() {
+            if let (Some(&a), Some(&b)) = (idx.get(&d.sink.line), idx.get(&d.source.line)) {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+    }
+
+    // Materialize merged CUs.
+    let mut groups: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+    for (i, &l) in lines.iter().enumerate() {
+        groups.entry(find(&mut parent, i)).or_default().push(l);
+    }
+    let mut graph: CuGraph<Vec<u32>> = CuGraph::new();
+    let mut cu_of: BTreeMap<u32, CuId> = BTreeMap::new();
+    for (_, ls) in groups {
+        let id = graph.add_cu(ls.clone());
+        for l in ls {
+            cu_of.insert(l, id);
+        }
+    }
+    for (d, _) in deps.iter() {
+        if d.ty != DepType::Raw {
+            continue;
+        }
+        if let (Some(&from), Some(&to)) = (cu_of.get(&d.sink.line), cu_of.get(&d.source.line)) {
+            graph.add_edge(CuEdge {
+                from,
+                to,
+                ty: DepType::Raw,
+                carried: d.carried_by.is_some(),
+            });
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profiler::profile_program;
+
+    fn setup(src: &str) -> (Program, CuGraph<Cu>) {
+        let p = Program::new(lang::compile(src, "t").unwrap());
+        let out = profile_program(&p).unwrap();
+        let graph = build_cu_graph(&CuBuildInput {
+            program: &p,
+            deps: &out.deps,
+            pet: Some(&out.pet),
+        });
+        (p, graph)
+    }
+
+    /// Fig. 3.4: the loop body reads x, computes via locals a and b, and
+    /// writes x back — the whole loop is a single CU.
+    #[test]
+    fn fig_3_4_loop_is_one_cu() {
+        let src = "global int x;\nfn main() {\nfor (int i = 0; i < 8; i = i + 1) {\nint a = x + i / (x + 1);\nint b = x - i / (x + 1);\nx = a + b;\n}\n}";
+        let (_, g) = setup(src);
+        // The loop region (lines 3..7) must be one Region CU.
+        let loop_cu = g
+            .cus
+            .iter()
+            .find(|c| c.kind == CuKind::Region && c.start_line == 3)
+            .expect("loop CU");
+        assert_eq!(loop_cu.end_line, 7);
+        // Its RAW self-loop (iterative pattern) must be present.
+        let id = g
+            .cus
+            .iter()
+            .position(|c| std::ptr::eq(c, loop_cu))
+            .unwrap();
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == id && e.to == id && e.ty == DepType::Raw));
+    }
+
+    /// Fig. 3.4 variant: a and b declared *outside* the loop become global
+    /// to it; the intra-iteration RAW on them (x = a + b after a = …)
+    /// violates read-compute-write and splits the body into two CUs.
+    #[test]
+    fn fig_3_4_variant_splits_into_two_cus() {
+        let src = "global int x;\nfn main() {\nint a = 0;\nint b = 0;\nfor (int i = 0; i < 8; i = i + 1) {\na = x + i / (x + 1);\nb = x - i / (x + 1);\nx = a + b;\n}\n}";
+        let (_, g) = setup(src);
+        let frags: Vec<&Cu> = g
+            .cus
+            .iter()
+            .filter(|c| c.kind == CuKind::Fragment && c.region == 1)
+            .collect();
+        assert!(
+            frags.len() >= 2,
+            "body must split into fragments: {:?}",
+            g.cus
+        );
+        // Lines 6-7 (computing a, b) in one CU, line 8 (x = a + b) another.
+        assert!(frags.iter().any(|c| c.lines.contains(&6) && c.lines.contains(&7)));
+        assert!(frags
+            .iter()
+            .any(|c| c.lines.contains(&8) && !c.lines.contains(&6)));
+    }
+
+    #[test]
+    fn pure_function_is_single_cu() {
+        let src =
+            "fn square(int v) -> int {\nreturn v * v;\n}\nfn main() {\nint r = square(7);\nprint(r);\n}";
+        let (p, g) = setup(src);
+        let (fid, _) = p.module.function("square").unwrap();
+        let cus: Vec<&Cu> = g.cus.iter().filter(|c| c.func == fid.0).collect();
+        assert_eq!(cus.len(), 1, "a pure function is one CU: {cus:?}");
+        assert_eq!(cus[0].kind, CuKind::Region);
+    }
+
+    #[test]
+    fn read_write_sets_have_region_globals_only() {
+        let src = "global int g;\nfn main() {\nfor (int i = 0; i < 4; i = i + 1) {\nint t = g * 2;\ng = t + 1;\n}\n}";
+        let (p, g) = setup(src);
+        let loop_cu = g.cus.iter().find(|c| c.start_line == 3).expect("loop cu");
+        let names: Vec<String> = loop_cu
+            .read_set
+            .iter()
+            .map(|&v| vars::var_name(&p.module, v))
+            .collect();
+        assert!(names.contains(&"g".to_string()));
+        assert!(!names.contains(&"t".to_string()), "t is loop-local");
+        assert!(!names.contains(&"i".to_string()), "i is the induction var");
+    }
+
+    #[test]
+    fn independent_computations_get_independent_cus() {
+        // Two separate accumulations into different globals from different
+        // sources; the two loops must be independent CUs.
+        let src = "global int a;\nglobal int b;\nfn main() {\nfor (int i = 0; i < 9; i = i + 1) {\na = a + i;\n}\nfor (int j = 0; j < 9; j = j + 1) {\nb = b + j * 2;\n}\n}";
+        let (_, g) = setup(src);
+        let l1 = g.cus.iter().position(|c| c.start_line == 4).unwrap();
+        let l2 = g.cus.iter().position(|c| c.start_line == 7).unwrap();
+        assert!(g.independent(l1, l2), "edges: {:?}", g.edges);
+    }
+
+    #[test]
+    fn dependent_loops_are_ordered() {
+        let src = "global int a;\nglobal int b;\nfn main() {\nfor (int i = 0; i < 9; i = i + 1) {\na = a + i;\n}\nfor (int j = 0; j < 9; j = j + 1) {\nb = b + a;\n}\n}";
+        let (_, g) = setup(src);
+        let l1 = g.cus.iter().position(|c| c.start_line == 4).unwrap();
+        let l2 = g.cus.iter().position(|c| c.start_line == 7).unwrap();
+        assert!(g.depends_on(l2, l1), "second loop reads a: {:?}", g.edges);
+        assert!(!g.depends_on(l1, l2));
+    }
+
+    #[test]
+    fn every_accessed_line_covered_by_some_cu() {
+        let src = "global int x;\nglobal int y;\nfn main() {\nint t = x + 1;\ny = t * 2;\nif (y > 3) {\nx = y - 1;\n}\n}";
+        let (_, g) = setup(src);
+        for line in [4u32, 5, 7] {
+            assert!(
+                g.cus.iter().any(|c| c.covers(line)),
+                "line {line} not covered: {:?}",
+                g.cus
+            );
+        }
+    }
+
+    #[test]
+    fn bottom_up_merges_on_war() {
+        let src = "global int x;\nglobal int a;\nfn main() {\nfor (int i = 0; i < 8; i = i + 1) {\na = x + i;\nx = a + 1;\n}\n}";
+        let p = Program::new(lang::compile(src, "t").unwrap());
+        let out = profile_program(&p).unwrap();
+        let g = build_cus_bottom_up(&p, &out.deps, 0, 4, 7);
+        assert!(!g.is_empty());
+        // Some CU must span multiple lines (WAR-driven merge of the
+        // read of x at line 5 with the write at line 6).
+        assert!(g.cus.iter().any(|ls| ls.len() >= 2), "{:?}", g.cus);
+    }
+
+    #[test]
+    fn weights_scale_with_iterations() {
+        let src = "global int g;\nfn main() {\nfor (int i = 0; i < 100; i = i + 1) {\ng = g + i;\n}\ng = g * 2;\n}";
+        let (_, g) = setup(src);
+        let loop_cu = g.cus.iter().find(|c| c.start_line == 3).unwrap();
+        let tail = g
+            .cus
+            .iter()
+            .find(|c| c.kind == CuKind::Fragment && c.lines.contains(&6))
+            .or_else(|| g.cus.iter().find(|c| c.covers(6) && c.start_line != 3));
+        assert!(loop_cu.weight > 100, "loop weight: {}", loop_cu.weight);
+        if let Some(t) = tail {
+            assert!(loop_cu.weight > t.weight);
+        }
+    }
+}
+
+#[cfg(test)]
+mod violation_tests {
+    use super::*;
+    use profiler::profile_program;
+    /// Regression: body-declared locals must not be misclassified as
+    /// induction variables, which would make the loop body violate
+    /// read-compute-write and split spuriously.
+    #[test]
+    fn fig_3_4_loop_has_no_violations() {
+        let src = "global int x;\nfn main() {\nfor (int i = 0; i < 8; i = i + 1) {\nint a = x + i / (x + 1);\nint b = x - i / (x + 1);\nx = a + b;\n}\n}";
+        let p = Program::new(lang::compile(src, "t").unwrap());
+        let out = profile_program(&p).unwrap();
+        let input = CuBuildInput { program: &p, deps: &out.deps, pet: None };
+        let fb = FnBuilder::new(&input, 0);
+        assert!(
+            fb.violations[1].is_empty(),
+            "loop region must satisfy read-compute-write: {:?}",
+            fb.violations
+        );
+        let g = build_cu_graph(&input);
+        assert_eq!(
+            g.cus.iter().filter(|c| c.region == 1).count(),
+            1,
+            "loop is exactly one CU: {:?}",
+            g.cus
+        );
+    }
+}

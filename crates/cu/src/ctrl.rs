@@ -1,0 +1,148 @@
+//! Control-dependence utilities (§3.2.2).
+//!
+//! The dissertation's dynamic analysis finds *re-convergence points* — the
+//! first instruction after a branch where unconditional execution resumes —
+//! by looking ahead over the not-taken alternatives (Fig. 3.1). With the
+//! full CFG available, the re-convergence point of a branch block is its
+//! immediate post-dominator; control dependence follows the classical
+//! Ferrante/Ottenstein/Warren formulation quoted in §1.2.2.
+
+use mir::cfg::post_dominators;
+use mir::{BlockId, Function, Terminator};
+
+/// For every block ending in a conditional branch, the re-convergence
+/// point: the nearest block that post-dominates it (solid black circle of
+/// Fig. 3.1). `None` for non-branch blocks or when no such block exists
+/// (e.g. both arms return).
+pub fn reconvergence_points(f: &Function) -> Vec<Option<BlockId>> {
+    let pd = post_dominators(f);
+    let n = f.blocks.len();
+    let mut out = vec![None; n];
+    for (id, b) in f.iter_blocks() {
+        if !matches!(b.term, Terminator::Branch { .. }) {
+            continue;
+        }
+        // Candidates: blocks that post-dominate `id`, other than itself.
+        // The nearest one post-dominates no other candidate... equivalently
+        // it is post-dominated by every other candidate.
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&d| d != id.index() && pd[id.index()][d])
+            .collect();
+        let nearest = candidates
+            .iter()
+            .copied()
+            .find(|&c| candidates.iter().all(|&o| o == c || pd[c][o]));
+        out[id.index()] = nearest.map(|c| BlockId(c as u32));
+    }
+    out
+}
+
+/// Classical control dependence: block `B` is control dependent on branch
+/// block `A` iff `A` has a successor through which every path reaches `B`
+/// (B post-dominates the successor) while `B` does not post-dominate `A`
+/// (§1.2.2). Returns, for each block, the set of blocks control-dependent
+/// on it.
+pub fn control_dependent_blocks(f: &Function) -> Vec<Vec<BlockId>> {
+    let pd = post_dominators(f);
+    let n = f.blocks.len();
+    let mut out = vec![Vec::new(); n];
+    for (a, blk) in f.iter_blocks() {
+        let succs = blk.term.successors();
+        if succs.len() < 2 {
+            continue;
+        }
+        for b in 0..n {
+            if b == a.index() {
+                continue;
+            }
+            if pd[a.index()][b] {
+                continue; // B post-dominates A: executes regardless
+            }
+            let guarded = succs.iter().any(|s| pd[s.index()][b] || s.index() == b);
+            if guarded {
+                out[a.index()].push(BlockId(b as u32));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn func_of(src: &str, name: &str) -> Function {
+        let m = lang::compile(src, "t").unwrap();
+        m.function(name).unwrap().1.clone()
+    }
+
+    /// The §1.2.2 example: S2 is control dependent on S1, S3 is not.
+    #[test]
+    fn section_1_2_2_example() {
+        let f = func_of(
+            "fn main(){\nint a = 1;\nint b = 1;\nif (a == b) {\na = a + b;\n}\nb = a + b;\n}",
+            "main",
+        );
+        let cd = control_dependent_blocks(&f);
+        let rc = reconvergence_points(&f);
+        // Find the branch block (the one with two successors).
+        let branch = f
+            .iter_blocks()
+            .find(|(_, b)| matches!(b.term, Terminator::Branch { .. }))
+            .map(|(id, _)| id)
+            .expect("branch block exists");
+        // Exactly the then-arm is control dependent on the branch.
+        assert!(!cd[branch.index()].is_empty());
+        // The re-convergence point exists (the merge block with b = a + b).
+        let r = rc[branch.index()].expect("re-convergence point");
+        // The merge block must contain the RegionExit marker.
+        assert!(f.blocks[r.index()]
+            .instrs
+            .iter()
+            .any(|i| matches!(i, mir::Instr::RegionExit { .. })));
+    }
+
+    #[test]
+    fn if_else_reconverges_at_merge() {
+        let f = func_of(
+            "fn main(){\nint a = 1;\nif (a > 0) {\na = 2;\n} else {\na = 3;\n}\na = a + 1;\n}",
+            "main",
+        );
+        let rc = reconvergence_points(&f);
+        let branch = f
+            .iter_blocks()
+            .find(|(_, b)| matches!(b.term, Terminator::Branch { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        let r = rc[branch.index()].expect("merge exists");
+        // Both arms are control dependent; merge is not.
+        let cd = control_dependent_blocks(&f);
+        assert!(cd[branch.index()].len() >= 2);
+        assert!(!cd[branch.index()].contains(&r));
+    }
+
+    #[test]
+    fn loop_body_control_dependent_on_header() {
+        let f = func_of(
+            "fn main(){\nint s = 0;\nfor (int i = 0; i < 3; i = i + 1) {\ns = s + i;\n}\n}",
+            "main",
+        );
+        let cd = control_dependent_blocks(&f);
+        let header = f
+            .iter_blocks()
+            .find(|(_, b)| matches!(b.term, Terminator::Branch { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(
+            !cd[header.index()].is_empty(),
+            "loop body depends on the header condition"
+        );
+    }
+
+    #[test]
+    fn straight_line_code_has_no_control_dependences() {
+        let f = func_of("fn main(){\nint a = 1;\nint b = a + 2;\n}", "main");
+        let cd = control_dependent_blocks(&f);
+        assert!(cd.iter().all(|v| v.is_empty()));
+    }
+}

@@ -1,0 +1,32 @@
+//! `cu` — Computational Units (dissertation Ch. 3).
+//!
+//! A *computational unit* (CU) is a collection of instructions following the
+//! read-compute-write pattern: a set of variables global to a code section
+//! is read, computation happens on locals, and results are written back.
+//! CUs are the smallest units mapped onto threads; unlike loops or
+//! functions, they are not required to align with language constructs, so
+//! parallelism that crosses construct boundaries becomes visible.
+//!
+//! This crate implements:
+//! - global/local variable analysis per control region (§3.2.1),
+//! - the **top-down CU construction** algorithm (Algorithm 3, §3.2.3) that
+//!   checks each region against the read-compute-write condition
+//!   `∀v ∈ GV: I_v → O_v` using profiled dependences, splitting regions at
+//!   violating reads,
+//! - the **bottom-up** construction (§3.2.3) used for comparison,
+//! - the **CU graph** (§3.4) with the edge rules of Table 3.1, SCC and
+//!   chain condensation (§4.2.2 / Fig. 4.5), and DOT export (Figs. 3.6/3.7),
+//! - control-dependence utilities (§3.2.2): re-convergence points and
+//!   dynamic control-dependence queries.
+
+pub mod build;
+pub mod ctrl;
+pub mod graph;
+pub mod vars;
+
+pub use build::{
+    build_cu_graph, build_cu_graph_fine, build_cus_bottom_up, Cu, CuBuildInput, CuKind,
+};
+pub use ctrl::{control_dependent_blocks, reconvergence_points};
+pub use graph::{CuEdge, CuGraph, CuId};
+pub use vars::{region_of_line, RegionVars, VarClass};

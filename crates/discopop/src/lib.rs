@@ -1,0 +1,203 @@
+//! `discopop` — Discovery of Potential Parallelism in Sequential Programs.
+//!
+//! A from-scratch Rust reproduction of the DiscoPoP framework (Li,
+//! ICPP 2013 / TU Darmstadt dissertation 2016): an efficient dynamic
+//! data-dependence profiler plus computational-unit-based parallelism
+//! discovery.
+//!
+//! This crate is the facade: it re-exports every subsystem and offers a
+//! one-call pipeline for the common case.
+//!
+//! # Quickstart
+//!
+//! ```
+//! let report = discopop::analyze_source(r#"
+//!     global int a[64];
+//!     global int total;
+//!     fn main() {
+//!         for (int i = 0; i < 64; i = i + 1) {
+//!             a[i] = i * i;
+//!         }
+//!         for (int j = 0; j < 64; j = j + 1) {
+//!             total = total + a[j];
+//!         }
+//!     }
+//! "#, "demo").unwrap();
+//! // The first loop is DOALL, the second a reduction.
+//! assert_eq!(report.discovery.loops.len(), 2);
+//! assert!(!report.discovery.ranked.is_empty());
+//! ```
+//!
+//! # Architecture
+//!
+//! - [`lang`]: mini-C frontend (the LLVM/Clang substitute)
+//! - [`mir`]: three-address IR
+//! - [`interp`]: instrumenting interpreter (the instrumentation runtime)
+//! - [`profiler`]: the data-dependence profiler (dissertation Ch. 2)
+//! - [`cu`]: computational units and CU graphs (Ch. 3)
+//! - [`discovery`]: DOALL/DOACROSS/SPMD/MPMD + ranking (Ch. 4)
+//! - [`apps`]: ML loop classification, STM sizing, communication patterns
+//!   (Ch. 5)
+
+pub use apps;
+pub use cu;
+pub use discovery;
+pub use interp;
+pub use lang;
+pub use mir;
+pub use profiler;
+
+use serde::Serialize;
+
+/// Everything one analysis run produces.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Profiler output: dependences, PET, statistics.
+    #[serde(skip)]
+    pub profile: profiler::ProfileOutput,
+    /// Discovery results: loop classes, tasks, ranking.
+    pub discovery: discovery::Discovery,
+}
+
+/// Errors of the one-call pipeline.
+#[derive(Debug)]
+pub enum Error {
+    /// Frontend failure.
+    Compile(lang::CompileError),
+    /// Target program failed at runtime.
+    Runtime(interp::RuntimeError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "compile error: {e}"),
+            Error::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<lang::CompileError> for Error {
+    fn from(e: lang::CompileError) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<interp::RuntimeError> for Error {
+    fn from(e: interp::RuntimeError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+/// Compile, execute under the profiler, and run parallelism discovery.
+pub fn analyze_source(source: &str, name: &str) -> Result<Report, Error> {
+    let program = interp::Program::new(lang::compile(source, name)?);
+    analyze_program(&program)
+}
+
+/// Analyse an already-compiled program.
+pub fn analyze_program(program: &interp::Program) -> Result<Report, Error> {
+    let profile = profiler::profile_program(program)?;
+    let discovery = discovery::discover(program, &profile.deps, &profile.pet);
+    Ok(Report { profile, discovery })
+}
+
+/// Render a human-readable report of the ranked suggestions.
+pub fn render_report(program: &interp::Program, report: &Report) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "== DiscoPoP report: {} ==", program.module.name);
+    let _ = writeln!(
+        out,
+        "{} instructions executed, {} distinct dependences ({} before merging)",
+        report.profile.steps,
+        report.profile.deps.len(),
+        report.profile.deps.total_found
+    );
+    let _ = writeln!(out, "\nRanked parallelization opportunities:");
+    for (i, r) in report.discovery.ranked.iter().enumerate() {
+        match &r.target {
+            discovery::ranking::SuggestionTarget::Loop {
+                start_line, class, ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  {}. loop at line {start_line}: {:?} (coverage {:.1}%, local speedup {:.1}x, imbalance {:.2})",
+                    i + 1,
+                    class,
+                    r.ranking.instruction_coverage * 100.0,
+                    r.ranking.local_speedup,
+                    r.ranking.cu_imbalance,
+                );
+            }
+            discovery::ranking::SuggestionTarget::TaskSet { spans, .. } => {
+                let spans: Vec<String> = spans
+                    .iter()
+                    .map(|(a, b)| format!("{a}-{b}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  {}. concurrent tasks at lines {} (coverage {:.1}%, local speedup {:.1}x)",
+                    i + 1,
+                    spans.join(", "),
+                    r.ranking.instruction_coverage * 100.0,
+                    r.ranking.local_speedup,
+                );
+            }
+        }
+    }
+    if !report.discovery.spmd.is_empty() {
+        let _ = writeln!(out, "\nTask suggestions:");
+        for s in &report.discovery.spmd {
+            let _ = writeln!(
+                out,
+                "  {:?} calling [{}] at lines {:?}",
+                s.kind,
+                s.callees.join(", "),
+                s.lines
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_pipeline_works() {
+        let report = crate::analyze_source(
+            "global int g[32];\nfn main() {\nfor (int i = 0; i < 32; i = i + 1) {\ng[i] = i;\n}\n}",
+            "t",
+        )
+        .unwrap();
+        assert_eq!(report.discovery.loops.len(), 1);
+        assert_eq!(
+            report.discovery.loops[0].class,
+            discovery::LoopClass::Doall
+        );
+    }
+
+    #[test]
+    fn render_mentions_loops() {
+        let src = "global int g[32];\nfn main() {\nfor (int i = 0; i < 32; i = i + 1) {\ng[i] = i * 3;\n}\n}";
+        let program = interp::Program::new(lang::compile(src, "demo").unwrap());
+        let report = crate::analyze_program(&program).unwrap();
+        let text = crate::render_report(&program, &report);
+        assert!(text.contains("Ranked parallelization opportunities"));
+        assert!(text.contains("Doall"));
+    }
+
+    #[test]
+    fn errors_surface() {
+        assert!(matches!(
+            crate::analyze_source("fn main() { x = 1; }", "t"),
+            Err(crate::Error::Compile(_))
+        ));
+        assert!(matches!(
+            crate::analyze_source("fn main() -> int { int z = 0; return 1 / z; }", "t"),
+            Err(crate::Error::Runtime(_))
+        ));
+    }
+}

@@ -1,0 +1,97 @@
+//! `discovery` — CU-based parallelism discovery (dissertation Ch. 4).
+//!
+//! Consumes the profiler's dependences + PET and the CU graph to detect:
+//!
+//! - **DOALL loops** (§4.1.1): loops with no loop-carried true dependence,
+//!   after discounting induction variables and reduction patterns;
+//! - **DOACROSS loops** (§4.1.2): loops whose carried dependences leave a
+//!   decoupled remainder, with a pipeline-stage estimate from the body's
+//!   CU layers;
+//! - **SPMD-style tasks** (§4.2.1): independent instances of the same code
+//!   (parallel-for over calls, sibling/recursive call parallelism as in
+//!   BOTS `fib`/`nqueens`);
+//! - **MPMD-style tasks** (§4.2.2): different code sections that may run
+//!   concurrently, found on the SCC/chain-condensed CU graph (Fig. 4.5);
+//! - the **ranking** of §4.3: instruction coverage, local speedup, and CU
+//!   imbalance.
+
+pub mod doall;
+pub mod patterns;
+pub mod ranking;
+pub mod tasks;
+
+use interp::Program;
+use profiler::{DepSet, Pet};
+use serde::Serialize;
+
+pub use doall::{analyze_loop, hot_loops, LoopClass, LoopInfo, LoopResult};
+pub use patterns::{classify as classify_patterns, Pattern};
+pub use ranking::{rank, RankedSuggestion, Ranking};
+pub use tasks::{find_mpmd_tasks, find_spmd_tasks, MpmdSuggestion, SpmdKind, SpmdSuggestion};
+
+/// Everything discovery produces for one program.
+#[derive(Debug, Serialize)]
+pub struct Discovery {
+    /// Per-loop classification, hottest first.
+    pub loops: Vec<LoopResult>,
+    /// SPMD task suggestions.
+    pub spmd: Vec<SpmdSuggestion>,
+    /// MPMD task suggestions.
+    pub mpmd: Vec<MpmdSuggestion>,
+    /// Ranked parallelization opportunities (best first).
+    pub ranked: Vec<RankedSuggestion>,
+    /// Classic parallel-pattern phrasing of the findings.
+    pub patterns: Vec<Pattern>,
+}
+
+/// Run the full discovery pipeline on a profiled program.
+pub fn discover(program: &Program, deps: &DepSet, pet: &Pet) -> Discovery {
+    let input = cu::CuBuildInput {
+        program,
+        deps,
+        pet: Some(pet),
+    };
+    // Task discovery and ranking use the finer decomposition (§3.3): a
+    // function body that is itself a CU would otherwise hide the task
+    // structure inside. MPMD task CU ids refer to this graph.
+    let fine = cu::build_cu_graph_fine(&input);
+    let loops: Vec<LoopResult> = hot_loops(program, pet)
+        .into_iter()
+        .map(|l| analyze_loop(program, deps, &l))
+        .collect();
+    let spmd = find_spmd_tasks(program, deps, &loops);
+    let mpmd = find_mpmd_tasks(program, &fine);
+    let ranked = rank(program, pet, &fine, &loops, &mpmd);
+    let patterns = patterns::classify(&loops, &mpmd);
+    Discovery {
+        loops,
+        spmd,
+        mpmd,
+        ranked,
+        patterns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profiler::profile_program;
+
+    #[test]
+    fn end_to_end_discovery() {
+        let src = "global int a[64];\nglobal int b[64];\nglobal int s;\nfn main() {\nfor (int i = 0; i < 64; i = i + 1) {\nb[i] = a[i] * 3;\n}\nfor (int i = 0; i < 64; i = i + 1) {\ns = s + b[i];\n}\n}";
+        let p = Program::new(lang::compile(src, "t").unwrap());
+        let out = profile_program(&p).unwrap();
+        let d = discover(&p, &out.deps, &out.pet);
+        assert_eq!(d.loops.len(), 2);
+        assert!(d
+            .loops
+            .iter()
+            .any(|l| l.class == LoopClass::Doall), "{:?}", d.loops);
+        assert!(d
+            .loops
+            .iter()
+            .any(|l| l.class == LoopClass::Reduction));
+        assert!(!d.ranked.is_empty());
+    }
+}

@@ -1,0 +1,382 @@
+//! Task parallelism: SPMD (§4.2.1) and MPMD (§4.2.2) detection.
+
+use crate::doall::{LoopClass, LoopResult};
+use cu::{Cu, CuGraph};
+use interp::Program;
+use mir::{Instr, VarRef};
+use profiler::{DepSet, DepType};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Kinds of SPMD-style task suggestions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SpmdKind {
+    /// A parallelizable loop whose body performs calls: each iteration
+    /// becomes a task (BOTS `nqueens` pattern, Fig. 4.2).
+    LoopTask,
+    /// Independent sibling calls (same or different callee) inside one
+    /// function: each call becomes a task (BOTS `fib` pattern, Fig. 4.3).
+    SiblingCalls,
+}
+
+/// One SPMD suggestion.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpmdSuggestion {
+    /// What shape of task parallelism this is.
+    pub kind: SpmdKind,
+    /// Function containing the opportunity.
+    pub func: u32,
+    /// Source lines of the task bodies / call sites.
+    pub lines: Vec<u32>,
+    /// Callee names involved.
+    pub callees: Vec<String>,
+    /// For `LoopTask`: the loop header line.
+    pub loop_line: Option<u32>,
+}
+
+/// One MPMD suggestion: a set of mutually independent condensed CU groups
+/// that may execute as concurrent tasks (fork-join).
+#[derive(Debug, Clone, Serialize)]
+pub struct MpmdSuggestion {
+    /// Function the tasks live in (tasks spanning functions are reported
+    /// under the caller).
+    pub func: u32,
+    /// For each task: the covered line span and its weight.
+    pub tasks: Vec<MpmdTask>,
+}
+
+/// One task of an MPMD suggestion.
+#[derive(Debug, Clone, Serialize)]
+pub struct MpmdTask {
+    /// First line.
+    pub start_line: u32,
+    /// Last line.
+    pub end_line: u32,
+    /// Dynamic weight (instructions).
+    pub weight: u64,
+    /// CU ids merged into this task.
+    pub cus: Vec<usize>,
+}
+
+/// Call sites per function: `(line, callee)` for calls to user functions.
+fn user_call_sites(program: &Program, func: u32) -> Vec<(u32, String)> {
+    let f = &program.module.functions[func as usize];
+    let mut v = Vec::new();
+    for (_, b) in f.iter_blocks() {
+        for i in &b.instrs {
+            if let Instr::Call { func: callee, line, .. } = i {
+                if program.module.function(callee).is_some() {
+                    v.push((*line, callee.clone()));
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Transitive global read/write sets per function: which module globals a
+/// call to the function may read or write, including through callees.
+pub fn transitive_global_sets(program: &Program) -> Vec<(BTreeSet<u32>, BTreeSet<u32>)> {
+    let module = &program.module;
+    let n = module.functions.len();
+    let mut reads: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    let mut writes: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    let mut calls: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (fi, f) in module.functions.iter().enumerate() {
+        for (_, b) in f.iter_blocks() {
+            for i in &b.instrs {
+                match i {
+                    Instr::Load { place, .. } => {
+                        if let VarRef::Global(g) = place.var {
+                            reads[fi].insert(g.0);
+                        }
+                    }
+                    Instr::Store { place, .. } => {
+                        if let VarRef::Global(g) = place.var {
+                            writes[fi].insert(g.0);
+                        }
+                    }
+                    Instr::Call { func, .. } => {
+                        if let Some((ci, _)) = module.function(func) {
+                            calls[fi].insert(ci.index());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // Fixpoint closure over the call graph.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fi in 0..n {
+            let callees: Vec<usize> = calls[fi].iter().copied().collect();
+            for c in callees {
+                let extra_r: Vec<u32> = reads[c].difference(&reads[fi]).copied().collect();
+                let extra_w: Vec<u32> = writes[c].difference(&writes[fi]).copied().collect();
+                if !extra_r.is_empty() || !extra_w.is_empty() {
+                    changed = true;
+                    reads[fi].extend(extra_r);
+                    writes[fi].extend(extra_w);
+                }
+            }
+        }
+    }
+    reads.into_iter().zip(writes).collect()
+}
+
+/// Detect SPMD-style tasks.
+pub fn find_spmd_tasks(
+    program: &Program,
+    deps: &DepSet,
+    loops: &[LoopResult],
+) -> Vec<SpmdSuggestion> {
+    let mut out = Vec::new();
+
+    // (a) Parallelizable loops containing calls: loop-of-tasks.
+    for l in loops {
+        if !matches!(l.class, LoopClass::Doall | LoopClass::Reduction) {
+            continue;
+        }
+        let calls: Vec<(u32, String)> = user_call_sites(program, l.info.func)
+            .into_iter()
+            .filter(|(line, _)| *line > l.info.start_line && *line <= l.info.end_line)
+            .collect();
+        if !calls.is_empty() {
+            let mut callees: Vec<String> = calls.iter().map(|(_, c)| c.clone()).collect();
+            callees.sort();
+            callees.dedup();
+            out.push(SpmdSuggestion {
+                kind: SpmdKind::LoopTask,
+                func: l.info.func,
+                lines: calls.iter().map(|(l, _)| *l).collect(),
+                callees,
+                loop_line: Some(l.info.start_line),
+            });
+        }
+    }
+
+    // (b) Independent sibling calls: two call sites whose computations
+    // satisfy the Bernstein condition (§1.2.1) — no flow between the call
+    // lines locally, and the callees' transitive global read/write sets do
+    // not conflict.
+    let globals = transitive_global_sets(program);
+    for (fi, _) in program.module.functions.iter().enumerate() {
+        let calls = user_call_sites(program, fi as u32);
+        if calls.len() < 2 {
+            continue;
+        }
+        for i in 0..calls.len() {
+            for j in i + 1..calls.len() {
+                let (la, ca) = &calls[i];
+                let (lb, cb) = &calls[j];
+                if la == lb {
+                    continue;
+                }
+                // Local flow: the later call's line must not read what the
+                // earlier call's line produced (`b = f(a)` after `a = f(x)`).
+                let (first, second) = if la < lb { (*la, *lb) } else { (*lb, *la) };
+                let local_flow = deps.iter().any(|(d, _)| {
+                    d.ty == DepType::Raw && d.sink.line == second && d.source.line == first
+                });
+                if local_flow {
+                    continue;
+                }
+                // Bernstein on transitive global sets.
+                let (ci, _) = program.module.function(ca).expect("callee exists");
+                let (cj, _) = program.module.function(cb).expect("callee exists");
+                let (ra, wa) = &globals[ci.index()];
+                let (rb, wb) = &globals[cj.index()];
+                let conflict = wa.intersection(rb).next().is_some()
+                    || ra.intersection(wb).next().is_some()
+                    || wa.intersection(wb).next().is_some();
+                if conflict {
+                    continue;
+                }
+                let mut callees = vec![ca.clone(), cb.clone()];
+                callees.sort();
+                callees.dedup();
+                out.push(SpmdSuggestion {
+                    kind: SpmdKind::SiblingCalls,
+                    func: fi as u32,
+                    lines: vec![*la, *lb],
+                    callees,
+                    loop_line: None,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Detect MPMD-style tasks: condense the CU graph (SCCs, then chains —
+/// Fig. 4.5), lay it out topologically, and report every layer with two or
+/// more independent groups as a set of concurrent tasks.
+pub fn find_mpmd_tasks(program: &Program, graph: &CuGraph<Cu>) -> Vec<MpmdSuggestion> {
+    let mut out = Vec::new();
+    for (fi, _) in program.module.functions.iter().enumerate() {
+        // Project onto this function's CUs.
+        let ids: Vec<usize> = graph
+            .cus
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.func == fi as u32)
+            .map(|(i, _)| i)
+            .collect();
+        if ids.len() < 2 {
+            continue;
+        }
+        let mut sub: CuGraph<usize> = CuGraph::new();
+        let mut remap = BTreeMap::new();
+        for &i in &ids {
+            let id = sub.add_cu(i);
+            remap.insert(i, id);
+        }
+        for e in &graph.edges {
+            if let (Some(&a), Some(&b)) = (remap.get(&e.from), remap.get(&e.to)) {
+                sub.add_edge(cu::CuEdge {
+                    from: a,
+                    to: b,
+                    ty: e.ty,
+                    carried: e.carried,
+                });
+            }
+        }
+        let (group, ngroups, _) = sub.condense();
+        let layers = sub.layers();
+        for layer in layers {
+            if layer.len() < 2 {
+                continue;
+            }
+            // Materialize each group of the layer as a task.
+            let mut tasks = Vec::new();
+            for &g in &layer {
+                let cus: Vec<usize> = (0..sub.len())
+                    .filter(|&c| group[c] == g)
+                    .map(|c| sub.cus[c])
+                    .collect();
+                if cus.is_empty() {
+                    continue;
+                }
+                let start = cus.iter().map(|&c| graph.cus[c].start_line).min().unwrap();
+                let end = cus.iter().map(|&c| graph.cus[c].end_line).max().unwrap();
+                let weight = cus.iter().map(|&c| graph.cus[c].weight).sum();
+                tasks.push(MpmdTask {
+                    start_line: start,
+                    end_line: end,
+                    weight,
+                    cus,
+                });
+            }
+            if tasks.len() >= 2 {
+                tasks.sort_by_key(|t| t.start_line);
+                out.push(MpmdSuggestion {
+                    func: fi as u32,
+                    tasks,
+                });
+            }
+            let _ = ngroups;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doall::{analyze_loop, hot_loops};
+    use profiler::profile_program;
+
+    fn setup(src: &str) -> (Program, profiler::DepSet, CuGraph<Cu>, Vec<LoopResult>) {
+        let p = Program::new(lang::compile(src, "t").unwrap());
+        let out = profile_program(&p).unwrap();
+        let fine = cu::build_cu_graph_fine(&cu::CuBuildInput {
+            program: &p,
+            deps: &out.deps,
+            pet: Some(&out.pet),
+        });
+        let loops: Vec<LoopResult> = hot_loops(&p, &out.pet)
+            .into_iter()
+            .map(|l| analyze_loop(&p, &out.deps, &l))
+            .collect();
+        (p, out.deps, fine, loops)
+    }
+
+    /// The `fib` pattern (Fig. 4.3): two recursive calls whose results
+    /// combine — the calls are independent tasks.
+    #[test]
+    fn fib_sibling_calls_found() {
+        let src = "fn fib(int n) -> int {\nif (n < 2) { return n; }\nint a = fib(n - 1);\nint b = fib(n - 2);\nreturn a + b;\n}\nfn main() {\nint r = fib(10);\nprint(r);\n}";
+        let (p, deps, _graph, loops) = setup(src);
+        let spmd = find_spmd_tasks(&p, &deps, &loops);
+        let sib: Vec<&SpmdSuggestion> = spmd
+            .iter()
+            .filter(|s| s.kind == SpmdKind::SiblingCalls)
+            .collect();
+        assert!(
+            sib.iter()
+                .any(|s| s.callees == vec!["fib".to_string()] && s.lines.len() == 2),
+            "{spmd:?}"
+        );
+    }
+
+    /// A DOALL loop calling a worker per iteration: loop-of-tasks (the
+    /// `nqueens` shape of Fig. 4.2).
+    #[test]
+    fn loop_task_found() {
+        let src = "global int out[16];\nfn work(int i) -> int {\nreturn i * i + 3;\n}\nfn main() {\nfor (int i = 0; i < 16; i = i + 1) {\nout[i] = work(i);\n}\n}";
+        let (p, deps, _graph, loops) = setup(src);
+        let spmd = find_spmd_tasks(&p, &deps, &loops);
+        assert!(
+            spmd.iter()
+                .any(|s| s.kind == SpmdKind::LoopTask && s.callees == vec!["work".to_string()]),
+            "{spmd:?}"
+        );
+    }
+
+    /// Two independent phases writing different globals: MPMD tasks.
+    #[test]
+    fn mpmd_independent_phases() {
+        let src = "global int a[32];\nglobal int b[32];\nfn main() {\nfor (int i = 0; i < 32; i = i + 1) {\na[i] = i * 2;\n}\nfor (int j = 0; j < 32; j = j + 1) {\nb[j] = j * 3;\n}\n}";
+        let (p, _deps, graph, _) = setup(src);
+        let mpmd = find_mpmd_tasks(&p, &graph);
+        assert!(
+            mpmd.iter().any(|m| m.tasks.len() >= 2),
+            "two independent loops must yield concurrent tasks: {mpmd:?}"
+        );
+    }
+
+    /// Dependent phases must NOT be suggested as concurrent.
+    #[test]
+    fn mpmd_respects_dependences() {
+        let src = "global int a[32];\nglobal int b[32];\nfn main() {\nfor (int i = 0; i < 32; i = i + 1) {\na[i] = i * 2;\n}\nfor (int j = 0; j < 32; j = j + 1) {\nb[j] = a[j] * 3;\n}\n}";
+        let (p, _deps, graph, _) = setup(src);
+        let mpmd = find_mpmd_tasks(&p, &graph);
+        // The two loops form a chain; no layer may contain both.
+        for m in &mpmd {
+            for t in &m.tasks {
+                assert!(
+                    !(t.start_line <= 4 && t.end_line >= 7),
+                    "dependent loops merged into one concurrent layer: {mpmd:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dependent_sibling_calls_not_suggested() {
+        // Second call consumes the first call's result through a global.
+        let src = "global int acc;\nfn step1(int x) { acc = x * 2; }\nfn step2() -> int { return acc + 1; }\nfn main() {\nstep1(5);\nint r = step2();\nprint(r);\n}";
+        let (p, deps, _graph, loops) = setup(src);
+        let spmd = find_spmd_tasks(&p, &deps, &loops);
+        assert!(
+            !spmd
+                .iter()
+                .any(|s| s.kind == SpmdKind::SiblingCalls
+                    && s.callees.contains(&"step1".to_string())
+                    && s.callees.contains(&"step2".to_string())),
+            "{spmd:?}"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Instrumentation events and the sink trait consumed by analyses.
+
+use mir::RegionKind;
+
+/// A single profiled memory access.
+///
+/// Carries everything the DiscoPoP dependence representation needs
+/// (dissertation §2.3.1): source line, variable name (as a symbol id
+/// resolvable through [`crate::Program::symbol`]), thread id, and a
+/// monotonically increasing timestamp used for race detection on
+/// multi-threaded targets (§2.3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// `true` for stores, `false` for loads.
+    pub is_write: bool,
+    /// The accessed address (word-aligned logical address).
+    pub addr: u64,
+    /// Static id of the memory *operation* (the load/store instruction in
+    /// the IR); distinct from the dynamic memory *instruction* this event
+    /// represents. The skip optimization (dissertation §2.4) keys its
+    /// per-operation state on this.
+    pub op: u32,
+    /// Source line of the access.
+    pub line: u32,
+    /// Symbol id of the accessed variable.
+    pub var: u32,
+    /// Executing thread.
+    pub thread: u32,
+    /// Global step counter at the time of the access.
+    pub ts: u64,
+}
+
+/// Emitted when a control region (loop or branch) exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionExitEvent {
+    /// Function containing the region.
+    pub func: u32,
+    /// Region id within the function.
+    pub region: u32,
+    /// Loop or branch.
+    pub kind: RegionKind,
+    /// First source line of the region.
+    pub start_line: u32,
+    /// Last source line of the region.
+    pub end_line: u32,
+    /// Iterations executed (loops only; 0 for branches).
+    pub iters: u64,
+    /// Dynamic instructions executed inside the region (inclusive).
+    pub dyn_instrs: u64,
+    /// Executing thread.
+    pub thread: u32,
+}
+
+/// The full instrumentation event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A load or store.
+    Mem(MemEvent),
+    /// Control enters a region.
+    RegionEnter {
+        func: u32,
+        region: u32,
+        kind: RegionKind,
+        start_line: u32,
+        end_line: u32,
+        thread: u32,
+    },
+    /// Control leaves a region.
+    RegionExit(RegionExitEvent),
+    /// A loop region starts an iteration.
+    LoopIter { func: u32, region: u32, thread: u32 },
+    /// A function is entered (after arguments are bound).
+    FuncEnter { func: u32, line: u32, thread: u32 },
+    /// A function returns.
+    FuncExit { func: u32, line: u32, thread: u32 },
+    /// A contiguous address range of `words` machine words died (frame pop
+    /// or region-scoped local going out of scope). Drives variable-lifetime
+    /// analysis (dissertation §2.3.5).
+    VarDealloc { addr: u64, words: u64, thread: u32 },
+    /// `child` was spawned by `parent`.
+    ThreadSpawn { parent: u32, child: u32, line: u32 },
+    /// `thread` completed a `join(target)` — a synchronization point: all
+    /// of `target`'s events happen before `thread`'s subsequent events.
+    ThreadJoin { thread: u32, target: u32, line: u32 },
+    /// A thread finished.
+    ThreadEnd { thread: u32 },
+    /// A lock was acquired.
+    LockAcquire { id: i64, thread: u32, line: u32 },
+    /// A lock was released.
+    LockRelease { id: i64, thread: u32, line: u32 },
+}
+
+impl Event {
+    /// The thread that produced this event.
+    pub fn thread(&self) -> u32 {
+        match self {
+            Event::Mem(m) => m.thread,
+            Event::RegionEnter { thread, .. }
+            | Event::RegionExit(RegionExitEvent { thread, .. })
+            | Event::LoopIter { thread, .. }
+            | Event::FuncEnter { thread, .. }
+            | Event::FuncExit { thread, .. }
+            | Event::VarDealloc { thread, .. }
+            | Event::ThreadJoin { thread, .. }
+            | Event::ThreadEnd { thread }
+            | Event::LockAcquire { thread, .. }
+            | Event::LockRelease { thread, .. } => *thread,
+            Event::ThreadSpawn { parent, .. } => *parent,
+        }
+    }
+}
+
+/// Consumer of the instrumentation stream.
+///
+/// Implementations must be cheap when they ignore events: the interpreter
+/// calls [`Sink::event`] inline on the hot path, so a no-op sink measures
+/// "native" execution and any other sink measures instrumented execution —
+/// the ratio is the profiling slowdown reported in the experiments.
+pub trait Sink {
+    /// Handle one event.
+    fn event(&mut self, ev: &Event);
+}
+
+/// Discards everything: the "uninstrumented run" baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    #[inline(always)]
+    fn event(&mut self, _ev: &Event) {}
+}
+
+/// Records every event; used by tests and by offline analyses (CU
+/// construction) that want the full trace.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingSink {
+    /// The recorded trace, in delivery order.
+    pub events: Vec<Event>,
+}
+
+impl Sink for RecordingSink {
+    fn event(&mut self, ev: &Event) {
+        self.events.push(ev.clone());
+    }
+}
+
+impl<S: Sink + ?Sized> Sink for &mut S {
+    #[inline(always)]
+    fn event(&mut self, ev: &Event) {
+        (**self).event(ev);
+    }
+}
+
+/// Fan out one stream to two sinks (e.g. profile and record simultaneously).
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: Sink, B: Sink> Sink for TeeSink<A, B> {
+    #[inline(always)]
+    fn event(&mut self, ev: &Event) {
+        self.0.event(ev);
+        self.1.event(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_sink_records() {
+        let mut s = RecordingSink::default();
+        s.event(&Event::ThreadEnd { thread: 0 });
+        assert_eq!(s.events.len(), 1);
+    }
+
+    #[test]
+    fn event_thread_extraction() {
+        let e = Event::ThreadSpawn {
+            parent: 2,
+            child: 3,
+            line: 1,
+        };
+        assert_eq!(e.thread(), 2);
+        let m = Event::Mem(MemEvent {
+            is_write: true,
+            addr: 8,
+            op: 0,
+            line: 1,
+            var: 0,
+            thread: 5,
+            ts: 0,
+        });
+        assert_eq!(m.thread(), 5);
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        let mut tee = TeeSink(RecordingSink::default(), RecordingSink::default());
+        tee.event(&Event::ThreadEnd { thread: 1 });
+        assert_eq!(tee.0.events.len(), 1);
+        assert_eq!(tee.1.events.len(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! `interp` — an instrumenting interpreter for MIR programs.
+//!
+//! This crate stands in for "compile with the DiscoPoP LLVM pass, link
+//! against libDiscoPoP, and run": executing a program through [`run`] with a
+//! [`Sink`] produces exactly the instrumentation stream the original system
+//! obtains from inserted calls — memory accesses with source line, variable
+//! name and thread id; control-region entry/exit with iteration counts;
+//! function entry/exit; variable deallocation (for lifetime analysis); and
+//! thread/lock events for multi-threaded targets.
+//!
+//! Multi-threaded mini-C programs (`spawn`/`join`/`lock`/`unlock`) execute
+//! under a deterministic, seeded round-robin scheduler, so every experiment
+//! is reproducible. The optional *racy delivery* mode buffers events per
+//! thread and flushes them at synchronization points, reproducing the
+//! out-of-order event delivery of real threads that the profiler's
+//! timestamp-based race detection is designed to catch (dissertation
+//! Fig. 2.4).
+
+pub mod event;
+pub mod machine;
+pub mod program;
+
+pub use event::{Event, MemEvent, NullSink, RecordingSink, RegionExitEvent, Sink};
+pub use machine::{run, run_with_config, Interp, RunConfig, RunResult, RuntimeError};
+pub use program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};

@@ -1,0 +1,1226 @@
+//! The interpreter core: frames, heap, builtins, and the deterministic
+//! multi-thread scheduler.
+
+use crate::event::{Event, MemEvent, RegionExitEvent, Sink};
+use crate::program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};
+use mir::{BinOp, Instr, Operand, Place, RegId, Terminator, UnOp, Value, VarRef};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Execution limits and scheduling parameters.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Abort after this many executed instructions.
+    pub max_steps: u64,
+    /// Base scheduler quantum (instructions per slice).
+    pub quantum: u32,
+    /// Seed for both the scheduler jitter and the program-visible `rand()`.
+    pub seed: u64,
+    /// Buffer events per thread and flush only at synchronization points,
+    /// reproducing out-of-order event delivery of real threads
+    /// (dissertation Fig. 2.4). Off by default for determinism.
+    pub racy_delivery: bool,
+    /// Per-thread event buffer capacity in racy mode.
+    pub buffer_cap: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_steps: 2_000_000_000,
+            quantum: 64,
+            seed: 0x5eed,
+            racy_delivery: false,
+            buffer_cap: 64,
+        }
+    }
+}
+
+/// Result of a successful run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Return value of `main`.
+    pub ret: Option<Value>,
+    /// Output of `print` calls, in execution order.
+    pub printed: Vec<String>,
+    /// Total executed instructions across all threads.
+    pub steps: u64,
+    /// Number of threads that existed (including main).
+    pub threads: u32,
+}
+
+/// Runtime failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The module has no `main` function.
+    NoMain,
+    /// A call resolved to nothing.
+    UnknownFunction(String),
+    /// Array index out of bounds.
+    OutOfBounds { line: u32, var: String, index: i64 },
+    /// Integer division or remainder by zero.
+    DivByZero { line: u32 },
+    /// All live threads are blocked.
+    Deadlock,
+    /// `max_steps` exceeded.
+    StepLimit,
+    /// `unlock` of a lock not held by the calling thread.
+    BadUnlock { line: u32 },
+    /// `lock` re-acquired by its holder.
+    RecursiveLock { line: u32 },
+    /// `join` of an unknown thread id.
+    BadJoin { line: u32 },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NoMain => write!(f, "no `main` function"),
+            RuntimeError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            RuntimeError::OutOfBounds { line, var, index } => {
+                write!(f, "line {line}: `{var}[{index}]` out of bounds")
+            }
+            RuntimeError::DivByZero { line } => write!(f, "line {line}: division by zero"),
+            RuntimeError::Deadlock => write!(f, "deadlock: all threads blocked"),
+            RuntimeError::StepLimit => write!(f, "step limit exceeded"),
+            RuntimeError::BadUnlock { line } => write!(f, "line {line}: unlock of unheld lock"),
+            RuntimeError::RecursiveLock { line } => {
+                write!(f, "line {line}: recursive lock acquisition")
+            }
+            RuntimeError::BadJoin { line } => write!(f, "line {line}: join of unknown thread"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TState {
+    Ready,
+    BlockedJoin(u32),
+    BlockedLock(i64),
+    Done,
+}
+
+#[derive(Debug)]
+struct RegionState {
+    region: u32,
+    th_steps_at_enter: u64,
+    iters: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: usize,
+    block: usize,
+    pc: usize,
+    regs: Vec<Value>,
+    /// Word offset of this frame in the thread stack.
+    base: usize,
+    /// Register in the *caller's* frame receiving the return value.
+    ret_dst: Option<RegId>,
+    regions: Vec<RegionState>,
+}
+
+#[derive(Debug)]
+struct Thread {
+    mem: Vec<Value>,
+    sp: usize,
+    frames: Vec<Frame>,
+    state: TState,
+    buf: Vec<Event>,
+    steps: u64,
+    ret: Option<Value>,
+}
+
+enum Target {
+    User(usize),
+    Builtin(&'static str),
+}
+
+/// The interpreter. Construct with [`Interp::new`], execute with
+/// [`Interp::run`]; or use the [`run`]/[`run_with_config`] helpers.
+pub struct Interp<'p, S: Sink> {
+    prog: &'p Program,
+    sink: S,
+    cfg: RunConfig,
+    globals: Vec<Value>,
+    threads: Vec<Thread>,
+    locks: HashMap<i64, u32>,
+    steps: u64,
+    user_rng: u64,
+    sched_rng: u64,
+    printed: Vec<String>,
+    targets: HashMap<String, Target>,
+}
+
+/// Run a program with the default configuration.
+pub fn run<S: Sink>(prog: &Program, sink: S) -> Result<RunResult, RuntimeError> {
+    run_with_config(prog, sink, RunConfig::default())
+}
+
+/// Run a program with an explicit configuration.
+pub fn run_with_config<S: Sink>(
+    prog: &Program,
+    sink: S,
+    cfg: RunConfig,
+) -> Result<RunResult, RuntimeError> {
+    Interp::new(prog, sink, cfg)?.run()
+}
+
+const BUILTINS: &[&str] = &[
+    "print", "sqrt", "sin", "cos", "exp", "log", "fabs", "floor", "ceil", "pow", "fmin", "fmax",
+    "abs", "min", "max", "rand", "frand", "srand", "tid", "lock", "unlock", "join", "spawn",
+];
+
+impl<'p, S: Sink> Interp<'p, S> {
+    /// Prepare a run: resolves call targets and sets up the main thread.
+    pub fn new(prog: &'p Program, sink: S, cfg: RunConfig) -> Result<Self, RuntimeError> {
+        let mut targets = HashMap::new();
+        for (i, f) in prog.module.functions.iter().enumerate() {
+            targets.insert(f.name.clone(), Target::User(i));
+        }
+        for b in BUILTINS {
+            targets
+                .entry(b.to_string())
+                .or_insert(Target::Builtin(b));
+        }
+        let (main_id, _) = prog.module.function("main").ok_or(RuntimeError::NoMain)?;
+        let mut it = Interp {
+            prog,
+            sink,
+            cfg: cfg.clone(),
+            globals: vec![Value::I64(0); prog.global_words],
+            threads: Vec::new(),
+            locks: HashMap::new(),
+            steps: 0,
+            user_rng: cfg.seed | 1,
+            sched_rng: cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            printed: Vec::new(),
+            targets,
+        };
+        it.spawn_thread(main_id.index(), &[], None, 0);
+        Ok(it)
+    }
+
+    fn sched_next(&mut self) -> u64 {
+        let mut x = self.sched_rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.sched_rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn user_next(&mut self) -> u64 {
+        let mut x = self.user_rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.user_rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn spawn_thread(&mut self, func: usize, args: &[Value], parent: Option<u32>, line: u32) -> u32 {
+        let tid = self.threads.len() as u32;
+        let mut th = Thread {
+            mem: Vec::new(),
+            sp: 0,
+            frames: Vec::new(),
+            state: TState::Ready,
+            buf: Vec::new(),
+            steps: 0,
+            ret: None,
+        };
+        Self::push_frame_raw(self.prog, &mut th, func, args, None);
+        self.threads.push(th);
+        if let Some(p) = parent {
+            self.emit(
+                p as usize,
+                Event::ThreadSpawn {
+                    parent: p,
+                    child: tid,
+                    line,
+                },
+            );
+            self.flush(p as usize);
+        }
+        let f = &self.prog.module.functions[func];
+        self.emit(
+            tid as usize,
+            Event::FuncEnter {
+                func: func as u32,
+                line: f.start_line,
+                thread: tid,
+            },
+        );
+        tid
+    }
+
+    fn push_frame_raw(
+        prog: &Program,
+        th: &mut Thread,
+        func: usize,
+        args: &[Value],
+        ret_dst: Option<RegId>,
+    ) {
+        let f = &prog.module.functions[func];
+        let base = th.sp;
+        let need = base + prog.frame_words[func];
+        if th.mem.len() < need {
+            th.mem.resize(need, Value::I64(0));
+        }
+        th.sp = need;
+        // Bind arguments into parameter slots (register-style: no events).
+        for (i, a) in args.iter().enumerate() {
+            let off = prog.local_off[func][i] as usize;
+            th.mem[base + off] = *a;
+        }
+        th.frames.push(Frame {
+            func,
+            block: 0,
+            pc: 0,
+            regs: vec![Value::I64(0); f.num_regs as usize],
+            base,
+            ret_dst,
+            regions: Vec::new(),
+        });
+    }
+
+    #[inline]
+    fn emit(&mut self, t: usize, ev: Event) {
+        if self.cfg.racy_delivery {
+            self.threads[t].buf.push(ev);
+            if self.threads[t].buf.len() >= self.cfg.buffer_cap {
+                self.flush(t);
+            }
+        } else {
+            self.sink.event(&ev);
+        }
+    }
+
+    fn flush(&mut self, t: usize) {
+        if !self.cfg.racy_delivery {
+            return;
+        }
+        let buf = std::mem::take(&mut self.threads[t].buf);
+        for ev in &buf {
+            self.sink.event(ev);
+        }
+    }
+
+    /// Execute the program to completion.
+    pub fn run(mut self) -> Result<RunResult, RuntimeError> {
+        let mut cur = 0usize;
+        loop {
+            if self.steps > self.cfg.max_steps {
+                return Err(RuntimeError::StepLimit);
+            }
+            // Wake blocked threads whose condition now holds.
+            for i in 0..self.threads.len() {
+                match self.threads[i].state {
+                    TState::BlockedJoin(t) => {
+                        if self
+                            .threads
+                            .get(t as usize)
+                            .map(|x| x.state == TState::Done)
+                            .unwrap_or(false)
+                        {
+                            self.threads[i].state = TState::Ready;
+                        }
+                    }
+                    TState::BlockedLock(l) => {
+                        if !self.locks.contains_key(&l) {
+                            self.threads[i].state = TState::Ready;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Round-robin pick.
+            let n = self.threads.len();
+            let mut picked = None;
+            for k in 0..n {
+                let t = (cur + k) % n;
+                if self.threads[t].state == TState::Ready {
+                    picked = Some(t);
+                    break;
+                }
+            }
+            let Some(t) = picked else {
+                if self.threads.iter().all(|t| t.state == TState::Done) {
+                    break;
+                }
+                return Err(RuntimeError::Deadlock);
+            };
+            let jitter = (self.sched_next() % self.cfg.quantum.max(1) as u64) as u32;
+            let q = self.cfg.quantum + jitter;
+            for _ in 0..q {
+                if self.threads[t].state != TState::Ready {
+                    break;
+                }
+                self.step(t)?;
+            }
+            cur = t + 1;
+        }
+        for t in 0..self.threads.len() {
+            self.flush(t);
+        }
+        Ok(RunResult {
+            ret: self.threads[0].ret,
+            printed: self.printed,
+            steps: self.steps,
+            threads: self.threads.len() as u32,
+        })
+    }
+
+    #[inline]
+    fn reg(&self, t: usize, r: RegId) -> Value {
+        self.threads[t].frames.last().unwrap().regs[r.index()]
+    }
+
+    #[inline]
+    fn op_val(&self, t: usize, op: &Operand) -> Value {
+        match op {
+            Operand::Reg(r) => self.reg(t, *r),
+            Operand::Const(v) => *v,
+        }
+    }
+
+    #[inline]
+    fn set_reg(&mut self, t: usize, r: RegId, v: Value) {
+        *self.threads[t]
+            .frames
+            .last_mut()
+            .unwrap()
+            .regs
+            .get_mut(r.index())
+            .unwrap() = v;
+    }
+
+    /// Resolve a place to `(logical address, storage)` and check bounds.
+    fn resolve(
+        &self,
+        t: usize,
+        place: &Place,
+        line: u32,
+    ) -> Result<(u64, bool, usize, u32), RuntimeError> {
+        // Returns (addr, is_global, storage index, symbol).
+        let idx = match &place.index {
+            Some(op) => self.op_val(t, op).as_i64(),
+            None => 0,
+        };
+        let fr = self.threads[t].frames.last().unwrap();
+        match place.var {
+            VarRef::Global(g) => {
+                let gv = &self.prog.module.globals[g.index()];
+                if idx < 0 || idx as u64 >= gv.elems {
+                    return Err(RuntimeError::OutOfBounds {
+                        line,
+                        var: gv.name.clone(),
+                        index: idx,
+                    });
+                }
+                let addr = self.prog.global_addr[g.index()] + idx as u64 * WORD;
+                let slot = ((addr - GLOBAL_BASE) / WORD) as usize;
+                Ok((addr, true, slot, self.prog.global_syms[g.index()]))
+            }
+            VarRef::Local(l) => {
+                let lv = &self.prog.module.functions[fr.func].locals[l.index()];
+                if idx < 0 || idx as u64 >= lv.elems {
+                    return Err(RuntimeError::OutOfBounds {
+                        line,
+                        var: lv.name.clone(),
+                        index: idx,
+                    });
+                }
+                let word = fr.base as u64 + self.prog.local_off[fr.func][l.index()] + idx as u64;
+                let addr = STACK_BASE + t as u64 * STACK_SPAN + word * WORD;
+                Ok((
+                    addr,
+                    false,
+                    word as usize,
+                    self.prog.local_syms[fr.func][l.index()],
+                ))
+            }
+        }
+    }
+
+    /// Execute a single instruction or terminator of thread `t`.
+    fn step(&mut self, t: usize) -> Result<(), RuntimeError> {
+        let prog = self.prog;
+        let fr = self.threads[t].frames.last().unwrap();
+        let func_idx = fr.func;
+        let f = &prog.module.functions[func_idx];
+        let block = &f.blocks[fr.block];
+        let pc = fr.pc;
+        self.steps += 1;
+        self.threads[t].steps += 1;
+
+        if pc >= block.instrs.len() {
+            return self.terminator(t, func_idx, &block.term);
+        }
+        let instr = &block.instrs[pc];
+        match instr {
+            Instr::Load { dst, place, line } => {
+                let (addr, is_global, slot, sym) = self.resolve(t, place, *line)?;
+                let v = if is_global {
+                    self.globals[slot]
+                } else {
+                    self.threads[t].mem[slot]
+                };
+                self.set_reg(t, *dst, v);
+                let ts = self.steps;
+                let op = prog.op_ids[func_idx][self.threads[t].frames.last().unwrap().block][pc];
+                self.emit(
+                    t,
+                    Event::Mem(MemEvent {
+                        is_write: false,
+                        addr,
+                        op,
+                        line: *line,
+                        var: sym,
+                        thread: t as u32,
+                        ts,
+                    }),
+                );
+                self.advance(t);
+            }
+            Instr::Store { place, src, line } => {
+                let v = self.op_val(t, src);
+                let (addr, is_global, slot, sym) = self.resolve(t, place, *line)?;
+                if is_global {
+                    self.globals[slot] = v;
+                } else {
+                    self.threads[t].mem[slot] = v;
+                }
+                let ts = self.steps;
+                let op = prog.op_ids[func_idx][self.threads[t].frames.last().unwrap().block][pc];
+                self.emit(
+                    t,
+                    Event::Mem(MemEvent {
+                        is_write: true,
+                        addr,
+                        op,
+                        line: *line,
+                        var: sym,
+                        thread: t as u32,
+                        ts,
+                    }),
+                );
+                self.advance(t);
+            }
+            Instr::Bin {
+                dst,
+                op,
+                lhs,
+                rhs,
+                line,
+            } => {
+                let a = self.op_val(t, lhs);
+                let b = self.op_val(t, rhs);
+                let v = bin_eval(*op, a, b, *line)?;
+                self.set_reg(t, *dst, v);
+                self.advance(t);
+            }
+            Instr::Un { dst, op, src, .. } => {
+                let v = self.op_val(t, src);
+                let r = match op {
+                    UnOp::Neg => match v {
+                        Value::I64(x) => Value::I64(x.wrapping_neg()),
+                        Value::F64(x) => Value::F64(-x),
+                    },
+                    UnOp::Not => Value::I64(i64::from(!v.is_truthy())),
+                    UnOp::ToF64 => Value::F64(v.as_f64()),
+                    UnOp::ToI64 => Value::I64(v.as_i64()),
+                };
+                self.set_reg(t, *dst, r);
+                self.advance(t);
+            }
+            Instr::Call {
+                dst,
+                func: callee,
+                args,
+                line,
+            } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.op_val(t, a)).collect();
+                // Targets map is only mutated during construction.
+                match self.targets.get(callee.as_str()) {
+                    Some(Target::User(fi)) => {
+                        let fi = *fi;
+                        self.advance(t); // resume after the call on return
+                        let dst = *dst;
+                        let th = &mut self.threads[t];
+                        Self::push_frame_raw(prog, th, fi, &vals, dst);
+                        let callee_f = &prog.module.functions[fi];
+                        let start = callee_f.start_line;
+                        self.emit(
+                            t,
+                            Event::FuncEnter {
+                                func: fi as u32,
+                                line: start,
+                                thread: t as u32,
+                            },
+                        );
+                    }
+                    Some(Target::Builtin(name)) => {
+                        let name = *name;
+                        let dst = *dst;
+                        let line = *line;
+                        self.builtin(t, name, &vals, dst, line)?;
+                    }
+                    None => return Err(RuntimeError::UnknownFunction(callee.clone())),
+                }
+            }
+            Instr::RegionEnter { region, line } => {
+                let r = &f.regions[region.index()];
+                let th_steps = self.threads[t].steps;
+                self.threads[t]
+                    .frames
+                    .last_mut()
+                    .unwrap()
+                    .regions
+                    .push(RegionState {
+                        region: region.0,
+                        th_steps_at_enter: th_steps,
+                        iters: 0,
+                    });
+                self.emit(
+                    t,
+                    Event::RegionEnter {
+                        func: func_idx as u32,
+                        region: region.0,
+                        kind: r.kind,
+                        start_line: *line,
+                        end_line: r.end_line,
+                        thread: t as u32,
+                    },
+                );
+                self.advance(t);
+            }
+            Instr::RegionExit { region, .. } => {
+                self.pop_regions_through(t, func_idx, region.0);
+                self.advance(t);
+            }
+            Instr::LoopIter { region, .. } => {
+                // Abrupt exits (continue) may leave inner branch regions on
+                // the stack; close them before opening the next iteration.
+                self.pop_regions_above(t, func_idx, region.0);
+                self.emit(
+                    t,
+                    Event::LoopIter {
+                        func: func_idx as u32,
+                        region: region.0,
+                        thread: t as u32,
+                    },
+                );
+                self.advance(t);
+            }
+            Instr::LoopBody { region, .. } => {
+                let fr = self.threads[t].frames.last_mut().unwrap();
+                if let Some(top) = fr.regions.last_mut() {
+                    if top.region == region.0 {
+                        top.iters += 1;
+                    }
+                }
+                self.advance(t);
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn advance(&mut self, t: usize) {
+        self.threads[t].frames.last_mut().unwrap().pc += 1;
+    }
+
+    /// Pop and emit exits for all regions strictly above `region` on the
+    /// current frame's region stack.
+    fn pop_regions_above(&mut self, t: usize, func_idx: usize, region: u32) {
+        loop {
+            let fr = self.threads[t].frames.last().unwrap();
+            match fr.regions.last() {
+                Some(top) if top.region != region => {
+                    self.pop_one_region(t, func_idx);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Pop regions up to and including `region`, emitting exit events.
+    fn pop_regions_through(&mut self, t: usize, func_idx: usize, region: u32) {
+        self.pop_regions_above(t, func_idx, region);
+        let fr = self.threads[t].frames.last().unwrap();
+        if fr.regions.last().map(|r| r.region) == Some(region) {
+            self.pop_one_region(t, func_idx);
+        }
+    }
+
+    fn pop_one_region(&mut self, t: usize, func_idx: usize) {
+        let th_steps = self.threads[t].steps;
+        let fr = self.threads[t].frames.last_mut().unwrap();
+        let st = fr.regions.pop().expect("region stack underflow");
+        let frame_base = fr.base as u64;
+        let rinfo = &self.prog.module.functions[func_idx].regions[st.region as usize];
+        let ev = Event::RegionExit(RegionExitEvent {
+            func: func_idx as u32,
+            region: st.region,
+            kind: rinfo.kind,
+            start_line: rinfo.start_line,
+            end_line: rinfo.end_line,
+            iters: st.iters,
+            dyn_instrs: th_steps - st.th_steps_at_enter,
+            thread: t as u32,
+        });
+        self.emit(t, ev);
+        // Region-scoped locals die here (variable lifetime analysis).
+        let owned = rinfo.owned_locals.clone();
+        for l in owned {
+            let off = self.prog.local_off[func_idx][l.index()];
+            let words = self.prog.module.functions[func_idx].locals[l.index()].elems;
+            let addr = STACK_BASE + t as u64 * STACK_SPAN + (frame_base + off) * WORD;
+            self.emit(
+                t,
+                Event::VarDealloc {
+                    addr,
+                    words,
+                    thread: t as u32,
+                },
+            );
+        }
+    }
+
+    fn terminator(&mut self, t: usize, func_idx: usize, term: &Terminator) -> Result<(), RuntimeError> {
+        match term {
+            Terminator::Jump(b) => {
+                let fr = self.threads[t].frames.last_mut().unwrap();
+                fr.block = b.index();
+                fr.pc = 0;
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let v = self.op_val(t, cond);
+                let fr = self.threads[t].frames.last_mut().unwrap();
+                fr.block = if v.is_truthy() {
+                    then_bb.index()
+                } else {
+                    else_bb.index()
+                };
+                fr.pc = 0;
+            }
+            Terminator::Return(v) => {
+                let val = v.as_ref().map(|o| self.op_val(t, o));
+                // Close any regions still open in this frame (return from
+                // inside a loop).
+                while !self.threads[t]
+                    .frames
+                    .last()
+                    .unwrap()
+                    .regions
+                    .is_empty()
+                {
+                    self.pop_one_region(t, func_idx);
+                }
+                let f = &self.prog.module.functions[func_idx];
+                let end_line = f.end_line;
+                let fr = self.threads[t].frames.pop().unwrap();
+                // The whole frame dies: one dealloc event for its range.
+                let words = self.prog.frame_words[func_idx] as u64;
+                if words > 0 {
+                    let addr = STACK_BASE + t as u64 * STACK_SPAN + fr.base as u64 * WORD;
+                    self.emit(
+                        t,
+                        Event::VarDealloc {
+                            addr,
+                            words,
+                            thread: t as u32,
+                        },
+                    );
+                }
+                self.emit(
+                    t,
+                    Event::FuncExit {
+                        func: func_idx as u32,
+                        line: end_line,
+                        thread: t as u32,
+                    },
+                );
+                self.threads[t].sp = fr.base;
+                if self.threads[t].frames.is_empty() {
+                    self.threads[t].state = TState::Done;
+                    self.threads[t].ret = val;
+                    self.emit(t, Event::ThreadEnd { thread: t as u32 });
+                    self.flush(t);
+                } else if let (Some(dst), Some(v)) = (fr.ret_dst, val) {
+                    self.set_reg(t, dst, v);
+                }
+            }
+            Terminator::Unreachable => unreachable!("verified IR has no unreachable terminators"),
+        }
+        Ok(())
+    }
+
+    fn builtin(
+        &mut self,
+        t: usize,
+        name: &str,
+        args: &[Value],
+        dst: Option<RegId>,
+        line: u32,
+    ) -> Result<(), RuntimeError> {
+        let mut result: Option<Value> = None;
+        match name {
+            "print" => {
+                let s = args
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                self.printed.push(s);
+            }
+            "sqrt" => result = Some(Value::F64(args[0].as_f64().sqrt())),
+            "sin" => result = Some(Value::F64(args[0].as_f64().sin())),
+            "cos" => result = Some(Value::F64(args[0].as_f64().cos())),
+            "exp" => result = Some(Value::F64(args[0].as_f64().exp())),
+            "log" => result = Some(Value::F64(args[0].as_f64().ln())),
+            "fabs" => result = Some(Value::F64(args[0].as_f64().abs())),
+            "floor" => result = Some(Value::F64(args[0].as_f64().floor())),
+            "ceil" => result = Some(Value::F64(args[0].as_f64().ceil())),
+            "pow" => result = Some(Value::F64(args[0].as_f64().powf(args[1].as_f64()))),
+            "fmin" => result = Some(Value::F64(args[0].as_f64().min(args[1].as_f64()))),
+            "fmax" => result = Some(Value::F64(args[0].as_f64().max(args[1].as_f64()))),
+            "abs" => result = Some(Value::I64(args[0].as_i64().wrapping_abs())),
+            "min" => result = Some(Value::I64(args[0].as_i64().min(args[1].as_i64()))),
+            "max" => result = Some(Value::I64(args[0].as_i64().max(args[1].as_i64()))),
+            "rand" => {
+                let v = (self.user_next() >> 33) as i64;
+                result = Some(Value::I64(v));
+            }
+            "frand" => {
+                let v = (self.user_next() >> 11) as f64 / (1u64 << 53) as f64;
+                result = Some(Value::F64(v));
+            }
+            "srand" => {
+                self.user_rng = (args[0].as_i64() as u64) | 1;
+            }
+            "tid" => result = Some(Value::I64(t as i64)),
+            "spawn" => {
+                let fi = args[0].as_i64() as usize;
+                let child = self.spawn_thread(fi, &args[1..], Some(t as u32), line);
+                result = Some(Value::I64(child as i64));
+            }
+            "join" => {
+                let target = args[0].as_i64();
+                if target < 0 || target as usize >= self.threads.len() {
+                    return Err(RuntimeError::BadJoin { line });
+                }
+                if self.threads[target as usize].state != TState::Done {
+                    self.threads[t].state = TState::BlockedJoin(target as u32);
+                    return Ok(()); // do not advance; retried on wake
+                }
+                self.emit(
+                    t,
+                    Event::ThreadJoin {
+                        thread: t as u32,
+                        target: target as u32,
+                        line,
+                    },
+                );
+                self.flush(t);
+            }
+            "lock" => {
+                let id = args[0].as_i64();
+                match self.locks.get(&id) {
+                    None => {
+                        self.locks.insert(id, t as u32);
+                        self.emit(
+                            t,
+                            Event::LockAcquire {
+                                id,
+                                thread: t as u32,
+                                line,
+                            },
+                        );
+                    }
+                    Some(holder) if *holder == t as u32 => {
+                        return Err(RuntimeError::RecursiveLock { line })
+                    }
+                    Some(_) => {
+                        self.threads[t].state = TState::BlockedLock(id);
+                        return Ok(()); // do not advance; retried on wake
+                    }
+                }
+            }
+            "unlock" => {
+                let id = args[0].as_i64();
+                if self.locks.get(&id) != Some(&(t as u32)) {
+                    return Err(RuntimeError::BadUnlock { line });
+                }
+                self.emit(
+                    t,
+                    Event::LockRelease {
+                        id,
+                        thread: t as u32,
+                        line,
+                    },
+                );
+                self.flush(t); // release: make everything visible
+                self.locks.remove(&id);
+            }
+            other => return Err(RuntimeError::UnknownFunction(other.to_string())),
+        }
+        if let (Some(d), Some(v)) = (dst, result) {
+            self.set_reg(t, d, v);
+        }
+        self.advance(t);
+        Ok(())
+    }
+}
+
+fn bin_eval(op: BinOp, a: Value, b: Value, line: u32) -> Result<Value, RuntimeError> {
+    use BinOp::*;
+    let float = matches!(a, Value::F64(_)) || matches!(b, Value::F64(_));
+    Ok(match op {
+        Add | Sub | Mul | Div if float => {
+            let (x, y) = (a.as_f64(), b.as_f64());
+            Value::F64(match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                _ => unreachable!(),
+            })
+        }
+        Add => Value::I64(a.as_i64().wrapping_add(b.as_i64())),
+        Sub => Value::I64(a.as_i64().wrapping_sub(b.as_i64())),
+        Mul => Value::I64(a.as_i64().wrapping_mul(b.as_i64())),
+        Div => {
+            let d = b.as_i64();
+            if d == 0 {
+                return Err(RuntimeError::DivByZero { line });
+            }
+            Value::I64(a.as_i64().wrapping_div(d))
+        }
+        Rem => {
+            let d = b.as_i64();
+            if d == 0 {
+                return Err(RuntimeError::DivByZero { line });
+            }
+            Value::I64(a.as_i64().wrapping_rem(d))
+        }
+        And => Value::I64(a.as_i64() & b.as_i64()),
+        Or => Value::I64(a.as_i64() | b.as_i64()),
+        Xor => Value::I64(a.as_i64() ^ b.as_i64()),
+        Shl => Value::I64(a.as_i64().wrapping_shl(b.as_i64() as u32 & 63)),
+        Shr => Value::I64(a.as_i64().wrapping_shr(b.as_i64() as u32 & 63)),
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let r = if float {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    Ge => x >= y,
+                    _ => unreachable!(),
+                }
+            } else {
+                let (x, y) = (a.as_i64(), b.as_i64());
+                match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    Ge => x >= y,
+                    _ => unreachable!(),
+                }
+            };
+            Value::from(r)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{NullSink, RecordingSink};
+
+    fn exec(src: &str) -> RunResult {
+        let m = lang::compile(src, "t").unwrap();
+        let p = Program::new(m);
+        run(&p, NullSink).unwrap()
+    }
+
+    fn exec_rec(src: &str) -> (RunResult, Vec<Event>) {
+        let m = lang::compile(src, "t").unwrap();
+        let p = Program::new(m);
+        let mut sink = RecordingSink::default();
+        let r = run(&p, &mut sink).unwrap();
+        (r, sink.events)
+    }
+
+    #[test]
+    fn loop_sum() {
+        let r = exec(
+            "fn main() -> int {
+                int s = 0;
+                for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+                return s;
+            }",
+        );
+        assert_eq!(r.ret, Some(Value::I64(45)));
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        let r = exec(
+            "fn fac(int n) -> int {
+                if (n <= 1) { return 1; }
+                return n * fac(n - 1);
+            }
+            fn main() -> int { return fac(6); }",
+        );
+        assert_eq!(r.ret, Some(Value::I64(720)));
+    }
+
+    #[test]
+    fn global_array_ops() {
+        let r = exec(
+            "global int a[8];
+            fn main() -> int {
+                for (int i = 0; i < 8; i = i + 1) { a[i] = i * i; }
+                int s = 0;
+                for (int i = 0; i < 8; i = i + 1) { s += a[i]; }
+                return s;
+            }",
+        );
+        assert_eq!(r.ret, Some(Value::I64(140)));
+    }
+
+    #[test]
+    fn float_math() {
+        let r = exec(
+            "fn main() -> float {
+                float x = 2.0;
+                return sqrt(x * 8.0);
+            }",
+        );
+        assert_eq!(r.ret, Some(Value::F64(4.0)));
+    }
+
+    #[test]
+    fn print_collects_output() {
+        let r = exec("fn main() { print(1, 2); print(3); }");
+        assert_eq!(r.printed, vec!["1 2", "3"]);
+    }
+
+    #[test]
+    fn while_break_continue() {
+        let r = exec(
+            "fn main() -> int {
+                int i = 0; int s = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i > 10) { break; }
+                    if (i % 2 == 0) { continue; }
+                    s += i;
+                }
+                return s;
+            }",
+        );
+        assert_eq!(r.ret, Some(Value::I64(25))); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn spawn_join_with_locks() {
+        let r = exec(
+            "global int counter;
+            fn worker(int n) {
+                for (int i = 0; i < n; i = i + 1) {
+                    lock(1);
+                    counter += 1;
+                    unlock(1);
+                }
+            }
+            fn main() -> int {
+                int t1 = spawn(worker, 50);
+                int t2 = spawn(worker, 50);
+                join(t1);
+                join(t2);
+                return counter;
+            }",
+        );
+        assert_eq!(r.ret, Some(Value::I64(100)));
+        assert_eq!(r.threads, 3);
+    }
+
+    #[test]
+    fn loop_iteration_count_in_region_exit() {
+        let (_, evs) = exec_rec(
+            "fn main() {
+                int s = 0;
+                for (int i = 0; i < 7; i = i + 1) { s += i; }
+            }",
+        );
+        let iters = evs
+            .iter()
+            .find_map(|e| match e {
+                Event::RegionExit(x) if x.kind == mir::RegionKind::Loop => Some(x.iters),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(iters, 7);
+    }
+
+    #[test]
+    fn mem_events_have_names_and_lines() {
+        let m = lang::compile("global int g;\nfn main() { g = 4; int x = g; }", "t").unwrap();
+        let p = Program::new(m);
+        let mut sink = RecordingSink::default();
+        run(&p, &mut sink).unwrap();
+        let mems: Vec<&MemEvent> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Mem(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(mems.len(), 3); // store g, load g, store x
+        assert!(mems[0].is_write);
+        assert_eq!(p.symbol(mems[0].var), "g");
+        assert_eq!(mems[0].line, 2);
+        assert!(!mems[1].is_write);
+        assert_eq!(p.symbol(mems[2].var), "x");
+    }
+
+    #[test]
+    fn frame_dealloc_reuses_addresses() {
+        let (_, evs) = exec_rec(
+            "fn leaf() -> int { int local = 3; return local; }
+            fn main() { int a = leaf(); int b = leaf(); }",
+        );
+        // The two calls to leaf() must produce writes to the same address
+        // (stack reuse) with a dealloc in between.
+        let writes: Vec<u64> = evs
+            .iter()
+            .filter_map(|e| match e {
+                Event::Mem(m) if m.is_write && m.addr >= STACK_BASE => Some(m.addr),
+                _ => None,
+            })
+            .collect();
+        let deallocs = evs
+            .iter()
+            .filter(|e| matches!(e, Event::VarDealloc { .. }))
+            .count();
+        assert!(deallocs >= 2);
+        // `local` written twice at the same stack slot.
+        let mut counts = std::collections::HashMap::new();
+        for w in writes {
+            *counts.entry(w).or_insert(0) += 1;
+        }
+        assert!(counts.values().any(|&c| c >= 2));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let m = lang::compile(
+            "fn main() { lock(1); int t = spawn(helper, 0); join(t); }
+            fn helper(int x) { lock(1); unlock(1); }",
+            "t",
+        )
+        .unwrap();
+        let p = Program::new(m);
+        assert_eq!(run(&p, NullSink).unwrap_err(), RuntimeError::Deadlock);
+    }
+
+    #[test]
+    fn div_by_zero_detected() {
+        let m = lang::compile("fn main() -> int { int z = 0; return 4 / z; }", "t").unwrap();
+        let p = Program::new(m);
+        assert!(matches!(
+            run(&p, NullSink).unwrap_err(),
+            RuntimeError::DivByZero { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let m = lang::compile(
+            "global int a[4]; fn main() { int i = 9; a[i] = 1; }",
+            "t",
+        )
+        .unwrap();
+        let p = Program::new(m);
+        assert!(matches!(
+            run(&p, NullSink).unwrap_err(),
+            RuntimeError::OutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let src = "global int c;
+            fn w(int n) { for (int i = 0; i < n; i = i + 1) { lock(0); c += 1; unlock(0); } }
+            fn main() -> int { int a = spawn(w, 20); int b = spawn(w, 30); join(a); join(b); return c; }";
+        let m = lang::compile(src, "t").unwrap();
+        let p = Program::new(m);
+        let mut s1 = RecordingSink::default();
+        let mut s2 = RecordingSink::default();
+        run(&p, &mut s1).unwrap();
+        run(&p, &mut s2).unwrap();
+        assert_eq!(s1.events, s2.events, "same seed must give identical traces");
+    }
+
+    #[test]
+    fn racy_delivery_preserves_per_thread_order() {
+        let src = "global int c;
+            fn w(int n) { for (int i = 0; i < n; i = i + 1) { c += 1; } }
+            fn main() { int a = spawn(w, 10); int b = spawn(w, 10); join(a); join(b); }";
+        let m = lang::compile(src, "t").unwrap();
+        let p = Program::new(m);
+        let mut sink = RecordingSink::default();
+        let cfg = RunConfig {
+            racy_delivery: true,
+            buffer_cap: 8,
+            ..Default::default()
+        };
+        run_with_config(&p, &mut sink, cfg).unwrap();
+        // Per-thread timestamps must be monotone even if global order is not.
+        let mut last: HashMap<u32, u64> = HashMap::new();
+        for e in &sink.events {
+            if let Event::Mem(m) = e {
+                let prev = last.insert(m.thread, m.ts);
+                if let Some(p) = prev {
+                    assert!(m.ts > p, "per-thread order violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_call_in_loop_regions_balanced() {
+        let (_, evs) = exec_rec(
+            "fn g(int x) -> int { if (x > 0) { return x; } return 0 - x; }
+            fn main() {
+                int s = 0;
+                for (int i = 0; i < 5; i = i + 1) { s += g(i - 2); }
+            }",
+        );
+        let enters = evs
+            .iter()
+            .filter(|e| matches!(e, Event::RegionEnter { .. }))
+            .count();
+        let exits = evs
+            .iter()
+            .filter(|e| matches!(e, Event::RegionExit(_)))
+            .count();
+        assert_eq!(enters, exits, "region events must balance");
+    }
+}

@@ -1,0 +1,188 @@
+//! Executable program: a verified module plus precomputed memory layout and
+//! symbol table.
+
+use mir::{Module, Ty};
+
+/// Machine word size in bytes; every IR cell is one word.
+pub const WORD: u64 = 8;
+/// Base address of the global data segment.
+pub const GLOBAL_BASE: u64 = 0x1000_0000;
+/// Base address of thread 0's stack segment.
+pub const STACK_BASE: u64 = 0x5000_0000;
+/// Address span reserved per thread stack.
+pub const STACK_SPAN: u64 = 0x0100_0000;
+
+/// A program ready for execution: module + layout + symbols.
+///
+/// The layout mimics a conventional process image: globals live in a data
+/// segment, locals in per-thread stacks whose frames are reused as calls
+/// return — address reuse is what makes variable-lifetime analysis
+/// (dissertation §2.3.5) necessary and is reproduced faithfully here.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The underlying module.
+    pub module: Module,
+    /// Symbol table: variable names referenced by `MemEvent::var`.
+    symbols: Vec<String>,
+    /// Per-global symbol id.
+    pub(crate) global_syms: Vec<u32>,
+    /// Per-function, per-local symbol id.
+    pub(crate) local_syms: Vec<Vec<u32>>,
+    /// Per-global base address.
+    pub(crate) global_addr: Vec<u64>,
+    /// Total words in the global segment.
+    pub(crate) global_words: usize,
+    /// Per-function, per-local word offset within the frame.
+    pub(crate) local_off: Vec<Vec<u64>>,
+    /// Per-function frame size in words.
+    pub(crate) frame_words: Vec<usize>,
+    /// Static memory-operation ids: `op_ids[func][block][pc]`, `u32::MAX`
+    /// for non-memory instructions.
+    pub(crate) op_ids: Vec<Vec<Vec<u32>>>,
+    /// Total number of static memory operations.
+    num_mem_ops: u32,
+}
+
+impl Program {
+    /// Prepare a module for execution. The module must pass
+    /// [`mir::verify_module`]; use [`lang::compile`] to obtain verified
+    /// modules from source.
+    pub fn new(module: Module) -> Self {
+        let mut symbols = Vec::new();
+        let intern = |name: &str, symbols: &mut Vec<String>| -> u32 {
+            if let Some(i) = symbols.iter().position(|s| s == name) {
+                i as u32
+            } else {
+                symbols.push(name.to_string());
+                (symbols.len() - 1) as u32
+            }
+        };
+
+        let mut global_syms = Vec::new();
+        let mut global_addr = Vec::new();
+        let mut next = GLOBAL_BASE;
+        for g in &module.globals {
+            global_syms.push(intern(&g.name, &mut symbols));
+            global_addr.push(next);
+            next += g.elems * WORD;
+        }
+        let global_words = ((next - GLOBAL_BASE) / WORD) as usize;
+
+        let mut local_syms = Vec::new();
+        let mut local_off = Vec::new();
+        let mut frame_words = Vec::new();
+        for f in &module.functions {
+            let mut syms = Vec::new();
+            let mut offs = Vec::new();
+            let mut off = 0u64;
+            for v in &f.locals {
+                syms.push(intern(&v.name, &mut symbols));
+                offs.push(off);
+                off += v.elems;
+            }
+            local_syms.push(syms);
+            local_off.push(offs);
+            frame_words.push(off as usize);
+        }
+
+        let mut op_ids = Vec::new();
+        let mut next_op = 0u32;
+        for f in &module.functions {
+            let mut per_block = Vec::new();
+            for b in &f.blocks {
+                let mut ids = Vec::with_capacity(b.instrs.len());
+                for i in &b.instrs {
+                    if i.is_memory_op() {
+                        ids.push(next_op);
+                        next_op += 1;
+                    } else {
+                        ids.push(u32::MAX);
+                    }
+                }
+                per_block.push(ids);
+            }
+            op_ids.push(per_block);
+        }
+
+        Program {
+            module,
+            symbols,
+            global_syms,
+            local_syms,
+            global_addr,
+            global_words,
+            local_off,
+            frame_words,
+            op_ids,
+            num_mem_ops: next_op,
+        }
+    }
+
+    /// Total number of static memory operations (loads + stores) in the
+    /// program.
+    pub fn num_mem_ops(&self) -> u32 {
+        self.num_mem_ops
+    }
+
+    /// Resolve a symbol id to its variable name.
+    pub fn symbol(&self, sym: u32) -> &str {
+        &self.symbols[sym as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The base address of a global.
+    pub fn global_address(&self, name: &str) -> Option<u64> {
+        let (id, _) = self.module.global(name)?;
+        Some(self.global_addr[id.index()])
+    }
+
+    /// Element type of the cell at a global address, if it is in the global
+    /// segment.
+    pub fn global_ty_at(&self, addr: u64) -> Option<Ty> {
+        if !(GLOBAL_BASE..GLOBAL_BASE + (self.global_words as u64) * WORD).contains(&addr) {
+            return None;
+        }
+        for (i, g) in self.module.globals.iter().enumerate() {
+            let base = self.global_addr[i];
+            if (base..base + g.elems * WORD).contains(&addr) {
+                return Some(g.ty);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mir::{ModuleBuilder, Ty};
+
+    #[test]
+    fn layout_assigns_disjoint_global_addresses() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.global("a", Ty::I64, 4, 1);
+        mb.global("b", Ty::F64, 2, 2);
+        let p = Program::new(mb.build());
+        let a = p.global_address("a").unwrap();
+        let b = p.global_address("b").unwrap();
+        assert_eq!(a, GLOBAL_BASE);
+        assert_eq!(b, GLOBAL_BASE + 4 * WORD);
+        assert_eq!(p.global_words, 6);
+        assert_eq!(p.global_ty_at(b), Some(Ty::F64));
+        assert_eq!(p.global_ty_at(0), None);
+    }
+
+    #[test]
+    fn symbols_are_interned_once() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.global("x", Ty::I64, 1, 1);
+        mb.global("y", Ty::I64, 1, 1);
+        let p = Program::new(mb.build());
+        assert_eq!(p.num_symbols(), 2);
+        assert_eq!(p.symbol(p.global_syms[0]), "x");
+    }
+}

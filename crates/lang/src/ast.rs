@@ -1,0 +1,186 @@
+//! Abstract syntax tree for mini-C.
+
+/// Scalar surface types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    Int,
+    Float,
+}
+
+impl Type {
+    /// The corresponding IR type.
+    pub fn to_ir(self) -> mir::Ty {
+        match self {
+            Type::Int => mir::Ty::I64,
+            Type::Float => mir::Ty::F64,
+        }
+    }
+}
+
+/// A whole program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub globals: Vec<GlobalDecl>,
+    pub functions: Vec<FuncDecl>,
+}
+
+/// `global int name;` or `global float name[N];`
+#[derive(Debug, Clone)]
+pub struct GlobalDecl {
+    pub name: String,
+    pub ty: Type,
+    pub elems: u64,
+    pub line: u32,
+}
+
+/// `fn name(params) -> ret { body }`
+#[derive(Debug, Clone)]
+pub struct FuncDecl {
+    pub name: String,
+    pub params: Vec<(String, Type)>,
+    pub ret: Option<Type>,
+    pub body: Block,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+/// A `{ … }` statement list.
+#[derive(Debug, Clone)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+/// An assignable location: `name` or `name[expr]`.
+#[derive(Debug, Clone)]
+pub struct LValue {
+    pub name: String,
+    pub index: Option<Expr>,
+    pub line: u32,
+}
+
+/// Binary operators (surface level, mapped 1:1 to [`mir::BinOp`]).
+pub type BinOp = mir::BinOp;
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `int x = e;` / `float a[N];`
+    Decl {
+        name: String,
+        ty: Type,
+        elems: u64,
+        init: Option<Expr>,
+        line: u32,
+    },
+    /// `lv = e;` or `lv op= e;` (op is the compound operator).
+    Assign {
+        target: LValue,
+        op: Option<BinOp>,
+        value: Expr,
+        line: u32,
+    },
+    /// `if (c) { … } else { … }`
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+        line: u32,
+        end_line: u32,
+    },
+    /// `while (c) { … }`
+    While {
+        cond: Expr,
+        body: Block,
+        line: u32,
+        end_line: u32,
+    },
+    /// `for (init; cond; step) { … }`
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Block,
+        line: u32,
+        end_line: u32,
+    },
+    /// `return e?;`
+    Return { value: Option<Expr>, line: u32 },
+    /// `break;`
+    Break { line: u32 },
+    /// `continue;`
+    Continue { line: u32 },
+    /// An expression evaluated for effect (e.g. a call).
+    ExprStmt { expr: Expr, line: u32 },
+    /// A nested block.
+    Block(Block),
+}
+
+impl Stmt {
+    /// The first source line of this statement.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Decl { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Break { line }
+            | Stmt::Continue { line }
+            | Stmt::ExprStmt { line, .. } => *line,
+            Stmt::Block(b) => b.line,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    Int(i64, u32),
+    Float(f64, u32),
+    /// Variable read.
+    Var(String, u32),
+    /// Array element read: `name[expr]`.
+    Index(String, Box<Expr>, u32),
+    /// Function or builtin call.
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: u32,
+    },
+    Un {
+        op: UnOpKind,
+        expr: Box<Expr>,
+        line: u32,
+    },
+}
+
+/// Surface unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOpKind {
+    Neg,
+    Not,
+}
+
+impl Expr {
+    /// The source line of this expression.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Int(_, l)
+            | Expr::Float(_, l)
+            | Expr::Var(_, l)
+            | Expr::Index(_, _, l)
+            | Expr::Call { line: l, .. }
+            | Expr::Bin { line: l, .. }
+            | Expr::Un { line: l, .. } => *l,
+        }
+    }
+}

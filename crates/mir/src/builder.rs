@@ -1,0 +1,340 @@
+//! Convenience builders for constructing modules and functions.
+//!
+//! The `lang` frontend drives these; tests also use them to construct small
+//! programs directly.
+
+use crate::instr::{BinOp, Instr, Operand, Place, Terminator, UnOp};
+use crate::module::{
+    BasicBlock, BlockId, Function, Global, GlobalId, LocalId, Module, RegId, Region, RegionId,
+    RegionKind, Var,
+};
+use crate::types::Ty;
+
+/// Builds a [`Module`] incrementally.
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Start a new module.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            module: Module::new(name),
+        }
+    }
+
+    /// Declare a global scalar or array.
+    pub fn global(&mut self, name: impl Into<String>, ty: Ty, elems: u64, line: u32) -> GlobalId {
+        let id = GlobalId(self.module.globals.len() as u32);
+        self.module.globals.push(Global {
+            name: name.into(),
+            ty,
+            elems,
+            line,
+        });
+        id
+    }
+
+    /// Add a finished function.
+    pub fn add_function(&mut self, f: Function) {
+        self.module.functions.push(f);
+    }
+
+    /// Finish and return the module.
+    pub fn build(self) -> Module {
+        self.module
+    }
+
+    /// Access the module under construction (for lookups during lowering).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+/// Builds a [`Function`] block by block.
+pub struct FunctionBuilder {
+    f: Function,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start a function. The entry block and the function-body region are
+    /// created automatically.
+    pub fn new(name: impl Into<String>, ret_ty: Option<Ty>, start_line: u32) -> Self {
+        let mut f = Function {
+            name: name.into(),
+            locals: Vec::new(),
+            num_params: 0,
+            ret_ty,
+            blocks: vec![BasicBlock::new()],
+            regions: Vec::new(),
+            num_regs: 0,
+            start_line,
+            end_line: start_line,
+        };
+        f.regions.push(Region {
+            kind: RegionKind::FunctionBody,
+            start_line,
+            end_line: start_line,
+            parent: None,
+            owned_locals: Vec::new(),
+        });
+        FunctionBuilder {
+            f,
+            current: BlockId(0),
+        }
+    }
+
+    /// Declare a parameter. Must be called before any non-param local.
+    pub fn param(&mut self, name: impl Into<String>, ty: Ty, line: u32) -> LocalId {
+        assert_eq!(
+            self.f.num_params,
+            self.f.locals.len(),
+            "params must precede locals"
+        );
+        let id = LocalId(self.f.locals.len() as u32);
+        self.f.locals.push(Var {
+            name: name.into(),
+            ty,
+            elems: 1,
+            is_param: true,
+            line,
+            region: None,
+        });
+        self.f.num_params += 1;
+        id
+    }
+
+    /// Declare a local scalar or array, optionally scoped to a region.
+    pub fn local(
+        &mut self,
+        name: impl Into<String>,
+        ty: Ty,
+        elems: u64,
+        line: u32,
+        region: Option<RegionId>,
+    ) -> LocalId {
+        let id = LocalId(self.f.locals.len() as u32);
+        self.f.locals.push(Var {
+            name: name.into(),
+            ty,
+            elems,
+            is_param: false,
+            line,
+            region,
+        });
+        if let Some(r) = region {
+            self.f.regions[r.index()].owned_locals.push(id);
+        }
+        id
+    }
+
+    /// Open a new control region nested under `parent`.
+    pub fn region(
+        &mut self,
+        kind: RegionKind,
+        start_line: u32,
+        end_line: u32,
+        parent: RegionId,
+    ) -> RegionId {
+        let id = RegionId(self.f.regions.len() as u32);
+        self.f.regions.push(Region {
+            kind,
+            start_line,
+            end_line,
+            parent: Some(parent),
+            owned_locals: Vec::new(),
+        });
+        id
+    }
+
+    /// The function-body region.
+    pub fn body_region(&self) -> RegionId {
+        RegionId(0)
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> RegId {
+        let r = RegId(self.f.num_regs);
+        self.f.num_regs += 1;
+        r
+    }
+
+    /// Create a new (empty) basic block and return its id.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.f.blocks.len() as u32);
+        self.f.blocks.push(BasicBlock::new());
+        id
+    }
+
+    /// Switch the insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Append an instruction to the current block.
+    pub fn push(&mut self, instr: Instr) {
+        self.f.blocks[self.current.index()].instrs.push(instr);
+    }
+
+    /// Emit `dst = load place` and return the destination register.
+    pub fn load(&mut self, place: Place, line: u32) -> RegId {
+        let dst = self.fresh_reg();
+        self.push(Instr::Load { dst, place, line });
+        dst
+    }
+
+    /// Emit `store place, src`.
+    pub fn store(&mut self, place: Place, src: impl Into<Operand>, line: u32) {
+        self.push(Instr::Store {
+            place,
+            src: src.into(),
+            line,
+        });
+    }
+
+    /// Emit `dst = lhs op rhs` and return the destination register.
+    pub fn bin(
+        &mut self,
+        op: BinOp,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+        line: u32,
+    ) -> RegId {
+        let dst = self.fresh_reg();
+        self.push(Instr::Bin {
+            dst,
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+            line,
+        });
+        dst
+    }
+
+    /// Emit `dst = op src` and return the destination register.
+    pub fn un(&mut self, op: UnOp, src: impl Into<Operand>, line: u32) -> RegId {
+        let dst = self.fresh_reg();
+        self.push(Instr::Un {
+            dst,
+            op,
+            src: src.into(),
+            line,
+        });
+        dst
+    }
+
+    /// Emit a call; returns the destination register if `has_result`.
+    pub fn call(
+        &mut self,
+        func: impl Into<String>,
+        args: Vec<Operand>,
+        has_result: bool,
+        line: u32,
+    ) -> Option<RegId> {
+        let dst = if has_result {
+            Some(self.fresh_reg())
+        } else {
+            None
+        };
+        self.push(Instr::Call {
+            dst,
+            func: func.into(),
+            args,
+            line,
+        });
+        dst
+    }
+
+    /// Set the terminator of the current block.
+    pub fn terminate(&mut self, term: Terminator) {
+        self.f.blocks[self.current.index()].term = term;
+    }
+
+    /// Set the terminator of the current block only if it is still
+    /// `Unreachable` (useful when lowering constructs that may have already
+    /// returned).
+    pub fn terminate_if_open(&mut self, term: Terminator) {
+        let blk = &mut self.f.blocks[self.current.index()];
+        if matches!(blk.term, Terminator::Unreachable) {
+            blk.term = term;
+        }
+    }
+
+    /// True if the current block has no terminator yet.
+    pub fn is_open(&self) -> bool {
+        matches!(
+            self.f.blocks[self.current.index()].term,
+            Terminator::Unreachable
+        )
+    }
+
+    /// Record the final source line and finish the function.
+    pub fn build(mut self, end_line: u32) -> Function {
+        self.f.end_line = end_line;
+        self.f.regions[0].end_line = end_line;
+        self.f
+    }
+
+    /// Mutable access to the function under construction.
+    pub fn function_mut(&mut self) -> &mut Function {
+        &mut self.f
+    }
+
+    /// Immutable access to the function under construction.
+    pub fn function(&self) -> &Function {
+        &self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::VarRef;
+    use crate::types::Value;
+
+    /// Build `fn main() { x = 1; return x; }` and check structure.
+    #[test]
+    fn build_trivial_function() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut fb = FunctionBuilder::new("main", Some(Ty::I64), 1);
+        let x = fb.local("x", Ty::I64, 1, 1, None);
+        fb.store(Place::scalar(VarRef::Local(x)), Value::I64(1), 2);
+        let r = fb.load(Place::scalar(VarRef::Local(x)), 3);
+        fb.terminate(Terminator::Return(Some(Operand::Reg(r))));
+        mb.add_function(fb.build(4));
+        let m = mb.build();
+        let (_, f) = m.function("main").unwrap();
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.num_instrs(), 2);
+        assert_eq!(f.num_regs, 1);
+        assert_eq!(f.end_line, 4);
+    }
+
+    #[test]
+    fn regions_and_scoped_locals() {
+        let mut fb = FunctionBuilder::new("f", None, 1);
+        let body = fb.body_region();
+        let looop = fb.region(RegionKind::Loop, 2, 5, body);
+        let v = fb.local("i", Ty::I64, 1, 2, Some(looop));
+        assert_eq!(fb.function().regions[looop.index()].owned_locals, vec![v]);
+        assert_eq!(fb.function().regions[looop.index()].parent, Some(body));
+    }
+
+    #[test]
+    fn terminate_if_open_respects_existing() {
+        let mut fb = FunctionBuilder::new("f", None, 1);
+        fb.terminate(Terminator::Return(None));
+        fb.terminate_if_open(Terminator::Jump(BlockId(0)));
+        assert_eq!(
+            fb.function().blocks[0].term,
+            Terminator::Return(None),
+            "existing terminator must not be overwritten"
+        );
+    }
+}

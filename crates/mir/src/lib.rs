@@ -1,0 +1,35 @@
+//! `mir` — a minimal three-address intermediate representation.
+//!
+//! This crate is the substrate that stands in for LLVM IR in the DiscoPoP
+//! reproduction. A [`Module`] holds globals and [`Function`]s; each function
+//! is a control-flow graph of [`BasicBlock`]s containing three-address
+//! [`Instr`]uctions that operate on an unbounded set of virtual registers and
+//! on memory *places* (scalar variables and array elements), mirroring the
+//! load/store style of LLVM `-O0` output that the DiscoPoP instrumentation
+//! pass consumes.
+//!
+//! Source-level metadata (line numbers, variable names, control-region
+//! boundaries) is carried on every instruction so that a dynamic analysis can
+//! report findings in terms of the original program, exactly as DiscoPoP does
+//! via LLVM debug metadata.
+//!
+//! The crate deliberately has no execution semantics — see the `interp` crate
+//! for the instrumenting interpreter — and no surface syntax — see the `lang`
+//! crate for the mini-C frontend.
+
+pub mod builder;
+pub mod cfg;
+pub mod instr;
+pub mod module;
+pub mod printer;
+pub mod types;
+pub mod verify;
+
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use instr::{BinOp, Instr, Operand, Place, Terminator, UnOp, VarRef};
+pub use module::{
+    BasicBlock, BlockId, Function, FuncId, Global, GlobalId, LocalId, Module, Region, RegionId,
+    RegionKind, RegId, Var,
+};
+pub use types::{Ty, Value};
+pub use verify::{verify_module, VerifyError};

@@ -1,0 +1,165 @@
+//! Human-readable text form of the IR, modelled on LLVM assembly
+//! (dissertation Fig. 1.2). Used for debugging, docs, and golden tests.
+
+use crate::instr::{Instr, Operand, Place, Terminator, VarRef};
+use crate::module::{Function, Module};
+use std::fmt::Write;
+
+/// Render an operand.
+fn fmt_operand(op: &Operand) -> String {
+    match op {
+        Operand::Reg(r) => format!("%{}", r.0),
+        Operand::Const(v) => v.to_string(),
+    }
+}
+
+/// Render a place against a function (to show variable names).
+fn fmt_place(p: &Place, f: &Function, m: &Module) -> String {
+    let base = match p.var {
+        VarRef::Global(g) => format!("@{}", m.globals[g.index()].name),
+        VarRef::Local(l) => format!("%{}", f.locals[l.index()].name),
+    };
+    match &p.index {
+        None => base,
+        Some(i) => format!("{base}[{}]", fmt_operand(i)),
+    }
+}
+
+/// Render one instruction.
+pub fn print_instr(i: &Instr, f: &Function, m: &Module) -> String {
+    match i {
+        Instr::Load { dst, place, line } => {
+            format!("%{} = load {}  ; line {line}", dst.0, fmt_place(place, f, m))
+        }
+        Instr::Store { place, src, line } => {
+            format!(
+                "store {}, {}  ; line {line}",
+                fmt_place(place, f, m),
+                fmt_operand(src)
+            )
+        }
+        Instr::Bin {
+            dst,
+            op,
+            lhs,
+            rhs,
+            line,
+        } => format!(
+            "%{} = {op} {}, {}  ; line {line}",
+            dst.0,
+            fmt_operand(lhs),
+            fmt_operand(rhs)
+        ),
+        Instr::Un { dst, op, src, line } => {
+            format!("%{} = {op} {}  ; line {line}", dst.0, fmt_operand(src))
+        }
+        Instr::Call {
+            dst,
+            func,
+            args,
+            line,
+        } => {
+            let args: Vec<String> = args.iter().map(fmt_operand).collect();
+            match dst {
+                Some(d) => format!("%{} = call @{func}({})  ; line {line}", d.0, args.join(", ")),
+                None => format!("call @{func}({})  ; line {line}", args.join(", ")),
+            }
+        }
+        Instr::RegionEnter { region, line } => {
+            format!("region.enter {region}  ; line {line}")
+        }
+        Instr::RegionExit { region, line } => format!("region.exit {region}  ; line {line}"),
+        Instr::LoopIter { region, line } => format!("loop.iter {region}  ; line {line}"),
+        Instr::LoopBody { region, line } => format!("loop.body {region}  ; line {line}"),
+    }
+}
+
+/// Render a terminator.
+pub fn print_terminator(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("br {}, {then_bb}, {else_bb}", fmt_operand(cond)),
+        Terminator::Return(None) => "ret".to_string(),
+        Terminator::Return(Some(v)) => format!("ret {}", fmt_operand(v)),
+        Terminator::Unreachable => "unreachable".to_string(),
+    }
+}
+
+/// Render a whole function.
+pub fn print_function(f: &Function, m: &Module) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f.locals[..f.num_params]
+        .iter()
+        .map(|p| format!("{} %{}", p.ty, p.name))
+        .collect();
+    let ret = f
+        .ret_ty
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "void".to_string());
+    let _ = writeln!(out, "define {ret} @{}({}) {{", f.name, params.join(", "));
+    for v in &f.locals[f.num_params..] {
+        if v.elems > 1 {
+            let _ = writeln!(out, "  local {} %{}[{}]", v.ty, v.name, v.elems);
+        } else {
+            let _ = writeln!(out, "  local {} %{}", v.ty, v.name);
+        }
+    }
+    for (id, b) in f.iter_blocks() {
+        let _ = writeln!(out, "{id}:");
+        for i in &b.instrs {
+            let _ = writeln!(out, "  {}", print_instr(i, f, m));
+        }
+        let _ = writeln!(out, "  {}", print_terminator(&b.term));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", m.name);
+    for g in &m.globals {
+        if g.elems > 1 {
+            let _ = writeln!(out, "global {} @{}[{}]", g.ty, g.name, g.elems);
+        } else {
+            let _ = writeln!(out, "global {} @{}", g.ty, g.name);
+        }
+    }
+    for f in &m.functions {
+        let _ = writeln!(out);
+        out.push_str(&print_function(f, m));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ModuleBuilder};
+    use crate::instr::{BinOp, Place, Terminator, VarRef};
+    use crate::types::{Ty, Value};
+
+    #[test]
+    fn prints_small_module() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("total", Ty::I64, 1, 1);
+        let mut fb = FunctionBuilder::new("main", Some(Ty::I64), 2);
+        let r = fb.load(Place::scalar(VarRef::Global(g)), 3);
+        let r2 = fb.bin(BinOp::Add, r, Value::I64(1), 3);
+        fb.store(Place::scalar(VarRef::Global(g)), r2, 3);
+        fb.terminate(Terminator::Return(Some(r2.into())));
+        mb.add_function(fb.build(4));
+        let m = mb.build();
+        let text = print_module(&m);
+        assert!(text.contains("global i64 @total"));
+        assert!(text.contains("%0 = load @total"));
+        assert!(text.contains("%1 = add %0, 1"));
+        assert!(text.contains("store @total, %1"));
+        assert!(text.contains("ret %1"));
+    }
+}

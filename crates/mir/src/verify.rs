@@ -1,0 +1,288 @@
+//! Structural verification of modules.
+//!
+//! Catches malformed IR early: dangling block/region/variable references,
+//! registers used before definition (per-block), unterminated blocks, and
+//! region-nesting violations. The frontend runs this after lowering.
+
+use crate::instr::{Instr, Operand, Place, Terminator, VarRef};
+use crate::module::{Function, Module};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function where the error was found, if any.
+    pub function: Option<String>,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(func) => write!(f, "verify error in @{func}: {}", self.message),
+            None => write!(f, "verify error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a whole module; returns all errors found.
+pub fn verify_module(m: &Module) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
+    let mut names = HashSet::new();
+    for f in &m.functions {
+        if !names.insert(f.name.as_str()) {
+            errs.push(VerifyError {
+                function: None,
+                message: format!("duplicate function name `{}`", f.name),
+            });
+        }
+        verify_function(f, m, &mut errs);
+    }
+    errs
+}
+
+fn check_operand(
+    op: &Operand,
+    defined: &HashSet<u32>,
+    f: &Function,
+    errs: &mut Vec<VerifyError>,
+    ctx: &str,
+) {
+    if let Operand::Reg(r) = op {
+        if r.0 >= f.num_regs {
+            errs.push(VerifyError {
+                function: Some(f.name.clone()),
+                message: format!("{ctx}: register %{} out of range", r.0),
+            });
+        } else if !defined.contains(&r.0) {
+            errs.push(VerifyError {
+                function: Some(f.name.clone()),
+                message: format!("{ctx}: register %{} used before definition", r.0),
+            });
+        }
+    }
+}
+
+fn check_place(place: &Place, f: &Function, m: &Module, errs: &mut Vec<VerifyError>, ctx: &str) {
+    match place.var {
+        VarRef::Global(g) => {
+            if g.index() >= m.globals.len() {
+                errs.push(VerifyError {
+                    function: Some(f.name.clone()),
+                    message: format!("{ctx}: global {g} out of range"),
+                });
+            }
+        }
+        VarRef::Local(l) => {
+            if l.index() >= f.locals.len() {
+                errs.push(VerifyError {
+                    function: Some(f.name.clone()),
+                    message: format!("{ctx}: local {l} out of range"),
+                });
+            }
+        }
+    }
+}
+
+fn verify_function(f: &Function, m: &Module, errs: &mut Vec<VerifyError>) {
+    if f.blocks.is_empty() {
+        errs.push(VerifyError {
+            function: Some(f.name.clone()),
+            message: "function has no blocks".into(),
+        });
+        return;
+    }
+    if f.num_params > f.locals.len() {
+        errs.push(VerifyError {
+            function: Some(f.name.clone()),
+            message: "num_params exceeds locals".into(),
+        });
+    }
+    // Region parents must be earlier-indexed (forward nesting) and in range.
+    for (i, r) in f.regions.iter().enumerate() {
+        if let Some(p) = r.parent {
+            if p.index() >= f.regions.len() || p.index() >= i {
+                errs.push(VerifyError {
+                    function: Some(f.name.clone()),
+                    message: format!("region {i} has invalid parent {p}"),
+                });
+            }
+        } else if i != 0 {
+            errs.push(VerifyError {
+                function: Some(f.name.clone()),
+                message: format!("region {i} has no parent but is not the body"),
+            });
+        }
+    }
+
+    // Registers: a simple forward scan over blocks in index order. Our
+    // lowering defines each register before use in the same or an earlier
+    // block along every path; a full dataflow check is unnecessary for
+    // frontend-produced IR, and a linear scan still catches typos in
+    // hand-built IR.
+    let mut defined: HashSet<u32> = HashSet::new();
+    for (bid, b) in f.iter_blocks() {
+        for (n, i) in b.instrs.iter().enumerate() {
+            let ctx = format!("{bid} instr {n}");
+            match i {
+                Instr::Load { dst, place, .. } => {
+                    check_place(place, f, m, errs, &ctx);
+                    if let Some(ix) = &place.index {
+                        check_operand(ix, &defined, f, errs, &ctx);
+                    }
+                    defined.insert(dst.0);
+                }
+                Instr::Store { place, src, .. } => {
+                    check_place(place, f, m, errs, &ctx);
+                    if let Some(ix) = &place.index {
+                        check_operand(ix, &defined, f, errs, &ctx);
+                    }
+                    check_operand(src, &defined, f, errs, &ctx);
+                }
+                Instr::Bin { dst, lhs, rhs, .. } => {
+                    check_operand(lhs, &defined, f, errs, &ctx);
+                    check_operand(rhs, &defined, f, errs, &ctx);
+                    defined.insert(dst.0);
+                }
+                Instr::Un { dst, src, .. } => {
+                    check_operand(src, &defined, f, errs, &ctx);
+                    defined.insert(dst.0);
+                }
+                Instr::Call { dst, args, .. } => {
+                    for a in args {
+                        check_operand(a, &defined, f, errs, &ctx);
+                    }
+                    if let Some(d) = dst {
+                        defined.insert(d.0);
+                    }
+                }
+                Instr::RegionEnter { region, .. }
+                | Instr::RegionExit { region, .. }
+                | Instr::LoopIter { region, .. }
+                | Instr::LoopBody { region, .. } => {
+                    if region.index() >= f.regions.len() {
+                        errs.push(VerifyError {
+                            function: Some(f.name.clone()),
+                            message: format!("{ctx}: region {region} out of range"),
+                        });
+                    }
+                }
+            }
+        }
+        match &b.term {
+            Terminator::Unreachable => errs.push(VerifyError {
+                function: Some(f.name.clone()),
+                message: format!("{bid} is unterminated"),
+            }),
+            Terminator::Jump(t) => {
+                if t.index() >= f.blocks.len() {
+                    errs.push(VerifyError {
+                        function: Some(f.name.clone()),
+                        message: format!("{bid}: jump target {t} out of range"),
+                    });
+                }
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                check_operand(cond, &defined, f, errs, &format!("{bid} branch"));
+                for t in [then_bb, else_bb] {
+                    if t.index() >= f.blocks.len() {
+                        errs.push(VerifyError {
+                            function: Some(f.name.clone()),
+                            message: format!("{bid}: branch target {t} out of range"),
+                        });
+                    }
+                }
+            }
+            Terminator::Return(v) => {
+                if let Some(v) = v {
+                    check_operand(v, &defined, f, errs, &format!("{bid} return"));
+                }
+                if f.ret_ty.is_some() && v.is_none() {
+                    errs.push(VerifyError {
+                        function: Some(f.name.clone()),
+                        message: format!("{bid}: missing return value"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ModuleBuilder};
+    use crate::instr::{Place, Terminator, VarRef};
+    use crate::module::{LocalId, RegId};
+    use crate::types::{Ty, Value};
+
+    #[test]
+    fn clean_module_verifies() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = FunctionBuilder::new("main", None, 1);
+        let x = fb.local("x", Ty::I64, 1, 1, None);
+        fb.store(Place::scalar(VarRef::Local(x)), Value::I64(1), 2);
+        fb.terminate(Terminator::Return(None));
+        mb.add_function(fb.build(3));
+        assert!(verify_module(&mb.build()).is_empty());
+    }
+
+    #[test]
+    fn catches_unterminated_block() {
+        let mut mb = ModuleBuilder::new("m");
+        let fb = FunctionBuilder::new("main", None, 1);
+        mb.add_function(fb.build(2));
+        let errs = verify_module(&mb.build());
+        assert!(errs.iter().any(|e| e.message.contains("unterminated")));
+    }
+
+    #[test]
+    fn catches_out_of_range_local() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = FunctionBuilder::new("main", None, 1);
+        fb.store(
+            Place::scalar(VarRef::Local(LocalId(9))),
+            Value::I64(0),
+            1,
+        );
+        fb.terminate(Terminator::Return(None));
+        mb.add_function(fb.build(2));
+        let errs = verify_module(&mb.build());
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn catches_use_before_def() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = FunctionBuilder::new("main", None, 1);
+        let x = fb.local("x", Ty::I64, 1, 1, None);
+        fb.function_mut().num_regs = 1;
+        fb.store(Place::scalar(VarRef::Local(x)), RegId(0), 2);
+        fb.terminate(Terminator::Return(None));
+        mb.add_function(fb.build(3));
+        let errs = verify_module(&mb.build());
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("used before definition")));
+    }
+
+    #[test]
+    fn catches_duplicate_functions() {
+        let mut mb = ModuleBuilder::new("m");
+        for _ in 0..2 {
+            let mut fb = FunctionBuilder::new("main", None, 1);
+            fb.terminate(Terminator::Return(None));
+            mb.add_function(fb.build(2));
+        }
+        let errs = verify_module(&mb.build());
+        assert!(errs.iter().any(|e| e.message.contains("duplicate")));
+    }
+}

@@ -1,0 +1,366 @@
+//! Access records and dynamic loop context.
+//!
+//! The producer side of the profiler (the thread executing the target
+//! program, §2.3.3) annotates every raw memory event with its dynamic loop
+//! context — which loop *instance* it executed in and at which iteration —
+//! before dependence construction. The [`InstanceTable`] keeps the
+//! parent-chain of loop instances so that, for any two accesses to the same
+//! address, the profiler can find the innermost loop that both share and
+//! decide whether the dependence is **loop-carried** there (the
+//! inter-iteration tag of §2.3.5), exactly the information the discovery
+//! algorithms of Ch. 4 need.
+
+use interp::{Event, MemEvent};
+use std::collections::HashMap;
+
+/// Identifies a static loop: `(function index, region index)`.
+pub type LoopKey = (u32, u32);
+
+/// Sentinel: access occurred outside any loop.
+pub const NO_INSTANCE: u32 = u32::MAX;
+
+/// A fully annotated memory access — the unit consumed by dependence
+/// engines and shipped through the parallel profiler's queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Accessed address.
+    pub addr: u64,
+    /// Static memory-operation id.
+    pub op: u32,
+    /// Source line.
+    pub line: u32,
+    /// Variable symbol.
+    pub var: u32,
+    /// Executing thread.
+    pub thread: u32,
+    /// Global timestamp at access time.
+    pub ts: u64,
+    /// Store or load.
+    pub is_write: bool,
+    /// Innermost enclosing loop instance ([`NO_INSTANCE`] if none).
+    pub instance: u32,
+    /// Iteration number within that instance (1-based; 0 before the first
+    /// `LoopIter`).
+    pub iter: u32,
+}
+
+/// One dynamic loop instance. Public so the parallel profiler can share a
+/// grow-only snapshot of the table across workers.
+#[derive(Debug, Clone, Copy)]
+pub struct Instance {
+    /// The static loop this is an instance of.
+    pub loop_key: LoopKey,
+    /// Enclosing instance ([`NO_INSTANCE`] at top level).
+    pub parent: u32,
+    /// Iteration of the parent instance when this instance was entered.
+    pub iter_in_parent: u32,
+}
+
+/// Anything loop instances can be registered with: the plain
+/// [`InstanceTable`] in the serial profiler, or the shared, lock-protected
+/// table of the parallel profiler.
+pub trait InstanceRegistry {
+    /// Register a fresh instance, returning its id.
+    fn register(&mut self, loop_key: LoopKey, parent: u32, iter_in_parent: u32) -> u32;
+}
+
+impl InstanceRegistry for InstanceTable {
+    fn register(&mut self, loop_key: LoopKey, parent: u32, iter_in_parent: u32) -> u32 {
+        self.enter(loop_key, parent, iter_in_parent)
+    }
+}
+
+/// Resolves which loop carries a dependence between two access contexts.
+/// Implemented by [`InstanceTable`] (serial profiling) and by the parallel
+/// profiler's cached shared table.
+pub trait CarriedResolver {
+    /// See [`InstanceTable::carried_by`].
+    fn carried_by(&self, a_instance: u32, a_iter: u32, b_instance: u32, b_iter: u32)
+        -> Option<LoopKey>;
+}
+
+impl CarriedResolver for InstanceTable {
+    fn carried_by(
+        &self,
+        a_instance: u32,
+        a_iter: u32,
+        b_instance: u32,
+        b_iter: u32,
+    ) -> Option<LoopKey> {
+        InstanceTable::carried_by(self, a_instance, a_iter, b_instance, b_iter)
+    }
+}
+
+/// Loop-carried analysis over a raw instance slice (shared by the serial
+/// table and the parallel profiler's per-worker caches).
+pub fn carried_by_in(
+    instances: &[Instance],
+    a_instance: u32,
+    a_iter: u32,
+    b_instance: u32,
+    b_iter: u32,
+) -> Option<LoopKey> {
+    let path = |mut instance: u32, mut iter: u32| {
+        let mut p = Vec::new();
+        while instance != NO_INSTANCE {
+            p.push((instance, iter));
+            let info = &instances[instance as usize];
+            iter = info.iter_in_parent;
+            instance = info.parent;
+        }
+        p
+    };
+    if a_instance == b_instance {
+        if a_instance == NO_INSTANCE || a_iter == b_iter {
+            return None;
+        }
+        return Some(instances[a_instance as usize].loop_key);
+    }
+    let pa = path(a_instance, a_iter);
+    let pb = path(b_instance, b_iter);
+    for &(ia, it_a) in &pa {
+        if let Some(&(_, it_b)) = pb.iter().find(|(ib, _)| *ib == ia) {
+            if it_a != it_b {
+                return Some(instances[ia as usize].loop_key);
+            }
+            return None;
+        }
+    }
+    None
+}
+
+/// Global table of loop instances, grown as loops are entered.
+#[derive(Debug, Default)]
+pub struct InstanceTable {
+    instances: Vec<Instance>,
+}
+
+impl InstanceTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new instance of `loop_key` entered from `parent` (which
+    /// was at iteration `iter_in_parent`).
+    pub fn enter(&mut self, loop_key: LoopKey, parent: u32, iter_in_parent: u32) -> u32 {
+        let id = self.instances.len() as u32;
+        self.instances.push(Instance {
+            loop_key,
+            parent,
+            iter_in_parent,
+        });
+        id
+    }
+
+    /// The static loop of an instance.
+    pub fn loop_of(&self, instance: u32) -> LoopKey {
+        self.instances[instance as usize].loop_key
+    }
+
+    /// Number of instances registered so far.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True if no instance has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Estimated bytes held.
+    pub fn bytes(&self) -> usize {
+        self.instances.capacity() * std::mem::size_of::<Instance>()
+    }
+
+    /// Raw view of the instance records (grow-only; indices are stable).
+    pub fn as_slice(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Find the loop (if any) that *carries* a dependence between two
+    /// accesses: the innermost loop instance common to both whose iteration
+    /// numbers differ. Returns `None` when the accesses share no loop or
+    /// happen in the same iteration at every shared level (an
+    /// iteration-local dependence).
+    pub fn carried_by(
+        &self,
+        a_instance: u32,
+        a_iter: u32,
+        b_instance: u32,
+        b_iter: u32,
+    ) -> Option<LoopKey> {
+        carried_by_in(&self.instances, a_instance, a_iter, b_instance, b_iter)
+    }
+}
+
+/// Per-thread dynamic loop bookkeeping, fed from the event stream.
+///
+/// The producer calls [`LoopContext::handle`] on every event; memory events
+/// come back annotated as [`Access`] records.
+#[derive(Debug, Default)]
+pub struct LoopContext {
+    /// Per-thread stacks of `(instance id, current iteration)`.
+    stacks: HashMap<u32, Vec<(u32, u32)>>,
+}
+
+impl LoopContext {
+    /// Create an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current innermost `(instance, iter)` of a thread.
+    pub fn current(&self, thread: u32) -> (u32, u32) {
+        self.stacks
+            .get(&thread)
+            .and_then(|s| s.last().copied())
+            .unwrap_or((NO_INSTANCE, 0))
+    }
+
+    /// Process one event; returns the annotated access for memory events.
+    pub fn handle<R: InstanceRegistry>(&mut self, ev: &Event, table: &mut R) -> Option<Access> {
+        match ev {
+            Event::Mem(m) => Some(self.annotate(m)),
+            Event::RegionEnter {
+                func,
+                region,
+                kind: mir::RegionKind::Loop,
+                thread,
+                ..
+            } => {
+                let (parent, parent_iter) = self.current(*thread);
+                let inst = table.register((*func, *region), parent, parent_iter);
+                self.stacks.entry(*thread).or_default().push((inst, 0));
+                None
+            }
+            Event::LoopIter { thread, .. } => {
+                if let Some(top) = self.stacks.entry(*thread).or_default().last_mut() {
+                    top.1 += 1;
+                }
+                None
+            }
+            Event::RegionExit(x) if x.kind == mir::RegionKind::Loop => {
+                self.stacks.entry(x.thread).or_default().pop();
+                None
+            }
+            Event::ThreadEnd { thread } => {
+                self.stacks.remove(thread);
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn annotate(&self, m: &MemEvent) -> Access {
+        let (instance, iter) = self.current(m.thread);
+        Access {
+            addr: m.addr,
+            op: m.op,
+            line: m.line,
+            var: m.var,
+            thread: m.thread,
+            ts: m.ts,
+            is_write: m.is_write,
+            instance,
+            iter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carried_same_instance_different_iter() {
+        let mut t = InstanceTable::new();
+        let l = t.enter((0, 1), NO_INSTANCE, 0);
+        assert_eq!(t.carried_by(l, 1, l, 2), Some((0, 1)));
+        assert_eq!(t.carried_by(l, 2, l, 2), None);
+    }
+
+    #[test]
+    fn carried_by_outer_loop() {
+        let mut t = InstanceTable::new();
+        let outer = t.enter((0, 1), NO_INSTANCE, 0);
+        // Two inner-loop instances, created in iterations 1 and 2 of outer.
+        let inner1 = t.enter((0, 2), outer, 1);
+        let inner2 = t.enter((0, 2), outer, 2);
+        // Accesses in different inner instances at different outer
+        // iterations: carried by the outer loop.
+        assert_eq!(t.carried_by(inner1, 3, inner2, 3), Some((0, 1)));
+        // Same outer iteration, different inner instances (e.g. two inner
+        // loops in the same body): not carried.
+        let inner3 = t.enter((0, 3), outer, 2);
+        assert_eq!(t.carried_by(inner2, 1, inner3, 1), None);
+    }
+
+    #[test]
+    fn no_loop_not_carried() {
+        let t = InstanceTable::new();
+        assert_eq!(t.carried_by(NO_INSTANCE, 0, NO_INSTANCE, 0), None);
+    }
+
+    #[test]
+    fn loop_context_tracks_iterations() {
+        let mut ctx = LoopContext::new();
+        let mut table = InstanceTable::new();
+        let enter = Event::RegionEnter {
+            func: 0,
+            region: 1,
+            kind: mir::RegionKind::Loop,
+            start_line: 2,
+            end_line: 5,
+            thread: 0,
+        };
+        ctx.handle(&enter, &mut table);
+        ctx.handle(
+            &Event::LoopIter {
+                func: 0,
+                region: 1,
+                thread: 0,
+            },
+            &mut table,
+        );
+        assert_eq!(ctx.current(0), (0, 1));
+        ctx.handle(
+            &Event::LoopIter {
+                func: 0,
+                region: 1,
+                thread: 0,
+            },
+            &mut table,
+        );
+        assert_eq!(ctx.current(0), (0, 2));
+        let m = MemEvent {
+            is_write: true,
+            addr: 64,
+            op: 0,
+            line: 3,
+            var: 0,
+            thread: 0,
+            ts: 10,
+        };
+        let a = ctx.handle(&Event::Mem(m), &mut table).unwrap();
+        assert_eq!(a.instance, 0);
+        assert_eq!(a.iter, 2);
+    }
+
+    #[test]
+    fn branch_regions_do_not_affect_loop_stack() {
+        let mut ctx = LoopContext::new();
+        let mut table = InstanceTable::new();
+        let enter = Event::RegionEnter {
+            func: 0,
+            region: 1,
+            kind: mir::RegionKind::Branch,
+            start_line: 2,
+            end_line: 3,
+            thread: 0,
+        };
+        ctx.handle(&enter, &mut table);
+        assert_eq!(ctx.current(0), (NO_INSTANCE, 0));
+        assert!(table.is_empty());
+    }
+}

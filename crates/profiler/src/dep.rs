@@ -1,0 +1,413 @@
+//! Dependence representation, runtime merging, and the text output format
+//! of dissertation §2.3.1 / Fig. 2.1 / Fig. 2.3.
+
+use crate::access::LoopKey;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Dependence type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum DepType {
+    /// Read-after-write (flow/true dependence).
+    Raw,
+    /// Write-after-read (anti-dependence).
+    War,
+    /// Write-after-write (output dependence).
+    Waw,
+    /// First write to an address.
+    Init,
+}
+
+impl std::fmt::Display for DepType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DepType::Raw => write!(f, "RAW"),
+            DepType::War => write!(f, "WAR"),
+            DepType::Waw => write!(f, "WAW"),
+            DepType::Init => write!(f, "INIT"),
+        }
+    }
+}
+
+/// A source location `fileID:lineID`. This reproduction profiles one module
+/// at a time, so `file` is always 1 — kept for format fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct SrcLoc {
+    /// Module ("file") id.
+    pub file: u32,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl SrcLoc {
+    /// Location in module 1.
+    pub fn new(line: u32) -> Self {
+        SrcLoc { file: 1, line }
+    }
+}
+
+impl std::fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// A merged data dependence: `<sink, type, source>` plus the attributes
+/// DiscoPoP reports (variable, thread ids, inter-iteration tag) and this
+/// reproduction's extras (the loop that carries it, race hint).
+///
+/// Two dependences are identical — and merged — iff every field matches
+/// (§2.3.5, "runtime data dependence merging").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct Dep {
+    /// Location of the later access.
+    pub sink: SrcLoc,
+    /// Dependence type.
+    pub ty: DepType,
+    /// Location of the earlier access (equal to `sink` for INIT).
+    pub source: SrcLoc,
+    /// Symbol id of the variable (`u32::MAX` renders as `*` for INIT).
+    pub var: u32,
+    /// Thread that executed the sink.
+    pub sink_thread: u32,
+    /// Thread that executed the source.
+    pub source_thread: u32,
+    /// The loop (function, region) whose iterations carry this dependence,
+    /// if source and sink occurred in different iterations of a common loop.
+    pub carried_by: Option<LoopKey>,
+    /// Set when the profiler observed a timestamp inversion for this pair —
+    /// evidence the two accesses were not mutually exclusive (§2.3.4).
+    pub race_hint: bool,
+}
+
+impl Dep {
+    /// True if this dependence crosses threads.
+    pub fn is_cross_thread(&self) -> bool {
+        self.sink_thread != self.source_thread
+    }
+
+    /// True if this dependence is loop-carried (in any loop).
+    pub fn is_loop_carried(&self) -> bool {
+        self.carried_by.is_some()
+    }
+}
+
+/// The merged dependence store: one entry per distinct dependence with an
+/// occurrence count.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DepSet {
+    map: HashMap<Dep, u64>,
+    /// Dependences *found* (before merging); `map.len()` is after merging.
+    pub total_found: u64,
+}
+
+impl DepSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one occurrence of `dep`, merging with identical entries.
+    pub fn insert(&mut self, dep: Dep) {
+        self.total_found += 1;
+        *self.map.entry(dep).or_insert(0) += 1;
+    }
+
+    /// Merge another set into this one (used when joining parallel workers).
+    pub fn merge(&mut self, other: DepSet) {
+        self.total_found += other.total_found;
+        for (d, c) in other.map {
+            *self.map.entry(d).or_insert(0) += c;
+        }
+    }
+
+    /// Number of distinct (merged) dependences.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no dependence was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over `(dep, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Dep, u64)> {
+        self.map.iter().map(|(d, c)| (d, *c))
+    }
+
+    /// All distinct dependences, totally ordered for deterministic output.
+    pub fn sorted(&self) -> Vec<Dep> {
+        let mut v: Vec<Dep> = self.map.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Occurrence count of a dependence, 0 if absent.
+    pub fn count(&self, dep: &Dep) -> u64 {
+        self.map.get(dep).copied().unwrap_or(0)
+    }
+
+    /// Does an identical dependence exist?
+    pub fn contains(&self, dep: &Dep) -> bool {
+        self.map.contains_key(dep)
+    }
+
+    /// All RAW dependences carried by the given loop.
+    pub fn carried_raws(&self, loop_key: LoopKey) -> Vec<Dep> {
+        self.map
+            .keys()
+            .filter(|d| d.ty == DepType::Raw && d.carried_by == Some(loop_key))
+            .copied()
+            .collect()
+    }
+
+    /// All dependences whose sink line lies in `[start, end]`.
+    pub fn in_lines(&self, start: u32, end: u32) -> Vec<Dep> {
+        self.map
+            .keys()
+            .filter(|d| d.sink.line >= start && d.sink.line <= end)
+            .copied()
+            .collect()
+    }
+
+    /// Dependences with race hints.
+    pub fn race_hints(&self) -> Vec<Dep> {
+        self.map.keys().filter(|d| d.race_hint).copied().collect()
+    }
+
+    /// Estimated bytes held by the merged store.
+    pub fn bytes(&self) -> usize {
+        self.map.capacity() * (std::mem::size_of::<(Dep, u64)>() + 8)
+    }
+
+    /// Compare against a baseline (perfect-signature) set, returning
+    /// `(false_positive_rate, false_negative_rate)` over distinct
+    /// dependences — the metric of Table 2.6. INIT entries are excluded;
+    /// they are bookkeeping, not dependences.
+    pub fn accuracy_vs(&self, baseline: &DepSet) -> (f64, f64) {
+        let ours: std::collections::HashSet<&Dep> = self
+            .map
+            .keys()
+            .filter(|d| d.ty != DepType::Init)
+            .collect();
+        let truth: std::collections::HashSet<&Dep> = baseline
+            .map
+            .keys()
+            .filter(|d| d.ty != DepType::Init)
+            .collect();
+        let fp = ours.difference(&truth).count();
+        let fnn = truth.difference(&ours).count();
+        let fpr = if ours.is_empty() {
+            0.0
+        } else {
+            fp as f64 / ours.len() as f64
+        };
+        let fnr = if truth.is_empty() {
+            0.0
+        } else {
+            fnn as f64 / truth.len() as f64
+        };
+        (fpr, fnr)
+    }
+}
+
+/// Control-structure annotation for the text renderer (`BGN`/`END` lines).
+#[derive(Debug, Clone, Copy)]
+pub struct ControlSpan {
+    /// Region kind name (`loop`, `branch`, `func`).
+    pub kind: &'static str,
+    /// First line.
+    pub start: u32,
+    /// Last line.
+    pub end: u32,
+    /// Iterations executed (printed after `END loop`).
+    pub iters: u64,
+}
+
+/// Render the dependence set in the DiscoPoP text format (Fig. 2.1 /
+/// Fig. 2.3): one output line per sink, dependences aggregated, `NOM` for
+/// plain lines, `BGN`/`END` markers for control spans. `multithreaded`
+/// selects the thread-id-annotated form.
+pub fn render_text(
+    deps: &DepSet,
+    symbol: &dyn Fn(u32) -> String,
+    spans: &[ControlSpan],
+    multithreaded: bool,
+) -> String {
+    // Group by (sink, sink_thread).
+    let mut by_sink: HashMap<(SrcLoc, u32), Vec<Dep>> = HashMap::new();
+    for d in deps.map.keys() {
+        by_sink.entry((d.sink, d.sink_thread)).or_default().push(*d);
+    }
+    let mut keys: Vec<(SrcLoc, u32)> = by_sink.keys().copied().collect();
+    keys.sort();
+
+    let mut out = String::new();
+    let mut opened: Vec<&ControlSpan> = Vec::new();
+    let mut closed: Vec<*const ControlSpan> = Vec::new();
+    let close_ended = |line: u32, opened: &mut Vec<&ControlSpan>, out: &mut String| {
+        // Close spans that ended strictly before this line, innermost first.
+        while let Some(pos) = opened.iter().rposition(|s| s.end < line) {
+            let s = opened.remove(pos);
+            if s.kind == "loop" {
+                let _ = writeln!(out, "1:{} END {} {}", s.end, s.kind, s.iters);
+            } else {
+                let _ = writeln!(out, "1:{} END {}", s.end, s.kind);
+            }
+        }
+    };
+    for (sink, thread) in keys {
+        close_ended(sink.line, &mut opened, &mut out);
+        // Emit BGN markers for spans starting at or before this line.
+        for s in spans {
+            if s.start <= sink.line
+                && s.end >= sink.line
+                && !opened.iter().any(|o| std::ptr::eq(*o, s))
+                && !closed.contains(&(s as *const _))
+            {
+                let _ = writeln!(out, "1:{} BGN {}", s.start, s.kind);
+                opened.push(s);
+                closed.push(s as *const _);
+            }
+        }
+        let mut ds = by_sink.remove(&(sink, thread)).unwrap();
+        ds.sort_by_key(|d| (d.ty, d.source, d.var));
+        let mut entries = Vec::new();
+        for d in ds {
+            let v = if d.var == u32::MAX {
+                "*".to_string()
+            } else {
+                symbol(d.var)
+            };
+            let e = if d.ty == DepType::Init {
+                format!("{{INIT {v}}}")
+            } else if multithreaded {
+                format!("{{{} {}|{}|{}}}", d.ty, d.source, d.source_thread, v)
+            } else {
+                format!("{{{} {}|{}}}", d.ty, d.source, v)
+            };
+            entries.push(e);
+        }
+        if multithreaded {
+            let _ = writeln!(out, "{sink}|{thread} NOM {}", entries.join(" "));
+        } else {
+            let _ = writeln!(out, "{sink} NOM {}", entries.join(" "));
+        }
+    }
+    // Close anything still open (spans whose end lies past the last sink).
+    while let Some(s) = opened.pop() {
+        if s.kind == "loop" {
+            let _ = writeln!(out, "1:{} END {} {}", s.end, s.kind, s.iters);
+        } else {
+            let _ = writeln!(out, "1:{} END {}", s.end, s.kind);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep(sink: u32, ty: DepType, source: u32, var: u32) -> Dep {
+        Dep {
+            sink: SrcLoc::new(sink),
+            ty,
+            source: SrcLoc::new(source),
+            var,
+            sink_thread: 0,
+            source_thread: 0,
+            carried_by: None,
+            race_hint: false,
+        }
+    }
+
+    #[test]
+    fn merging_counts_duplicates() {
+        let mut s = DepSet::new();
+        s.insert(dep(3, DepType::Raw, 2, 0));
+        s.insert(dep(3, DepType::Raw, 2, 0));
+        s.insert(dep(3, DepType::War, 2, 0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_found, 3);
+        assert_eq!(s.count(&dep(3, DepType::Raw, 2, 0)), 2);
+    }
+
+    #[test]
+    fn merge_two_sets() {
+        let mut a = DepSet::new();
+        a.insert(dep(1, DepType::Raw, 1, 0));
+        let mut b = DepSet::new();
+        b.insert(dep(1, DepType::Raw, 1, 0));
+        b.insert(dep(2, DepType::Waw, 1, 0));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.total_found, 3);
+    }
+
+    #[test]
+    fn accuracy_exact_match_is_zero_error() {
+        let mut a = DepSet::new();
+        a.insert(dep(1, DepType::Raw, 1, 0));
+        let b = a.clone();
+        assert_eq!(a.accuracy_vs(&b), (0.0, 0.0));
+    }
+
+    #[test]
+    fn accuracy_counts_fp_and_fn() {
+        let mut ours = DepSet::new();
+        ours.insert(dep(1, DepType::Raw, 1, 0)); // true
+        ours.insert(dep(2, DepType::Raw, 1, 0)); // false positive
+        let mut truth = DepSet::new();
+        truth.insert(dep(1, DepType::Raw, 1, 0));
+        truth.insert(dep(3, DepType::War, 1, 0)); // we missed this
+        let (fpr, fnr) = ours.accuracy_vs(&truth);
+        assert!((fpr - 0.5).abs() < 1e-9);
+        assert!((fnr - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_sequential_format() {
+        let mut s = DepSet::new();
+        s.insert(dep(60, DepType::Raw, 60, 0));
+        s.insert(Dep {
+            var: u32::MAX,
+            ..dep(60, DepType::Init, 60, 0)
+        });
+        let spans = [ControlSpan {
+            kind: "loop",
+            start: 60,
+            end: 60,
+            iters: 1200,
+        }];
+        let text = render_text(&s, &|_| "i".to_string(), &spans, false);
+        assert!(text.contains("1:60 BGN loop"));
+        assert!(text.contains("{RAW 1:60|i}"));
+        assert!(text.contains("{INIT *}"));
+        assert!(text.contains("1:60 END loop 1200"));
+    }
+
+    #[test]
+    fn render_multithreaded_format_has_thread_ids() {
+        let mut s = DepSet::new();
+        let mut d = dep(58, DepType::War, 77, 0);
+        d.sink_thread = 2;
+        d.source_thread = 2;
+        s.insert(d);
+        let text = render_text(&s, &|_| "iter".to_string(), &[], true);
+        assert!(text.contains("1:58|2 NOM {WAR 1:77|2|iter}"), "{text}");
+    }
+
+    #[test]
+    fn carried_raw_query() {
+        let mut s = DepSet::new();
+        let mut d = dep(5, DepType::Raw, 5, 0);
+        d.carried_by = Some((0, 1));
+        s.insert(d);
+        s.insert(dep(6, DepType::Raw, 5, 0));
+        assert_eq!(s.carried_raws((0, 1)).len(), 1);
+        assert_eq!(s.carried_raws((0, 2)).len(), 0);
+    }
+}

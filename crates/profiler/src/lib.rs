@@ -1,0 +1,55 @@
+//! `profiler` — the DiscoPoP data-dependence profiler (dissertation Ch. 2).
+//!
+//! A generic, efficient dependence profiler for sequential and parallel
+//! target programs:
+//!
+//! - **Signature-based memory tracking** ([`maps::SignatureMap`]): memory
+//!   accesses are recorded in fixed-size hash arrays rather than full shadow
+//!   memory, trading a small, measurable false-positive/negative rate for
+//!   bounded memory (§2.3.2). A [`maps::PerfectMap`] provides the exact
+//!   shadow-memory baseline used to quantify accuracy (Table 2.6).
+//! - **Serial and parallel engines**: the parallel engine distributes
+//!   addresses over worker threads fed through lock-free SPSC queues
+//!   (producer/consumer, §2.3.3), with a lock-based variant for comparison
+//!   (Fig. 2.9) and a lock-free MPSC queue for multi-threaded targets
+//!   (§2.3.4, Fig. 2.5).
+//! - **Skipping repeatedly-executed memory operations in loops** (§2.4):
+//!   per-operation `lastAddr`/`lastStatusRead`/`lastStatusWrite` conditions
+//!   let the profiler bypass dependence construction once a loop's
+//!   dependences are complete.
+//! - **Variable-lifetime analysis** (§2.3.5): dead address ranges are
+//!   evicted from the signatures so reused stack slots do not create false
+//!   dependences.
+//! - **Runtime dependence merging** (§2.3.5): identical dependences are
+//!   merged on the fly, shrinking output by orders of magnitude.
+//! - **Program Execution Tree** ([`pet::Pet`], §2.3.6) for pattern detection
+//!   and ranking.
+//! - **Race hints** for multi-threaded targets: timestamp inversions on the
+//!   same address expose unsynchronized access pairs (§2.3.4).
+
+pub mod access;
+pub mod dep;
+pub mod engine;
+pub mod maps;
+pub mod parallel;
+pub mod pet;
+pub mod queue;
+pub mod serial;
+
+pub use access::{
+    carried_by_in, Access, CarriedResolver, Instance, InstanceRegistry, InstanceTable,
+    LoopContext, LoopKey, NO_INSTANCE,
+};
+pub use dep::{render_text, ControlSpan, Dep, DepSet, DepType, SrcLoc};
+pub use engine::{DepBuilder, EngineConfig, SkipStats};
+pub use maps::{estimated_fp_rate, AccessMap, Cell, PerfectMap, SignatureMap};
+pub use parallel::{
+    profile_multithreaded_target, profile_parallel, ParallelConfig, ParallelOutput,
+    ParallelProfiler, QueueKind, SharedTable,
+};
+pub use pet::{Pet, PetBuilder, PetNode, PetNodeKind};
+pub use queue::{LockQueue, MpscQueue, SpscQueue};
+pub use serial::{
+    control_spans, profile_program, profile_program_with, ProfileConfig, ProfileOutput,
+    SerialProfiler,
+};

@@ -1,0 +1,237 @@
+//! Access-status storage: approximate signatures and the perfect baseline.
+//!
+//! DiscoPoP records the last read and last write to every address. The
+//! production configuration uses a *signature* (§2.3.2) — a fixed-size array
+//! indexed by a hash of the address, with **no stored tag**: colliding
+//! addresses silently share a slot, which is exactly the approximation that
+//! produces the false positives/negatives quantified in Table 2.6. The
+//! *perfect* map stores per-address state exactly (the "perfect signature"
+//! of §2.5.1) and serves as ground truth.
+
+use crate::access::Access;
+
+/// Status of the most recent access recorded for an address: the
+/// `accessInfo` of §2.4 plus the metadata DiscoPoP reports with every
+/// dependence (line, variable, thread) and the loop context used for
+/// inter-iteration tagging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Static memory-operation id of the access.
+    pub op: u32,
+    /// Source line.
+    pub line: u32,
+    /// Variable symbol.
+    pub var: u32,
+    /// Thread that performed the access.
+    pub thread: u32,
+    /// Timestamp of the access.
+    pub ts: u64,
+    /// Innermost loop instance.
+    pub instance: u32,
+    /// Iteration within that instance.
+    pub iter: u32,
+}
+
+impl Cell {
+    /// Build a cell from an access record.
+    pub fn from_access(a: &Access) -> Self {
+        Cell {
+            op: a.op,
+            line: a.line,
+            var: a.var,
+            thread: a.thread,
+            ts: a.ts,
+            instance: a.instance,
+            iter: a.iter,
+        }
+    }
+}
+
+/// Common interface over signature and perfect storage, so the dependence
+/// engine is generic over the accuracy/space trade-off.
+pub trait AccessMap {
+    /// Last recorded access status for `addr`, if any.
+    fn get(&self, addr: u64) -> Option<Cell>;
+    /// Record an access status for `addr`.
+    fn set(&mut self, addr: u64, cell: Cell);
+    /// Evict a contiguous word range (variable-lifetime analysis, §2.3.5).
+    fn clear_range(&mut self, addr: u64, words: u64);
+    /// Bytes of memory held by this map.
+    fn bytes(&self) -> usize;
+}
+
+/// Fixed-size, hash-indexed signature with no collision resolution.
+#[derive(Debug, Clone)]
+pub struct SignatureMap {
+    slots: Vec<Option<Cell>>,
+}
+
+#[inline]
+fn hash_addr(addr: u64, len: usize) -> usize {
+    // Fibonacci multiplicative hash on the word address. The xor-fold pulls
+    // the high (well-mixed) product bits into the low bits so that `% len`
+    // — including power-of-two lengths — sees full entropy; without it,
+    // addresses sharing low word-index bits collide systematically.
+    let mut h = (addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 32;
+    (h % len as u64) as usize
+}
+
+impl SignatureMap {
+    /// A signature with `slots` slots (the paper evaluates 1e6–1e8).
+    pub fn new(slots: usize) -> Self {
+        SignatureMap {
+            slots: vec![None; slots.max(1)],
+        }
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slots (for fill-factor diagnostics).
+    pub fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl AccessMap for SignatureMap {
+    #[inline]
+    fn get(&self, addr: u64) -> Option<Cell> {
+        self.slots[hash_addr(addr, self.slots.len())]
+    }
+
+    #[inline]
+    fn set(&mut self, addr: u64, cell: Cell) {
+        let i = hash_addr(addr, self.slots.len());
+        self.slots[i] = Some(cell);
+    }
+
+    fn clear_range(&mut self, addr: u64, words: u64) {
+        for w in 0..words {
+            let i = hash_addr(addr + w * 8, self.slots.len());
+            self.slots[i] = None;
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<Cell>>()
+    }
+}
+
+/// Exact shadow memory: one entry per address ever accessed.
+#[derive(Debug, Clone, Default)]
+pub struct PerfectMap {
+    map: std::collections::HashMap<u64, Cell>,
+}
+
+impl PerfectMap {
+    /// An empty perfect map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct addresses tracked.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl AccessMap for PerfectMap {
+    #[inline]
+    fn get(&self, addr: u64) -> Option<Cell> {
+        self.map.get(&addr).copied()
+    }
+
+    #[inline]
+    fn set(&mut self, addr: u64, cell: Cell) {
+        self.map.insert(addr, cell);
+    }
+
+    fn clear_range(&mut self, addr: u64, words: u64) {
+        for w in 0..words {
+            self.map.remove(&(addr + w * 8));
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        // Approximation: entry = key + value + bucket overhead.
+        self.map.capacity() * (std::mem::size_of::<(u64, Cell)>() + 8)
+    }
+}
+
+/// Estimated false-positive probability of a signature after inserting `n`
+/// distinct addresses into `m` slots (dissertation Eq. 2.2):
+/// `P = 1 - (1 - 1/m)^n`.
+pub fn estimated_fp_rate(m: usize, n: usize) -> f64 {
+    1.0 - (1.0 - 1.0 / m as f64).powi(n as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(op: u32) -> Cell {
+        Cell {
+            op,
+            line: 1,
+            var: 0,
+            thread: 0,
+            ts: 0,
+            instance: u32::MAX,
+            iter: 0,
+        }
+    }
+
+    #[test]
+    fn signature_roundtrip_no_collision() {
+        let mut s = SignatureMap::new(1 << 16);
+        s.set(0x1000, cell(7));
+        assert_eq!(s.get(0x1000).unwrap().op, 7);
+    }
+
+    #[test]
+    fn signature_collision_shares_slot() {
+        // A 1-slot signature collides everything — the defining behaviour.
+        let mut s = SignatureMap::new(1);
+        s.set(0x1000, cell(1));
+        s.set(0x2000, cell(2));
+        assert_eq!(s.get(0x1000).unwrap().op, 2, "collision overwrites");
+    }
+
+    #[test]
+    fn clear_range_evicts() {
+        let mut s = SignatureMap::new(1 << 12);
+        s.set(0x1000, cell(1));
+        s.set(0x1008, cell(2));
+        s.clear_range(0x1000, 2);
+        assert!(s.get(0x1000).is_none());
+        assert!(s.get(0x1008).is_none());
+    }
+
+    #[test]
+    fn perfect_map_is_exact() {
+        let mut p = PerfectMap::new();
+        p.set(0x1000, cell(1));
+        p.set(0x2000, cell(2));
+        assert_eq!(p.get(0x1000).unwrap().op, 1);
+        assert_eq!(p.get(0x2000).unwrap().op, 2);
+        p.clear_range(0x1000, 1);
+        assert!(p.get(0x1000).is_none());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn fp_rate_monotone() {
+        let small = estimated_fp_rate(1_000_000, 1_000);
+        let big = estimated_fp_rate(1_000_000, 1_000_000);
+        assert!(small < big);
+        assert!(big < 1.0);
+    }
+}

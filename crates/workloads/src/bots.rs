@@ -1,0 +1,553 @@
+//! Barcelona OpenMP Task Suite (BOTS) stand-ins — the §4.4.3 SPMD-task
+//! evaluation targets (Table 4.6).
+
+use crate::meta::{LoopTruth, Suite, Workload};
+
+/// All BOTS stand-ins.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        FIB, NQUEENS, SORT, FFT, STRASSEN, SPARSELU, HEALTH, FLOORPLAN, ALIGNMENT, UTS,
+    ]
+}
+
+/// fib: the canonical two-independent-recursive-calls task pattern
+/// (Fig. 4.3).
+pub const FIB: Workload = Workload {
+    name: "fib",
+    suite: Suite::Bots,
+    parallel_target: false,
+    source: r#"fn fib(int n) -> int {
+    if (n < 2) {
+        return n;
+    }
+    int a = fib(n - 1);
+    int b = fib(n - 2);
+    return a + b;
+}
+fn main() {
+    int r = fib(12);
+    print(r);
+}
+"#,
+    truths: &[],
+};
+
+/// nqueens: per-row placement trials calling a pure recursive solver —
+/// the loop-of-tasks pattern of Fig. 4.2.
+pub const NQUEENS: Workload = Workload {
+    name: "nqueens",
+    suite: Suite::Bots,
+    parallel_target: false,
+    source: r#"fn nq(int n, int ld, int cols, int rd) -> int {
+    int full = (1 << n) - 1;
+    if (cols == full) {
+        return 1;
+    }
+    int cnt = 0;
+    for (int r = 0; r < n; r = r + 1) {
+        int bit = 1 << r;
+        int blocked = (ld | cols | rd) & bit;
+        if (blocked == 0) {
+            cnt += nq(n, (ld | bit) << 1, cols | bit, (rd | bit) >> 1);
+        }
+    }
+    return cnt;
+}
+fn main() {
+    int solutions = nq(6, 0, 0, 0);
+    print(solutions);
+}
+"#,
+    truths: &[LoopTruth {
+        marker: "r < n",
+        parallel: true,
+        reduction: true,
+        note: "row-placement trials: independent tasks + count reduction",
+    }],
+};
+
+/// sort: recursive merge sort over a global array. The recursive splits are
+/// tasks in BOTS; our static Bernstein check is conservative on shared-
+/// array recursion (see EXPERIMENTS.md), but the merge-pass loop structure
+/// is reproduced.
+pub const SORT: Workload = Workload {
+    name: "sort",
+    suite: Suite::Bots,
+    parallel_target: false,
+    source: r#"global int a[256];
+global int tmp[256];
+fn merge(int lo, int mid, int hi) {
+    int i = lo;
+    int j = mid;
+    for (int k = lo; k < hi; k = k + 1) {
+        int takeleft = 0;
+        if (i < mid) {
+            if (j >= hi) {
+                takeleft = 1;
+            } else {
+                if (a[i] <= a[j]) {
+                    takeleft = 1;
+                }
+            }
+        }
+        if (takeleft == 1) {
+            tmp[k] = a[i];
+            i = i + 1;
+        } else {
+            tmp[k] = a[j];
+            j = j + 1;
+        }
+    }
+    for (int c = lo; c < hi; c = c + 1) {
+        a[c] = tmp[c];
+    }
+}
+fn msort(int lo, int hi) {
+    if (hi - lo < 2) {
+        return;
+    }
+    int mid = (lo + hi) / 2;
+    msort(lo, mid);
+    msort(mid, hi);
+    merge(lo, mid, hi);
+}
+fn main() {
+    srand(2024);
+    for (int i0 = 0; i0 < 256; i0 = i0 + 1) {
+        a[i0] = rand() % 1000;
+    }
+    msort(0, 256);
+    print(a[0], a[255]);
+}
+"#,
+    truths: &[LoopTruth {
+        marker: "c = lo; c < hi",
+        parallel: true,
+        reduction: false,
+        note: "copy-back within merge",
+    }],
+};
+
+/// fft: independent twiddle blocks, the Fig. 4.9 `fft_twiddle_16` shape.
+pub const FFT: Workload = Workload {
+    name: "fft-bots",
+    suite: Suite::Bots,
+    parallel_target: false,
+    source: r#"global float re[256];
+global float im[256];
+fn twiddle(int blk) {
+    int base = blk * 16;
+    for (int k = 0; k < 16; k = k + 1) {
+        float c = cos(k * 0.3926990817);
+        float s = sin(k * 0.3926990817);
+        float x = re[base + k];
+        float y = im[base + k];
+        re[base + k] = x * c - y * s;
+        im[base + k] = x * s + y * c;
+    }
+}
+fn main() {
+    for (int i0 = 0; i0 < 256; i0 = i0 + 1) {
+        re[i0] = (i0 % 8) * 0.125;
+        im[i0] = 0.0;
+    }
+    for (int b = 0; b < 16; b = b + 1) {
+        twiddle(b);
+    }
+    print(re[0], im[255]);
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "i0 < 256",
+            parallel: true,
+            reduction: false,
+            note: "init",
+        },
+        LoopTruth {
+            marker: "b < 16",
+            parallel: true,
+            reduction: false,
+            note: "independent twiddle blocks (task loop, Fig. 4.9)",
+        },
+        LoopTruth {
+            marker: "k < 16",
+            parallel: true,
+            reduction: false,
+            note: "within-block butterflies",
+        },
+    ],
+};
+
+/// strassen: one level of the seven independent sub-multiplications, each
+/// writing its own temporary — sibling tasks with disjoint global sets.
+pub const STRASSEN: Workload = Workload {
+    name: "strassen",
+    suite: Suite::Bots,
+    parallel_target: false,
+    source: r#"global float A[64];
+global float B[64];
+global float M1[16];
+global float M2[16];
+global float M3[16];
+global float C[64];
+fn mul1() {
+    for (int i = 0; i < 4; i = i + 1) {
+        for (int j = 0; j < 4; j = j + 1) {
+            float s = 0.0;
+            for (int k = 0; k < 4; k = k + 1) {
+                s += (A[i * 8 + k] + A[36 + i * 8 + k]) * (B[k * 8 + j] + B[36 + k * 8 + j]);
+            }
+            M1[i * 4 + j] = s;
+        }
+    }
+}
+fn mul2() {
+    for (int i = 0; i < 4; i = i + 1) {
+        for (int j = 0; j < 4; j = j + 1) {
+            float s = 0.0;
+            for (int k = 0; k < 4; k = k + 1) {
+                s += (A[32 + i * 8 + k] + A[36 + i * 8 + k]) * B[k * 8 + j];
+            }
+            M2[i * 4 + j] = s;
+        }
+    }
+}
+fn mul3() {
+    for (int i = 0; i < 4; i = i + 1) {
+        for (int j = 0; j < 4; j = j + 1) {
+            float s = 0.0;
+            for (int k = 0; k < 4; k = k + 1) {
+                s += A[i * 8 + k] * (B[k * 8 + 4 + j] - B[36 + k * 8 + j]);
+            }
+            M3[i * 4 + j] = s;
+        }
+    }
+}
+fn main() {
+    for (int i0 = 0; i0 < 64; i0 = i0 + 1) {
+        A[i0] = (i0 % 7) * 0.5;
+        B[i0] = (i0 % 5) * 0.25;
+    }
+    mul1();
+    mul2();
+    mul3();
+    for (int c = 0; c < 16; c = c + 1) {
+        C[c] = M1[c] + M2[c] - M3[c];
+    }
+    print(C[0]);
+}
+"#,
+    truths: &[LoopTruth {
+        marker: "c < 16",
+        parallel: true,
+        reduction: false,
+        note: "combine phase",
+    }],
+};
+
+/// sparselu: block LU — sequential diagonal factorization, parallel panel
+/// and interior updates per step.
+pub const SPARSELU: Workload = Workload {
+    name: "sparselu",
+    suite: Suite::Bots,
+    parallel_target: false,
+    source: r#"global float blkval[256];
+fn update(int bi, int bj, int bk) {
+    for (int i = 0; i < 4; i = i + 1) {
+        for (int j = 0; j < 4; j = j + 1) {
+            float s = 0.0;
+            for (int k = 0; k < 4; k = k + 1) {
+                s += blkval[(bi * 4 + i) * 16 + bk * 4 + k] * blkval[(bk * 4 + k) * 16 + bj * 4 + j];
+            }
+            blkval[(bi * 4 + i) * 16 + bj * 4 + j] -= s * 0.1;
+        }
+    }
+}
+fn main() {
+    for (int i0 = 0; i0 < 256; i0 = i0 + 1) {
+        blkval[i0] = ((i0 * 13) % 29) * 0.1 + 1.0;
+    }
+    for (int step = 0; step < 3; step = step + 1) {
+        for (int bi = step + 1; bi < 4; bi = bi + 1) {
+            for (int bj = step + 1; bj < 4; bj = bj + 1) {
+                update(bi, bj, step);
+            }
+        }
+    }
+    print(blkval[255]);
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "step < 3",
+            parallel: false,
+            reduction: false,
+            note: "elimination steps",
+        },
+        LoopTruth {
+            marker: "bi = step + 1",
+            parallel: true,
+            reduction: false,
+            note: "interior block updates (the task loop of sparselu)",
+        },
+    ],
+};
+
+/// health: per-village patient simulation with village-private state.
+pub const HEALTH: Workload = Workload {
+    name: "health",
+    suite: Suite::Bots,
+    parallel_target: false,
+    source: r#"global int patients[160];
+global int treated[16];
+fn main() {
+    srand(404);
+    for (int i0 = 0; i0 < 160; i0 = i0 + 1) {
+        patients[i0] = rand() % 100;
+    }
+    for (int tstep = 0; tstep < 4; tstep = tstep + 1) {
+        for (int v = 0; v < 16; v = v + 1) {
+            int sick = 0;
+            for (int pp = 0; pp < 10; pp = pp + 1) {
+                int sev = patients[v * 10 + pp];
+                if (sev > 50) {
+                    sick = sick + 1;
+                    patients[v * 10 + pp] = sev - 10;
+                } else {
+                    patients[v * 10 + pp] = sev + 1;
+                }
+            }
+            treated[v] += sick;
+        }
+    }
+    print(treated[0]);
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "tstep < 4",
+            parallel: false,
+            reduction: false,
+            note: "simulation steps",
+        },
+        LoopTruth {
+            marker: "v < 16",
+            parallel: true,
+            reduction: false,
+            note: "independent villages (the task loop of health)",
+        },
+        LoopTruth {
+            marker: "pp < 10",
+            parallel: true,
+            reduction: true,
+            note: "per-patient updates with a sick-count reduction",
+        },
+    ],
+};
+
+/// floorplan: branch-and-bound over placements with a global best bound
+/// maintained via `min` — a reduction.
+pub const FLOORPLAN: Workload = Workload {
+    name: "floorplan",
+    suite: Suite::Bots,
+    parallel_target: false,
+    source: r#"global int best;
+fn area(int x, int w) -> int {
+    return (x % w + 1) * ((x / w) % w + 3) + (x % 13);
+}
+fn main() {
+    best = 100000;
+    for (int cand = 0; cand < 256; cand = cand + 1) {
+        int a = area(cand, 7);
+        best = min(best, a);
+    }
+    print(best);
+}
+"#,
+    truths: &[LoopTruth {
+        marker: "cand < 256",
+        parallel: true,
+        reduction: true,
+        note: "candidate evaluation with min-reduction bound",
+    }],
+};
+
+/// alignment: all independent sequence pairs, each scored by a small
+/// dynamic program over locals.
+pub const ALIGNMENT: Workload = Workload {
+    name: "alignment",
+    suite: Suite::Bots,
+    parallel_target: false,
+    source: r#"global int seqs[256];
+global int score[16];
+fn score_pair(int pair) -> int {
+    int i = pair / 4;
+    int j = pair % 4;
+    int s = 0;
+    for (int k = 0; k < 16; k = k + 1) {
+        int a = seqs[i * 16 + k];
+        int b = seqs[j * 16 + 64 + k];
+        int delta = 0 - 1;
+        if (a == b) {
+            delta = 2;
+        }
+        s = s + delta;
+    }
+    return s;
+}
+fn main() {
+    srand(55);
+    for (int i0 = 0; i0 < 256; i0 = i0 + 1) {
+        seqs[i0] = rand() % 4;
+    }
+    for (int p = 0; p < 16; p = p + 1) {
+        score[p] = score_pair(p);
+    }
+    print(score[0], score[15]);
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "p < 16",
+            parallel: true,
+            reduction: false,
+            note: "independent pair scoring (the task loop of alignment)",
+        },
+        LoopTruth {
+            marker: "k < 16",
+            parallel: true,
+            reduction: true,
+            note: "per-pair score accumulation",
+        },
+    ],
+};
+
+/// uts: unbalanced tree search — pure recursion with a deterministic
+/// branching function; sibling subtree expansions are independent tasks.
+pub const UTS: Workload = Workload {
+    name: "uts",
+    suite: Suite::Bots,
+    parallel_target: false,
+    source: r#"fn expand(int node, int depth) -> int {
+    if (depth >= 5) {
+        return 1;
+    }
+    int children = (node * 2654435761) % 4;
+    if (children < 0) {
+        children = 0 - children;
+    }
+    int total = 1;
+    for (int c = 0; c < children; c = c + 1) {
+        total += expand(node * 4 + c + 1, depth + 1);
+    }
+    return total;
+}
+fn main() {
+    int nodes = expand(1, 0);
+    print(nodes);
+}
+"#,
+    truths: &[LoopTruth {
+        marker: "c < children",
+        parallel: true,
+        reduction: true,
+        note: "child subtree expansion: independent tasks + node count",
+    }],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discovery::{LoopClass, SpmdKind};
+
+    fn discover(w: &Workload) -> (interp::Program, discovery::Discovery) {
+        let p = w.program().unwrap();
+        let out = profiler::profile_program(&p).unwrap();
+        let d = discovery::discover(&p, &out.deps, &out.pet);
+        (p, d)
+    }
+
+    #[test]
+    fn fib_computes_and_yields_sibling_tasks() {
+        let p = FIB.program().unwrap();
+        let r = interp::run(&p, interp::NullSink).unwrap();
+        assert_eq!(r.printed[0], "144");
+        let (_, d) = discover(&FIB);
+        assert!(
+            d.spmd.iter().any(|s| s.kind == SpmdKind::SiblingCalls),
+            "{:?}",
+            d.spmd
+        );
+    }
+
+    #[test]
+    fn nqueens_solves_and_yields_loop_task() {
+        let p = NQUEENS.program().unwrap();
+        let r = interp::run(&p, interp::NullSink).unwrap();
+        assert_eq!(r.printed[0], "4", "6-queens has 4 solutions");
+        let (_, d) = discover(&NQUEENS);
+        assert!(
+            d.spmd
+                .iter()
+                .any(|s| s.kind == SpmdKind::LoopTask && s.callees.contains(&"nq".to_string())),
+            "{:?}",
+            d.spmd
+        );
+    }
+
+    #[test]
+    fn sort_sorts() {
+        let p = SORT.program().unwrap();
+        let r = interp::run(&p, interp::NullSink).unwrap();
+        let parts: Vec<i64> = r.printed[0]
+            .split(' ')
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert!(parts[0] <= parts[1]);
+    }
+
+    #[test]
+    fn strassen_muls_are_independent_tasks() {
+        let (_, d) = discover(&STRASSEN);
+        let sib: Vec<_> = d
+            .spmd
+            .iter()
+            .filter(|s| s.kind == SpmdKind::SiblingCalls)
+            .collect();
+        assert!(
+            sib.iter().any(|s| s.callees.contains(&"mul1".to_string())
+                || s.callees.contains(&"mul2".to_string())),
+            "{:?}",
+            d.spmd
+        );
+    }
+
+    #[test]
+    fn fft_twiddle_loop_task() {
+        let (_, d) = discover(&FFT);
+        assert!(
+            d.spmd
+                .iter()
+                .any(|s| s.kind == SpmdKind::LoopTask
+                    && s.callees.contains(&"twiddle".to_string())),
+            "{:?}",
+            d.spmd
+        );
+    }
+
+    #[test]
+    fn floorplan_is_min_reduction() {
+        let w = &FLOORPLAN;
+        let p = w.program().unwrap();
+        let out = profiler::profile_program(&p).unwrap();
+        let d = discovery::discover(&p, &out.deps, &out.pet);
+        let line = w.line_of("cand < 256").unwrap();
+        let l = d
+            .loops
+            .iter()
+            .find(|l| l.info.start_line == line)
+            .unwrap();
+        assert_eq!(l.class, LoopClass::Reduction, "{l:?}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Workload metadata: suites, ground-truth annotations, helpers.
+
+/// Benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SNU NAS Parallel Benchmarks stand-ins (BT, CG, EP, FT, IS, LU, MG, SP).
+    Nas,
+    /// Starbench stand-ins (c-ray, kmeans, md5, …).
+    Starbench,
+    /// Barcelona OpenMP Task Suite stand-ins (fib, nqueens, sort, …).
+    Bots,
+    /// Open-source applications (gzip, bzip2, libVorbis, FaceDetection, histogram).
+    Apps,
+    /// PARSEC stand-ins and splash2x-style parallel programs.
+    Parsec,
+    /// Textbook programs of Table 4.2.
+    Textbook,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Suite::Nas => "NAS",
+            Suite::Starbench => "Starbench",
+            Suite::Bots => "BOTS",
+            Suite::Apps => "Apps",
+            Suite::Parsec => "PARSEC",
+            Suite::Textbook => "Textbook",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Ground truth for one loop, identified by a unique substring of its
+/// header line (robust against line renumbering).
+#[derive(Debug, Clone, Copy)]
+pub struct LoopTruth {
+    /// Unique substring of the loop header's source line.
+    pub marker: &'static str,
+    /// True if the loop is parallelizable (DOALL or with reduction/
+    /// privatization clauses).
+    pub parallel: bool,
+    /// True if parallelization requires a reduction clause.
+    pub reduction: bool,
+    /// Human note (what the loop is).
+    pub note: &'static str,
+}
+
+/// One benchmark stand-in.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Short name (matches the paper's benchmark name where applicable).
+    pub name: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// mini-C source.
+    pub source: &'static str,
+    /// Ground-truth loop annotations (the paper's "annotated in the
+    /// parallel version" reference points).
+    pub truths: &'static [LoopTruth],
+    /// True when the program is multi-threaded (uses spawn/lock).
+    pub parallel_target: bool,
+}
+
+impl Workload {
+    /// Compile to an executable program.
+    pub fn program(&self) -> Result<interp::Program, lang::CompileError> {
+        Ok(interp::Program::new(lang::compile(self.source, self.name)?))
+    }
+
+    /// Resolve a marker to its 1-based source line.
+    pub fn line_of(&self, marker: &str) -> Option<u32> {
+        self.source
+            .lines()
+            .position(|l| l.contains(marker))
+            .map(|i| i as u32 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_resolves() {
+        let w = Workload {
+            name: "t",
+            suite: Suite::Textbook,
+            source: "fn main() {\nint x = 0;\n}",
+            truths: &[],
+            parallel_target: false,
+        };
+        assert_eq!(w.line_of("int x"), Some(2));
+        assert_eq!(w.line_of("nope"), None);
+    }
+}

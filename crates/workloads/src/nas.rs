@@ -1,0 +1,529 @@
+//! SNU NAS Parallel Benchmark stand-ins.
+//!
+//! Each kernel reproduces the dependence structure that matters for the
+//! evaluation: which loops are DOALL, which need reductions, which are
+//! genuine recurrences — including FT's famous `dummy = randlc(…)`
+//! write-after-write pattern (Fig. 2.14).
+
+use crate::meta::{LoopTruth, Suite, Workload};
+
+/// The eight NAS stand-ins.
+pub fn suite() -> Vec<Workload> {
+    vec![BT, CG, EP, FT, IS, LU, MG, SP]
+}
+
+/// BT: block-tridiagonal line solves. Outer line loop is DOALL; the
+/// forward/backward sweeps inside are recurrences.
+pub const BT: Workload = Workload {
+    name: "BT",
+    suite: Suite::Nas,
+    parallel_target: false,
+    source: r#"global float rhs[1024];
+global float lhs[1024];
+global float sol[1024];
+fn main() {
+    for (int i = 0; i < 1024; i = i + 1) {
+        rhs[i] = (i % 17) * 0.5 + 1.0;
+        lhs[i] = (i % 13) * 0.25 + 2.0;
+    }
+    for (int sweep = 0; sweep < 3; sweep = sweep + 1) {
+        for (int line = 0; line < 32; line = line + 1) {
+            int base = line * 32;
+            for (int j = 1; j < 32; j = j + 1) {
+                rhs[base + j] = rhs[base + j] - rhs[base + j - 1] * 0.3 / lhs[base + j];
+            }
+            for (int j = 30; j >= 0; j = j - 1) {
+                sol[base + j] = rhs[base + j] - sol[base + j + 1] * 0.1;
+            }
+        }
+    }
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "i < 1024",
+            parallel: true,
+            reduction: false,
+            note: "initialization",
+        },
+        LoopTruth {
+            marker: "sweep < 3",
+            parallel: false,
+            reduction: false,
+            note: "time sweeps reuse rhs/sol",
+        },
+        LoopTruth {
+            marker: "line < 32",
+            parallel: true,
+            reduction: false,
+            note: "independent lines (the parallel loop of BT)",
+        },
+        LoopTruth {
+            marker: "j = 1; j < 32",
+            parallel: false,
+            reduction: false,
+            note: "forward elimination recurrence",
+        },
+        LoopTruth {
+            marker: "j = 30",
+            parallel: false,
+            reduction: false,
+            note: "back substitution recurrence",
+        },
+    ],
+};
+
+/// CG: conjugate-gradient iteration with a sparse matvec and dot products.
+pub const CG: Workload = Workload {
+    name: "CG",
+    suite: Suite::Nas,
+    parallel_target: false,
+    source: r#"global float val[640];
+global int colidx[640];
+global int rowstart[65];
+global float p[64];
+global float q[64];
+global float x[64];
+global float rho;
+fn main() {
+    srand(1401);
+    for (int r0 = 0; r0 < 64; r0 = r0 + 1) {
+        rowstart[r0] = r0 * 10;
+        p[r0] = 1.0 + (r0 % 5) * 0.125;
+    }
+    rowstart[64] = 640;
+    for (int n = 0; n < 640; n = n + 1) {
+        val[n] = ((n * 7) % 23) * 0.0625 + 0.5;
+        colidx[n] = (n * 11 + n / 10) % 64;
+    }
+    for (int it = 0; it < 4; it = it + 1) {
+        for (int row = 0; row < 64; row = row + 1) {
+            float sum = 0.0;
+            for (int k = rowstart[row]; k < rowstart[row + 1]; k = k + 1) {
+                sum += val[k] * p[colidx[k]];
+            }
+            q[row] = sum;
+        }
+        rho = 0.0;
+        for (int rd = 0; rd < 64; rd = rd + 1) {
+            rho += p[rd] * q[rd];
+        }
+        for (int ru = 0; ru < 64; ru = ru + 1) {
+            x[ru] = x[ru] + p[ru] / (rho + 1.0);
+            p[ru] = q[ru] * 0.5 + p[ru] * 0.25;
+        }
+    }
+    print(rho);
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "r0 < 64",
+            parallel: true,
+            reduction: false,
+            note: "init rows",
+        },
+        LoopTruth {
+            marker: "it < 4",
+            parallel: false,
+            reduction: false,
+            note: "CG iterations are inherently sequential",
+        },
+        LoopTruth {
+            marker: "row < 64",
+            parallel: true,
+            reduction: false,
+            note: "sparse matvec rows (hot loop of CG)",
+        },
+        LoopTruth {
+            marker: "k = rowstart[row]",
+            parallel: true,
+            reduction: true,
+            note: "row dot-product reduction",
+        },
+        LoopTruth {
+            marker: "rd < 64",
+            parallel: true,
+            reduction: true,
+            note: "global dot-product reduction",
+        },
+        LoopTruth {
+            marker: "ru < 64",
+            parallel: true,
+            reduction: false,
+            note: "vector update",
+        },
+    ],
+};
+
+/// EP: embarrassingly parallel random-pair tally.
+pub const EP: Workload = Workload {
+    name: "EP",
+    suite: Suite::Nas,
+    parallel_target: false,
+    source: r#"global float gsx;
+global float gsy;
+global int q[10];
+fn main() {
+    srand(271828);
+    for (int k = 0; k < 128; k = k + 1) {
+        float sx = 0.0;
+        float sy = 0.0;
+        for (int i = 0; i < 24; i = i + 1) {
+            float xx = frand() * 2.0 - 1.0;
+            float yy = frand() * 2.0 - 1.0;
+            float t = xx * xx + yy * yy;
+            if (t <= 1.0) {
+                sx += xx;
+                sy += yy;
+                int bin = t * 9.0;
+                q[bin] += 1;
+            }
+        }
+        gsx += sx;
+        gsy += sy;
+    }
+    print(gsx, gsy);
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "k < 128",
+            parallel: true,
+            reduction: true,
+            note: "the embarrassingly parallel chunk loop",
+        },
+        LoopTruth {
+            marker: "i < 24",
+            parallel: true,
+            reduction: true,
+            note: "per-chunk pair loop (sx/sy/q reductions)",
+        },
+    ],
+};
+
+/// FT: FFT evolve phase plus the seed-chain loop with the `dummy` WAW
+/// quirk (Fig. 2.14: "Write-after-write dependences are frequently built
+/// in FT because of the use of variable dummy").
+pub const FT: Workload = Workload {
+    name: "FT",
+    suite: Suite::Nas,
+    parallel_target: false,
+    source: r#"global float re[256];
+global float im[256];
+global float start;
+global float dummy;
+global float RanStarts[16];
+fn randlc() -> float {
+    start = start * 1220703125.0;
+    start = start - floor(start / 16777216.0) * 16777216.0;
+    return start / 16777216.0;
+}
+fn main() {
+    start = 314159265.0;
+    for (int k = 1; k < 2048; k = k + 1) {
+        dummy = randlc();
+        RanStarts[k % 16] = start;
+        dummy = RanStarts[k % 16] * 0.5;
+        dummy = start * 0.25;
+    }
+    for (int i0 = 0; i0 < 256; i0 = i0 + 1) {
+        re[i0] = RanStarts[i0 % 16] * 0.001 + i0 * 0.01;
+        im[i0] = RanStarts[(i0 * 3) % 16] * 0.002;
+    }
+    for (int t = 0; t < 3; t = t + 1) {
+        for (int ip = 0; ip < 256; ip = ip + 1) {
+            float a = re[ip];
+            float b = im[ip];
+            re[ip] = a * 0.9 - b * 0.1;
+            im[ip] = a * 0.1 + b * 0.9;
+        }
+    }
+    print(re[0], im[0]);
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "k = 1; k < 2048",
+            parallel: false,
+            reduction: false,
+            note: "seed chain through randlc (dummy WAW pattern)",
+        },
+        LoopTruth {
+            marker: "i0 < 256",
+            parallel: true,
+            reduction: false,
+            note: "field initialization",
+        },
+        LoopTruth {
+            marker: "t < 3",
+            parallel: false,
+            reduction: false,
+            note: "time evolution steps",
+        },
+        LoopTruth {
+            marker: "ip < 256",
+            parallel: true,
+            reduction: false,
+            note: "evolve: independent points (hot loop of FT)",
+        },
+    ],
+};
+
+/// IS: integer (counting) sort. Histogram is a reduction; ranking and
+/// permutation are recurrences.
+pub const IS: Workload = Workload {
+    name: "IS",
+    suite: Suite::Nas,
+    parallel_target: false,
+    source: r#"global int keys[512];
+global int count[64];
+global int sorted[512];
+fn main() {
+    srand(8191);
+    for (int ig = 0; ig < 512; ig = ig + 1) {
+        keys[ig] = rand() % 64;
+    }
+    for (int ih = 0; ih < 512; ih = ih + 1) {
+        count[keys[ih]] += 1;
+    }
+    for (int b = 1; b < 64; b = b + 1) {
+        count[b] += count[b - 1];
+    }
+    for (int i = 511; i >= 0; i = i - 1) {
+        int k = keys[i];
+        count[k] -= 1;
+        sorted[count[k]] = k;
+    }
+    print(sorted[0], sorted[511]);
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "ig < 512",
+            parallel: true,
+            reduction: false,
+            note: "key generation",
+        },
+        LoopTruth {
+            marker: "ih < 512",
+            parallel: true,
+            reduction: true,
+            note: "key histogram (the parallel loop of IS)",
+        },
+        LoopTruth {
+            marker: "b = 1; b < 64",
+            parallel: false,
+            reduction: false,
+            note: "prefix-sum recurrence",
+        },
+        LoopTruth {
+            marker: "i = 511",
+            parallel: false,
+            reduction: false,
+            note: "permutation decrements shared ranks",
+        },
+    ],
+};
+
+/// LU: Gaussian elimination: sequential pivots, parallel panel updates.
+pub const LU: Workload = Workload {
+    name: "LU",
+    suite: Suite::Nas,
+    parallel_target: false,
+    source: r#"global float m[576];
+fn main() {
+    srand(77);
+    for (int i = 0; i < 576; i = i + 1) {
+        m[i] = (rand() % 100) * 0.01 + 1.0;
+    }
+    for (int k = 0; k < 23; k = k + 1) {
+        for (int i = k + 1; i < 24; i = i + 1) {
+            float factor = m[i * 24 + k] / m[k * 24 + k];
+            for (int j = k; j < 24; j = j + 1) {
+                m[i * 24 + j] = m[i * 24 + j] - factor * m[k * 24 + j];
+            }
+        }
+    }
+    print(m[575]);
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "i < 576",
+            parallel: true,
+            reduction: false,
+            note: "matrix init",
+        },
+        LoopTruth {
+            marker: "k < 23",
+            parallel: false,
+            reduction: false,
+            note: "pivot sequence",
+        },
+        LoopTruth {
+            marker: "i = k + 1",
+            parallel: true,
+            reduction: false,
+            note: "row updates below the pivot (the parallel loop of LU)",
+        },
+        LoopTruth {
+            marker: "j = k; j < 24",
+            parallel: true,
+            reduction: false,
+            note: "per-row elimination",
+        },
+    ],
+};
+
+/// MG: multigrid smoothing: pure stencils, fully parallel.
+pub const MG: Workload = Workload {
+    name: "MG",
+    suite: Suite::Nas,
+    parallel_target: false,
+    source: r#"global float u[258];
+global float r[258];
+fn main() {
+    for (int i = 0; i < 258; i = i + 1) {
+        u[i] = (i % 9) * 0.125;
+    }
+    for (int it = 0; it < 6; it = it + 1) {
+        for (int i = 1; i < 257; i = i + 1) {
+            r[i] = 0.5 * u[i] + 0.25 * (u[i - 1] + u[i + 1]);
+        }
+        for (int ic = 1; ic < 257; ic = ic + 1) {
+            u[ic] = r[ic];
+        }
+    }
+    print(u[128]);
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "i < 258",
+            parallel: true,
+            reduction: false,
+            note: "grid init",
+        },
+        LoopTruth {
+            marker: "it < 6",
+            parallel: false,
+            reduction: false,
+            note: "V-cycle iterations",
+        },
+        LoopTruth {
+            marker: "i = 1; i < 257",
+            parallel: true,
+            reduction: false,
+            note: "smoother stencil (hot loop of MG)",
+        },
+        LoopTruth {
+            marker: "ic < 257",
+            parallel: true,
+            reduction: false,
+            note: "copy-back",
+        },
+    ],
+};
+
+/// SP: scalar pentadiagonal: parallel lines with sequential line solves,
+/// plus a residual-norm reduction.
+pub const SP: Workload = Workload {
+    name: "SP",
+    suite: Suite::Nas,
+    parallel_target: false,
+    source: r#"global float v[1024];
+global float w[1024];
+global float norm;
+fn main() {
+    for (int i0 = 0; i0 < 1024; i0 = i0 + 1) {
+        v[i0] = ((i0 * 31) % 97) * 0.01;
+    }
+    for (int line = 0; line < 32; line = line + 1) {
+        int base = line * 32;
+        for (int j = 2; j < 32; j = j + 1) {
+            w[base + j] = v[base + j] - 0.2 * w[base + j - 1] - 0.05 * w[base + j - 2];
+        }
+    }
+    norm = 0.0;
+    for (int nn = 0; nn < 1024; nn = nn + 1) {
+        norm += w[nn] * w[nn];
+    }
+    print(norm);
+}
+"#,
+    truths: &[
+        LoopTruth {
+            marker: "i0 < 1024",
+            parallel: true,
+            reduction: false,
+            note: "init",
+        },
+        LoopTruth {
+            marker: "line < 32",
+            parallel: true,
+            reduction: false,
+            note: "independent pentadiagonal lines (the parallel loop of SP)",
+        },
+        LoopTruth {
+            marker: "j = 2; j < 32",
+            parallel: false,
+            reduction: false,
+            note: "second-order recurrence along the line",
+        },
+        LoopTruth {
+            marker: "nn < 1024",
+            parallel: true,
+            reduction: true,
+            note: "residual norm reduction",
+        },
+    ],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nas_results_sane() {
+        // BT/LU produce finite floats; IS produces a sorted array.
+        let p = IS.program().unwrap();
+        let r = interp::run(&p, interp::NullSink).unwrap();
+        // sorted[0] <= sorted[511] printed as "a b".
+        let parts: Vec<i64> = r.printed[0]
+            .split(' ')
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert!(parts[0] <= parts[1], "counting sort broken: {parts:?}");
+    }
+
+    #[test]
+    fn ft_exhibits_waw_on_dummy() {
+        let p = FT.program().unwrap();
+        let out = profiler::profile_program(&p).unwrap();
+        let dummy_waw = out.deps.sorted().into_iter().any(|d| {
+            d.ty == profiler::DepType::Waw && p.symbol(d.var) == "dummy"
+        });
+        assert!(dummy_waw, "FT must reproduce the dummy WAW pattern");
+    }
+
+    #[test]
+    fn ep_chunk_loop_is_reduction_parallel() {
+        let p = EP.program().unwrap();
+        let out = profiler::profile_program(&p).unwrap();
+        let d = discovery::discover(&p, &out.deps, &out.pet);
+        let line = EP.line_of("k < 128").unwrap();
+        let l = d
+            .loops
+            .iter()
+            .find(|l| l.info.start_line == line)
+            .expect("chunk loop analysed");
+        assert!(
+            matches!(
+                l.class,
+                discovery::LoopClass::Doall | discovery::LoopClass::Reduction
+            ),
+            "{l:?}"
+        );
+    }
+}

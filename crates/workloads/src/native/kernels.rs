@@ -1,0 +1,284 @@
+//! Sequential and suggestion-parallelized textbook kernels (Table 4.2).
+//!
+//! Each `_par` version applies precisely the parallelization the discovery
+//! pipeline suggests on the mini-C twin: the annotated DOALL loop becomes a
+//! rayon parallel iterator; reduction variables become rayon reductions.
+
+use rayon::prelude::*;
+
+/// Mandelbrot escape counts, sequential.
+pub fn mandelbrot_seq(w: usize, h: usize, max_iter: u32) -> Vec<u32> {
+    let mut img = vec![0u32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            img[y * w + x] = escape(x, y, w, h, max_iter);
+        }
+    }
+    img
+}
+
+/// Mandelbrot with the suggested row-level DOALL parallelization.
+pub fn mandelbrot_par(w: usize, h: usize, max_iter: u32) -> Vec<u32> {
+    let mut img = vec![0u32; w * h];
+    img.par_chunks_mut(w).enumerate().for_each(|(y, row)| {
+        for (x, px) in row.iter_mut().enumerate() {
+            *px = escape(x, y, w, h, max_iter);
+        }
+    });
+    img
+}
+
+fn escape(x: usize, y: usize, w: usize, h: usize, max_iter: u32) -> u32 {
+    let cr = x as f64 * 3.0 / w as f64 - 2.0;
+    let ci = y as f64 * 2.4 / h as f64 - 1.2;
+    let (mut zr, mut zi) = (0.0f64, 0.0f64);
+    let mut n = 0;
+    while n < max_iter {
+        let zr2 = zr * zr - zi * zi + cr;
+        zi = 2.0 * zr * zi + ci;
+        zr = zr2;
+        if zr * zr + zi * zi > 4.0 {
+            break;
+        }
+        n += 1;
+    }
+    n
+}
+
+/// Matrix multiply, sequential (row-major, n×n).
+pub fn matmul_seq(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = s;
+        }
+    }
+    c
+}
+
+/// Matrix multiply with the suggested outer-row DOALL.
+pub fn matmul_par(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    c.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for (j, out) in row.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += a[i * n + k] * b[k * n + j];
+            }
+            *out = s;
+        }
+    });
+    c
+}
+
+/// Histogram, sequential.
+pub fn histogram_seq(data: &[u8]) -> [u64; 256] {
+    let mut h = [0u64; 256];
+    for &d in data {
+        h[d as usize] += 1;
+    }
+    h
+}
+
+/// Histogram with the suggested reduction parallelization (per-thread
+/// private histograms merged at the end — the privatize-and-reduce
+/// transformation of Table 4.3).
+pub fn histogram_par(data: &[u8]) -> [u64; 256] {
+    data.par_chunks(16 * 1024)
+        .map(|chunk| {
+            let mut h = [0u64; 256];
+            for &d in chunk {
+                h[d as usize] += 1;
+            }
+            h
+        })
+        .reduce(
+            || [0u64; 256],
+            |mut a, b| {
+                for i in 0..256 {
+                    a[i] += b[i];
+                }
+                a
+            },
+        )
+}
+
+/// Midpoint-rule π, sequential.
+pub fn pi_seq(steps: usize) -> f64 {
+    let dx = 1.0 / steps as f64;
+    let mut acc = 0.0;
+    for i in 0..steps {
+        let x = (i as f64 + 0.5) * dx;
+        acc += 4.0 / (1.0 + x * x);
+    }
+    acc * dx
+}
+
+/// π with the suggested reduction parallelization.
+pub fn pi_par(steps: usize) -> f64 {
+    let dx = 1.0 / steps as f64;
+    let acc: f64 = (0..steps)
+        .into_par_iter()
+        .map(|i| {
+            let x = (i as f64 + 0.5) * dx;
+            4.0 / (1.0 + x * x)
+        })
+        .sum();
+    acc * dx
+}
+
+/// Merge sort, sequential.
+pub fn mergesort_seq(v: &mut [i64]) {
+    let n = v.len();
+    if n < 2 {
+        return;
+    }
+    let mid = n / 2;
+    mergesort_seq(&mut v[..mid]);
+    mergesort_seq(&mut v[mid..]);
+    merge(v, mid);
+}
+
+/// Merge sort with the suggested sibling-task parallelization (rayon join
+/// on the two recursive halves).
+pub fn mergesort_par(v: &mut [i64]) {
+    let n = v.len();
+    if n < 2 {
+        return;
+    }
+    if n < 4096 {
+        mergesort_seq(v);
+        return;
+    }
+    let mid = n / 2;
+    let (lo, hi) = v.split_at_mut(mid);
+    rayon::join(|| mergesort_par(lo), || mergesort_par(hi));
+    merge(v, mid);
+}
+
+fn merge(v: &mut [i64], mid: usize) {
+    let mut out = Vec::with_capacity(v.len());
+    let (mut i, mut j) = (0, mid);
+    while i < mid && j < v.len() {
+        if v[i] <= v[j] {
+            out.push(v[i]);
+            i += 1;
+        } else {
+            out.push(v[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&v[i..mid]);
+    out.extend_from_slice(&v[j..]);
+    v.copy_from_slice(&out);
+}
+
+/// One n-body force+integrate step, sequential. Returns new positions.
+pub fn nbody_seq(pos: &mut [f64], vel: &mut [f64], steps: usize) {
+    let n = pos.len();
+    let mut force = vec![0.0; n];
+    for _ in 0..steps {
+        for i in 0..n {
+            let mut f = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let d = pos[j] - pos[i];
+                    f += d / (d * d + 0.01);
+                }
+            }
+            force[i] = f;
+        }
+        for i in 0..n {
+            vel[i] += force[i] * 0.01;
+            pos[i] += vel[i] * 0.01;
+        }
+    }
+}
+
+/// n-body with the suggested per-body DOALL on the force loop.
+pub fn nbody_par(pos: &mut [f64], vel: &mut [f64], steps: usize) {
+    let n = pos.len();
+    let mut force = vec![0.0; n];
+    for _ in 0..steps {
+        {
+            let posr: &[f64] = pos;
+            force.par_iter_mut().enumerate().for_each(|(i, f)| {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    if i != j {
+                        let d = posr[j] - posr[i];
+                        acc += d / (d * d + 0.01);
+                    }
+                }
+                *f = acc;
+            });
+        }
+        for i in 0..n {
+            vel[i] += force[i] * 0.01;
+            pos[i] += vel[i] * 0.01;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mandelbrot_par_matches_seq() {
+        assert_eq!(mandelbrot_seq(64, 48, 100), mandelbrot_par(64, 48, 100));
+    }
+
+    #[test]
+    fn matmul_par_matches_seq() {
+        let n = 24;
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64 * 0.5).collect();
+        let s = matmul_seq(&a, &b, n);
+        let p = matmul_par(&a, &b, n);
+        for (x, y) in s.iter().zip(&p) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_par_matches_seq() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        assert_eq!(histogram_seq(&data), histogram_par(&data));
+    }
+
+    #[test]
+    fn pi_par_matches_seq() {
+        let s = pi_seq(100_000);
+        let p = pi_par(100_000);
+        assert!((s - p).abs() < 1e-9);
+        assert!((s - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mergesort_par_sorts() {
+        let mut v: Vec<i64> = (0..20_000).map(|i| (i * 7919 % 10_007) as i64).collect();
+        let mut w = v.clone();
+        mergesort_par(&mut v);
+        w.sort();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn nbody_par_matches_seq() {
+        let n = 64;
+        let mut p1: Vec<f64> = (0..n).map(|i| i as f64 * 0.3).collect();
+        let mut v1 = vec![0.0; n];
+        let mut p2 = p1.clone();
+        let mut v2 = v1.clone();
+        nbody_seq(&mut p1, &mut v1, 3);
+        nbody_par(&mut p2, &mut v2, 3);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

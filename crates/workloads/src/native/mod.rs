@@ -1,0 +1,18 @@
+//! Native Rust implementations used for *measured* speedups.
+//!
+//! Table 4.2 reports the speedup obtained when the tool's suggestions are
+//! applied to textbook programs; Fig. 4.11 reports FaceDetection speedups
+//! when its task graph is executed in parallel. This module provides the
+//! sequential kernels and parallel versions that follow exactly the
+//! suggestions the discovery pipeline emits for the mini-C twins
+//! (parallelize the annotated DOALL loop; add a reduction where flagged;
+//! run the task graph stages concurrently).
+
+pub mod facedetect;
+pub mod kernels;
+
+pub use facedetect::{face_detection_pipeline, FaceDetectInput};
+pub use kernels::{
+    histogram_par, histogram_seq, mandelbrot_par, mandelbrot_seq, matmul_par, matmul_seq,
+    mergesort_par, mergesort_seq, nbody_par, nbody_seq, pi_par, pi_seq,
+};

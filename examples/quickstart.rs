@@ -1,0 +1,45 @@
+//! Quickstart: analyse a small program end to end and print the report.
+//!
+//! Run with: `cargo run --example quickstart`
+
+fn main() {
+    let source = r#"
+global float field[256];
+global float total;
+
+fn smooth() {
+    for (int i = 1; i < 255; i = i + 1) {
+        field[i] = 0.5 * field[i] + 0.25 * (field[i - 1] + field[i + 1]);
+    }
+}
+
+fn main() {
+    for (int i = 0; i < 256; i = i + 1) {
+        field[i] = (i % 16) * 0.125;
+    }
+    smooth();
+    total = 0.0;
+    for (int j = 0; j < 256; j = j + 1) {
+        total = total + field[j];
+    }
+    print(total);
+}
+"#;
+
+    let program =
+        interp::Program::new(lang::compile(source, "quickstart").expect("compiles"));
+    let report = discopop::analyze_program(&program).expect("analysis succeeds");
+
+    println!("{}", discopop::render_report(&program, &report));
+
+    println!("Per-loop classification:");
+    for l in &report.discovery.loops {
+        println!(
+            "  line {:>3}: {:?} ({} iterations, {} instructions)",
+            l.info.start_line, l.class, l.info.iters, l.info.dyn_instrs
+        );
+        if !l.reduction_vars.is_empty() {
+            println!("      reduction variables: {:?}", l.reduction_vars);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Export the CU graph of a program as Graphviz DOT (Figs. 3.6/3.7) and
+//! print the discovered task structure.
+//!
+//! Run with: `cargo run --example task_graph`
+
+fn main() {
+    // The rot-cc stand-in: rotate, then colour-convert — a staged program
+    // whose CU graph shows the pipeline structure.
+    let w = workloads::by_name("rot-cc").expect("workload exists");
+    let program = w.program().expect("compiles");
+    let profile = profiler::profile_program(&program).expect("profiles");
+
+    let graph = cu::build_cu_graph_fine(&cu::CuBuildInput {
+        program: &program,
+        deps: &profile.deps,
+        pet: Some(&profile.pet),
+    });
+
+    let dot = cu::graph::to_dot(&graph, "rot-cc", &|i, c: &cu::Cu| {
+        format!("CU{i}\\nlines {}-{}\\nweight {}", c.start_line, c.end_line, c.weight)
+    });
+    println!("{dot}");
+
+    let d = discovery::discover(&program, &profile.deps, &profile.pet);
+    eprintln!("MPMD task sets:");
+    for m in &d.mpmd {
+        let spans: Vec<String> = m
+            .tasks
+            .iter()
+            .map(|t| format!("lines {}-{} (weight {})", t.start_line, t.end_line, t.weight))
+            .collect();
+        eprintln!("  concurrent: {}", spans.join(" ∥ "));
+    }
+}

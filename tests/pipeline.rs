@@ -1,0 +1,191 @@
+//! End-to-end integration tests spanning every crate: compile → interpret →
+//! profile (serial and parallel engines) → CUs → discovery → report.
+
+use discopop::{analyze_source, render_report};
+
+#[test]
+fn full_pipeline_on_mixed_program() {
+    let src = r#"
+global float a[128];
+global float b[128];
+global float acc;
+fn main() {
+    for (int i = 0; i < 128; i = i + 1) {
+        a[i] = i * 0.5;
+    }
+    for (int j = 1; j < 128; j = j + 1) {
+        b[j] = b[j - 1] + a[j];
+    }
+    acc = 0.0;
+    for (int k = 0; k < 128; k = k + 1) {
+        acc += a[k] * b[k];
+    }
+    print(acc);
+}
+"#;
+    let report = analyze_source(src, "mixed").unwrap();
+    assert_eq!(report.discovery.loops.len(), 3);
+
+    let class_of = |line: u32| {
+        report
+            .discovery
+            .loops
+            .iter()
+            .find(|l| l.info.start_line == line)
+            .map(|l| l.class)
+            .unwrap()
+    };
+    assert_eq!(class_of(6), discovery::LoopClass::Doall, "init loop");
+    assert!(
+        matches!(
+            class_of(9),
+            discovery::LoopClass::Doacross | discovery::LoopClass::Sequential
+        ),
+        "prefix recurrence must not be parallel"
+    );
+    assert_eq!(class_of(13), discovery::LoopClass::Reduction, "dot product");
+
+    // The recurrence must not appear among ranked suggestions; the DOALL
+    // and reduction loops must.
+    let ranked_lines: Vec<u32> = report
+        .discovery
+        .ranked
+        .iter()
+        .filter_map(|r| match &r.target {
+            discovery::ranking::SuggestionTarget::Loop { start_line, .. } => Some(*start_line),
+            _ => None,
+        })
+        .collect();
+    assert!(ranked_lines.contains(&6));
+    assert!(ranked_lines.contains(&13));
+}
+
+#[test]
+fn serial_and_parallel_profilers_agree_end_to_end() {
+    // Compare against the perfect-shadow baseline: with collision-free
+    // signature sizes the parallel engine must be exact. (At small sizes,
+    // one serial table and W partitioned worker tables collide
+    // *differently*, so exact equality is only defined vs. perfect —
+    // e.g. CG at 2^18 slots shows 6 collisions serially and 0 when
+    // partitioned over 8 workers.)
+    let w = workloads::by_name("CG").unwrap();
+    let program = w.program().unwrap();
+    let perfect = profiler::profile_program(&program).unwrap();
+    let par = profiler::profile_parallel(
+        &program,
+        profiler::ParallelConfig {
+            workers: 8,
+            sig_slots: 1 << 22,
+            ..Default::default()
+        },
+        interp::RunConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(perfect.deps.sorted(), par.deps.sorted());
+}
+
+#[test]
+fn signature_accuracy_high_on_real_workload() {
+    let w = workloads::by_name("kmeans").unwrap();
+    let program = w.program().unwrap();
+    let perfect = profiler::profile_program(&program).unwrap();
+    let sig = profiler::profile_program_with(
+        &program,
+        &profiler::ProfileConfig {
+            sig_slots: Some(1_000_000),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let (fpr, fnr) = sig.deps.accuracy_vs(&perfect.deps);
+    assert!(fpr < 0.01, "false positive rate {fpr}");
+    assert!(fnr < 0.01, "false negative rate {fnr}");
+}
+
+#[test]
+fn skip_optimization_is_output_transparent_across_suites() {
+    for name in ["MG", "dotprod", "histogram"] {
+        let w = workloads::by_name(name).unwrap();
+        let program = w.program().unwrap();
+        let plain = profiler::profile_program(&program).unwrap();
+        let skip = profiler::profile_program_with(
+            &program,
+            &profiler::ProfileConfig {
+                skip_loops: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            plain.deps.sorted(),
+            skip.deps.sorted(),
+            "{name}: skipping changed the output"
+        );
+        assert!(
+            skip.skip_stats.total_skipped > 0,
+            "{name}: nothing was skipped"
+        );
+    }
+}
+
+#[test]
+fn report_renders_for_every_textbook_program() {
+    for w in workloads::suite(workloads::Suite::Textbook) {
+        let program = w.program().unwrap();
+        let report = discopop::analyze_program(&program).unwrap();
+        let text = render_report(&program, &report);
+        assert!(
+            text.contains("Ranked parallelization opportunities"),
+            "{}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn multithreaded_pipeline_with_locks_is_exact_on_locked_var() {
+    let src = r#"
+global int shared;
+fn w(int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        lock(7);
+        shared = shared + 1;
+        unlock(7);
+    }
+}
+fn main() {
+    int a = spawn(w, 30);
+    int b = spawn(w, 30);
+    join(a);
+    join(b);
+    print(shared);
+}
+"#;
+    let program = interp::Program::new(lang::compile(src, "locked").unwrap());
+    let out = profiler::profile_multithreaded_target(
+        &program,
+        profiler::ParallelConfig {
+            workers: 4,
+            ..Default::default()
+        },
+        interp::RunConfig::default(),
+    )
+    .unwrap();
+    // Lock-ordered accesses must not be flagged as races.
+    let shared_races: Vec<_> = out
+        .deps
+        .race_hints()
+        .into_iter()
+        .filter(|d| program.symbol(d.var) == "shared")
+        .collect();
+    assert!(
+        shared_races.is_empty(),
+        "lock-protected accesses flagged: {shared_races:?}"
+    );
+    // But cross-thread flow on the counter must be visible.
+    assert!(out
+        .deps
+        .sorted()
+        .iter()
+        .any(|d| d.is_cross_thread() && program.symbol(d.var) == "shared"));
+}

@@ -1,0 +1,359 @@
+//! Property-based tests over core invariants, using generated mini-C
+//! programs and generated access traces.
+
+use proptest::prelude::*;
+use profiler::{
+    Access, AccessMap, Cell, DepBuilder, EngineConfig, InstanceTable, PerfectMap, SignatureMap,
+    NO_INSTANCE,
+};
+
+/// Strategy: a random access trace over a small address set.
+fn traces() -> impl Strategy<Value = Vec<Access>> {
+    prop::collection::vec(
+        (0u64..24, 0u32..12, any::<bool>()),
+        1..200,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (slot, op, is_write))| {
+                // A static memory operation has a fixed access type
+                // ("accessType … does not change over time", §2.4), so
+                // loads and stores draw from disjoint op-id ranges.
+                let op = op * 2 + is_write as u32;
+                Access {
+                    addr: 0x1000 + slot * 8,
+                    op,
+                    line: op + 1,
+                    var: op % 5,
+                    thread: 0,
+                    ts: i as u64 + 1,
+                    is_write,
+                    instance: NO_INSTANCE,
+                    iter: 0,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// A sufficiently large signature must agree exactly with the perfect
+    /// shadow on any trace (no collisions → no approximation error).
+    #[test]
+    fn large_signature_equals_perfect(trace in traces()) {
+        let t = InstanceTable::new();
+        let mut sig = DepBuilder::new(
+            SignatureMap::new(1 << 16),
+            SignatureMap::new(1 << 16),
+            32,
+            EngineConfig::default(),
+        );
+        let mut per = DepBuilder::new(
+            PerfectMap::new(),
+            PerfectMap::new(),
+            32,
+            EngineConfig::default(),
+        );
+        for a in &trace {
+            sig.process(a, &t);
+            per.process(a, &t);
+        }
+        prop_assert_eq!(sig.deps.sorted(), per.deps.sorted());
+    }
+
+    /// Skipping never changes the dependence output, on any trace.
+    #[test]
+    fn skip_is_output_transparent(trace in traces()) {
+        let t = InstanceTable::new();
+        let mut plain = DepBuilder::new(
+            PerfectMap::new(),
+            PerfectMap::new(),
+            32,
+            EngineConfig { skip_loops: false },
+        );
+        let mut skip = DepBuilder::new(
+            PerfectMap::new(),
+            PerfectMap::new(),
+            32,
+            EngineConfig { skip_loops: true },
+        );
+        for a in &trace {
+            plain.process(a, &t);
+            skip.process(a, &t);
+        }
+        prop_assert_eq!(plain.deps.sorted(), skip.deps.sorted());
+    }
+
+    /// Merging is idempotent in the merged size: processing a trace twice
+    /// must not add new *distinct* dependences beyond the union semantics
+    /// of merged output (counts grow, set may only grow by deps created at
+    /// the replay boundary).
+    #[test]
+    fn dep_counts_accumulate(trace in traces()) {
+        let t = InstanceTable::new();
+        let mut e = DepBuilder::new(
+            PerfectMap::new(),
+            PerfectMap::new(),
+            32,
+            EngineConfig::default(),
+        );
+        for a in &trace {
+            e.process(a, &t);
+        }
+        let first_total = e.deps.total_found;
+        let first_merged = e.deps.len() as u64;
+        prop_assert!(first_merged <= first_total.max(1));
+    }
+
+    /// Signature membership: after inserting an address, `get` on a
+    /// collision-free table returns exactly what was stored.
+    #[test]
+    fn signature_roundtrip(addrs in prop::collection::btree_set(0u64..512, 1..64)) {
+        let mut m = SignatureMap::new(1 << 16);
+        for (i, &a) in addrs.iter().enumerate() {
+            m.set(0x4000 + a * 8, Cell {
+                op: i as u32,
+                line: i as u32 + 1,
+                var: 0,
+                thread: 0,
+                ts: i as u64,
+                instance: NO_INSTANCE,
+                iter: 0,
+            });
+        }
+        for (i, &a) in addrs.iter().enumerate() {
+            let c = m.get(0x4000 + a * 8);
+            prop_assert_eq!(c.map(|c| c.op), Some(i as u32));
+        }
+    }
+
+    /// The carried-by relation is symmetric in its verdict (a dep between
+    /// two contexts is carried by the same loop regardless of argument
+    /// order).
+    #[test]
+    fn carried_by_symmetric(
+        depth_a in 0usize..4,
+        depth_b in 0usize..4,
+        iters in prop::collection::vec(1u32..5, 8),
+    ) {
+        let mut t = InstanceTable::new();
+        // Build one nested chain of instances.
+        let mut chain = vec![];
+        let mut parent = NO_INSTANCE;
+        for d in 0..4u32 {
+            let inst = t.enter((0, d + 1), parent, iters[d as usize]);
+            chain.push(inst);
+            parent = inst;
+        }
+        let (ia, ib) = (chain[depth_a], chain[depth_b]);
+        let (ua, ub) = (iters[4 + depth_a % 4], iters[(5 + depth_b) % 8]);
+        let ab = t.carried_by(ia, ua, ib, ub);
+        let ba = t.carried_by(ib, ub, ia, ua);
+        prop_assert_eq!(ab, ba);
+    }
+}
+
+mod program_props {
+    use super::*;
+
+    /// Strategy: generate a random but well-formed mini-C loop nest over
+    /// two global arrays.
+    fn programs() -> impl Strategy<Value = String> {
+        (
+            1u32..5,            // outer trip count divisor
+            prop::bool::ANY,    // reduction?
+            prop::bool::ANY,    // recurrence?
+            2u32..6,            // work lines
+        )
+            .prop_map(|(div, reduction, recurrence, work)| {
+                let n = 64 / div;
+                let mut body = String::new();
+                for w in 0..work {
+                    body.push_str(&format!("        b[i] = a[i] * {w} + b[i];\n"));
+                }
+                if reduction {
+                    body.push_str("        s = s + a[i];\n");
+                }
+                if recurrence {
+                    body.push_str("        c[i + 1] = c[i] + 1;\n");
+                }
+                format!(
+                    "global int a[70];\nglobal int b[70];\nglobal int c[70];\nglobal int s;\nfn main() {{\n    for (int i = 0; i < {n}; i = i + 1) {{\n{body}    }}\n}}\n"
+                )
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Generated programs always compile, run, and profile; the
+        /// discovery verdict matches the generated structure: a recurrence
+        /// forces non-DOALL, otherwise the loop is parallel.
+        #[test]
+        fn discovery_matches_generated_structure(src in programs()) {
+            let program = interp::Program::new(
+                lang::compile(&src, "gen").expect("generated program compiles"),
+            );
+            let report = discopop::analyze_program(&program).expect("analyzes");
+            let has_recurrence = src.contains("c[i + 1]");
+            let l = &report.discovery.loops[0];
+            if has_recurrence {
+                prop_assert!(
+                    matches!(
+                        l.class,
+                        discovery::LoopClass::Doacross | discovery::LoopClass::Sequential
+                    ),
+                    "recurrence mis-detected: {:?}\n{}",
+                    l,
+                    src
+                );
+            } else {
+                prop_assert!(
+                    matches!(
+                        l.class,
+                        discovery::LoopClass::Doall | discovery::LoopClass::Reduction
+                    ),
+                    "parallel loop mis-detected: {:?}\n{}",
+                    l,
+                    src
+                );
+            }
+        }
+
+        /// Every line with a memory access is covered by exactly one CU of
+        /// the fine-grained decomposition (partition property).
+        #[test]
+        fn cus_partition_accessed_lines(src in programs()) {
+            let program = interp::Program::new(
+                lang::compile(&src, "gen").expect("compiles"),
+            );
+            let out = profiler::profile_program(&program).expect("profiles");
+            let graph = cu::build_cu_graph_fine(&cu::CuBuildInput {
+                program: &program,
+                deps: &out.deps,
+                pet: Some(&out.pet),
+            });
+            // Fragment CUs must never overlap each other's lines.
+            let mut seen = std::collections::BTreeSet::new();
+            for c in &graph.cus {
+                if c.kind == cu::CuKind::Fragment {
+                    for l in &c.lines {
+                        prop_assert!(
+                            seen.insert(*l),
+                            "line {l} in two fragment CUs\n{src}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+mod robustness_props {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The frontend never panics: arbitrary byte soup either compiles
+        /// or returns a structured error with a line number.
+        #[test]
+        fn compiler_never_panics(src in "[ -~\\n]{0,200}") {
+            match lang::compile(&src, "fuzz") {
+                Ok(m) => {
+                    // Whatever compiles must verify.
+                    prop_assert!(mir::verify_module(&m).is_empty());
+                }
+                Err(e) => prop_assert!(!e.message.is_empty()),
+            }
+        }
+
+        /// Token-plausible soup built from language fragments also never
+        /// panics (hits deeper parser paths than raw bytes).
+        #[test]
+        fn parser_never_panics_on_fragment_soup(
+            parts in prop::collection::vec(
+                prop::sample::select(vec![
+                    "fn", "main", "(", ")", "{", "}", "int", "float", "for",
+                    "while", "if", "else", "return", ";", "=", "+", "x",
+                    "42", "1.5", "[", "]", ",", "<", "global", "break",
+                ]),
+                0..40,
+            ),
+        ) {
+            let src = parts.join(" ");
+            let _ = lang::compile(&src, "fuzz");
+        }
+    }
+}
+
+mod failure_injection {
+    /// An infinite loop hits the step limit instead of hanging.
+    #[test]
+    fn step_limit_enforced() {
+        let m = lang::compile("fn main() { while (1) { } }", "t").unwrap();
+        let p = interp::Program::new(m);
+        let cfg = interp::RunConfig {
+            max_steps: 10_000,
+            ..Default::default()
+        };
+        assert_eq!(
+            interp::run_with_config(&p, interp::NullSink, cfg).unwrap_err(),
+            interp::RuntimeError::StepLimit
+        );
+    }
+
+    /// The profiler surfaces target-program failures instead of producing
+    /// partial garbage silently.
+    #[test]
+    fn profiler_propagates_runtime_errors() {
+        let m = lang::compile(
+            "global int a[4];\nfn main() { int i = 7; a[i] = 1; }",
+            "t",
+        )
+        .unwrap();
+        let p = interp::Program::new(m);
+        assert!(matches!(
+            profiler::profile_program(&p),
+            Err(interp::RuntimeError::OutOfBounds { .. })
+        ));
+    }
+
+    /// The parallel profiler shuts its workers down cleanly even when the
+    /// target program fails mid-run.
+    #[test]
+    fn parallel_profiler_cleans_up_on_error() {
+        let m = lang::compile(
+            "fn main() { for (int i = 0; i < 10; i = i + 1) { int z = 5 - i; int q = 10 / (z * z + z - 30); } }",
+            "t",
+        )
+        .unwrap();
+        let p = interp::Program::new(m);
+        // Runs to completion or fails; either way this must not hang or
+        // leak worker threads (thread join happens in finalize/drop).
+        let _ = profiler::profile_parallel(
+            &p,
+            profiler::ParallelConfig {
+                workers: 4,
+                ..Default::default()
+            },
+            interp::RunConfig::default(),
+        );
+    }
+
+    /// Deadlocked targets are detected, not spun on.
+    #[test]
+    fn deadlock_surfaces_through_profiler() {
+        let m = lang::compile(
+            "fn h(int x) { lock(2); unlock(2); }\nfn main() { lock(2); int t = spawn(h, 0); join(t); }",
+            "t",
+        )
+        .unwrap();
+        let p = interp::Program::new(m);
+        assert!(matches!(
+            profiler::profile_program(&p),
+            Err(interp::RuntimeError::Deadlock)
+        ));
+    }
+}

@@ -1,0 +1,114 @@
+//! Detection-quality integration test: run discovery over every annotated
+//! workload loop and check the verdicts against ground truth — the
+//! mechanism behind the Table 4.1 recall numbers.
+
+use discovery::LoopClass;
+
+/// Classify one annotated loop of a workload.
+fn verdict(w: &workloads::Workload, marker: &str) -> (LoopClass, bool) {
+    let program = w.program().unwrap();
+    let out = profiler::profile_program(&program).unwrap();
+    let d = discovery::discover(&program, &out.deps, &out.pet);
+    let line = w.line_of(marker).unwrap();
+    let l = d
+        .loops
+        .iter()
+        .find(|l| l.info.start_line == line)
+        .unwrap_or_else(|| panic!("{}: loop at line {line} not analysed", w.name));
+    let parallel = matches!(l.class, LoopClass::Doall | LoopClass::Reduction);
+    (l.class, parallel)
+}
+
+#[test]
+fn nas_detection_recall_is_high() {
+    // Table 4.1: DiscoPoP identifies 92.5% of the parallelizable NAS
+    // loops. Our stand-ins must reach at least that recall, with no
+    // false positives on annotated sequential loops.
+    let mut total_parallel = 0;
+    let mut found_parallel = 0;
+    let mut false_positives = Vec::new();
+    for w in workloads::suite(workloads::Suite::Nas) {
+        let program = w.program().unwrap();
+        let out = profiler::profile_program(&program).unwrap();
+        let d = discovery::discover(&program, &out.deps, &out.pet);
+        for t in w.truths {
+            let line = w.line_of(t.marker).unwrap();
+            let l = d
+                .loops
+                .iter()
+                .find(|l| l.info.start_line == line)
+                .unwrap_or_else(|| panic!("{}: loop `{}` missing", w.name, t.marker));
+            let detected = matches!(l.class, LoopClass::Doall | LoopClass::Reduction);
+            if t.parallel {
+                total_parallel += 1;
+                if detected {
+                    found_parallel += 1;
+                }
+            } else if detected {
+                false_positives.push(format!("{}:{} ({})", w.name, line, t.note));
+            }
+        }
+    }
+    let recall = found_parallel as f64 / total_parallel as f64;
+    assert!(
+        recall >= 0.925,
+        "NAS recall {recall:.3} below the paper's 92.5% ({found_parallel}/{total_parallel})"
+    );
+    assert!(
+        false_positives.is_empty(),
+        "sequential loops wrongly declared parallel: {false_positives:?}"
+    );
+}
+
+#[test]
+fn reduction_flags_match_annotations() {
+    for w in workloads::suite(workloads::Suite::Textbook) {
+        for t in w.truths.iter().filter(|t| t.parallel && t.reduction) {
+            let (class, _) = verdict(&w, t.marker);
+            assert_eq!(
+                class,
+                LoopClass::Reduction,
+                "{}: `{}` should be a reduction",
+                w.name,
+                t.note
+            );
+        }
+    }
+}
+
+#[test]
+fn sequential_truths_never_doall_anywhere() {
+    for w in workloads::all() {
+        if w.parallel_target {
+            continue;
+        }
+        for t in w.truths.iter().filter(|t| !t.parallel) {
+            let (class, parallel) = verdict(&w, t.marker);
+            assert!(
+                !parallel,
+                "{}: `{}` ({}) wrongly {class:?}",
+                w.name, t.marker, t.note
+            );
+        }
+    }
+}
+
+#[test]
+fn bots_hot_spots_all_get_correct_decisions() {
+    // §4.4.3: "correct parallelization decisions on all the 20 hot spots
+    // from the Barcelona OpenMP Task Suite". Here: every annotated BOTS
+    // loop verdict matches its truth.
+    let mut checked = 0;
+    for w in workloads::suite(workloads::Suite::Bots) {
+        for t in w.truths {
+            let (class, parallel) = verdict(&w, t.marker);
+            assert_eq!(
+                parallel, t.parallel,
+                "{}: `{}` ({}) got {class:?}",
+                w.name, t.marker, t.note
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 8, "too few annotated BOTS hot spots: {checked}");
+}
