@@ -294,7 +294,11 @@ mod tests {
         // features so the stump search has work to do.
         let mut d = Dataset::default();
         for i in 0..40 {
-            let carried = if i % 2 == 0 { 0.0 } else { 1.0 + (i % 3) as f64 };
+            let carried = if i % 2 == 0 {
+                0.0
+            } else {
+                1.0 + (i % 3) as f64
+            };
             let x = Features([
                 (i * 10) as f64,
                 5.0 + (i % 7) as f64,
@@ -326,7 +330,9 @@ mod tests {
         let d = synthetic();
         let model = AdaBoost::train(&d, 10);
         let imp = model.feature_importance();
-        let max_f = (0..NUM_FEATURES).max_by(|&a, &b| imp[a].total_cmp(&imp[b])).unwrap();
+        let max_f = (0..NUM_FEATURES)
+            .max_by(|&a, &b| imp[a].total_cmp(&imp[b]))
+            .unwrap();
         assert_eq!(
             FEATURE_NAMES[max_f], "carried_raw_count",
             "importances: {imp:?}"

@@ -63,9 +63,10 @@ pub fn transactions_for(
                 // need atomicity.
                 let f = &program.module.functions[l.info.func as usize];
                 let r = &f.regions[l.info.region as usize];
-                let is_loop_local = f.locals.iter().any(|v| {
-                    v.name == name && v.line >= r.start_line && v.line <= r.end_line
-                });
+                let is_loop_local = f
+                    .locals
+                    .iter()
+                    .any(|v| v.name == name && v.line >= r.start_line && v.line <= r.end_line);
                 if !is_loop_local {
                     by_line.entry(d.sink.line).or_default().insert(name);
                 }

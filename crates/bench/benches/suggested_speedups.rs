@@ -32,8 +32,12 @@ fn speedups(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(histogram_par(&data)))
     });
 
-    g.bench_function("pi/seq", |b| b.iter(|| std::hint::black_box(pi_seq(4_000_000))));
-    g.bench_function("pi/par", |b| b.iter(|| std::hint::black_box(pi_par(4_000_000))));
+    g.bench_function("pi/seq", |b| {
+        b.iter(|| std::hint::black_box(pi_seq(4_000_000)))
+    });
+    g.bench_function("pi/par", |b| {
+        b.iter(|| std::hint::black_box(pi_par(4_000_000)))
+    });
 
     g.finish();
 }

@@ -295,7 +295,12 @@ fn parallel_target() {
         };
         let (t8, o8) = run(8);
         let (t16, o16) = run(16);
-        let cross = o8.deps.sorted().iter().filter(|d| d.is_cross_thread()).count();
+        let cross = o8
+            .deps
+            .sorted()
+            .iter()
+            .filter(|d| d.is_cross_thread())
+            .count();
         println!(
             "| {} | {} | {} | {:.1} | {:.1} | {} | {} |",
             w.name,
@@ -307,7 +312,9 @@ fn parallel_target() {
             o8.deps.race_hints().len()
         );
     }
-    println!("\n(paper: 346× at 8T, 261× at 16T; higher than sequential targets due to contention)");
+    println!(
+        "\n(paper: 346× at 8T, 261× at 16T; higher than sequential targets due to contention)"
+    );
 }
 
 // ---- E7: Fig 2.12 ----
@@ -503,7 +510,8 @@ fn textbook_speedup() {
     println!("| program | sequential (ms) | parallel (ms) | speedup |");
     println!("|---|---|---|---|");
     use workloads::native::*;
-    let cases: Vec<(&str, Box<dyn Fn() + Sync>, Box<dyn Fn() + Sync>)> = vec![
+    type Case = (&'static str, Box<dyn Fn() + Sync>, Box<dyn Fn() + Sync>);
+    let cases: Vec<Case> = vec![
         (
             "mandelbrot",
             Box::new(|| {
@@ -542,14 +550,16 @@ fn textbook_speedup() {
         (
             "mergesort",
             Box::new(|| {
-                let mut v: Vec<i64> =
-                    (0..2_000_000).map(|i| (i * 7919 % 1_000_003) as i64).collect();
+                let mut v: Vec<i64> = (0..2_000_000)
+                    .map(|i| (i * 7919 % 1_000_003) as i64)
+                    .collect();
                 mergesort_seq(&mut v);
                 std::hint::black_box(v);
             }),
             Box::new(|| {
-                let mut v: Vec<i64> =
-                    (0..2_000_000).map(|i| (i * 7919 % 1_000_003) as i64).collect();
+                let mut v: Vec<i64> = (0..2_000_000)
+                    .map(|i| (i * 7919 % 1_000_003) as i64)
+                    .collect();
                 mergesort_par(&mut v);
                 std::hint::black_box(v);
             }),
@@ -582,8 +592,8 @@ fn textbook_speedup() {
         ),
     ];
     for (name, seq, par) in cases {
-        let t_seq = time_median(3, || seq());
-        let t_par = pool.install(|| time_median(3, || par()));
+        let t_seq = time_median(3, seq);
+        let t_par = pool.install(|| time_median(3, par));
         println!(
             "| {} | {:.1} | {:.1} | {} |",
             name,
@@ -659,12 +669,11 @@ fn gzip_bzip2() {
         println!("### {name}");
         println!("- suggestions: {suggestions}");
         if let Some(k) = key {
-            println!(
-                "- top-ranked: {:?} (score {:.3})",
-                k.target, k.score
-            );
+            println!("- top-ranked: {:?} (score {:.3})", k.target, k.score);
         }
-        let block_loop = w.line_of(if name == "gzip" { "b < 8" } else { "b < 4" }).unwrap();
+        let block_loop = w
+            .line_of(if name == "gzip" { "b < 8" } else { "b < 4" })
+            .unwrap();
         let l = d
             .loops
             .iter()
@@ -786,7 +795,9 @@ fn ranking() {
         println!("|---|---|---|---|---|---|");
         for (i, r) in d.ranked.iter().take(5).enumerate() {
             let target = match &r.target {
-                discovery::ranking::SuggestionTarget::Loop { start_line, class, .. } => {
+                discovery::ranking::SuggestionTarget::Loop {
+                    start_line, class, ..
+                } => {
                     format!("loop@{start_line} {class:?}")
                 }
                 discovery::ranking::SuggestionTarget::TaskSet { spans, .. } => {
@@ -829,7 +840,10 @@ fn ml_doall() {
             }
         }
     }
-    println!("dataset: {} labelled loops (Table 5.1 features)\n", data.samples.len());
+    println!(
+        "dataset: {} labelled loops (Table 5.1 features)\n",
+        data.samples.len()
+    );
     let (train, test) = data.split(4);
     let model = apps::AdaBoost::train(&train, 20);
     println!("### Table 5.2 — feature importance\n");
@@ -917,17 +931,9 @@ fn cu_ablation() {
         let hot = discovery::hot_loops(&p, &out.pet);
         let bu = hot
             .first()
-            .map(|l| {
-                cu::build_cus_bottom_up(&p, &out.deps, l.func, l.start_line, l.end_line).len()
-            })
+            .map(|l| cu::build_cus_bottom_up(&p, &out.deps, l.func, l.start_line, l.end_line).len())
             .unwrap_or(0);
-        println!(
-            "| {} | {} | {} | {} |",
-            name,
-            coarse.len(),
-            fine.len(),
-            bu
-        );
+        println!("| {} | {} | {} | {} |", name, coarse.len(), fine.len(), bu);
     }
     println!("\n(the dissertation's finding: bottom-up CUs are \"too fine to discover");
     println!("coarse-grained parallel tasks\"; the top-down approach stays coarse and");
@@ -937,7 +943,9 @@ fn cu_ablation() {
 // ---- Eq 2.2 — estimated vs measured false-positive probability ----
 fn fp_model() {
     println!("\n## Eq 2.2 — signature false-positive model vs measurement\n");
-    println!("| program | #addresses n | slots m | predicted P_fp | measured slot-collision rate |");
+    println!(
+        "| program | #addresses n | slots m | predicted P_fp | measured slot-collision rate |"
+    );
     println!("|---|---|---|---|---|");
     for name in ["kmeans", "c-ray", "rotate"] {
         let w = workloads::by_name(name).unwrap();

@@ -5,6 +5,8 @@
 //! criterion benches under `benches/` measure the performance-sensitive
 //! pieces in isolation. Shared measurement helpers live here.
 
+pub mod seed_baseline;
+
 use interp::{NullSink, Program, RunConfig};
 use std::time::Instant;
 

@@ -243,9 +243,8 @@ impl<'a> FnBuilder<'a> {
             // Start a new fragment at violating reads, and whenever a child
             // region intervenes between consecutive plain lines (fragments
             // must not straddle nested regions).
-            let child_between = prev.is_some_and(|p| {
-                child_spans.iter().any(|&(s, e)| p < s && e < l)
-            });
+            let child_between =
+                prev.is_some_and(|p| child_spans.iter().any(|&(s, e)| p < s && e < l));
             if (viol.contains(&l) || child_between) && !fragment.is_empty() {
                 fragments.push(std::mem::take(&mut fragment));
             }
@@ -430,7 +429,7 @@ pub fn build_cus_bottom_up(
 
     // Union-find over lines; WAR (anti-dependence) merges.
     let mut parent: Vec<usize> = (0..lines.len()).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut r = x;
         while parent[r] != r {
             r = parent[r];
@@ -513,11 +512,7 @@ mod tests {
             .expect("loop CU");
         assert_eq!(loop_cu.end_line, 7);
         // Its RAW self-loop (iterative pattern) must be present.
-        let id = g
-            .cus
-            .iter()
-            .position(|c| std::ptr::eq(c, loop_cu))
-            .unwrap();
+        let id = g.cus.iter().position(|c| std::ptr::eq(c, loop_cu)).unwrap();
         assert!(g
             .edges
             .iter()
@@ -542,7 +537,9 @@ mod tests {
             g.cus
         );
         // Lines 6-7 (computing a, b) in one CU, line 8 (x = a + b) another.
-        assert!(frags.iter().any(|c| c.lines.contains(&6) && c.lines.contains(&7)));
+        assert!(frags
+            .iter()
+            .any(|c| c.lines.contains(&6) && c.lines.contains(&7)));
         assert!(frags
             .iter()
             .any(|c| c.lines.contains(&8) && !c.lines.contains(&6)));
@@ -649,7 +646,11 @@ mod violation_tests {
         let src = "global int x;\nfn main() {\nfor (int i = 0; i < 8; i = i + 1) {\nint a = x + i / (x + 1);\nint b = x - i / (x + 1);\nx = a + b;\n}\n}";
         let p = Program::new(lang::compile(src, "t").unwrap());
         let out = profile_program(&p).unwrap();
-        let input = CuBuildInput { program: &p, deps: &out.deps, pet: None };
+        let input = CuBuildInput {
+            program: &p,
+            deps: &out.deps,
+            pet: None,
+        };
         let fb = FnBuilder::new(&input, 0);
         assert!(
             fb.violations[1].is_empty(),

@@ -51,6 +51,7 @@ pub fn control_dependent_blocks(f: &Function) -> Vec<Vec<BlockId>> {
         if succs.len() < 2 {
             continue;
         }
+        #[allow(clippy::needless_range_loop)]
         for b in 0..n {
             if b == a.index() {
                 continue;

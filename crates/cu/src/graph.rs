@@ -213,7 +213,7 @@ impl<V> CuGraph<V> {
         }
         // Union chains: a → b merge when out_deg[a]==1 and in_deg[b]==1.
         let mut parent: Vec<usize> = (0..ncomp).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        fn find(parent: &mut [usize], x: usize) -> usize {
             let mut r = x;
             while parent[r] != r {
                 r = parent[r];
@@ -267,11 +267,7 @@ impl<V> CuGraph<V> {
         (group, ngroups, gedges.into_iter().collect())
     }
 
-    fn cus_in_comp<'a>(
-        &'a self,
-        comp: &'a [usize],
-        c: usize,
-    ) -> impl Iterator<Item = CuId> + 'a {
+    fn cus_in_comp<'a>(&'a self, comp: &'a [usize], c: usize) -> impl Iterator<Item = CuId> + 'a {
         comp.iter()
             .enumerate()
             .filter(move |(_, &cc)| cc == c)

@@ -20,9 +20,7 @@ pub enum VarClass {
 }
 
 /// A variable as seen by CU analysis: module global or function local.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
 pub enum VarId {
     /// Module global by index.
     Global(u32),
@@ -162,7 +160,9 @@ pub fn classify(
             // simply local.
             let decl = &f.regions[decl_region.index()];
             if decl.kind == mir::RegionKind::Loop
-                && f.regions[decl_region.index()].owned_locals.contains(&mir::LocalId(li))
+                && f.regions[decl_region.index()]
+                    .owned_locals
+                    .contains(&mir::LocalId(li))
                 && var.line == decl.start_line
             {
                 let header = decl.start_line;
@@ -230,9 +230,7 @@ mod tests {
 
     #[test]
     fn induction_var_written_in_body_becomes_global() {
-        let m = module(
-            "fn main() {\nfor (int i = 0; i < 4; i = i + 1) {\ni = i + 2;\n}\n}",
-        );
+        let m = module("fn main() {\nfor (int i = 0; i < 4; i = i + 1) {\ni = i + 2;\n}\n}");
         let rv = analyze(&m, 0);
         let (_, f) = m.function("main").unwrap();
         let i_local = f.local_by_name("i").unwrap();

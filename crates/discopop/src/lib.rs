@@ -91,15 +91,75 @@ impl From<interp::RuntimeError> for Error {
     }
 }
 
+/// Profiling knobs of the one-call pipeline, mapped onto
+/// [`profiler::ProfileConfig`] / [`interp::RunConfig`].
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// Signature slots; `None` selects the exact page-table shadow memory.
+    pub sig_slots: Option<usize>,
+    /// Enable the §2.4 loop-skipping optimization.
+    pub skip_loops: bool,
+    /// Enable variable-lifetime analysis (§2.3.5).
+    pub lifetime: bool,
+    /// Events per interpreter→profiler batch (see
+    /// [`interp::RunConfig::batch_cap`]); values below 2 deliver per event.
+    pub batch_cap: usize,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        // Derived from the profiler's own defaults so the facade cannot
+        // silently diverge from them.
+        let p = profiler::ProfileConfig::default();
+        AnalyzeConfig {
+            sig_slots: p.sig_slots,
+            skip_loops: p.skip_loops,
+            lifetime: p.lifetime,
+            batch_cap: p.run.batch_cap,
+        }
+    }
+}
+
+impl AnalyzeConfig {
+    fn profile_config(&self) -> profiler::ProfileConfig {
+        // Start from the profiler's defaults (as `Default` above does) so
+        // the facade only ever overrides the knobs it exposes.
+        let base = profiler::ProfileConfig::default();
+        profiler::ProfileConfig {
+            sig_slots: self.sig_slots,
+            skip_loops: self.skip_loops,
+            lifetime: self.lifetime,
+            run: interp::RunConfig {
+                batch_cap: self.batch_cap,
+                ..base.run
+            },
+        }
+    }
+}
+
 /// Compile, execute under the profiler, and run parallelism discovery.
 pub fn analyze_source(source: &str, name: &str) -> Result<Report, Error> {
     let program = interp::Program::new(lang::compile(source, name)?);
     analyze_program(&program)
 }
 
+/// [`analyze_source`] with explicit profiling knobs.
+pub fn analyze_source_with(source: &str, name: &str, cfg: &AnalyzeConfig) -> Result<Report, Error> {
+    let program = interp::Program::new(lang::compile(source, name)?);
+    analyze_program_with(&program, cfg)
+}
+
 /// Analyse an already-compiled program.
 pub fn analyze_program(program: &interp::Program) -> Result<Report, Error> {
-    let profile = profiler::profile_program(program)?;
+    analyze_program_with(program, &AnalyzeConfig::default())
+}
+
+/// [`analyze_program`] with explicit profiling knobs.
+pub fn analyze_program_with(
+    program: &interp::Program,
+    cfg: &AnalyzeConfig,
+) -> Result<Report, Error> {
+    let profile = profiler::profile_program_with(program, &cfg.profile_config())?;
     let discovery = discovery::discover(program, &profile.deps, &profile.pet);
     Ok(Report { profile, discovery })
 }
@@ -133,10 +193,7 @@ pub fn render_report(program: &interp::Program, report: &Report) -> String {
                 );
             }
             discovery::ranking::SuggestionTarget::TaskSet { spans, .. } => {
-                let spans: Vec<String> = spans
-                    .iter()
-                    .map(|(a, b)| format!("{a}-{b}"))
-                    .collect();
+                let spans: Vec<String> = spans.iter().map(|(a, b)| format!("{a}-{b}")).collect();
                 let _ = writeln!(
                     out,
                     "  {}. concurrent tasks at lines {} (coverage {:.1}%, local speedup {:.1}x)",
@@ -173,10 +230,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.discovery.loops.len(), 1);
-        assert_eq!(
-            report.discovery.loops[0].class,
-            discovery::LoopClass::Doall
-        );
+        assert_eq!(report.discovery.loops[0].class, discovery::LoopClass::Doall);
     }
 
     #[test]

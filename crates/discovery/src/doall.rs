@@ -101,17 +101,15 @@ pub fn is_reduction_line(f: &Function, line: u32, var_name: &str, program: &Prog
                 continue;
             }
             match i {
-                Instr::Load { dst, place, .. } => {
-                    if place_name(f, program, place) == var_name {
-                        loads.push(dst.0);
-                    }
+                Instr::Load { dst, place, .. } if place_name(f, program, place) == var_name => {
+                    loads.push(dst.0);
                 }
-                Instr::Store { place, src, .. } => {
-                    if place_name(f, program, place) == var_name {
-                        if let Operand::Reg(r) = src {
-                            stores.push(r.0);
-                        }
-                    }
+                Instr::Store {
+                    place,
+                    src: Operand::Reg(r),
+                    ..
+                } if place_name(f, program, place) == var_name => {
+                    stores.push(r.0);
                 }
                 Instr::Bin { dst, op, .. } => {
                     if matches!(
@@ -121,10 +119,12 @@ pub fn is_reduction_line(f: &Function, line: u32, var_name: &str, program: &Prog
                         assoc_dsts.insert(dst.0);
                     }
                 }
-                Instr::Un { dst, src, .. } => {
-                    if let Operand::Reg(r) = src {
-                        coerce_map.push((dst.0, r.0));
-                    }
+                Instr::Un {
+                    dst,
+                    src: Operand::Reg(r),
+                    ..
+                } => {
+                    coerce_map.push((dst.0, r.0));
                 }
                 Instr::Call { dst, func, .. } => {
                     if matches!(func.as_str(), "min" | "max" | "fmin" | "fmax") {
@@ -316,7 +316,7 @@ fn estimate_stages(program: &Program, deps: &DepSet, info: &LoopInfo) -> usize {
 }
 
 /// Loops that are parallelizable (DOALL or reduction).
-pub fn parallelizable<'a>(loops: &'a [LoopResult]) -> Vec<&'a LoopResult> {
+pub fn parallelizable(loops: &[LoopResult]) -> Vec<&LoopResult> {
     loops
         .iter()
         .filter(|l| matches!(l.class, LoopClass::Doall | LoopClass::Reduction))
@@ -325,11 +325,7 @@ pub fn parallelizable<'a>(loops: &'a [LoopResult]) -> Vec<&'a LoopResult> {
 
 /// The sink lines of WAR/WAW dependences carried by a loop: candidates for
 /// privatization advice in suggestions.
-pub fn privatization_candidates(
-    program: &Program,
-    deps: &DepSet,
-    info: &LoopInfo,
-) -> Vec<String> {
+pub fn privatization_candidates(program: &Program, deps: &DepSet, info: &LoopInfo) -> Vec<String> {
     let mut names = BTreeSet::new();
     for (d, _) in deps.iter() {
         if matches!(d.ty, DepType::War | DepType::Waw)

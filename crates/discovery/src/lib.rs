@@ -84,14 +84,12 @@ mod tests {
         let out = profile_program(&p).unwrap();
         let d = discover(&p, &out.deps, &out.pet);
         assert_eq!(d.loops.len(), 2);
-        assert!(d
-            .loops
-            .iter()
-            .any(|l| l.class == LoopClass::Doall), "{:?}", d.loops);
-        assert!(d
-            .loops
-            .iter()
-            .any(|l| l.class == LoopClass::Reduction));
+        assert!(
+            d.loops.iter().any(|l| l.class == LoopClass::Doall),
+            "{:?}",
+            d.loops
+        );
+        assert!(d.loops.iter().any(|l| l.class == LoopClass::Reduction));
         assert!(!d.ranked.is_empty());
     }
 }

@@ -135,10 +135,8 @@ mod tests {
             .any(|p| matches!(p, Pattern::Pipeline { stages, .. } if *stages >= 2));
         // At minimum the loop must not be claimed as geometric decomposition.
         assert!(
-            !ps.iter().any(|p| matches!(
-                p,
-                Pattern::GeometricDecomposition { loop_line: 5, .. }
-            )),
+            !ps.iter()
+                .any(|p| matches!(p, Pattern::GeometricDecomposition { loop_line: 5, .. })),
             "{ps:?}"
         );
         let _ = has_pipeline; // stage count depends on CU fragmentation
@@ -146,10 +144,7 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(
-            Pattern::ForkJoin { spans: vec![] }.name(),
-            "fork-join"
-        );
+        assert_eq!(Pattern::ForkJoin { spans: vec![] }.name(), "fork-join");
         assert_eq!(
             Pattern::Pipeline {
                 loop_line: 1,

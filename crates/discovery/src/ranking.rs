@@ -96,7 +96,9 @@ fn critical_path(graph: &CuGraph<Cu>, ids: &[usize]) -> (u64, u64) {
     let mut indeg = vec![0usize; ncomp];
     let mut seen = std::collections::BTreeSet::new();
     for e in &sub.edges {
-        if e.ty == DepType::Raw && comp[e.from] != comp[e.to] && seen.insert((comp[e.to], comp[e.from]))
+        if e.ty == DepType::Raw
+            && comp[e.from] != comp[e.to]
+            && seen.insert((comp[e.to], comp[e.from]))
         {
             succ[comp[e.to]].push(comp[e.from]);
             indeg[comp[e.from]] += 1;
@@ -239,7 +241,11 @@ pub fn rank(
         });
     }
 
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let _ = program;
     out
 }
@@ -285,7 +291,8 @@ mod tests {
 
     #[test]
     fn coverage_is_a_fraction() {
-        let src = "global int a[64];\nfn main() {\nfor (int i = 0; i < 64; i = i + 1) {\na[i] = i;\n}\n}";
+        let src =
+            "global int a[64];\nfn main() {\nfor (int i = 0; i < 64; i = i + 1) {\na[i] = i;\n}\n}";
         let ranked = full(src);
         assert!(!ranked.is_empty());
         let r = &ranked[0].ranking;

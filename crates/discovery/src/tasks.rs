@@ -64,7 +64,10 @@ fn user_call_sites(program: &Program, func: u32) -> Vec<(u32, String)> {
     let mut v = Vec::new();
     for (_, b) in f.iter_blocks() {
         for i in &b.instrs {
-            if let Instr::Call { func: callee, line, .. } = i {
+            if let Instr::Call {
+                func: callee, line, ..
+            } = i
+            {
                 if program.module.function(callee).is_some() {
                     v.push((*line, callee.clone()));
                 }
@@ -371,11 +374,9 @@ mod tests {
         let (p, deps, _graph, loops) = setup(src);
         let spmd = find_spmd_tasks(&p, &deps, &loops);
         assert!(
-            !spmd
-                .iter()
-                .any(|s| s.kind == SpmdKind::SiblingCalls
-                    && s.callees.contains(&"step1".to_string())
-                    && s.callees.contains(&"step2".to_string())),
+            !spmd.iter().any(|s| s.kind == SpmdKind::SiblingCalls
+                && s.callees.contains(&"step1".to_string())
+                && s.callees.contains(&"step2".to_string())),
             "{spmd:?}"
         );
     }

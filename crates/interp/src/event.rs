@@ -116,9 +116,37 @@ impl Event {
 /// calls [`Sink::event`] inline on the hot path, so a no-op sink measures
 /// "native" execution and any other sink measures instrumented execution —
 /// the ratio is the profiling slowdown reported in the experiments.
+///
+/// # Batched delivery
+///
+/// When [`Sink::batch_hint`] returns `true` (the default), the interpreter
+/// coalesces events into a reusable buffer and delivers them through
+/// [`Sink::events`] in chunks of [`crate::RunConfig::batch_cap`], instead of
+/// crossing the interpreter→sink boundary once per memory access. Delivery
+/// order is exactly emission order, so a sink observes the identical stream
+/// either way — batching is purely a throughput optimization (it replaces a
+/// per-event call + dispatch with a buffer push, and lets sinks run their
+/// per-event match loop over a slice). Sinks that discard events
+/// ([`NullSink`]) opt out so the uninstrumented baseline pays nothing.
 pub trait Sink {
     /// Handle one event.
     fn event(&mut self, ev: &Event);
+
+    /// Handle a batch of events, in delivery order. The default forwards to
+    /// [`Sink::event`]; hot sinks override this to hoist per-batch work out
+    /// of the loop.
+    fn events(&mut self, evs: &[Event]) {
+        for ev in evs {
+            self.event(ev);
+        }
+    }
+
+    /// Should the interpreter buffer events and deliver them in batches?
+    /// Return `false` when each event is ignored or trivially cheap, so the
+    /// interpreter skips buffer pushes entirely.
+    fn batch_hint(&self) -> bool {
+        true
+    }
 }
 
 /// Discards everything: the "uninstrumented run" baseline.
@@ -128,6 +156,13 @@ pub struct NullSink;
 impl Sink for NullSink {
     #[inline(always)]
     fn event(&mut self, _ev: &Event) {}
+
+    #[inline(always)]
+    fn events(&mut self, _evs: &[Event]) {}
+
+    fn batch_hint(&self) -> bool {
+        false
+    }
 }
 
 /// Records every event; used by tests and by offline analyses (CU
@@ -142,12 +177,25 @@ impl Sink for RecordingSink {
     fn event(&mut self, ev: &Event) {
         self.events.push(ev.clone());
     }
+
+    fn events(&mut self, evs: &[Event]) {
+        self.events.extend_from_slice(evs);
+    }
 }
 
 impl<S: Sink + ?Sized> Sink for &mut S {
     #[inline(always)]
     fn event(&mut self, ev: &Event) {
         (**self).event(ev);
+    }
+
+    #[inline(always)]
+    fn events(&mut self, evs: &[Event]) {
+        (**self).events(evs);
+    }
+
+    fn batch_hint(&self) -> bool {
+        (**self).batch_hint()
     }
 }
 
@@ -159,6 +207,16 @@ impl<A: Sink, B: Sink> Sink for TeeSink<A, B> {
     fn event(&mut self, ev: &Event) {
         self.0.event(ev);
         self.1.event(ev);
+    }
+
+    #[inline(always)]
+    fn events(&mut self, evs: &[Event]) {
+        self.0.events(evs);
+        self.1.events(evs);
+    }
+
+    fn batch_hint(&self) -> bool {
+        self.0.batch_hint() || self.1.batch_hint()
     }
 }
 

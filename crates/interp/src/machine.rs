@@ -3,9 +3,12 @@
 
 use crate::event::{Event, MemEvent, RegionExitEvent, Sink};
 use crate::program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};
+use fxhash::FxHashMap;
 use mir::{BinOp, Instr, Operand, Place, RegId, Terminator, UnOp, Value, VarRef};
-use std::collections::HashMap;
 use std::fmt;
+
+#[cfg(test)]
+use std::collections::HashMap;
 
 /// Execution limits and scheduling parameters.
 #[derive(Debug, Clone)]
@@ -22,6 +25,10 @@ pub struct RunConfig {
     pub racy_delivery: bool,
     /// Per-thread event buffer capacity in racy mode.
     pub buffer_cap: usize,
+    /// Events coalesced per [`Sink::events`] delivery when the sink opts in
+    /// via [`Sink::batch_hint`] (deterministic mode only; racy mode batches
+    /// per thread through `buffer_cap`). Values below 2 disable batching.
+    pub batch_cap: usize,
 }
 
 impl Default for RunConfig {
@@ -32,6 +39,7 @@ impl Default for RunConfig {
             seed: 0x5eed,
             racy_delivery: false,
             buffer_cap: 64,
+            batch_cap: 256,
         }
     }
 }
@@ -146,12 +154,17 @@ pub struct Interp<'p, S: Sink> {
     cfg: RunConfig,
     globals: Vec<Value>,
     threads: Vec<Thread>,
-    locks: HashMap<i64, u32>,
+    locks: FxHashMap<i64, u32>,
     steps: u64,
     user_rng: u64,
     sched_rng: u64,
     printed: Vec<String>,
-    targets: HashMap<String, Target>,
+    targets: FxHashMap<String, Target>,
+    /// Reusable event batch (deterministic mode, batching sinks).
+    batch: Vec<Event>,
+    /// Resolved once at construction: `batch_hint` of the sink, gated on
+    /// the config. Checked on every emit, so it must be a plain bool.
+    batching: bool,
 }
 
 /// Run a program with the default configuration.
@@ -176,28 +189,29 @@ const BUILTINS: &[&str] = &[
 impl<'p, S: Sink> Interp<'p, S> {
     /// Prepare a run: resolves call targets and sets up the main thread.
     pub fn new(prog: &'p Program, sink: S, cfg: RunConfig) -> Result<Self, RuntimeError> {
-        let mut targets = HashMap::new();
+        let mut targets = FxHashMap::default();
         for (i, f) in prog.module.functions.iter().enumerate() {
             targets.insert(f.name.clone(), Target::User(i));
         }
         for b in BUILTINS {
-            targets
-                .entry(b.to_string())
-                .or_insert(Target::Builtin(b));
+            targets.entry(b.to_string()).or_insert(Target::Builtin(b));
         }
         let (main_id, _) = prog.module.function("main").ok_or(RuntimeError::NoMain)?;
+        let batching = !cfg.racy_delivery && cfg.batch_cap >= 2 && sink.batch_hint();
         let mut it = Interp {
             prog,
             sink,
             cfg: cfg.clone(),
             globals: vec![Value::I64(0); prog.global_words],
             threads: Vec::new(),
-            locks: HashMap::new(),
+            locks: FxHashMap::default(),
             steps: 0,
             user_rng: cfg.seed | 1,
             sched_rng: cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
             printed: Vec::new(),
             targets,
+            batch: Vec::with_capacity(if batching { cfg.batch_cap } else { 0 }),
+            batching,
         };
         it.spawn_thread(main_id.index(), &[], None, 0);
         Ok(it)
@@ -289,7 +303,12 @@ impl<'p, S: Sink> Interp<'p, S> {
 
     #[inline]
     fn emit(&mut self, t: usize, ev: Event) {
-        if self.cfg.racy_delivery {
+        if self.batching {
+            self.batch.push(ev);
+            if self.batch.len() >= self.cfg.batch_cap {
+                self.flush_batch();
+            }
+        } else if self.cfg.racy_delivery {
             self.threads[t].buf.push(ev);
             if self.threads[t].buf.len() >= self.cfg.buffer_cap {
                 self.flush(t);
@@ -299,18 +318,45 @@ impl<'p, S: Sink> Interp<'p, S> {
         }
     }
 
+    /// Deliver and recycle the deterministic-mode batch buffer.
+    fn flush_batch(&mut self) {
+        if !self.batch.is_empty() {
+            self.sink.events(&self.batch);
+            self.batch.clear();
+        }
+    }
+
     fn flush(&mut self, t: usize) {
         if !self.cfg.racy_delivery {
             return;
         }
-        let buf = std::mem::take(&mut self.threads[t].buf);
-        for ev in &buf {
-            self.sink.event(ev);
-        }
+        // `sink` and `threads` are disjoint fields, so the delivery borrow
+        // and the buffer borrow coexist; clearing recycles the allocation,
+        // so steady-state racy profiling never allocates per flush.
+        self.sink.events(&self.threads[t].buf);
+        self.threads[t].buf.clear();
     }
 
     /// Execute the program to completion.
     pub fn run(mut self) -> Result<RunResult, RuntimeError> {
+        let outcome = self.exec();
+        // Deliver everything still buffered — also on failure, so sinks
+        // observe the complete emitted prefix of the stream.
+        for t in 0..self.threads.len() {
+            self.flush(t);
+        }
+        self.flush_batch();
+        outcome?;
+        Ok(RunResult {
+            ret: self.threads[0].ret,
+            printed: self.printed,
+            steps: self.steps,
+            threads: self.threads.len() as u32,
+        })
+    }
+
+    /// The scheduler loop.
+    fn exec(&mut self) -> Result<(), RuntimeError> {
         let mut cur = 0usize;
         loop {
             if self.steps > self.cfg.max_steps {
@@ -319,20 +365,17 @@ impl<'p, S: Sink> Interp<'p, S> {
             // Wake blocked threads whose condition now holds.
             for i in 0..self.threads.len() {
                 match self.threads[i].state {
-                    TState::BlockedJoin(t) => {
+                    TState::BlockedJoin(t)
                         if self
                             .threads
                             .get(t as usize)
                             .map(|x| x.state == TState::Done)
-                            .unwrap_or(false)
-                        {
-                            self.threads[i].state = TState::Ready;
-                        }
+                            .unwrap_or(false) =>
+                    {
+                        self.threads[i].state = TState::Ready;
                     }
-                    TState::BlockedLock(l) => {
-                        if !self.locks.contains_key(&l) {
-                            self.threads[i].state = TState::Ready;
-                        }
+                    TState::BlockedLock(l) if !self.locks.contains_key(&l) => {
+                        self.threads[i].state = TState::Ready;
                     }
                     _ => {}
                 }
@@ -363,15 +406,7 @@ impl<'p, S: Sink> Interp<'p, S> {
             }
             cur = t + 1;
         }
-        for t in 0..self.threads.len() {
-            self.flush(t);
-        }
-        Ok(RunResult {
-            ret: self.threads[0].ret,
-            printed: self.printed,
-            steps: self.steps,
-            threads: self.threads.len() as u32,
-        })
+        Ok(())
     }
 
     #[inline]
@@ -691,7 +726,12 @@ impl<'p, S: Sink> Interp<'p, S> {
         }
     }
 
-    fn terminator(&mut self, t: usize, func_idx: usize, term: &Terminator) -> Result<(), RuntimeError> {
+    fn terminator(
+        &mut self,
+        t: usize,
+        func_idx: usize,
+        term: &Terminator,
+    ) -> Result<(), RuntimeError> {
         match term {
             Terminator::Jump(b) => {
                 let fr = self.threads[t].frames.last_mut().unwrap();
@@ -716,13 +756,7 @@ impl<'p, S: Sink> Interp<'p, S> {
                 let val = v.as_ref().map(|o| self.op_val(t, o));
                 // Close any regions still open in this frame (return from
                 // inside a loop).
-                while !self.threads[t]
-                    .frames
-                    .last()
-                    .unwrap()
-                    .regions
-                    .is_empty()
-                {
+                while !self.threads[t].frames.last().unwrap().regions.is_empty() {
                     self.pop_one_region(t, func_idx);
                 }
                 let f = &self.prog.module.functions[func_idx];
@@ -1152,11 +1186,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_detected() {
-        let m = lang::compile(
-            "global int a[4]; fn main() { int i = 9; a[i] = 1; }",
-            "t",
-        )
-        .unwrap();
+        let m = lang::compile("global int a[4]; fn main() { int i = 9; a[i] = 1; }", "t").unwrap();
         let p = Program::new(m);
         assert!(matches!(
             run(&p, NullSink).unwrap_err(),

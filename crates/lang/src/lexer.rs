@@ -236,9 +236,10 @@ mod tests {
                 Tok::Int(2)
             ]
         );
-        assert_eq!(toks("-> == != <= >="), vec![
-            Tok::Arrow, Tok::EqEq, Tok::NotEq, Tok::Le, Tok::Ge
-        ]);
+        assert_eq!(
+            toks("-> == != <= >="),
+            vec![Tok::Arrow, Tok::EqEq, Tok::NotEq, Tok::Le, Tok::Ge]
+        );
     }
 
     #[test]

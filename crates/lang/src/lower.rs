@@ -9,8 +9,8 @@
 use crate::ast::*;
 use crate::CompileError;
 use mir::{
-    BinOp, FunctionBuilder, Instr, ModuleBuilder, Operand, Place, RegionId, RegionKind,
-    Terminator, UnOp, Value, VarRef,
+    BinOp, FunctionBuilder, Instr, ModuleBuilder, Operand, Place, RegionId, RegionKind, Terminator,
+    UnOp, Value, VarRef,
 };
 use std::collections::HashMap;
 
@@ -303,9 +303,9 @@ impl<'a> FnLower<'a> {
                     }
                     _ => {
                         // Evaluate for effect (loads still profile).
-                        self.expr(expr).map(|_| ()).map_err(|e| {
-                            CompileError::new(*line, e.message)
-                        })?;
+                        self.expr(expr)
+                            .map(|_| ())
+                            .map_err(|e| CompileError::new(*line, e.message))?;
                     }
                 }
                 Ok(())
@@ -610,7 +610,10 @@ impl<'a> FnLower<'a> {
             };
         }
 
-        Err(CompileError::new(line, format!("unknown function `{name}`")))
+        Err(CompileError::new(
+            line,
+            format!("unknown function `{name}`"),
+        ))
     }
 
     fn coerce(&mut self, v: Operand, from: Type, to: Type, line: u32) -> Operand {
@@ -680,12 +683,7 @@ impl<'a> FnLower<'a> {
                 // float if either side is float.
                 let int_only = matches!(
                     op,
-                    BinOp::Rem
-                        | BinOp::And
-                        | BinOp::Or
-                        | BinOp::Xor
-                        | BinOp::Shl
-                        | BinOp::Shr
+                    BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
                 );
                 let common = if int_only {
                     Type::Int
@@ -733,11 +731,7 @@ mod tests {
 
     #[test]
     fn loop_induction_var_scoped_to_loop() {
-        let m = compile(
-            "fn main() { for (int i = 0; i < 4; i = i + 1) { } }",
-            "m",
-        )
-        .unwrap();
+        let m = compile("fn main() { for (int i = 0; i < 4; i = i + 1) { } }", "m").unwrap();
         let (_, f) = m.function("main").unwrap();
         let i_var = f.local_by_name("i").unwrap();
         assert_eq!(f.locals[i_var.index()].region, Some(mir::RegionId(1)));
@@ -769,11 +763,15 @@ mod tests {
         )
         .unwrap();
         let (_, f) = m.function("main").unwrap();
-        let has_tof64 = f
-            .blocks
-            .iter()
-            .flat_map(|b| b.instrs.iter())
-            .any(|i| matches!(i, Instr::Un { op: mir::UnOp::ToF64, .. }));
+        let has_tof64 = f.blocks.iter().flat_map(|b| b.instrs.iter()).any(|i| {
+            matches!(
+                i,
+                Instr::Un {
+                    op: mir::UnOp::ToF64,
+                    ..
+                }
+            )
+        });
         assert!(has_tof64, "int operand must be promoted to f64");
     }
 

@@ -597,10 +597,7 @@ mod tests {
     #[test]
     fn array_read_not_mistaken_for_assign() {
         let p = parse_src("fn f(int i) -> int { int a[4]; return a[i] + 1; }");
-        assert!(matches!(
-            p.functions[0].body.stmts[1],
-            Stmt::Return { .. }
-        ));
+        assert!(matches!(p.functions[0].body.stmts[1], Stmt::Return { .. }));
     }
 
     #[test]

@@ -198,6 +198,7 @@ mod tests {
         let f = diamond();
         let pd = post_dominators(&f);
         // The merge block post-dominates everything.
+        #[allow(clippy::needless_range_loop)]
         for b in 0..4 {
             assert!(pd[b][3], "merge must post-dominate block {b}");
         }

@@ -119,11 +119,7 @@ pub enum UnOp {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Instr {
     /// `dst = load place`
-    Load {
-        dst: RegId,
-        place: Place,
-        line: u32,
-    },
+    Load { dst: RegId, place: Place, line: u32 },
     /// `store place, src`
     Store {
         place: Place,

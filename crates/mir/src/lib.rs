@@ -28,8 +28,8 @@ pub mod verify;
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use instr::{BinOp, Instr, Operand, Place, Terminator, UnOp, VarRef};
 pub use module::{
-    BasicBlock, BlockId, Function, FuncId, Global, GlobalId, LocalId, Module, Region, RegionId,
-    RegionKind, RegId, Var,
+    BasicBlock, BlockId, FuncId, Function, Global, GlobalId, LocalId, Module, RegId, Region,
+    RegionId, RegionKind, Var,
 };
 pub use types::{Ty, Value};
 pub use verify::{verify_module, VerifyError};

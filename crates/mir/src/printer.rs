@@ -29,7 +29,11 @@ fn fmt_place(p: &Place, f: &Function, m: &Module) -> String {
 pub fn print_instr(i: &Instr, f: &Function, m: &Module) -> String {
     match i {
         Instr::Load { dst, place, line } => {
-            format!("%{} = load {}  ; line {line}", dst.0, fmt_place(place, f, m))
+            format!(
+                "%{} = load {}  ; line {line}",
+                dst.0,
+                fmt_place(place, f, m)
+            )
         }
         Instr::Store { place, src, line } => {
             format!(
@@ -61,7 +65,11 @@ pub fn print_instr(i: &Instr, f: &Function, m: &Module) -> String {
         } => {
             let args: Vec<String> = args.iter().map(fmt_operand).collect();
             match dst {
-                Some(d) => format!("%{} = call @{func}({})  ; line {line}", d.0, args.join(", ")),
+                Some(d) => format!(
+                    "%{} = call @{func}({})  ; line {line}",
+                    d.0,
+                    args.join(", ")
+                ),
                 None => format!("call @{func}({})  ; line {line}", args.join(", ")),
             }
         }

@@ -248,11 +248,7 @@ mod tests {
     fn catches_out_of_range_local() {
         let mut mb = ModuleBuilder::new("m");
         let mut fb = FunctionBuilder::new("main", None, 1);
-        fb.store(
-            Place::scalar(VarRef::Local(LocalId(9))),
-            Value::I64(0),
-            1,
-        );
+        fb.store(Place::scalar(VarRef::Local(LocalId(9))), Value::I64(0), 1);
         fb.terminate(Terminator::Return(None));
         mb.add_function(fb.build(2));
         let errs = verify_module(&mb.build());

@@ -11,7 +11,6 @@
 //! algorithms of Ch. 4 need.
 
 use interp::{Event, MemEvent};
-use std::collections::HashMap;
 
 /// Identifies a static loop: `(function index, region index)`.
 pub type LoopKey = (u32, u32);
@@ -75,8 +74,13 @@ impl InstanceRegistry for InstanceTable {
 /// profiler's cached shared table.
 pub trait CarriedResolver {
     /// See [`InstanceTable::carried_by`].
-    fn carried_by(&self, a_instance: u32, a_iter: u32, b_instance: u32, b_iter: u32)
-        -> Option<LoopKey>;
+    fn carried_by(
+        &self,
+        a_instance: u32,
+        a_iter: u32,
+        b_instance: u32,
+        b_iter: u32,
+    ) -> Option<LoopKey>;
 }
 
 impl CarriedResolver for InstanceTable {
@@ -93,6 +97,10 @@ impl CarriedResolver for InstanceTable {
 
 /// Loop-carried analysis over a raw instance slice (shared by the serial
 /// table and the parallel profiler's per-worker caches).
+///
+/// Allocation-free: runs once per dependence-building access, so it walks
+/// the two ancestor chains with the classic align-depths-then-step-together
+/// lowest-common-ancestor scheme instead of materializing the paths.
 pub fn carried_by_in(
     instances: &[Instance],
     a_instance: u32,
@@ -100,33 +108,55 @@ pub fn carried_by_in(
     b_instance: u32,
     b_iter: u32,
 ) -> Option<LoopKey> {
-    let path = |mut instance: u32, mut iter: u32| {
-        let mut p = Vec::new();
-        while instance != NO_INSTANCE {
-            p.push((instance, iter));
-            let info = &instances[instance as usize];
-            iter = info.iter_in_parent;
-            instance = info.parent;
-        }
-        p
-    };
     if a_instance == b_instance {
         if a_instance == NO_INSTANCE || a_iter == b_iter {
             return None;
         }
         return Some(instances[a_instance as usize].loop_key);
     }
-    let pa = path(a_instance, a_iter);
-    let pb = path(b_instance, b_iter);
-    for &(ia, it_a) in &pa {
-        if let Some(&(_, it_b)) = pb.iter().find(|(ib, _)| *ib == ia) {
-            if it_a != it_b {
-                return Some(instances[ia as usize].loop_key);
-            }
-            return None;
+    let depth = |mut i: u32| {
+        let mut d = 0u32;
+        while i != NO_INSTANCE {
+            d += 1;
+            i = instances[i as usize].parent;
         }
+        d
+    };
+    // Walk both chains to the same depth, then step up in lockstep until
+    // they meet. The iteration carried along is the one observed *at* the
+    // current level: the access's own iteration while at the original
+    // instance, the child's `iter_in_parent` after each step up.
+    let (mut a, mut a_it) = (a_instance, a_iter);
+    let (mut b, mut b_it) = (b_instance, b_iter);
+    let (mut da, mut db) = (depth(a), depth(b));
+    while da > db {
+        let info = &instances[a as usize];
+        a_it = info.iter_in_parent;
+        a = info.parent;
+        da -= 1;
     }
-    None
+    while db > da {
+        let info = &instances[b as usize];
+        b_it = info.iter_in_parent;
+        b = info.parent;
+        db -= 1;
+    }
+    while a != b {
+        let ia = &instances[a as usize];
+        a_it = ia.iter_in_parent;
+        a = ia.parent;
+        let ib = &instances[b as usize];
+        b_it = ib.iter_in_parent;
+        b = ib.parent;
+    }
+    if a == NO_INSTANCE {
+        return None;
+    }
+    if a_it != b_it {
+        Some(instances[a as usize].loop_key)
+    } else {
+        None
+    }
 }
 
 /// Global table of loop instances, grown as loops are entered.
@@ -200,8 +230,11 @@ impl InstanceTable {
 /// come back annotated as [`Access`] records.
 #[derive(Debug, Default)]
 pub struct LoopContext {
-    /// Per-thread stacks of `(instance id, current iteration)`.
-    stacks: HashMap<u32, Vec<(u32, u32)>>,
+    /// Per-thread stacks of `(instance id, current iteration)`, indexed by
+    /// thread id — the interpreter hands out dense ids starting at 0, and
+    /// this is probed on every memory event, so plain indexing beats any
+    /// hash map.
+    stacks: Vec<Vec<(u32, u32)>>,
 }
 
 impl LoopContext {
@@ -213,9 +246,18 @@ impl LoopContext {
     /// Current innermost `(instance, iter)` of a thread.
     pub fn current(&self, thread: u32) -> (u32, u32) {
         self.stacks
-            .get(&thread)
+            .get(thread as usize)
             .and_then(|s| s.last().copied())
             .unwrap_or((NO_INSTANCE, 0))
+    }
+
+    /// The (grown-on-demand) stack of a thread.
+    fn stack_mut(&mut self, thread: u32) -> &mut Vec<(u32, u32)> {
+        let t = thread as usize;
+        if t >= self.stacks.len() {
+            self.stacks.resize_with(t + 1, Vec::new);
+        }
+        &mut self.stacks[t]
     }
 
     /// Process one event; returns the annotated access for memory events.
@@ -231,28 +273,31 @@ impl LoopContext {
             } => {
                 let (parent, parent_iter) = self.current(*thread);
                 let inst = table.register((*func, *region), parent, parent_iter);
-                self.stacks.entry(*thread).or_default().push((inst, 0));
+                self.stack_mut(*thread).push((inst, 0));
                 None
             }
             Event::LoopIter { thread, .. } => {
-                if let Some(top) = self.stacks.entry(*thread).or_default().last_mut() {
+                if let Some(top) = self.stack_mut(*thread).last_mut() {
                     top.1 += 1;
                 }
                 None
             }
             Event::RegionExit(x) if x.kind == mir::RegionKind::Loop => {
-                self.stacks.entry(x.thread).or_default().pop();
+                self.stack_mut(x.thread).pop();
                 None
             }
             Event::ThreadEnd { thread } => {
-                self.stacks.remove(thread);
+                self.stack_mut(*thread).clear();
                 None
             }
             _ => None,
         }
     }
 
-    fn annotate(&self, m: &MemEvent) -> Access {
+    /// Attach the current loop context to a memory event. The dominant
+    /// event kind — exposed so sinks can route `Event::Mem` here directly
+    /// without paying [`LoopContext::handle`]'s full match.
+    pub fn annotate(&self, m: &MemEvent) -> Access {
         let (instance, iter) = self.current(m.thread);
         Access {
             addr: m.addr,

@@ -2,8 +2,8 @@
 //! of dissertation §2.3.1 / Fig. 2.1 / Fig. 2.3.
 
 use crate::access::LoopKey;
+use fxhash::FxHashMap;
 use serde::Serialize;
-use std::collections::HashMap;
 use std::fmt::Write;
 
 /// Dependence type.
@@ -95,9 +95,13 @@ impl Dep {
 
 /// The merged dependence store: one entry per distinct dependence with an
 /// occurrence count.
+///
+/// Keyed with the in-repo [`fxhash`] hasher: the map is probed once per
+/// profiled access that builds a dependence, so hashing cost is directly on
+/// the profiling hot path.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct DepSet {
-    map: HashMap<Dep, u64>,
+    map: FxHashMap<Dep, u64>,
     /// Dependences *found* (before merging); `map.len()` is after merging.
     pub total_found: u64,
 }
@@ -108,6 +112,14 @@ impl DepSet {
         Self::default()
     }
 
+    /// An empty set pre-sized for `cap` distinct dependences.
+    pub fn with_capacity(cap: usize) -> Self {
+        DepSet {
+            map: fxhash::map_with_capacity(cap),
+            total_found: 0,
+        }
+    }
+
     /// Record one occurrence of `dep`, merging with identical entries.
     pub fn insert(&mut self, dep: Dep) {
         self.total_found += 1;
@@ -115,8 +127,11 @@ impl DepSet {
     }
 
     /// Merge another set into this one (used when joining parallel workers).
+    /// Reserves space up front so the bulk insert cannot trigger repeated
+    /// rehashes.
     pub fn merge(&mut self, other: DepSet) {
         self.total_found += other.total_found;
+        self.map.reserve(other.map.len());
         for (d, c) in other.map {
             *self.map.entry(d).or_insert(0) += c;
         }
@@ -187,11 +202,8 @@ impl DepSet {
     /// dependences — the metric of Table 2.6. INIT entries are excluded;
     /// they are bookkeeping, not dependences.
     pub fn accuracy_vs(&self, baseline: &DepSet) -> (f64, f64) {
-        let ours: std::collections::HashSet<&Dep> = self
-            .map
-            .keys()
-            .filter(|d| d.ty != DepType::Init)
-            .collect();
+        let ours: std::collections::HashSet<&Dep> =
+            self.map.keys().filter(|d| d.ty != DepType::Init).collect();
         let truth: std::collections::HashSet<&Dep> = baseline
             .map
             .keys()
@@ -236,8 +248,9 @@ pub fn render_text(
     spans: &[ControlSpan],
     multithreaded: bool,
 ) -> String {
-    // Group by (sink, sink_thread).
-    let mut by_sink: HashMap<(SrcLoc, u32), Vec<Dep>> = HashMap::new();
+    // Group by (sink, sink_thread), pre-sized for the worst case of one
+    // sink per dependence.
+    let mut by_sink: FxHashMap<(SrcLoc, u32), Vec<Dep>> = fxhash::map_with_capacity(deps.len());
     for d in deps.map.keys() {
         by_sink.entry((d.sink, d.sink_thread)).or_default().push(*d);
     }

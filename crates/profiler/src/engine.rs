@@ -136,7 +136,9 @@ impl<M: AccessMap> DepBuilder<M> {
         DepBuilder {
             read_map,
             write_map,
-            deps: DepSet::new(),
+            // Merged output typically holds a few distinct dependences per
+            // static memory op; pre-size so early profiling never rehashes.
+            deps: DepSet::with_capacity((num_ops as usize).clamp(64, 1 << 16)),
             cfg,
             skip,
             stats: SkipStats::default(),
@@ -160,81 +162,92 @@ impl<M: AccessMap> DepBuilder<M> {
     /// Process one annotated access.
     pub fn process(&mut self, a: &Access, resolver: &impl CarriedResolver) {
         self.stats.total_accesses += 1;
+        if !self.cfg.skip_loops {
+            // Algorithm 2 consults the read status only to classify writes
+            // (WAR vs WAW); for reads the probe's result is never used, so
+            // skip it — one shadow lookup per read saved.
+            let status_write = self.write_map.get(a.addr);
+            let status_read = if a.is_write {
+                self.read_map.get(a.addr)
+            } else {
+                None
+            };
+            self.build(a, status_read, status_write, resolver);
+            return;
+        }
         let status_read = self.read_map.get(a.addr);
         let status_write = self.write_map.get(a.addr);
 
-        if self.cfg.skip_loops {
-            let sr_op = status_read.map_or(NO_OP, |c| c.op);
-            let sw_op = status_write.map_or(NO_OP, |c| c.op);
-            // The carried-by relation of the dependence this access would
-            // build (reads: vs last write; writes: vs the more recent of
-            // read/write status, matching the WAR-or-WAW rule).
-            let partner = if a.is_write {
-                match (status_read, status_write) {
-                    (Some(r), Some(w)) if r.ts > w.ts => Some(r),
-                    (_, Some(w)) => Some(w),
-                    _ => None, // first write: INIT, never carried
-                }
-            } else {
-                status_write
-            };
-            let cur_carried = partner
-                .map(|c| resolver.carried_by(a.instance, a.iter, c.instance, c.iter));
-            let read_newer = matches!(
-                (status_read, status_write),
-                (Some(r), Some(w)) if r.ts > w.ts
-            );
-            let st = &mut self.skip[a.op as usize];
-            let can_skip = st.last_addr == a.addr
-                && sr_op == st.last_status_read
-                && sw_op == st.last_status_write
-                && cur_carried == st.last_carried
-                && read_newer == st.last_read_newer;
-            if can_skip {
-                self.stats.total_skipped += 1;
-                // Classify the dependence(s) this instruction would create.
-                if a.is_write {
-                    if status_read.is_some() || status_write.is_some() {
-                        self.stats.write_dep_total += 1;
-                        self.stats.write_dep_skipped += 1;
-                        // A write after a more recent read is a WAR; after a
-                        // more recent write a WAW.
-                        match (status_read, status_write) {
-                            (Some(r), Some(w)) if r.ts > w.ts => self.stats.skipped_war += 1,
-                            (Some(_), None) => self.stats.skipped_war += 1,
-                            _ => self.stats.skipped_waw += 1,
-                        }
-                    }
-                    // Special case (§2.4.3): current op is also the write
-                    // status, so the paper's 4-byte shadow would not change.
-                    // Our cells additionally carry the loop context needed
-                    // for inter-iteration tags, so we count the opportunity
-                    // but still refresh the cell to keep output identical
-                    // to the unskipped profiler.
-                    if sw_op == a.op && st.last_status_write == a.op {
-                        self.stats.skipped_shadow_update += 1;
-                    }
-                    self.write_map.set(a.addr, Cell::from_access(a));
-                } else {
-                    if status_write.is_some() {
-                        self.stats.read_dep_total += 1;
-                        self.stats.read_dep_skipped += 1;
-                        self.stats.skipped_raw += 1;
-                    }
-                    if sr_op == a.op && st.last_status_read == a.op {
-                        self.stats.skipped_shadow_update += 1;
-                    }
-                    self.read_map.set(a.addr, Cell::from_access(a));
-                }
-                return;
+        let sr_op = status_read.map_or(NO_OP, |c| c.op);
+        let sw_op = status_write.map_or(NO_OP, |c| c.op);
+        // The carried-by relation of the dependence this access would
+        // build (reads: vs last write; writes: vs the more recent of
+        // read/write status, matching the WAR-or-WAW rule).
+        let partner = if a.is_write {
+            match (status_read, status_write) {
+                (Some(r), Some(w)) if r.ts > w.ts => Some(r),
+                (_, Some(w)) => Some(w),
+                _ => None, // first write: INIT, never carried
             }
-            // Not skippable: remember the pre-access status for next time.
-            st.last_addr = a.addr;
-            st.last_status_read = sr_op;
-            st.last_status_write = sw_op;
-            st.last_carried = cur_carried;
-            st.last_read_newer = read_newer;
+        } else {
+            status_write
+        };
+        let cur_carried =
+            partner.map(|c| resolver.carried_by(a.instance, a.iter, c.instance, c.iter));
+        let read_newer = matches!(
+            (status_read, status_write),
+            (Some(r), Some(w)) if r.ts > w.ts
+        );
+        let st = &mut self.skip[a.op as usize];
+        let can_skip = st.last_addr == a.addr
+            && sr_op == st.last_status_read
+            && sw_op == st.last_status_write
+            && cur_carried == st.last_carried
+            && read_newer == st.last_read_newer;
+        if can_skip {
+            self.stats.total_skipped += 1;
+            // Classify the dependence(s) this instruction would create.
+            if a.is_write {
+                if status_read.is_some() || status_write.is_some() {
+                    self.stats.write_dep_total += 1;
+                    self.stats.write_dep_skipped += 1;
+                    // A write after a more recent read is a WAR; after a
+                    // more recent write a WAW.
+                    match (status_read, status_write) {
+                        (Some(r), Some(w)) if r.ts > w.ts => self.stats.skipped_war += 1,
+                        (Some(_), None) => self.stats.skipped_war += 1,
+                        _ => self.stats.skipped_waw += 1,
+                    }
+                }
+                // Special case (§2.4.3): current op is also the write
+                // status, so the paper's 4-byte shadow would not change.
+                // Our cells additionally carry the loop context needed
+                // for inter-iteration tags, so we count the opportunity
+                // but still refresh the cell to keep output identical
+                // to the unskipped profiler.
+                if sw_op == a.op && st.last_status_write == a.op {
+                    self.stats.skipped_shadow_update += 1;
+                }
+                self.write_map.set(a.addr, Cell::from_access(a));
+            } else {
+                if status_write.is_some() {
+                    self.stats.read_dep_total += 1;
+                    self.stats.read_dep_skipped += 1;
+                    self.stats.skipped_raw += 1;
+                }
+                if sr_op == a.op && st.last_status_read == a.op {
+                    self.stats.skipped_shadow_update += 1;
+                }
+                self.read_map.set(a.addr, Cell::from_access(a));
+            }
+            return;
         }
+        // Not skippable: remember the pre-access status for next time.
+        st.last_addr = a.addr;
+        st.last_status_read = sr_op;
+        st.last_status_write = sw_op;
+        st.last_carried = cur_carried;
+        st.last_read_newer = read_newer;
 
         self.build(a, status_read, status_write, resolver);
     }
@@ -286,7 +299,13 @@ impl<M: AccessMap> DepBuilder<M> {
         }
     }
 
-    fn record(&mut self, ty: DepType, sink: &Access, source: &Cell, resolver: &impl CarriedResolver) {
+    fn record(
+        &mut self,
+        ty: DepType,
+        sink: &Access,
+        source: &Cell,
+        resolver: &impl CarriedResolver,
+    ) {
         let carried_by =
             resolver.carried_by(sink.instance, sink.iter, source.instance, source.iter);
         // A timestamp inversion means the events were delivered in the

@@ -22,6 +22,16 @@
 //!   dependences.
 //! - **Runtime dependence merging** (§2.3.5): identical dependences are
 //!   merged on the fly, shrinking output by orders of magnitude.
+//! - **Throughput-oriented memory state and transport** (this
+//!   reproduction's shadow-memory overhaul): the exact map is a two-level
+//!   page-table shadow memory ([`maps::PerfectMap`], O(1) per access, no
+//!   hashing on the page-hit path); every hot map is keyed with the in-repo
+//!   [`fxhash`] hasher; the interpreter delivers events to profilers in
+//!   reusable batches ([`interp::Sink::events`]); and the parallel engine
+//!   recycles chunk buffers through a freelist so steady-state profiling
+//!   allocates nothing per chunk. `crates/bench/src/bin/perfjson.rs`
+//!   measures all of this against the reconstructed pre-overhaul engine
+//!   (`bench::seed_baseline`) and writes `BENCH_profiler.json`.
 //! - **Program Execution Tree** ([`pet::Pet`], §2.3.6) for pattern detection
 //!   and ranking.
 //! - **Race hints** for multi-threaded targets: timestamp inversions on the
@@ -37,12 +47,12 @@ pub mod queue;
 pub mod serial;
 
 pub use access::{
-    carried_by_in, Access, CarriedResolver, Instance, InstanceRegistry, InstanceTable,
-    LoopContext, LoopKey, NO_INSTANCE,
+    carried_by_in, Access, CarriedResolver, Instance, InstanceRegistry, InstanceTable, LoopContext,
+    LoopKey, NO_INSTANCE,
 };
 pub use dep::{render_text, ControlSpan, Dep, DepSet, DepType, SrcLoc};
 pub use engine::{DepBuilder, EngineConfig, SkipStats};
-pub use maps::{estimated_fp_rate, AccessMap, Cell, PerfectMap, SignatureMap};
+pub use maps::{estimated_fp_rate, AccessMap, Cell, HashShadowMap, PerfectMap, SignatureMap};
 pub use parallel::{
     profile_multithreaded_target, profile_parallel, ParallelConfig, ParallelOutput,
     ParallelProfiler, QueueKind, SharedTable,

@@ -1,4 +1,5 @@
-//! Access-status storage: approximate signatures and the perfect baseline.
+//! Access-status storage: approximate signatures, the exact page-table
+//! shadow memory, and the legacy hash-map baseline.
 //!
 //! DiscoPoP records the last read and last write to every address. The
 //! production configuration uses a *signature* (§2.3.2) — a fixed-size array
@@ -7,8 +8,30 @@
 //! produces the false positives/negatives quantified in Table 2.6. The
 //! *perfect* map stores per-address state exactly (the "perfect signature"
 //! of §2.5.1) and serves as ground truth.
+//!
+//! # Shadow-memory layout
+//!
+//! [`PerfectMap`] is a two-level page table over *word* addresses (the
+//! interpreter emits 8-byte-aligned addresses only):
+//!
+//! ```text
+//! addr:  63 ........... 12 | 11 ....... 3 | 2..0
+//!        page id           | slot in page | 0 (word-aligned)
+//! ```
+//!
+//! Each page shadows 4 KiB of target address space (512 word slots). Pages
+//! live in a grow-only arena (`Vec<Box<Page>>`); a directory keyed with the
+//! in-repo [`fxhash`] hasher maps page ids to arena indices, and a one-entry
+//! cache short-circuits the directory for the overwhelmingly common case of
+//! consecutive accesses landing on the same page. Compared with the seed's
+//! `HashMap<u64, Cell>` ([`HashShadowMap`], kept as the equivalence-test
+//! baseline), a hit costs one shift/mask plus an indexed load instead of a
+//! SipHash probe, and `clear_range` walks slots directly instead of
+//! re-hashing every word.
 
 use crate::access::Access;
+use fxhash::FxHashMap;
+use std::cell::Cell as StdCell;
 
 /// Status of the most recent access recorded for an address: the
 /// `accessInfo` of §2.4 plus the metadata DiscoPoP reports with every
@@ -49,6 +72,9 @@ impl Cell {
 
 /// Common interface over signature and perfect storage, so the dependence
 /// engine is generic over the accuracy/space trade-off.
+///
+/// Addresses are word-granular: the interpreter only emits 8-byte-aligned
+/// addresses, and implementations may key their storage on `addr >> 3`.
 pub trait AccessMap {
     /// Last recorded access status for `addr`, if any.
     fn get(&self, addr: u64) -> Option<Cell>;
@@ -120,14 +146,157 @@ impl AccessMap for SignatureMap {
     }
 }
 
-/// Exact shadow memory: one entry per address ever accessed.
-#[derive(Debug, Clone, Default)]
+/// Word slots per shadow page: one page covers 4 KiB of address space.
+const PAGE_WORDS: usize = 512;
+/// Address bits consumed by the in-page slot (3 word bits + 9 slot bits).
+const PAGE_SHIFT: u32 = 12;
+/// Sentinel for the empty page cache.
+const NO_PAGE: u64 = u64::MAX;
+
+type Page = [Option<Cell>; PAGE_WORDS];
+
+/// Exact shadow memory: a two-level page table over word addresses.
+///
+/// O(1) per access with no hashing on the page-hit fast path; see the
+/// module docs for the layout. Pages are never freed while the map lives —
+/// `clear_range` empties slots but keeps the page allocated, so the
+/// one-entry page cache stays valid and address ranges that are reused
+/// (stack frames) never reallocate.
+#[derive(Debug, Clone)]
 pub struct PerfectMap {
-    map: std::collections::HashMap<u64, Cell>,
+    /// Page id → index into `pages`.
+    dir: FxHashMap<u64, u32>,
+    /// Grow-only page arena.
+    pages: Vec<Box<Page>>,
+    /// Last page touched: `(page id, arena index)`; avoids the directory
+    /// probe entirely for same-page runs of accesses.
+    cache: StdCell<(u64, u32)>,
+    /// Occupied slots across all pages.
+    len: usize,
+}
+
+impl Default for PerfectMap {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PerfectMap {
     /// An empty perfect map.
+    pub fn new() -> Self {
+        PerfectMap {
+            dir: FxHashMap::default(),
+            pages: Vec::new(),
+            cache: StdCell::new((NO_PAGE, 0)),
+            len: 0,
+        }
+    }
+
+    /// Number of distinct addresses tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shadow pages allocated (diagnostics).
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Arena index of `addr`'s page, if the page exists; refreshes the
+    /// one-entry cache.
+    #[inline]
+    fn find_page(&self, addr: u64) -> Option<u32> {
+        let id = addr >> PAGE_SHIFT;
+        let (cid, cidx) = self.cache.get();
+        if cid == id {
+            return Some(cidx);
+        }
+        let idx = *self.dir.get(&id)?;
+        self.cache.set((id, idx));
+        Some(idx)
+    }
+
+    /// Arena index of `addr`'s page, allocating it on first touch.
+    #[inline]
+    fn find_or_alloc_page(&mut self, addr: u64) -> u32 {
+        if let Some(idx) = self.find_page(addr) {
+            return idx;
+        }
+        let id = addr >> PAGE_SHIFT;
+        let idx = self.pages.len() as u32;
+        self.pages.push(Box::new([None; PAGE_WORDS]));
+        self.dir.insert(id, idx);
+        self.cache.set((id, idx));
+        idx
+    }
+
+    #[inline]
+    fn slot_of(addr: u64) -> usize {
+        (addr >> 3) as usize & (PAGE_WORDS - 1)
+    }
+}
+
+impl AccessMap for PerfectMap {
+    #[inline]
+    fn get(&self, addr: u64) -> Option<Cell> {
+        debug_assert_eq!(addr & 7, 0, "PerfectMap requires word-aligned addresses");
+        let idx = self.find_page(addr)?;
+        self.pages[idx as usize][Self::slot_of(addr)]
+    }
+
+    #[inline]
+    fn set(&mut self, addr: u64, cell: Cell) {
+        debug_assert_eq!(addr & 7, 0, "PerfectMap requires word-aligned addresses");
+        let idx = self.find_or_alloc_page(addr);
+        let slot = &mut self.pages[idx as usize][Self::slot_of(addr)];
+        self.len += slot.is_none() as usize;
+        *slot = Some(cell);
+    }
+
+    fn clear_range(&mut self, addr: u64, words: u64) {
+        // Walk page by page so a frame-sized range costs one directory
+        // probe per 4 KiB instead of one per word.
+        let mut word = addr >> 3;
+        let end = word + words;
+        while word < end {
+            let page_addr = word << 3;
+            let in_page = (word as usize) & (PAGE_WORDS - 1);
+            let take = (PAGE_WORDS - in_page).min((end - word) as usize);
+            if let Some(idx) = self.find_page(page_addr) {
+                let page = &mut self.pages[idx as usize];
+                for slot in &mut page[in_page..in_page + take] {
+                    self.len -= slot.is_some() as usize;
+                    *slot = None;
+                }
+            }
+            word += take as u64;
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.pages.len() * std::mem::size_of::<Page>()
+            + self.dir.capacity() * std::mem::size_of::<(u64, u32)>()
+    }
+}
+
+/// The seed's exact shadow memory: one `HashMap` entry per address.
+///
+/// Superseded by the page-table [`PerfectMap`] on the hot path; retained as
+/// the independent reference implementation the equivalence tests compare
+/// against (and as the fallback shape for sparse address spaces, where a
+/// page per isolated address would waste memory).
+#[derive(Debug, Clone, Default)]
+pub struct HashShadowMap {
+    map: std::collections::HashMap<u64, Cell>,
+}
+
+impl HashShadowMap {
+    /// An empty map.
     pub fn new() -> Self {
         Self::default()
     }
@@ -143,7 +312,7 @@ impl PerfectMap {
     }
 }
 
-impl AccessMap for PerfectMap {
+impl AccessMap for HashShadowMap {
     #[inline]
     fn get(&self, addr: u64) -> Option<Cell> {
         self.map.get(&addr).copied()
@@ -225,6 +394,89 @@ mod tests {
         p.clear_range(0x1000, 1);
         assert!(p.get(0x1000).is_none());
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn perfect_map_crosses_page_boundaries() {
+        let mut p = PerfectMap::new();
+        // Last word of one page, first word of the next.
+        let last = (1u64 << PAGE_SHIFT) - 8;
+        let first = 1u64 << PAGE_SHIFT;
+        p.set(last, cell(1));
+        p.set(first, cell(2));
+        assert_eq!(p.get(last).unwrap().op, 1);
+        assert_eq!(p.get(first).unwrap().op, 2);
+        assert_eq!(p.num_pages(), 2);
+        // A range spanning the boundary clears both sides.
+        p.clear_range(last, 2);
+        assert!(p.get(last).is_none());
+        assert!(p.get(first).is_none());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn perfect_map_clear_range_partial_pages() {
+        let mut p = PerfectMap::new();
+        for w in 0..(PAGE_WORDS as u64 * 3) {
+            p.set(0x10_0000 + w * 8, cell(w as u32));
+        }
+        assert_eq!(p.len(), PAGE_WORDS * 3);
+        // Clear from mid-first-page to mid-third-page.
+        let start = 0x10_0000 + 100 * 8;
+        let words = PAGE_WORDS as u64 * 2;
+        p.clear_range(start, words);
+        assert_eq!(p.len(), PAGE_WORDS - 100 + 100);
+        assert!(p.get(start).is_none());
+        assert!(p.get(start + (words - 1) * 8).is_none());
+        assert!(p.get(start + words * 8).is_some());
+        assert!(p.get(0x10_0000 + 99 * 8).is_some());
+    }
+
+    #[test]
+    fn perfect_map_set_overwrites_without_len_growth() {
+        let mut p = PerfectMap::new();
+        p.set(0x40, cell(1));
+        p.set(0x40, cell(2));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(0x40).unwrap().op, 2);
+    }
+
+    #[test]
+    fn perfect_map_matches_hash_shadow_on_random_ops() {
+        // Differential test against the independent baseline.
+        let mut rng = 0x5eed_u64;
+        let mut next = move || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut pt = PerfectMap::new();
+        let mut hs = HashShadowMap::new();
+        for i in 0..50_000u32 {
+            let r = next();
+            // Mix of two address regions, word-aligned, plus range clears.
+            let addr = if r & 1 == 0 {
+                0x1000 + (r >> 8) % 4096 * 8
+            } else {
+                0xFFFF_0000 + (r >> 8) % 512 * 8
+            };
+            match r % 16 {
+                0 => {
+                    let words = r >> 16 & 0x3F;
+                    pt.clear_range(addr, words);
+                    hs.clear_range(addr, words);
+                }
+                1..=5 => {
+                    assert_eq!(pt.get(addr), hs.get(addr), "get({addr:#x}) @ {i}");
+                }
+                _ => {
+                    pt.set(addr, cell(i));
+                    hs.set(addr, cell(i));
+                }
+            }
+        }
+        assert_eq!(pt.len(), hs.len());
     }
 
     #[test]

@@ -28,11 +28,11 @@ use crate::engine::{DepBuilder, EngineConfig, SkipStats};
 use crate::maps::SignatureMap;
 use crate::pet::{Pet, PetBuilder};
 use crate::queue::{LockQueue, MpscQueue, SpscQueue};
+use fxhash::FxHashMap;
 use interp::{Event, Program, RunConfig, RuntimeError, Sink};
 use parking_lot::{Mutex, RwLock};
 use serde::Serialize;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -218,6 +218,100 @@ struct WorkerResult {
 /// Chunk recycling pool (the paper: "empty chunks are recycled").
 type ChunkPool = Arc<Mutex<Vec<Vec<Access>>>>;
 
+/// Chunks the shared pool retains at most; beyond this, returned buffers
+/// are simply dropped.
+const POOL_CAP: usize = 128;
+/// Chunks moved between the shared pool and a producer's local freelist or
+/// a worker's return batch per pool-lock acquisition.
+const POOL_BATCH: usize = 16;
+
+/// Producer-side chunk allocator over the shared recycling pool.
+///
+/// Keeps a local freelist and refills it [`POOL_BATCH`] chunks at a time,
+/// so the steady state takes the pool lock once per `POOL_BATCH` chunks
+/// (and allocates nothing at all once the pool has warmed up).
+struct ChunkAlloc {
+    pool: ChunkPool,
+    local: Vec<Vec<Access>>,
+    chunk_size: usize,
+}
+
+impl ChunkAlloc {
+    fn new(pool: ChunkPool, chunk_size: usize) -> Self {
+        ChunkAlloc {
+            pool,
+            local: Vec::with_capacity(POOL_BATCH),
+            chunk_size,
+        }
+    }
+
+    /// An empty chunk with `chunk_size` capacity: recycled if possible,
+    /// freshly allocated otherwise.
+    fn fresh(&mut self) -> Vec<Access> {
+        if let Some(c) = self.local.pop() {
+            return c;
+        }
+        {
+            let mut p = self.pool.lock();
+            let at = p.len() - p.len().min(POOL_BATCH);
+            self.local.extend(p.drain(at..));
+        }
+        self.local
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.chunk_size))
+    }
+}
+
+/// Ship every non-empty open chunk to its worker, replacing it with a
+/// recycled buffer (the multi-producer replay path's flush).
+fn flush_open(
+    open: &mut [Vec<Access>],
+    queues: &[WorkerQueue],
+    alloc: &mut ChunkAlloc,
+    chunks_total: &std::sync::atomic::AtomicU64,
+) {
+    for (w, ch) in open.iter_mut().enumerate() {
+        if !ch.is_empty() {
+            let fresh = alloc.fresh();
+            let c = std::mem::replace(ch, fresh);
+            queues[w].push(Msg::Chunk(c));
+            chunks_total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+/// Worker-side return batcher: hands processed (cleared) chunks back to the
+/// shared pool in [`POOL_BATCH`]-sized bundles.
+struct ChunkReturner {
+    pool: ChunkPool,
+    pending: Vec<Vec<Access>>,
+}
+
+impl ChunkReturner {
+    fn new(pool: ChunkPool) -> Self {
+        ChunkReturner {
+            pool,
+            pending: Vec::with_capacity(POOL_BATCH),
+        }
+    }
+
+    fn put(&mut self, mut chunk: Vec<Access>) {
+        chunk.clear();
+        self.pending.push(chunk);
+        if self.pending.len() >= POOL_BATCH {
+            let mut p = self.pool.lock();
+            while p.len() < POOL_CAP {
+                match self.pending.pop() {
+                    Some(c) => p.push(c),
+                    None => break,
+                }
+            }
+            drop(p);
+            self.pending.clear(); // anything past POOL_CAP is dropped
+        }
+    }
+}
+
 fn spawn_worker(
     queue: WorkerQueue,
     shared: Arc<SharedTable>,
@@ -236,21 +330,18 @@ fn spawn_worker(
             num_ops,
             EngineConfig::default(),
         );
+        let mut returner = ChunkReturner::new(pool);
         let mut processed = 0u64;
         let mut idle = 0u32;
         loop {
             match queue.try_pop() {
-                Some(Msg::Chunk(mut ch)) => {
+                Some(Msg::Chunk(ch)) => {
                     idle = 0;
                     for a in &ch {
                         builder.process(a, &resolver);
                     }
                     processed += ch.len() as u64;
-                    ch.clear();
-                    let mut p = pool.lock();
-                    if p.len() < 64 {
-                        p.push(ch);
-                    }
+                    returner.put(ch);
                 }
                 Some(Msg::Dealloc { addr, words }) => builder.clear_range(addr, words),
                 Some(Msg::Stop) => break,
@@ -307,10 +398,10 @@ pub struct ParallelProfiler {
     pet: PetBuilder,
     queues: Vec<WorkerQueue>,
     handles: Vec<JoinHandle<WorkerResult>>,
-    pool: ChunkPool,
+    alloc: ChunkAlloc,
     open: Vec<Vec<Access>>,
-    counts: HashMap<u64, u64>,
-    redistribution: HashMap<u64, usize>,
+    counts: FxHashMap<u64, u64>,
+    redistribution: FxHashMap<u64, usize>,
     chunks_pushed: u64,
     rebalances: u64,
 }
@@ -343,6 +434,7 @@ impl ParallelProfiler {
         let open = (0..cfg.workers.max(1))
             .map(|_| Vec::with_capacity(cfg.chunk_size))
             .collect();
+        let alloc = ChunkAlloc::new(pool, cfg.chunk_size);
         ParallelProfiler {
             cfg,
             ctx: LoopContext::new(),
@@ -350,10 +442,10 @@ impl ParallelProfiler {
             pet: PetBuilder::new(),
             queues,
             handles,
-            pool,
+            alloc,
             open,
-            counts: HashMap::new(),
-            redistribution: HashMap::new(),
+            counts: fxhash::map_with_capacity(1024),
+            redistribution: FxHashMap::default(),
             chunks_pushed: 0,
             rebalances: 0,
         }
@@ -366,13 +458,6 @@ impl ParallelProfiler {
         }
         // The paper's modulo distribution (Eq. 2.1) on the word address.
         ((addr / 8) % self.queues.len() as u64) as usize
-    }
-
-    fn fresh_chunk(&self) -> Vec<Access> {
-        self.pool
-            .lock()
-            .pop()
-            .unwrap_or_else(|| Vec::with_capacity(self.cfg.chunk_size))
     }
 
     fn push_access(&mut self, a: Access) {
@@ -388,12 +473,14 @@ impl ParallelProfiler {
         if self.open[w].is_empty() {
             return;
         }
-        let fresh = self.fresh_chunk();
+        let fresh = self.alloc.fresh();
         let ch = std::mem::replace(&mut self.open[w], fresh);
         self.queues[w].push(Msg::Chunk(ch));
         self.chunks_pushed += 1;
         if self.cfg.rebalance_interval > 0
-            && self.chunks_pushed % self.cfg.rebalance_interval == 0
+            && self
+                .chunks_pushed
+                .is_multiple_of(self.cfg.rebalance_interval)
         {
             self.rebalance();
         }
@@ -494,12 +581,15 @@ impl Drop for ParallelProfiler {
     }
 }
 
-impl Sink for ParallelProfiler {
-    fn event(&mut self, ev: &Event) {
+impl ParallelProfiler {
+    /// Shared per-event body of both delivery paths. Registers loop
+    /// instances directly against the shared table (no per-event `Arc`
+    /// refcount traffic).
+    #[inline]
+    fn handle(&mut self, ev: &Event) {
         self.pet.handle(ev);
         let access = {
-            let shared = Arc::clone(&self.shared);
-            let mut reg: &SharedTable = &shared;
+            let mut reg: &SharedTable = &self.shared;
             self.ctx.handle(ev, &mut reg)
         };
         if let Some(a) = access {
@@ -509,6 +599,18 @@ impl Sink for ParallelProfiler {
             if let Event::VarDealloc { addr, words, .. } = ev {
                 self.dealloc(*addr, *words);
             }
+        }
+    }
+}
+
+impl Sink for ParallelProfiler {
+    fn event(&mut self, ev: &Event) {
+        self.handle(ev);
+    }
+
+    fn events(&mut self, evs: &[Event]) {
+        for ev in evs {
+            self.handle(ev);
         }
     }
 }
@@ -553,8 +655,8 @@ pub fn profile_multithreaded_target(
     // original lock order exactly (otherwise producers would acquire the
     // replay locks in arbitrary order and lock-protected accesses would be
     // misreported as racing).
-    let mut per_thread: HashMap<u32, Vec<(Event, u64)>> = HashMap::new();
-    let mut lock_seq: HashMap<i64, u64> = HashMap::new();
+    let mut per_thread: FxHashMap<u32, Vec<(Event, u64)>> = FxHashMap::default();
+    let mut lock_seq: FxHashMap<i64, u64> = FxHashMap::default();
     let mut spawned: Vec<u32> = Vec::new();
     let mut max_tid = 0u32;
     for ev in rec.events {
@@ -593,7 +695,7 @@ pub fn profile_multithreaded_target(
     }
     // Per-lock ticket counters: a producer replays its critical section
     // only when the counter reaches the acquire's original sequence number.
-    let replay_locks: Arc<HashMap<i64, std::sync::atomic::AtomicU64>> = Arc::new(
+    let replay_locks: Arc<FxHashMap<i64, std::sync::atomic::AtomicU64>> = Arc::new(
         lock_seq
             .keys()
             .map(|&id| (id, std::sync::atomic::AtomicU64::new(0)))
@@ -601,8 +703,8 @@ pub fn profile_multithreaded_target(
     );
     // Start signals: a child producer begins only after its parent replayed
     // the spawn, mirroring real thread creation order.
-    let mut start_tx: HashMap<u32, std::sync::mpsc::Sender<()>> = HashMap::new();
-    let mut start_rx: HashMap<u32, std::sync::mpsc::Receiver<()>> = HashMap::new();
+    let mut start_tx: FxHashMap<u32, std::sync::mpsc::Sender<()>> = FxHashMap::default();
+    let mut start_rx: FxHashMap<u32, std::sync::mpsc::Receiver<()>> = FxHashMap::default();
     for &child in &spawned {
         let (tx, rx) = std::sync::mpsc::channel();
         start_tx.insert(child, tx);
@@ -624,33 +726,22 @@ pub fn profile_multithreaded_target(
             let shared = Arc::clone(&shared);
             let replay_locks = Arc::clone(&replay_locks);
             let rx = start_rx.remove(&tid);
-            let txs: Vec<(u32, std::sync::mpsc::Sender<()>)> = start_tx
-                .iter()
-                .map(|(k, v)| (*k, v.clone()))
-                .collect();
+            let txs: Vec<(u32, std::sync::mpsc::Sender<()>)> =
+                start_tx.iter().map(|(k, v)| (*k, v.clone())).collect();
             let chunk_size = pcfg.chunk_size;
             let lifetime = pcfg.lifetime;
             let chunks_total = Arc::clone(&chunks_total);
             let done = Arc::clone(&done);
+            let producer_pool = Arc::clone(&pool);
             scope.spawn(move || {
                 if let Some(rx) = rx {
                     let _ = rx.recv(); // wait for the parent's spawn
                 }
                 let mut ctx = LoopContext::new();
-                let mut open: Vec<Vec<Access>> =
-                    (0..queues.len()).map(|_| Vec::with_capacity(chunk_size)).collect();
+                // Each producer recycles chunks through the shared pool.
+                let mut alloc = ChunkAlloc::new(producer_pool, chunk_size);
+                let mut open: Vec<Vec<Access>> = (0..queues.len()).map(|_| alloc.fresh()).collect();
                 let route = |addr: u64| ((addr / 8) % queues.len() as u64) as usize;
-                let flush_all = |open: &mut Vec<Vec<Access>>,
-                                 queues: &Vec<WorkerQueue>,
-                                 chunks_total: &std::sync::atomic::AtomicU64| {
-                    for (w, ch) in open.iter_mut().enumerate() {
-                        if !ch.is_empty() {
-                            let c = std::mem::replace(ch, Vec::with_capacity(chunk_size));
-                            queues[w].push(Msg::Chunk(c));
-                            chunks_total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        }
-                    }
-                };
                 for (ev, seq) in &events {
                     match ev {
                         Event::LockAcquire { id, .. } => {
@@ -665,13 +756,13 @@ pub fn profile_multithreaded_target(
                         Event::LockRelease { id, .. } => {
                             // Everything accessed under the lock must be
                             // enqueued before the release (Fig. 2.4c).
-                            flush_all(&mut open, &queues, &chunks_total);
+                            flush_open(&mut open, &queues, &mut alloc, &chunks_total);
                             if let Some(turn) = replay_locks.get(id) {
                                 turn.fetch_add(1, std::sync::atomic::Ordering::Release);
                             }
                         }
                         Event::ThreadSpawn { child, .. } => {
-                            flush_all(&mut open, &queues, &chunks_total);
+                            flush_open(&mut open, &queues, &mut alloc, &chunks_total);
                             if let Some((_, tx)) = txs.iter().find(|(k, _)| k == child) {
                                 let _ = tx.send(());
                             }
@@ -679,14 +770,13 @@ pub fn profile_multithreaded_target(
                         Event::ThreadJoin { target, .. } => {
                             // Wait until the joined thread's producer has
                             // flushed everything it will ever enqueue.
-                            while !done[*target as usize]
-                                .load(std::sync::atomic::Ordering::Acquire)
+                            while !done[*target as usize].load(std::sync::atomic::Ordering::Acquire)
                             {
                                 std::thread::yield_now();
                             }
                         }
                         Event::VarDealloc { addr, words, .. } if lifetime => {
-                            flush_all(&mut open, &queues, &chunks_total);
+                            flush_open(&mut open, &queues, &mut alloc, &chunks_total);
                             for q in &queues {
                                 q.push(Msg::Dealloc {
                                     addr: *addr,
@@ -701,14 +791,14 @@ pub fn profile_multithreaded_target(
                         let w = route(a.addr);
                         open[w].push(a);
                         if open[w].len() >= chunk_size {
-                            let c =
-                                std::mem::replace(&mut open[w], Vec::with_capacity(chunk_size));
+                            let fresh = alloc.fresh();
+                            let c = std::mem::replace(&mut open[w], fresh);
                             queues[w].push(Msg::Chunk(c));
                             chunks_total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         }
                     }
                 }
-                flush_all(&mut open, &queues, &chunks_total);
+                flush_open(&mut open, &queues, &mut alloc, &chunks_total);
                 done[tid as usize].store(true, std::sync::atomic::Ordering::Release);
             });
         }
@@ -776,8 +866,8 @@ mod tests {
             },
         )
         .unwrap();
-        let par = profile_parallel(&p, small_cfg(QueueKind::LockFree), RunConfig::default())
-            .unwrap();
+        let par =
+            profile_parallel(&p, small_cfg(QueueKind::LockFree), RunConfig::default()).unwrap();
         assert_eq!(
             par.deps.sorted(),
             serial.deps.sorted(),
@@ -796,8 +886,8 @@ mod tests {
             },
         )
         .unwrap();
-        let par = profile_parallel(&p, small_cfg(QueueKind::LockBased), RunConfig::default())
-            .unwrap();
+        let par =
+            profile_parallel(&p, small_cfg(QueueKind::LockBased), RunConfig::default()).unwrap();
         assert_eq!(par.deps.sorted(), serial.deps.sorted());
     }
 
@@ -832,12 +922,9 @@ mod tests {
 fn w(int n) { for (int i = 0; i < n; i = i + 1) { lock(1); counter = counter + 1; unlock(1); } }
 fn main() { int a = spawn(w, 40); int b = spawn(w, 40); join(a); join(b); }";
         let p = program(src);
-        let out = profile_multithreaded_target(
-            &p,
-            small_cfg(QueueKind::LockFree),
-            RunConfig::default(),
-        )
-        .unwrap();
+        let out =
+            profile_multithreaded_target(&p, small_cfg(QueueKind::LockFree), RunConfig::default())
+                .unwrap();
         let cross: Vec<_> = out
             .deps
             .sorted()
@@ -859,13 +946,10 @@ fn main() { int a = spawn(w, 40); int b = spawn(w, 40); join(a); join(b); }";
 fn w(int n) { for (int i = 0; i < 2000; i = i + 1) { counter = counter + 1; } }
 fn main() { int a = spawn(w, 2000); int b = spawn(w, 2000); join(a); join(b); }";
         let p = program(src);
-        let out = profile_multithreaded_target(
-            &p,
-            small_cfg(QueueKind::LockFree),
-            RunConfig::default(),
-        )
-        .unwrap();
-        assert!(out.deps.len() > 0);
+        let out =
+            profile_multithreaded_target(&p, small_cfg(QueueKind::LockFree), RunConfig::default())
+                .unwrap();
+        assert!(!out.deps.is_empty());
         // Cross-thread deps must exist for the shared counter.
         assert!(out.deps.sorted().iter().any(|d| d.is_cross_thread()));
     }
@@ -891,8 +975,20 @@ mod regression_tests {
     fn parallel_and_serial_dep_sets_identical() {
         let src = super::tests::SEQ_SRC;
         let p = Program::new(lang::compile(src, "t").unwrap());
-        let serial = profile_program_with(&p, &ProfileConfig { sig_slots: Some(1 << 16), ..Default::default() }).unwrap();
-        let par = profile_parallel(&p, super::tests::small_cfg(QueueKind::LockFree), RunConfig::default()).unwrap();
+        let serial = profile_program_with(
+            &p,
+            &ProfileConfig {
+                sig_slots: Some(1 << 16),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let par = profile_parallel(
+            &p,
+            super::tests::small_cfg(QueueKind::LockFree),
+            RunConfig::default(),
+        )
+        .unwrap();
         let ps: std::collections::HashSet<_> = par.deps.sorted().into_iter().collect();
         let ss: std::collections::HashSet<_> = serial.deps.sorted().into_iter().collect();
         let extra: Vec<_> = ps.difference(&ss).collect();

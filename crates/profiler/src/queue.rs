@@ -69,7 +69,8 @@ impl<T> SpscQueue<T> {
             return None;
         }
         let v = unsafe { (*self.buf[head].get()).assume_init_read() };
-        self.head.store((head + 1) % self.buf.len(), Ordering::Release);
+        self.head
+            .store((head + 1) % self.buf.len(), Ordering::Release);
         Some(v)
     }
 
@@ -171,12 +172,9 @@ impl<T> MpscQueue<T> {
                 next
             };
             // Help advance the tail; failure means someone else advanced it.
-            let _ = self.tail.compare_exchange(
-                tail,
-                next,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            );
+            let _ = self
+                .tail
+                .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
         }
     }
 

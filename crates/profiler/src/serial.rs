@@ -52,16 +52,44 @@ impl SerialProfiler<PerfectMap> {
 }
 
 impl<M: AccessMap> SerialProfiler<M> {
+    /// Profiler over caller-supplied read/write maps — the generic form the
+    /// signature/perfect constructors delegate to conceptually; used
+    /// directly by the equivalence tests to run the legacy
+    /// [`crate::maps::HashShadowMap`] baseline through the same pipeline.
+    pub fn with_maps(
+        read_map: M,
+        write_map: M,
+        num_ops: u32,
+        cfg: EngineConfig,
+        lifetime: bool,
+    ) -> Self {
+        SerialProfiler {
+            ctx: LoopContext::new(),
+            table: InstanceTable::new(),
+            builder: DepBuilder::new(read_map, write_map, num_ops, cfg),
+            pet: PetBuilder::new(),
+            lifetime,
+        }
+    }
+
     /// Finish profiling: returns dependences, PET, and skip statistics.
     pub fn finish(self, total_instrs: u64) -> (DepSet, Pet, SkipStats, usize) {
         let bytes = self.builder.bytes() + self.table.bytes();
         let (deps, stats) = self.builder.finish();
         (deps, self.pet.finish(total_instrs), stats, bytes)
     }
-}
 
-impl<M: AccessMap> Sink for SerialProfiler<M> {
-    fn event(&mut self, ev: &Event) {
+    /// Shared per-event body of both delivery paths.
+    #[inline]
+    fn handle(&mut self, ev: &Event) {
+        // Memory accesses dominate the event stream and are ignored by the
+        // PET builder and the dealloc check — route them straight to the
+        // dependence engine with a single match.
+        if let Event::Mem(m) = ev {
+            let a = self.ctx.annotate(m);
+            self.builder.process(&a, &self.table);
+            return;
+        }
         self.pet.handle(ev);
         if let Some(a) = self.ctx.handle(ev, &mut self.table) {
             self.builder.process(&a, &self.table);
@@ -70,6 +98,20 @@ impl<M: AccessMap> Sink for SerialProfiler<M> {
             if let Event::VarDealloc { addr, words, .. } = ev {
                 self.builder.clear_range(*addr, *words);
             }
+        }
+    }
+}
+
+impl<M: AccessMap> Sink for SerialProfiler<M> {
+    fn event(&mut self, ev: &Event) {
+        self.handle(ev);
+    }
+
+    /// Batched delivery: one interpreter→profiler crossing per
+    /// [`interp::RunConfig::batch_cap`] events instead of one per event.
+    fn events(&mut self, evs: &[Event]) {
+        for ev in evs {
+            self.handle(ev);
         }
     }
 }
@@ -216,11 +258,17 @@ mod tests {
             })
         };
         // WARs against the most recent read (intra-iteration).
-        assert!(has(4, DepType::War, 4, "sum", false), "WAR sum@4<-4: {deps:?}");
+        assert!(
+            has(4, DepType::War, 4, "sum", false),
+            "WAR sum@4<-4: {deps:?}"
+        );
         assert!(has(5, DepType::War, 5, "k", false), "WAR k 5<-5");
         // Loop-carried RAWs (Table 2.2 rows 5-8).
         assert!(has(3, DepType::Raw, 5, "k", true), "RAW k 3<-5 (carried)");
-        assert!(has(4, DepType::Raw, 4, "sum", true), "RAW sum 4<-4 (carried)");
+        assert!(
+            has(4, DepType::Raw, 4, "sum", true),
+            "RAW sum 4<-4 (carried)"
+        );
         assert!(has(4, DepType::Raw, 5, "k", true), "RAW k 4<-5 (carried)");
         assert!(has(5, DepType::Raw, 5, "k", true), "RAW k 5<-5 (carried)");
         // Intra-iteration RAWs from the initializers.
@@ -333,10 +381,7 @@ mod tests {
             o.deps
                 .sorted()
                 .iter()
-                .filter(|d| {
-                    d.ty == DepType::Raw
-                        && p.symbol(d.var) == "y"
-                })
+                .filter(|d| d.ty == DepType::Raw && p.symbol(d.var) == "y")
                 .count()
         };
         assert_eq!(cross(&with), 0, "lifetime analysis must evict x");
@@ -345,9 +390,8 @@ mod tests {
 
     #[test]
     fn pet_contains_main_and_loop() {
-        let p = program(
-            "fn main() {\nint s = 0;\nfor (int i = 0; i < 5; i = i + 1) { s += i; }\n}",
-        );
+        let p =
+            program("fn main() {\nint s = 0;\nfor (int i = 0; i < 5; i = i + 1) { s += i; }\n}");
         let out = profile_program(&p).unwrap();
         assert!(out.pet.nodes.len() >= 3); // root + main + loop
         let spans = control_spans(&p, &out.pet);
@@ -362,12 +406,7 @@ mod tests {
         );
         let out = profile_program(&p).unwrap();
         let spans = control_spans(&p, &out.pet);
-        let text = crate::dep::render_text(
-            &out.deps,
-            &|s| p.symbol(s).to_string(),
-            &spans,
-            false,
-        );
+        let text = crate::dep::render_text(&out.deps, &|s| p.symbol(s).to_string(), &spans, false);
         assert!(text.contains("BGN loop"));
         assert!(text.contains("END loop 3"));
         assert!(text.contains("RAW"));
@@ -384,7 +423,14 @@ mod regression_tests {
         let src = "global int a[32];\nfn main() {\nfor (int i = 1; i < 32; i = i + 1) {\na[i] = a[i - 1] + i;\n}\n}";
         let p = Program::new(lang::compile(src, "t").unwrap());
         let perfect = profile_program(&p).unwrap();
-        let sig = profile_program_with(&p, &ProfileConfig { sig_slots: Some(1 << 20), ..Default::default() }).unwrap();
+        let sig = profile_program_with(
+            &p,
+            &ProfileConfig {
+                sig_slots: Some(1 << 20),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let ps: std::collections::HashSet<_> = perfect.deps.sorted().into_iter().collect();
         let ss: std::collections::HashSet<_> = sig.deps.sorted().into_iter().collect();
         let fp: Vec<_> = ss.difference(&ps).collect();

@@ -543,11 +543,7 @@ mod tests {
         let out = profiler::profile_program(&p).unwrap();
         let d = discovery::discover(&p, &out.deps, &out.pet);
         let line = w.line_of("cand < 256").unwrap();
-        let l = d
-            .loops
-            .iter()
-            .find(|l| l.info.start_line == line)
-            .unwrap();
+        let l = d.loops.iter().find(|l| l.info.start_line == line).unwrap();
         assert_eq!(l.class, LoopClass::Reduction, "{l:?}");
     }
 }

@@ -58,9 +58,9 @@ mod tests {
     #[test]
     fn all_workloads_compile_and_run() {
         for w in all() {
-            let prog = w.program().unwrap_or_else(|e| {
-                panic!("workload `{}` failed to compile: {e}", w.name)
-            });
+            let prog = w
+                .program()
+                .unwrap_or_else(|e| panic!("workload `{}` failed to compile: {e}", w.name));
             let r = interp::run(&prog, interp::NullSink)
                 .unwrap_or_else(|e| panic!("workload `{}` failed to run: {e}", w.name));
             assert!(r.steps > 0, "workload `{}` did nothing", w.name);

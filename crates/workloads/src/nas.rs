@@ -501,9 +501,11 @@ mod tests {
     fn ft_exhibits_waw_on_dummy() {
         let p = FT.program().unwrap();
         let out = profiler::profile_program(&p).unwrap();
-        let dummy_waw = out.deps.sorted().into_iter().any(|d| {
-            d.ty == profiler::DepType::Waw && p.symbol(d.var) == "dummy"
-        });
+        let dummy_waw = out
+            .deps
+            .sorted()
+            .into_iter()
+            .any(|d| d.ty == profiler::DepType::Waw && p.symbol(d.var) == "dummy");
         assert!(dummy_waw, "FT must reproduce the dummy WAW pattern");
     }
 

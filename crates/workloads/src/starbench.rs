@@ -12,8 +12,21 @@ use crate::meta::{LoopTruth, Suite, Workload};
 /// All Starbench stand-ins (sequential + parallel variants).
 pub fn suite() -> Vec<Workload> {
     vec![
-        C_RAY, KMEANS, MD5, RAY_ROT, RGBYUV, ROTATE, ROT_CC, STREAMCLUSTER, TINYJPEG, BODYTRACK,
-        H264DEC, C_RAY_PAR, KMEANS_PAR, MD5_PAR, ROTATE_PAR,
+        C_RAY,
+        KMEANS,
+        MD5,
+        RAY_ROT,
+        RGBYUV,
+        ROTATE,
+        ROT_CC,
+        STREAMCLUSTER,
+        TINYJPEG,
+        BODYTRACK,
+        H264DEC,
+        C_RAY_PAR,
+        KMEANS_PAR,
+        MD5_PAR,
+        ROTATE_PAR,
     ]
 }
 
@@ -801,11 +814,7 @@ mod tests {
         let out = profiler::profile_program(&p).unwrap();
         let d = discovery::discover(&p, &out.deps, &out.pet);
         let line = w.line_of("p < 256").unwrap();
-        let l = d
-            .loops
-            .iter()
-            .find(|l| l.info.start_line == line)
-            .unwrap();
+        let l = d.loops.iter().find(|l| l.info.start_line == line).unwrap();
         assert_eq!(l.class, LoopClass::Doall, "{l:?}");
         // Privatization advice must name the shared temporaries.
         let loops = discovery::hot_loops(&p, &out.pet);
@@ -827,7 +836,7 @@ mod tests {
                 interp::RunConfig::default(),
             )
             .unwrap();
-            assert!(out.deps.len() > 0, "{} produced no deps", w.name);
+            assert!(!out.deps.is_empty(), "{} produced no deps", w.name);
         }
     }
 }

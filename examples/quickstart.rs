@@ -26,8 +26,7 @@ fn main() {
 }
 "#;
 
-    let program =
-        interp::Program::new(lang::compile(source, "quickstart").expect("compiles"));
+    let program = interp::Program::new(lang::compile(source, "quickstart").expect("compiles"));
     let report = discopop::analyze_program(&program).expect("analysis succeeds");
 
     println!("{}", discopop::render_report(&program, &report));

@@ -17,7 +17,10 @@ fn main() {
     });
 
     let dot = cu::graph::to_dot(&graph, "rot-cc", &|i, c: &cu::Cu| {
-        format!("CU{i}\\nlines {}-{}\\nweight {}", c.start_line, c.end_line, c.weight)
+        format!(
+            "CU{i}\\nlines {}-{}\\nweight {}",
+            c.start_line, c.end_line, c.weight
+        )
     });
     println!("{dot}");
 
@@ -27,7 +30,12 @@ fn main() {
         let spans: Vec<String> = m
             .tasks
             .iter()
-            .map(|t| format!("lines {}-{} (weight {})", t.start_line, t.end_line, t.weight))
+            .map(|t| {
+                format!(
+                    "lines {}-{} (weight {})",
+                    t.start_line, t.end_line, t.weight
+                )
+            })
             .collect();
         eprintln!("  concurrent: {}", spans.join(" ∥ "));
     }

@@ -1,0 +1,164 @@
+//! Offline criterion shim: a minimal timing harness with the criterion
+//! API shape the benches use. Reports median wall-clock per iteration and
+//! (when a throughput is set) elements per second, as plain text.
+
+use std::time::Instant;
+
+/// Re-export of the standard black box, matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("\n# {}", name.into());
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), 20, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Samples per benchmark (criterion's statistical knob; here: runs).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// End the group (criterion finalizes reports here; the shim prints as
+    /// it goes).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; `iter` times its argument.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Time one sample of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.budget {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn run_bench<F>(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        budget: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:40} (no samples)");
+        return;
+    }
+    b.samples.sort_by(|a, x| a.partial_cmp(x).unwrap());
+    let median = b.samples[b.samples.len() / 2];
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / median)
+        }
+        _ => String::new(),
+    };
+    println!("{name:40} median {:>10.3} ms{extra}", median * 1e3);
+}
+
+/// Declare the benchmark functions of one target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` for a bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}

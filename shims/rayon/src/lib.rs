@@ -1,0 +1,528 @@
+//! Offline rayon shim: the parallel-iterator subset the workspace uses,
+//! executed on `std::thread::scope` threads (no work stealing — each
+//! parallel iterator is split into one contiguous piece per thread).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn current_threads() -> usize {
+    let t = POOL_THREADS.with(|c| c.get());
+    if t > 0 {
+        return t;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Live threads spawned by [`join`], used to cap recursive fan-out.
+static JOIN_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Run both closures, potentially in parallel; returns both results.
+///
+/// Spawns a real thread for `a` while the join budget (2× the thread
+/// count) has headroom, so recursive sibling-task parallelism gets real
+/// concurrency without unbounded thread creation.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let budget = current_threads() * 2;
+    let live = JOIN_THREADS.load(Ordering::Relaxed);
+    if live < budget
+        && JOIN_THREADS
+            .compare_exchange(live, live + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    {
+        let out = std::thread::scope(|s| {
+            let ha = s.spawn(a);
+            let rb = b();
+            (ha.join().expect("rayon::join closure panicked"), rb)
+        });
+        JOIN_THREADS.fetch_sub(1, Ordering::Relaxed);
+        out
+    } else {
+        (a(), b())
+    }
+}
+
+/// Builder for a fixed-size pool; the shim pool only carries the thread
+/// count that [`ThreadPool::install`] makes current.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finish building; infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool": parallel iterators inside [`ThreadPool::install`] split into
+/// this many pieces.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count current.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let r = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        r
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// A splittable source of items: contiguous pieces can be handed to
+/// different threads, and each piece drains through a sequential iterator.
+pub trait ParallelBase: Send + Sized {
+    /// Item produced by this source.
+    type Item: Send;
+    /// Sequential iterator over one piece.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Remaining items.
+    fn len(&self) -> usize;
+    /// True when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Split into `[0, i)` and `[i, len)`.
+    fn split_at(self, i: usize) -> (Self, Self);
+    /// Drain this piece sequentially.
+    fn into_seq(self) -> Self::Iter;
+}
+
+/// Split `base` into at most `pieces` contiguous parts of near-equal size.
+fn split_even<B: ParallelBase>(base: B, pieces: usize) -> Vec<B> {
+    let pieces = pieces.clamp(1, base.len().max(1));
+    let mut out = Vec::with_capacity(pieces);
+    let mut rest = base;
+    for k in 0..pieces - 1 {
+        let cut = rest.len() / (pieces - k);
+        let (head, tail) = rest.split_at(cut);
+        out.push(head);
+        rest = tail;
+    }
+    out.push(rest);
+    out
+}
+
+/// Run one closure per piece on scoped threads; results in piece order.
+fn drive<B, R, F>(base: B, f: F) -> Vec<R>
+where
+    B: ParallelBase,
+    R: Send,
+    F: Fn(B) -> R + Sync,
+{
+    let pieces = split_even(base, current_threads());
+    if pieces.len() == 1 {
+        return pieces.into_iter().map(&f).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pieces.into_iter().map(|p| s.spawn(|| f(p))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel iterator piece panicked"))
+            .collect()
+    })
+}
+
+/// The rayon `ParallelIterator` subset: adapters build lazily, terminals
+/// split the source over threads.
+pub trait ParallelIterator: ParallelBase {
+    /// Pair each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            start: 0,
+        }
+    }
+
+    /// Transform items.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Clone + Send + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Consume every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        drive(self, |piece| piece.into_seq().for_each(&f));
+    }
+
+    /// Fold each piece from `identity()` with `op`, then combine the piece
+    /// results with `op`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        drive(self, |piece| piece.into_seq().fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
+    }
+
+    /// Sum items per piece, then sum the piece sums.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        drive(self, |piece| piece.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+}
+
+impl<B: ParallelBase> ParallelIterator for B {}
+
+/// Enumerating adapter; tracks the global index across splits.
+pub struct Enumerate<B> {
+    inner: B,
+    start: usize,
+}
+
+impl<B: ParallelBase> ParallelBase for Enumerate<B> {
+    type Item = (usize, B::Item);
+    type Iter = std::iter::Zip<std::ops::RangeFrom<usize>, B::Iter>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(i);
+        (
+            Enumerate {
+                inner: a,
+                start: self.start,
+            },
+            Enumerate {
+                inner: b,
+                start: self.start + i,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        (self.start..).zip(self.inner.into_seq())
+    }
+}
+
+/// Mapping adapter.
+pub struct Map<B, F> {
+    inner: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelBase for Map<B, F>
+where
+    B: ParallelBase,
+    R: Send,
+    F: Fn(B::Item) -> R + Clone + Send + Sync,
+{
+    type Item = R;
+    type Iter = std::iter::Map<B::Iter, F>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(i);
+        (
+            Map {
+                inner: a,
+                f: self.f.clone(),
+            },
+            Map {
+                inner: b,
+                f: self.f,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.inner.into_seq().map(self.f)
+    }
+}
+
+/// Parallel shared chunks over a slice.
+pub struct ChunksPar<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelBase for ChunksPar<'a, T> {
+    type Item = &'a [T];
+    type Iter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let mid = (i * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at(mid);
+        (
+            ChunksPar {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ChunksPar {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.slice.chunks(self.chunk)
+    }
+}
+
+/// Parallel exclusive chunks over a slice.
+pub struct ChunksMutPar<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelBase for ChunksMutPar<'a, T> {
+    type Item = &'a mut [T];
+    type Iter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let mid = (i * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (
+            ChunksMutPar {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ChunksMutPar {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+/// Parallel exclusive per-element iteration over a slice.
+pub struct IterMutPar<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelBase for IterMutPar<'a, T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(i);
+        (IterMutPar { slice: a }, IterMutPar { slice: b })
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel index range (no materialization).
+pub struct RangePar {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelBase for RangePar {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let mid = self.range.start + i;
+        (
+            RangePar {
+                range: self.range.start..mid,
+            },
+            RangePar {
+                range: mid..self.range.end,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.range
+    }
+}
+
+/// `par_chunks` / shared-slice entry points.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-sized shared chunks.
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksPar {
+            slice: self,
+            chunk: size,
+        }
+    }
+}
+
+/// `par_chunks_mut` / `par_iter_mut` entry points.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `size`-sized exclusive chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutPar<'_, T>;
+    /// Parallel iterator over exclusive element references.
+    fn par_iter_mut(&mut self) -> IterMutPar<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutPar<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksMutPar {
+            slice: self,
+            chunk: size,
+        }
+    }
+
+    fn par_iter_mut(&mut self) -> IterMutPar<'_, T> {
+        IterMutPar { slice: self }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutPar<'_, T> {
+        self.as_mut_slice().par_chunks_mut(size)
+    }
+
+    fn par_iter_mut(&mut self) -> IterMutPar<'_, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// `into_par_iter` entry point.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type ParIter: ParallelIterator;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::ParIter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type ParIter = RangePar;
+    fn into_par_iter(self) -> RangePar {
+        RangePar { range: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut v = vec![0usize; 100];
+        v.par_chunks_mut(7).enumerate().for_each(|(i, ch)| {
+            for x in ch.iter_mut() {
+                *x = i;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[7], 1);
+        assert_eq!(v[99], 14);
+    }
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let data: Vec<u8> = (0..10_000u64).map(|i| (i % 251) as u8).collect();
+        let par: u64 = data
+            .par_chunks(128)
+            .map(|c| c.iter().map(|&b| b as u64).sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        let seq: u64 = data.iter().map(|&b| b as u64).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn range_sum() {
+        let s: usize = (0..1000usize).into_par_iter().map(|i| i * 2).sum();
+        assert_eq!(s, 999_000);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x");
+        assert_eq!((a, b), (2, "x"));
+    }
+
+    #[test]
+    fn nested_join_bounded() {
+        fn rec(d: u32) -> u64 {
+            if d == 0 {
+                return 1;
+            }
+            let (a, b) = crate::join(|| rec(d - 1), || rec(d - 1));
+            a + b
+        }
+        assert_eq!(rec(10), 1024);
+    }
+
+    #[test]
+    fn pool_install_runs() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let r = pool.install(|| (0..100usize).into_par_iter().sum::<usize>());
+        assert_eq!(r, 4950);
+    }
+}

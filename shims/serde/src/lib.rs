@@ -1,0 +1,15 @@
+//! Offline serde shim: marker traits plus the no-op derives.
+//!
+//! Nothing in the workspace serializes at runtime; the traits exist so
+//! `#[derive(Serialize, Deserialize)]` and trait bounds keep compiling
+//! against the real serde API shape.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

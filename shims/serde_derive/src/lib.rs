@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives (offline serde shim).
+//!
+//! The workspace derives these traits for forward compatibility with wire
+//! formats but never calls a serializer, so the derives only need to accept
+//! the input (including `#[serde(...)]` attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,7 @@
+//! Workspace root for the DiscoPoP reproduction.
+//!
+//! The actual functionality lives in the member crates; this crate exists so
+//! the repo-level integration tests (`tests/`) and examples (`examples/`)
+//! have a package to hang off. See [`discopop`] for the facade API.
+
+pub use discopop;

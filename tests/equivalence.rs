@@ -1,0 +1,228 @@
+//! Output-equivalence tests for the shadow-memory overhaul.
+//!
+//! The page-table shadow memory, fast-hash maps, and batched event pipeline
+//! are pure throughput work: dependence output must be bit-identical to the
+//! seed implementation. These tests pin that down on real workloads, for
+//! both the merged [`profiler::DepSet`] and the rendered text format, and
+//! for the multithreaded-target engine.
+
+use interp::{Program, RunConfig, Sink};
+use profiler::{
+    control_spans, profile_multithreaded_target, profile_program, render_text, DepSet,
+    EngineConfig, HashShadowMap, ParallelConfig, QueueKind, SerialProfiler,
+};
+
+fn program(src: &str) -> Program {
+    Program::new(lang::compile(src, "equiv").unwrap())
+}
+
+/// Profile with the legacy `HashMap` shadow maps through today's pipeline.
+fn profile_hashmap(p: &Program) -> (DepSet, profiler::Pet) {
+    let mut prof = SerialProfiler::with_maps(
+        HashShadowMap::new(),
+        HashShadowMap::new(),
+        p.num_mem_ops(),
+        EngineConfig::default(),
+        true,
+    );
+    let r = interp::run_with_config(p, &mut prof, RunConfig::default()).unwrap();
+    let (deps, pet, _, _) = prof.finish(r.steps);
+    (deps, pet)
+}
+
+/// A call-heavy program that exercises stack reuse + lifetime eviction
+/// across page boundaries.
+fn calls_program() -> Program {
+    program(
+        "global int acc;
+fn leaf(int x) -> int { int t = x * 2; int u = t + 1; return u; }
+fn mid(int n) -> int {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + leaf(i); }
+    return s;
+}
+fn main() {
+    for (int r = 0; r < 30; r = r + 1) { acc = acc + mid(40); }
+}",
+    )
+}
+
+/// The three sequential equivalence workloads: a NAS kernel, the textbook
+/// matmul, and the call-heavy stack-reuse program.
+fn workload_programs() -> Vec<(&'static str, Program)> {
+    vec![
+        ("MG", workloads::by_name("MG").unwrap().program().unwrap()),
+        (
+            "matmul",
+            workloads::by_name("matmul").unwrap().program().unwrap(),
+        ),
+        ("calls", calls_program()),
+    ]
+}
+
+#[test]
+fn page_table_matches_hash_shadow_on_workloads() {
+    for (name, p) in workload_programs() {
+        let new = profile_program(&p).unwrap();
+        let (old_deps, old_pet) = profile_hashmap(&p);
+        assert_eq!(
+            new.deps.sorted(),
+            old_deps.sorted(),
+            "{name}: dependence sets differ"
+        );
+        assert_eq!(
+            new.deps.total_found, old_deps.total_found,
+            "{name}: pre-merge totals differ"
+        );
+        // Occurrence counts, not just the merged set.
+        for d in new.deps.sorted() {
+            assert_eq!(
+                new.deps.count(&d),
+                old_deps.count(&d),
+                "{name}: count differs for {d:?}"
+            );
+        }
+        // Rendered text format, including BGN/END control spans.
+        let sym = |s: u32| p.symbol(s).to_string();
+        let new_text = render_text(&new.deps, &sym, &control_spans(&p, &new.pet), false);
+        let old_text = render_text(&old_deps, &sym, &control_spans(&p, &old_pet), false);
+        assert_eq!(new_text, old_text, "{name}: rendered text differs");
+        assert!(!new_text.is_empty());
+    }
+}
+
+#[test]
+fn seed_pipeline_reconstruction_matches_current() {
+    // The full pre-overhaul pipeline (HashMap shadow + SipHash dep store +
+    // allocating carried-by + per-event delivery), reconstructed in
+    // `bench::seed_baseline`, against today's engine.
+    for (name, p) in workload_programs() {
+        let seed = bench::seed_baseline::profile_seed(&p).unwrap();
+        let new = profile_program(&p).unwrap();
+        assert_eq!(seed.sorted(), new.deps.sorted(), "{name}: deps differ");
+        assert_eq!(seed.total_found, new.deps.total_found, "{name}");
+    }
+}
+
+#[test]
+fn batching_is_invisible_to_sinks() {
+    // The identical event stream must reach a sink regardless of the batch
+    // granularity (1 = unbatched path, 7 = ragged tail, 256 = default).
+    let p = calls_program();
+    let record = |batch_cap: usize| {
+        let mut sink = interp::RecordingSink::default();
+        interp::run_with_config(
+            &p,
+            &mut sink,
+            RunConfig {
+                batch_cap,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        sink.events
+    };
+    let unbatched = record(0);
+    assert_eq!(unbatched, record(7));
+    assert_eq!(unbatched, record(256));
+    assert!(!unbatched.is_empty());
+}
+
+#[test]
+fn batch_cap_does_not_change_dependences() {
+    for (name, p) in workload_programs() {
+        let run = |batch_cap: usize| {
+            profiler::profile_program_with(
+                &p,
+                &profiler::ProfileConfig {
+                    run: RunConfig {
+                        batch_cap,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let batched = run(256);
+        let unbatched = run(0);
+        assert_eq!(
+            batched.deps.sorted(),
+            unbatched.deps.sorted(),
+            "{name}: batching changed dependences"
+        );
+        assert_eq!(
+            batched.skip_stats.total_accesses,
+            unbatched.skip_stats.total_accesses
+        );
+    }
+}
+
+#[test]
+fn multithreaded_target_matches_serial_replay() {
+    // Lock-ordered multithreaded target: every cross-thread access to the
+    // shared counter is serialized, so the parallel MPSC engine must agree
+    // exactly with a serial replay of the recorded stream through the
+    // legacy HashMap shadow.
+    let src = "global int counter;
+fn w(int n) { for (int i = 0; i < n; i = i + 1) { lock(1); counter = counter + 1; unlock(1); } }
+fn main() { int a = spawn(w, 30); int b = spawn(w, 30); join(a); join(b); }";
+    let p = program(src);
+
+    let par = profile_multithreaded_target(
+        &p,
+        ParallelConfig {
+            workers: 4,
+            chunk_size: 16,
+            sig_slots: 1 << 18,
+            queue: QueueKind::LockFree,
+            queue_cap: 64,
+            lifetime: true,
+            rebalance_interval: 0,
+        },
+        RunConfig::default(),
+    )
+    .unwrap();
+
+    // Serial replay baseline over the same recorded execution.
+    let mut rec = interp::RecordingSink::default();
+    interp::run_with_config(&p, &mut rec, RunConfig::default()).unwrap();
+    let mut serial = SerialProfiler::with_maps(
+        HashShadowMap::new(),
+        HashShadowMap::new(),
+        p.num_mem_ops(),
+        EngineConfig::default(),
+        true,
+    );
+    for ev in &rec.events {
+        serial.event(ev);
+    }
+    let (serial_deps, _, _, _) = serial.finish(0);
+
+    assert_eq!(
+        par.deps.sorted(),
+        serial_deps.sorted(),
+        "multithreaded engine diverged from serial replay"
+    );
+    assert!(par.deps.sorted().iter().any(|d| d.is_cross_thread()));
+}
+
+#[test]
+fn multithreaded_target_is_deterministic() {
+    let src = "global int counter;
+fn w(int n) { for (int i = 0; i < n; i = i + 1) { lock(9); counter = counter + 2; unlock(9); } }
+fn main() { int a = spawn(w, 25); int b = spawn(w, 25); join(a); join(b); }";
+    let p = program(src);
+    let cfg = || ParallelConfig {
+        workers: 4,
+        chunk_size: 8,
+        sig_slots: 1 << 18,
+        queue: QueueKind::LockFree,
+        queue_cap: 64,
+        lifetime: true,
+        rebalance_interval: 0,
+    };
+    let a = profile_multithreaded_target(&p, cfg(), RunConfig::default()).unwrap();
+    let b = profile_multithreaded_target(&p, cfg(), RunConfig::default()).unwrap();
+    assert_eq!(a.deps.sorted(), b.deps.sorted());
+}

@@ -1,19 +1,15 @@
 //! Property-based tests over core invariants, using generated mini-C
 //! programs and generated access traces.
 
-use proptest::prelude::*;
 use profiler::{
-    Access, AccessMap, Cell, DepBuilder, EngineConfig, InstanceTable, PerfectMap, SignatureMap,
-    NO_INSTANCE,
+    Access, AccessMap, Cell, DepBuilder, EngineConfig, HashShadowMap, InstanceTable, PerfectMap,
+    SignatureMap, NO_INSTANCE,
 };
+use proptest::prelude::*;
 
 /// Strategy: a random access trace over a small address set.
 fn traces() -> impl Strategy<Value = Vec<Access>> {
-    prop::collection::vec(
-        (0u64..24, 0u32..12, any::<bool>()),
-        1..200,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec((0u64..24, 0u32..12, any::<bool>()), 1..200).prop_map(|raw| {
         raw.into_iter()
             .enumerate()
             .map(|(i, (slot, op, is_write))| {
@@ -60,6 +56,31 @@ proptest! {
             per.process(a, &t);
         }
         prop_assert_eq!(sig.deps.sorted(), per.deps.sorted());
+    }
+
+    /// The page-table shadow memory agrees with the legacy `HashMap`
+    /// shadow on any trace — the engines are interchangeable bit for bit.
+    #[test]
+    fn page_table_equals_hash_shadow(trace in traces()) {
+        let t = InstanceTable::new();
+        let mut page = DepBuilder::new(
+            PerfectMap::new(),
+            PerfectMap::new(),
+            32,
+            EngineConfig::default(),
+        );
+        let mut hash = DepBuilder::new(
+            HashShadowMap::new(),
+            HashShadowMap::new(),
+            32,
+            EngineConfig::default(),
+        );
+        for a in &trace {
+            page.process(a, &t);
+            hash.process(a, &t);
+        }
+        prop_assert_eq!(page.deps.sorted(), hash.deps.sorted());
+        prop_assert_eq!(page.deps.total_found, hash.deps.total_found);
     }
 
     /// Skipping never changes the dependence output, on any trace.
@@ -308,11 +329,7 @@ mod failure_injection {
     /// partial garbage silently.
     #[test]
     fn profiler_propagates_runtime_errors() {
-        let m = lang::compile(
-            "global int a[4];\nfn main() { int i = 7; a[i] = 1; }",
-            "t",
-        )
-        .unwrap();
+        let m = lang::compile("global int a[4];\nfn main() { int i = 7; a[i] = 1; }", "t").unwrap();
         let p = interp::Program::new(m);
         assert!(matches!(
             profiler::profile_program(&p),
