@@ -1,8 +1,8 @@
-//! Fig. 2.9: serial vs lock-based vs lock-free profiling engines.
+//! Fig. 2.9: serial vs lock-based vs lock-free profiling engines, all
+//! selected through `EngineKind`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use interp::RunConfig;
-use profiler::{ParallelConfig, ProfileConfig, QueueKind};
+use profiler::{EngineKind, ProfileConfig, QueueKind};
 
 fn engines(c: &mut Criterion) {
     let w = workloads::by_name("MG").unwrap();
@@ -12,37 +12,28 @@ fn engines(c: &mut Criterion) {
     g.bench_function("native", |b| {
         b.iter(|| interp::run(&p, interp::NullSink).unwrap())
     });
-    g.bench_function("serial_signature", |b| {
-        b.iter(|| {
-            profiler::profile_program_with(
-                &p,
-                &ProfileConfig {
-                    sig_slots: Some(1 << 18),
-                    ..Default::default()
-                },
-            )
-            .unwrap()
-        })
-    });
-    g.bench_function("serial_perfect", |b| {
-        b.iter(|| profiler::profile_program(&p).unwrap())
-    });
-    for (name, queue, workers) in [
-        ("lock_based_8t", QueueKind::LockBased, 8),
-        ("lock_free_8t", QueueKind::LockFree, 8),
-        ("lock_free_16t", QueueKind::LockFree, 16),
+    for (name, engine) in [
+        ("serial_signature", EngineKind::signature(1 << 18)),
+        ("serial_perfect", EngineKind::SerialPerfect),
+        (
+            "lock_based_8t",
+            EngineKind::Parallel {
+                workers: 8,
+                chunk: 256,
+                queue: QueueKind::LockBased,
+            },
+        ),
+        ("lock_free_8t", EngineKind::parallel(8)),
+        ("lock_free_16t", EngineKind::parallel(16)),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                profiler::profile_parallel(
+                profiler::profile_program_with(
                     &p,
-                    ParallelConfig {
-                        workers,
-                        queue,
-                        sig_slots: 1 << 16,
+                    &ProfileConfig {
+                        engine,
                         ..Default::default()
                     },
-                    RunConfig::default(),
                 )
                 .unwrap()
             })

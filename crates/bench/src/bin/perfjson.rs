@@ -18,9 +18,7 @@
 
 use bench::time_median;
 use interp::{Program, RunConfig};
-use profiler::{
-    EngineConfig, HashShadowMap, ParallelConfig, ProfileConfig, QueueKind, SerialProfiler,
-};
+use profiler::{EngineConfig, EngineKind, HashShadowMap, ProfileConfig, SerialProfiler};
 use std::fmt::Write as _;
 
 /// A loop nest big enough (~5M dynamic accesses) that per-run setup cost is
@@ -78,7 +76,13 @@ fn main() {
         let reference = profiler::profile_program(p).expect("profiles");
         let accesses = reference.skip_stats.total_accesses;
 
-        let serial = |cfg: ProfileConfig| {
+        // Engine selection goes through `EngineKind` — the same selector
+        // the facade and the CLI use.
+        let engine = |kind: EngineKind| {
+            let cfg = ProfileConfig {
+                engine: kind,
+                ..Default::default()
+            };
             let mut bytes = 0usize;
             let secs = time_median(reps, || {
                 let out = profiler::profile_program_with(p, &cfg).expect("profiles");
@@ -87,7 +91,7 @@ fn main() {
             (secs, bytes)
         };
 
-        let (t, bytes) = serial(ProfileConfig::default());
+        let (t, bytes) = engine(EngineKind::SerialPerfect);
         rows.push(row(name, "serial_perfect", accesses, t, native, bytes));
 
         // The seed implementation (pre-overhaul hot path), reconstructed in
@@ -129,27 +133,10 @@ fn main() {
             bytes,
         ));
 
-        let (t, bytes) = serial(ProfileConfig {
-            sig_slots: Some(1 << 18),
-            ..Default::default()
-        });
+        let (t, bytes) = engine(EngineKind::signature(1 << 18));
         rows.push(row(name, "serial_signature", accesses, t, native, bytes));
 
-        let mut bytes = 0usize;
-        let t = time_median(reps, || {
-            let out = profiler::profile_parallel(
-                p,
-                ParallelConfig {
-                    workers: 8,
-                    queue: QueueKind::LockFree,
-                    sig_slots: 1 << 16,
-                    ..Default::default()
-                },
-                RunConfig::default(),
-            )
-            .expect("profiles");
-            bytes = out.profiler_bytes;
-        });
+        let (t, bytes) = engine(EngineKind::parallel(8));
         rows.push(row(name, "lock_free_8t", accesses, t, native, bytes));
 
         eprintln!("{name}: native {native:.3}s, {accesses} accesses");

@@ -131,7 +131,7 @@ fn fpr_fnr() {
             let sig = profiler::profile_program_with(
                 &p,
                 &ProfileConfig {
-                    sig_slots: Some(slots),
+                    engine: profiler::EngineKind::signature(slots),
                     ..Default::default()
                 },
             )
@@ -171,7 +171,7 @@ fn profiler_slowdown() {
             profiler::profile_program_with(
                 &p,
                 &ProfileConfig {
-                    sig_slots: Some(1 << 20),
+                    engine: profiler::EngineKind::signature(1 << 20),
                     ..Default::default()
                 },
             )

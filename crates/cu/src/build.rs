@@ -3,6 +3,7 @@
 
 use crate::graph::{CuEdge, CuGraph, CuId};
 use crate::vars::{self, RegionVars, VarId};
+use fxhash::FxHashMap;
 use interp::Program;
 use mir::{RegionId, RegionKind};
 use profiler::{DepSet, DepType, Pet};
@@ -355,8 +356,9 @@ impl<'a> FnBuilder<'a> {
 /// rules enforced by [`CuGraph::add_edge`].
 fn add_edges(input: &CuBuildInput, graph: &mut CuGraph<Cu>) {
     // line -> cu: fragments take precedence over region CUs; smaller
-    // region CUs take precedence over enclosing ones.
-    let mut by_line: BTreeMap<u32, CuId> = BTreeMap::new();
+    // region CUs take precedence over enclosing ones. Lookup-only, so the
+    // fast in-repo hasher is safe (no iteration-order dependence).
+    let mut by_line: FxHashMap<u32, CuId> = FxHashMap::default();
     let span_of = |cu: &Cu| cu.end_line - cu.start_line;
     let mut order: Vec<CuId> = (0..graph.cus.len()).collect();
     order.sort_by_key(|&i| {
@@ -425,7 +427,7 @@ pub fn build_cus_bottom_up(
         }
     }
     let lines: Vec<u32> = lines.into_iter().collect();
-    let idx: BTreeMap<u32, usize> = lines.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    let idx: FxHashMap<u32, usize> = lines.iter().enumerate().map(|(i, &l)| (l, i)).collect();
 
     // Union-find over lines; WAR (anti-dependence) merges.
     let mut parent: Vec<usize> = (0..lines.len()).collect();
@@ -459,7 +461,7 @@ pub fn build_cus_bottom_up(
         groups.entry(find(&mut parent, i)).or_default().push(l);
     }
     let mut graph: CuGraph<Vec<u32>> = CuGraph::new();
-    let mut cu_of: BTreeMap<u32, CuId> = BTreeMap::new();
+    let mut cu_of: FxHashMap<u32, CuId> = FxHashMap::default();
     for (_, ls) in groups {
         let id = graph.add_cu(ls.clone());
         for l in ls {

@@ -2,9 +2,10 @@
 //! dependences following Table 3.1, plus the condensation machinery used by
 //! MPMD task detection (§4.2.2, Fig. 4.5) and DOT export (Figs. 3.6/3.7).
 
+use fxhash::FxHashMap;
 use profiler::DepType;
 use serde::Serialize;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Index of a CU within its graph.
 pub type CuId = usize;
@@ -238,8 +239,9 @@ impl<V> CuGraph<V> {
                 }
             }
         }
-        // Renumber groups densely.
-        let mut remap: BTreeMap<usize, usize> = BTreeMap::new();
+        // Renumber groups densely (group ids follow cu order, so the map
+        // is lookup-only and hash order cannot leak into the output).
+        let mut remap: FxHashMap<usize, usize> = FxHashMap::default();
         let mut group = vec![0usize; self.cus.len()];
         for (cu, &c) in comp.iter().enumerate() {
             let root = find(&mut parent, c);

@@ -1,0 +1,260 @@
+//! `discopop` — the command-line front end of the analysis pipeline.
+//!
+//! ```text
+//! discopop analyze <file> [--engine SPEC] [--skip-loops] [--no-lifetime]
+//!                         [--batch-cap N] [--json PATH] [--quiet]
+//! discopop report <report.json>
+//! discopop engines
+//! ```
+//!
+//! `analyze` compiles a mini-C source file, profiles it under the selected
+//! engine, runs parallelism discovery, prints the human-readable report,
+//! and (with `--json`) writes the versioned JSON report — the
+//! machine-readable dependence output downstream tools consume.
+//! `report` renders a previously written JSON report without re-running
+//! anything. `engines` lists the accepted `--engine` specs.
+
+use discopop::report::ReportDoc;
+use discopop::{Analysis, EngineKind, StageEvent};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  discopop analyze <file> [options]   compile, profile, discover, report
+  discopop report <report.json>       render a saved JSON report
+  discopop engines                    list --engine specs
+
+analyze options:
+  --engine SPEC     profiling engine (default serial-perfect); see `discopop engines`
+  --skip-loops      enable the loop-skipping optimization (serial engines)
+  --no-lifetime     disable variable-lifetime analysis
+  --batch-cap N     events per interpreter batch (<2 = per-event delivery)
+  --json PATH       write the versioned JSON report to PATH (`-` = stdout)
+  --quiet           suppress the human-readable report and progress lines";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("report") => render_saved(&args[1..]),
+        Some("engines") => {
+            println!("engine specs accepted by --engine:");
+            println!(
+                "  serial-perfect                    exact page-table shadow memory (default)"
+            );
+            println!(
+                "  serial-signature[:slots]          bounded-memory signature (default 2^18 slots)"
+            );
+            println!("  parallel[:workers[xchunk][:queue]] producer/consumer pipeline");
+            println!("                                    queue: lock-free (default) | lock-based");
+            println!("examples: serial-signature:1048576   parallel:8   parallel:4x128:lock-based");
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("discopop: unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct AnalyzeArgs {
+    file: String,
+    engine: EngineKind,
+    skip_loops: bool,
+    lifetime: bool,
+    batch_cap: Option<usize>,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
+    let mut parsed = AnalyzeArgs {
+        file: String::new(),
+        engine: EngineKind::SerialPerfect,
+        skip_loops: false,
+        lifetime: true,
+        batch_cap: None,
+        json: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--engine" => parsed.engine = EngineKind::parse(&value_of("--engine")?)?,
+            "--skip-loops" => parsed.skip_loops = true,
+            "--no-lifetime" => parsed.lifetime = false,
+            "--batch-cap" => {
+                let v = value_of("--batch-cap")?;
+                parsed.batch_cap = Some(v.parse().map_err(|_| format!("bad --batch-cap `{v}`"))?);
+            }
+            "--json" => parsed.json = Some(value_of("--json")?),
+            "--quiet" => parsed.quiet = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file if parsed.file.is_empty() => parsed.file = file.to_string(),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    if parsed.file.is_empty() {
+        return Err("no input file".to_string());
+    }
+    Ok(parsed)
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let args = match parse_analyze_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("discopop analyze: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("discopop: cannot read `{}`: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = std::path::Path::new(&args.file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("module")
+        .to_string();
+
+    let mut analysis = Analysis::new()
+        .engine(args.engine)
+        .skip_loops(args.skip_loops)
+        .lifetime(args.lifetime);
+    if let Some(cap) = args.batch_cap {
+        analysis = analysis.batch_cap(cap);
+    }
+    if !args.quiet {
+        analysis = analysis.on_progress(|ev| match ev {
+            StageEvent::Compiled { name, functions } => {
+                eprintln!("[1/3] compiled `{name}` ({functions} functions)");
+            }
+            StageEvent::Profiled {
+                engine,
+                steps,
+                dependences,
+            } => {
+                eprintln!("[2/3] profiled with {engine}: {steps} instructions, {dependences} distinct dependences");
+            }
+            StageEvent::Discovered {
+                loops,
+                tasks,
+                ranked,
+            } => {
+                eprintln!("[3/3] discovery: {loops} loops, {tasks} task suggestions, {ranked} ranked");
+            }
+        });
+    }
+
+    let compiled = match analysis.compile(&source, &name) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("discopop: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match analysis.analyze_compiled(&compiled) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("discopop: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // `--json -` owns stdout: the JSON document must stay machine-parseable,
+    // so the human-readable report is suppressed as if --quiet were given.
+    let json_on_stdout = args.json.as_deref() == Some("-");
+    if !args.quiet && !json_on_stdout {
+        print!("{}", discopop::render_report(compiled.program(), &report));
+    }
+    if let Some(path) = &args.json {
+        let json = report.to_json_string(compiled.program());
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("discopop: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        } else if !args.quiet {
+            eprintln!("wrote {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn render_saved(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("discopop report: no input file\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("discopop: cannot read `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match ReportDoc::from_json_str(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("discopop: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "== DiscoPoP report: {} == (schema v{}, engine {})",
+        doc.program, doc.schema_version, doc.engine
+    );
+    println!(
+        "{} instructions, {} accesses, {} distinct dependences ({} before merging)",
+        doc.profile.steps,
+        doc.profile.accesses,
+        doc.profile.dependences.len(),
+        doc.profile.dependences_found,
+    );
+    println!("\nLoops:");
+    for l in &doc.discovery.loops {
+        let extra = if !l.reduction_vars.is_empty() {
+            format!(" reduction({})", l.reduction_vars.join(", "))
+        } else if l.pipeline_stages > 0 {
+            format!(" {} pipeline stages", l.pipeline_stages)
+        } else {
+            String::new()
+        };
+        println!(
+            "  line {:>4} ({} iters, {} instrs): {}{extra}",
+            l.start_line, l.iters, l.dyn_instrs, l.class
+        );
+    }
+    println!("\nRanked opportunities:");
+    for (i, r) in doc.discovery.ranked.iter().enumerate() {
+        let what = match &r.target {
+            discopop::report::TargetDoc::Loop {
+                start_line, class, ..
+            } => format!("loop at line {start_line} ({class})"),
+            discopop::report::TargetDoc::TaskSet { spans, .. } => {
+                let spans: Vec<String> = spans.iter().map(|(a, b)| format!("{a}-{b}")).collect();
+                format!("task set at lines {}", spans.join(", "))
+            }
+        };
+        println!(
+            "  {}. {what} — coverage {:.1}%, local speedup {:.1}x, score {:.2}",
+            i + 1,
+            r.instruction_coverage * 100.0,
+            r.local_speedup,
+            r.score
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -5,10 +5,17 @@
 //! data-dependence profiler plus computational-unit-based parallelism
 //! discovery.
 //!
-//! This crate is the facade: it re-exports every subsystem and offers a
-//! one-call pipeline for the common case.
+//! This crate is the facade: it re-exports every subsystem and offers the
+//! staged [`Analysis`] pipeline mirroring the paper's phases — *compile*
+//! (instrument), *profile* (dependences + PET), *discover* (loop classes,
+//! tasks, ranking). Each stage yields a typed artifact ([`Compiled`],
+//! [`Profiled`], [`Report`]) so callers can reuse a compiled program across
+//! engine configurations and inspect dependences before discovery runs.
+//! A `discopop` CLI binary wraps the same pipeline.
 //!
 //! # Quickstart
+//!
+//! One call for the common case:
 //!
 //! ```
 //! let report = discopop::analyze_source(r#"
@@ -28,6 +35,21 @@
 //! assert!(!report.discovery.ranked.is_empty());
 //! ```
 //!
+//! Staged, with an explicit engine:
+//!
+//! ```
+//! use discopop::{Analysis, EngineKind};
+//!
+//! let mut analysis = Analysis::new().engine(EngineKind::signature(1 << 16));
+//! let compiled = analysis
+//!     .compile("global int g[16];\nfn main() {\nfor (int i = 0; i < 16; i = i + 1) {\ng[i] = i;\n}\n}", "demo")
+//!     .unwrap();
+//! let profiled = analysis.profile(&compiled).unwrap();   // inspect deps/PET here
+//! assert!(profiled.deps().len() > 0);
+//! let report = analysis.discover(&compiled, profiled);
+//! assert_eq!(report.discovery.loops.len(), 1);
+//! ```
+//!
 //! # Architecture
 //!
 //! - [`lang`]: mini-C frontend (the LLVM/Clang substitute)
@@ -38,6 +60,7 @@
 //! - [`discovery`]: DOALL/DOACROSS/SPMD/MPMD + ranking (Ch. 4)
 //! - [`apps`]: ML loop classification, STM sizing, communication patterns
 //!   (Ch. 5)
+//! - [`report`]: the versioned JSON wire format of a [`Report`]
 
 pub use apps;
 pub use cu;
@@ -47,19 +70,41 @@ pub use lang;
 pub use mir;
 pub use profiler;
 
+pub mod report;
+
+pub use profiler::EngineKind;
+
 use serde::Serialize;
 
 /// Everything one analysis run produces.
 #[derive(Debug, Serialize)]
 pub struct Report {
+    /// Name of the analysed program (module name).
+    pub program: String,
+    /// Label of the engine that produced the profile
+    /// (see [`EngineKind::label`]).
+    pub engine: String,
     /// Profiler output: dependences, PET, statistics.
-    #[serde(skip)]
     pub profile: profiler::ProfileOutput,
     /// Discovery results: loop classes, tasks, ranking.
     pub discovery: discovery::Discovery,
 }
 
-/// Errors of the one-call pipeline.
+impl Report {
+    /// The serializable mirror of this report (schema
+    /// [`report::SCHEMA_VERSION`]). Needs the program to resolve symbol and
+    /// function names.
+    pub fn to_doc(&self, program: &interp::Program) -> report::ReportDoc {
+        report::ReportDoc::from_report(program, self)
+    }
+
+    /// The report as pretty-printed, versioned JSON.
+    pub fn to_json_string(&self, program: &interp::Program) -> String {
+        self.to_doc(program).to_json().to_string_pretty()
+    }
+}
+
+/// Errors of the analysis pipeline.
 #[derive(Debug)]
 pub enum Error {
     /// Frontend failure.
@@ -91,42 +136,159 @@ impl From<interp::RuntimeError> for Error {
     }
 }
 
-/// Profiling knobs of the one-call pipeline, mapped onto
-/// [`profiler::ProfileConfig`] / [`interp::RunConfig`].
-#[derive(Debug, Clone)]
-pub struct AnalyzeConfig {
-    /// Signature slots; `None` selects the exact page-table shadow memory.
-    pub sig_slots: Option<usize>,
-    /// Enable the §2.4 loop-skipping optimization.
-    pub skip_loops: bool,
-    /// Enable variable-lifetime analysis (§2.3.5).
-    pub lifetime: bool,
-    /// Events per interpreter→profiler batch (see
-    /// [`interp::RunConfig::batch_cap`]); values below 2 deliver per event.
-    pub batch_cap: usize,
+/// A progress notification emitted at stage boundaries; register a sink
+/// with [`Analysis::on_progress`] to observe long workloads.
+#[derive(Debug, Clone, Copy)]
+pub enum StageEvent<'a> {
+    /// The frontend produced an instrumented program.
+    Compiled {
+        /// Module name.
+        name: &'a str,
+        /// Functions in the module.
+        functions: usize,
+    },
+    /// The profiler finished executing the target.
+    Profiled {
+        /// Engine label.
+        engine: &'a str,
+        /// Executed target instructions.
+        steps: u64,
+        /// Distinct (merged) dependences.
+        dependences: usize,
+    },
+    /// Parallelism discovery finished.
+    Discovered {
+        /// Loops classified.
+        loops: usize,
+        /// SPMD + MPMD task suggestions.
+        tasks: usize,
+        /// Ranked opportunities.
+        ranked: usize,
+    },
 }
 
-impl Default for AnalyzeConfig {
+/// Boxed progress sink registered with [`Analysis::on_progress`].
+pub type ProgressSink = Box<dyn FnMut(&StageEvent<'_>)>;
+
+/// The staged analysis pipeline: configure once, then drive
+/// compile → profile → discover, or let [`Analysis::analyze`] run all three.
+///
+/// The builder owns every knob the pipeline has; stage methods borrow the
+/// artifacts, so one [`Compiled`] program can be profiled under several
+/// engines:
+///
+/// ```
+/// use discopop::{Analysis, EngineKind};
+///
+/// let src = "global int a[32];\nfn main() {\nfor (int i = 0; i < 32; i = i + 1) {\na[i] = i;\n}\n}";
+/// let mut analysis = Analysis::new();
+/// let compiled = analysis.compile(src, "demo").unwrap();
+/// let exact = analysis.profile(&compiled).unwrap();
+/// let parallel = analysis
+///     .engine_mut(EngineKind::parallel(2))
+///     .profile(&compiled)
+///     .unwrap();
+/// assert_eq!(exact.deps().sorted(), parallel.deps().sorted());
+/// ```
+pub struct Analysis {
+    engine: EngineKind,
+    skip_loops: bool,
+    lifetime: bool,
+    batch_cap: usize,
+    progress: Option<ProgressSink>,
+}
+
+impl Default for Analysis {
     fn default() -> Self {
         // Derived from the profiler's own defaults so the facade cannot
         // silently diverge from them.
         let p = profiler::ProfileConfig::default();
-        AnalyzeConfig {
-            sig_slots: p.sig_slots,
+        Analysis {
+            engine: p.engine,
             skip_loops: p.skip_loops,
             lifetime: p.lifetime,
             batch_cap: p.run.batch_cap,
+            progress: None,
         }
     }
 }
 
-impl AnalyzeConfig {
-    fn profile_config(&self) -> profiler::ProfileConfig {
-        // Start from the profiler's defaults (as `Default` above does) so
-        // the facade only ever overrides the knobs it exposes.
+impl std::fmt::Debug for Analysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analysis")
+            .field("engine", &self.engine)
+            .field("skip_loops", &self.skip_loops)
+            .field("lifetime", &self.lifetime)
+            .field("batch_cap", &self.batch_cap)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl Analysis {
+    /// A pipeline with the profiler's default configuration
+    /// ([`EngineKind::SerialPerfect`], lifetime analysis on).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the profiling engine (builder style).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Select the profiling engine on an existing pipeline, e.g. to
+    /// re-profile the same [`Compiled`] program under another engine.
+    pub fn engine_mut(&mut self, engine: EngineKind) -> &mut Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enable the §2.4 loop-skipping optimization (serial engines only).
+    pub fn skip_loops(mut self, on: bool) -> Self {
+        self.skip_loops = on;
+        self
+    }
+
+    /// Enable variable-lifetime analysis (§2.3.5); on by default.
+    pub fn lifetime(mut self, on: bool) -> Self {
+        self.lifetime = on;
+        self
+    }
+
+    /// Events per interpreter→profiler batch (see
+    /// [`interp::RunConfig::batch_cap`]; values below 2 deliver per event).
+    pub fn batch_cap(mut self, cap: usize) -> Self {
+        self.batch_cap = cap;
+        self
+    }
+
+    /// Register a progress sink invoked at every stage boundary.
+    ///
+    /// ```
+    /// let mut analysis = discopop::Analysis::new()
+    ///     .on_progress(|ev| eprintln!("stage done: {ev:?}"));
+    /// analysis.analyze("fn main() { int x = 0; x = x + 1; }", "tiny").unwrap();
+    /// ```
+    pub fn on_progress(mut self, sink: impl FnMut(&StageEvent<'_>) + 'static) -> Self {
+        self.progress = Some(Box::new(sink));
+        self
+    }
+
+    fn notify(&mut self, ev: StageEvent<'_>) {
+        if let Some(sink) = &mut self.progress {
+            sink(&ev);
+        }
+    }
+
+    /// The [`profiler::ProfileConfig`] this pipeline profiles with.
+    pub fn profile_config(&self) -> profiler::ProfileConfig {
+        // Start from the profiler's defaults so the facade only ever
+        // overrides the knobs it exposes.
         let base = profiler::ProfileConfig::default();
         profiler::ProfileConfig {
-            sig_slots: self.sig_slots,
+            engine: self.engine,
             skip_loops: self.skip_loops,
             lifetime: self.lifetime,
             run: interp::RunConfig {
@@ -135,33 +297,172 @@ impl AnalyzeConfig {
             },
         }
     }
+
+    /// Stage 1: compile and instrument a mini-C source module.
+    pub fn compile(&mut self, source: &str, name: &str) -> Result<Compiled, Error> {
+        let program = interp::Program::new(lang::compile(source, name)?);
+        let compiled = Compiled::new(program);
+        self.notify(StageEvent::Compiled {
+            name: &compiled.name,
+            functions: compiled.program.module.functions.len(),
+        });
+        Ok(compiled)
+    }
+
+    /// Wrap a finished profiler run as the stage-2 artifact and announce it.
+    fn profiled(&mut self, engine: String, output: profiler::ProfileOutput) -> Profiled {
+        let profiled = Profiled { engine, output };
+        self.notify(StageEvent::Profiled {
+            engine: &profiled.engine,
+            steps: profiled.output.steps,
+            dependences: profiled.output.deps.len(),
+        });
+        profiled
+    }
+
+    /// Stage 2: execute the program under the configured engine.
+    pub fn profile(&mut self, compiled: &Compiled) -> Result<Profiled, Error> {
+        let output = profiler::profile_program_with(&compiled.program, &self.profile_config())?;
+        Ok(self.profiled(self.engine.label(), output))
+    }
+
+    /// Stage 2, multi-threaded targets: profile a program that spawns its
+    /// own threads through the lock-free MPSC engine (§2.3.4). Worker
+    /// count, chunking, and queue kind are taken from the configured
+    /// engine when it is [`EngineKind::Parallel`]; other engines use the
+    /// parallel defaults.
+    pub fn profile_threads(&mut self, compiled: &Compiled) -> Result<Profiled, Error> {
+        let mut pcfg = profiler::ParallelConfig {
+            lifetime: self.lifetime,
+            ..Default::default()
+        };
+        if let EngineKind::Parallel {
+            workers,
+            chunk,
+            queue,
+        } = self.engine
+        {
+            pcfg.workers = workers.max(1);
+            pcfg.chunk_size = chunk.max(1);
+            pcfg.queue = queue;
+        }
+        // Same per-worker signature sizing as the sequential-target path:
+        // a fixed total budget split across workers.
+        pcfg.sig_slots = EngineKind::parallel_worker_slots(pcfg.workers);
+        let label = format!("multithreaded:{}x{}", pcfg.workers, pcfg.chunk_size);
+        let run = self.profile_config().run;
+        let output = profiler::profile_multithreaded_target(&compiled.program, pcfg, run)?
+            .into_profile_output();
+        Ok(self.profiled(label, output))
+    }
+
+    /// Stage 3: run parallelism discovery and assemble the [`Report`].
+    pub fn discover(&mut self, compiled: &Compiled, profiled: Profiled) -> Report {
+        self.discover_program(&compiled.program, &compiled.name, profiled)
+    }
+
+    fn discover_program(
+        &mut self,
+        program: &interp::Program,
+        name: &str,
+        profiled: Profiled,
+    ) -> Report {
+        let discovery = discovery::discover(program, &profiled.output.deps, &profiled.output.pet);
+        self.notify(StageEvent::Discovered {
+            loops: discovery.loops.len(),
+            tasks: discovery.spmd.len() + discovery.mpmd.len(),
+            ranked: discovery.ranked.len(),
+        });
+        Report {
+            program: name.to_string(),
+            engine: profiled.engine,
+            profile: profiled.output,
+            discovery,
+        }
+    }
+
+    /// All three stages on a source module.
+    pub fn analyze(&mut self, source: &str, name: &str) -> Result<Report, Error> {
+        let compiled = self.compile(source, name)?;
+        self.analyze_compiled(&compiled)
+    }
+
+    /// Profile + discover on an already-compiled program.
+    pub fn analyze_compiled(&mut self, compiled: &Compiled) -> Result<Report, Error> {
+        let profiled = self.profile(compiled)?;
+        Ok(self.discover(compiled, profiled))
+    }
+
+    /// Profile + discover on a borrowed [`interp::Program`] (e.g. a
+    /// `workloads` entry) without wrapping it in a [`Compiled`].
+    pub fn analyze_program(&mut self, program: &interp::Program) -> Result<Report, Error> {
+        let output = profiler::profile_program_with(program, &self.profile_config())?;
+        let profiled = self.profiled(self.engine.label(), output);
+        let name = program.module.name.clone();
+        Ok(self.discover_program(program, &name, profiled))
+    }
 }
 
-/// Compile, execute under the profiler, and run parallelism discovery.
+/// Stage-1 artifact: an instrumented, executable program. Construct with
+/// [`Analysis::compile`], or wrap an existing [`interp::Program`] (e.g. a
+/// `workloads` entry) via [`Compiled::new`].
+#[derive(Debug)]
+pub struct Compiled {
+    /// The executable program.
+    pub program: interp::Program,
+    /// Module name, carried into the report.
+    pub name: String,
+}
+
+impl Compiled {
+    /// Wrap an already-built program.
+    pub fn new(program: interp::Program) -> Self {
+        let name = program.module.name.clone();
+        Compiled { program, name }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &interp::Program {
+        &self.program
+    }
+}
+
+impl From<interp::Program> for Compiled {
+    fn from(program: interp::Program) -> Self {
+        Compiled::new(program)
+    }
+}
+
+/// Stage-2 artifact: the profiler's output, inspectable before discovery.
+#[derive(Debug)]
+pub struct Profiled {
+    /// Label of the engine that produced this profile.
+    pub engine: String,
+    /// The full profiler output.
+    pub output: profiler::ProfileOutput,
+}
+
+impl Profiled {
+    /// The merged dependence set.
+    pub fn deps(&self) -> &profiler::DepSet {
+        &self.output.deps
+    }
+
+    /// The program execution tree.
+    pub fn pet(&self) -> &profiler::Pet {
+        &self.output.pet
+    }
+}
+
+/// Compile, execute under the profiler, and run parallelism discovery with
+/// default options — the one-call convenience over [`Analysis`].
 pub fn analyze_source(source: &str, name: &str) -> Result<Report, Error> {
-    let program = interp::Program::new(lang::compile(source, name)?);
-    analyze_program(&program)
+    Analysis::new().analyze(source, name)
 }
 
-/// [`analyze_source`] with explicit profiling knobs.
-pub fn analyze_source_with(source: &str, name: &str, cfg: &AnalyzeConfig) -> Result<Report, Error> {
-    let program = interp::Program::new(lang::compile(source, name)?);
-    analyze_program_with(&program, cfg)
-}
-
-/// Analyse an already-compiled program.
+/// [`analyze_source`] for an already-compiled program.
 pub fn analyze_program(program: &interp::Program) -> Result<Report, Error> {
-    analyze_program_with(program, &AnalyzeConfig::default())
-}
-
-/// [`analyze_program`] with explicit profiling knobs.
-pub fn analyze_program_with(
-    program: &interp::Program,
-    cfg: &AnalyzeConfig,
-) -> Result<Report, Error> {
-    let profile = profiler::profile_program_with(program, &cfg.profile_config())?;
-    let discovery = discovery::discover(program, &profile.deps, &profile.pet);
-    Ok(Report { profile, discovery })
+    Analysis::new().analyze_program(program)
 }
 
 /// Render a human-readable report of the ranked suggestions.
@@ -171,7 +472,8 @@ pub fn render_report(program: &interp::Program, report: &Report) -> String {
     let _ = writeln!(out, "== DiscoPoP report: {} ==", program.module.name);
     let _ = writeln!(
         out,
-        "{} instructions executed, {} distinct dependences ({} before merging)",
+        "engine {}; {} instructions executed, {} distinct dependences ({} before merging)",
+        report.engine,
         report.profile.steps,
         report.profile.deps.len(),
         report.profile.deps.total_found
@@ -222,6 +524,8 @@ pub fn render_report(program: &interp::Program, report: &Report) -> String {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn facade_pipeline_works() {
         let report = crate::analyze_source(
@@ -231,16 +535,60 @@ mod tests {
         .unwrap();
         assert_eq!(report.discovery.loops.len(), 1);
         assert_eq!(report.discovery.loops[0].class, discovery::LoopClass::Doall);
+        assert_eq!(report.engine, "serial-perfect");
+    }
+
+    #[test]
+    fn staged_pipeline_reuses_compiled_across_engines() {
+        let src = "global int a[64];\nglobal int s;\nfn main() {\nfor (int i = 0; i < 64; i = i + 1) { a[i] = i; }\nfor (int i = 1; i < 64; i = i + 1) { s = s + a[i]; }\n}";
+        let mut analysis = Analysis::new();
+        let compiled = analysis.compile(src, "staged").unwrap();
+        let perfect = analysis.profile(&compiled).unwrap();
+        let signature = analysis
+            .engine_mut(EngineKind::signature(1 << 18))
+            .profile(&compiled)
+            .unwrap();
+        let parallel = analysis
+            .engine_mut(EngineKind::parallel(4))
+            .profile(&compiled)
+            .unwrap();
+        assert_eq!(perfect.deps().sorted(), signature.deps().sorted());
+        assert_eq!(perfect.deps().sorted(), parallel.deps().sorted());
+        assert!(parallel.output.parallel.is_some());
+        let report = analysis.discover(&compiled, parallel);
+        assert_eq!(report.engine, "parallel:4x256:lock-free");
+        assert!(!report.discovery.ranked.is_empty());
+    }
+
+    #[test]
+    fn progress_sink_sees_every_stage() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let mut analysis = Analysis::new().on_progress(move |ev| {
+            sink.borrow_mut().push(match ev {
+                StageEvent::Compiled { .. } => "compiled",
+                StageEvent::Profiled { .. } => "profiled",
+                StageEvent::Discovered { .. } => "discovered",
+            });
+        });
+        analysis
+            .analyze("global int g;\nfn main() { g = 1; int x = g; }", "progress")
+            .unwrap();
+        assert_eq!(*seen.borrow(), vec!["compiled", "profiled", "discovered"]);
     }
 
     #[test]
     fn render_mentions_loops() {
         let src = "global int g[32];\nfn main() {\nfor (int i = 0; i < 32; i = i + 1) {\ng[i] = i * 3;\n}\n}";
-        let program = interp::Program::new(lang::compile(src, "demo").unwrap());
-        let report = crate::analyze_program(&program).unwrap();
-        let text = crate::render_report(&program, &report);
+        let mut analysis = Analysis::new();
+        let compiled = analysis.compile(src, "demo").unwrap();
+        let report = analysis.analyze_compiled(&compiled).unwrap();
+        let text = crate::render_report(compiled.program(), &report);
         assert!(text.contains("Ranked parallelization opportunities"));
         assert!(text.contains("Doall"));
+        assert!(text.contains("serial-perfect"));
     }
 
     #[test]
@@ -253,5 +601,18 @@ mod tests {
             crate::analyze_source("fn main() -> int { int z = 0; return 1 / z; }", "t"),
             Err(crate::Error::Runtime(_))
         ));
+    }
+
+    #[test]
+    fn multithreaded_facade_path() {
+        let src = "global int c;
+fn w(int n) { for (int i = 0; i < n; i = i + 1) { lock(1); c = c + 1; unlock(1); } }
+fn main() { int a = spawn(w, 20); int b = spawn(w, 20); join(a); join(b); }";
+        let mut analysis = Analysis::new();
+        let compiled = analysis.compile(src, "mt").unwrap();
+        let profiled = analysis.profile_threads(&compiled).unwrap();
+        assert!(profiled.deps().sorted().iter().any(|d| d.is_cross_thread()));
+        let report = analysis.discover(&compiled, profiled);
+        assert!(report.engine.starts_with("multithreaded:"));
     }
 }

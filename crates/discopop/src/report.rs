@@ -1,0 +1,1075 @@
+//! The versioned JSON wire format of a [`crate::Report`].
+//!
+//! The in-memory report borrows ids (symbol ids, function indices) that
+//! only mean something next to the [`interp::Program`] that produced them,
+//! and the workspace's `serde` is an offline no-op shim — so serialization
+//! goes through explicit mirror types instead: [`ReportDoc`] resolves every
+//! id to its name, carries a `schema_version`, and converts losslessly to
+//! and from [`jsonio::Value`]. Downstream tools consume the JSON; this
+//! module is the one place its shape is defined.
+//!
+//! # Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "program": "demo",
+//!   "engine": "serial-perfect",
+//!   "profile": {
+//!     "steps": 1384, "accesses": 384, "dependences_found": 251,
+//!     "profiler_bytes": 73728, "printed": [],
+//!     "dependences": [
+//!       {"sink": "1:4", "type": "RAW", "source": "1:2", "var": "sum",
+//!        "sink_thread": 0, "source_thread": 0, "carried_by": [0, 1],
+//!        "race_hint": false, "count": 63}
+//!     ],
+//!     "pet": [{"kind": "function", "name": "main", "entries": 1, "iters": 0,
+//!              "dyn_instrs": 1384, "start_line": 2, "end_line": 7,
+//!              "children": [1]}],
+//!     "parallel": null
+//!   },
+//!   "discovery": {
+//!     "loops":    [{"start_line": 3, "class": "Doall", "...": "..."}],
+//!     "spmd":     [],
+//!     "mpmd":     [],
+//!     "ranked":   [{"target": {"kind": "loop", "start_line": 3,
+//!                              "class": "Doall", "...": "..."},
+//!                   "instruction_coverage": 0.62, "local_speedup": 64.0,
+//!                   "cu_imbalance": 0.0, "score": 39.7}],
+//!     "patterns": [{"name": "geometric decomposition", "loop_line": 3,
+//!                   "width": 64}]
+//!   }
+//! }
+//! ```
+
+use crate::Report;
+use discovery::ranking::SuggestionTarget;
+use discovery::{Pattern, SpmdKind};
+use jsonio::Value;
+use profiler::{Dep, PetNodeKind};
+
+/// Version stamp of the JSON schema written by [`ReportDoc::to_json`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Error produced when a JSON document does not match the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError(pub String);
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "report schema error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+type DocResult<T> = Result<T, SchemaError>;
+
+fn err<T>(msg: impl Into<String>) -> DocResult<T> {
+    Err(SchemaError(msg.into()))
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> DocResult<&'a Value> {
+    v.get(key)
+        .ok_or_else(|| SchemaError(format!("missing field `{key}`")))
+}
+
+fn get_str(v: &Value, key: &str) -> DocResult<String> {
+    field(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| SchemaError(format!("`{key}` must be a string")))
+}
+
+fn get_u64(v: &Value, key: &str) -> DocResult<u64> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| SchemaError(format!("`{key}` must be a non-negative integer")))
+}
+
+fn get_u32(v: &Value, key: &str) -> DocResult<u32> {
+    u32::try_from(get_u64(v, key)?).map_err(|_| SchemaError(format!("`{key}` overflows u32")))
+}
+
+fn get_f64(v: &Value, key: &str) -> DocResult<f64> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| SchemaError(format!("`{key}` must be a number")))
+}
+
+fn get_bool(v: &Value, key: &str) -> DocResult<bool> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| SchemaError(format!("`{key}` must be a boolean")))
+}
+
+fn get_array<'a>(v: &'a Value, key: &str) -> DocResult<&'a [Value]> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| SchemaError(format!("`{key}` must be an array")))
+}
+
+fn get_str_array(v: &Value, key: &str) -> DocResult<Vec<String>> {
+    get_array(v, key)?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| SchemaError(format!("`{key}` entries must be strings")))
+        })
+        .collect()
+}
+
+fn checked_u32(n: u64, what: &str) -> DocResult<u32> {
+    u32::try_from(n).map_err(|_| SchemaError(format!("{what} overflows u32")))
+}
+
+fn pair_u32(v: &Value, what: &str) -> DocResult<(u32, u32)> {
+    match v.as_array() {
+        Some([a, b]) => match (a.as_u64(), b.as_u64()) {
+            (Some(a), Some(b)) => Ok((checked_u32(a, what)?, checked_u32(b, what)?)),
+            _ => err(format!("{what} must hold two integers")),
+        },
+        _ => err(format!("{what} must be a two-element array")),
+    }
+}
+
+fn spans_doc(spans: &[(u32, u32)]) -> Value {
+    Value::Array(
+        spans
+            .iter()
+            .map(|&(a, b)| Value::array([a, b]))
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn spans_from(v: &Value, key: &str) -> DocResult<Vec<(u32, u32)>> {
+    get_array(v, key)?
+        .iter()
+        .map(|s| pair_u32(s, key))
+        .collect()
+}
+
+/// One merged dependence, fully name-resolved. `sink`/`source` use the
+/// DiscoPoP `file:line` notation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepDoc {
+    /// Location of the later access (`file:line`).
+    pub sink: String,
+    /// `RAW` / `WAR` / `WAW` / `INIT`.
+    pub ty: String,
+    /// Location of the earlier access (`file:line`).
+    pub source: String,
+    /// Variable name (`*` for INIT bookkeeping entries).
+    pub var: String,
+    /// Thread that executed the sink.
+    pub sink_thread: u32,
+    /// Thread that executed the source.
+    pub source_thread: u32,
+    /// `(function, region)` of the carrying loop, if loop-carried.
+    pub carried_by: Option<(u32, u32)>,
+    /// Timestamp inversion observed (§2.3.4).
+    pub race_hint: bool,
+    /// Occurrences merged into this entry.
+    pub count: u64,
+}
+
+impl DepDoc {
+    fn from_dep(program: &interp::Program, d: &Dep, count: u64) -> DepDoc {
+        let var = if d.var == u32::MAX {
+            "*".to_string()
+        } else {
+            program.symbol(d.var).to_string()
+        };
+        DepDoc {
+            sink: d.sink.to_string(),
+            ty: d.ty.to_string(),
+            source: d.source.to_string(),
+            var,
+            sink_thread: d.sink_thread,
+            source_thread: d.source_thread,
+            carried_by: d.carried_by,
+            race_hint: d.race_hint,
+            count,
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("sink", Value::from(self.sink.as_str())),
+            ("type", Value::from(self.ty.as_str())),
+            ("source", Value::from(self.source.as_str())),
+            ("var", Value::from(self.var.as_str())),
+            ("sink_thread", Value::from(self.sink_thread)),
+            ("source_thread", Value::from(self.source_thread)),
+            (
+                "carried_by",
+                match self.carried_by {
+                    Some((f, r)) => Value::array([f, r]),
+                    None => Value::Null,
+                },
+            ),
+            ("race_hint", Value::from(self.race_hint)),
+            ("count", Value::from(self.count)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<DepDoc> {
+        Ok(DepDoc {
+            sink: get_str(v, "sink")?,
+            ty: get_str(v, "type")?,
+            source: get_str(v, "source")?,
+            var: get_str(v, "var")?,
+            sink_thread: get_u32(v, "sink_thread")?,
+            source_thread: get_u32(v, "source_thread")?,
+            carried_by: match field(v, "carried_by")? {
+                Value::Null => None,
+                other => Some(pair_u32(other, "carried_by")?),
+            },
+            race_hint: get_bool(v, "race_hint")?,
+            count: get_u64(v, "count")?,
+        })
+    }
+}
+
+/// One PET node (§2.3.6), with function names resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PetNodeDoc {
+    /// `root`, `function`, or `loop`.
+    pub kind: String,
+    /// Function name (functions only, empty otherwise).
+    pub name: String,
+    /// Times entered under this parent.
+    pub entries: u64,
+    /// Loop iterations (loops only).
+    pub iters: u64,
+    /// Inclusive dynamic instructions.
+    pub dyn_instrs: u64,
+    /// First source line.
+    pub start_line: u32,
+    /// Last source line.
+    pub end_line: u32,
+    /// Child node indices into the node list.
+    pub children: Vec<u64>,
+}
+
+impl PetNodeDoc {
+    fn from_node(program: &interp::Program, n: &profiler::PetNode) -> PetNodeDoc {
+        let (kind, name) = match n.kind {
+            PetNodeKind::Root => ("root", String::new()),
+            PetNodeKind::Function(f) => (
+                "function",
+                program
+                    .module
+                    .functions
+                    .get(f as usize)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_default(),
+            ),
+            PetNodeKind::Loop(_, _) => ("loop", String::new()),
+        };
+        PetNodeDoc {
+            kind: kind.to_string(),
+            name,
+            entries: n.entries,
+            iters: n.iters,
+            dyn_instrs: n.dyn_instrs,
+            start_line: n.start_line,
+            end_line: n.end_line,
+            children: n.children.iter().map(|&c| c as u64).collect(),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("kind", Value::from(self.kind.as_str())),
+            ("name", Value::from(self.name.as_str())),
+            ("entries", Value::from(self.entries)),
+            ("iters", Value::from(self.iters)),
+            ("dyn_instrs", Value::from(self.dyn_instrs)),
+            ("start_line", Value::from(self.start_line)),
+            ("end_line", Value::from(self.end_line)),
+            (
+                "children",
+                Value::Array(self.children.iter().map(|&c| Value::from(c)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<PetNodeDoc> {
+        Ok(PetNodeDoc {
+            kind: get_str(v, "kind")?,
+            name: get_str(v, "name")?,
+            entries: get_u64(v, "entries")?,
+            iters: get_u64(v, "iters")?,
+            dyn_instrs: get_u64(v, "dyn_instrs")?,
+            start_line: get_u32(v, "start_line")?,
+            end_line: get_u32(v, "end_line")?,
+            children: get_array(v, "children")?
+                .iter()
+                .map(|c| {
+                    c.as_u64()
+                        .ok_or_else(|| SchemaError("`children` entries must be integers".into()))
+                })
+                .collect::<DocResult<_>>()?,
+        })
+    }
+}
+
+/// Parallel-engine transport statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelDoc {
+    /// Chunks shipped to workers.
+    pub chunks: u64,
+    /// Rebalance operations performed.
+    pub rebalances: u64,
+    /// Accesses processed per worker.
+    pub worker_processed: Vec<u64>,
+}
+
+impl ParallelDoc {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("chunks", Value::from(self.chunks)),
+            ("rebalances", Value::from(self.rebalances)),
+            (
+                "worker_processed",
+                Value::Array(
+                    self.worker_processed
+                        .iter()
+                        .map(|&w| Value::from(w))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<ParallelDoc> {
+        Ok(ParallelDoc {
+            chunks: get_u64(v, "chunks")?,
+            rebalances: get_u64(v, "rebalances")?,
+            worker_processed: get_array(v, "worker_processed")?
+                .iter()
+                .map(|w| {
+                    w.as_u64().ok_or_else(|| {
+                        SchemaError("`worker_processed` entries must be integers".into())
+                    })
+                })
+                .collect::<DocResult<_>>()?,
+        })
+    }
+}
+
+/// The profiler section of the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDoc {
+    /// Executed target instructions.
+    pub steps: u64,
+    /// Dynamic memory accesses processed.
+    pub accesses: u64,
+    /// Dependences found before merging.
+    pub dependences_found: u64,
+    /// Estimated profiler memory footprint in bytes.
+    pub profiler_bytes: u64,
+    /// Target program output.
+    pub printed: Vec<String>,
+    /// Merged dependences, totally ordered.
+    pub dependences: Vec<DepDoc>,
+    /// PET nodes (index 0 is the root; `children` index into this list).
+    pub pet: Vec<PetNodeDoc>,
+    /// Parallel-engine statistics, when the parallel engine ran.
+    pub parallel: Option<ParallelDoc>,
+}
+
+impl ProfileDoc {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("steps", Value::from(self.steps)),
+            ("accesses", Value::from(self.accesses)),
+            ("dependences_found", Value::from(self.dependences_found)),
+            ("profiler_bytes", Value::from(self.profiler_bytes)),
+            (
+                "printed",
+                Value::Array(
+                    self.printed
+                        .iter()
+                        .map(|s| Value::from(s.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "dependences",
+                Value::Array(self.dependences.iter().map(DepDoc::to_json).collect()),
+            ),
+            (
+                "pet",
+                Value::Array(self.pet.iter().map(PetNodeDoc::to_json).collect()),
+            ),
+            (
+                "parallel",
+                match &self.parallel {
+                    Some(p) => p.to_json(),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<ProfileDoc> {
+        Ok(ProfileDoc {
+            steps: get_u64(v, "steps")?,
+            accesses: get_u64(v, "accesses")?,
+            dependences_found: get_u64(v, "dependences_found")?,
+            profiler_bytes: get_u64(v, "profiler_bytes")?,
+            printed: get_str_array(v, "printed")?,
+            dependences: get_array(v, "dependences")?
+                .iter()
+                .map(DepDoc::from_json)
+                .collect::<DocResult<_>>()?,
+            pet: get_array(v, "pet")?
+                .iter()
+                .map(PetNodeDoc::from_json)
+                .collect::<DocResult<_>>()?,
+            parallel: match field(v, "parallel")? {
+                Value::Null => None,
+                other => Some(ParallelDoc::from_json(other)?),
+            },
+        })
+    }
+}
+
+/// One classified loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopDoc {
+    /// Function index.
+    pub func: u32,
+    /// Region index within the function.
+    pub region: u32,
+    /// Header line.
+    pub start_line: u32,
+    /// Last line.
+    pub end_line: u32,
+    /// Iterations executed.
+    pub iters: u64,
+    /// Inclusive dynamic instructions.
+    pub dyn_instrs: u64,
+    /// `Doall` / `Reduction` / `Doacross` / `Sequential` / `NotExecuted`.
+    pub class: String,
+    /// Carried true dependences blocking DOALL.
+    pub blocking: Vec<DepDoc>,
+    /// Detected reduction variables.
+    pub reduction_vars: Vec<String>,
+    /// DOACROSS pipeline-stage estimate (0 when not applicable).
+    pub pipeline_stages: u64,
+}
+
+impl LoopDoc {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("func", Value::from(self.func)),
+            ("region", Value::from(self.region)),
+            ("start_line", Value::from(self.start_line)),
+            ("end_line", Value::from(self.end_line)),
+            ("iters", Value::from(self.iters)),
+            ("dyn_instrs", Value::from(self.dyn_instrs)),
+            ("class", Value::from(self.class.as_str())),
+            (
+                "blocking",
+                Value::Array(self.blocking.iter().map(DepDoc::to_json).collect()),
+            ),
+            (
+                "reduction_vars",
+                Value::Array(
+                    self.reduction_vars
+                        .iter()
+                        .map(|s| Value::from(s.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("pipeline_stages", Value::from(self.pipeline_stages)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<LoopDoc> {
+        Ok(LoopDoc {
+            func: get_u32(v, "func")?,
+            region: get_u32(v, "region")?,
+            start_line: get_u32(v, "start_line")?,
+            end_line: get_u32(v, "end_line")?,
+            iters: get_u64(v, "iters")?,
+            dyn_instrs: get_u64(v, "dyn_instrs")?,
+            class: get_str(v, "class")?,
+            blocking: get_array(v, "blocking")?
+                .iter()
+                .map(DepDoc::from_json)
+                .collect::<DocResult<_>>()?,
+            reduction_vars: get_str_array(v, "reduction_vars")?,
+            pipeline_stages: get_u64(v, "pipeline_stages")?,
+        })
+    }
+}
+
+/// One SPMD task suggestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmdDoc {
+    /// `LoopTask` or `SiblingCalls`.
+    pub kind: String,
+    /// Containing function index.
+    pub func: u32,
+    /// Task body / call-site lines.
+    pub lines: Vec<u32>,
+    /// Callee names.
+    pub callees: Vec<String>,
+    /// Loop header line (`LoopTask` only).
+    pub loop_line: Option<u32>,
+}
+
+impl SpmdDoc {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("kind", Value::from(self.kind.as_str())),
+            ("func", Value::from(self.func)),
+            (
+                "lines",
+                Value::Array(self.lines.iter().map(|&l| Value::from(l)).collect()),
+            ),
+            (
+                "callees",
+                Value::Array(
+                    self.callees
+                        .iter()
+                        .map(|s| Value::from(s.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("loop_line", Value::from(self.loop_line)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<SpmdDoc> {
+        Ok(SpmdDoc {
+            kind: get_str(v, "kind")?,
+            func: get_u32(v, "func")?,
+            lines: get_array(v, "lines")?
+                .iter()
+                .map(|l| {
+                    l.as_u64()
+                        .ok_or_else(|| SchemaError("`lines` entries must be integers".into()))
+                        .and_then(|l| checked_u32(l, "`lines` entry"))
+                })
+                .collect::<DocResult<_>>()?,
+            callees: get_str_array(v, "callees")?,
+            loop_line: match field(v, "loop_line")? {
+                Value::Null => None,
+                other => Some(checked_u32(
+                    other
+                        .as_u64()
+                        .ok_or_else(|| SchemaError("`loop_line` must be an integer".into()))?,
+                    "`loop_line`",
+                )?),
+            },
+        })
+    }
+}
+
+/// One MPMD (fork-join) task set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpmdDoc {
+    /// Containing function index.
+    pub func: u32,
+    /// `(start_line, end_line, weight)` per task.
+    pub tasks: Vec<(u32, u32, u64)>,
+}
+
+impl MpmdDoc {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("func", Value::from(self.func)),
+            (
+                "tasks",
+                Value::Array(
+                    self.tasks
+                        .iter()
+                        .map(|&(s, e, w)| {
+                            Value::object([
+                                ("start_line", Value::from(s)),
+                                ("end_line", Value::from(e)),
+                                ("weight", Value::from(w)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<MpmdDoc> {
+        Ok(MpmdDoc {
+            func: get_u32(v, "func")?,
+            tasks: get_array(v, "tasks")?
+                .iter()
+                .map(|t| {
+                    Ok((
+                        get_u32(t, "start_line")?,
+                        get_u32(t, "end_line")?,
+                        get_u64(t, "weight")?,
+                    ))
+                })
+                .collect::<DocResult<_>>()?,
+        })
+    }
+}
+
+/// What a ranked suggestion points at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TargetDoc {
+    /// A parallelizable loop.
+    Loop {
+        /// Function index.
+        func: u32,
+        /// Region index.
+        region: u32,
+        /// Header line.
+        start_line: u32,
+        /// Loop class name.
+        class: String,
+    },
+    /// An MPMD task set.
+    TaskSet {
+        /// Function index.
+        func: u32,
+        /// Task line spans.
+        spans: Vec<(u32, u32)>,
+    },
+}
+
+/// One ranked parallelization opportunity (§4.3 metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedDoc {
+    /// What to parallelize.
+    pub target: TargetDoc,
+    /// Fraction of executed instructions inside the region.
+    pub instruction_coverage: f64,
+    /// Serial work over critical path.
+    pub local_speedup: f64,
+    /// Coefficient of variation of independent CU-group weights.
+    pub cu_imbalance: f64,
+    /// Scalar ordering score.
+    pub score: f64,
+}
+
+impl RankedDoc {
+    fn to_json(&self) -> Value {
+        let target = match &self.target {
+            TargetDoc::Loop {
+                func,
+                region,
+                start_line,
+                class,
+            } => Value::object([
+                ("kind", Value::from("loop")),
+                ("func", Value::from(*func)),
+                ("region", Value::from(*region)),
+                ("start_line", Value::from(*start_line)),
+                ("class", Value::from(class.as_str())),
+            ]),
+            TargetDoc::TaskSet { func, spans } => Value::object([
+                ("kind", Value::from("task_set")),
+                ("func", Value::from(*func)),
+                ("spans", spans_doc(spans)),
+            ]),
+        };
+        Value::object([
+            ("target", target),
+            (
+                "instruction_coverage",
+                Value::Float(self.instruction_coverage),
+            ),
+            ("local_speedup", Value::Float(self.local_speedup)),
+            ("cu_imbalance", Value::Float(self.cu_imbalance)),
+            ("score", Value::Float(self.score)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<RankedDoc> {
+        let t = field(v, "target")?;
+        let target = match get_str(t, "kind")?.as_str() {
+            "loop" => TargetDoc::Loop {
+                func: get_u32(t, "func")?,
+                region: get_u32(t, "region")?,
+                start_line: get_u32(t, "start_line")?,
+                class: get_str(t, "class")?,
+            },
+            "task_set" => TargetDoc::TaskSet {
+                func: get_u32(t, "func")?,
+                spans: spans_from(t, "spans")?,
+            },
+            other => return err(format!("unknown target kind `{other}`")),
+        };
+        Ok(RankedDoc {
+            target,
+            instruction_coverage: get_f64(v, "instruction_coverage")?,
+            local_speedup: get_f64(v, "local_speedup")?,
+            cu_imbalance: get_f64(v, "cu_imbalance")?,
+            score: get_f64(v, "score")?,
+        })
+    }
+}
+
+/// One parallel-pattern instance, flattened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternDoc {
+    /// Conventional pattern name.
+    pub name: String,
+    /// Loop header line (loop patterns only).
+    pub loop_line: Option<u32>,
+    /// Iterations to distribute (geometric decomposition only).
+    pub width: Option<u64>,
+    /// Decoupled stages (pipeline only).
+    pub stages: Option<u64>,
+    /// Reduction variables (reduction only).
+    pub vars: Vec<String>,
+    /// Concurrent task spans (fork-join only).
+    pub spans: Vec<(u32, u32)>,
+}
+
+impl PatternDoc {
+    fn from_pattern(p: &Pattern) -> PatternDoc {
+        let mut doc = PatternDoc {
+            name: p.name().to_string(),
+            loop_line: None,
+            width: None,
+            stages: None,
+            vars: Vec::new(),
+            spans: Vec::new(),
+        };
+        match p {
+            Pattern::GeometricDecomposition { loop_line, width } => {
+                doc.loop_line = Some(*loop_line);
+                doc.width = Some(*width);
+            }
+            Pattern::Reduction { loop_line, vars } => {
+                doc.loop_line = Some(*loop_line);
+                doc.vars = vars.clone();
+            }
+            Pattern::Pipeline { loop_line, stages } => {
+                doc.loop_line = Some(*loop_line);
+                doc.stages = Some(*stages as u64);
+            }
+            Pattern::ForkJoin { spans } => doc.spans = spans.clone(),
+        }
+        doc
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("name", Value::from(self.name.as_str())),
+            ("loop_line", Value::from(self.loop_line)),
+            ("width", Value::from(self.width)),
+            ("stages", Value::from(self.stages)),
+            (
+                "vars",
+                Value::Array(self.vars.iter().map(|s| Value::from(s.as_str())).collect()),
+            ),
+            ("spans", spans_doc(&self.spans)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<PatternDoc> {
+        let opt_u64 = |key: &str| -> DocResult<Option<u64>> {
+            match field(v, key)? {
+                Value::Null => Ok(None),
+                other => Ok(Some(other.as_u64().ok_or_else(|| {
+                    SchemaError(format!("`{key}` must be an integer"))
+                })?)),
+            }
+        };
+        Ok(PatternDoc {
+            name: get_str(v, "name")?,
+            loop_line: opt_u64("loop_line")?
+                .map(|l| checked_u32(l, "`loop_line`"))
+                .transpose()?,
+            width: opt_u64("width")?,
+            stages: opt_u64("stages")?,
+            vars: get_str_array(v, "vars")?,
+            spans: spans_from(v, "spans")?,
+        })
+    }
+}
+
+/// The discovery section of the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveryDoc {
+    /// Per-loop classification, hottest first.
+    pub loops: Vec<LoopDoc>,
+    /// SPMD task suggestions.
+    pub spmd: Vec<SpmdDoc>,
+    /// MPMD task suggestions.
+    pub mpmd: Vec<MpmdDoc>,
+    /// Ranked opportunities, best first.
+    pub ranked: Vec<RankedDoc>,
+    /// Parallel-pattern phrasing of the findings.
+    pub patterns: Vec<PatternDoc>,
+}
+
+impl DiscoveryDoc {
+    fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "loops",
+                Value::Array(self.loops.iter().map(LoopDoc::to_json).collect()),
+            ),
+            (
+                "spmd",
+                Value::Array(self.spmd.iter().map(SpmdDoc::to_json).collect()),
+            ),
+            (
+                "mpmd",
+                Value::Array(self.mpmd.iter().map(MpmdDoc::to_json).collect()),
+            ),
+            (
+                "ranked",
+                Value::Array(self.ranked.iter().map(RankedDoc::to_json).collect()),
+            ),
+            (
+                "patterns",
+                Value::Array(self.patterns.iter().map(PatternDoc::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<DiscoveryDoc> {
+        Ok(DiscoveryDoc {
+            loops: get_array(v, "loops")?
+                .iter()
+                .map(LoopDoc::from_json)
+                .collect::<DocResult<_>>()?,
+            spmd: get_array(v, "spmd")?
+                .iter()
+                .map(SpmdDoc::from_json)
+                .collect::<DocResult<_>>()?,
+            mpmd: get_array(v, "mpmd")?
+                .iter()
+                .map(MpmdDoc::from_json)
+                .collect::<DocResult<_>>()?,
+            ranked: get_array(v, "ranked")?
+                .iter()
+                .map(RankedDoc::from_json)
+                .collect::<DocResult<_>>()?,
+            patterns: get_array(v, "patterns")?
+                .iter()
+                .map(PatternDoc::from_json)
+                .collect::<DocResult<_>>()?,
+        })
+    }
+}
+
+/// The serializable mirror of a full [`Report`], name-resolved and
+/// versioned. Build with [`ReportDoc::from_report`] (or
+/// [`Report::to_doc`]), serialize with [`ReportDoc::to_json`], read back
+/// with [`ReportDoc::from_json_str`].
+///
+/// ```
+/// let src = "global int a[16];\nfn main() {\nfor (int i = 0; i < 16; i = i + 1) {\na[i] = i;\n}\n}";
+/// let mut analysis = discopop::Analysis::new();
+/// let compiled = analysis.compile(src, "doc-demo").unwrap();
+/// let report = analysis.analyze_compiled(&compiled).unwrap();
+/// let json = report.to_json_string(compiled.program());
+/// let doc = discopop::report::ReportDoc::from_json_str(&json).unwrap();
+/// assert_eq!(doc.schema_version, discopop::report::SCHEMA_VERSION);
+/// assert_eq!(doc.program, "doc-demo");
+/// assert_eq!(doc.discovery.loops[0].class, "Doall");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportDoc {
+    /// Schema version ([`SCHEMA_VERSION`] when written by this build).
+    pub schema_version: u32,
+    /// Program (module) name.
+    pub program: String,
+    /// Engine label (see [`profiler::EngineKind::label`]).
+    pub engine: String,
+    /// Profiler section.
+    pub profile: ProfileDoc,
+    /// Discovery section.
+    pub discovery: DiscoveryDoc,
+}
+
+impl ReportDoc {
+    /// Mirror an in-memory report, resolving symbol and function names
+    /// against `program`.
+    pub fn from_report(program: &interp::Program, report: &Report) -> ReportDoc {
+        let deps = &report.profile.deps;
+        let dependences = deps
+            .sorted()
+            .iter()
+            .map(|d| DepDoc::from_dep(program, d, deps.count(d)))
+            .collect();
+        let pet = report
+            .profile
+            .pet
+            .nodes
+            .iter()
+            .map(|n| PetNodeDoc::from_node(program, n))
+            .collect();
+        let parallel = report.profile.parallel.as_ref().map(|p| ParallelDoc {
+            chunks: p.chunks,
+            rebalances: p.rebalances,
+            worker_processed: p.worker_processed.clone(),
+        });
+        let loops = report
+            .discovery
+            .loops
+            .iter()
+            .map(|l| LoopDoc {
+                func: l.info.func,
+                region: l.info.region,
+                start_line: l.info.start_line,
+                end_line: l.info.end_line,
+                iters: l.info.iters,
+                dyn_instrs: l.info.dyn_instrs,
+                class: format!("{:?}", l.class),
+                blocking: l
+                    .blocking
+                    .iter()
+                    .map(|d| DepDoc::from_dep(program, d, deps.count(d)))
+                    .collect(),
+                reduction_vars: l.reduction_vars.clone(),
+                pipeline_stages: l.pipeline_stages as u64,
+            })
+            .collect();
+        let spmd = report
+            .discovery
+            .spmd
+            .iter()
+            .map(|s| SpmdDoc {
+                kind: match s.kind {
+                    SpmdKind::LoopTask => "LoopTask".to_string(),
+                    SpmdKind::SiblingCalls => "SiblingCalls".to_string(),
+                },
+                func: s.func,
+                lines: s.lines.clone(),
+                callees: s.callees.clone(),
+                loop_line: s.loop_line,
+            })
+            .collect();
+        let mpmd = report
+            .discovery
+            .mpmd
+            .iter()
+            .map(|m| MpmdDoc {
+                func: m.func,
+                tasks: m
+                    .tasks
+                    .iter()
+                    .map(|t| (t.start_line, t.end_line, t.weight))
+                    .collect(),
+            })
+            .collect();
+        // JSON has no NaN/Infinity (jsonio renders them as `null`, which
+        // would make the document unreadable by our own parser), so metric
+        // values are pinned to finite numbers here.
+        let finite = |x: f64| if x.is_finite() { x } else { 0.0 };
+        let ranked = report
+            .discovery
+            .ranked
+            .iter()
+            .map(|r| RankedDoc {
+                target: match &r.target {
+                    SuggestionTarget::Loop {
+                        func,
+                        region,
+                        start_line,
+                        class,
+                    } => TargetDoc::Loop {
+                        func: *func,
+                        region: *region,
+                        start_line: *start_line,
+                        class: format!("{class:?}"),
+                    },
+                    SuggestionTarget::TaskSet { func, spans } => TargetDoc::TaskSet {
+                        func: *func,
+                        spans: spans.clone(),
+                    },
+                },
+                instruction_coverage: finite(r.ranking.instruction_coverage),
+                local_speedup: finite(r.ranking.local_speedup),
+                cu_imbalance: finite(r.ranking.cu_imbalance),
+                score: finite(r.score),
+            })
+            .collect();
+        let patterns = report
+            .discovery
+            .patterns
+            .iter()
+            .map(PatternDoc::from_pattern)
+            .collect();
+        ReportDoc {
+            schema_version: SCHEMA_VERSION,
+            program: report.program.clone(),
+            engine: report.engine.clone(),
+            profile: ProfileDoc {
+                steps: report.profile.steps,
+                accesses: report.profile.skip_stats.total_accesses,
+                dependences_found: report.profile.deps.total_found,
+                profiler_bytes: report.profile.profiler_bytes as u64,
+                printed: report.profile.printed.clone(),
+                dependences,
+                pet,
+                parallel,
+            },
+            discovery: DiscoveryDoc {
+                loops,
+                spmd,
+                mpmd,
+                ranked,
+                patterns,
+            },
+        }
+    }
+
+    /// Serialize to a JSON tree (render with [`Value::to_string_pretty`]).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("schema_version", Value::from(self.schema_version)),
+            ("program", Value::from(self.program.as_str())),
+            ("engine", Value::from(self.engine.as_str())),
+            ("profile", self.profile.to_json()),
+            ("discovery", self.discovery.to_json()),
+        ])
+    }
+
+    /// Deserialize from a JSON tree.
+    pub fn from_json(v: &Value) -> DocResult<ReportDoc> {
+        let schema_version = get_u32(v, "schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return err(format!(
+                "unsupported schema version {schema_version} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        Ok(ReportDoc {
+            schema_version,
+            program: get_str(v, "program")?,
+            engine: get_str(v, "engine")?,
+            profile: ProfileDoc::from_json(field(v, "profile")?)?,
+            discovery: DiscoveryDoc::from_json(field(v, "discovery")?)?,
+        })
+    }
+
+    /// Parse a JSON report document from text.
+    pub fn from_json_str(text: &str) -> DocResult<ReportDoc> {
+        let v = Value::parse(text).map_err(|e| SchemaError(e.to_string()))?;
+        ReportDoc::from_json(&v)
+    }
+
+    /// All distinct loop classes present, in report order — the quick
+    /// answer "is there anything parallel here?".
+    pub fn loop_classes(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for l in &self.discovery.loops {
+            if !seen.contains(&l.class.as_str()) {
+                seen.push(l.class.as_str());
+            }
+        }
+        seen
+    }
+}

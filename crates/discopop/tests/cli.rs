@@ -1,0 +1,174 @@
+//! CLI smoke tests: drive the `discopop` binary end to end through
+//! `std::process::Command` — analyze a source file with every engine,
+//! check the emitted JSON, and re-render it with `discopop report`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_discopop");
+
+const SRC: &str = "global int a[48];
+global int s;
+fn main() {
+    for (int i = 0; i < 48; i = i + 1) {
+        a[i] = i * 2;
+    }
+    for (int j = 0; j < 48; j = j + 1) {
+        s = s + a[j];
+    }
+}
+";
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("discopop-cli-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn analyze_emits_versioned_json_with_all_sections() {
+    let dir = scratch("analyze");
+    let src = dir.join("demo.dp");
+    let out = dir.join("report.json");
+    std::fs::write(&src, SRC).unwrap();
+
+    let res = Command::new(BIN)
+        .args([
+            "analyze",
+            src.to_str().unwrap(),
+            "--json",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        res.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&res.stdout);
+    assert!(stdout.contains("Ranked parallelization opportunities"));
+
+    let json = std::fs::read_to_string(&out).unwrap();
+    let doc = discopop::report::ReportDoc::from_json_str(&json).expect("valid schema");
+    assert_eq!(doc.schema_version, discopop::report::SCHEMA_VERSION);
+    assert_eq!(doc.program, "demo");
+    assert_eq!(doc.engine, "serial-perfect");
+    assert!(!doc.profile.dependences.is_empty(), "dependences present");
+    assert!(
+        doc.loop_classes().contains(&"Doall"),
+        "loop classes present"
+    );
+    assert!(!doc.discovery.ranked.is_empty(), "ranking present");
+}
+
+#[test]
+fn parallel_engine_selectable_from_cli() {
+    let dir = scratch("parallel");
+    let src = dir.join("par.dp");
+    std::fs::write(&src, SRC).unwrap();
+
+    let run = |engine: &str, out: &PathBuf| {
+        let res = Command::new(BIN)
+            .args([
+                "analyze",
+                src.to_str().unwrap(),
+                "--engine",
+                engine,
+                "--quiet",
+                "--json",
+                out.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            res.status.success(),
+            "{engine} stderr: {}",
+            String::from_utf8_lossy(&res.stderr)
+        );
+        discopop::report::ReportDoc::from_json_str(&std::fs::read_to_string(out).unwrap()).unwrap()
+    };
+
+    let perfect = run("serial-perfect", &dir.join("perfect.json"));
+    let parallel = run("parallel:4x64", &dir.join("parallel.json"));
+    assert_eq!(parallel.engine, "parallel:4x64:lock-free");
+    assert!(parallel.profile.parallel.is_some());
+    // The parallel engine's dependences must match the exact baseline.
+    assert_eq!(parallel.profile.dependences, perfect.profile.dependences);
+}
+
+#[test]
+fn json_to_stdout_is_pure_json() {
+    // `--json -` must own stdout even without --quiet: no human-readable
+    // report interleaved with the document.
+    let dir = scratch("stdout");
+    let src = dir.join("s.dp");
+    std::fs::write(&src, SRC).unwrap();
+    let res = Command::new(BIN)
+        .args(["analyze", src.to_str().unwrap(), "--json", "-"])
+        .output()
+        .unwrap();
+    assert!(res.status.success());
+    let stdout = String::from_utf8_lossy(&res.stdout);
+    discopop::report::ReportDoc::from_json_str(&stdout)
+        .expect("stdout must be exactly one parseable JSON document");
+}
+
+#[test]
+fn report_subcommand_renders_saved_json() {
+    let dir = scratch("report");
+    let src = dir.join("r.dp");
+    let out = dir.join("r.json");
+    std::fs::write(&src, SRC).unwrap();
+
+    let res = Command::new(BIN)
+        .args([
+            "analyze",
+            src.to_str().unwrap(),
+            "--quiet",
+            "--json",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(res.status.success());
+
+    let res = Command::new(BIN)
+        .args(["report", out.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(res.status.success());
+    let stdout = String::from_utf8_lossy(&res.stdout);
+    assert!(stdout.contains("schema v1"), "{stdout}");
+    assert!(stdout.contains("Doall"), "{stdout}");
+    assert!(stdout.contains("Ranked opportunities"), "{stdout}");
+}
+
+#[test]
+fn bad_inputs_fail_with_diagnostics() {
+    // Unknown engine spec.
+    let res = Command::new(BIN)
+        .args(["analyze", "x.dp", "--engine", "warp-drive"])
+        .output()
+        .unwrap();
+    assert!(!res.status.success());
+    assert!(String::from_utf8_lossy(&res.stderr).contains("unknown engine"));
+
+    // Missing file.
+    let res = Command::new(BIN)
+        .args(["analyze", "/nonexistent/input.dp"])
+        .output()
+        .unwrap();
+    assert!(!res.status.success());
+
+    // Compile error surfaces with a non-zero exit.
+    let dir = scratch("bad");
+    let src = dir.join("bad.dp");
+    std::fs::write(&src, "fn main() { undeclared = 1; }").unwrap();
+    let res = Command::new(BIN)
+        .args(["analyze", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!res.status.success());
+    assert!(String::from_utf8_lossy(&res.stderr).contains("compile error"));
+}

@@ -1,0 +1,126 @@
+//! JSON round-trip tests for the versioned report schema: a full report —
+//! dependences, PET, loop classes, tasks, ranking, patterns — must survive
+//! serialize → parse → serialize bit-for-bit.
+
+use discopop::report::{ReportDoc, SCHEMA_VERSION};
+use discopop::{Analysis, EngineKind};
+
+/// A program that exercises every report section: a DOALL loop, a
+/// reduction, a recurrence (blocking deps), printing, and a call.
+const SRC: &str = r#"
+global int a[64];
+global int b[64];
+global int total;
+fn scale(int k) -> int { return k * 3; }
+fn main() {
+    for (int i = 0; i < 64; i = i + 1) {
+        a[i] = scale(i);
+    }
+    for (int j = 1; j < 64; j = j + 1) {
+        b[j] = b[j - 1] + a[j];
+    }
+    for (int k = 0; k < 64; k = k + 1) {
+        total = total + a[k];
+    }
+    print(total);
+}
+"#;
+
+fn full_report(engine: EngineKind) -> (discopop::Compiled, discopop::Report) {
+    let mut analysis = Analysis::new().engine(engine);
+    let compiled = analysis.compile(SRC, "roundtrip").unwrap();
+    let report = analysis.analyze_compiled(&compiled).unwrap();
+    (compiled, report)
+}
+
+#[test]
+fn full_report_roundtrips_through_json() {
+    let (compiled, report) = full_report(EngineKind::SerialPerfect);
+    let doc = report.to_doc(compiled.program());
+    assert_eq!(doc.schema_version, SCHEMA_VERSION);
+
+    let json = doc.to_json().to_string_pretty();
+    let parsed = ReportDoc::from_json_str(&json).expect("parses back");
+    assert_eq!(parsed, doc, "doc-level round trip");
+    assert_eq!(
+        parsed.to_json().to_string_pretty(),
+        json,
+        "byte-level round trip"
+    );
+}
+
+#[test]
+fn report_covers_every_section() {
+    let (compiled, report) = full_report(EngineKind::SerialPerfect);
+    let doc = report.to_doc(compiled.program());
+
+    assert_eq!(doc.program, "roundtrip");
+    assert_eq!(doc.engine, "serial-perfect");
+    assert!(doc.profile.steps > 0);
+    assert!(doc.profile.accesses > 0);
+    assert!(!doc.profile.dependences.is_empty());
+    assert!(doc.profile.pet.len() >= 3, "root + main + loops");
+    assert_eq!(doc.profile.pet[0].kind, "root");
+    assert!(doc.profile.parallel.is_none());
+    assert_eq!(doc.profile.printed.len(), 1);
+
+    // Names must be resolved, not ids.
+    assert!(doc
+        .profile
+        .dependences
+        .iter()
+        .any(|d| d.var == "total" && d.ty == "RAW"));
+    assert!(doc
+        .profile
+        .pet
+        .iter()
+        .any(|n| n.kind == "function" && n.name == "main"));
+
+    assert_eq!(doc.discovery.loops.len(), 3);
+    let classes = doc.loop_classes();
+    assert!(classes.contains(&"Doall"), "{classes:?}");
+    assert!(classes.contains(&"Reduction"), "{classes:?}");
+    // The recurrence loop carries blocking dependences into the doc.
+    assert!(doc
+        .discovery
+        .loops
+        .iter()
+        .any(|l| !l.blocking.is_empty() && l.blocking.iter().all(|d| d.count > 0)));
+    assert!(!doc.discovery.ranked.is_empty());
+    assert!(!doc.discovery.patterns.is_empty());
+}
+
+#[test]
+fn parallel_engine_report_carries_transport_stats() {
+    let (compiled, report) = full_report(EngineKind::parallel(4));
+    let doc = report.to_doc(compiled.program());
+    assert_eq!(doc.engine, "parallel:4x256:lock-free");
+    let par = doc.profile.parallel.as_ref().expect("parallel stats");
+    assert!(par.chunks > 0);
+    assert_eq!(par.worker_processed.len(), 4);
+
+    let json = doc.to_json().to_string_pretty();
+    let parsed = ReportDoc::from_json_str(&json).unwrap();
+    assert_eq!(parsed, doc);
+}
+
+#[test]
+fn schema_version_is_enforced() {
+    let (compiled, report) = full_report(EngineKind::SerialPerfect);
+    let json = report.to_json_string(compiled.program());
+    let bumped = json.replacen(
+        &format!("\"schema_version\": {SCHEMA_VERSION}"),
+        "\"schema_version\": 999",
+        1,
+    );
+    assert_ne!(json, bumped, "version stamp must be present");
+    let err = ReportDoc::from_json_str(&bumped).unwrap_err();
+    assert!(err.0.contains("schema version"), "{err}");
+}
+
+#[test]
+fn malformed_documents_are_rejected() {
+    for bad in ["", "{}", "[1,2,3]", "{\"schema_version\": 1}"] {
+        assert!(ReportDoc::from_json_str(bad).is_err(), "`{bad}`");
+    }
+}

@@ -297,7 +297,7 @@ fn estimate_stages(program: &Program, deps: &DepSet, info: &LoopInfo) -> usize {
     }
     // Project the graph onto the body's CUs.
     let mut sub: cu::CuGraph<usize> = cu::CuGraph::new();
-    let mut remap = std::collections::BTreeMap::new();
+    let mut remap = fxhash::FxHashMap::default();
     for &i in &inside {
         let id = sub.add_cu(i);
         remap.insert(i, id);

@@ -4,10 +4,10 @@
 use crate::doall::{LoopClass, LoopResult};
 use crate::tasks::MpmdSuggestion;
 use cu::{Cu, CuGraph};
+use fxhash::FxHashMap;
 use interp::Program;
 use profiler::{DepType, Pet};
 use serde::Serialize;
-use std::collections::BTreeMap;
 
 /// The three §4.3 metrics for one candidate region.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -64,7 +64,7 @@ fn critical_path(graph: &CuGraph<Cu>, ids: &[usize]) -> (u64, u64) {
         return (0, 0);
     }
     let mut sub: CuGraph<u64> = CuGraph::new();
-    let mut remap = BTreeMap::new();
+    let mut remap = FxHashMap::default();
     for &i in ids {
         let id = sub.add_cu(graph.cus[i].weight.max(1));
         remap.insert(i, id);
@@ -129,7 +129,7 @@ fn imbalance(graph: &CuGraph<Cu>, ids: &[usize]) -> f64 {
         return 0.0;
     }
     let mut sub: CuGraph<u64> = CuGraph::new();
-    let mut remap = BTreeMap::new();
+    let mut remap = FxHashMap::default();
     for &i in ids {
         let id = sub.add_cu(graph.cus[i].weight.max(1));
         remap.insert(i, id);

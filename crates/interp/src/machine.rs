@@ -27,8 +27,20 @@ pub struct RunConfig {
     pub buffer_cap: usize,
     /// Events coalesced per [`Sink::events`] delivery when the sink opts in
     /// via [`Sink::batch_hint`] (deterministic mode only; racy mode batches
-    /// per thread through `buffer_cap`). Values below 2 disable batching.
+    /// per thread through `buffer_cap`).
+    ///
+    /// Values below 2 disable batching: a batch of one event is just a
+    /// per-event call with extra buffering, so `0` and `1` are equivalent
+    /// and both normalize to `1` (see [`RunConfig::effective_batch_cap`]).
     pub batch_cap: usize,
+}
+
+impl RunConfig {
+    /// The batch size actually used: `batch_cap`, with the degenerate
+    /// values `0` and `1` both normalized to `1` (per-event delivery).
+    pub fn effective_batch_cap(&self) -> usize {
+        self.batch_cap.max(1)
+    }
 }
 
 impl Default for RunConfig {
@@ -197,7 +209,7 @@ impl<'p, S: Sink> Interp<'p, S> {
             targets.entry(b.to_string()).or_insert(Target::Builtin(b));
         }
         let (main_id, _) = prog.module.function("main").ok_or(RuntimeError::NoMain)?;
-        let batching = !cfg.racy_delivery && cfg.batch_cap >= 2 && sink.batch_hint();
+        let batching = !cfg.racy_delivery && cfg.effective_batch_cap() >= 2 && sink.batch_hint();
         let mut it = Interp {
             prog,
             sink,
@@ -1232,6 +1244,63 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batch_cap_below_two_normalizes_to_per_event_delivery() {
+        assert_eq!(RunConfig::default().effective_batch_cap(), 256);
+        for cap in [0usize, 1] {
+            let cfg = RunConfig {
+                batch_cap: cap,
+                ..Default::default()
+            };
+            assert_eq!(cfg.effective_batch_cap(), 1, "cap {cap}");
+        }
+
+        // 0 and 1 must behave identically: per-event delivery, no batching.
+        struct Count {
+            singles: usize,
+            batches: usize,
+        }
+        impl Sink for Count {
+            fn event(&mut self, _ev: &Event) {
+                self.singles += 1;
+            }
+            fn events(&mut self, _evs: &[Event]) {
+                self.batches += 1;
+            }
+        }
+        let p = Program::new(
+            lang::compile(
+                "fn main() { int s = 0; for (int i = 0; i < 8; i = i + 1) { s += i; } }",
+                "t",
+            )
+            .unwrap(),
+        );
+        let deliver = |cap: usize| {
+            let mut c = Count {
+                singles: 0,
+                batches: 0,
+            };
+            run_with_config(
+                &p,
+                &mut c,
+                RunConfig {
+                    batch_cap: cap,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            (c.singles, c.batches)
+        };
+        let zero = deliver(0);
+        let one = deliver(1);
+        assert_eq!(zero, one, "batch_cap 0 and 1 must be equivalent");
+        assert!(zero.0 > 0, "per-event path must be used");
+        assert_eq!(zero.1, 0, "no batch delivery below cap 2");
+        let (singles, batches) = deliver(2);
+        assert_eq!(singles, 0, "cap 2 must batch everything");
+        assert!(batches > 0);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub struct Program {
 
 impl Program {
     /// Prepare a module for execution. The module must pass
-    /// [`mir::verify_module`]; use [`lang::compile`] to obtain verified
+    /// [`mir::verify_module`]; use `lang::compile` to obtain verified
     /// modules from source.
     pub fn new(module: Module) -> Self {
         let mut symbols = Vec::new();

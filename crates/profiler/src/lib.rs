@@ -32,6 +32,11 @@
 //!   allocates nothing per chunk. `crates/bench/src/bin/perfjson.rs`
 //!   measures all of this against the reconstructed pre-overhaul engine
 //!   (`bench::seed_baseline`) and writes `BENCH_profiler.json`.
+//! - **Explicit engine selection** ([`EngineKind`]): the exact shadow, the
+//!   signature algorithm, and the parallel pipeline are all selected through
+//!   one enum and all return the same [`ProfileOutput`], so callers (the
+//!   `discopop` facade, its CLI, the benchmarks) swap engines without
+//!   changing shape. See [`run`].
 //! - **Program Execution Tree** ([`pet::Pet`], §2.3.6) for pattern detection
 //!   and ranking.
 //! - **Race hints** for multi-threaded targets: timestamp inversions on the
@@ -44,6 +49,7 @@ pub mod maps;
 pub mod parallel;
 pub mod pet;
 pub mod queue;
+pub mod run;
 pub mod serial;
 
 pub use access::{
@@ -59,7 +65,7 @@ pub use parallel::{
 };
 pub use pet::{Pet, PetBuilder, PetNode, PetNodeKind};
 pub use queue::{LockQueue, MpscQueue, SpscQueue};
-pub use serial::{
-    control_spans, profile_program, profile_program_with, ProfileConfig, ProfileOutput,
-    SerialProfiler,
+pub use run::{
+    profile_program, profile_program_with, EngineKind, ParallelStats, ProfileConfig, ProfileOutput,
 };
+pub use serial::{control_spans, SerialProfiler};

@@ -390,6 +390,28 @@ pub struct ParallelOutput {
     pub worker_processed: Vec<u64>,
 }
 
+impl ParallelOutput {
+    /// View this run as the engine-independent [`crate::ProfileOutput`],
+    /// with the transport statistics under
+    /// [`crate::ProfileOutput::parallel`]. This is how the parallel engine
+    /// plugs into [`crate::profile_program_with`].
+    pub fn into_profile_output(self) -> crate::run::ProfileOutput {
+        crate::run::ProfileOutput {
+            deps: self.deps,
+            pet: self.pet,
+            skip_stats: self.skip_stats,
+            profiler_bytes: self.profiler_bytes,
+            steps: self.steps,
+            printed: self.printed,
+            parallel: Some(crate::run::ParallelStats {
+                chunks: self.chunks,
+                rebalances: self.rebalances,
+                worker_processed: self.worker_processed,
+            }),
+        }
+    }
+}
+
 /// The parallel profiler for sequential targets. Implements [`Sink`].
 pub struct ParallelProfiler {
     cfg: ParallelConfig,
@@ -565,7 +587,8 @@ impl ParallelProfiler {
 }
 
 impl Drop for ParallelProfiler {
-    /// Shut workers down even when profiling aborts before [`finalize`]
+    /// Shut workers down even when profiling aborts before
+    /// [`ParallelProfiler::finalize`]
     /// (e.g. the target program hit a runtime error) — otherwise the worker
     /// threads would spin on their queues forever.
     fn drop(&mut self) {
@@ -835,7 +858,7 @@ pub fn profile_multithreaded_target(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::serial::{profile_program_with, ProfileConfig};
+    use crate::run::{profile_program_with, EngineKind, ProfileConfig};
 
     fn program(src: &str) -> Program {
         Program::new(lang::compile(src, "t").unwrap())
@@ -861,7 +884,7 @@ mod tests {
         let serial = profile_program_with(
             &p,
             &ProfileConfig {
-                sig_slots: Some(1 << 16),
+                engine: EngineKind::signature(1 << 16),
                 ..Default::default()
             },
         )
@@ -881,7 +904,7 @@ mod tests {
         let serial = profile_program_with(
             &p,
             &ProfileConfig {
-                sig_slots: Some(1 << 16),
+                engine: EngineKind::signature(1 << 16),
                 ..Default::default()
             },
         )
@@ -968,7 +991,7 @@ fn main() { int a = spawn(w, 2000); int b = spawn(w, 2000); join(a); join(b); }"
 #[cfg(test)]
 mod regression_tests {
     use super::*;
-    use crate::serial::{profile_program_with, ProfileConfig};
+    use crate::run::{profile_program_with, EngineKind, ProfileConfig};
     /// Set-level agreement between parallel and serial engines (the
     /// Vec-level check lives in `parallel_matches_serial_lock_free`).
     #[test]
@@ -978,7 +1001,7 @@ mod regression_tests {
         let serial = profile_program_with(
             &p,
             &ProfileConfig {
-                sig_slots: Some(1 << 16),
+                engine: EngineKind::signature(1 << 16),
                 ..Default::default()
             },
         )

@@ -6,10 +6,10 @@
 //! entry counts, iteration counts, and dynamic instruction counts — the
 //! metrics the ranking method (§4.3) and pattern detection consume.
 
+use fxhash::FxHashMap;
 use interp::Event;
 use mir::RegionKind;
 use serde::Serialize;
-use std::collections::HashMap;
 
 /// What a PET node represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -68,9 +68,10 @@ impl Pet {
     }
 
     /// All loop nodes, aggregated by static loop across parents:
-    /// `(func, region) -> (entries, iters, dyn_instrs)`.
-    pub fn loops_aggregated(&self) -> HashMap<(u32, u32), (u64, u64, u64)> {
-        let mut m: HashMap<(u32, u32), (u64, u64, u64)> = HashMap::new();
+    /// `(func, region) -> (entries, iters, dyn_instrs)`. Keyed with the
+    /// in-repo [`fxhash`] (lookup-only; no iteration-order dependence).
+    pub fn loops_aggregated(&self) -> FxHashMap<(u32, u32), (u64, u64, u64)> {
+        let mut m: FxHashMap<(u32, u32), (u64, u64, u64)> = FxHashMap::default();
         for n in &self.nodes {
             if let PetNodeKind::Loop(f, r) = n.kind {
                 let e = m.entry((f, r)).or_default();
@@ -127,9 +128,9 @@ impl Pet {
 pub struct PetBuilder {
     nodes: Vec<PetNode>,
     /// Per-thread stack of active node indices.
-    stacks: HashMap<u32, Vec<usize>>,
+    stacks: FxHashMap<u32, Vec<usize>>,
     /// `(parent, kind) -> node` for instance merging.
-    index: HashMap<(usize, PetNodeKind), usize>,
+    index: FxHashMap<(usize, PetNodeKind), usize>,
 }
 
 impl Default for PetBuilder {
@@ -151,8 +152,8 @@ impl PetBuilder {
                 start_line: 0,
                 end_line: 0,
             }],
-            stacks: HashMap::new(),
-            index: HashMap::new(),
+            stacks: FxHashMap::default(),
+            index: FxHashMap::default(),
         }
     }
 

@@ -1,0 +1,487 @@
+//! Engine selection and the one-call profiling entry points.
+//!
+//! The profiler has three engines for sequential targets — the exact
+//! page-table shadow memory, the bounded-memory signature algorithm
+//! (§2.3.2), and the producer/consumer parallel pipeline (§2.3.3). They all
+//! answer the same question ("which dependences does this program have?"),
+//! so selecting one is data, not a separate API: [`EngineKind`] names the
+//! engine, [`ProfileConfig`] carries it plus the engine-independent knobs,
+//! and [`profile_program_with`] dispatches. Every engine produces the same
+//! [`ProfileOutput`]; the parallel engine additionally fills
+//! [`ProfileOutput::parallel`] with its transport statistics.
+
+use crate::dep::DepSet;
+use crate::engine::{EngineConfig, SkipStats};
+use crate::parallel::{profile_parallel, ParallelConfig, QueueKind};
+use crate::pet::Pet;
+use crate::serial::SerialProfiler;
+use interp::{Program, RunConfig, RunResult, RuntimeError};
+use serde::Serialize;
+
+/// Which dependence-profiling engine to run.
+///
+/// This is the single engine selector used by the profiler, the `discopop`
+/// facade, the CLI, and the benchmarks. All variants produce the same
+/// dependence set on collision-free configurations; they differ in memory
+/// bounds and throughput (dissertation Table 2.6 / Fig. 2.10).
+///
+/// ```
+/// use profiler::EngineKind;
+///
+/// let p = interp::Program::new(
+///     lang::compile("global int g[8];\nfn main() {\nfor (int i = 0; i < 8; i = i + 1) {\ng[i] = i;\n}\n}", "t").unwrap(),
+/// );
+/// let exact = profiler::profile_program_with(
+///     &p,
+///     &profiler::ProfileConfig { engine: EngineKind::SerialPerfect, ..Default::default() },
+/// )
+/// .unwrap();
+/// let sig = profiler::profile_program_with(
+///     &p,
+///     &profiler::ProfileConfig { engine: EngineKind::SerialSignature { slots: 1 << 16 }, ..Default::default() },
+/// )
+/// .unwrap();
+/// assert_eq!(exact.deps.sorted(), sig.deps.sorted());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum EngineKind {
+    /// The exact two-level page-table shadow memory: ground truth, memory
+    /// proportional to the touched address space.
+    #[default]
+    SerialPerfect,
+    /// The fixed-size signature algorithm: bounded memory, a measurable
+    /// collision rate once `slots` is small relative to the address set.
+    SerialSignature {
+        /// Signature slots per access map.
+        slots: usize,
+    },
+    /// The producer/consumer parallel pipeline: accesses are routed by
+    /// address over `workers` consumer threads in chunks of `chunk`
+    /// accesses, each worker running the signature algorithm on its
+    /// partition (per-worker slot count:
+    /// [`EngineKind::parallel_worker_slots`]; for other slot sizes use
+    /// [`crate::profile_parallel`] with an explicit
+    /// [`crate::ParallelConfig`]).
+    Parallel {
+        /// Consumer (worker) threads.
+        workers: usize,
+        /// Accesses per chunk shipped to a worker.
+        chunk: usize,
+        /// Queue implementation feeding the workers.
+        queue: QueueKind,
+    },
+}
+
+impl EngineKind {
+    /// Total signature-slot budget of the parallel engine, split evenly
+    /// across workers — the paper's sizing scheme (per-thread slots =
+    /// total / threads). Keeping the *total* fixed means adding workers
+    /// does not multiply memory, and the up-front zeroing cost per run
+    /// stays flat instead of scaling with the worker count.
+    pub const PARALLEL_TOTAL_SLOTS: usize = 1 << 19;
+
+    /// Floor on per-worker signature slots, so very high worker counts
+    /// keep a usable per-partition signature.
+    pub const PARALLEL_MIN_WORKER_SLOTS: usize = 1 << 14;
+
+    /// Signature slots given to each parallel worker:
+    /// `max(PARALLEL_TOTAL_SLOTS / workers, PARALLEL_MIN_WORKER_SLOTS)`.
+    /// Partitioning by address means each worker sees only a fraction of
+    /// the address set, so a per-worker share collides less than the same
+    /// total size serially.
+    pub fn parallel_worker_slots(workers: usize) -> usize {
+        (Self::PARALLEL_TOTAL_SLOTS / workers.max(1)).max(Self::PARALLEL_MIN_WORKER_SLOTS)
+    }
+
+    /// The signature engine with `slots` slots.
+    pub fn signature(slots: usize) -> Self {
+        EngineKind::SerialSignature { slots }
+    }
+
+    /// The parallel engine with `workers` workers and default chunking
+    /// (lock-free queues, the DiscoPoP design).
+    pub fn parallel(workers: usize) -> Self {
+        EngineKind::Parallel {
+            workers,
+            chunk: 256,
+            queue: QueueKind::LockFree,
+        }
+    }
+
+    /// Parse the textual spec format produced by [`EngineKind::label`]:
+    /// `serial-perfect`, `serial-signature[:slots]`, or
+    /// `parallel[:workers[x chunk][:queue]]` with queue `lock-free` or
+    /// `lock-based`. This is what `discopop analyze --engine` accepts.
+    ///
+    /// ```
+    /// use profiler::EngineKind;
+    /// assert_eq!(EngineKind::parse("serial-perfect"), Ok(EngineKind::SerialPerfect));
+    /// assert_eq!(
+    ///     EngineKind::parse("serial-signature:4096"),
+    ///     Ok(EngineKind::SerialSignature { slots: 4096 })
+    /// );
+    /// assert_eq!(EngineKind::parse("parallel:4"), Ok(EngineKind::parallel(4)));
+    /// let roundtrip = EngineKind::parse(&EngineKind::parallel(8).label()).unwrap();
+    /// assert_eq!(roundtrip, EngineKind::parallel(8));
+    /// ```
+    pub fn parse(spec: &str) -> Result<EngineKind, String> {
+        let mut parts = spec.split(':');
+        let head = parts.next().unwrap_or("");
+        let engine = match head {
+            "serial-perfect" | "perfect" => {
+                if parts.next().is_some() {
+                    return Err(format!("`{head}` takes no parameters"));
+                }
+                EngineKind::SerialPerfect
+            }
+            "serial-signature" | "signature" => {
+                let slots = match parts.next() {
+                    None => 1 << 18,
+                    Some(s) => s
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad slot count `{s}`"))?,
+                };
+                if slots == 0 {
+                    return Err("slot count must be positive".to_string());
+                }
+                EngineKind::SerialSignature { slots }
+            }
+            "parallel" => {
+                let (workers, chunk) = match parts.next() {
+                    None => (8, 256),
+                    Some(wc) => match wc.split_once('x') {
+                        None => (
+                            wc.parse::<usize>()
+                                .map_err(|_| format!("bad worker count `{wc}`"))?,
+                            256,
+                        ),
+                        Some((w, c)) => (
+                            w.parse::<usize>()
+                                .map_err(|_| format!("bad worker count `{w}`"))?,
+                            c.parse::<usize>()
+                                .map_err(|_| format!("bad chunk size `{c}`"))?,
+                        ),
+                    },
+                };
+                let queue = match parts.next() {
+                    None | Some("lock-free") => QueueKind::LockFree,
+                    Some("lock-based") => QueueKind::LockBased,
+                    Some(q) => return Err(format!("unknown queue `{q}`")),
+                };
+                EngineKind::Parallel {
+                    workers: workers.max(1),
+                    chunk: chunk.max(1),
+                    queue,
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown engine `{other}` (expected serial-perfect, serial-signature[:slots], or parallel[:workers[xchunk][:queue]])"
+                ))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing parameters in `{spec}`"));
+        }
+        Ok(engine)
+    }
+
+    /// A short stable label, used by reports and benchmark output.
+    pub fn label(&self) -> String {
+        match self {
+            EngineKind::SerialPerfect => "serial-perfect".to_string(),
+            EngineKind::SerialSignature { slots } => format!("serial-signature:{slots}"),
+            EngineKind::Parallel {
+                workers,
+                chunk,
+                queue,
+            } => {
+                // Execution clamps degenerate counts to 1; the label
+                // records what actually runs, so it round-trips through
+                // `parse`.
+                let (workers, chunk) = ((*workers).max(1), (*chunk).max(1));
+                let q = match queue {
+                    QueueKind::LockFree => "lock-free",
+                    QueueKind::LockBased => "lock-based",
+                };
+                format!("parallel:{workers}x{chunk}:{q}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Options for [`profile_program_with`]: the engine plus the
+/// engine-independent knobs.
+///
+/// ```
+/// let cfg = profiler::ProfileConfig {
+///     engine: profiler::EngineKind::parallel(4),
+///     ..Default::default()
+/// };
+/// let p = interp::Program::new(lang::compile("fn main() { int x = 1; int y = x; }", "t").unwrap());
+/// let out = profiler::profile_program_with(&p, &cfg).unwrap();
+/// assert!(out.parallel.is_some(), "parallel engine reports transport stats");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileConfig {
+    /// Engine selection.
+    pub engine: EngineKind,
+    /// Enable the §2.4 skip optimization (serial engines only; the parallel
+    /// engine's workers never skip).
+    pub skip_loops: bool,
+    /// Enable variable-lifetime analysis (§2.3.5).
+    pub lifetime: bool,
+    /// Interpreter configuration.
+    pub run: RunConfig,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            engine: EngineKind::SerialPerfect,
+            skip_loops: false,
+            lifetime: true,
+            run: RunConfig::default(),
+        }
+    }
+}
+
+/// Transport statistics of a parallel profiling run, carried in
+/// [`ProfileOutput::parallel`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelStats {
+    /// Chunks shipped to workers.
+    pub chunks: u64,
+    /// Rebalance operations performed (§2.3.3 load balancing).
+    pub rebalances: u64,
+    /// Accesses processed per worker (load distribution).
+    pub worker_processed: Vec<u64>,
+}
+
+/// Everything a profiling run produces, identical across engines.
+#[derive(Debug, Serialize)]
+pub struct ProfileOutput {
+    /// Merged dependences.
+    pub deps: DepSet,
+    /// Program execution tree.
+    pub pet: Pet,
+    /// Skip-optimization statistics.
+    pub skip_stats: SkipStats,
+    /// Estimated profiler memory footprint in bytes.
+    pub profiler_bytes: usize,
+    /// Executed instructions of the target program.
+    pub steps: u64,
+    /// Output printed by the target program.
+    pub printed: Vec<String>,
+    /// Parallel-engine transport statistics; `None` for serial engines.
+    pub parallel: Option<ParallelStats>,
+}
+
+/// Profile a program with default options ([`EngineKind::SerialPerfect`],
+/// lifetime analysis on).
+///
+/// ```
+/// let p = interp::Program::new(lang::compile("fn main() { int x = 2; int y = x; }", "t").unwrap());
+/// let out = profiler::profile_program(&p).unwrap();
+/// assert!(out.deps.len() > 0);
+/// ```
+pub fn profile_program(prog: &Program) -> Result<ProfileOutput, RuntimeError> {
+    profile_program_with(prog, &ProfileConfig::default())
+}
+
+/// Profile a program with an explicit engine and options.
+pub fn profile_program_with(
+    prog: &Program,
+    cfg: &ProfileConfig,
+) -> Result<ProfileOutput, RuntimeError> {
+    let engine_cfg = EngineConfig {
+        skip_loops: cfg.skip_loops,
+    };
+    match cfg.engine {
+        EngineKind::SerialPerfect => {
+            let mut p = SerialProfiler::with_perfect(prog.num_mem_ops(), engine_cfg, cfg.lifetime);
+            let r = interp::run_with_config(prog, &mut p, cfg.run.clone())?;
+            Ok(assemble(p, r))
+        }
+        EngineKind::SerialSignature { slots } => {
+            let mut p =
+                SerialProfiler::with_signature(slots, prog.num_mem_ops(), engine_cfg, cfg.lifetime);
+            let r = interp::run_with_config(prog, &mut p, cfg.run.clone())?;
+            Ok(assemble(p, r))
+        }
+        EngineKind::Parallel {
+            workers,
+            chunk,
+            queue,
+        } => {
+            let pcfg = ParallelConfig {
+                workers: workers.max(1),
+                chunk_size: chunk.max(1),
+                sig_slots: EngineKind::parallel_worker_slots(workers),
+                queue,
+                lifetime: cfg.lifetime,
+                ..ParallelConfig::default()
+            };
+            Ok(profile_parallel(prog, pcfg, cfg.run.clone())?.into_profile_output())
+        }
+    }
+}
+
+fn assemble<M: crate::maps::AccessMap>(p: SerialProfiler<M>, r: RunResult) -> ProfileOutput {
+    let (deps, pet, skip_stats, profiler_bytes) = p.finish(r.steps);
+    ProfileOutput {
+        deps,
+        pet,
+        skip_stats,
+        profiler_bytes,
+        steps: r.steps,
+        printed: r.printed,
+        parallel: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(src: &str) -> Program {
+        Program::new(lang::compile(src, "t").unwrap())
+    }
+
+    const SRC: &str = "global int a[64];\nglobal int s;\nfn main() {\nfor (int i = 0; i < 64; i = i + 1) { a[i] = i; }\nfor (int i = 1; i < 64; i = i + 1) { s = s + a[i] - a[i - 1]; }\n}";
+
+    #[test]
+    fn every_engine_kind_profiles() {
+        let p = program(SRC);
+        let perfect = profile_program(&p).unwrap();
+        for engine in [
+            EngineKind::SerialPerfect,
+            EngineKind::signature(1 << 18),
+            EngineKind::parallel(4),
+            EngineKind::Parallel {
+                workers: 2,
+                chunk: 16,
+                queue: QueueKind::LockBased,
+            },
+        ] {
+            let out = profile_program_with(
+                &p,
+                &ProfileConfig {
+                    engine,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                out.deps.sorted(),
+                perfect.deps.sorted(),
+                "{engine} diverged from the perfect baseline"
+            );
+            assert_eq!(
+                out.parallel.is_some(),
+                matches!(engine, EngineKind::Parallel { .. }),
+                "{engine}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EngineKind::SerialPerfect.label(), "serial-perfect");
+        assert_eq!(EngineKind::signature(64).label(), "serial-signature:64");
+        assert_eq!(EngineKind::parallel(8).label(), "parallel:8x256:lock-free");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "turbo",
+            "serial-perfect:3",
+            "serial-signature:zero",
+            "serial-signature:0",
+            "parallel:4x",
+            "parallel:4:mutex",
+            "parallel:4:lock-free:extra",
+        ] {
+            assert!(EngineKind::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn every_label_parses_back() {
+        for e in [
+            EngineKind::SerialPerfect,
+            EngineKind::signature(1 << 12),
+            EngineKind::parallel(3),
+            EngineKind::Parallel {
+                workers: 2,
+                chunk: 64,
+                queue: QueueKind::LockBased,
+            },
+        ] {
+            assert_eq!(EngineKind::parse(&e.label()), Ok(e));
+        }
+        // Degenerate counts clamp to 1 at execution time; the label records
+        // the clamped value, so it still round-trips.
+        let degenerate = EngineKind::Parallel {
+            workers: 0,
+            chunk: 0,
+            queue: QueueKind::LockFree,
+        };
+        assert_eq!(degenerate.label(), "parallel:1x1:lock-free");
+        assert_eq!(
+            EngineKind::parse(&degenerate.label()),
+            Ok(EngineKind::Parallel {
+                workers: 1,
+                chunk: 1,
+                queue: QueueKind::LockFree,
+            })
+        );
+    }
+
+    #[test]
+    fn worker_slots_follow_fixed_total_budget() {
+        assert_eq!(
+            EngineKind::parallel_worker_slots(8),
+            EngineKind::PARALLEL_TOTAL_SLOTS / 8
+        );
+        assert_eq!(
+            EngineKind::parallel_worker_slots(1),
+            EngineKind::PARALLEL_TOTAL_SLOTS
+        );
+        // Very high worker counts hit the per-worker floor.
+        assert_eq!(
+            EngineKind::parallel_worker_slots(1024),
+            EngineKind::PARALLEL_MIN_WORKER_SLOTS
+        );
+        assert_eq!(
+            EngineKind::parallel_worker_slots(0),
+            EngineKind::PARALLEL_TOTAL_SLOTS
+        );
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let p = program("fn main() { int x = 1; int y = x + 1; }");
+        let out = profile_program_with(
+            &p,
+            &ProfileConfig {
+                engine: EngineKind::Parallel {
+                    workers: 0,
+                    chunk: 0,
+                    queue: QueueKind::LockFree,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.parallel.unwrap().worker_processed.len(), 1);
+    }
+}

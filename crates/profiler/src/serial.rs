@@ -7,8 +7,7 @@ use crate::dep::{ControlSpan, DepSet};
 use crate::engine::{DepBuilder, EngineConfig, SkipStats};
 use crate::maps::{AccessMap, PerfectMap, SignatureMap};
 use crate::pet::{Pet, PetBuilder};
-use interp::{Event, Program, RunConfig, RunResult, Sink};
-use serde::Serialize;
+use interp::{Event, Program, Sink};
 
 /// A serial profiler over any access map. Implements [`Sink`], so it plugs
 /// directly into the interpreter.
@@ -116,87 +115,6 @@ impl<M: AccessMap> Sink for SerialProfiler<M> {
     }
 }
 
-/// Everything a profiling run produces.
-#[derive(Debug, Serialize)]
-pub struct ProfileOutput {
-    /// Merged dependences.
-    pub deps: DepSet,
-    /// Program execution tree.
-    pub pet: Pet,
-    /// Skip-optimization statistics.
-    pub skip_stats: SkipStats,
-    /// Estimated profiler memory footprint in bytes.
-    pub profiler_bytes: usize,
-    /// Executed instructions of the target program.
-    pub steps: u64,
-    /// Output printed by the target program.
-    pub printed: Vec<String>,
-}
-
-/// Options for [`profile_program_with`].
-#[derive(Debug, Clone)]
-pub struct ProfileConfig {
-    /// Signature slots; `None` selects the perfect shadow map.
-    pub sig_slots: Option<usize>,
-    /// Enable the §2.4 skip optimization.
-    pub skip_loops: bool,
-    /// Enable variable-lifetime analysis (§2.3.5).
-    pub lifetime: bool,
-    /// Interpreter configuration.
-    pub run: RunConfig,
-}
-
-impl Default for ProfileConfig {
-    fn default() -> Self {
-        ProfileConfig {
-            sig_slots: None,
-            skip_loops: false,
-            lifetime: true,
-            run: RunConfig::default(),
-        }
-    }
-}
-
-/// Profile a program with default options (perfect map, lifetime analysis).
-pub fn profile_program(prog: &Program) -> Result<ProfileOutput, interp::RuntimeError> {
-    profile_program_with(prog, &ProfileConfig::default())
-}
-
-/// Profile a program with explicit options.
-pub fn profile_program_with(
-    prog: &Program,
-    cfg: &ProfileConfig,
-) -> Result<ProfileOutput, interp::RuntimeError> {
-    let engine_cfg = EngineConfig {
-        skip_loops: cfg.skip_loops,
-    };
-    match cfg.sig_slots {
-        Some(slots) => {
-            let mut p =
-                SerialProfiler::with_signature(slots, prog.num_mem_ops(), engine_cfg, cfg.lifetime);
-            let r = interp::run_with_config(prog, &mut p, cfg.run.clone())?;
-            Ok(assemble(p, r))
-        }
-        None => {
-            let mut p = SerialProfiler::with_perfect(prog.num_mem_ops(), engine_cfg, cfg.lifetime);
-            let r = interp::run_with_config(prog, &mut p, cfg.run.clone())?;
-            Ok(assemble(p, r))
-        }
-    }
-}
-
-fn assemble<M: AccessMap>(p: SerialProfiler<M>, r: RunResult) -> ProfileOutput {
-    let (deps, pet, skip_stats, profiler_bytes) = p.finish(r.steps);
-    ProfileOutput {
-        deps,
-        pet,
-        skip_stats,
-        profiler_bytes,
-        steps: r.steps,
-        printed: r.printed,
-    }
-}
-
 /// Build `BGN`/`END` control spans for the text renderer from a program's
 /// loop regions and the PET's iteration counts.
 pub fn control_spans(prog: &Program, pet: &Pet) -> Vec<ControlSpan> {
@@ -226,6 +144,9 @@ pub fn control_spans(prog: &Program, pet: &Pet) -> Vec<ControlSpan> {
 mod tests {
     use super::*;
     use crate::dep::DepType;
+    use crate::run::{
+        profile_program, profile_program_with, EngineKind, ProfileConfig, ProfileOutput,
+    };
 
     fn program(src: &str) -> Program {
         Program::new(lang::compile(src, "t").unwrap())
@@ -309,7 +230,7 @@ mod tests {
         let sig = profile_program_with(
             &p,
             &ProfileConfig {
-                sig_slots: Some(1 << 20),
+                engine: EngineKind::signature(1 << 20),
                 ..Default::default()
             },
         )
@@ -326,7 +247,7 @@ mod tests {
         let sig = profile_program_with(
             &p,
             &ProfileConfig {
-                sig_slots: Some(13),
+                engine: EngineKind::signature(13),
                 ..Default::default()
             },
         )
@@ -416,6 +337,7 @@ mod tests {
 #[cfg(test)]
 mod regression_tests {
     use super::*;
+    use crate::run::{profile_program, profile_program_with, EngineKind, ProfileConfig};
     /// A mid-sized signature must agree exactly with the perfect shadow on
     /// this collision-prone mix of global-array and stack addresses.
     #[test]
@@ -426,7 +348,7 @@ mod regression_tests {
         let sig = profile_program_with(
             &p,
             &ProfileConfig {
-                sig_slots: Some(1 << 20),
+                engine: EngineKind::signature(1 << 20),
                 ..Default::default()
             },
         )

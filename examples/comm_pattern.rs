@@ -1,23 +1,18 @@
 //! Detect thread communication patterns of the splash2x-style programs
-//! (§5.3 / Fig. 5.1).
+//! (§5.3 / Fig. 5.1), profiling through the facade's multithreaded path.
 //!
 //! Run with: `cargo run --example comm_pattern`
 
+use discopop::{Analysis, Compiled, EngineKind};
+
 fn main() {
+    let mut analysis = Analysis::new().engine(EngineKind::parallel(4));
     for name in ["barnes-par", "radix-par", "ocean-par"] {
         let w = workloads::by_name(name).expect("workload exists");
-        let program = w.program().expect("compiles");
-        let out = profiler::profile_multithreaded_target(
-            &program,
-            profiler::ParallelConfig {
-                workers: 4,
-                ..Default::default()
-            },
-            interp::RunConfig::default(),
-        )
-        .expect("profiles");
+        let compiled = Compiled::new(w.program().expect("compiles"));
+        let profiled = analysis.profile_threads(&compiled).expect("profiles");
         let threads = 5; // main + 4 workers
-        let m = apps::comm_matrix(&out.deps, threads);
+        let m = apps::comm_matrix(profiled.deps(), threads);
         println!("=== {name} ===");
         println!("{}", apps::render_matrix(&m));
     }

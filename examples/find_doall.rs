@@ -3,10 +3,16 @@
 //!
 //! Run with: `cargo run --example find_doall`
 
+use discopop::Analysis;
+
 fn main() {
+    // One pipeline, reused across all workloads.
+    let mut analysis = Analysis::new();
     for w in workloads::suite(workloads::Suite::Nas) {
         let program = w.program().expect("workload compiles");
-        let report = discopop::analyze_program(&program).expect("analysis succeeds");
+        let report = analysis
+            .analyze_program(&program)
+            .expect("analysis succeeds");
         println!("=== {} ===", w.name);
         for l in &report.discovery.loops {
             let verdict = match l.class {

@@ -1,6 +1,9 @@
-//! Quickstart: analyse a small program end to end and print the report.
+//! Quickstart: the staged analysis pipeline end to end — compile, profile,
+//! discover, render, and emit the versioned JSON report.
 //!
 //! Run with: `cargo run --example quickstart`
+
+use discopop::{Analysis, EngineKind, StageEvent};
 
 fn main() {
     let source = r#"
@@ -26,10 +29,33 @@ fn main() {
 }
 "#;
 
-    let program = interp::Program::new(lang::compile(source, "quickstart").expect("compiles"));
-    let report = discopop::analyze_program(&program).expect("analysis succeeds");
+    // Configure once; the progress sink narrates the stages.
+    let mut analysis = Analysis::new()
+        .engine(EngineKind::SerialPerfect)
+        .on_progress(|ev| match ev {
+            StageEvent::Compiled { name, functions } => {
+                eprintln!("compiled `{name}` ({functions} functions)")
+            }
+            StageEvent::Profiled {
+                engine,
+                steps,
+                dependences,
+            } => eprintln!("profiled with {engine}: {steps} steps, {dependences} dependences"),
+            StageEvent::Discovered { loops, ranked, .. } => {
+                eprintln!("discovered {loops} loops, {ranked} ranked suggestions")
+            }
+        });
 
-    println!("{}", discopop::render_report(&program, &report));
+    // Stage 1+2+3, with the intermediate artifacts in hand.
+    let compiled = analysis.compile(source, "quickstart").expect("compiles");
+    let profiled = analysis.profile(&compiled).expect("profiles");
+    eprintln!(
+        "inspectable between stages: {} distinct dependences before discovery",
+        profiled.deps().len()
+    );
+    let report = analysis.discover(&compiled, profiled);
+
+    println!("{}", discopop::render_report(compiled.program(), &report));
 
     println!("Per-loop classification:");
     for l in &report.discovery.loops {
@@ -41,4 +67,13 @@ fn main() {
             println!("      reduction variables: {:?}", l.reduction_vars);
         }
     }
+
+    // The same report as machine-readable, versioned JSON (what
+    // `discopop analyze --json` writes).
+    let json = report.to_json_string(compiled.program());
+    println!(
+        "\nJSON report: {} bytes, schema v{}",
+        json.len(),
+        discopop::report::SCHEMA_VERSION
+    );
 }

@@ -1,7 +1,9 @@
-//! Profile a multi-threaded target program and show cross-thread
-//! dependences and race hints (§2.3.4).
+//! Profile a multi-threaded target program through the facade and show
+//! cross-thread dependences and race hints (§2.3.4).
 //!
 //! Run with: `cargo run --example race_hint`
+
+use discopop::{Analysis, Compiled, EngineKind};
 
 fn main() {
     // A racy program: two threads bump an unsynchronized shared counter.
@@ -24,25 +26,20 @@ fn main() {
     print(counter, safe_counter);
 }
 "#;
-    let program = interp::Program::new(lang::compile(source, "racy").expect("compiles"));
-    let out = profiler::profile_multithreaded_target(
-        &program,
-        profiler::ParallelConfig {
-            workers: 4,
-            ..Default::default()
-        },
-        interp::RunConfig::default(),
-    )
-    .expect("profiles");
+    let mut analysis = Analysis::new().engine(EngineKind::parallel(4));
+    let compiled: Compiled = analysis.compile(source, "racy").expect("compiles");
+    let profiled = analysis.profile_threads(&compiled).expect("profiles");
+    let program = compiled.program();
 
     println!(
-        "{} distinct dependences from {} accesses",
-        out.deps.len(),
-        out.skip_stats.total_accesses
+        "{} distinct dependences from {} accesses (engine {})",
+        profiled.deps().len(),
+        profiled.output.skip_stats.total_accesses,
+        profiled.engine,
     );
 
-    let cross: Vec<_> = out
-        .deps
+    let cross: Vec<_> = profiled
+        .deps()
         .sorted()
         .into_iter()
         .filter(|d| d.is_cross_thread())
@@ -60,7 +57,7 @@ fn main() {
         );
     }
 
-    let hints = out.deps.race_hints();
+    let hints = profiled.deps().race_hints();
     println!(
         "\n{} dependence(s) carry race hints (unsynchronized access order observed)",
         hints.len()

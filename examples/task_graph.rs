@@ -1,19 +1,24 @@
 //! Export the CU graph of a program as Graphviz DOT (Figs. 3.6/3.7) and
-//! print the discovered task structure.
+//! print the discovered task structure — using the staged API to grab the
+//! dependences and PET between the profile and discover stages.
 //!
 //! Run with: `cargo run --example task_graph`
+
+use discopop::{Analysis, Compiled};
 
 fn main() {
     // The rot-cc stand-in: rotate, then colour-convert — a staged program
     // whose CU graph shows the pipeline structure.
     let w = workloads::by_name("rot-cc").expect("workload exists");
-    let program = w.program().expect("compiles");
-    let profile = profiler::profile_program(&program).expect("profiles");
+    let mut analysis = Analysis::new();
+    let compiled = Compiled::new(w.program().expect("compiles"));
+    let profiled = analysis.profile(&compiled).expect("profiles");
 
+    // The stage-2 artifact feeds CU construction directly.
     let graph = cu::build_cu_graph_fine(&cu::CuBuildInput {
-        program: &program,
-        deps: &profile.deps,
-        pet: Some(&profile.pet),
+        program: compiled.program(),
+        deps: profiled.deps(),
+        pet: Some(profiled.pet()),
     });
 
     let dot = cu::graph::to_dot(&graph, "rot-cc", &|i, c: &cu::Cu| {
@@ -24,9 +29,9 @@ fn main() {
     });
     println!("{dot}");
 
-    let d = discovery::discover(&program, &profile.deps, &profile.pet);
+    let report = analysis.discover(&compiled, profiled);
     eprintln!("MPMD task sets:");
-    for m in &d.mpmd {
+    for m in &report.discovery.mpmd {
         let spans: Vec<String> = m
             .tasks
             .iter()

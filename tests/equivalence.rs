@@ -159,6 +159,59 @@ fn batch_cap_does_not_change_dependences() {
 }
 
 #[test]
+fn engine_kinds_agree_on_workloads() {
+    // The acceptance bar of the engine-explicit API: every selectable
+    // engine produces the identical dependence set on the equivalence
+    // suite, with `EngineKind::Parallel` matching `SerialPerfect`
+    // bit-for-bit.
+    use profiler::EngineKind;
+    for (name, p) in [
+        ("MG", workloads::by_name("MG").unwrap().program().unwrap()),
+        (
+            "matmul",
+            workloads::by_name("matmul").unwrap().program().unwrap(),
+        ),
+    ] {
+        let perfect = profiler::profile_program_with(
+            &p,
+            &profiler::ProfileConfig {
+                engine: EngineKind::SerialPerfect,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for engine in [
+            EngineKind::signature(1 << 20),
+            EngineKind::parallel(4),
+            EngineKind::parallel(8),
+            EngineKind::Parallel {
+                workers: 4,
+                chunk: 32,
+                queue: QueueKind::LockBased,
+            },
+        ] {
+            let out = profiler::profile_program_with(
+                &p,
+                &profiler::ProfileConfig {
+                    engine,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                out.deps.sorted(),
+                perfect.deps.sorted(),
+                "{name}: {engine} diverged from SerialPerfect"
+            );
+            assert_eq!(
+                out.deps.total_found, perfect.deps.total_found,
+                "{name}: {engine} pre-merge totals differ"
+            );
+        }
+    }
+}
+
+#[test]
 fn multithreaded_target_matches_serial_replay() {
     // Lock-ordered multithreaded target: every cross-thread access to the
     // shared counter is serialized, so the parallel MPSC engine must agree

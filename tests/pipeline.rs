@@ -1,7 +1,8 @@
 //! End-to-end integration tests spanning every crate: compile → interpret →
-//! profile (serial and parallel engines) → CUs → discovery → report.
+//! profile (serial and parallel engines) → CUs → discovery → report, driven
+//! through the staged `discopop::Analysis` API.
 
-use discopop::{analyze_source, render_report};
+use discopop::{render_report, Analysis, Compiled, EngineKind};
 
 #[test]
 fn full_pipeline_on_mixed_program() {
@@ -23,7 +24,13 @@ fn main() {
     print(acc);
 }
 "#;
-    let report = analyze_source(src, "mixed").unwrap();
+    let mut analysis = Analysis::new();
+    let compiled = analysis.compile(src, "mixed").unwrap();
+    let profiled = analysis.profile(&compiled).unwrap();
+    // The staged API exposes the profile before discovery runs.
+    assert!(!profiled.deps().is_empty());
+    assert!(profiled.pet().nodes.len() >= 4, "root + main + loops");
+    let report = analysis.discover(&compiled, profiled);
     assert_eq!(report.discovery.loops.len(), 3);
 
     let class_of = |line: u32| {
@@ -62,42 +69,34 @@ fn main() {
 
 #[test]
 fn serial_and_parallel_profilers_agree_end_to_end() {
-    // Compare against the perfect-shadow baseline: with collision-free
-    // signature sizes the parallel engine must be exact. (At small sizes,
-    // one serial table and W partitioned worker tables collide
-    // *differently*, so exact equality is only defined vs. perfect —
-    // e.g. CG at 2^18 slots shows 6 collisions serially and 0 when
-    // partitioned over 8 workers.)
+    // With address-partitioned per-worker signatures
+    // (EngineKind::parallel_worker_slots each) the parallel engine must be
+    // exact against the perfect-shadow baseline on CG: partitioning spreads
+    // the address set, so per-worker collisions vanish at sizes where one
+    // serial table still collides.
     let w = workloads::by_name("CG").unwrap();
-    let program = w.program().unwrap();
-    let perfect = profiler::profile_program(&program).unwrap();
-    let par = profiler::profile_parallel(
-        &program,
-        profiler::ParallelConfig {
-            workers: 8,
-            sig_slots: 1 << 22,
-            ..Default::default()
-        },
-        interp::RunConfig::default(),
-    )
-    .unwrap();
-    assert_eq!(perfect.deps.sorted(), par.deps.sorted());
+    let compiled = Compiled::new(w.program().unwrap());
+    let mut analysis = Analysis::new();
+    let perfect = analysis.profile(&compiled).unwrap();
+    let parallel = analysis
+        .engine_mut(EngineKind::parallel(8))
+        .profile(&compiled)
+        .unwrap();
+    assert_eq!(perfect.deps().sorted(), parallel.deps().sorted());
+    assert!(parallel.output.parallel.is_some());
 }
 
 #[test]
 fn signature_accuracy_high_on_real_workload() {
     let w = workloads::by_name("kmeans").unwrap();
-    let program = w.program().unwrap();
-    let perfect = profiler::profile_program(&program).unwrap();
-    let sig = profiler::profile_program_with(
-        &program,
-        &profiler::ProfileConfig {
-            sig_slots: Some(1_000_000),
-            ..Default::default()
-        },
-    )
-    .unwrap();
-    let (fpr, fnr) = sig.deps.accuracy_vs(&perfect.deps);
+    let compiled = Compiled::new(w.program().unwrap());
+    let mut analysis = Analysis::new();
+    let perfect = analysis.profile(&compiled).unwrap();
+    let sig = analysis
+        .engine_mut(EngineKind::signature(1_000_000))
+        .profile(&compiled)
+        .unwrap();
+    let (fpr, fnr) = sig.deps().accuracy_vs(perfect.deps());
     assert!(fpr < 0.01, "false positive rate {fpr}");
     assert!(fnr < 0.01, "false negative rate {fnr}");
 }
@@ -106,23 +105,16 @@ fn signature_accuracy_high_on_real_workload() {
 fn skip_optimization_is_output_transparent_across_suites() {
     for name in ["MG", "dotprod", "histogram"] {
         let w = workloads::by_name(name).unwrap();
-        let program = w.program().unwrap();
-        let plain = profiler::profile_program(&program).unwrap();
-        let skip = profiler::profile_program_with(
-            &program,
-            &profiler::ProfileConfig {
-                skip_loops: true,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let compiled = Compiled::new(w.program().unwrap());
+        let plain = Analysis::new().profile(&compiled).unwrap();
+        let skip = Analysis::new().skip_loops(true).profile(&compiled).unwrap();
         assert_eq!(
-            plain.deps.sorted(),
-            skip.deps.sorted(),
+            plain.deps().sorted(),
+            skip.deps().sorted(),
             "{name}: skipping changed the output"
         );
         assert!(
-            skip.skip_stats.total_skipped > 0,
+            skip.output.skip_stats.total_skipped > 0,
             "{name}: nothing was skipped"
         );
     }
@@ -140,6 +132,19 @@ fn report_renders_for_every_textbook_program() {
             w.name
         );
     }
+}
+
+#[test]
+fn json_report_of_workload_is_schema_valid() {
+    let w = workloads::by_name("matmul").unwrap();
+    let compiled = Compiled::new(w.program().unwrap());
+    let mut analysis = Analysis::new();
+    let report = analysis.analyze_compiled(&compiled).unwrap();
+    let json = report.to_json_string(compiled.program());
+    let doc = discopop::report::ReportDoc::from_json_str(&json).unwrap();
+    assert_eq!(doc.schema_version, discopop::report::SCHEMA_VERSION);
+    assert!(!doc.profile.dependences.is_empty());
+    assert!(!doc.discovery.ranked.is_empty());
 }
 
 #[test]
@@ -161,19 +166,17 @@ fn main() {
     print(shared);
 }
 "#;
-    let program = interp::Program::new(lang::compile(src, "locked").unwrap());
-    let out = profiler::profile_multithreaded_target(
-        &program,
-        profiler::ParallelConfig {
-            workers: 4,
-            ..Default::default()
-        },
-        interp::RunConfig::default(),
-    )
-    .unwrap();
+    let mut analysis = Analysis::new().engine(EngineKind::Parallel {
+        workers: 4,
+        chunk: 256,
+        queue: profiler::QueueKind::LockFree,
+    });
+    let compiled = analysis.compile(src, "locked").unwrap();
+    let profiled = analysis.profile_threads(&compiled).unwrap();
+    let program = compiled.program();
     // Lock-ordered accesses must not be flagged as races.
-    let shared_races: Vec<_> = out
-        .deps
+    let shared_races: Vec<_> = profiled
+        .deps()
         .race_hints()
         .into_iter()
         .filter(|d| program.symbol(d.var) == "shared")
@@ -183,9 +186,11 @@ fn main() {
         "lock-protected accesses flagged: {shared_races:?}"
     );
     // But cross-thread flow on the counter must be visible.
-    assert!(out
-        .deps
+    assert!(profiled
+        .deps()
         .sorted()
         .iter()
         .any(|d| d.is_cross_thread() && program.symbol(d.var) == "shared"));
+    let report = analysis.discover(&compiled, profiled);
+    assert!(report.engine.starts_with("multithreaded:4x256"));
 }
