@@ -14,7 +14,12 @@
 //!   headline number of the source paper's evaluation (Fig. 2.10).
 //! - `peak_map_bytes`: the profiler's reported memory footprint.
 //!
-//! Usage: `cargo run --release -p bench --bin perfjson [reps]`.
+//! Usage: `cargo run --release -p bench --bin perfjson [reps] [--only NAME]`.
+//!
+//! `--only NAME` restricts the run to one workload and prints the JSON to
+//! stdout **without** touching `BENCH_profiler.json` — the CI smoke mode
+//! that keeps the bench path building and running on every push without
+//! gating on timing.
 
 use bench::time_median;
 use interp::{Program, RunConfig};
@@ -48,10 +53,15 @@ struct Row {
 }
 
 fn main() {
-    let reps: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let mut reps: usize = 3;
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--only" => only = Some(args.next().expect("--only needs a workload name")),
+            n => reps = n.parse().unwrap_or_else(|_| panic!("bad argument `{n}`")),
+        }
+    }
     let mut programs: Vec<(&'static str, Program)> = ["MG", "FT", "matmul"]
         .into_iter()
         .map(|name| {
@@ -63,6 +73,10 @@ fn main() {
         "stress",
         Program::new(lang::compile(STRESS_SRC, "stress").expect("stress compiles")),
     ));
+    if let Some(only) = &only {
+        programs.retain(|(name, _)| name == only);
+        assert!(!programs.is_empty(), "no workload named `{only}`");
+    }
     let mut rows: Vec<Row> = Vec::new();
 
     for (name, p) in &programs {
@@ -143,10 +157,14 @@ fn main() {
     }
 
     let json = render_json(&rows);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_profiler.json");
-    std::fs::write(path, &json).expect("write BENCH_profiler.json");
     println!("{json}");
-    eprintln!("wrote {path}");
+    // Smoke mode (`--only`) never overwrites the committed baseline: a
+    // partial run is not a baseline.
+    if only.is_none() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_profiler.json");
+        std::fs::write(path, &json).expect("write BENCH_profiler.json");
+        eprintln!("wrote {path}");
+    }
 }
 
 fn row(

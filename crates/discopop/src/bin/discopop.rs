@@ -24,7 +24,8 @@ const USAGE: &str = "usage:
   discopop engines                    list --engine specs
 
 analyze options:
-  --engine SPEC     profiling engine (default serial-perfect); see `discopop engines`
+  --engine SPEC     profiling engine (default: auto-selected from the
+                    program's address footprint); see `discopop engines`
   --skip-loops      enable the loop-skipping optimization (serial engines)
   --no-lifetime     disable variable-lifetime analysis
   --batch-cap N     events per interpreter batch (<2 = per-event delivery)
@@ -38,14 +39,16 @@ fn main() -> ExitCode {
         Some("report") => render_saved(&args[1..]),
         Some("engines") => {
             println!("engine specs accepted by --engine:");
-            println!(
-                "  serial-perfect                    exact page-table shadow memory (default)"
-            );
+            println!("  serial-perfect                    exact page-table shadow memory");
             println!(
                 "  serial-signature[:slots]          bounded-memory signature (default 2^18 slots)"
             );
             println!("  parallel[:workers[xchunk][:queue]] producer/consumer pipeline");
             println!("                                    queue: lock-free (default) | lock-based");
+            println!(
+                "without --engine, the engine is auto-selected (EngineKind::auto_for): \
+                 serial-perfect for small address footprints, serial-signature beyond"
+            );
             println!("examples: serial-signature:1048576   parallel:8   parallel:4x128:lock-based");
             ExitCode::SUCCESS
         }
@@ -62,7 +65,8 @@ fn main() -> ExitCode {
 
 struct AnalyzeArgs {
     file: String,
-    engine: EngineKind,
+    /// `None` = auto-select from the compiled program's address footprint.
+    engine: Option<EngineKind>,
     skip_loops: bool,
     lifetime: bool,
     batch_cap: Option<usize>,
@@ -73,7 +77,7 @@ struct AnalyzeArgs {
 fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
     let mut parsed = AnalyzeArgs {
         file: String::new(),
-        engine: EngineKind::SerialPerfect,
+        engine: None,
         skip_loops: false,
         lifetime: true,
         batch_cap: None,
@@ -88,7 +92,7 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match a.as_str() {
-            "--engine" => parsed.engine = EngineKind::parse(&value_of("--engine")?)?,
+            "--engine" => parsed.engine = Some(EngineKind::parse(&value_of("--engine")?)?),
             "--skip-loops" => parsed.skip_loops = true,
             "--no-lifetime" => parsed.lifetime = false,
             "--batch-cap" => {
@@ -130,7 +134,6 @@ fn analyze(args: &[String]) -> ExitCode {
         .to_string();
 
     let mut analysis = Analysis::new()
-        .engine(args.engine)
         .skip_loops(args.skip_loops)
         .lifetime(args.lifetime);
     if let Some(cap) = args.batch_cap {
@@ -138,8 +141,12 @@ fn analyze(args: &[String]) -> ExitCode {
     }
     if !args.quiet {
         analysis = analysis.on_progress(|ev| match ev {
-            StageEvent::Compiled { name, functions } => {
-                eprintln!("[1/3] compiled `{name}` ({functions} functions)");
+            StageEvent::Compiled {
+                name,
+                functions,
+                decoded_ops,
+            } => {
+                eprintln!("[1/3] compiled `{name}` ({functions} functions, {decoded_ops} decoded ops)");
             }
             StageEvent::Profiled {
                 engine,
@@ -165,6 +172,19 @@ fn analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Engine selection needs the compiled program: without an explicit
+    // --engine, pick from the address footprint so the default is exact on
+    // small programs and bounded-memory on large ones.
+    let engine = args
+        .engine
+        .unwrap_or_else(|| EngineKind::auto_for(compiled.program()));
+    analysis.engine_mut(engine);
+    if args.engine.is_none() && !args.quiet {
+        eprintln!(
+            "auto-selected engine {engine} ({} footprint words)",
+            compiled.program().footprint_words()
+        );
+    }
     let report = match analysis.analyze_compiled(&compiled) {
         Ok(r) => r,
         Err(e) => {

@@ -140,12 +140,16 @@ impl From<interp::RuntimeError> for Error {
 /// with [`Analysis::on_progress`] to observe long workloads.
 #[derive(Debug, Clone, Copy)]
 pub enum StageEvent<'a> {
-    /// The frontend produced an instrumented program.
+    /// The frontend produced an instrumented program, lowered to the
+    /// pre-decoded instruction stream the interpreter executes.
     Compiled {
         /// Module name.
         name: &'a str,
         /// Functions in the module.
         functions: usize,
+        /// Decoded ops across all functions (flat execution form; see
+        /// [`interp::code`]).
+        decoded_ops: usize,
     },
     /// The profiler finished executing the target.
     Profiled {
@@ -305,6 +309,7 @@ impl Analysis {
         self.notify(StageEvent::Compiled {
             name: &compiled.name,
             functions: compiled.program.module.functions.len(),
+            decoded_ops: compiled.program.num_decoded_ops(),
         });
         Ok(compiled)
     }
@@ -403,7 +408,10 @@ impl Analysis {
     }
 }
 
-/// Stage-1 artifact: an instrumented, executable program. Construct with
+/// Stage-1 artifact: an instrumented, executable program — the verified
+/// module plus memory layout and the pre-decoded instruction streams
+/// ([`interp::code`]) that every later profiling run executes, so decoding
+/// is paid once per compile, not per engine. Construct with
 /// [`Analysis::compile`], or wrap an existing [`interp::Program`] (e.g. a
 /// `workloads` entry) via [`Compiled::new`].
 #[derive(Debug)]
@@ -424,6 +432,11 @@ impl Compiled {
     /// The underlying program.
     pub fn program(&self) -> &interp::Program {
         &self.program
+    }
+
+    /// Total decoded ops of the flat execution form.
+    pub fn decoded_ops(&self) -> usize {
+        self.program.num_decoded_ops()
     }
 }
 

@@ -98,6 +98,64 @@ fn parallel_engine_selectable_from_cli() {
 }
 
 #[test]
+fn default_engine_is_auto_selected() {
+    // Without --engine, the CLI picks from the address footprint: small
+    // program → serial-perfect, huge globals → serial-signature.
+    let dir = scratch("auto");
+    let small = dir.join("small.dp");
+    std::fs::write(&small, SRC).unwrap();
+    let out = dir.join("small.json");
+    let res = Command::new(BIN)
+        .args([
+            "analyze",
+            small.to_str().unwrap(),
+            "--json",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(res.status.success());
+    let stderr = String::from_utf8_lossy(&res.stderr);
+    assert!(
+        stderr.contains("auto-selected engine serial-perfect"),
+        "{stderr}"
+    );
+    let doc = discopop::report::ReportDoc::from_json_str(&std::fs::read_to_string(&out).unwrap())
+        .unwrap();
+    assert_eq!(doc.engine, "serial-perfect");
+
+    let big = dir.join("big.dp");
+    std::fs::write(
+        &big,
+        "global int a[300000];\nfn main() {\nfor (int i = 0; i < 8; i = i + 1) {\na[i] = i;\n}\n}\n",
+    )
+    .unwrap();
+    let out = dir.join("big.json");
+    let res = Command::new(BIN)
+        .args([
+            "analyze",
+            big.to_str().unwrap(),
+            "--json",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(res.status.success());
+    let stderr = String::from_utf8_lossy(&res.stderr);
+    assert!(
+        stderr.contains("auto-selected engine serial-signature"),
+        "{stderr}"
+    );
+    let doc = discopop::report::ReportDoc::from_json_str(&std::fs::read_to_string(&out).unwrap())
+        .unwrap();
+    assert!(
+        doc.engine.starts_with("serial-signature:"),
+        "{}",
+        doc.engine
+    );
+}
+
+#[test]
 fn json_to_stdout_is_pure_json() {
     // `--json -` must own stdout even without --quiet: no human-readable
     // report interleaved with the document.

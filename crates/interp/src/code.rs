@@ -1,0 +1,650 @@
+//! Pre-decoded bytecode: the flat execution form of a verified module.
+//!
+//! [`mir`] functions are tree-shaped — blocks of enum instructions with
+//! name-keyed calls and symbolic places — which is the right shape for
+//! construction and verification but a poor shape for the interpreter hot
+//! loop: every executed instruction re-resolves frame/block/pc, re-walks the
+//! `Place` structure, re-derives its static memory-operation id, and every
+//! call probes a name map. [`Program::new`](crate::Program::new) therefore
+//! lowers each function once into a [`FuncCode`]: one contiguous [`Op`]
+//! array with
+//!
+//! - block starts flattened to absolute pcs (block terminators become
+//!   explicit [`Op::Jump`]/[`Op::Branch`]/[`Op::Return`] ops, so one dynamic
+//!   instruction is exactly one decoded op and step counts are unchanged),
+//! - branch successors encoded as pc *deltas* relative to the branching op,
+//! - call targets pre-resolved to function indices ([`Op::CallUser`]) or
+//!   [`Builtin`] ids ([`Op::CallBuiltin`]) — no per-call name lookup; names
+//!   that resolve to nothing decode to [`Op::CallUnknown`] so the runtime
+//!   error still surfaces only if the call actually executes,
+//! - place operands precompiled into [`PlaceCode`] descriptors carrying the
+//!   global-segment slot base or frame word offset, the interned symbol id,
+//!   and the element count for bounds checks,
+//! - memory ops carrying their static operation id inline (what used to be
+//!   the `op_ids[func][block][pc]` side table),
+//! - region metadata ([`RegionCode`]) with owned-local ranges pre-resolved
+//!   to `(frame offset, words)` so region exit never allocates.
+//!
+//! The decode is purely mechanical: [`crate::reference`] interprets the
+//! original tree form and must produce a byte-identical event stream
+//! (`tests/decode_equivalence.rs` pins this on real workloads).
+
+use crate::program::{GLOBAL_BASE, WORD};
+use fxhash::FxHashMap;
+use mir::{BinOp, Function, Module, Operand, Place, RegId, RegionKind, Terminator, UnOp, VarRef};
+
+/// Built-in functions callable from mini-C, pre-resolved at decode time.
+///
+/// User functions shadow builtins of the same name, matching the resolution
+/// order of the original interpreter (module functions first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `print(args…)` — collect output.
+    Print,
+    /// `sqrt(x)`.
+    Sqrt,
+    /// `sin(x)`.
+    Sin,
+    /// `cos(x)`.
+    Cos,
+    /// `exp(x)`.
+    Exp,
+    /// `log(x)`.
+    Log,
+    /// `fabs(x)`.
+    Fabs,
+    /// `floor(x)`.
+    Floor,
+    /// `ceil(x)`.
+    Ceil,
+    /// `pow(x, y)`.
+    Pow,
+    /// `fmin(x, y)`.
+    Fmin,
+    /// `fmax(x, y)`.
+    Fmax,
+    /// `abs(x)` (integer).
+    Abs,
+    /// `min(x, y)` (integer).
+    Min,
+    /// `max(x, y)` (integer).
+    Max,
+    /// `rand()` — seeded program-visible RNG.
+    Rand,
+    /// `frand()` — uniform f64 in [0, 1).
+    Frand,
+    /// `srand(seed)`.
+    Srand,
+    /// `tid()` — current thread id.
+    Tid,
+    /// `lock(id)` — may block.
+    Lock,
+    /// `unlock(id)`.
+    Unlock,
+    /// `join(tid)` — may block.
+    Join,
+    /// `spawn(func_index, args…)`.
+    Spawn,
+}
+
+impl Builtin {
+    /// Resolve a builtin by source name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "print" => Builtin::Print,
+            "sqrt" => Builtin::Sqrt,
+            "sin" => Builtin::Sin,
+            "cos" => Builtin::Cos,
+            "exp" => Builtin::Exp,
+            "log" => Builtin::Log,
+            "fabs" => Builtin::Fabs,
+            "floor" => Builtin::Floor,
+            "ceil" => Builtin::Ceil,
+            "pow" => Builtin::Pow,
+            "fmin" => Builtin::Fmin,
+            "fmax" => Builtin::Fmax,
+            "abs" => Builtin::Abs,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "rand" => Builtin::Rand,
+            "frand" => Builtin::Frand,
+            "srand" => Builtin::Srand,
+            "tid" => Builtin::Tid,
+            "lock" => Builtin::Lock,
+            "unlock" => Builtin::Unlock,
+            "join" => Builtin::Join,
+            "spawn" => Builtin::Spawn,
+            _ => return None,
+        })
+    }
+}
+
+/// A precompiled memory place: everything address resolution needs without
+/// touching the module.
+///
+/// The interpreter resolves a global place as
+/// `GLOBAL_BASE + (base + index) * WORD` and a local place as
+/// `STACK_BASE + thread * STACK_SPAN + (frame_base + base + index) * WORD`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceCode {
+    /// Word slot base: global-segment slot for globals, frame-relative word
+    /// offset for locals.
+    pub base: u32,
+    /// Element count (1 for scalars) — the bounds check limit.
+    pub elems: u64,
+    /// Interned symbol id reported in [`crate::MemEvent::var`].
+    pub sym: u32,
+    /// `true` = global data segment, `false` = current frame.
+    pub global: bool,
+    /// Pre-decoded index operand; `None` addresses element 0.
+    pub index: Option<Operand>,
+    /// The original variable reference, kept only for the cold
+    /// out-of-bounds error path (name lookup).
+    pub var: VarRef,
+}
+
+/// A decoded instruction of the flat stream. Exactly one dynamic executed
+/// instruction per op, including the former block terminators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `dst = load place`, emitting a memory event with static id `op_id`.
+    Load {
+        /// Destination register.
+        dst: RegId,
+        /// Precompiled place.
+        place: PlaceCode,
+        /// Source line.
+        line: u32,
+        /// Static memory-operation id.
+        op_id: u32,
+    },
+    /// `store place, src`, emitting a memory event with static id `op_id`.
+    Store {
+        /// Precompiled place.
+        place: PlaceCode,
+        /// Value operand.
+        src: Operand,
+        /// Source line.
+        line: u32,
+        /// Static memory-operation id.
+        op_id: u32,
+    },
+    /// `dst = lhs op rhs`.
+    Bin {
+        /// Destination register.
+        dst: RegId,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// Source line (division-by-zero reporting).
+        line: u32,
+    },
+    /// `dst = op src`.
+    Un {
+        /// Destination register.
+        dst: RegId,
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        src: Operand,
+    },
+    /// Call of a user function, target pre-resolved to its index.
+    CallUser {
+        /// Register receiving the return value, if any.
+        dst: Option<RegId>,
+        /// Callee function index.
+        target: u32,
+        /// Argument operands.
+        args: Box<[Operand]>,
+    },
+    /// Call of a builtin, pre-resolved to its [`Builtin`] id.
+    CallBuiltin {
+        /// Register receiving the return value, if any.
+        dst: Option<RegId>,
+        /// The builtin.
+        builtin: Builtin,
+        /// Argument operands.
+        args: Box<[Operand]>,
+        /// Source line (thread/lock events and errors).
+        line: u32,
+    },
+    /// Call of a name that resolved to nothing at decode time; executing it
+    /// raises [`crate::RuntimeError::UnknownFunction`], preserving the lazy
+    /// failure semantics of name-map resolution.
+    CallUnknown {
+        /// The unresolved callee name.
+        name: Box<str>,
+    },
+    /// Control enters region `region`; kind and end line pre-resolved.
+    RegionEnter {
+        /// Region id within the function.
+        region: u32,
+        /// Region kind.
+        kind: RegionKind,
+        /// Start line (from the marker instruction).
+        line: u32,
+        /// Last source line of the region.
+        end_line: u32,
+    },
+    /// Control leaves region `region`.
+    RegionExit {
+        /// Region id within the function.
+        region: u32,
+    },
+    /// A loop region starts an iteration.
+    LoopIter {
+        /// Region id within the function.
+        region: u32,
+    },
+    /// The loop body is entered (executed-iteration count).
+    LoopBody {
+        /// Region id within the function.
+        region: u32,
+    },
+    /// Unconditional jump, encoded as a pc delta from this op.
+    Jump {
+        /// Target pc minus this op's pc.
+        delta: i32,
+    },
+    /// Two-way branch on a truthy operand, successors as pc deltas.
+    Branch {
+        /// Condition operand.
+        cond: Operand,
+        /// Taken-successor pc delta.
+        then_delta: i32,
+        /// Not-taken-successor pc delta.
+        else_delta: i32,
+    },
+    /// Return from the function.
+    Return {
+        /// Return value operand, if any.
+        val: Option<Operand>,
+    },
+    /// A `Terminator::Unreachable` left in an unverified module; panics if
+    /// executed (verified IR never contains one).
+    Unreachable,
+}
+
+/// An owned-local range of a region: locals that die when the region exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnedRange {
+    /// Frame-relative word offset of the local.
+    pub off: u32,
+    /// Size of the local in words.
+    pub words: u64,
+}
+
+/// Pre-resolved region metadata consulted on region entry/exit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionCode {
+    /// Region kind.
+    pub kind: RegionKind,
+    /// First source line.
+    pub start_line: u32,
+    /// Last source line.
+    pub end_line: u32,
+    /// Owned locals as `(frame offset, words)` ranges, in declaration order.
+    pub owned: Box<[OwnedRange]>,
+}
+
+/// The flat, pre-decoded form of one function: the unit the interpreter
+/// executes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncCode {
+    /// The decoded instruction stream; block 0 starts at pc 0.
+    pub ops: Box<[Op]>,
+    /// Pre-resolved region metadata, indexed by region id.
+    pub regions: Box<[RegionCode]>,
+    /// Absolute pc of each basic block's first op (diagnostics/printing).
+    pub block_starts: Box<[u32]>,
+    /// Frame word offset of each parameter, in order.
+    pub params: Box<[u32]>,
+    /// Virtual registers used by the function.
+    pub num_regs: u32,
+    /// Frame size in words.
+    pub frame_words: u32,
+    /// First source line (FuncEnter events).
+    pub start_line: u32,
+    /// Last source line (FuncExit events).
+    pub end_line: u32,
+}
+
+/// Per-module context shared by all function decodes.
+pub(crate) struct DecodeCtx<'m> {
+    pub module: &'m Module,
+    pub global_addr: &'m [u64],
+    pub global_syms: &'m [u32],
+    pub local_off: &'m [Vec<u64>],
+    pub local_syms: &'m [Vec<u32>],
+    pub frame_words: &'m [usize],
+    /// Function name → index; user functions shadow builtins.
+    pub func_by_name: FxHashMap<&'m str, u32>,
+    /// Running static memory-operation id counter.
+    pub next_op: u32,
+}
+
+impl<'m> DecodeCtx<'m> {
+    pub fn new(
+        module: &'m Module,
+        global_addr: &'m [u64],
+        global_syms: &'m [u32],
+        local_off: &'m [Vec<u64>],
+        local_syms: &'m [Vec<u32>],
+        frame_words: &'m [usize],
+    ) -> Self {
+        let mut func_by_name = FxHashMap::default();
+        for (i, f) in module.functions.iter().enumerate() {
+            // Last definition wins, matching the insert-overwrite name map
+            // of the original interpreter (kept in `crate::reference`).
+            // Verified modules cannot contain duplicates; unverified
+            // hand-built ones must bind identically in both interpreters.
+            func_by_name.insert(f.name.as_str(), i as u32);
+        }
+        DecodeCtx {
+            module,
+            global_addr,
+            global_syms,
+            local_off,
+            local_syms,
+            frame_words,
+            func_by_name,
+            next_op: 0,
+        }
+    }
+
+    fn place(&self, fx: usize, p: &Place) -> PlaceCode {
+        match p.var {
+            VarRef::Global(g) => PlaceCode {
+                base: ((self.global_addr[g.index()] - GLOBAL_BASE) / WORD) as u32,
+                elems: self.module.globals[g.index()].elems,
+                sym: self.global_syms[g.index()],
+                global: true,
+                index: p.index,
+                var: p.var,
+            },
+            VarRef::Local(l) => PlaceCode {
+                base: self.local_off[fx][l.index()] as u32,
+                elems: self.module.functions[fx].locals[l.index()].elems,
+                sym: self.local_syms[fx][l.index()],
+                global: false,
+                index: p.index,
+                var: p.var,
+            },
+        }
+    }
+
+    /// Lower one function into its flat form, assigning static memory-op
+    /// ids in program order (function → block → instruction, the same order
+    /// the side-table scheme used).
+    pub fn decode_function(&mut self, fx: usize) -> FuncCode {
+        let f: &Function = &self.module.functions[fx];
+        // First pass: absolute pc of each block (instrs + 1 terminator op).
+        let mut block_starts = Vec::with_capacity(f.blocks.len());
+        let mut n = 0u32;
+        for b in &f.blocks {
+            block_starts.push(n);
+            n += b.instrs.len() as u32 + 1;
+        }
+        let mut ops: Vec<Op> = Vec::with_capacity(n as usize);
+        for b in &f.blocks {
+            for i in &b.instrs {
+                ops.push(self.decode_instr(fx, i));
+            }
+            let pc = ops.len() as u32;
+            let delta = |target: u32| (target as i64 - pc as i64) as i32;
+            ops.push(match &b.term {
+                Terminator::Jump(t) => Op::Jump {
+                    delta: delta(block_starts[t.index()]),
+                },
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => Op::Branch {
+                    cond: *cond,
+                    then_delta: delta(block_starts[then_bb.index()]),
+                    else_delta: delta(block_starts[else_bb.index()]),
+                },
+                Terminator::Return(v) => Op::Return { val: *v },
+                // Verified IR has none; decode lazily so an unverified
+                // module with a dead unterminated block still constructs
+                // and only panics if the block actually executes, exactly
+                // like the tree-walking interpreter.
+                Terminator::Unreachable => Op::Unreachable,
+            });
+        }
+        let regions = f
+            .regions
+            .iter()
+            .map(|r| RegionCode {
+                kind: r.kind,
+                start_line: r.start_line,
+                end_line: r.end_line,
+                owned: r
+                    .owned_locals
+                    .iter()
+                    .map(|l| OwnedRange {
+                        off: self.local_off[fx][l.index()] as u32,
+                        words: f.locals[l.index()].elems,
+                    })
+                    .collect(),
+            })
+            .collect();
+        FuncCode {
+            ops: ops.into_boxed_slice(),
+            regions,
+            block_starts: block_starts.into_boxed_slice(),
+            params: (0..f.num_params)
+                .map(|i| self.local_off[fx][i] as u32)
+                .collect(),
+            num_regs: f.num_regs,
+            frame_words: self.frame_words[fx] as u32,
+            start_line: f.start_line,
+            end_line: f.end_line,
+        }
+    }
+
+    fn decode_instr(&mut self, fx: usize, i: &mir::Instr) -> Op {
+        match i {
+            mir::Instr::Load { dst, place, line } => {
+                let op_id = self.next_op;
+                self.next_op += 1;
+                Op::Load {
+                    dst: *dst,
+                    place: self.place(fx, place),
+                    line: *line,
+                    op_id,
+                }
+            }
+            mir::Instr::Store { place, src, line } => {
+                let op_id = self.next_op;
+                self.next_op += 1;
+                Op::Store {
+                    place: self.place(fx, place),
+                    src: *src,
+                    line: *line,
+                    op_id,
+                }
+            }
+            mir::Instr::Bin {
+                dst,
+                op,
+                lhs,
+                rhs,
+                line,
+            } => Op::Bin {
+                dst: *dst,
+                op: *op,
+                lhs: *lhs,
+                rhs: *rhs,
+                line: *line,
+            },
+            mir::Instr::Un { dst, op, src, .. } => Op::Un {
+                dst: *dst,
+                op: *op,
+                src: *src,
+            },
+            mir::Instr::Call {
+                dst,
+                func,
+                args,
+                line,
+            } => {
+                let args: Box<[Operand]> = args.as_slice().into();
+                if let Some(target) = self.func_by_name.get(func.as_str()) {
+                    Op::CallUser {
+                        dst: *dst,
+                        target: *target,
+                        args,
+                    }
+                } else if let Some(builtin) = Builtin::from_name(func) {
+                    Op::CallBuiltin {
+                        dst: *dst,
+                        builtin,
+                        args,
+                        line: *line,
+                    }
+                } else {
+                    Op::CallUnknown {
+                        name: func.as_str().into(),
+                    }
+                }
+            }
+            mir::Instr::RegionEnter { region, line } => {
+                let r = &self.module.functions[fx].regions[region.index()];
+                Op::RegionEnter {
+                    region: region.0,
+                    kind: r.kind,
+                    line: *line,
+                    end_line: r.end_line,
+                }
+            }
+            mir::Instr::RegionExit { region, .. } => Op::RegionExit { region: region.0 },
+            mir::Instr::LoopIter { region, .. } => Op::LoopIter { region: region.0 },
+            mir::Instr::LoopBody { region, .. } => Op::LoopBody { region: region.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Program;
+
+    fn program(src: &str) -> Program {
+        Program::new(lang::compile(src, "t").unwrap())
+    }
+
+    #[test]
+    fn decode_flattens_blocks_with_terminators() {
+        let p = program("fn main() -> int { int x = 1; if (x > 0) { x = 2; } return x; }");
+        let code = &p.code()[0];
+        // One op per instruction plus one per terminator; block starts are
+        // absolute and strictly increasing.
+        let total: usize = p.module.functions[0]
+            .blocks
+            .iter()
+            .map(|b| b.instrs.len() + 1)
+            .sum();
+        assert_eq!(code.ops.len(), total);
+        assert!(code.block_starts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(code.block_starts[0], 0);
+        // Every branch/jump delta lands inside the stream.
+        for (pc, op) in code.ops.iter().enumerate() {
+            let check = |d: i32| {
+                let t = pc as i64 + d as i64;
+                assert!(t >= 0 && (t as usize) < code.ops.len(), "delta {d} @ {pc}");
+                assert!(
+                    code.block_starts.contains(&(t as u32)),
+                    "delta target {t} is not a block start"
+                );
+            };
+            match op {
+                Op::Jump { delta } => check(*delta),
+                Op::Branch {
+                    then_delta,
+                    else_delta,
+                    ..
+                } => {
+                    check(*then_delta);
+                    check(*else_delta);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn calls_are_preresolved() {
+        let p = program(
+            "fn helper(int x) -> int { return x + 1; }
+            fn main() -> int { int a = helper(1); return sqrt(4.0) + a; }",
+        );
+        let main = &p.code()[1];
+        let mut saw_user = false;
+        let mut saw_builtin = false;
+        for op in main.ops.iter() {
+            match op {
+                Op::CallUser { target, .. } => {
+                    assert_eq!(*target, 0, "helper is function 0");
+                    saw_user = true;
+                }
+                Op::CallBuiltin { builtin, .. } => {
+                    assert_eq!(*builtin, Builtin::Sqrt);
+                    saw_builtin = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_user && saw_builtin);
+    }
+
+    #[test]
+    fn mem_op_ids_match_program_order() {
+        let p = program("global int g;\nfn main() { g = 1; int x = g; }");
+        let mut ids = Vec::new();
+        for f in p.code() {
+            for op in f.ops.iter() {
+                match op {
+                    Op::Load { op_id, .. } | Op::Store { op_id, .. } => ids.push(*op_id),
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(ids, (0..ids.len() as u32).collect::<Vec<_>>());
+        assert_eq!(ids.len() as u32, p.num_mem_ops());
+    }
+
+    #[test]
+    fn places_carry_layout() {
+        let p = program("global int a[8];\nfn main() { a[3] = 7; int y = a[3]; }");
+        let main = &p.code()[0];
+        let store = main
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Store { place, .. } => Some(place),
+                _ => None,
+            })
+            .unwrap();
+        assert!(store.global);
+        assert_eq!(store.base, 0, "first global starts at slot 0");
+        assert_eq!(store.elems, 8);
+        assert_eq!(p.symbol(store.sym), "a");
+    }
+
+    #[test]
+    fn builtin_names_roundtrip() {
+        for name in [
+            "print", "sqrt", "sin", "cos", "exp", "log", "fabs", "floor", "ceil", "pow", "fmin",
+            "fmax", "abs", "min", "max", "rand", "frand", "srand", "tid", "lock", "unlock", "join",
+            "spawn",
+        ] {
+            assert!(Builtin::from_name(name).is_some(), "{name}");
+        }
+        assert!(Builtin::from_name("nope").is_none());
+    }
+}

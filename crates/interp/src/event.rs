@@ -1,4 +1,10 @@
 //! Instrumentation events and the sink trait consumed by analyses.
+//!
+//! Events are emitted by the pre-decoded run loop ([`crate::machine`]) and,
+//! identically, by the tree-walking oracle ([`crate::reference`]): the
+//! decode layer is invisible at this boundary — same events, same order,
+//! same field values — so every downstream consumer (profiler engines, PET
+//! builder, recorded traces) is unaffected by how dispatch is implemented.
 
 use mir::RegionKind;
 

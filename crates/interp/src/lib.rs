@@ -15,11 +15,23 @@
 //! out-of-order event delivery of real threads that the profiler's
 //! timestamp-based race detection is designed to catch (dissertation
 //! Fig. 2.4).
+//!
+//! # Execution pipeline
+//!
+//! [`Program::new`] lowers the verified module into a flat, pre-decoded
+//! instruction stream ([`code`]): call targets resolved to indices, place
+//! operands precompiled to address descriptors, blocks flattened to
+//! absolute pcs. [`machine`] executes that stream; [`mod@reference`] keeps
+//! the original tree-walking interpreter as an equivalence oracle — both
+//! emit byte-identical event streams for any program and configuration.
 
+pub mod code;
 pub mod event;
 pub mod machine;
 pub mod program;
+pub mod reference;
 
+pub use code::{Builtin, FuncCode, Op, PlaceCode};
 pub use event::{Event, MemEvent, NullSink, RecordingSink, RegionExitEvent, Sink};
 pub use machine::{run, run_with_config, Interp, RunConfig, RunResult, RuntimeError};
 pub use program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};

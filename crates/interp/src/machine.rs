@@ -1,10 +1,19 @@
 //! The interpreter core: frames, heap, builtins, and the deterministic
-//! multi-thread scheduler.
+//! multi-thread scheduler, executing the pre-decoded instruction stream.
+//!
+//! The run loop dispatches over [`crate::code::Op`] — the flat form built at
+//! [`Program::new`] — with the current frame's code slice and pc cached in
+//! locals for the duration of a scheduler slice. The pc is written back to
+//! the frame only when the frame changes (call/return), the thread blocks,
+//! or the slice's step budget runs out. [`crate::reference`] keeps the
+//! original tree-walking loop as an equivalence oracle: both interpreters
+//! must emit byte-identical event streams.
 
+use crate::code::{Builtin, FuncCode, Op, PlaceCode};
 use crate::event::{Event, MemEvent, RegionExitEvent, Sink};
 use crate::program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};
 use fxhash::FxHashMap;
-use mir::{BinOp, Instr, Operand, Place, RegId, Terminator, UnOp, Value, VarRef};
+use mir::{BinOp, Operand, RegId, UnOp, Value, VarRef};
 use std::fmt;
 
 #[cfg(test)]
@@ -132,7 +141,7 @@ struct RegionState {
 #[derive(Debug)]
 struct Frame {
     func: usize,
-    block: usize,
+    /// Absolute pc into the function's decoded op stream.
     pc: usize,
     regs: Vec<Value>,
     /// Word offset of this frame in the thread stack.
@@ -153,11 +162,6 @@ struct Thread {
     ret: Option<Value>,
 }
 
-enum Target {
-    User(usize),
-    Builtin(&'static str),
-}
-
 /// The interpreter. Construct with [`Interp::new`], execute with
 /// [`Interp::run`]; or use the [`run`]/[`run_with_config`] helpers.
 pub struct Interp<'p, S: Sink> {
@@ -171,7 +175,9 @@ pub struct Interp<'p, S: Sink> {
     user_rng: u64,
     sched_rng: u64,
     printed: Vec<String>,
-    targets: FxHashMap<String, Target>,
+    /// Reusable call-argument buffer: evaluating call operands never
+    /// allocates in steady state.
+    call_buf: Vec<Value>,
     /// Reusable event batch (deterministic mode, batching sinks).
     batch: Vec<Event>,
     /// Resolved once at construction: `batch_hint` of the sink, gated on
@@ -193,21 +199,15 @@ pub fn run_with_config<S: Sink>(
     Interp::new(prog, sink, cfg)?.run()
 }
 
-const BUILTINS: &[&str] = &[
-    "print", "sqrt", "sin", "cos", "exp", "log", "fabs", "floor", "ceil", "pow", "fmin", "fmax",
-    "abs", "min", "max", "rand", "frand", "srand", "tid", "lock", "unlock", "join", "spawn",
-];
+#[inline]
+fn jump(pc: usize, delta: i32) -> usize {
+    (pc as i64 + delta as i64) as usize
+}
 
 impl<'p, S: Sink> Interp<'p, S> {
-    /// Prepare a run: resolves call targets and sets up the main thread.
+    /// Prepare a run: call targets are already pre-resolved in the decoded
+    /// program, so this only sets up the main thread.
     pub fn new(prog: &'p Program, sink: S, cfg: RunConfig) -> Result<Self, RuntimeError> {
-        let mut targets = FxHashMap::default();
-        for (i, f) in prog.module.functions.iter().enumerate() {
-            targets.insert(f.name.clone(), Target::User(i));
-        }
-        for b in BUILTINS {
-            targets.entry(b.to_string()).or_insert(Target::Builtin(b));
-        }
         let (main_id, _) = prog.module.function("main").ok_or(RuntimeError::NoMain)?;
         let batching = !cfg.racy_delivery && cfg.effective_batch_cap() >= 2 && sink.batch_hint();
         let mut it = Interp {
@@ -221,7 +221,7 @@ impl<'p, S: Sink> Interp<'p, S> {
             user_rng: cfg.seed | 1,
             sched_rng: cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
             printed: Vec::new(),
-            targets,
+            call_buf: Vec::new(),
             batch: Vec::with_capacity(if batching { cfg.batch_cap } else { 0 }),
             batching,
         };
@@ -271,12 +271,11 @@ impl<'p, S: Sink> Interp<'p, S> {
             );
             self.flush(p as usize);
         }
-        let f = &self.prog.module.functions[func];
         self.emit(
             tid as usize,
             Event::FuncEnter {
                 func: func as u32,
-                line: f.start_line,
+                line: self.prog.code[func].start_line,
                 thread: tid,
             },
         );
@@ -290,23 +289,21 @@ impl<'p, S: Sink> Interp<'p, S> {
         args: &[Value],
         ret_dst: Option<RegId>,
     ) {
-        let f = &prog.module.functions[func];
+        let code = &prog.code[func];
         let base = th.sp;
-        let need = base + prog.frame_words[func];
+        let need = base + code.frame_words as usize;
         if th.mem.len() < need {
             th.mem.resize(need, Value::I64(0));
         }
         th.sp = need;
         // Bind arguments into parameter slots (register-style: no events).
         for (i, a) in args.iter().enumerate() {
-            let off = prog.local_off[func][i] as usize;
-            th.mem[base + off] = *a;
+            th.mem[base + code.params[i] as usize] = *a;
         }
         th.frames.push(Frame {
             func,
-            block: 0,
             pc: 0,
-            regs: vec![Value::I64(0); f.num_regs as usize],
+            regs: vec![Value::I64(0); code.num_regs as usize],
             base,
             ret_dst,
             regions: Vec::new(),
@@ -410,15 +407,297 @@ impl<'p, S: Sink> Interp<'p, S> {
             };
             let jitter = (self.sched_next() % self.cfg.quantum.max(1) as u64) as u32;
             let q = self.cfg.quantum + jitter;
-            for _ in 0..q {
-                if self.threads[t].state != TState::Ready {
-                    break;
-                }
-                self.step(t)?;
-            }
+            self.run_slice(t, q)?;
             cur = t + 1;
         }
         Ok(())
+    }
+
+    /// Execute up to `quantum` decoded ops of thread `t` — the flattened
+    /// hot loop. Frame state (`func`, `pc`, code slice) lives in locals and
+    /// is written back only on frame switches, blocking, or budget
+    /// exhaustion; everything else advances `pc` in place.
+    fn run_slice(&mut self, t: usize, quantum: u32) -> Result<(), RuntimeError> {
+        let prog = self.prog;
+        let mut budget = quantum;
+        'frame: while budget > 0 && self.threads[t].state == TState::Ready {
+            let fr = self.threads[t].frames.last().unwrap();
+            let func = fr.func;
+            let mut pc = fr.pc;
+            let code: &FuncCode = &prog.code[func];
+            let ops: &[Op] = &code.ops;
+            loop {
+                if budget == 0 {
+                    self.threads[t].frames.last_mut().unwrap().pc = pc;
+                    break 'frame;
+                }
+                budget -= 1;
+                self.steps += 1;
+                self.threads[t].steps += 1;
+                match &ops[pc] {
+                    Op::Load {
+                        dst,
+                        place,
+                        line,
+                        op_id,
+                    } => {
+                        let (addr, is_global, slot, sym) = self.resolve(t, place, *line)?;
+                        let v = if is_global {
+                            self.globals[slot]
+                        } else {
+                            self.threads[t].mem[slot]
+                        };
+                        self.set_reg(t, *dst, v);
+                        let ts = self.steps;
+                        self.emit(
+                            t,
+                            Event::Mem(MemEvent {
+                                is_write: false,
+                                addr,
+                                op: *op_id,
+                                line: *line,
+                                var: sym,
+                                thread: t as u32,
+                                ts,
+                            }),
+                        );
+                        pc += 1;
+                    }
+                    Op::Store {
+                        place,
+                        src,
+                        line,
+                        op_id,
+                    } => {
+                        let v = self.op_val(t, src);
+                        let (addr, is_global, slot, sym) = self.resolve(t, place, *line)?;
+                        if is_global {
+                            self.globals[slot] = v;
+                        } else {
+                            self.threads[t].mem[slot] = v;
+                        }
+                        let ts = self.steps;
+                        self.emit(
+                            t,
+                            Event::Mem(MemEvent {
+                                is_write: true,
+                                addr,
+                                op: *op_id,
+                                line: *line,
+                                var: sym,
+                                thread: t as u32,
+                                ts,
+                            }),
+                        );
+                        pc += 1;
+                    }
+                    Op::Bin {
+                        dst,
+                        op,
+                        lhs,
+                        rhs,
+                        line,
+                    } => {
+                        let a = self.op_val(t, lhs);
+                        let b = self.op_val(t, rhs);
+                        let v = bin_eval(*op, a, b, *line)?;
+                        self.set_reg(t, *dst, v);
+                        pc += 1;
+                    }
+                    Op::Un { dst, op, src } => {
+                        let v = self.op_val(t, src);
+                        let r = match op {
+                            UnOp::Neg => match v {
+                                Value::I64(x) => Value::I64(x.wrapping_neg()),
+                                Value::F64(x) => Value::F64(-x),
+                            },
+                            UnOp::Not => Value::I64(i64::from(!v.is_truthy())),
+                            UnOp::ToF64 => Value::F64(v.as_f64()),
+                            UnOp::ToI64 => Value::I64(v.as_i64()),
+                        };
+                        self.set_reg(t, *dst, r);
+                        pc += 1;
+                    }
+                    Op::CallUser { dst, target, args } => {
+                        let vals = self.eval_args(t, args);
+                        // Resume after the call on return.
+                        self.threads[t].frames.last_mut().unwrap().pc = pc + 1;
+                        let fi = *target as usize;
+                        Self::push_frame_raw(prog, &mut self.threads[t], fi, &vals, *dst);
+                        self.recycle_args(vals);
+                        self.emit(
+                            t,
+                            Event::FuncEnter {
+                                func: *target,
+                                line: prog.code[fi].start_line,
+                                thread: t as u32,
+                            },
+                        );
+                        continue 'frame;
+                    }
+                    Op::CallBuiltin {
+                        dst,
+                        builtin,
+                        args,
+                        line,
+                    } => {
+                        let vals = self.eval_args(t, args);
+                        let completed = self.builtin(t, *builtin, &vals, *dst, *line);
+                        self.recycle_args(vals);
+                        if completed? {
+                            pc += 1;
+                        } else {
+                            // Blocked: retry the call op on wake.
+                            self.threads[t].frames.last_mut().unwrap().pc = pc;
+                            continue 'frame;
+                        }
+                    }
+                    Op::CallUnknown { name } => {
+                        return Err(RuntimeError::UnknownFunction(name.to_string()))
+                    }
+                    Op::RegionEnter {
+                        region,
+                        kind,
+                        line,
+                        end_line,
+                    } => {
+                        let th_steps = self.threads[t].steps;
+                        self.threads[t]
+                            .frames
+                            .last_mut()
+                            .unwrap()
+                            .regions
+                            .push(RegionState {
+                                region: *region,
+                                th_steps_at_enter: th_steps,
+                                iters: 0,
+                            });
+                        self.emit(
+                            t,
+                            Event::RegionEnter {
+                                func: func as u32,
+                                region: *region,
+                                kind: *kind,
+                                start_line: *line,
+                                end_line: *end_line,
+                                thread: t as u32,
+                            },
+                        );
+                        pc += 1;
+                    }
+                    Op::RegionExit { region } => {
+                        self.pop_regions_through(t, func, *region);
+                        pc += 1;
+                    }
+                    Op::LoopIter { region } => {
+                        // Abrupt exits (continue) may leave inner branch
+                        // regions on the stack; close them before opening
+                        // the next iteration.
+                        self.pop_regions_above(t, func, *region);
+                        self.emit(
+                            t,
+                            Event::LoopIter {
+                                func: func as u32,
+                                region: *region,
+                                thread: t as u32,
+                            },
+                        );
+                        pc += 1;
+                    }
+                    Op::LoopBody { region } => {
+                        let fr = self.threads[t].frames.last_mut().unwrap();
+                        if let Some(top) = fr.regions.last_mut() {
+                            if top.region == *region {
+                                top.iters += 1;
+                            }
+                        }
+                        pc += 1;
+                    }
+                    Op::Jump { delta } => pc = jump(pc, *delta),
+                    Op::Branch {
+                        cond,
+                        then_delta,
+                        else_delta,
+                    } => {
+                        let v = self.op_val(t, cond);
+                        pc = jump(
+                            pc,
+                            if v.is_truthy() {
+                                *then_delta
+                            } else {
+                                *else_delta
+                            },
+                        );
+                    }
+                    Op::Return { val } => {
+                        let val = val.as_ref().map(|o| self.op_val(t, o));
+                        self.do_return(t, func, code, val);
+                        continue 'frame;
+                    }
+                    Op::Unreachable => {
+                        unreachable!("verified IR has no unreachable terminators")
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate call arguments into the reusable buffer (taken out of
+    /// `self` so the evaluation can borrow registers).
+    #[inline]
+    fn eval_args(&mut self, t: usize, args: &[Operand]) -> Vec<Value> {
+        let mut vals = std::mem::take(&mut self.call_buf);
+        vals.clear();
+        vals.extend(args.iter().map(|a| self.op_val(t, a)));
+        vals
+    }
+
+    /// Return the argument buffer for reuse by the next call.
+    #[inline]
+    fn recycle_args(&mut self, vals: Vec<Value>) {
+        self.call_buf = vals;
+    }
+
+    /// Function return: close open regions, emit the frame dealloc and
+    /// FuncExit, pop the frame, and deliver the return value.
+    fn do_return(&mut self, t: usize, func: usize, code: &FuncCode, val: Option<Value>) {
+        // Close any regions still open in this frame (return from inside a
+        // loop).
+        while !self.threads[t].frames.last().unwrap().regions.is_empty() {
+            self.pop_one_region(t, func);
+        }
+        let fr = self.threads[t].frames.pop().unwrap();
+        // The whole frame dies: one dealloc event for its range.
+        let words = code.frame_words as u64;
+        if words > 0 {
+            let addr = STACK_BASE + t as u64 * STACK_SPAN + fr.base as u64 * WORD;
+            self.emit(
+                t,
+                Event::VarDealloc {
+                    addr,
+                    words,
+                    thread: t as u32,
+                },
+            );
+        }
+        self.emit(
+            t,
+            Event::FuncExit {
+                func: func as u32,
+                line: code.end_line,
+                thread: t as u32,
+            },
+        );
+        self.threads[t].sp = fr.base;
+        if self.threads[t].frames.is_empty() {
+            self.threads[t].state = TState::Done;
+            self.threads[t].ret = val;
+            self.emit(t, Event::ThreadEnd { thread: t as u32 });
+            self.flush(t);
+        } else if let (Some(dst), Some(v)) = (fr.ret_dst, val) {
+            self.set_reg(t, dst, v);
+        }
     }
 
     #[inline]
@@ -445,240 +724,46 @@ impl<'p, S: Sink> Interp<'p, S> {
             .unwrap() = v;
     }
 
-    /// Resolve a place to `(logical address, storage)` and check bounds.
+    /// Resolve a precompiled place to `(logical address, is_global, storage
+    /// slot, symbol)`, checking bounds.
+    #[inline]
     fn resolve(
         &self,
         t: usize,
-        place: &Place,
+        place: &PlaceCode,
         line: u32,
     ) -> Result<(u64, bool, usize, u32), RuntimeError> {
-        // Returns (addr, is_global, storage index, symbol).
         let idx = match &place.index {
             Some(op) => self.op_val(t, op).as_i64(),
             None => 0,
         };
-        let fr = self.threads[t].frames.last().unwrap();
-        match place.var {
-            VarRef::Global(g) => {
-                let gv = &self.prog.module.globals[g.index()];
-                if idx < 0 || idx as u64 >= gv.elems {
-                    return Err(RuntimeError::OutOfBounds {
-                        line,
-                        var: gv.name.clone(),
-                        index: idx,
-                    });
-                }
-                let addr = self.prog.global_addr[g.index()] + idx as u64 * WORD;
-                let slot = ((addr - GLOBAL_BASE) / WORD) as usize;
-                Ok((addr, true, slot, self.prog.global_syms[g.index()]))
-            }
+        if idx < 0 || idx as u64 >= place.elems {
+            return Err(self.out_of_bounds(t, place, line, idx));
+        }
+        if place.global {
+            let slot = place.base as usize + idx as usize;
+            Ok((GLOBAL_BASE + slot as u64 * WORD, true, slot, place.sym))
+        } else {
+            let fr = self.threads[t].frames.last().unwrap();
+            let word = fr.base as u64 + place.base as u64 + idx as u64;
+            let addr = STACK_BASE + t as u64 * STACK_SPAN + word * WORD;
+            Ok((addr, false, word as usize, place.sym))
+        }
+    }
+
+    /// Cold path: reconstruct the variable name for the bounds error.
+    #[cold]
+    fn out_of_bounds(&self, t: usize, place: &PlaceCode, line: u32, index: i64) -> RuntimeError {
+        let var = match place.var {
+            VarRef::Global(g) => self.prog.module.globals[g.index()].name.clone(),
             VarRef::Local(l) => {
-                let lv = &self.prog.module.functions[fr.func].locals[l.index()];
-                if idx < 0 || idx as u64 >= lv.elems {
-                    return Err(RuntimeError::OutOfBounds {
-                        line,
-                        var: lv.name.clone(),
-                        index: idx,
-                    });
-                }
-                let word = fr.base as u64 + self.prog.local_off[fr.func][l.index()] + idx as u64;
-                let addr = STACK_BASE + t as u64 * STACK_SPAN + word * WORD;
-                Ok((
-                    addr,
-                    false,
-                    word as usize,
-                    self.prog.local_syms[fr.func][l.index()],
-                ))
+                let func = self.threads[t].frames.last().unwrap().func;
+                self.prog.module.functions[func].locals[l.index()]
+                    .name
+                    .clone()
             }
-        }
-    }
-
-    /// Execute a single instruction or terminator of thread `t`.
-    fn step(&mut self, t: usize) -> Result<(), RuntimeError> {
-        let prog = self.prog;
-        let fr = self.threads[t].frames.last().unwrap();
-        let func_idx = fr.func;
-        let f = &prog.module.functions[func_idx];
-        let block = &f.blocks[fr.block];
-        let pc = fr.pc;
-        self.steps += 1;
-        self.threads[t].steps += 1;
-
-        if pc >= block.instrs.len() {
-            return self.terminator(t, func_idx, &block.term);
-        }
-        let instr = &block.instrs[pc];
-        match instr {
-            Instr::Load { dst, place, line } => {
-                let (addr, is_global, slot, sym) = self.resolve(t, place, *line)?;
-                let v = if is_global {
-                    self.globals[slot]
-                } else {
-                    self.threads[t].mem[slot]
-                };
-                self.set_reg(t, *dst, v);
-                let ts = self.steps;
-                let op = prog.op_ids[func_idx][self.threads[t].frames.last().unwrap().block][pc];
-                self.emit(
-                    t,
-                    Event::Mem(MemEvent {
-                        is_write: false,
-                        addr,
-                        op,
-                        line: *line,
-                        var: sym,
-                        thread: t as u32,
-                        ts,
-                    }),
-                );
-                self.advance(t);
-            }
-            Instr::Store { place, src, line } => {
-                let v = self.op_val(t, src);
-                let (addr, is_global, slot, sym) = self.resolve(t, place, *line)?;
-                if is_global {
-                    self.globals[slot] = v;
-                } else {
-                    self.threads[t].mem[slot] = v;
-                }
-                let ts = self.steps;
-                let op = prog.op_ids[func_idx][self.threads[t].frames.last().unwrap().block][pc];
-                self.emit(
-                    t,
-                    Event::Mem(MemEvent {
-                        is_write: true,
-                        addr,
-                        op,
-                        line: *line,
-                        var: sym,
-                        thread: t as u32,
-                        ts,
-                    }),
-                );
-                self.advance(t);
-            }
-            Instr::Bin {
-                dst,
-                op,
-                lhs,
-                rhs,
-                line,
-            } => {
-                let a = self.op_val(t, lhs);
-                let b = self.op_val(t, rhs);
-                let v = bin_eval(*op, a, b, *line)?;
-                self.set_reg(t, *dst, v);
-                self.advance(t);
-            }
-            Instr::Un { dst, op, src, .. } => {
-                let v = self.op_val(t, src);
-                let r = match op {
-                    UnOp::Neg => match v {
-                        Value::I64(x) => Value::I64(x.wrapping_neg()),
-                        Value::F64(x) => Value::F64(-x),
-                    },
-                    UnOp::Not => Value::I64(i64::from(!v.is_truthy())),
-                    UnOp::ToF64 => Value::F64(v.as_f64()),
-                    UnOp::ToI64 => Value::I64(v.as_i64()),
-                };
-                self.set_reg(t, *dst, r);
-                self.advance(t);
-            }
-            Instr::Call {
-                dst,
-                func: callee,
-                args,
-                line,
-            } => {
-                let vals: Vec<Value> = args.iter().map(|a| self.op_val(t, a)).collect();
-                // Targets map is only mutated during construction.
-                match self.targets.get(callee.as_str()) {
-                    Some(Target::User(fi)) => {
-                        let fi = *fi;
-                        self.advance(t); // resume after the call on return
-                        let dst = *dst;
-                        let th = &mut self.threads[t];
-                        Self::push_frame_raw(prog, th, fi, &vals, dst);
-                        let callee_f = &prog.module.functions[fi];
-                        let start = callee_f.start_line;
-                        self.emit(
-                            t,
-                            Event::FuncEnter {
-                                func: fi as u32,
-                                line: start,
-                                thread: t as u32,
-                            },
-                        );
-                    }
-                    Some(Target::Builtin(name)) => {
-                        let name = *name;
-                        let dst = *dst;
-                        let line = *line;
-                        self.builtin(t, name, &vals, dst, line)?;
-                    }
-                    None => return Err(RuntimeError::UnknownFunction(callee.clone())),
-                }
-            }
-            Instr::RegionEnter { region, line } => {
-                let r = &f.regions[region.index()];
-                let th_steps = self.threads[t].steps;
-                self.threads[t]
-                    .frames
-                    .last_mut()
-                    .unwrap()
-                    .regions
-                    .push(RegionState {
-                        region: region.0,
-                        th_steps_at_enter: th_steps,
-                        iters: 0,
-                    });
-                self.emit(
-                    t,
-                    Event::RegionEnter {
-                        func: func_idx as u32,
-                        region: region.0,
-                        kind: r.kind,
-                        start_line: *line,
-                        end_line: r.end_line,
-                        thread: t as u32,
-                    },
-                );
-                self.advance(t);
-            }
-            Instr::RegionExit { region, .. } => {
-                self.pop_regions_through(t, func_idx, region.0);
-                self.advance(t);
-            }
-            Instr::LoopIter { region, .. } => {
-                // Abrupt exits (continue) may leave inner branch regions on
-                // the stack; close them before opening the next iteration.
-                self.pop_regions_above(t, func_idx, region.0);
-                self.emit(
-                    t,
-                    Event::LoopIter {
-                        func: func_idx as u32,
-                        region: region.0,
-                        thread: t as u32,
-                    },
-                );
-                self.advance(t);
-            }
-            Instr::LoopBody { region, .. } => {
-                let fr = self.threads[t].frames.last_mut().unwrap();
-                if let Some(top) = fr.regions.last_mut() {
-                    if top.region == region.0 {
-                        top.iters += 1;
-                    }
-                }
-                self.advance(t);
-            }
-        }
-        Ok(())
-    }
-
-    #[inline]
-    fn advance(&mut self, t: usize) {
-        self.threads[t].frames.last_mut().unwrap().pc += 1;
+        };
+        RuntimeError::OutOfBounds { line, var, index }
     }
 
     /// Pop and emit exits for all regions strictly above `region` on the
@@ -705,11 +790,12 @@ impl<'p, S: Sink> Interp<'p, S> {
     }
 
     fn pop_one_region(&mut self, t: usize, func_idx: usize) {
+        let prog = self.prog;
         let th_steps = self.threads[t].steps;
         let fr = self.threads[t].frames.last_mut().unwrap();
         let st = fr.regions.pop().expect("region stack underflow");
         let frame_base = fr.base as u64;
-        let rinfo = &self.prog.module.functions[func_idx].regions[st.region as usize];
+        let rinfo = &prog.code[func_idx].regions[st.region as usize];
         let ev = Event::RegionExit(RegionExitEvent {
             func: func_idx as u32,
             region: st.region,
@@ -721,106 +807,37 @@ impl<'p, S: Sink> Interp<'p, S> {
             thread: t as u32,
         });
         self.emit(t, ev);
-        // Region-scoped locals die here (variable lifetime analysis).
-        let owned = rinfo.owned_locals.clone();
-        for l in owned {
-            let off = self.prog.local_off[func_idx][l.index()];
-            let words = self.prog.module.functions[func_idx].locals[l.index()].elems;
-            let addr = STACK_BASE + t as u64 * STACK_SPAN + (frame_base + off) * WORD;
+        // Region-scoped locals die here (variable lifetime analysis); the
+        // ranges were pre-resolved at decode, so no allocation here.
+        // `rinfo` borrows `prog` (not `self`), so it stays live across the
+        // emit calls.
+        for &o in rinfo.owned.iter() {
+            let addr = STACK_BASE + t as u64 * STACK_SPAN + (frame_base + o.off as u64) * WORD;
             self.emit(
                 t,
                 Event::VarDealloc {
                     addr,
-                    words,
+                    words: o.words,
                     thread: t as u32,
                 },
             );
         }
     }
 
-    fn terminator(
-        &mut self,
-        t: usize,
-        func_idx: usize,
-        term: &Terminator,
-    ) -> Result<(), RuntimeError> {
-        match term {
-            Terminator::Jump(b) => {
-                let fr = self.threads[t].frames.last_mut().unwrap();
-                fr.block = b.index();
-                fr.pc = 0;
-            }
-            Terminator::Branch {
-                cond,
-                then_bb,
-                else_bb,
-            } => {
-                let v = self.op_val(t, cond);
-                let fr = self.threads[t].frames.last_mut().unwrap();
-                fr.block = if v.is_truthy() {
-                    then_bb.index()
-                } else {
-                    else_bb.index()
-                };
-                fr.pc = 0;
-            }
-            Terminator::Return(v) => {
-                let val = v.as_ref().map(|o| self.op_val(t, o));
-                // Close any regions still open in this frame (return from
-                // inside a loop).
-                while !self.threads[t].frames.last().unwrap().regions.is_empty() {
-                    self.pop_one_region(t, func_idx);
-                }
-                let f = &self.prog.module.functions[func_idx];
-                let end_line = f.end_line;
-                let fr = self.threads[t].frames.pop().unwrap();
-                // The whole frame dies: one dealloc event for its range.
-                let words = self.prog.frame_words[func_idx] as u64;
-                if words > 0 {
-                    let addr = STACK_BASE + t as u64 * STACK_SPAN + fr.base as u64 * WORD;
-                    self.emit(
-                        t,
-                        Event::VarDealloc {
-                            addr,
-                            words,
-                            thread: t as u32,
-                        },
-                    );
-                }
-                self.emit(
-                    t,
-                    Event::FuncExit {
-                        func: func_idx as u32,
-                        line: end_line,
-                        thread: t as u32,
-                    },
-                );
-                self.threads[t].sp = fr.base;
-                if self.threads[t].frames.is_empty() {
-                    self.threads[t].state = TState::Done;
-                    self.threads[t].ret = val;
-                    self.emit(t, Event::ThreadEnd { thread: t as u32 });
-                    self.flush(t);
-                } else if let (Some(dst), Some(v)) = (fr.ret_dst, val) {
-                    self.set_reg(t, dst, v);
-                }
-            }
-            Terminator::Unreachable => unreachable!("verified IR has no unreachable terminators"),
-        }
-        Ok(())
-    }
-
+    /// Execute a builtin call. Returns `Ok(true)` when the call completed
+    /// (the caller advances past it) and `Ok(false)` when the thread
+    /// blocked (the call op is retried on wake).
     fn builtin(
         &mut self,
         t: usize,
-        name: &str,
+        builtin: Builtin,
         args: &[Value],
         dst: Option<RegId>,
         line: u32,
-    ) -> Result<(), RuntimeError> {
+    ) -> Result<bool, RuntimeError> {
         let mut result: Option<Value> = None;
-        match name {
-            "print" => {
+        match builtin {
+            Builtin::Print => {
                 let s = args
                     .iter()
                     .map(|v| v.to_string())
@@ -828,45 +845,45 @@ impl<'p, S: Sink> Interp<'p, S> {
                     .join(" ");
                 self.printed.push(s);
             }
-            "sqrt" => result = Some(Value::F64(args[0].as_f64().sqrt())),
-            "sin" => result = Some(Value::F64(args[0].as_f64().sin())),
-            "cos" => result = Some(Value::F64(args[0].as_f64().cos())),
-            "exp" => result = Some(Value::F64(args[0].as_f64().exp())),
-            "log" => result = Some(Value::F64(args[0].as_f64().ln())),
-            "fabs" => result = Some(Value::F64(args[0].as_f64().abs())),
-            "floor" => result = Some(Value::F64(args[0].as_f64().floor())),
-            "ceil" => result = Some(Value::F64(args[0].as_f64().ceil())),
-            "pow" => result = Some(Value::F64(args[0].as_f64().powf(args[1].as_f64()))),
-            "fmin" => result = Some(Value::F64(args[0].as_f64().min(args[1].as_f64()))),
-            "fmax" => result = Some(Value::F64(args[0].as_f64().max(args[1].as_f64()))),
-            "abs" => result = Some(Value::I64(args[0].as_i64().wrapping_abs())),
-            "min" => result = Some(Value::I64(args[0].as_i64().min(args[1].as_i64()))),
-            "max" => result = Some(Value::I64(args[0].as_i64().max(args[1].as_i64()))),
-            "rand" => {
+            Builtin::Sqrt => result = Some(Value::F64(args[0].as_f64().sqrt())),
+            Builtin::Sin => result = Some(Value::F64(args[0].as_f64().sin())),
+            Builtin::Cos => result = Some(Value::F64(args[0].as_f64().cos())),
+            Builtin::Exp => result = Some(Value::F64(args[0].as_f64().exp())),
+            Builtin::Log => result = Some(Value::F64(args[0].as_f64().ln())),
+            Builtin::Fabs => result = Some(Value::F64(args[0].as_f64().abs())),
+            Builtin::Floor => result = Some(Value::F64(args[0].as_f64().floor())),
+            Builtin::Ceil => result = Some(Value::F64(args[0].as_f64().ceil())),
+            Builtin::Pow => result = Some(Value::F64(args[0].as_f64().powf(args[1].as_f64()))),
+            Builtin::Fmin => result = Some(Value::F64(args[0].as_f64().min(args[1].as_f64()))),
+            Builtin::Fmax => result = Some(Value::F64(args[0].as_f64().max(args[1].as_f64()))),
+            Builtin::Abs => result = Some(Value::I64(args[0].as_i64().wrapping_abs())),
+            Builtin::Min => result = Some(Value::I64(args[0].as_i64().min(args[1].as_i64()))),
+            Builtin::Max => result = Some(Value::I64(args[0].as_i64().max(args[1].as_i64()))),
+            Builtin::Rand => {
                 let v = (self.user_next() >> 33) as i64;
                 result = Some(Value::I64(v));
             }
-            "frand" => {
+            Builtin::Frand => {
                 let v = (self.user_next() >> 11) as f64 / (1u64 << 53) as f64;
                 result = Some(Value::F64(v));
             }
-            "srand" => {
+            Builtin::Srand => {
                 self.user_rng = (args[0].as_i64() as u64) | 1;
             }
-            "tid" => result = Some(Value::I64(t as i64)),
-            "spawn" => {
+            Builtin::Tid => result = Some(Value::I64(t as i64)),
+            Builtin::Spawn => {
                 let fi = args[0].as_i64() as usize;
                 let child = self.spawn_thread(fi, &args[1..], Some(t as u32), line);
                 result = Some(Value::I64(child as i64));
             }
-            "join" => {
+            Builtin::Join => {
                 let target = args[0].as_i64();
                 if target < 0 || target as usize >= self.threads.len() {
                     return Err(RuntimeError::BadJoin { line });
                 }
                 if self.threads[target as usize].state != TState::Done {
                     self.threads[t].state = TState::BlockedJoin(target as u32);
-                    return Ok(()); // do not advance; retried on wake
+                    return Ok(false); // do not advance; retried on wake
                 }
                 self.emit(
                     t,
@@ -878,7 +895,7 @@ impl<'p, S: Sink> Interp<'p, S> {
                 );
                 self.flush(t);
             }
-            "lock" => {
+            Builtin::Lock => {
                 let id = args[0].as_i64();
                 match self.locks.get(&id) {
                     None => {
@@ -897,11 +914,11 @@ impl<'p, S: Sink> Interp<'p, S> {
                     }
                     Some(_) => {
                         self.threads[t].state = TState::BlockedLock(id);
-                        return Ok(()); // do not advance; retried on wake
+                        return Ok(false); // do not advance; retried on wake
                     }
                 }
             }
-            "unlock" => {
+            Builtin::Unlock => {
                 let id = args[0].as_i64();
                 if self.locks.get(&id) != Some(&(t as u32)) {
                     return Err(RuntimeError::BadUnlock { line });
@@ -917,17 +934,15 @@ impl<'p, S: Sink> Interp<'p, S> {
                 self.flush(t); // release: make everything visible
                 self.locks.remove(&id);
             }
-            other => return Err(RuntimeError::UnknownFunction(other.to_string())),
         }
         if let (Some(d), Some(v)) = (dst, result) {
             self.set_reg(t, d, v);
         }
-        self.advance(t);
-        Ok(())
+        Ok(true)
     }
 }
 
-fn bin_eval(op: BinOp, a: Value, b: Value, line: u32) -> Result<Value, RuntimeError> {
+pub(crate) fn bin_eval(op: BinOp, a: Value, b: Value, line: u32) -> Result<Value, RuntimeError> {
     use BinOp::*;
     let float = matches!(a, Value::F64(_)) || matches!(b, Value::F64(_));
     Ok(match op {
@@ -1321,5 +1336,24 @@ mod tests {
             .filter(|e| matches!(e, Event::RegionExit(_)))
             .count();
         assert_eq!(enters, exits, "region events must balance");
+    }
+
+    #[test]
+    fn unknown_function_fails_only_when_called() {
+        // A call to an unresolvable name decodes successfully and fails at
+        // execution, exactly like the name-map scheme it replaces — but it
+        // cannot be reached through `lang::compile` (the frontend rejects
+        // unknown names), so build the module by hand.
+        use mir::{FunctionBuilder, ModuleBuilder, Operand, Terminator, Value};
+        let mut mb = ModuleBuilder::new("t");
+        let mut fb = FunctionBuilder::new("main", None, 1);
+        fb.call("no_such_fn", vec![Operand::Const(Value::I64(0))], false, 1);
+        fb.terminate(Terminator::Return(None));
+        mb.add_function(fb.build(1));
+        let p = Program::new(mb.build());
+        assert_eq!(
+            run(&p, NullSink).unwrap_err(),
+            RuntimeError::UnknownFunction("no_such_fn".to_string())
+        );
     }
 }

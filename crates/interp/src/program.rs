@@ -1,6 +1,8 @@
-//! Executable program: a verified module plus precomputed memory layout and
-//! symbol table.
+//! Executable program: a verified module plus precomputed memory layout,
+//! symbol table, and the pre-decoded instruction streams the interpreter
+//! executes (see [`crate::code`]).
 
+use crate::code::{DecodeCtx, FuncCode};
 use mir::{Module, Ty};
 
 /// Machine word size in bytes; every IR cell is one word.
@@ -36,9 +38,9 @@ pub struct Program {
     pub(crate) local_off: Vec<Vec<u64>>,
     /// Per-function frame size in words.
     pub(crate) frame_words: Vec<usize>,
-    /// Static memory-operation ids: `op_ids[func][block][pc]`, `u32::MAX`
-    /// for non-memory instructions.
-    pub(crate) op_ids: Vec<Vec<Vec<u32>>>,
+    /// Per-function pre-decoded instruction streams (the tentpole of the
+    /// flattened hot path); built once here, executed by [`crate::machine`].
+    pub(crate) code: Vec<FuncCode>,
     /// Total number of static memory operations.
     num_mem_ops: u32,
 }
@@ -85,24 +87,20 @@ impl Program {
             frame_words.push(off as usize);
         }
 
-        let mut op_ids = Vec::new();
-        let mut next_op = 0u32;
-        for f in &module.functions {
-            let mut per_block = Vec::new();
-            for b in &f.blocks {
-                let mut ids = Vec::with_capacity(b.instrs.len());
-                for i in &b.instrs {
-                    if i.is_memory_op() {
-                        ids.push(next_op);
-                        next_op += 1;
-                    } else {
-                        ids.push(u32::MAX);
-                    }
-                }
-                per_block.push(ids);
-            }
-            op_ids.push(per_block);
-        }
+        // Decode pass: lower every function into its flat instruction
+        // stream, assigning static memory-op ids in program order.
+        let mut ctx = DecodeCtx::new(
+            &module,
+            &global_addr,
+            &global_syms,
+            &local_off,
+            &local_syms,
+            &frame_words,
+        );
+        let code: Vec<FuncCode> = (0..module.functions.len())
+            .map(|fx| ctx.decode_function(fx))
+            .collect();
+        let num_mem_ops = ctx.next_op;
 
         Program {
             module,
@@ -113,9 +111,29 @@ impl Program {
             global_words,
             local_off,
             frame_words,
-            op_ids,
-            num_mem_ops: next_op,
+            code,
+            num_mem_ops,
         }
+    }
+
+    /// The pre-decoded instruction streams, one [`FuncCode`] per function.
+    pub fn code(&self) -> &[FuncCode] {
+        &self.code
+    }
+
+    /// Total decoded ops across all functions (instructions + flattened
+    /// terminators) — the size of the flat execution form.
+    pub fn num_decoded_ops(&self) -> usize {
+        self.code.iter().map(|c| c.ops.len()).sum()
+    }
+
+    /// Static address-footprint upper bound in words: the global segment
+    /// plus one frame of every function. Engine auto-selection uses this to
+    /// choose between the exact shadow memory and the bounded signature
+    /// (recursion can exceed it dynamically; it is a sizing heuristic, not
+    /// a guarantee).
+    pub fn footprint_words(&self) -> usize {
+        self.global_words + self.frame_words.iter().sum::<usize>()
     }
 
     /// Total number of static memory operations (loads + stores) in the

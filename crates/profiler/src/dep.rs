@@ -93,16 +93,121 @@ impl Dep {
     }
 }
 
+/// A [`Dep`] packed losslessly into two `u64`s — the hot hashing key of
+/// [`DepSet`].
+///
+/// The unpacked `Dep` is 40 bytes and its derived `Hash` feeds every field
+/// through the hasher separately; the packed key is 16 bytes and hashes as
+/// two words. Field budgets (checked by [`DepKey::pack`], which returns
+/// `None` when exceeded so the caller can fall back to the wide
+/// representation):
+///
+/// | field          | bits | limit                      |
+/// |----------------|-----:|----------------------------|
+/// | sink line      |   24 | < 2^24                     |
+/// | source line    |   24 | < 2^24                     |
+/// | sink thread    |   12 | < 4096                     |
+/// | source thread  |   12 | < 4096                     |
+/// | variable       |   24 | < 2^24 − 1 (`u32::MAX` maps to the all-ones sentinel) |
+/// | carried func   |   14 | < 2^14                     |
+/// | carried region |   14 | < 2^14                     |
+/// | type/race/carried flag | 4 |                       |
+///
+/// File ids must be 1 (the single-module invariant of [`SrcLoc::new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct DepKey(u64, u64);
+
+/// 24-bit variable sentinel standing in for `u32::MAX` ("no variable").
+const VAR_STAR: u64 = (1 << 24) - 1;
+
+impl DepKey {
+    /// Pack a dependence, or `None` if any field exceeds its bit budget.
+    pub fn pack(d: &Dep) -> Option<DepKey> {
+        let var = if d.var == u32::MAX {
+            VAR_STAR
+        } else if (d.var as u64) < VAR_STAR {
+            d.var as u64
+        } else {
+            return None;
+        };
+        let (carried, cf, cr) = match d.carried_by {
+            None => (0u64, 0u64, 0u64),
+            Some((f, r)) if f < (1 << 14) && r < (1 << 14) => (1, f as u64, r as u64),
+            Some(_) => return None,
+        };
+        if d.sink.file != 1
+            || d.source.file != 1
+            || d.sink.line >= (1 << 24)
+            || d.source.line >= (1 << 24)
+            || d.sink_thread >= (1 << 12)
+            || d.source_thread >= (1 << 12)
+        {
+            return None;
+        }
+        let ty = match d.ty {
+            DepType::Raw => 0u64,
+            DepType::War => 1,
+            DepType::Waw => 2,
+            DepType::Init => 3,
+        };
+        let w0 = d.sink.line as u64
+            | (d.source.line as u64) << 24
+            | (d.sink_thread as u64) << 48
+            | ty << 60
+            | (d.race_hint as u64) << 62
+            | carried << 63;
+        let w1 = var | (d.source_thread as u64) << 24 | cf << 36 | cr << 50;
+        Some(DepKey(w0, w1))
+    }
+
+    /// Reconstruct the dependence. Exact inverse of [`DepKey::pack`].
+    pub fn unpack(self) -> Dep {
+        let DepKey(w0, w1) = self;
+        let var24 = w1 & VAR_STAR;
+        Dep {
+            sink: SrcLoc::new((w0 & 0xFF_FFFF) as u32),
+            ty: match (w0 >> 60) & 3 {
+                0 => DepType::Raw,
+                1 => DepType::War,
+                2 => DepType::Waw,
+                _ => DepType::Init,
+            },
+            source: SrcLoc::new((w0 >> 24 & 0xFF_FFFF) as u32),
+            var: if var24 == VAR_STAR {
+                u32::MAX
+            } else {
+                var24 as u32
+            },
+            sink_thread: (w0 >> 48 & 0xFFF) as u32,
+            source_thread: (w1 >> 24 & 0xFFF) as u32,
+            carried_by: if w0 >> 63 == 1 {
+                Some(((w1 >> 36 & 0x3FFF) as u32, (w1 >> 50 & 0x3FFF) as u32))
+            } else {
+                None
+            },
+            race_hint: w0 >> 62 & 1 == 1,
+        }
+    }
+}
+
 /// The merged dependence store: one entry per distinct dependence with an
 /// occurrence count.
 ///
-/// Keyed with the in-repo [`fxhash`] hasher: the map is probed once per
-/// profiled access that builds a dependence, so hashing cost is directly on
-/// the profiling hot path.
+/// Keyed with the in-repo [`fxhash`] hasher over the packed 16-byte
+/// [`DepKey`] (vs the 40-byte unpacked [`Dep`]): the map is probed once per
+/// profiled access that builds a dependence, so key size and hashing cost
+/// are directly on the profiling hot path. Dependences whose fields exceed
+/// the packed bit budgets — possible only for synthetic inputs, never for
+/// profiler-built dependences on realistic modules — fall back to a wide
+/// map keyed by the full `Dep`, preserving exactness.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct DepSet {
-    map: FxHashMap<Dep, u64>,
-    /// Dependences *found* (before merging); `map.len()` is after merging.
+    map: FxHashMap<DepKey, u64>,
+    /// Fallback for dependences that do not fit [`DepKey`]; almost always
+    /// empty.
+    wide: FxHashMap<Dep, u64>,
+    /// Dependences *found* (before merging); [`DepSet::len`] is after
+    /// merging.
     pub total_found: u64,
 }
 
@@ -116,6 +221,7 @@ impl DepSet {
     pub fn with_capacity(cap: usize) -> Self {
         DepSet {
             map: fxhash::map_with_capacity(cap),
+            wide: FxHashMap::default(),
             total_found: 0,
         }
     }
@@ -123,7 +229,10 @@ impl DepSet {
     /// Record one occurrence of `dep`, merging with identical entries.
     pub fn insert(&mut self, dep: Dep) {
         self.total_found += 1;
-        *self.map.entry(dep).or_insert(0) += 1;
+        match DepKey::pack(&dep) {
+            Some(k) => *self.map.entry(k).or_insert(0) += 1,
+            None => *self.wide.entry(dep).or_insert(0) += 1,
+        }
     }
 
     /// Merge another set into this one (used when joining parallel workers).
@@ -132,69 +241,83 @@ impl DepSet {
     pub fn merge(&mut self, other: DepSet) {
         self.total_found += other.total_found;
         self.map.reserve(other.map.len());
-        for (d, c) in other.map {
-            *self.map.entry(d).or_insert(0) += c;
+        for (k, c) in other.map {
+            *self.map.entry(k).or_insert(0) += c;
+        }
+        for (d, c) in other.wide {
+            *self.wide.entry(d).or_insert(0) += c;
         }
     }
 
     /// Number of distinct (merged) dependences.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.map.len() + self.wide.len()
     }
 
     /// True if no dependence was recorded.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.map.is_empty() && self.wide.is_empty()
     }
 
-    /// Iterate over `(dep, count)`.
-    pub fn iter(&self) -> impl Iterator<Item = (&Dep, u64)> {
-        self.map.iter().map(|(d, c)| (d, *c))
+    /// Iterate over `(dep, count)`, unpacking keys on the fly.
+    pub fn iter(&self) -> impl Iterator<Item = (Dep, u64)> + '_ {
+        self.map
+            .iter()
+            .map(|(k, c)| (k.unpack(), *c))
+            .chain(self.wide.iter().map(|(d, c)| (*d, *c)))
     }
 
     /// All distinct dependences, totally ordered for deterministic output.
     pub fn sorted(&self) -> Vec<Dep> {
-        let mut v: Vec<Dep> = self.map.keys().copied().collect();
+        let mut v: Vec<Dep> = self.iter().map(|(d, _)| d).collect();
         v.sort_unstable();
         v
     }
 
     /// Occurrence count of a dependence, 0 if absent.
     pub fn count(&self, dep: &Dep) -> u64 {
-        self.map.get(dep).copied().unwrap_or(0)
+        match DepKey::pack(dep) {
+            Some(k) => self.map.get(&k).copied().unwrap_or(0),
+            None => self.wide.get(dep).copied().unwrap_or(0),
+        }
     }
 
     /// Does an identical dependence exist?
     pub fn contains(&self, dep: &Dep) -> bool {
-        self.map.contains_key(dep)
+        match DepKey::pack(dep) {
+            Some(k) => self.map.contains_key(&k),
+            None => self.wide.contains_key(dep),
+        }
     }
 
     /// All RAW dependences carried by the given loop.
     pub fn carried_raws(&self, loop_key: LoopKey) -> Vec<Dep> {
-        self.map
-            .keys()
+        self.iter()
+            .map(|(d, _)| d)
             .filter(|d| d.ty == DepType::Raw && d.carried_by == Some(loop_key))
-            .copied()
             .collect()
     }
 
     /// All dependences whose sink line lies in `[start, end]`.
     pub fn in_lines(&self, start: u32, end: u32) -> Vec<Dep> {
-        self.map
-            .keys()
+        self.iter()
+            .map(|(d, _)| d)
             .filter(|d| d.sink.line >= start && d.sink.line <= end)
-            .copied()
             .collect()
     }
 
     /// Dependences with race hints.
     pub fn race_hints(&self) -> Vec<Dep> {
-        self.map.keys().filter(|d| d.race_hint).copied().collect()
+        self.iter()
+            .map(|(d, _)| d)
+            .filter(|d| d.race_hint)
+            .collect()
     }
 
     /// Estimated bytes held by the merged store.
     pub fn bytes(&self) -> usize {
-        self.map.capacity() * (std::mem::size_of::<(Dep, u64)>() + 8)
+        self.map.capacity() * (std::mem::size_of::<(DepKey, u64)>() + 8)
+            + self.wide.capacity() * (std::mem::size_of::<(Dep, u64)>() + 8)
     }
 
     /// Compare against a baseline (perfect-signature) set, returning
@@ -202,11 +325,14 @@ impl DepSet {
     /// dependences — the metric of Table 2.6. INIT entries are excluded;
     /// they are bookkeeping, not dependences.
     pub fn accuracy_vs(&self, baseline: &DepSet) -> (f64, f64) {
-        let ours: std::collections::HashSet<&Dep> =
-            self.map.keys().filter(|d| d.ty != DepType::Init).collect();
-        let truth: std::collections::HashSet<&Dep> = baseline
-            .map
-            .keys()
+        let ours: std::collections::HashSet<Dep> = self
+            .iter()
+            .map(|(d, _)| d)
+            .filter(|d| d.ty != DepType::Init)
+            .collect();
+        let truth: std::collections::HashSet<Dep> = baseline
+            .iter()
+            .map(|(d, _)| d)
             .filter(|d| d.ty != DepType::Init)
             .collect();
         let fp = ours.difference(&truth).count();
@@ -251,8 +377,8 @@ pub fn render_text(
     // Group by (sink, sink_thread), pre-sized for the worst case of one
     // sink per dependence.
     let mut by_sink: FxHashMap<(SrcLoc, u32), Vec<Dep>> = fxhash::map_with_capacity(deps.len());
-    for d in deps.map.keys() {
-        by_sink.entry((d.sink, d.sink_thread)).or_default().push(*d);
+    for (d, _) in deps.iter() {
+        by_sink.entry((d.sink, d.sink_thread)).or_default().push(d);
     }
     let mut keys: Vec<(SrcLoc, u32)> = by_sink.keys().copied().collect();
     keys.sort();
@@ -411,6 +537,88 @@ mod tests {
         s.insert(d);
         let text = render_text(&s, &|_| "iter".to_string(), &[], true);
         assert!(text.contains("1:58|2 NOM {WAR 1:77|2|iter}"), "{text}");
+    }
+
+    #[test]
+    fn depkey_roundtrips_losslessly() {
+        // Every in-budget field combination must survive pack → unpack
+        // exactly, including the `u32::MAX` variable sentinel and the
+        // carried-by option.
+        let mut samples = Vec::new();
+        for ty in [DepType::Raw, DepType::War, DepType::Waw, DepType::Init] {
+            for var in [0u32, 7, (1 << 24) - 2, u32::MAX] {
+                for carried in [None, Some((0u32, 0u32)), Some(((1 << 14) - 1, 3))] {
+                    for race in [false, true] {
+                        samples.push(Dep {
+                            sink: SrcLoc::new(123),
+                            ty,
+                            source: SrcLoc::new((1 << 24) - 1),
+                            var,
+                            sink_thread: 4095,
+                            source_thread: 17,
+                            carried_by: carried,
+                            race_hint: race,
+                        });
+                    }
+                }
+            }
+        }
+        for d in samples {
+            let k = DepKey::pack(&d).expect("in-budget dep must pack");
+            assert_eq!(k.unpack(), d, "round-trip mismatch for {d:?}");
+        }
+    }
+
+    #[test]
+    fn depkey_rejects_out_of_budget_fields() {
+        let base = dep(3, DepType::Raw, 2, 0);
+        for wide in [
+            Dep {
+                sink: SrcLoc::new(1 << 24),
+                ..base
+            },
+            Dep {
+                sink_thread: 1 << 12,
+                ..base
+            },
+            Dep {
+                var: u32::MAX - 1,
+                ..base
+            },
+            Dep {
+                carried_by: Some((1 << 14, 0)),
+                ..base
+            },
+            Dep {
+                sink: SrcLoc { file: 2, line: 3 },
+                ..base
+            },
+        ] {
+            assert!(DepKey::pack(&wide).is_none(), "{wide:?} must not pack");
+        }
+    }
+
+    #[test]
+    fn wide_deps_fall_back_without_loss() {
+        // A dependence that exceeds the packed budgets must still merge,
+        // count, and render exactly like a packable one.
+        let wide = Dep {
+            sink: SrcLoc::new(1 << 25),
+            ..dep(0, DepType::Raw, 2, 0)
+        };
+        let mut s = DepSet::new();
+        s.insert(wide);
+        s.insert(wide);
+        s.insert(dep(3, DepType::Raw, 2, 0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.count(&wide), 2);
+        assert!(s.contains(&wide));
+        assert_eq!(s.total_found, 3);
+        let mut other = DepSet::new();
+        other.insert(wide);
+        s.merge(other);
+        assert_eq!(s.count(&wide), 3);
+        assert!(s.sorted().contains(&wide));
     }
 
     #[test]

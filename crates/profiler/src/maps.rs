@@ -86,10 +86,28 @@ pub trait AccessMap {
     fn bytes(&self) -> usize;
 }
 
+/// Slots per lazily-allocated signature page (40 KiB of `Option<Cell>`s):
+/// coarse enough that the spine stays tiny, fine enough that sparse
+/// workloads touch only a few pages.
+const SIG_PAGE: usize = 1 << 10;
+
 /// Fixed-size, hash-indexed signature with no collision resolution.
+///
+/// Slot storage is paged and zeroed lazily: a fresh map allocates only the
+/// page spine (`slots / 1024` pointers), and a page is allocated-and-zeroed
+/// on the first `set` that lands in it. This removes the startup cliff of
+/// the previous flat `Vec` — ~10 MB of up-front zeroing per map at the
+/// default 2^18 slots, paid twice per profiling run (read + write maps) —
+/// which dominated profiled time on small workloads. Slot indexing is
+/// unchanged (`hash_addr` over the same slot count), so dependence output
+/// is bit-for-bit identical to the flat layout.
 #[derive(Debug, Clone)]
 pub struct SignatureMap {
-    slots: Vec<Option<Cell>>,
+    /// Lazily allocated pages of `SIG_PAGE` slots each; `None` = never
+    /// written, all slots empty.
+    pages: Vec<Option<Box<[Option<Cell>]>>>,
+    /// Logical slot count (the hash modulus).
+    slots: usize,
 }
 
 #[inline]
@@ -104,45 +122,65 @@ fn hash_addr(addr: u64, len: usize) -> usize {
 }
 
 impl SignatureMap {
-    /// A signature with `slots` slots (the paper evaluates 1e6–1e8).
+    /// A signature with `slots` slots (the paper evaluates 1e6–1e8). Costs
+    /// one spine allocation; no slot memory is touched until first use.
     pub fn new(slots: usize) -> Self {
+        let slots = slots.max(1);
         SignatureMap {
-            slots: vec![None; slots.max(1)],
+            pages: vec![None; slots.div_ceil(SIG_PAGE)],
+            slots,
         }
     }
 
     /// Number of slots.
     pub fn num_slots(&self) -> usize {
-        self.slots.len()
+        self.slots
     }
 
     /// Occupied slots (for fill-factor diagnostics).
     pub fn occupied(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.pages
+            .iter()
+            .flatten()
+            .map(|p| p.iter().filter(|s| s.is_some()).count())
+            .sum()
+    }
+
+    /// Write slot `i`, allocating its page on first touch.
+    #[inline]
+    fn slot_mut(&mut self, i: usize) -> &mut Option<Cell> {
+        let page =
+            self.pages[i / SIG_PAGE].get_or_insert_with(|| vec![None; SIG_PAGE].into_boxed_slice());
+        &mut page[i % SIG_PAGE]
     }
 }
 
 impl AccessMap for SignatureMap {
     #[inline]
     fn get(&self, addr: u64) -> Option<Cell> {
-        self.slots[hash_addr(addr, self.slots.len())]
+        let i = hash_addr(addr, self.slots);
+        self.pages[i / SIG_PAGE].as_ref()?[i % SIG_PAGE]
     }
 
     #[inline]
     fn set(&mut self, addr: u64, cell: Cell) {
-        let i = hash_addr(addr, self.slots.len());
-        self.slots[i] = Some(cell);
+        let i = hash_addr(addr, self.slots);
+        *self.slot_mut(i) = Some(cell);
     }
 
     fn clear_range(&mut self, addr: u64, words: u64) {
         for w in 0..words {
-            let i = hash_addr(addr + w * 8, self.slots.len());
-            self.slots[i] = None;
+            let i = hash_addr(addr + w * 8, self.slots);
+            // Clearing an unallocated page is a no-op; don't allocate it.
+            if let Some(page) = self.pages[i / SIG_PAGE].as_mut() {
+                page[i % SIG_PAGE] = None;
+            }
         }
     }
 
     fn bytes(&self) -> usize {
-        self.slots.capacity() * std::mem::size_of::<Option<Cell>>()
+        self.pages.capacity() * std::mem::size_of::<Option<Box<[Option<Cell>]>>>()
+            + self.pages.iter().flatten().count() * SIG_PAGE * std::mem::size_of::<Option<Cell>>()
     }
 }
 
@@ -372,6 +410,70 @@ mod tests {
         s.set(0x1000, cell(1));
         s.set(0x2000, cell(2));
         assert_eq!(s.get(0x1000).unwrap().op, 2, "collision overwrites");
+    }
+
+    #[test]
+    fn fresh_signature_allocates_no_pages() {
+        let s = SignatureMap::new(1 << 18);
+        assert_eq!(s.pages.iter().flatten().count(), 0, "no page on creation");
+        // The spine is the only cost: pointers, not slots.
+        assert!(s.bytes() < (1 << 18) / SIG_PAGE * 64, "spine only");
+        assert_eq!(s.num_slots(), 1 << 18);
+        assert_eq!(s.occupied(), 0);
+        assert!(s.get(0x1000).is_none(), "reads never allocate");
+        let mut s = s;
+        s.clear_range(0x1000, 64);
+        assert_eq!(s.pages.iter().flatten().count(), 0, "clears never allocate");
+        s.set(0x1000, cell(1));
+        assert_eq!(s.pages.iter().flatten().count(), 1, "first write: one page");
+    }
+
+    #[test]
+    fn paged_signature_matches_dense_reference() {
+        // Differential test: the lazily-paged layout must behave exactly
+        // like the flat slot vector it replaced.
+        struct Dense(Vec<Option<Cell>>);
+        impl Dense {
+            fn idx(&self, addr: u64) -> usize {
+                hash_addr(addr, self.0.len())
+            }
+        }
+        let slots = 1 << 12;
+        let mut paged = SignatureMap::new(slots);
+        let mut dense = Dense(vec![None; slots]);
+        let mut rng = 0xfeed_u64;
+        let mut next = move || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for i in 0..30_000u32 {
+            let r = next();
+            let addr = (r >> 8) % (1 << 20) * 8;
+            match r % 8 {
+                0 => {
+                    let words = r >> 40 & 0x1F;
+                    paged.clear_range(addr, words);
+                    for w in 0..words {
+                        let i = dense.idx(addr + w * 8);
+                        dense.0[i] = None;
+                    }
+                }
+                1..=3 => {
+                    assert_eq!(paged.get(addr), dense.0[dense.idx(addr)], "get @ {i}");
+                }
+                _ => {
+                    paged.set(addr, cell(i));
+                    let di = dense.idx(addr);
+                    dense.0[di] = Some(cell(i));
+                }
+            }
+        }
+        assert_eq!(
+            paged.occupied(),
+            dense.0.iter().filter(|s| s.is_some()).count()
+        );
     }
 
     #[test]

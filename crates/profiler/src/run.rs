@@ -93,6 +93,32 @@ impl EngineKind {
         (Self::PARALLEL_TOTAL_SLOTS / workers.max(1)).max(Self::PARALLEL_MIN_WORKER_SLOTS)
     }
 
+    /// Address-footprint threshold (in words) for [`EngineKind::auto_for`]:
+    /// up to this bound the exact shadow memory is both faster and smaller
+    /// than a signature; beyond it the signature's bounded memory wins.
+    pub const AUTO_PERFECT_MAX_WORDS: usize = 1 << 18;
+
+    /// Signature slots selected by [`EngineKind::auto_for`] for large
+    /// footprints.
+    pub const AUTO_SIGNATURE_SLOTS: usize = 1 << 18;
+
+    /// Pick an engine from the program's static address footprint: the
+    /// exact page-table shadow for small address sets,
+    /// `serial-signature` beyond [`EngineKind::AUTO_PERFECT_MAX_WORDS`]
+    /// words (globals + one frame per function — a static proxy for the
+    /// touched address space). This is the `discopop` CLI's default engine,
+    /// so the out-of-the-box configuration is exact where exactness is
+    /// cheap and bounded where it is not.
+    pub fn auto_for(prog: &Program) -> EngineKind {
+        if prog.footprint_words() <= Self::AUTO_PERFECT_MAX_WORDS {
+            EngineKind::SerialPerfect
+        } else {
+            EngineKind::SerialSignature {
+                slots: Self::AUTO_SIGNATURE_SLOTS,
+            }
+        }
+    }
+
     /// The signature engine with `slots` slots.
     pub fn signature(slots: usize) -> Self {
         EngineKind::SerialSignature { slots }
@@ -389,6 +415,39 @@ mod tests {
                 "{engine}"
             );
         }
+    }
+
+    #[test]
+    fn auto_selects_perfect_for_small_footprints() {
+        let small = program("global int a[64];\nfn main() { a[0] = 1; }");
+        assert_eq!(EngineKind::auto_for(&small), EngineKind::SerialPerfect);
+        assert!(small.footprint_words() <= EngineKind::AUTO_PERFECT_MAX_WORDS);
+    }
+
+    #[test]
+    fn auto_selects_signature_beyond_threshold() {
+        // Two 200k-element globals push the static footprint past the
+        // perfect-map threshold.
+        let big = program(
+            "global int a[200000];\nglobal int b[200000];\nfn main() { a[0] = 1; b[0] = a[0]; }",
+        );
+        assert!(big.footprint_words() > EngineKind::AUTO_PERFECT_MAX_WORDS);
+        assert_eq!(
+            EngineKind::auto_for(&big),
+            EngineKind::SerialSignature {
+                slots: EngineKind::AUTO_SIGNATURE_SLOTS
+            }
+        );
+        // The selected engine actually profiles the program.
+        let out = profile_program_with(
+            &big,
+            &ProfileConfig {
+                engine: EngineKind::auto_for(&big),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!out.deps.is_empty());
     }
 
     #[test]

@@ -33,9 +33,11 @@ fn main() {
     let mut analysis = Analysis::new()
         .engine(EngineKind::SerialPerfect)
         .on_progress(|ev| match ev {
-            StageEvent::Compiled { name, functions } => {
-                eprintln!("compiled `{name}` ({functions} functions)")
-            }
+            StageEvent::Compiled {
+                name,
+                functions,
+                decoded_ops,
+            } => eprintln!("compiled `{name}` ({functions} functions, {decoded_ops} decoded ops)"),
             StageEvent::Profiled {
                 engine,
                 steps,

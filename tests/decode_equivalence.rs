@@ -1,0 +1,160 @@
+//! Decode-equivalence suite for the pre-decoded interpreter.
+//!
+//! `Program::new` lowers the tree-shaped MIR into a flat instruction stream
+//! and `interp::machine` executes it; `interp::reference` keeps the original
+//! tree-walking loop (per-step frame/block/pc resolution, name-map calls).
+//! The decode is pure lowering, so the two interpreters must produce
+//! **byte-identical event streams** — not merely identical dependence sets —
+//! on every workload, configuration, and delivery mode.
+
+use interp::{Program, RecordingSink, RunConfig};
+
+fn programs() -> Vec<(&'static str, Program)> {
+    let multithreaded = "global int counter;
+global int a[64];
+fn w(int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        lock(1);
+        counter = counter + 1;
+        unlock(1);
+        a[i % 64] = a[i % 64] + i;
+    }
+}
+fn main() {
+    int t1 = spawn(w, 40);
+    int t2 = spawn(w, 40);
+    join(t1);
+    join(t2);
+}";
+    vec![
+        ("MG", workloads::by_name("MG").unwrap().program().unwrap()),
+        (
+            "matmul",
+            workloads::by_name("matmul").unwrap().program().unwrap(),
+        ),
+        (
+            "multithreaded",
+            Program::new(lang::compile(multithreaded, "mt").unwrap()),
+        ),
+    ]
+}
+
+fn record(p: &Program, cfg: RunConfig) -> (interp::RunResult, Vec<interp::Event>) {
+    let mut sink = RecordingSink::default();
+    let r = interp::run_with_config(p, &mut sink, cfg).unwrap();
+    (r, sink.events)
+}
+
+fn record_reference(p: &Program, cfg: RunConfig) -> (interp::RunResult, Vec<interp::Event>) {
+    let mut sink = RecordingSink::default();
+    let r = interp::reference::run_with_config(p, &mut sink, cfg).unwrap();
+    (r, sink.events)
+}
+
+#[test]
+fn decoded_event_stream_identical_to_reference() {
+    for (name, p) in programs() {
+        let (nr, nev) = record(&p, RunConfig::default());
+        let (rr, rev) = record_reference(&p, RunConfig::default());
+        assert_eq!(nev.len(), rev.len(), "{name}: stream lengths differ");
+        if let Some(i) = (0..nev.len()).find(|&i| nev[i] != rev[i]) {
+            panic!(
+                "{name}: first divergence at event {i}:\n  decoded:   {:?}\n  reference: {:?}",
+                nev[i], rev[i]
+            );
+        }
+        assert_eq!(nr.ret, rr.ret, "{name}: return values differ");
+        assert_eq!(nr.steps, rr.steps, "{name}: step counts differ");
+        assert_eq!(nr.threads, rr.threads, "{name}: thread counts differ");
+        assert_eq!(nr.printed, rr.printed, "{name}: printed output differs");
+        assert!(!nev.is_empty(), "{name}: empty stream proves nothing");
+    }
+}
+
+#[test]
+fn decoded_stream_identical_under_racy_delivery() {
+    // Racy mode reorders delivery across threads at synchronization points;
+    // the decoded loop must reproduce the exact same (reordered) stream.
+    for (name, p) in programs() {
+        let cfg = || RunConfig {
+            racy_delivery: true,
+            buffer_cap: 8,
+            ..Default::default()
+        };
+        let (_, nev) = record(&p, cfg());
+        let (_, rev) = record_reference(&p, cfg());
+        assert_eq!(nev, rev, "{name}: racy-mode streams differ");
+    }
+}
+
+#[test]
+fn decoded_stream_identical_across_batch_caps_and_seeds() {
+    let (_, p) = programs().pop().unwrap(); // the multithreaded workload
+    for seed in [1u64, 0x5eed, u64::MAX / 3] {
+        for batch_cap in [0usize, 7, 256] {
+            let cfg = || RunConfig {
+                seed,
+                batch_cap,
+                ..Default::default()
+            };
+            let (_, nev) = record(&p, cfg());
+            let (_, rev) = record_reference(&p, cfg());
+            assert_eq!(nev, rev, "seed {seed} batch_cap {batch_cap}");
+        }
+    }
+}
+
+#[test]
+fn duplicate_function_names_bind_identically() {
+    // Unverified hand-built modules may contain duplicate function names;
+    // both interpreters must bind calls the same way (last definition
+    // wins, the insert-overwrite semantics of the original name map).
+    use mir::{FunctionBuilder, ModuleBuilder, Terminator, Ty, Value};
+    let mut mb = ModuleBuilder::new("dup");
+    for ret in [7i64, 42] {
+        let mut fb = FunctionBuilder::new("pick", Some(Ty::I64), 1);
+        fb.terminate(Terminator::Return(Some(Value::I64(ret).into())));
+        mb.add_function(fb.build(1));
+    }
+    let mut fb = FunctionBuilder::new("main", Some(Ty::I64), 2);
+    let dst = fb.call("pick", vec![], true, 2).unwrap();
+    fb.terminate(Terminator::Return(Some(dst.into())));
+    mb.add_function(fb.build(2));
+    let p = Program::new(mb.build());
+    let (nr, nev) = record(&p, RunConfig::default());
+    let (rr, rev) = record_reference(&p, RunConfig::default());
+    assert_eq!(nr.ret, rr.ret, "call bound to different definitions");
+    assert_eq!(nr.ret, Some(mir::Value::I64(42)), "last definition wins");
+    assert_eq!(nev, rev);
+}
+
+#[test]
+fn unreachable_terminator_is_lazy() {
+    // A dead block with no terminator (defaults to Unreachable) must not
+    // fail at Program::new — only if it executes, like the tree walker.
+    use mir::{FunctionBuilder, ModuleBuilder, Terminator};
+    let mut mb = ModuleBuilder::new("dead");
+    let mut fb = FunctionBuilder::new("main", None, 1);
+    let dead = fb.new_block(); // never targeted, terminator stays Unreachable
+    let _ = dead;
+    fb.terminate(Terminator::Return(None));
+    mb.add_function(fb.build(1));
+    let p = Program::new(mb.build()); // must not panic
+    let (_, nev) = record(&p, RunConfig::default());
+    let (_, rev) = record_reference(&p, RunConfig::default());
+    assert_eq!(nev, rev);
+}
+
+#[test]
+fn decoded_errors_match_reference() {
+    for src in [
+        "fn main() -> int { int z = 0; return 4 / z; }",
+        "global int a[4]; fn main() { int i = 9; a[i] = 1; }",
+        "fn main() { lock(1); int t = spawn(h, 0); join(t); }\nfn h(int x) { lock(1); }",
+    ] {
+        let p = Program::new(lang::compile(src, "err").unwrap());
+        let new = interp::run_with_config(&p, interp::NullSink, RunConfig::default());
+        let old = interp::reference::run_with_config(&p, interp::NullSink, RunConfig::default());
+        assert_eq!(new.unwrap_err(), old.unwrap_err(), "{src}");
+    }
+}
