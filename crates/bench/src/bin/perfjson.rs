@@ -13,6 +13,11 @@
 //! - `slowdown_vs_native`: profiled time / uninstrumented time — the
 //!   headline number of the source paper's evaluation (Fig. 2.10).
 //! - `peak_map_bytes`: the profiler's reported memory footprint.
+//! - parallel rows additionally report the adaptive transport's statistics
+//!   (`chunks`, `combined`, `rebalances`, `merges`, `queue_stalls`,
+//!   `spawned_workers`), so the crossover behaviour — when the engine
+//!   stays inline vs when it ships to workers — is visible in the
+//!   baseline.
 //!
 //! Usage: `cargo run --release -p bench --bin perfjson [reps] [--only NAME]`.
 //!
@@ -21,9 +26,10 @@
 //! that keeps the bench path building and running on every push without
 //! gating on timing.
 
-use bench::time_median;
 use interp::{Program, RunConfig};
-use profiler::{EngineConfig, EngineKind, HashShadowMap, ProfileConfig, SerialProfiler};
+use profiler::{
+    EngineConfig, EngineKind, HashShadowMap, ParallelStats, ProfileConfig, SerialProfiler,
+};
 use std::fmt::Write as _;
 
 /// A loop nest big enough (~5M dynamic accesses) that per-run setup cost is
@@ -50,6 +56,8 @@ struct Row {
     peak_map_bytes: usize,
     native_secs: f64,
     profiled_secs: f64,
+    /// Transport statistics of the last rep, parallel engines only.
+    parallel: Option<ParallelStats>,
 }
 
 fn main() {
@@ -81,9 +89,6 @@ fn main() {
 
     for (name, p) in &programs {
         let (name, p) = (*name, p);
-        let native = time_median(reps, || {
-            interp::run_with_config(p, interp::NullSink, RunConfig::default()).expect("runs");
-        });
         // One untimed reference run: supplies the dynamic access count
         // (stable across engines) and the dependence set the seed baseline
         // is checked against below.
@@ -91,42 +96,42 @@ fn main() {
         let accesses = reference.skip_stats.total_accesses;
 
         // Engine selection goes through `EngineKind` — the same selector
-        // the facade and the CLI use.
-        let engine = |kind: EngineKind| {
+        // the facade and the CLI use. All engine timings for a workload
+        // are interleaved rep-by-rep (`time_interleaved`), so slow drift
+        // of the host (throttling, cache pressure) spreads evenly instead
+        // of penalizing whichever engine happens to be measured last.
+        let mk_engine = |kind: EngineKind| {
             let cfg = ProfileConfig {
                 engine: kind,
                 ..Default::default()
             };
             let mut bytes = 0usize;
-            let secs = time_median(reps, || {
-                let out = profiler::profile_program_with(p, &cfg).expect("profiles");
-                bytes = out.profiler_bytes;
-            });
-            (secs, bytes)
+            let mut stats: Option<ParallelStats> = None;
+            move |probe: bool| -> (usize, Option<ParallelStats>) {
+                if !probe {
+                    let out = profiler::profile_program_with(p, &cfg).expect("profiles");
+                    bytes = out.profiler_bytes;
+                    stats = out.parallel.clone();
+                }
+                (bytes, stats.clone())
+            }
         };
-
-        let (t, bytes) = engine(EngineKind::SerialPerfect);
-        rows.push(row(name, "serial_perfect", accesses, t, native, bytes));
-
-        // The seed implementation (pre-overhaul hot path), reconstructed in
-        // `bench::seed_baseline` — the "before" every number above is
+        let mut perfect = mk_engine(EngineKind::SerialPerfect);
+        let mut signature = mk_engine(EngineKind::signature(1 << 18));
+        let mut par2 = mk_engine(EngineKind::parallel(2));
+        let mut par8 = mk_engine(EngineKind::parallel(8));
+        // The seed implementation (pre-overhaul hot path), reconstructed
+        // in `bench::seed_baseline` — the "before" every number above is
         // measured against. Only the profiling run is timed; the DepSet
         // conversion for the equality check happens outside the clock.
         let mut seed = None;
-        let t = time_median(reps, || {
+        let mut seed_run = || {
             seed = Some(bench::seed_baseline::run_seed(p).expect("profiles"));
-        });
-        assert_eq!(
-            seed.unwrap().into_depset().sorted(),
-            reference.deps.sorted(),
-            "seed baseline and current engine disagree on {name}"
-        );
-        rows.push(row(name, "serial_seed_baseline", accesses, t, native, 0));
-
-        // The legacy hash shadow map behind today's pipeline, isolating the
-        // page-table win from the other overhaul gains.
-        let mut bytes = 0usize;
-        let t = time_median(reps, || {
+        };
+        // The legacy hash shadow map behind today's pipeline, isolating
+        // the page-table win from the other overhaul gains.
+        let mut hashmap_bytes = 0usize;
+        let mut hashmap_run = || {
             let mut prof = SerialProfiler::with_maps(
                 HashShadowMap::new(),
                 HashShadowMap::new(),
@@ -136,22 +141,98 @@ fn main() {
             );
             let r = interp::run_with_config(p, &mut prof, RunConfig::default()).expect("runs");
             let (_, _, _, b) = prof.finish(r.steps);
-            bytes = b;
-        });
+            hashmap_bytes = b;
+        };
+
+        let times = {
+            // The native (uninstrumented) run is a candidate like any
+            // other, so the slowdown ratios divide two numbers produced by
+            // the same estimator (interleaved minimum).
+            let mut run_native = || {
+                interp::run_with_config(p, interp::NullSink, RunConfig::default()).expect("runs");
+            };
+            let mut run_perfect = || drop(perfect(false));
+            let mut run_signature = || drop(signature(false));
+            let mut run_par2 = || drop(par2(false));
+            let mut run_par8 = || drop(par8(false));
+            bench::time_interleaved(
+                reps,
+                &mut [
+                    &mut run_native,
+                    &mut run_perfect,
+                    &mut seed_run,
+                    &mut hashmap_run,
+                    &mut run_signature,
+                    &mut run_par2,
+                    &mut run_par8,
+                ],
+            )
+        };
+        let native = times[0];
+        assert_eq!(
+            seed.take().unwrap().into_depset().sorted(),
+            reference.deps.sorted(),
+            "seed baseline and current engine disagree on {name}"
+        );
+
+        let (bytes, _) = perfect(true);
+        rows.push(row(
+            name,
+            "serial_perfect",
+            accesses,
+            times[1],
+            native,
+            bytes,
+            None,
+        ));
+        rows.push(row(
+            name,
+            "serial_seed_baseline",
+            accesses,
+            times[2],
+            native,
+            0,
+            None,
+        ));
         rows.push(row(
             name,
             "serial_hashmap_shadow",
             accesses,
-            t,
+            times[3],
+            native,
+            hashmap_bytes,
+            None,
+        ));
+        let (bytes, _) = signature(true);
+        rows.push(row(
+            name,
+            "serial_signature",
+            accesses,
+            times[4],
             native,
             bytes,
+            None,
         ));
-
-        let (t, bytes) = engine(EngineKind::signature(1 << 18));
-        rows.push(row(name, "serial_signature", accesses, t, native, bytes));
-
-        let (t, bytes) = engine(EngineKind::parallel(8));
-        rows.push(row(name, "lock_free_8t", accesses, t, native, bytes));
+        let (bytes, stats) = par2(true);
+        rows.push(row(
+            name,
+            "lock_free_2t",
+            accesses,
+            times[5],
+            native,
+            bytes,
+            stats,
+        ));
+        let (bytes, stats) = par8(true);
+        rows.push(row(
+            name,
+            "lock_free_8t",
+            accesses,
+            times[6],
+            native,
+            bytes,
+            stats,
+        ));
 
         eprintln!("{name}: native {native:.3}s, {accesses} accesses");
     }
@@ -167,6 +248,7 @@ fn main() {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn row(
     workload: &'static str,
     engine: &'static str,
@@ -174,6 +256,7 @@ fn row(
     profiled_secs: f64,
     native_secs: f64,
     peak_map_bytes: usize,
+    parallel: Option<ParallelStats>,
 ) -> Row {
     Row {
         workload,
@@ -184,6 +267,7 @@ fn row(
         peak_map_bytes,
         native_secs,
         profiled_secs,
+        parallel,
     }
 }
 
@@ -191,11 +275,19 @@ fn row(
 fn render_json(rows: &[Row]) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"profiler\",\n  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let transport = match &r.parallel {
+            None => String::new(),
+            Some(p) => format!(
+                ", \"chunks\": {}, \"combined\": {}, \"rebalances\": {}, \"merges\": {}, \
+                 \"queue_stalls\": {}, \"spawned_workers\": {}",
+                p.chunks, p.combined, p.rebalances, p.merges, p.queue_stalls, p.spawned_workers,
+            ),
+        };
         let _ = writeln!(
             out,
             "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"accesses\": {}, \
              \"accesses_per_sec\": {:.0}, \"slowdown_vs_native\": {:.2}, \
-             \"peak_map_bytes\": {}, \"native_secs\": {:.6}, \"profiled_secs\": {:.6}}}{}",
+             \"peak_map_bytes\": {}, \"native_secs\": {:.6}, \"profiled_secs\": {:.6}{}}}{}",
             r.workload,
             r.engine,
             r.accesses,
@@ -204,6 +296,7 @@ fn render_json(rows: &[Row]) -> String {
             r.peak_map_bytes,
             r.native_secs,
             r.profiled_secs,
+            transport,
             if i + 1 == rows.len() { "" } else { "," },
         );
     }

@@ -185,6 +185,7 @@ fn profiler_slowdown() {
                         workers,
                         queue,
                         sig_slots: 1 << 17,
+                        adaptive: false, // fixed pipeline: these tables reproduce Fig 2.9/2.10
                         ..Default::default()
                     },
                     RunConfig::default(),
@@ -234,6 +235,7 @@ fn profiler_memory() {
             ParallelConfig {
                 workers: 8,
                 sig_slots: 1 << 17,
+                adaptive: false, // fixed pipeline: these tables reproduce Fig 2.9/2.10
                 ..Default::default()
             },
             RunConfig::default(),
@@ -244,6 +246,7 @@ fn profiler_memory() {
             ParallelConfig {
                 workers: 16,
                 sig_slots: 1 << 17,
+                adaptive: false, // fixed pipeline: these tables reproduce Fig 2.9/2.10
                 ..Default::default()
             },
             RunConfig::default(),
@@ -275,6 +278,7 @@ fn parallel_target() {
                     ParallelConfig {
                         workers,
                         sig_slots: 1 << 16,
+                        adaptive: false, // fixed pipeline: these tables reproduce Fig 2.9/2.10
                         ..Default::default()
                     },
                     RunConfig::default(),
@@ -286,6 +290,7 @@ fn parallel_target() {
                 ParallelConfig {
                     workers,
                     sig_slots: 1 << 16,
+                    adaptive: false, // fixed pipeline: these tables reproduce Fig 2.9/2.10
                     ..Default::default()
                 },
                 RunConfig::default(),
@@ -900,6 +905,7 @@ fn comm_pattern() {
             ParallelConfig {
                 workers: 4,
                 sig_slots: 1 << 16,
+                adaptive: false, // fixed pipeline: these tables reproduce Fig 2.9/2.10
                 ..Default::default()
             },
             RunConfig::default(),

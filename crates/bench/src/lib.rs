@@ -23,6 +23,29 @@ pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     times[times.len() / 2]
 }
 
+/// Minimum wall time per candidate with the reps *interleaved*: rep `r`
+/// of every candidate runs before rep `r + 1` of any of them.
+///
+/// Two noise defenses for A-vs-B rows in a benchmark table:
+/// - Back-to-back reps (`time_median` once per candidate) bias comparisons
+///   on busy or thermally-throttled hosts — whichever candidate runs last
+///   absorbs the drift the earlier ones caused. Interleaving spreads the
+///   drift evenly.
+/// - The *minimum* is the noise-robust estimator for same-work
+///   comparisons on shared hosts: external interference only ever adds
+///   time, so the smallest observation is the closest to the true cost.
+pub fn time_interleaved(reps: usize, candidates: &mut [&mut dyn FnMut()]) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; candidates.len()];
+    for _ in 0..reps.max(1) {
+        for (f, b) in candidates.iter_mut().zip(best.iter_mut()) {
+            let t = Instant::now();
+            f();
+            *b = b.min(t.elapsed().as_secs_f64());
+        }
+    }
+    best
+}
+
 /// Native (uninstrumented) execution time of a program.
 pub fn native_time(prog: &Program, reps: usize) -> f64 {
     time_median(reps, || {

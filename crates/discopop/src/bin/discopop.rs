@@ -43,13 +43,18 @@ fn main() -> ExitCode {
             println!(
                 "  serial-signature[:slots]          bounded-memory signature (default 2^18 slots)"
             );
-            println!("  parallel[:workers[xchunk][:queue]] producer/consumer pipeline");
+            println!("  parallel[:[workers=]N[xchunk][:queue]]");
+            println!("                                    adaptive producer/consumer pipeline");
             println!("                                    queue: lock-free (default) | lock-based");
             println!(
                 "without --engine, the engine is auto-selected (EngineKind::auto_for): \
-                 serial-perfect for small address footprints, serial-signature beyond"
+                 serial-perfect for small address footprints, and beyond them \
+                 serial-signature — or parallel for targets that spawn threads"
             );
-            println!("examples: serial-signature:1048576   parallel:8   parallel:4x128:lock-based");
+            println!(
+                "examples: serial-signature:1048576   parallel:8   parallel:workers=4   \
+                 parallel:4x128:lock-based"
+            );
             ExitCode::SUCCESS
         }
         Some("--help") | Some("-h") | None => {

@@ -12,7 +12,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "program": "demo",
 //!   "engine": "serial-perfect",
 //!   "profile": {
@@ -49,7 +49,16 @@ use jsonio::Value;
 use profiler::{Dep, PetNodeKind};
 
 /// Version stamp of the JSON schema written by [`ReportDoc::to_json`].
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// - **1**: initial schema.
+/// - **2**: `profile.parallel` gained the adaptive-transport statistics
+///   `combined`, `merges`, `queue_stalls`, and `spawned_workers`. Version-1
+///   documents are still read; the new fields default to 0.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version [`ReportDoc::from_json`] still reads.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// Error produced when a JSON document does not match the schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +94,17 @@ fn get_u64(v: &Value, key: &str) -> DocResult<u64> {
     field(v, key)?
         .as_u64()
         .ok_or_else(|| SchemaError(format!("`{key}` must be a non-negative integer")))
+}
+
+/// `get_u64` for fields added after schema version 1: absent means
+/// `default` (the migration path for older documents).
+fn get_u64_or(v: &Value, key: &str, default: u64) -> DocResult<u64> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(f) => f
+            .as_u64()
+            .ok_or_else(|| SchemaError(format!("`{key}` must be a non-negative integer"))),
+    }
 }
 
 fn get_u32(v: &Value, key: &str) -> DocResult<u32> {
@@ -319,11 +339,19 @@ impl PetNodeDoc {
 /// Parallel-engine transport statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParallelDoc {
-    /// Chunks shipped to workers.
+    /// Chunks delivered (inline-processed or shipped to workers).
     pub chunks: u64,
-    /// Rebalance operations performed.
+    /// Hot-address rebalance operations performed.
     pub rebalances: u64,
-    /// Accesses processed per worker.
+    /// Accesses absorbed by producer-side repeat combining (schema ≥ 2).
+    pub combined: u64,
+    /// Underloaded-partition merges performed (schema ≥ 2).
+    pub merges: u64,
+    /// Full-queue retries the producer suffered (schema ≥ 2).
+    pub queue_stalls: u64,
+    /// Worker threads actually spawned; 0 = fully inline (schema ≥ 2).
+    pub spawned_workers: u64,
+    /// Accesses processed per partition.
     pub worker_processed: Vec<u64>,
 }
 
@@ -332,6 +360,10 @@ impl ParallelDoc {
         Value::object([
             ("chunks", Value::from(self.chunks)),
             ("rebalances", Value::from(self.rebalances)),
+            ("combined", Value::from(self.combined)),
+            ("merges", Value::from(self.merges)),
+            ("queue_stalls", Value::from(self.queue_stalls)),
+            ("spawned_workers", Value::from(self.spawned_workers)),
             (
                 "worker_processed",
                 Value::Array(
@@ -348,6 +380,10 @@ impl ParallelDoc {
         Ok(ParallelDoc {
             chunks: get_u64(v, "chunks")?,
             rebalances: get_u64(v, "rebalances")?,
+            combined: get_u64_or(v, "combined", 0)?,
+            merges: get_u64_or(v, "merges", 0)?,
+            queue_stalls: get_u64_or(v, "queue_stalls", 0)?,
+            spawned_workers: get_u64_or(v, "spawned_workers", 0)?,
             worker_processed: get_array(v, "worker_processed")?
                 .iter()
                 .map(|w| {
@@ -914,6 +950,10 @@ impl ReportDoc {
         let parallel = report.profile.parallel.as_ref().map(|p| ParallelDoc {
             chunks: p.chunks,
             rebalances: p.rebalances,
+            combined: p.combined,
+            merges: p.merges,
+            queue_stalls: p.queue_stalls,
+            spawned_workers: p.spawned_workers as u64,
             worker_processed: p.worker_processed.clone(),
         });
         let loops = report
@@ -1041,9 +1081,10 @@ impl ReportDoc {
     /// Deserialize from a JSON tree.
     pub fn from_json(v: &Value) -> DocResult<ReportDoc> {
         let schema_version = get_u32(v, "schema_version")?;
-        if schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema_version) {
             return err(format!(
-                "unsupported schema version {schema_version} (this build reads {SCHEMA_VERSION})"
+                "unsupported schema version {schema_version} \
+                 (this build reads {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
         Ok(ReportDoc {

@@ -95,6 +95,14 @@ fn parallel_engine_selectable_from_cli() {
     assert!(parallel.profile.parallel.is_some());
     // The parallel engine's dependences must match the exact baseline.
     assert_eq!(parallel.profile.dependences, perfect.profile.dependences);
+
+    // The `workers=N` spelling selects the same engine shape.
+    let spelled = run("parallel:workers=4", &dir.join("spelled.json"));
+    assert_eq!(spelled.engine, "parallel:4x256:lock-free");
+    let stats = spelled.profile.parallel.expect("transport stats");
+    assert_eq!(stats.worker_processed.len(), 4);
+    assert!(stats.chunks > 0);
+    assert_eq!(spelled.profile.dependences, perfect.profile.dependences);
 }
 
 #[test]
@@ -197,7 +205,7 @@ fn report_subcommand_renders_saved_json() {
         .unwrap();
     assert!(res.status.success());
     let stdout = String::from_utf8_lossy(&res.stdout);
-    assert!(stdout.contains("schema v1"), "{stdout}");
+    assert!(stdout.contains("schema v2"), "{stdout}");
     assert!(stdout.contains("Doall"), "{stdout}");
     assert!(stdout.contains("Ranked opportunities"), "{stdout}");
 }

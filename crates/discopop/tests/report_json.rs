@@ -118,6 +118,40 @@ fn schema_version_is_enforced() {
     assert!(err.0.contains("schema version"), "{err}");
 }
 
+/// Schema evolution: a version-1 document — no adaptive-transport fields
+/// in `profile.parallel` — must still parse, with the v2 fields defaulting
+/// to zero.
+#[test]
+fn schema_v1_documents_still_parse() {
+    let (compiled, report) = full_report(EngineKind::parallel(2));
+    let mut json = report.to_json_string(compiled.program());
+    json = json.replacen(
+        &format!("\"schema_version\": {SCHEMA_VERSION}"),
+        "\"schema_version\": 1",
+        1,
+    );
+    for v2_field in ["combined", "merges", "queue_stalls", "spawned_workers"] {
+        let needle = format!("\"{v2_field}\":");
+        let start = json.find(&needle).expect("v2 field present");
+        let end = start + json[start..].find('\n').unwrap() + 1;
+        json.replace_range(start..end, "");
+    }
+    let doc = ReportDoc::from_json_str(&json).expect("v1 documents must parse");
+    assert_eq!(doc.schema_version, 1);
+    let par = doc.profile.parallel.expect("parallel stats survive");
+    assert!(par.chunks > 0, "v1 fields read normally");
+    assert_eq!(
+        (
+            par.combined,
+            par.merges,
+            par.queue_stalls,
+            par.spawned_workers
+        ),
+        (0, 0, 0, 0),
+        "v2 fields default to zero"
+    );
+}
+
 #[test]
 fn malformed_documents_are_rejected() {
     for bad in ["", "{}", "[1,2,3]", "{\"schema_version\": 1}"] {

@@ -34,4 +34,4 @@ pub mod reference;
 pub use code::{Builtin, FuncCode, Op, PlaceCode};
 pub use event::{Event, MemEvent, NullSink, RecordingSink, RegionExitEvent, Sink};
 pub use machine::{run, run_with_config, Interp, RunConfig, RunResult, RuntimeError};
-pub use program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};
+pub use program::{MemOpMeta, Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};

@@ -204,6 +204,17 @@ fn jump(pc: usize, delta: i32) -> usize {
     (pc as i64 + delta as i64) as usize
 }
 
+/// Evaluate an operand against a register file. Free function so the hot
+/// loop can use its slice-cached registers without borrowing the whole
+/// interpreter.
+#[inline]
+fn op_val_in(regs: &[Value], op: &Operand) -> Value {
+    match op {
+        Operand::Reg(r) => regs[r.index()],
+        Operand::Const(v) => *v,
+    }
+}
+
 impl<'p, S: Sink> Interp<'p, S> {
     /// Prepare a run: call targets are already pre-resolved in the decoded
     /// program, so this only sets up the main thread.
@@ -414,21 +425,35 @@ impl<'p, S: Sink> Interp<'p, S> {
     }
 
     /// Execute up to `quantum` decoded ops of thread `t` — the flattened
-    /// hot loop. Frame state (`func`, `pc`, code slice) lives in locals and
-    /// is written back only on frame switches, blocking, or budget
-    /// exhaustion; everything else advances `pc` in place.
+    /// hot loop. Frame state (`func`, `pc`, code slice, *and the register
+    /// file*) lives in locals and is written back only on frame switches,
+    /// blocking, or budget exhaustion; everything else advances `pc` in
+    /// place and indexes the local `regs` slice directly instead of going
+    /// through `threads[t].frames.last()` per operand.
     fn run_slice(&mut self, t: usize, quantum: u32) -> Result<(), RuntimeError> {
         let prog = self.prog;
         let mut budget = quantum;
         'frame: while budget > 0 && self.threads[t].state == TState::Ready {
-            let fr = self.threads[t].frames.last().unwrap();
+            let fr = self.threads[t].frames.last_mut().unwrap();
             let func = fr.func;
+            let base = fr.base;
             let mut pc = fr.pc;
+            // Move the register file out of the frame for the duration of
+            // the slice; `park!` puts it back (with the current pc)
+            // whenever control leaves this frame's straight-line execution.
+            let mut regs = std::mem::take(&mut fr.regs);
             let code: &FuncCode = &prog.code[func];
             let ops: &[Op] = &code.ops;
+            macro_rules! park {
+                () => {{
+                    let fr = self.threads[t].frames.last_mut().unwrap();
+                    fr.pc = pc;
+                    fr.regs = regs;
+                }};
+            }
             loop {
                 if budget == 0 {
-                    self.threads[t].frames.last_mut().unwrap().pc = pc;
+                    park!();
                     break 'frame;
                 }
                 budget -= 1;
@@ -441,13 +466,20 @@ impl<'p, S: Sink> Interp<'p, S> {
                         line,
                         op_id,
                     } => {
-                        let (addr, is_global, slot, sym) = self.resolve(t, place, *line)?;
+                        let (addr, is_global, slot, sym) =
+                            match self.resolve(t, func, &regs, base, place, *line) {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    park!();
+                                    return Err(e);
+                                }
+                            };
                         let v = if is_global {
                             self.globals[slot]
                         } else {
                             self.threads[t].mem[slot]
                         };
-                        self.set_reg(t, *dst, v);
+                        regs[dst.index()] = v;
                         let ts = self.steps;
                         self.emit(
                             t,
@@ -469,8 +501,15 @@ impl<'p, S: Sink> Interp<'p, S> {
                         line,
                         op_id,
                     } => {
-                        let v = self.op_val(t, src);
-                        let (addr, is_global, slot, sym) = self.resolve(t, place, *line)?;
+                        let v = op_val_in(&regs, src);
+                        let (addr, is_global, slot, sym) =
+                            match self.resolve(t, func, &regs, base, place, *line) {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    park!();
+                                    return Err(e);
+                                }
+                            };
                         if is_global {
                             self.globals[slot] = v;
                         } else {
@@ -498,14 +537,20 @@ impl<'p, S: Sink> Interp<'p, S> {
                         rhs,
                         line,
                     } => {
-                        let a = self.op_val(t, lhs);
-                        let b = self.op_val(t, rhs);
-                        let v = bin_eval(*op, a, b, *line)?;
-                        self.set_reg(t, *dst, v);
+                        let a = op_val_in(&regs, lhs);
+                        let b = op_val_in(&regs, rhs);
+                        let v = match bin_eval(*op, a, b, *line) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                park!();
+                                return Err(e);
+                            }
+                        };
+                        regs[dst.index()] = v;
                         pc += 1;
                     }
                     Op::Un { dst, op, src } => {
-                        let v = self.op_val(t, src);
+                        let v = op_val_in(&regs, src);
                         let r = match op {
                             UnOp::Neg => match v {
                                 Value::I64(x) => Value::I64(x.wrapping_neg()),
@@ -515,13 +560,16 @@ impl<'p, S: Sink> Interp<'p, S> {
                             UnOp::ToF64 => Value::F64(v.as_f64()),
                             UnOp::ToI64 => Value::I64(v.as_i64()),
                         };
-                        self.set_reg(t, *dst, r);
+                        regs[dst.index()] = r;
                         pc += 1;
                     }
                     Op::CallUser { dst, target, args } => {
-                        let vals = self.eval_args(t, args);
+                        let mut vals = std::mem::take(&mut self.call_buf);
+                        vals.clear();
+                        vals.extend(args.iter().map(|a| op_val_in(&regs, a)));
                         // Resume after the call on return.
-                        self.threads[t].frames.last_mut().unwrap().pc = pc + 1;
+                        pc += 1;
+                        park!();
                         let fi = *target as usize;
                         Self::push_frame_raw(prog, &mut self.threads[t], fi, &vals, *dst);
                         self.recycle_args(vals);
@@ -541,19 +589,29 @@ impl<'p, S: Sink> Interp<'p, S> {
                         args,
                         line,
                     } => {
-                        let vals = self.eval_args(t, args);
+                        let mut vals = std::mem::take(&mut self.call_buf);
+                        vals.clear();
+                        vals.extend(args.iter().map(|a| op_val_in(&regs, a)));
+                        // Builtins may read or write the current frame's
+                        // registers (e.g. a result destination), so the
+                        // register file goes back into the frame around the
+                        // call and is re-taken afterwards.
+                        park!();
                         let completed = self.builtin(t, *builtin, &vals, *dst, *line);
                         self.recycle_args(vals);
                         if completed? {
+                            let fr = self.threads[t].frames.last_mut().unwrap();
+                            regs = std::mem::take(&mut fr.regs);
                             pc += 1;
                         } else {
-                            // Blocked: retry the call op on wake.
-                            self.threads[t].frames.last_mut().unwrap().pc = pc;
+                            // Blocked: retry the call op on wake (the pc
+                            // parked above points at this op).
                             continue 'frame;
                         }
                     }
                     Op::CallUnknown { name } => {
-                        return Err(RuntimeError::UnknownFunction(name.to_string()))
+                        park!();
+                        return Err(RuntimeError::UnknownFunction(name.to_string()));
                     }
                     Op::RegionEnter {
                         region,
@@ -619,7 +677,7 @@ impl<'p, S: Sink> Interp<'p, S> {
                         then_delta,
                         else_delta,
                     } => {
-                        let v = self.op_val(t, cond);
+                        let v = op_val_in(&regs, cond);
                         pc = jump(
                             pc,
                             if v.is_truthy() {
@@ -630,7 +688,9 @@ impl<'p, S: Sink> Interp<'p, S> {
                         );
                     }
                     Op::Return { val } => {
-                        let val = val.as_ref().map(|o| self.op_val(t, o));
+                        let val = val.as_ref().map(|o| op_val_in(&regs, o));
+                        // The frame is about to be popped; its (taken-out)
+                        // register file dies with it, so no write-back.
                         self.do_return(t, func, code, val);
                         continue 'frame;
                     }
@@ -641,16 +701,6 @@ impl<'p, S: Sink> Interp<'p, S> {
             }
         }
         Ok(())
-    }
-
-    /// Evaluate call arguments into the reusable buffer (taken out of
-    /// `self` so the evaluation can borrow registers).
-    #[inline]
-    fn eval_args(&mut self, t: usize, args: &[Operand]) -> Vec<Value> {
-        let mut vals = std::mem::take(&mut self.call_buf);
-        vals.clear();
-        vals.extend(args.iter().map(|a| self.op_val(t, a)));
-        vals
     }
 
     /// Return the argument buffer for reuse by the next call.
@@ -700,52 +750,38 @@ impl<'p, S: Sink> Interp<'p, S> {
         }
     }
 
-    #[inline]
-    fn reg(&self, t: usize, r: RegId) -> Value {
-        self.threads[t].frames.last().unwrap().regs[r.index()]
-    }
-
-    #[inline]
-    fn op_val(&self, t: usize, op: &Operand) -> Value {
-        match op {
-            Operand::Reg(r) => self.reg(t, *r),
-            Operand::Const(v) => *v,
-        }
-    }
-
+    /// Write a register of the current frame. Off-hot-path helper for
+    /// builtins and returns; `run_slice` writes its cached `regs` directly.
     #[inline]
     fn set_reg(&mut self, t: usize, r: RegId, v: Value) {
-        *self.threads[t]
-            .frames
-            .last_mut()
-            .unwrap()
-            .regs
-            .get_mut(r.index())
-            .unwrap() = v;
+        self.threads[t].frames.last_mut().unwrap().regs[r.index()] = v;
     }
 
     /// Resolve a precompiled place to `(logical address, is_global, storage
-    /// slot, symbol)`, checking bounds.
+    /// slot, symbol)`, checking bounds. `regs`/`base` are the current
+    /// frame's register file and stack base, cached in `run_slice` locals.
     #[inline]
     fn resolve(
         &self,
         t: usize,
+        func: usize,
+        regs: &[Value],
+        base: usize,
         place: &PlaceCode,
         line: u32,
     ) -> Result<(u64, bool, usize, u32), RuntimeError> {
         let idx = match &place.index {
-            Some(op) => self.op_val(t, op).as_i64(),
+            Some(op) => op_val_in(regs, op).as_i64(),
             None => 0,
         };
         if idx < 0 || idx as u64 >= place.elems {
-            return Err(self.out_of_bounds(t, place, line, idx));
+            return Err(self.out_of_bounds(func, place, line, idx));
         }
         if place.global {
             let slot = place.base as usize + idx as usize;
             Ok((GLOBAL_BASE + slot as u64 * WORD, true, slot, place.sym))
         } else {
-            let fr = self.threads[t].frames.last().unwrap();
-            let word = fr.base as u64 + place.base as u64 + idx as u64;
+            let word = base as u64 + place.base as u64 + idx as u64;
             let addr = STACK_BASE + t as u64 * STACK_SPAN + word * WORD;
             Ok((addr, false, word as usize, place.sym))
         }
@@ -753,15 +789,12 @@ impl<'p, S: Sink> Interp<'p, S> {
 
     /// Cold path: reconstruct the variable name for the bounds error.
     #[cold]
-    fn out_of_bounds(&self, t: usize, place: &PlaceCode, line: u32, index: i64) -> RuntimeError {
+    fn out_of_bounds(&self, func: usize, place: &PlaceCode, line: u32, index: i64) -> RuntimeError {
         let var = match place.var {
             VarRef::Global(g) => self.prog.module.globals[g.index()].name.clone(),
-            VarRef::Local(l) => {
-                let func = self.threads[t].frames.last().unwrap().func;
-                self.prog.module.functions[func].locals[l.index()]
-                    .name
-                    .clone()
-            }
+            VarRef::Local(l) => self.prog.module.functions[func].locals[l.index()]
+                .name
+                .clone(),
         };
         RuntimeError::OutOfBounds { line, var, index }
     }

@@ -2,8 +2,25 @@
 //! symbol table, and the pre-decoded instruction streams the interpreter
 //! executes (see [`crate::code`]).
 
-use crate::code::{DecodeCtx, FuncCode};
+use crate::code::{Builtin, DecodeCtx, FuncCode, Op};
 use mir::{Module, Ty};
+
+/// Static metadata of one memory operation: everything a [`MemEvent`]
+/// carries that is fully determined by the op id alone. The parallel
+/// profiler ships accesses over queues with only the op id and resolves
+/// line/variable/direction through this table on the consumer side, so the
+/// in-transit record stays compact.
+///
+/// [`MemEvent`]: crate::MemEvent
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOpMeta {
+    /// Source line of the operation.
+    pub line: u32,
+    /// Variable symbol id.
+    pub var: u32,
+    /// `true` for stores, `false` for loads.
+    pub is_write: bool,
+}
 
 /// Machine word size in bytes; every IR cell is one word.
 pub const WORD: u64 = 8;
@@ -140,6 +157,64 @@ impl Program {
     /// program.
     pub fn num_mem_ops(&self) -> u32 {
         self.num_mem_ops
+    }
+
+    /// Per-memory-operation static metadata, indexed by op id
+    /// (`0..num_mem_ops`). Every emitted [`crate::MemEvent`] with op id `i`
+    /// has exactly `meta[i].line`/`var`/`is_write`, so consumers that
+    /// receive the op id can drop those fields from their wire format.
+    pub fn mem_op_meta(&self) -> Vec<MemOpMeta> {
+        let mut meta = vec![
+            MemOpMeta {
+                line: 0,
+                var: 0,
+                is_write: false
+            };
+            self.num_mem_ops as usize
+        ];
+        for c in &self.code {
+            for op in c.ops.iter() {
+                match op {
+                    Op::Load {
+                        place, line, op_id, ..
+                    } => {
+                        meta[*op_id as usize] = MemOpMeta {
+                            line: *line,
+                            var: place.sym,
+                            is_write: false,
+                        }
+                    }
+                    Op::Store {
+                        place, line, op_id, ..
+                    } => {
+                        meta[*op_id as usize] = MemOpMeta {
+                            line: *line,
+                            var: place.sym,
+                            is_write: true,
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        meta
+    }
+
+    /// True if any decoded op can spawn a target thread. Engine
+    /// auto-selection uses this to route large multithreaded targets to the
+    /// parallel engine.
+    pub fn spawns_threads(&self) -> bool {
+        self.code.iter().any(|c| {
+            c.ops.iter().any(|op| {
+                matches!(
+                    op,
+                    Op::CallBuiltin {
+                        builtin: Builtin::Spawn,
+                        ..
+                    }
+                )
+            })
+        })
     }
 
     /// Resolve a symbol id to its variable name.

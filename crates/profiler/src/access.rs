@@ -10,13 +10,133 @@
 //! inter-iteration tag of §2.3.5), exactly the information the discovery
 //! algorithms of Ch. 4 need.
 
-use interp::{Event, MemEvent};
+use interp::{Event, MemEvent, MemOpMeta};
 
 /// Identifies a static loop: `(function index, region index)`.
 pub type LoopKey = (u32, u32);
 
 /// Sentinel: access occurred outside any loop.
 pub const NO_INSTANCE: u32 = u32::MAX;
+
+/// The compact in-transit form of an [`Access`]: 32 bytes against the
+/// 48-byte annotated record, so a 256-access chunk moves half the cache
+/// lines through the parallel profiler's queues.
+///
+/// Two compressions make this lossless:
+/// - `line`, `var`, and the access direction are fully determined by the
+///   static op id, so they travel once per program in the shared
+///   [`interp::MemOpMeta`] table instead of once per access.
+/// - Consecutive accesses from the same site (same address, op, thread,
+///   and loop context) are *combined*: the producer bumps [`rep`] instead
+///   of appending a new record. Replaying such an access `rep` extra times
+///   on the consumer is output-identical for monotone (sequential-target)
+///   streams — every replay rebuilds the same dependence and rewrites the
+///   same shadow cell, and no observable comparison distinguishes the
+///   first timestamp from the dropped later ones.
+///
+/// [`rep`]: PackedAccess::rep
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedAccess {
+    /// Accessed address (word-aligned).
+    pub addr: u64,
+    /// Global timestamp of the (first) access.
+    pub ts: u64,
+    /// Static memory-operation id — resolves line/var/direction via
+    /// [`interp::MemOpMeta`].
+    pub op: u32,
+    /// Innermost enclosing loop instance ([`NO_INSTANCE`] if none).
+    pub instance: u32,
+    /// Iteration number within that instance.
+    pub iter: u32,
+    /// Executing thread. Interpreter thread ids are a dense counter;
+    /// the packed form supports up to 65535 of them over a target's
+    /// lifetime (checked at pack time, also in release builds) — far
+    /// beyond what the deterministic scheduler can usefully run, but a
+    /// real bound: widen this field before lifting it.
+    pub thread: u16,
+    /// Extra consecutive identical repeats combined into this record.
+    pub rep: u16,
+}
+
+impl PackedAccess {
+    /// Pack an annotated access (drops the op-determined fields).
+    ///
+    /// # Panics
+    /// If the thread id exceeds the packed form's 16-bit budget — failing
+    /// loudly beats silently aliasing two threads' dependences.
+    pub fn pack(a: &Access) -> Self {
+        assert!(a.thread <= u16::MAX as u32, "thread id exceeds u16 budget");
+        PackedAccess {
+            addr: a.addr,
+            ts: a.ts,
+            op: a.op,
+            instance: a.instance,
+            iter: a.iter,
+            thread: a.thread as u16,
+            rep: 0,
+        }
+    }
+
+    /// Pack straight from a raw memory event plus its loop context — the
+    /// producer fast path (skips building the intermediate [`Access`]).
+    ///
+    /// # Panics
+    /// Like [`PackedAccess::pack`], if the thread id exceeds 16 bits.
+    #[inline]
+    pub fn from_mem(m: &MemEvent, instance: u32, iter: u32) -> Self {
+        assert!(m.thread <= u16::MAX as u32, "thread id exceeds u16 budget");
+        PackedAccess {
+            addr: m.addr,
+            ts: m.ts,
+            op: m.op,
+            instance,
+            iter,
+            thread: m.thread as u16,
+            rep: 0,
+        }
+    }
+
+    /// Reconstruct the full access record using the op's static metadata.
+    pub fn unpack(&self, meta: &MemOpMeta) -> Access {
+        Access {
+            addr: self.addr,
+            op: self.op,
+            line: meta.line,
+            var: meta.var,
+            thread: self.thread as u32,
+            ts: self.ts,
+            is_write: meta.is_write,
+            instance: self.instance,
+            iter: self.iter,
+        }
+    }
+
+    /// True if `other` is a repeat of the same site: combinable into
+    /// [`PackedAccess::rep`] (timestamps may differ).
+    #[inline]
+    pub fn same_site(&self, other: &PackedAccess) -> bool {
+        self.addr == other.addr
+            && self.op == other.op
+            && self.thread == other.thread
+            && self.instance == other.instance
+            && self.iter == other.iter
+    }
+}
+
+/// Append `pa` to an open chunk, combining it into the previous record's
+/// repeat counter when it is a consecutive same-site repeat. Returns `true`
+/// when combined (the chunk did not grow).
+#[inline]
+pub fn push_combining(chunk: &mut Vec<PackedAccess>, pa: PackedAccess) -> bool {
+    if let Some(last) = chunk.last_mut() {
+        if last.rep < u16::MAX && last.same_site(&pa) {
+            last.rep += 1;
+            return true;
+        }
+    }
+    chunk.push(pa);
+    false
+}
 
 /// A fully annotated memory access — the unit consumed by dependence
 /// engines and shipped through the parallel profiler's queues.

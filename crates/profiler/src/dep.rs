@@ -228,10 +228,20 @@ impl DepSet {
 
     /// Record one occurrence of `dep`, merging with identical entries.
     pub fn insert(&mut self, dep: Dep) {
-        self.total_found += 1;
+        self.insert_n(dep, 1);
+    }
+
+    /// Record `n` occurrences of `dep` with a single probe — the flush path
+    /// of the dependence-combining caches in the chunked engine, where a
+    /// loop builds the same dependence once per iteration.
+    pub fn insert_n(&mut self, dep: Dep, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.total_found += n;
         match DepKey::pack(&dep) {
-            Some(k) => *self.map.entry(k).or_insert(0) += 1,
-            None => *self.wide.entry(dep).or_insert(0) += 1,
+            Some(k) => *self.map.entry(k).or_insert(0) += n,
+            None => *self.wide.entry(dep).or_insert(0) += n,
         }
     }
 

@@ -1,9 +1,10 @@
 //! The dependence-building engine: Algorithm 2 of the dissertation plus the
 //! loop-skipping optimization of §2.4, generic over the access-status map.
 
-use crate::access::{Access, CarriedResolver};
+use crate::access::{Access, CarriedResolver, PackedAccess};
 use crate::dep::{Dep, DepSet, DepType, SrcLoc};
 use crate::maps::{AccessMap, Cell};
+use interp::MemOpMeta;
 use serde::Serialize;
 
 /// Empty status marker for skip-state comparisons.
@@ -111,6 +112,192 @@ impl Default for SkipState {
     }
 }
 
+/// One live slot group while a chunk is being processed: the shadow state
+/// of one storage location (word address for exact maps, signature slot for
+/// signatures), held in registers/L1 for the whole chunk so every access
+/// after the first costs no map probe at all.
+#[derive(Debug, Clone, Copy)]
+struct GroupEntry {
+    status_read: Option<Cell>,
+    status_write: Option<Cell>,
+    /// Last address whose read/write cell we hold (write-back target; for
+    /// signatures any colliding address of the slot is equivalent).
+    read_addr: u64,
+    write_addr: u64,
+    touched_read: bool,
+    touched_write: bool,
+}
+
+impl GroupEntry {
+    /// A fresh group for `addr`'s slot holding the given probed statuses.
+    fn probed(addr: u64, status_read: Option<Cell>, status_write: Option<Cell>) -> Self {
+        GroupEntry {
+            status_read,
+            status_write,
+            read_addr: addr,
+            write_addr: addr,
+            touched_read: false,
+            touched_write: false,
+        }
+    }
+}
+
+/// Open-addressing index from slot key to [`GroupEntry`], cleared per chunk
+/// via a generation stamp (no memset between chunks).
+#[derive(Debug, Default)]
+struct GroupIndex {
+    slots: Vec<(u32, u32, u64)>, // (generation, entry index, key)
+    gen: u32,
+    mask: usize,
+}
+
+impl GroupIndex {
+    /// Start a new chunk with room for `n` distinct keys.
+    fn begin(&mut self, n: usize) {
+        let want = (n * 2).next_power_of_two().max(16);
+        if self.slots.len() < want {
+            self.slots = vec![(0, 0, 0); want];
+            self.mask = want - 1;
+            self.gen = 0;
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.slots.fill((0, 0, 0));
+            self.gen = 1;
+        }
+    }
+
+    /// Index of `key`'s entry, or `new_idx` after registering it as new.
+    #[inline]
+    fn find_or_insert(&mut self, key: u64, new_idx: u32) -> (u32, bool) {
+        let mut h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        let mut i = h as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s.0 != self.gen {
+                self.slots[i] = (self.gen, new_idx, key);
+                return (new_idx, true);
+            }
+            if s.2 == key {
+                return (s.1, false);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// A small move-to-front cache of recently built dependences: loops build
+/// the same few merged dependences once per iteration, so most
+/// [`DepSet::insert`] probes collapse into a counter bump here and flush as
+/// one [`DepSet::insert_n`] per chunk.
+#[derive(Debug, Default)]
+struct DepCache {
+    entries: Vec<(Dep, u64)>,
+}
+
+/// Ways in the recent-dependence cache.
+const DEP_CACHE_WAYS: usize = 4;
+
+/// Distinct slots a streamed epoch may cache before it must write back —
+/// bounds the group cache's memory and the latency of a flush.
+const STREAM_EPOCH_CAP: usize = 4096;
+
+impl DepCache {
+    #[inline]
+    fn insert(&mut self, dep: Dep, n: u64, deps: &mut DepSet) {
+        for i in 0..self.entries.len() {
+            if self.entries[i].0 == dep {
+                self.entries[i].1 += n;
+                self.entries.swap(0, i);
+                return;
+            }
+        }
+        if self.entries.len() >= DEP_CACHE_WAYS {
+            let (d, c) = self.entries.pop().unwrap();
+            deps.insert_n(d, c);
+        }
+        self.entries.insert(0, (dep, n));
+    }
+
+    fn flush(&mut self, deps: &mut DepSet) {
+        for (d, c) in self.entries.drain(..) {
+            deps.insert_n(d, c);
+        }
+    }
+}
+
+/// Reusable per-chunk scratch of the grouped processing path; allocated
+/// once per builder, so steady-state chunk processing allocates nothing.
+#[derive(Debug, Default)]
+struct ChunkScratch {
+    index: GroupIndex,
+    entries: Vec<GroupEntry>,
+    entry_of: Vec<u32>,
+    heads: Vec<u64>,
+    stat_read: Vec<Option<Cell>>,
+    stat_write: Vec<Option<Cell>>,
+    writeback: Vec<(u64, Cell)>,
+    /// A streamed epoch is open: `entries` holds live (possibly dirty)
+    /// group state that must be written back before the maps are read or
+    /// mutated directly.
+    stream_open: bool,
+}
+
+impl ChunkScratch {
+    /// Store every touched group cell back into the shadow maps, batched —
+    /// the single write-back used by both the chunked and streamed paths.
+    fn write_back<M: AccessMap>(&mut self, read_map: &mut M, write_map: &mut M) {
+        self.writeback.clear();
+        for e in &self.entries {
+            if e.touched_read {
+                self.writeback.push((e.read_addr, e.status_read.unwrap()));
+            }
+        }
+        read_map.set_many(&self.writeback);
+        self.writeback.clear();
+        for e in &self.entries {
+            if e.touched_write {
+                self.writeback.push((e.write_addr, e.status_write.unwrap()));
+            }
+        }
+        write_map.set_many(&self.writeback);
+    }
+}
+
+/// Build one (merged) dependence from a packed sink access and a source
+/// cell, `n` times, through the recent-dependence cache — the
+/// chunked/streamed counterpart of [`DepBuilder::record`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn record_dep(
+    deps: &mut DepSet,
+    dep_cache: &mut DepCache,
+    ty: DepType,
+    sink: &PackedAccess,
+    m: &MemOpMeta,
+    source: &Cell,
+    resolver: &impl CarriedResolver,
+    n: u64,
+) {
+    let carried_by = resolver.carried_by(sink.instance, sink.iter, source.instance, source.iter);
+    let race_hint = sink.ts < source.ts;
+    dep_cache.insert(
+        Dep {
+            sink: SrcLoc::new(m.line),
+            ty,
+            source: SrcLoc::new(source.line),
+            var: m.var,
+            sink_thread: sink.thread as u32,
+            source_thread: source.thread,
+            carried_by,
+            race_hint,
+        },
+        n,
+        deps,
+    );
+}
+
 /// Dependence builder over an access map `M` (signature or perfect).
 #[derive(Debug)]
 pub struct DepBuilder<M: AccessMap> {
@@ -122,12 +309,28 @@ pub struct DepBuilder<M: AccessMap> {
     skip: Vec<SkipState>,
     /// Skip counters.
     pub stats: SkipStats,
+    scratch: ChunkScratch,
+    dep_cache: DepCache,
 }
 
 impl<M: AccessMap> DepBuilder<M> {
     /// Create an engine with separate read/write maps. `num_ops` sizes the
     /// per-operation skip table (0 is fine when skipping is disabled).
+    ///
+    /// The two maps must share slot geometry ([`AccessMap::slot_key`]
+    /// must agree on every address): the chunked/streamed paths group
+    /// accesses by the read map's key and apply the group's write status
+    /// through the same entry. Equal-shaped maps (as every constructor in
+    /// this crate builds) satisfy this by construction.
     pub fn new(read_map: M, write_map: M, num_ops: u32, cfg: EngineConfig) -> Self {
+        #[cfg(debug_assertions)]
+        for probe in [0u64, 0x40, 0x1000, 0xFFFF_FFF8, 0x1234_5678_9AB8] {
+            debug_assert_eq!(
+                read_map.slot_key(probe),
+                write_map.slot_key(probe),
+                "read/write maps must share slot geometry"
+            );
+        }
         let skip = if cfg.skip_loops {
             vec![SkipState::default(); num_ops as usize]
         } else {
@@ -142,11 +345,16 @@ impl<M: AccessMap> DepBuilder<M> {
             cfg,
             skip,
             stats: SkipStats::default(),
+            scratch: ChunkScratch::default(),
+            dep_cache: DepCache::default(),
         }
     }
 
     /// Evict a dead address range from both maps (lifetime analysis).
+    /// Closes any open streamed epoch first, so the eviction sees (and
+    /// clears) the authoritative shadow state.
     pub fn clear_range(&mut self, addr: u64, words: u64) {
+        self.flush_groups();
         self.read_map.clear_range(addr, words);
         self.write_map.clear_range(addr, words);
     }
@@ -252,6 +460,295 @@ impl<M: AccessMap> DepBuilder<M> {
         self.build(a, status_read, status_write, resolver);
     }
 
+    /// Process one chunk of packed accesses — the parallel engine's hot
+    /// path. Output is bit-identical to unpacking each record (including
+    /// its repeats) and calling [`DepBuilder::process`] in order, but the
+    /// shadow maps are probed once per *distinct storage slot* per chunk
+    /// instead of once per access:
+    ///
+    /// 1. group the chunk's accesses by [`AccessMap::slot_key`] (stable:
+    ///    same-slot order is preserved, and accesses to different slots
+    ///    never interact, so grouping is exact even under signature
+    ///    collisions);
+    /// 2. probe the statuses of all distinct slots with the batched
+    ///    [`AccessMap::get_many`] (8-wide);
+    /// 3. replay the chunk in original order against the in-cache group
+    ///    statuses, funnelling built dependences through a small
+    ///    recent-dependence cache that flushes via [`DepSet::insert_n`];
+    /// 4. write the final cell of every touched slot back with
+    ///    [`AccessMap::set_many`].
+    ///
+    /// Deallocations must not be interleaved *within* a chunk (the
+    /// transport flushes open chunks before shipping a dealloc), which is
+    /// what makes the end-of-chunk write-back equivalent to per-access
+    /// stores.
+    pub fn process_packed_chunk(
+        &mut self,
+        items: &[PackedAccess],
+        meta: &[MemOpMeta],
+        resolver: &impl CarriedResolver,
+    ) {
+        if self.cfg.skip_loops {
+            // The skip optimization keys its state on per-access map
+            // probes; keep it on the scalar path for exactness.
+            for it in items {
+                let a = it.unpack(&meta[it.op as usize]);
+                for _ in 0..=it.rep {
+                    self.process(&a, resolver);
+                }
+            }
+            return;
+        }
+        // Mode switch: a streamed epoch's cached state must land in the
+        // maps before the chunked path re-probes them.
+        self.flush_groups();
+        // Take the scratch out of `self` so the replay loop can borrow the
+        // builder (dep cache, stats) and the scratch independently.
+        let mut s = std::mem::take(&mut self.scratch);
+        s.entries.clear();
+        s.index.begin(items.len());
+        if M::BATCHED_PROBES {
+            // Two-pass shape for maps whose probes benefit from batching
+            // (signatures: the address hashes pipeline 8-wide).
+            // Pass 1: group by slot key, collecting each distinct slot's
+            // first address as the probe head.
+            s.entry_of.clear();
+            s.heads.clear();
+            for it in items {
+                let key = self.read_map.slot_key(it.addr);
+                let (idx, new) = s.index.find_or_insert(key, s.entries.len() as u32);
+                if new {
+                    s.entries.push(GroupEntry::probed(it.addr, None, None));
+                    s.heads.push(it.addr);
+                }
+                s.entry_of.push(idx);
+            }
+            // Pass 2: batched status probe of the distinct slots.
+            s.stat_read.clear();
+            s.stat_write.clear();
+            self.read_map.get_many(&s.heads, &mut s.stat_read);
+            self.write_map.get_many(&s.heads, &mut s.stat_write);
+            for (e, (r, w)) in s
+                .entries
+                .iter_mut()
+                .zip(s.stat_read.iter().zip(&s.stat_write))
+            {
+                e.status_read = *r;
+                e.status_write = *w;
+            }
+            // Pass 3: replay in original order against the grouped
+            // statuses.
+            for (it, &idx) in items.iter().zip(&s.entry_of) {
+                Self::replay_item(
+                    &mut self.deps,
+                    &mut self.dep_cache,
+                    &mut self.stats,
+                    &mut s.entries[idx as usize],
+                    it,
+                    meta,
+                    resolver,
+                );
+            }
+        } else {
+            // Fused single pass for exact maps: their probes are
+            // page-cache hits, so batching buys nothing and the
+            // intermediate per-item index vector would cost more than it
+            // saves. Semantics are identical — first touch of a slot
+            // probes, later touches hit the group entry.
+            for it in items {
+                let key = self.read_map.slot_key(it.addr);
+                let (idx, new) = s.index.find_or_insert(key, s.entries.len() as u32);
+                if new {
+                    s.entries.push(GroupEntry::probed(
+                        it.addr,
+                        self.read_map.get(it.addr),
+                        self.write_map.get(it.addr),
+                    ));
+                }
+                Self::replay_item(
+                    &mut self.deps,
+                    &mut self.dep_cache,
+                    &mut self.stats,
+                    &mut s.entries[idx as usize],
+                    it,
+                    meta,
+                    resolver,
+                );
+            }
+        }
+        // Pass 4: write the final slot states back, batched.
+        s.write_back(&mut self.read_map, &mut self.write_map);
+        self.scratch = s;
+        // Keep the invariant that `deps` is fully materialized between
+        // chunks (finish(), bytes(), and tests read it directly).
+        self.dep_cache.flush(&mut self.deps);
+    }
+
+    /// Process one packed access through a *persistent* group cache — the
+    /// inline transport's per-access entry point. Grouping semantics are
+    /// identical to [`DepBuilder::process_packed_chunk`], but the group
+    /// cache stays live across calls (an *epoch*) instead of writing back
+    /// every chunk: the producer-side buffer, its copy-out/copy-in, and
+    /// most shadow-map traffic disappear entirely. An epoch closes — the
+    /// cached cells write back to the shadow maps — on
+    /// [`DepBuilder::flush_groups`], any [`DepBuilder::clear_range`], a
+    /// mode switch to the chunked path, [`DepBuilder::finish`], or when
+    /// the cache reaches its capacity (`STREAM_EPOCH_CAP` distinct slots).
+    pub fn process_streamed(
+        &mut self,
+        it: &PackedAccess,
+        meta: &[MemOpMeta],
+        resolver: &impl CarriedResolver,
+    ) {
+        if self.cfg.skip_loops {
+            // The skip optimization keys its state on per-access map
+            // probes; keep it on the scalar path for exactness.
+            let a = it.unpack(&meta[it.op as usize]);
+            for _ in 0..=it.rep {
+                self.process(&a, resolver);
+            }
+            return;
+        }
+        let s = &mut self.scratch;
+        if !s.stream_open {
+            s.entries.clear();
+            s.index.begin(STREAM_EPOCH_CAP);
+            s.stream_open = true;
+        }
+        let key = self.read_map.slot_key(it.addr);
+        let (idx, new) = s.index.find_or_insert(key, s.entries.len() as u32);
+        if new {
+            s.entries.push(GroupEntry::probed(
+                it.addr,
+                self.read_map.get(it.addr),
+                self.write_map.get(it.addr),
+            ));
+        }
+        Self::replay_item(
+            &mut self.deps,
+            &mut self.dep_cache,
+            &mut self.stats,
+            &mut s.entries[idx as usize],
+            it,
+            meta,
+            resolver,
+        );
+        if self.scratch.entries.len() >= STREAM_EPOCH_CAP {
+            self.flush_groups();
+        }
+    }
+
+    /// Close the open streamed epoch, if any: write every touched group
+    /// cell back to the shadow maps and flush the dependence cache. A
+    /// no-op when no epoch is open.
+    pub fn flush_groups(&mut self) {
+        let s = &mut self.scratch;
+        if !s.stream_open {
+            return;
+        }
+        s.write_back(&mut self.read_map, &mut self.write_map);
+        s.entries.clear();
+        s.stream_open = false;
+        self.dep_cache.flush(&mut self.deps);
+    }
+
+    /// Replay one packed access (plus its combined repeats) against its
+    /// group's in-cache shadow state — the shared body of the chunked and
+    /// streamed paths. Mirrors the non-skip [`DepBuilder::build`] exactly.
+    /// A free-standing function over the builder's parts so the streamed
+    /// path can borrow the group cache and the dependence stores from
+    /// `self` simultaneously.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn replay_item(
+        deps: &mut DepSet,
+        dep_cache: &mut DepCache,
+        stats: &mut SkipStats,
+        e: &mut GroupEntry,
+        it: &PackedAccess,
+        meta: &[MemOpMeta],
+        resolver: &impl CarriedResolver,
+    ) {
+        let m = &meta[it.op as usize];
+        let cell = Cell {
+            op: it.op,
+            line: m.line,
+            var: m.var,
+            thread: it.thread as u32,
+            ts: it.ts,
+            instance: it.instance,
+            iter: it.iter,
+        };
+        let n = it.rep as u64 + 1;
+        stats.total_accesses += n;
+        if m.is_write {
+            match e.status_write {
+                None => {
+                    // First write: INIT, then (rep) self-WAWs against the
+                    // cell the first replay just stored.
+                    dep_cache.insert(
+                        Dep {
+                            sink: SrcLoc::new(m.line),
+                            ty: DepType::Init,
+                            source: SrcLoc::new(m.line),
+                            var: u32::MAX,
+                            sink_thread: it.thread as u32,
+                            source_thread: it.thread as u32,
+                            carried_by: None,
+                            race_hint: false,
+                        },
+                        1,
+                        deps,
+                    );
+                    if n > 1 {
+                        stats.write_dep_total += n - 1;
+                        dep_cache.insert(
+                            Dep {
+                                sink: SrcLoc::new(m.line),
+                                ty: DepType::Waw,
+                                source: SrcLoc::new(m.line),
+                                var: m.var,
+                                sink_thread: it.thread as u32,
+                                source_thread: it.thread as u32,
+                                carried_by: None,
+                                race_hint: false,
+                            },
+                            n - 1,
+                            deps,
+                        );
+                    }
+                }
+                Some(w) => {
+                    // First replay classifies against the pre-access
+                    // statuses; the remaining replays are WAWs against the
+                    // replay's own cell (consecutive writes).
+                    stats.write_dep_total += n;
+                    let (ty, src) = match e.status_read {
+                        Some(r) if r.ts > w.ts => (DepType::War, r),
+                        _ => (DepType::Waw, w),
+                    };
+                    record_dep(deps, dep_cache, ty, it, m, &src, resolver, 1);
+                    if n > 1 {
+                        record_dep(deps, dep_cache, DepType::Waw, it, m, &cell, resolver, n - 1);
+                    }
+                }
+            }
+            e.status_write = Some(cell);
+            e.touched_write = true;
+            e.write_addr = it.addr;
+        } else {
+            if let Some(w) = e.status_write {
+                // Every replay reads the same last write: n identical
+                // RAWs.
+                stats.read_dep_total += n;
+                record_dep(deps, dep_cache, DepType::Raw, it, m, &w, resolver, n);
+            }
+            e.status_read = Some(cell);
+            e.touched_read = true;
+            e.read_addr = it.addr;
+        }
+    }
+
     /// Algorithm 2: signature-based dependence detection.
     fn build(
         &mut self,
@@ -325,8 +822,56 @@ impl<M: AccessMap> DepBuilder<M> {
     }
 
     /// Consume the engine, returning its dependence set and stats.
-    pub fn finish(self) -> (DepSet, SkipStats) {
+    pub fn finish(mut self) -> (DepSet, SkipStats) {
+        self.flush_groups();
         (self.deps, self.stats)
+    }
+
+    /// Remove and return the read/write status of `addr` — one half of the
+    /// parallel engine's exact hot-address migration (the other half is
+    /// [`DepBuilder::inject_addr`] on the receiving worker). For
+    /// signatures this moves the *slot* `addr` hashes to, which is exactly
+    /// the state the signature would have consulted.
+    pub fn extract_addr(&mut self, addr: u64) -> (Option<Cell>, Option<Cell>) {
+        self.flush_groups();
+        let r = self.read_map.get(addr);
+        let w = self.write_map.get(addr);
+        self.read_map.clear_range(addr, 1);
+        self.write_map.clear_range(addr, 1);
+        (r, w)
+    }
+
+    /// Install a migrated read/write status for `addr` (see
+    /// [`DepBuilder::extract_addr`]).
+    pub fn inject_addr(&mut self, addr: u64, read: Option<Cell>, write: Option<Cell>) {
+        self.flush_groups();
+        if let Some(c) = read {
+            self.read_map.set(addr, c);
+        }
+        if let Some(c) = write {
+            self.write_map.set(addr, c);
+        }
+    }
+}
+
+impl DepBuilder<crate::maps::PerfectMap> {
+    /// Move the entire shadow state out of this builder, leaving it empty —
+    /// the donor side of a partition *merge*. Only exact maps can do this
+    /// (signatures store no addresses), which is why the parallel engine
+    /// merges underloaded partitions only on its perfect-map backend.
+    pub fn drain_shadow(&mut self) -> Vec<(u64, Option<Cell>, Option<Cell>)> {
+        self.flush_groups();
+        let read = std::mem::take(&mut self.read_map);
+        let write = std::mem::take(&mut self.write_map);
+        let mut merged: fxhash::FxHashMap<u64, (Option<Cell>, Option<Cell>)> =
+            fxhash::FxHashMap::default();
+        for (a, c) in read.entries() {
+            merged.entry(a).or_default().0 = Some(c);
+        }
+        for (a, c) in write.entries() {
+            merged.entry(a).or_default().1 = Some(c);
+        }
+        merged.into_iter().map(|(a, (r, w))| (a, r, w)).collect()
     }
 }
 
@@ -480,6 +1025,113 @@ mod tests {
         }
         assert_eq!(e.deps.sorted(), b.deps.sorted());
         assert_eq!(e.stats.total_skipped, 0);
+    }
+
+    /// The load-bearing differential test of the chunked engine: on long
+    /// pseudo-random access streams — including producer-side combining,
+    /// loop contexts, and signature collisions — the grouped/batched path
+    /// must produce byte-identical output (dependences, per-dependence
+    /// counts, totals, stats) to scalar per-access processing.
+    fn packed_chunk_matches_scalar_on<M: AccessMap, F: Fn() -> M>(mk: F, seed: u64) {
+        use crate::access::{push_combining, PackedAccess};
+        let mut rng = seed;
+        let mut next = move || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        // A synthetic static-op table: op id determines line/var/direction.
+        let num_ops = 24u32;
+        let meta: Vec<interp::MemOpMeta> = (0..num_ops)
+            .map(|o| interp::MemOpMeta {
+                line: 10 + o % 7,
+                var: o % 5,
+                is_write: o % 3 == 0,
+            })
+            .collect();
+        let mut table = InstanceTable::new();
+        let outer = table.enter((0, 1), NO_INSTANCE, 0);
+        let inner = table.enter((0, 2), outer, 1);
+        let instances = [NO_INSTANCE, outer, inner];
+
+        let mut scalar = DepBuilder::new(mk(), mk(), num_ops, EngineConfig::default());
+        let mut chunked = DepBuilder::new(mk(), mk(), num_ops, EngineConfig::default());
+        let mut ts = 0u64;
+        let mut chunk: Vec<PackedAccess> = Vec::new();
+        for _ in 0..400 {
+            // One chunk of 1..=48 accesses, biased toward repeated sites so
+            // producer combining actually fires.
+            chunk.clear();
+            let len = (next() % 48 + 1) as usize;
+            let mut scalar_stream = Vec::new();
+            let mut site = None;
+            for _ in 0..len {
+                let r = next();
+                let a = if r % 4 == 0 {
+                    // repeat the previous site with a fresh timestamp
+                    site.unwrap_or_else(|| {
+                        let op = (r >> 8) as u32 % num_ops;
+                        (0x4000 + (r >> 16) % 16 * 8, op, (r >> 40) as usize % 3)
+                    })
+                } else {
+                    let op = (r >> 8) as u32 % num_ops;
+                    (0x4000 + (r >> 16) % 16 * 8, op, (r >> 40) as usize % 3)
+                };
+                site = Some(a);
+                let (addr, op, inst) = a;
+                ts += 1;
+                let acc = Access {
+                    addr,
+                    op,
+                    line: meta[op as usize].line,
+                    var: meta[op as usize].var,
+                    thread: 0,
+                    ts,
+                    is_write: meta[op as usize].is_write,
+                    instance: instances[inst],
+                    iter: if instances[inst] == NO_INSTANCE { 0 } else { 2 },
+                };
+                scalar_stream.push(acc);
+                push_combining(&mut chunk, PackedAccess::pack(&acc));
+            }
+            for a in &scalar_stream {
+                scalar.process(a, &table);
+            }
+            chunked.process_packed_chunk(&chunk, &meta, &table);
+            // Occasional dealloc at a chunk boundary (the only place the
+            // transport ever delivers one).
+            if next() % 5 == 0 {
+                let addr = 0x4000 + next() % 16 * 8;
+                let words = next() % 4;
+                scalar.clear_range(addr, words);
+                chunked.clear_range(addr, words);
+            }
+        }
+        assert_eq!(scalar.deps.sorted(), chunked.deps.sorted());
+        assert_eq!(scalar.deps.total_found, chunked.deps.total_found);
+        for d in scalar.deps.sorted() {
+            assert_eq!(scalar.deps.count(&d), chunked.deps.count(&d), "{d:?}");
+        }
+        assert_eq!(
+            scalar.stats.total_accesses, chunked.stats.total_accesses,
+            "replayed access totals must match"
+        );
+        assert_eq!(scalar.stats.read_dep_total, chunked.stats.read_dep_total);
+        assert_eq!(scalar.stats.write_dep_total, chunked.stats.write_dep_total);
+    }
+
+    #[test]
+    fn packed_chunk_matches_scalar_perfect() {
+        packed_chunk_matches_scalar_on(PerfectMap::new, 0xA11CE);
+    }
+
+    #[test]
+    fn packed_chunk_matches_scalar_signature_collisions() {
+        // 13 slots over 16 addresses: heavy aliasing; the grouped path must
+        // reproduce the signature's collision behaviour exactly.
+        packed_chunk_matches_scalar_on(|| crate::maps::SignatureMap::new(13), 0xB0B);
+        packed_chunk_matches_scalar_on(|| crate::maps::SignatureMap::new(1 << 12), 0xC0FFEE);
     }
 
     #[test]

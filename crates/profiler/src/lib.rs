@@ -53,8 +53,8 @@ pub mod run;
 pub mod serial;
 
 pub use access::{
-    carried_by_in, Access, CarriedResolver, Instance, InstanceRegistry, InstanceTable, LoopContext,
-    LoopKey, NO_INSTANCE,
+    carried_by_in, push_combining, Access, CarriedResolver, Instance, InstanceRegistry,
+    InstanceTable, LoopContext, LoopKey, PackedAccess, NO_INSTANCE,
 };
 pub use dep::{render_text, ControlSpan, Dep, DepSet, DepType, SrcLoc};
 pub use engine::{DepBuilder, EngineConfig, SkipStats};

@@ -102,16 +102,26 @@ impl EngineKind {
     /// footprints.
     pub const AUTO_SIGNATURE_SLOTS: usize = 1 << 18;
 
-    /// Pick an engine from the program's static address footprint: the
-    /// exact page-table shadow for small address sets,
-    /// `serial-signature` beyond [`EngineKind::AUTO_PERFECT_MAX_WORDS`]
-    /// words (globals + one frame per function — a static proxy for the
-    /// touched address space). This is the `discopop` CLI's default engine,
-    /// so the out-of-the-box configuration is exact where exactness is
-    /// cheap and bounded where it is not.
+    /// Pick an engine from the program's static shape: the exact
+    /// page-table shadow for small address sets, and beyond
+    /// [`EngineKind::AUTO_PERFECT_MAX_WORDS`] words (globals + one frame
+    /// per function — a static proxy for the touched address space) either
+    /// `serial-signature` or — for targets that spawn their own threads —
+    /// the parallel engine. Spawning targets with big footprints are the
+    /// long, access-heavy runs the adaptive transport is built for (it
+    /// stays inline until volume and cores justify workers), so routing
+    /// them there is now a win rather than the 5–8× regression the fixed
+    /// pipeline used to be. Note this selects the single-producer
+    /// [`crate::profile_parallel`] engine; the multi-producer replay of
+    /// §2.3.4 remains the explicit `profile_threads` facade API. This is
+    /// the `discopop` CLI's default engine, so the out-of-the-box
+    /// configuration is exact where exactness is cheap and bounded where
+    /// it is not.
     pub fn auto_for(prog: &Program) -> EngineKind {
         if prog.footprint_words() <= Self::AUTO_PERFECT_MAX_WORDS {
             EngineKind::SerialPerfect
+        } else if prog.spawns_threads() {
+            EngineKind::parallel(8)
         } else {
             EngineKind::SerialSignature {
                 slots: Self::AUTO_SIGNATURE_SLOTS,
@@ -136,8 +146,9 @@ impl EngineKind {
 
     /// Parse the textual spec format produced by [`EngineKind::label`]:
     /// `serial-perfect`, `serial-signature[:slots]`, or
-    /// `parallel[:workers[x chunk][:queue]]` with queue `lock-free` or
-    /// `lock-based`. This is what `discopop analyze --engine` accepts.
+    /// `parallel[:[workers=]workers[x chunk][:queue]]` with queue
+    /// `lock-free` or `lock-based`. This is what `discopop analyze
+    /// --engine` accepts.
     ///
     /// ```
     /// use profiler::EngineKind;
@@ -147,6 +158,7 @@ impl EngineKind {
     ///     Ok(EngineKind::SerialSignature { slots: 4096 })
     /// );
     /// assert_eq!(EngineKind::parse("parallel:4"), Ok(EngineKind::parallel(4)));
+    /// assert_eq!(EngineKind::parse("parallel:workers=4"), Ok(EngineKind::parallel(4)));
     /// let roundtrip = EngineKind::parse(&EngineKind::parallel(8).label()).unwrap();
     /// assert_eq!(roundtrip, EngineKind::parallel(8));
     /// ```
@@ -175,19 +187,24 @@ impl EngineKind {
             "parallel" => {
                 let (workers, chunk) = match parts.next() {
                     None => (8, 256),
-                    Some(wc) => match wc.split_once('x') {
-                        None => (
-                            wc.parse::<usize>()
-                                .map_err(|_| format!("bad worker count `{wc}`"))?,
-                            256,
-                        ),
-                        Some((w, c)) => (
-                            w.parse::<usize>()
-                                .map_err(|_| format!("bad worker count `{w}`"))?,
-                            c.parse::<usize>()
-                                .map_err(|_| format!("bad chunk size `{c}`"))?,
-                        ),
-                    },
+                    Some(wc) => {
+                        // `workers=N` is accepted as an explicit spelling
+                        // of the worker count.
+                        let wc = wc.strip_prefix("workers=").unwrap_or(wc);
+                        match wc.split_once('x') {
+                            None => (
+                                wc.parse::<usize>()
+                                    .map_err(|_| format!("bad worker count `{wc}`"))?,
+                                256,
+                            ),
+                            Some((w, c)) => (
+                                w.parse::<usize>()
+                                    .map_err(|_| format!("bad worker count `{w}`"))?,
+                                c.parse::<usize>()
+                                    .map_err(|_| format!("bad chunk size `{c}`"))?,
+                            ),
+                        }
+                    }
                 };
                 let queue = match parts.next() {
                     None | Some("lock-free") => QueueKind::LockFree,
@@ -282,11 +299,20 @@ impl Default for ProfileConfig {
 /// [`ProfileOutput::parallel`].
 #[derive(Debug, Clone, Serialize)]
 pub struct ParallelStats {
-    /// Chunks shipped to workers.
+    /// Chunks delivered (inline-processed or shipped to workers).
     pub chunks: u64,
-    /// Rebalance operations performed (§2.3.3 load balancing).
+    /// Accesses absorbed by producer-side repeat combining.
+    pub combined: u64,
+    /// Hot-address rebalance operations performed (§2.3.3 load balancing).
     pub rebalances: u64,
-    /// Accesses processed per worker (load distribution).
+    /// Underloaded-partition merges performed (inline adaptive mode).
+    pub merges: u64,
+    /// Full-queue retries the producer suffered while pushing.
+    pub queue_stalls: u64,
+    /// Worker threads actually spawned (`0` = the adaptive transport kept
+    /// the whole run inline).
+    pub spawned_workers: usize,
+    /// Accesses processed per partition (load distribution).
     pub worker_processed: Vec<u64>,
 }
 
@@ -422,6 +448,42 @@ mod tests {
         let small = program("global int a[64];\nfn main() { a[0] = 1; }");
         assert_eq!(EngineKind::auto_for(&small), EngineKind::SerialPerfect);
         assert!(small.footprint_words() <= EngineKind::AUTO_PERFECT_MAX_WORDS);
+    }
+
+    #[test]
+    fn auto_routes_large_multithreaded_targets_to_parallel() {
+        // Big footprint + spawn(): the adaptive parallel engine is the
+        // auto-selected default.
+        let big_mt = program(
+            "global int a[300000];\nfn w(int n) { for (int i = 0; i < n; i = i + 1) { a[i] = i; } }\nfn main() { int t = spawn(w, 8); join(t); a[1] = a[0]; }",
+        );
+        assert!(big_mt.footprint_words() > EngineKind::AUTO_PERFECT_MAX_WORDS);
+        assert!(big_mt.spawns_threads());
+        assert_eq!(EngineKind::auto_for(&big_mt), EngineKind::parallel(8));
+        // Small footprint + spawn(): exactness still wins.
+        let small_mt = program(
+            "global int c;\nfn w(int n) { c = c + n; }\nfn main() { int t = spawn(w, 3); join(t); }",
+        );
+        assert!(small_mt.spawns_threads());
+        assert_eq!(EngineKind::auto_for(&small_mt), EngineKind::SerialPerfect);
+    }
+
+    #[test]
+    fn parse_accepts_workers_prefix() {
+        assert_eq!(
+            EngineKind::parse("parallel:workers=6"),
+            Ok(EngineKind::parallel(6))
+        );
+        assert_eq!(
+            EngineKind::parse("parallel:workers=4x128:lock-based"),
+            Ok(EngineKind::Parallel {
+                workers: 4,
+                chunk: 128,
+                queue: QueueKind::LockBased,
+            })
+        );
+        assert!(EngineKind::parse("parallel:workers=").is_err());
+        assert!(EngineKind::parse("parallel:workers=x8").is_err());
     }
 
     #[test]

@@ -211,6 +211,80 @@ fn engine_kinds_agree_on_workloads() {
     }
 }
 
+/// The adaptive parallel engine must stay bit-for-bit identical to
+/// `serial-perfect` on real workloads across transport shapes: worker,
+/// chunk, and queue-capacity sweeps; inline-only runs; forced spawning
+/// (threshold 0 exercises the builder hand-off on any host); and a
+/// rebalance-triggering run.
+#[test]
+fn adaptive_parallel_matches_perfect_across_configs() {
+    for (name, p) in [
+        ("MG", workloads::by_name("MG").unwrap().program().unwrap()),
+        ("CG", workloads::by_name("CG").unwrap().program().unwrap()),
+        (
+            "matmul",
+            workloads::by_name("matmul").unwrap().program().unwrap(),
+        ),
+    ] {
+        let perfect = profile_program(&p).unwrap();
+        let configs = [
+            // (workers, chunk ceiling, queue cap, spawn threshold)
+            (2, 16, 8, u64::MAX),    // inline, tiny chunks
+            (4, 64, 64, u64::MAX),   // inline, mid
+            (8, 256, 512, u64::MAX), // inline, default shape
+            (4, 64, 8, 0),           // spawned from access 0
+            (3, 32, 16, 1 << 12),    // escalates mid-run
+        ];
+        for (workers, chunk, queue_cap, spawn_threshold) in configs {
+            let cfg = ParallelConfig {
+                workers,
+                chunk_size: chunk,
+                queue_cap,
+                spawn_threshold,
+                rebalance_interval: 0,
+                ..Default::default()
+            };
+            let par = profiler::profile_parallel(&p, cfg, RunConfig::default()).unwrap();
+            assert_eq!(
+                par.deps.sorted(),
+                perfect.deps.sorted(),
+                "{name}: parallel {workers}w x{chunk} q{queue_cap} t{spawn_threshold} diverged"
+            );
+            assert_eq!(
+                par.deps.total_found, perfect.deps.total_found,
+                "{name}: pre-merge totals differ"
+            );
+            for d in par.deps.sorted() {
+                assert_eq!(
+                    par.deps.count(&d),
+                    perfect.deps.count(&d),
+                    "{name}: occurrence count differs for {d:?}"
+                );
+            }
+        }
+        // Rebalance-triggering runs, all modes: inline (partition merges),
+        // spawned (exact hot-address migration), and a mid-run escalation
+        // after possible merges (partition compaction hand-off).
+        for spawn_threshold in [u64::MAX, 0, 1 << 13] {
+            let cfg = ParallelConfig {
+                workers: 8,
+                chunk_size: 32,
+                queue_cap: 64,
+                spawn_threshold,
+                rebalance_interval: 5,
+                ..Default::default()
+            };
+            let par = profiler::profile_parallel(&p, cfg, RunConfig::default()).unwrap();
+            assert_eq!(
+                par.deps.sorted(),
+                perfect.deps.sorted(),
+                "{name}: rebalancing run (threshold {spawn_threshold}) diverged"
+            );
+            assert_eq!(par.deps.total_found, perfect.deps.total_found);
+        }
+    }
+}
+
 #[test]
 fn multithreaded_target_matches_serial_replay() {
     // Lock-ordered multithreaded target: every cross-thread access to the
@@ -230,8 +304,8 @@ fn main() { int a = spawn(w, 30); int b = spawn(w, 30); join(a); join(b); }";
             sig_slots: 1 << 18,
             queue: QueueKind::LockFree,
             queue_cap: 64,
-            lifetime: true,
             rebalance_interval: 0,
+            ..Default::default()
         },
         RunConfig::default(),
     )
@@ -272,8 +346,8 @@ fn main() { int a = spawn(w, 25); int b = spawn(w, 25); join(a); join(b); }";
         sig_slots: 1 << 18,
         queue: QueueKind::LockFree,
         queue_cap: 64,
-        lifetime: true,
         rebalance_interval: 0,
+        ..Default::default()
     };
     let a = profile_multithreaded_target(&p, cfg(), RunConfig::default()).unwrap();
     let b = profile_multithreaded_target(&p, cfg(), RunConfig::default()).unwrap();
