@@ -10,6 +10,11 @@
 //! Metrics per engine and workload:
 //! - `accesses_per_sec`: dynamic memory accesses processed per wall second
 //!   (the profiler's throughput).
+//! - a `native_unfused` row: the uninstrumented interpreter with the
+//!   superinstruction peephole disabled, timed against the fused native
+//!   run every other row divides by — so a dispatch-loop regression (or a
+//!   fusion win evaporating) is visible directly in the baseline, and the
+//!   CI `--only stress` smoke exercises both decode modes on every push.
 //! - `slowdown_vs_native`: profiled time / uninstrumented time — the
 //!   headline number of the source paper's evaluation (Fig. 2.10).
 //! - `peak_map_bytes`: the profiler's reported memory footprint.
@@ -26,7 +31,7 @@
 //! that keeps the bench path building and running on every push without
 //! gating on timing.
 
-use interp::{Program, RunConfig};
+use interp::{DecodeConfig, Program, RunConfig};
 use profiler::{
     EngineConfig, EngineKind, HashShadowMap, ParallelStats, ProfileConfig, SerialProfiler,
 };
@@ -144,12 +149,20 @@ fn main() {
             hashmap_bytes = b;
         };
 
+        // The same module decoded without the superinstruction peephole:
+        // the fused-vs-unfused native delta is the dispatch win the
+        // interpreter's compaction/fusion tentpole has to keep.
+        let p_unfused = Program::with_decode_config(p.module.clone(), DecodeConfig { fuse: false });
         let times = {
             // The native (uninstrumented) run is a candidate like any
             // other, so the slowdown ratios divide two numbers produced by
             // the same estimator (interleaved minimum).
             let mut run_native = || {
                 interp::run_with_config(p, interp::NullSink, RunConfig::default()).expect("runs");
+            };
+            let mut run_native_unfused = || {
+                interp::run_with_config(&p_unfused, interp::NullSink, RunConfig::default())
+                    .expect("runs");
             };
             let mut run_perfect = || drop(perfect(false));
             let mut run_signature = || drop(signature(false));
@@ -159,6 +172,7 @@ fn main() {
                 reps,
                 &mut [
                     &mut run_native,
+                    &mut run_native_unfused,
                     &mut run_perfect,
                     &mut seed_run,
                     &mut hashmap_run,
@@ -175,12 +189,21 @@ fn main() {
             "seed baseline and current engine disagree on {name}"
         );
 
+        rows.push(row(
+            name,
+            "native_unfused",
+            accesses,
+            times[1],
+            native,
+            0,
+            None,
+        ));
         let (bytes, _) = perfect(true);
         rows.push(row(
             name,
             "serial_perfect",
             accesses,
-            times[1],
+            times[2],
             native,
             bytes,
             None,
@@ -189,7 +212,7 @@ fn main() {
             name,
             "serial_seed_baseline",
             accesses,
-            times[2],
+            times[3],
             native,
             0,
             None,
@@ -198,7 +221,7 @@ fn main() {
             name,
             "serial_hashmap_shadow",
             accesses,
-            times[3],
+            times[4],
             native,
             hashmap_bytes,
             None,
@@ -208,7 +231,7 @@ fn main() {
             name,
             "serial_signature",
             accesses,
-            times[4],
+            times[5],
             native,
             bytes,
             None,
@@ -218,7 +241,7 @@ fn main() {
             name,
             "lock_free_2t",
             accesses,
-            times[5],
+            times[6],
             native,
             bytes,
             stats,
@@ -228,13 +251,16 @@ fn main() {
             name,
             "lock_free_8t",
             accesses,
-            times[6],
+            times[7],
             native,
             bytes,
             stats,
         ));
 
-        eprintln!("{name}: native {native:.3}s, {accesses} accesses");
+        eprintln!(
+            "{name}: native {native:.3}s (unfused {:.3}s), {accesses} accesses",
+            times[1]
+        );
     }
 
     let json = render_json(&rows);

@@ -46,6 +46,7 @@ fn main() -> ExitCode {
             println!("  parallel[:[workers=]N[xchunk][:queue]]");
             println!("                                    adaptive producer/consumer pipeline");
             println!("                                    queue: lock-free (default) | lock-based");
+            println!("                                    N and chunk must be positive (parallel:0 is an error)");
             println!(
                 "without --engine, the engine is auto-selected (EngineKind::auto_for): \
                  serial-perfect for small address footprints, and beyond them \

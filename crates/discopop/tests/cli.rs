@@ -211,6 +211,31 @@ fn report_subcommand_renders_saved_json() {
 }
 
 #[test]
+fn zero_worker_and_chunk_specs_are_rejected() {
+    // `parallel:0` / `parallel:Nx0` must fail loudly — the parser no
+    // longer clamps them to 1 — matching `serial-signature:0`.
+    for (spec, msg) in [
+        ("parallel:0", "worker count must be positive"),
+        ("parallel:workers=0", "worker count must be positive"),
+        ("parallel:4x0", "chunk size must be positive"),
+        ("serial-signature:0", "slot count must be positive"),
+    ] {
+        let res = Command::new(BIN)
+            .args(["analyze", "x.dp", "--engine", spec])
+            .output()
+            .unwrap();
+        assert!(!res.status.success(), "`{spec}` must fail");
+        let stderr = String::from_utf8_lossy(&res.stderr);
+        assert!(stderr.contains(msg), "`{spec}`: {stderr}");
+    }
+    // The help lists the constraint.
+    let res = Command::new(BIN).args(["engines"]).output().unwrap();
+    assert!(res.status.success());
+    let stdout = String::from_utf8_lossy(&res.stdout);
+    assert!(stdout.contains("must be positive"), "{stdout}");
+}
+
+#[test]
 fn bad_inputs_fail_with_diagnostics() {
     // Unknown engine spec.
     let res = Command::new(BIN)

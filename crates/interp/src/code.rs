@@ -1,37 +1,75 @@
-//! Pre-decoded bytecode: the flat execution form of a verified module.
+//! Pre-decoded bytecode: the compact flat execution form of a verified
+//! module.
 //!
 //! [`mir`] functions are tree-shaped — blocks of enum instructions with
 //! name-keyed calls and symbolic places — which is the right shape for
 //! construction and verification but a poor shape for the interpreter hot
-//! loop: every executed instruction re-resolves frame/block/pc, re-walks the
-//! `Place` structure, re-derives its static memory-operation id, and every
-//! call probes a name map. [`Program::new`](crate::Program::new) therefore
-//! lowers each function once into a [`FuncCode`]: one contiguous [`Op`]
-//! array with
+//! loop. [`Program::new`](crate::Program::new) therefore lowers each
+//! function once into a [`FuncCode`] built around a *hot/cold split*:
 //!
-//! - block starts flattened to absolute pcs (block terminators become
-//!   explicit [`Op::Jump`]/[`Op::Branch`]/[`Op::Return`] ops, so one dynamic
-//!   instruction is exactly one decoded op and step counts are unchanged),
-//! - branch successors encoded as pc *deltas* relative to the branching op,
-//! - call targets pre-resolved to function indices ([`Op::CallUser`]) or
-//!   [`Builtin`] ids ([`Op::CallBuiltin`]) — no per-call name lookup; names
-//!   that resolve to nothing decode to [`Op::CallUnknown`] so the runtime
-//!   error still surfaces only if the call actually executes,
-//! - place operands precompiled into [`PlaceCode`] descriptors carrying the
-//!   global-segment slot base or frame word offset, the interned symbol id,
-//!   and the element count for bounds checks,
-//! - memory ops carrying their static operation id inline (what used to be
-//!   the `op_ids[func][block][pc]` side table),
-//! - region metadata ([`RegionCode`]) with owned-local ranges pre-resolved
-//!   to `(frame offset, words)` so region exit never allocates.
+//! - The execution stream is one contiguous array of fixed-size [`HotOp`]
+//!   records (≤ 16 bytes each, compile-time asserted — a quarter of the
+//!   old enum-of-structs op). A hot op carries only the opcode and small
+//!   `u32` operand fields; everything bulky lives in per-function *side
+//!   pools* indexed by those fields:
+//!   - [`MemRef`] pool: precompiled place descriptors (segment/slot base,
+//!     element count, symbol, line, static memory-op id) for loads/stores,
+//!   - immediate pool: deduplicated constant [`Value`]s, referenced by
+//!     [`Opnd`] operands,
+//!   - call-arg pool: argument operand slices for calls,
+//!   - superinstruction pools: the cold bodies of fused ops (below).
+//! - Block starts are flattened to absolute pcs (block terminators become
+//!   explicit [`HotOp::Jump`]/[`HotOp::Branch`]/[`HotOp::Return`] ops, so
+//!   one dynamic instruction is exactly one decoded slot and step counts
+//!   are unchanged); branch successors are pc *deltas* relative to the
+//!   branching op.
+//! - Call targets are pre-resolved to function indices
+//!   ([`HotOp::CallUser`]) or [`Builtin`] ids ([`HotOp::CallBuiltin`]);
+//!   names that resolve to nothing decode to [`HotOp::CallUnknown`] so the
+//!   runtime error still surfaces only if the call actually executes.
+//!
+//! # Superinstructions
+//!
+//! A decode-time peephole (on by default, [`DecodeConfig::fuse`]) fuses the
+//! frequent adjacent sequences of the dispatch loop into single ops:
+//!
+//! | fused op                  | constituent slots          | typical shape |
+//! |---------------------------|----------------------------|---------------|
+//! | [`HotOp::CmpBranch`]      | `Bin`,`Branch`             | loop/if condition |
+//! | [`HotOp::LoadCmpBranch`]  | `Load`,`Bin`,`Branch`      | `i < n` loop header |
+//! | [`HotOp::Rmw`]            | `Load`,`Bin`,`Store`       | `i = i + 1`, `x += v` |
+//! | [`HotOp::LoadRmw`]        | `Load`,`Load`,`Bin`,`Store`| `a[i] = a[i] op b[j]` |
+//!
+//! Fusion is *observationally invisible* — the invariants, pinned by
+//! `tests/decode_equivalence.rs` against the tree-walking oracle in
+//! [`crate::reference`]:
+//!
+//! - A fused op executes its constituents verbatim, in order, emitting the
+//!   same [`Event`](crate::Event)/[`MemEvent`](crate::MemEvent) sequence
+//!   with the same static op ids and timestamps.
+//! - Each constituent counts as one logical step against the scheduler
+//!   slice budget, so slice boundaries — and therefore batch/racy delivery
+//!   boundaries — are unchanged.
+//! - Only the *head* slot of a fused sequence is rewritten; the tail slots
+//!   keep their plain ops. When the budget expires or a constituent traps
+//!   mid-sequence, the machine parks the pc at the first unexecuted (or
+//!   trapping) constituent's own slot, and execution resumes — or the
+//!   error reports — exactly as in the unfused stream.
+//! - The peephole never crosses a block seam (patterns match only inside
+//!   one block's slot range, so no jump target can land between a head and
+//!   its tail expecting fused state), and it skips `Div`/`Rem` bins, whose
+//!   division-by-zero trap would need the cold line table mid-sequence.
 //!
 //! The decode is purely mechanical: [`crate::reference`] interprets the
 //! original tree form and must produce a byte-identical event stream
-//! (`tests/decode_equivalence.rs` pins this on real workloads).
+//! (`tests/decode_equivalence.rs` pins this on real workloads, with the
+//! peephole both enabled and disabled).
 
-use crate::program::{GLOBAL_BASE, WORD};
+use crate::program::{MemOpMeta, GLOBAL_BASE, WORD};
 use fxhash::FxHashMap;
-use mir::{BinOp, Function, Module, Operand, Place, RegId, RegionKind, Terminator, UnOp, VarRef};
+use mir::{
+    BinOp, Function, Module, Operand, Place, RegId, RegionKind, Terminator, UnOp, Value, VarRef,
+};
 
 /// Built-in functions callable from mini-C, pre-resolved at decode time.
 ///
@@ -119,95 +157,264 @@ impl Builtin {
     }
 }
 
-/// A precompiled memory place: everything address resolution needs without
-/// touching the module.
+/// Decode options for [`crate::Program`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeConfig {
+    /// Run the superinstruction peephole (fusion). Off, the stream is the
+    /// plain one-op-per-slot form; on (the default), frequent adjacent
+    /// sequences fuse into single dispatches. Both forms are required to
+    /// produce byte-identical event streams.
+    pub fuse: bool,
+}
+
+impl Default for DecodeConfig {
+    fn default() -> Self {
+        DecodeConfig { fuse: true }
+    }
+}
+
+/// High bit of a packed operand: set for immediates.
+const IMM_BIT: u32 = 1 << 31;
+/// Second-highest bit: among immediates, set for inline small integers.
+const INLINE_BIT: u32 = 1 << 30;
+/// Payload mask of an immediate operand.
+const IMM_MASK: u32 = INLINE_BIT - 1;
+/// Inclusive bound of inline-encodable integers (signed 30-bit payload).
+const INLINE_MAX: i64 = (1 << 29) - 1;
+const INLINE_MIN: i64 = -(1 << 29);
+
+/// Register-destination sentinel for calls with no result.
+pub const DST_NONE: u32 = u32::MAX;
+
+/// A packed instruction operand — one `u32` against the 16-byte
+/// [`mir::Operand`]:
 ///
-/// The interpreter resolves a global place as
-/// `GLOBAL_BASE + (base + index) * WORD` and a local place as
+/// - bit 31 clear: a register index;
+/// - bits 31+30 set: an inline signed 30-bit integer constant (the
+///   overwhelmingly common immediate — loop bounds, strides, ±1 — pays no
+///   pool load);
+/// - bit 31 set, bit 30 clear: an index into the function's immediate pool
+///   (floats and out-of-range integers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Opnd(u32);
+
+impl Opnd {
+    /// Pack a register operand.
+    fn reg(r: RegId) -> Opnd {
+        assert!(r.0 < IMM_BIT, "register index exceeds packed-operand range");
+        Opnd(r.0)
+    }
+
+    /// Pack an immediate-pool reference.
+    fn pool(idx: usize) -> Opnd {
+        assert!(
+            (idx as u64) < IMM_MASK as u64,
+            "immediate pool exceeds packed-operand range"
+        );
+        Opnd(IMM_BIT | idx as u32)
+    }
+
+    /// Pack an inline small-integer constant (`INLINE_MIN..=INLINE_MAX`).
+    fn inline_int(v: i64) -> Opnd {
+        debug_assert!((INLINE_MIN..=INLINE_MAX).contains(&v));
+        Opnd(IMM_BIT | INLINE_BIT | (v as u32 & IMM_MASK))
+    }
+
+    /// Evaluate against the current register file and the function's
+    /// immediate pool. The dispatch-loop equivalent of
+    /// `op_val(Operand::Reg | Operand::Const)`.
+    #[inline]
+    pub fn value(self, regs: &[Value], imms: &[Value]) -> Value {
+        let x = self.0;
+        if (x as i32) >= 0 {
+            regs[x as usize]
+        } else if x & INLINE_BIT != 0 {
+            // Sign-extend the 30-bit payload: shift it to the top and
+            // arithmetic-shift back down.
+            Value::I64((((x << 2) as i32) >> 2) as i64)
+        } else {
+            imms[(x & IMM_MASK) as usize]
+        }
+    }
+}
+
+/// A precompiled memory reference — the cold record behind
+/// [`HotOp::Load`]/[`HotOp::Store`] (and the fused ops' mem constituents):
+/// everything address resolution and event emission need without touching
+/// the module.
+///
+/// The interpreter resolves a global reference as
+/// `GLOBAL_BASE + (base + index) * WORD` and a local one as
 /// `STACK_BASE + thread * STACK_SPAN + (frame_base + base + index) * WORD`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PlaceCode {
+/// Kept to 32 bytes (two per cache line): the out-of-bounds error message
+/// reconstructs the variable name from the interned symbol, so no variable
+/// reference needs to travel here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemRef {
+    /// Element count (1 for scalars) — the bounds check limit.
+    pub elems: u64,
     /// Word slot base: global-segment slot for globals, frame-relative word
     /// offset for locals.
     pub base: u32,
-    /// Element count (1 for scalars) — the bounds check limit.
-    pub elems: u64,
     /// Interned symbol id reported in [`crate::MemEvent::var`].
     pub sym: u32,
+    /// Packed index operand; meaningful only when [`MemRef::has_index`].
+    pub index: Opnd,
+    /// Source line, reported in the memory event.
+    pub line: u32,
+    /// Static memory-operation id.
+    pub op_id: u32,
+    /// `false` addresses element 0 (scalar access; `index` is unused).
+    pub has_index: bool,
     /// `true` = global data segment, `false` = current frame.
     pub global: bool,
-    /// Pre-decoded index operand; `None` addresses element 0.
-    pub index: Option<Operand>,
-    /// The original variable reference, kept only for the cold
-    /// out-of-bounds error path (name lookup).
-    pub var: VarRef,
 }
 
-/// A decoded instruction of the flat stream. Exactly one dynamic executed
-/// instruction per op, including the former block terminators.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Op {
-    /// `dst = load place`, emitting a memory event with static id `op_id`.
+/// Cold body of a fused `Bin`+`Branch` ([`HotOp::CmpBranch`]).
+///
+/// Branch deltas stay relative to the *branch constituent's* slot (head pc
+/// + 1), exactly as in the unfused stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmpBranchCode {
+    /// The (non-trapping) binary operator.
+    pub op: BinOp,
+    /// Bin destination register.
+    pub dst: u32,
+    /// Bin left operand.
+    pub lhs: Opnd,
+    /// Bin right operand.
+    pub rhs: Opnd,
+    /// Branch condition operand.
+    pub cond: Opnd,
+    /// Taken-successor delta from the branch slot.
+    pub then_delta: i32,
+    /// Not-taken-successor delta from the branch slot.
+    pub else_delta: i32,
+}
+
+/// Cold body of a fused `Load`+`Bin`+`Branch` ([`HotOp::LoadCmpBranch`]) —
+/// the `i < n` loop-header triple.
+///
+/// Memory constituents embed their [`MemRef`] by value (duplicating the
+/// pool entry the plain tail op still uses), so the fused path reads one
+/// sequential record instead of chasing a second dependent pool hop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadCmpBranchCode {
+    /// Load destination register.
+    pub load_dst: u32,
+    /// Load memory reference (copy of the tail slot's pool entry).
+    pub load: MemRef,
+    /// The compare-and-branch tail (deltas relative to head pc + 2).
+    pub cmp: CmpBranchCode,
+}
+
+/// Cold body of a fused `Load`+`Bin`+`Store` ([`HotOp::Rmw`]) — the
+/// read-modify-write triple (`i = i + 1`, `x += v`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmwCode {
+    /// Load destination register.
+    pub load_dst: u32,
+    /// Load memory reference (copy of the head slot's pool entry).
+    pub load: MemRef,
+    /// The (non-trapping) binary operator.
+    pub op: BinOp,
+    /// Bin destination register.
+    pub bin_dst: u32,
+    /// Bin left operand.
+    pub lhs: Opnd,
+    /// Bin right operand.
+    pub rhs: Opnd,
+    /// Store memory reference (copy of the tail slot's pool entry).
+    pub store: MemRef,
+    /// Store value operand.
+    pub store_src: Opnd,
+}
+
+/// Cold body of a fused `Load`+`Load`+`Bin`+`Store` ([`HotOp::LoadRmw`]) —
+/// the array-update quadruple (`a[i] = a[i] op b[j]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadRmwCode {
+    /// First load destination register.
+    pub load_dst: u32,
+    /// First load memory reference (copy of the head slot's pool entry).
+    pub load: MemRef,
+    /// Second load + bin + store tail.
+    pub rmw: RmwCode,
+}
+
+/// A decoded instruction slot of the flat stream — the fixed-size hot
+/// record of the hot/cold split. Exactly one slot per dynamic instruction
+/// of the unfused stream; fused ops occupy their head constituent's slot
+/// (tails keep their plain ops for mid-sequence resume).
+///
+/// The 16-byte bound is what makes the dispatch loop walk a dense array —
+/// enforced at compile time below and regression-guarded in CI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HotOp {
+    /// `dst = load mems[mem]`, emitting a memory event.
     Load {
         /// Destination register.
-        dst: RegId,
-        /// Precompiled place.
-        place: PlaceCode,
-        /// Source line.
-        line: u32,
-        /// Static memory-operation id.
-        op_id: u32,
+        dst: u32,
+        /// [`MemRef`] pool index.
+        mem: u32,
     },
-    /// `store place, src`, emitting a memory event with static id `op_id`.
+    /// `store mems[mem], src`, emitting a memory event.
     Store {
-        /// Precompiled place.
-        place: PlaceCode,
+        /// [`MemRef`] pool index.
+        mem: u32,
         /// Value operand.
-        src: Operand,
-        /// Source line.
-        line: u32,
-        /// Static memory-operation id.
-        op_id: u32,
+        src: Opnd,
     },
-    /// `dst = lhs op rhs`.
+    /// `dst = lhs op rhs` for operators that cannot trap.
     Bin {
-        /// Destination register.
-        dst: RegId,
-        /// Operator.
+        /// Operator (never `Div`/`Rem`).
         op: BinOp,
+        /// Destination register.
+        dst: u32,
         /// Left operand.
-        lhs: Operand,
+        lhs: Opnd,
         /// Right operand.
-        rhs: Operand,
-        /// Source line (division-by-zero reporting).
-        line: u32,
+        rhs: Opnd,
+    },
+    /// `dst = lhs op rhs` for `Div`/`Rem`, which can raise
+    /// division-by-zero; the source line for the error is looked up in the
+    /// cold [`FuncCode::trap_lines`] table by pc.
+    BinChecked {
+        /// Operator (`Div` or `Rem`).
+        op: BinOp,
+        /// Destination register.
+        dst: u32,
+        /// Left operand.
+        lhs: Opnd,
+        /// Right operand.
+        rhs: Opnd,
     },
     /// `dst = op src`.
     Un {
-        /// Destination register.
-        dst: RegId,
         /// Operator.
         op: UnOp,
+        /// Destination register.
+        dst: u32,
         /// Operand.
-        src: Operand,
+        src: Opnd,
     },
     /// Call of a user function, target pre-resolved to its index.
     CallUser {
-        /// Register receiving the return value, if any.
-        dst: Option<RegId>,
         /// Callee function index.
         target: u32,
-        /// Argument operands.
-        args: Box<[Operand]>,
+        /// Call-arg pool index.
+        args: u32,
+        /// Register receiving the return value; [`DST_NONE`] if none.
+        dst: u32,
     },
     /// Call of a builtin, pre-resolved to its [`Builtin`] id.
     CallBuiltin {
-        /// Register receiving the return value, if any.
-        dst: Option<RegId>,
         /// The builtin.
         builtin: Builtin,
-        /// Argument operands.
-        args: Box<[Operand]>,
+        /// Call-arg pool index.
+        args: u32,
+        /// Register receiving the return value; [`DST_NONE`] if none.
+        dst: u32,
         /// Source line (thread/lock events and errors).
         line: u32,
     },
@@ -215,15 +422,15 @@ pub enum Op {
     /// raises [`crate::RuntimeError::UnknownFunction`], preserving the lazy
     /// failure semantics of name-map resolution.
     CallUnknown {
-        /// The unresolved callee name.
-        name: Box<str>,
+        /// Index into [`FuncCode::unknown_names`].
+        name: u32,
     },
     /// Control enters region `region`; kind and end line pre-resolved.
     RegionEnter {
-        /// Region id within the function.
-        region: u32,
         /// Region kind.
         kind: RegionKind,
+        /// Region id within the function.
+        region: u32,
         /// Start line (from the marker instruction).
         line: u32,
         /// Last source line of the region.
@@ -252,7 +459,7 @@ pub enum Op {
     /// Two-way branch on a truthy operand, successors as pc deltas.
     Branch {
         /// Condition operand.
-        cond: Operand,
+        cond: Opnd,
         /// Taken-successor pc delta.
         then_delta: i32,
         /// Not-taken-successor pc delta.
@@ -261,12 +468,43 @@ pub enum Op {
     /// Return from the function.
     Return {
         /// Return value operand, if any.
-        val: Option<Operand>,
+        val: Option<Opnd>,
     },
     /// A `Terminator::Unreachable` left in an unverified module; panics if
     /// executed (verified IR never contains one).
     Unreachable,
+    /// Fused `Bin`+`Branch` (2 logical steps); body in
+    /// [`FuncCode::cmp_branches`].
+    CmpBranch {
+        /// Superinstruction pool index.
+        fused: u32,
+    },
+    /// Fused `Load`+`Bin`+`Branch` (3 logical steps); body in
+    /// [`FuncCode::load_cmp_branches`].
+    LoadCmpBranch {
+        /// Superinstruction pool index.
+        fused: u32,
+    },
+    /// Fused `Load`+`Bin`+`Store` (3 logical steps); body in
+    /// [`FuncCode::rmws`].
+    Rmw {
+        /// Superinstruction pool index.
+        fused: u32,
+    },
+    /// Fused `Load`+`Load`+`Bin`+`Store` (4 logical steps); body in
+    /// [`FuncCode::load_rmws`].
+    LoadRmw {
+        /// Superinstruction pool index.
+        fused: u32,
+    },
 }
+
+// The whole point of the hot/cold split: growing any variant past the
+// 16-byte record is a dispatch-loop dcache regression and fails the build.
+const _: () = assert!(
+    std::mem::size_of::<HotOp>() <= 16,
+    "HotOp exceeds the 16-byte hot-record budget"
+);
 
 /// An owned-local range of a region: locals that die when the region exits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -291,11 +529,32 @@ pub struct RegionCode {
 }
 
 /// The flat, pre-decoded form of one function: the unit the interpreter
-/// executes.
+/// executes — the hot stream plus its cold side pools.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FuncCode {
-    /// The decoded instruction stream; block 0 starts at pc 0.
-    pub ops: Box<[Op]>,
+    /// The hot instruction stream; block 0 starts at pc 0. One slot per
+    /// dynamic instruction of the unfused stream (fused heads replace
+    /// their first constituent's slot; tails stay plain).
+    pub hot: Box<[HotOp]>,
+    /// Memory-reference pool behind load/store slots.
+    pub mems: Box<[MemRef]>,
+    /// Immediate pool: deduplicated constants referenced by [`Opnd`]s.
+    pub imms: Box<[Value]>,
+    /// Call-argument pool: one operand slice per call site.
+    pub call_args: Box<[Box<[Opnd]>]>,
+    /// Unresolved callee names ([`HotOp::CallUnknown`]).
+    pub unknown_names: Box<[Box<str>]>,
+    /// Fused compare-and-branch bodies.
+    pub cmp_branches: Box<[CmpBranchCode]>,
+    /// Fused load-compare-branch bodies.
+    pub load_cmp_branches: Box<[LoadCmpBranchCode]>,
+    /// Fused read-modify-write bodies.
+    pub rmws: Box<[RmwCode]>,
+    /// Fused load-read-modify-write bodies.
+    pub load_rmws: Box<[LoadRmwCode]>,
+    /// `(pc, source line)` for every [`HotOp::BinChecked`] slot, sorted by
+    /// pc — consulted only on the cold division-by-zero path.
+    pub trap_lines: Box<[(u32, u32)]>,
     /// Pre-resolved region metadata, indexed by region id.
     pub regions: Box<[RegionCode]>,
     /// Absolute pc of each basic block's first op (diagnostics/printing).
@@ -312,6 +571,73 @@ pub struct FuncCode {
     pub end_line: u32,
 }
 
+impl FuncCode {
+    /// Source line of the `Div`/`Rem` op at `pc` — the cold path of the
+    /// division-by-zero error.
+    pub fn trap_line(&self, pc: u32) -> u32 {
+        match self.trap_lines.binary_search_by_key(&pc, |&(p, _)| p) {
+            Ok(i) => self.trap_lines[i].1,
+            Err(_) => 0,
+        }
+    }
+}
+
+/// Per-function pools under construction during decode.
+#[derive(Default)]
+struct FuncBuilder {
+    hot: Vec<HotOp>,
+    mems: Vec<MemRef>,
+    imms: Vec<Value>,
+    call_args: Vec<Box<[Opnd]>>,
+    unknown_names: Vec<Box<str>>,
+    cmp_branches: Vec<CmpBranchCode>,
+    load_cmp_branches: Vec<LoadCmpBranchCode>,
+    rmws: Vec<RmwCode>,
+    load_rmws: Vec<LoadRmwCode>,
+    trap_lines: Vec<(u32, u32)>,
+}
+
+impl FuncBuilder {
+    /// Pack a constant: small integers encode inline in the operand word;
+    /// everything else interns into the pool (bit-exact dedup, so `0.0`
+    /// and `-0.0` stay distinct and NaNs don't multiply).
+    fn imm(&mut self, v: Value) -> Opnd {
+        if let Value::I64(x) = v {
+            if (INLINE_MIN..=INLINE_MAX).contains(&x) {
+                return Opnd::inline_int(x);
+            }
+        }
+        let bits_eq = |a: &Value, b: &Value| match (a, b) {
+            (Value::I64(x), Value::I64(y)) => x == y,
+            (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+            _ => false,
+        };
+        if let Some(i) = self.imms.iter().position(|x| bits_eq(x, &v)) {
+            return Opnd::pool(i);
+        }
+        self.imms.push(v);
+        Opnd::pool(self.imms.len() - 1)
+    }
+
+    /// Pack an operand.
+    fn opnd(&mut self, o: &Operand) -> Opnd {
+        match o {
+            Operand::Reg(r) => Opnd::reg(*r),
+            Operand::Const(v) => self.imm(*v),
+        }
+    }
+
+    fn dst(d: &Option<RegId>) -> u32 {
+        match d {
+            Some(r) => {
+                assert!(r.0 != DST_NONE, "register index collides with DST_NONE");
+                r.0
+            }
+            None => DST_NONE,
+        }
+    }
+}
+
 /// Per-module context shared by all function decodes.
 pub(crate) struct DecodeCtx<'m> {
     pub module: &'m Module,
@@ -324,6 +650,11 @@ pub(crate) struct DecodeCtx<'m> {
     pub func_by_name: FxHashMap<&'m str, u32>,
     /// Running static memory-operation id counter.
     pub next_op: u32,
+    /// Static metadata per memory op, in id order — what used to be
+    /// recovered by re-walking the op stream.
+    pub mem_meta: Vec<MemOpMeta>,
+    /// Decode options (superinstruction peephole).
+    pub cfg: DecodeConfig,
 }
 
 impl<'m> DecodeCtx<'m> {
@@ -334,6 +665,7 @@ impl<'m> DecodeCtx<'m> {
         local_off: &'m [Vec<u64>],
         local_syms: &'m [Vec<u32>],
         frame_words: &'m [usize],
+        cfg: DecodeConfig,
     ) -> Self {
         let mut func_by_name = FxHashMap::default();
         for (i, f) in module.functions.iter().enumerate() {
@@ -352,33 +684,62 @@ impl<'m> DecodeCtx<'m> {
             frame_words,
             func_by_name,
             next_op: 0,
+            mem_meta: Vec::new(),
+            cfg,
         }
     }
 
-    fn place(&self, fx: usize, p: &Place) -> PlaceCode {
-        match p.var {
-            VarRef::Global(g) => PlaceCode {
+    /// Build a [`MemRef`] for a place, assigning the next static memory-op
+    /// id, and return its pool index.
+    fn mem_ref(
+        &mut self,
+        b: &mut FuncBuilder,
+        fx: usize,
+        p: &Place,
+        line: u32,
+        is_write: bool,
+    ) -> u32 {
+        let (has_index, index) = match p.index.as_ref() {
+            Some(o) => (true, b.opnd(o)),
+            None => (false, Opnd::inline_int(0)),
+        };
+        let op_id = self.next_op;
+        self.next_op += 1;
+        let m = match p.var {
+            VarRef::Global(g) => MemRef {
                 base: ((self.global_addr[g.index()] - GLOBAL_BASE) / WORD) as u32,
                 elems: self.module.globals[g.index()].elems,
                 sym: self.global_syms[g.index()],
+                index,
+                line,
+                op_id,
+                has_index,
                 global: true,
-                index: p.index,
-                var: p.var,
             },
-            VarRef::Local(l) => PlaceCode {
+            VarRef::Local(l) => MemRef {
                 base: self.local_off[fx][l.index()] as u32,
                 elems: self.module.functions[fx].locals[l.index()].elems,
                 sym: self.local_syms[fx][l.index()],
+                index,
+                line,
+                op_id,
+                has_index,
                 global: false,
-                index: p.index,
-                var: p.var,
             },
-        }
+        };
+        self.mem_meta.push(MemOpMeta {
+            line,
+            var: m.sym,
+            is_write,
+        });
+        b.mems.push(m);
+        (b.mems.len() - 1) as u32
     }
 
     /// Lower one function into its flat form, assigning static memory-op
     /// ids in program order (function → block → instruction, the same order
-    /// the side-table scheme used).
+    /// the side-table scheme used), then run the superinstruction peephole
+    /// when enabled.
     pub fn decode_function(&mut self, fx: usize) -> FuncCode {
         let f: &Function = &self.module.functions[fx];
         // First pass: absolute pc of each block (instrs + 1 terminator op).
@@ -388,33 +749,44 @@ impl<'m> DecodeCtx<'m> {
             block_starts.push(n);
             n += b.instrs.len() as u32 + 1;
         }
-        let mut ops: Vec<Op> = Vec::with_capacity(n as usize);
+        let mut fb = FuncBuilder {
+            hot: Vec::with_capacity(n as usize),
+            ..Default::default()
+        };
         for b in &f.blocks {
             for i in &b.instrs {
-                ops.push(self.decode_instr(fx, i));
+                let pc = fb.hot.len() as u32;
+                let op = self.decode_instr(&mut fb, fx, pc, i);
+                fb.hot.push(op);
             }
-            let pc = ops.len() as u32;
+            let pc = fb.hot.len() as u32;
             let delta = |target: u32| (target as i64 - pc as i64) as i32;
-            ops.push(match &b.term {
-                Terminator::Jump(t) => Op::Jump {
+            let term = match &b.term {
+                Terminator::Jump(t) => HotOp::Jump {
                     delta: delta(block_starts[t.index()]),
                 },
                 Terminator::Branch {
                     cond,
                     then_bb,
                     else_bb,
-                } => Op::Branch {
-                    cond: *cond,
+                } => HotOp::Branch {
+                    cond: fb.opnd(cond),
                     then_delta: delta(block_starts[then_bb.index()]),
                     else_delta: delta(block_starts[else_bb.index()]),
                 },
-                Terminator::Return(v) => Op::Return { val: *v },
+                Terminator::Return(v) => HotOp::Return {
+                    val: v.as_ref().map(|o| fb.opnd(o)),
+                },
                 // Verified IR has none; decode lazily so an unverified
                 // module with a dead unterminated block still constructs
                 // and only panics if the block actually executes, exactly
                 // like the tree-walking interpreter.
-                Terminator::Unreachable => Op::Unreachable,
-            });
+                Terminator::Unreachable => HotOp::Unreachable,
+            };
+            fb.hot.push(term);
+        }
+        if self.cfg.fuse {
+            fuse_function(&mut fb, &block_starts);
         }
         let regions = f
             .regions
@@ -434,7 +806,16 @@ impl<'m> DecodeCtx<'m> {
             })
             .collect();
         FuncCode {
-            ops: ops.into_boxed_slice(),
+            hot: fb.hot.into_boxed_slice(),
+            mems: fb.mems.into_boxed_slice(),
+            imms: fb.imms.into_boxed_slice(),
+            call_args: fb.call_args.into_boxed_slice(),
+            unknown_names: fb.unknown_names.into_boxed_slice(),
+            cmp_branches: fb.cmp_branches.into_boxed_slice(),
+            load_cmp_branches: fb.load_cmp_branches.into_boxed_slice(),
+            rmws: fb.rmws.into_boxed_slice(),
+            load_rmws: fb.load_rmws.into_boxed_slice(),
+            trap_lines: fb.trap_lines.into_boxed_slice(),
             regions,
             block_starts: block_starts.into_boxed_slice(),
             params: (0..f.num_params)
@@ -447,45 +828,45 @@ impl<'m> DecodeCtx<'m> {
         }
     }
 
-    fn decode_instr(&mut self, fx: usize, i: &mir::Instr) -> Op {
+    fn decode_instr(&mut self, b: &mut FuncBuilder, fx: usize, pc: u32, i: &mir::Instr) -> HotOp {
         match i {
-            mir::Instr::Load { dst, place, line } => {
-                let op_id = self.next_op;
-                self.next_op += 1;
-                Op::Load {
-                    dst: *dst,
-                    place: self.place(fx, place),
-                    line: *line,
-                    op_id,
-                }
-            }
-            mir::Instr::Store { place, src, line } => {
-                let op_id = self.next_op;
-                self.next_op += 1;
-                Op::Store {
-                    place: self.place(fx, place),
-                    src: *src,
-                    line: *line,
-                    op_id,
-                }
-            }
+            mir::Instr::Load { dst, place, line } => HotOp::Load {
+                dst: dst.0,
+                mem: self.mem_ref(b, fx, place, *line, false),
+            },
+            mir::Instr::Store { place, src, line } => HotOp::Store {
+                mem: self.mem_ref(b, fx, place, *line, true),
+                src: b.opnd(src),
+            },
             mir::Instr::Bin {
                 dst,
                 op,
                 lhs,
                 rhs,
                 line,
-            } => Op::Bin {
-                dst: *dst,
+            } => {
+                let (lhs, rhs) = (b.opnd(lhs), b.opnd(rhs));
+                if matches!(op, BinOp::Div | BinOp::Rem) {
+                    b.trap_lines.push((pc, *line));
+                    HotOp::BinChecked {
+                        op: *op,
+                        dst: dst.0,
+                        lhs,
+                        rhs,
+                    }
+                } else {
+                    HotOp::Bin {
+                        op: *op,
+                        dst: dst.0,
+                        lhs,
+                        rhs,
+                    }
+                }
+            }
+            mir::Instr::Un { dst, op, src, .. } => HotOp::Un {
                 op: *op,
-                lhs: *lhs,
-                rhs: *rhs,
-                line: *line,
-            },
-            mir::Instr::Un { dst, op, src, .. } => Op::Un {
-                dst: *dst,
-                op: *op,
-                src: *src,
+                dst: dst.0,
+                src: b.opnd(src),
             },
             mir::Instr::Call {
                 dst,
@@ -493,40 +874,172 @@ impl<'m> DecodeCtx<'m> {
                 args,
                 line,
             } => {
-                let args: Box<[Operand]> = args.as_slice().into();
+                let packed: Box<[Opnd]> = args.iter().map(|a| b.opnd(a)).collect();
+                b.call_args.push(packed);
+                let args = (b.call_args.len() - 1) as u32;
                 if let Some(target) = self.func_by_name.get(func.as_str()) {
-                    Op::CallUser {
-                        dst: *dst,
+                    HotOp::CallUser {
                         target: *target,
                         args,
+                        dst: FuncBuilder::dst(dst),
                     }
                 } else if let Some(builtin) = Builtin::from_name(func) {
-                    Op::CallBuiltin {
-                        dst: *dst,
+                    HotOp::CallBuiltin {
                         builtin,
                         args,
+                        dst: FuncBuilder::dst(dst),
                         line: *line,
                     }
                 } else {
-                    Op::CallUnknown {
-                        name: func.as_str().into(),
+                    b.unknown_names.push(func.as_str().into());
+                    HotOp::CallUnknown {
+                        name: (b.unknown_names.len() - 1) as u32,
                     }
                 }
             }
             mir::Instr::RegionEnter { region, line } => {
                 let r = &self.module.functions[fx].regions[region.index()];
-                Op::RegionEnter {
-                    region: region.0,
+                HotOp::RegionEnter {
                     kind: r.kind,
+                    region: region.0,
                     line: *line,
                     end_line: r.end_line,
                 }
             }
-            mir::Instr::RegionExit { region, .. } => Op::RegionExit { region: region.0 },
-            mir::Instr::LoopIter { region, .. } => Op::LoopIter { region: region.0 },
-            mir::Instr::LoopBody { region, .. } => Op::LoopBody { region: region.0 },
+            mir::Instr::RegionExit { region, .. } => HotOp::RegionExit { region: region.0 },
+            mir::Instr::LoopIter { region, .. } => HotOp::LoopIter { region: region.0 },
+            mir::Instr::LoopBody { region, .. } => HotOp::LoopBody { region: region.0 },
         }
     }
+}
+
+/// The superinstruction peephole: greedily fuse the longest matching
+/// pattern at each slot, per block (never across a seam), rewriting only
+/// the head slot. Tails keep their plain ops so mid-sequence suspension,
+/// traps, and (hypothetical) jumps into the middle all execute unfused.
+fn fuse_function(fb: &mut FuncBuilder, block_starts: &[u32]) {
+    for (bi, &start) in block_starts.iter().enumerate() {
+        let end = block_starts
+            .get(bi + 1)
+            .map(|&s| s as usize)
+            .unwrap_or(fb.hot.len());
+        let mut i = start as usize;
+        while i < end {
+            i += try_fuse_at(fb, i, end).max(1);
+        }
+    }
+}
+
+/// Try every pattern (longest first) at slot `i`; returns the number of
+/// slots consumed (0 = no fusion).
+fn try_fuse_at(fb: &mut FuncBuilder, i: usize, end: usize) -> usize {
+    use HotOp::*;
+    // Load + Load + Bin + Store.
+    if i + 3 < end {
+        if let (
+            Load { dst: d0, mem: m0 },
+            Load { dst: d1, mem: m1 },
+            Bin { op, dst, lhs, rhs },
+            Store { mem: sm, src },
+        ) = (fb.hot[i], fb.hot[i + 1], fb.hot[i + 2], fb.hot[i + 3])
+        {
+            fb.load_rmws.push(LoadRmwCode {
+                load_dst: d0,
+                load: fb.mems[m0 as usize],
+                rmw: RmwCode {
+                    load_dst: d1,
+                    load: fb.mems[m1 as usize],
+                    op,
+                    bin_dst: dst,
+                    lhs,
+                    rhs,
+                    store: fb.mems[sm as usize],
+                    store_src: src,
+                },
+            });
+            fb.hot[i] = LoadRmw {
+                fused: (fb.load_rmws.len() - 1) as u32,
+            };
+            return 4;
+        }
+    }
+    if i + 2 < end {
+        // Load + Bin + Store.
+        if let (Load { dst: d0, mem: m0 }, Bin { op, dst, lhs, rhs }, Store { mem: sm, src }) =
+            (fb.hot[i], fb.hot[i + 1], fb.hot[i + 2])
+        {
+            fb.rmws.push(RmwCode {
+                load_dst: d0,
+                load: fb.mems[m0 as usize],
+                op,
+                bin_dst: dst,
+                lhs,
+                rhs,
+                store: fb.mems[sm as usize],
+                store_src: src,
+            });
+            fb.hot[i] = Rmw {
+                fused: (fb.rmws.len() - 1) as u32,
+            };
+            return 3;
+        }
+        // Load + Bin + Branch.
+        if let (
+            Load { dst: d0, mem: m0 },
+            Bin { op, dst, lhs, rhs },
+            Branch {
+                cond,
+                then_delta,
+                else_delta,
+            },
+        ) = (fb.hot[i], fb.hot[i + 1], fb.hot[i + 2])
+        {
+            fb.load_cmp_branches.push(LoadCmpBranchCode {
+                load_dst: d0,
+                load: fb.mems[m0 as usize],
+                cmp: CmpBranchCode {
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                    cond,
+                    then_delta,
+                    else_delta,
+                },
+            });
+            fb.hot[i] = LoadCmpBranch {
+                fused: (fb.load_cmp_branches.len() - 1) as u32,
+            };
+            return 3;
+        }
+    }
+    // Bin + Branch.
+    if i + 1 < end {
+        if let (
+            Bin { op, dst, lhs, rhs },
+            Branch {
+                cond,
+                then_delta,
+                else_delta,
+            },
+        ) = (fb.hot[i], fb.hot[i + 1])
+        {
+            fb.cmp_branches.push(CmpBranchCode {
+                op,
+                dst,
+                lhs,
+                rhs,
+                cond,
+                then_delta,
+                else_delta,
+            });
+            fb.hot[i] = CmpBranch {
+                fused: (fb.cmp_branches.len() - 1) as u32,
+            };
+            return 2;
+        }
+    }
+    0
 }
 
 #[cfg(test)]
@@ -538,33 +1051,47 @@ mod tests {
         Program::new(lang::compile(src, "t").unwrap())
     }
 
+    fn program_unfused(src: &str) -> Program {
+        Program::with_decode_config(
+            lang::compile(src, "t").unwrap(),
+            DecodeConfig { fuse: false },
+        )
+    }
+
+    #[test]
+    fn hot_op_is_a_compact_fixed_size_record() {
+        // The dispatch-density guarantee of the hot/cold split; also
+        // enforced at compile time by the const assertion above.
+        assert!(std::mem::size_of::<HotOp>() <= 16);
+    }
+
     #[test]
     fn decode_flattens_blocks_with_terminators() {
-        let p = program("fn main() -> int { int x = 1; if (x > 0) { x = 2; } return x; }");
+        let p = program_unfused("fn main() -> int { int x = 1; if (x > 0) { x = 2; } return x; }");
         let code = &p.code()[0];
-        // One op per instruction plus one per terminator; block starts are
-        // absolute and strictly increasing.
+        // One slot per instruction plus one per terminator; block starts
+        // are absolute and strictly increasing.
         let total: usize = p.module.functions[0]
             .blocks
             .iter()
             .map(|b| b.instrs.len() + 1)
             .sum();
-        assert_eq!(code.ops.len(), total);
+        assert_eq!(code.hot.len(), total);
         assert!(code.block_starts.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(code.block_starts[0], 0);
-        // Every branch/jump delta lands inside the stream.
-        for (pc, op) in code.ops.iter().enumerate() {
+        // Every branch/jump delta lands on a block start.
+        for (pc, op) in code.hot.iter().enumerate() {
             let check = |d: i32| {
                 let t = pc as i64 + d as i64;
-                assert!(t >= 0 && (t as usize) < code.ops.len(), "delta {d} @ {pc}");
+                assert!(t >= 0 && (t as usize) < code.hot.len(), "delta {d} @ {pc}");
                 assert!(
                     code.block_starts.contains(&(t as u32)),
                     "delta target {t} is not a block start"
                 );
             };
             match op {
-                Op::Jump { delta } => check(*delta),
-                Op::Branch {
+                HotOp::Jump { delta } => check(*delta),
+                HotOp::Branch {
                     then_delta,
                     else_delta,
                     ..
@@ -586,13 +1113,13 @@ mod tests {
         let main = &p.code()[1];
         let mut saw_user = false;
         let mut saw_builtin = false;
-        for op in main.ops.iter() {
+        for op in main.hot.iter() {
             match op {
-                Op::CallUser { target, .. } => {
+                HotOp::CallUser { target, .. } => {
                     assert_eq!(*target, 0, "helper is function 0");
                     saw_user = true;
                 }
-                Op::CallBuiltin { builtin, .. } => {
+                HotOp::CallBuiltin { builtin, .. } => {
                     assert_eq!(*builtin, Builtin::Sqrt);
                     saw_builtin = true;
                 }
@@ -604,12 +1131,13 @@ mod tests {
 
     #[test]
     fn mem_op_ids_match_program_order() {
-        let p = program("global int g;\nfn main() { g = 1; int x = g; }");
+        let p = program_unfused("global int g;\nfn main() { g = 1; int x = g; }");
         let mut ids = Vec::new();
         for f in p.code() {
-            for op in f.ops.iter() {
+            for op in f.hot.iter() {
                 match op {
-                    Op::Load { op_id, .. } | Op::Store { op_id, .. } => ids.push(*op_id),
+                    HotOp::Load { mem, .. } => ids.push(f.mems[*mem as usize].op_id),
+                    HotOp::Store { mem, .. } => ids.push(f.mems[*mem as usize].op_id),
                     _ => {}
                 }
             }
@@ -620,13 +1148,13 @@ mod tests {
 
     #[test]
     fn places_carry_layout() {
-        let p = program("global int a[8];\nfn main() { a[3] = 7; int y = a[3]; }");
+        let p = program_unfused("global int a[8];\nfn main() { a[3] = 7; int y = a[3]; }");
         let main = &p.code()[0];
         let store = main
-            .ops
+            .hot
             .iter()
             .find_map(|o| match o {
-                Op::Store { place, .. } => Some(place),
+                HotOp::Store { mem, .. } => Some(&main.mems[*mem as usize]),
                 _ => None,
             })
             .unwrap();
@@ -634,6 +1162,115 @@ mod tests {
         assert_eq!(store.base, 0, "first global starts at slot 0");
         assert_eq!(store.elems, 8);
         assert_eq!(p.symbol(store.sym), "a");
+    }
+
+    #[test]
+    fn immediates_encode_inline_or_deduplicate() {
+        // Small integers ride inline in the operand word: no pool entries.
+        let p = program_unfused("fn main() { int a = 7; int b = 7; int c = 0 - 7; }");
+        assert!(
+            p.code()[0].imms.is_empty(),
+            "small ints must not reach the pool: {:?}",
+            p.code()[0].imms
+        );
+        // Floats (and out-of-range ints) intern into the pool, deduplicated.
+        let p = program_unfused("fn main() { float a = 2.5; float b = 2.5; float c = 2.5; }");
+        let imms = &p.code()[0].imms;
+        let hits = imms
+            .iter()
+            .filter(|v| matches!(v, Value::F64(x) if *x == 2.5))
+            .count();
+        assert_eq!(hits, 1, "identical constants intern to one pool slot");
+    }
+
+    #[test]
+    fn peephole_fuses_the_named_patterns() {
+        // A loop with `i = i + 1` (Load+Bin+Store), `s = s + a[i]`
+        // (Load+Load+Bin+Store), and an `i < n` header
+        // (Load+Bin+Branch); the plain Bin+Branch pair appears in
+        // register-condition branches.
+        let p = program(
+            "global int a[16];
+            global int s;
+            fn main() {
+                for (int i = 0; i < 16; i = i + 1) {
+                    s = s + a[i];
+                }
+            }",
+        );
+        let main = &p.code()[0];
+        let has = |pat: fn(&HotOp) -> bool| main.hot.iter().any(pat);
+        assert!(has(|o| matches!(o, HotOp::Rmw { .. })), "i = i + 1 fuses");
+        assert!(
+            has(|o| matches!(o, HotOp::LoadRmw { .. })),
+            "s = s + a[i] fuses"
+        );
+        assert!(
+            has(|o| matches!(o, HotOp::LoadCmpBranch { .. })),
+            "loop header fuses"
+        );
+        assert!(!main.rmws.is_empty() && !main.load_rmws.is_empty());
+    }
+
+    #[test]
+    fn fusion_preserves_slot_count_and_tails() {
+        let src = "global int s;
+            fn main() {
+                for (int i = 0; i < 8; i = i + 1) { s = s + 1; }
+            }";
+        let fused = program(src);
+        let unfused = program_unfused(src);
+        let (f, u) = (&fused.code()[0], &unfused.code()[0]);
+        // One slot per dynamic instruction in both forms.
+        assert_eq!(f.hot.len(), u.hot.len());
+        assert_eq!(f.block_starts, u.block_starts);
+        // Every slot is either identical to the unfused op (tails and
+        // unfused slots) or a fused head.
+        let mut heads = 0;
+        for (i, (a, b)) in f.hot.iter().zip(u.hot.iter()).enumerate() {
+            if a != b {
+                assert!(
+                    matches!(
+                        a,
+                        HotOp::CmpBranch { .. }
+                            | HotOp::LoadCmpBranch { .. }
+                            | HotOp::Rmw { .. }
+                            | HotOp::LoadRmw { .. }
+                    ),
+                    "slot {i} diverges but is not a fused head: {a:?}"
+                );
+                heads += 1;
+            }
+        }
+        assert!(heads > 0, "the loop must fuse something");
+    }
+
+    #[test]
+    fn div_and_rem_never_fuse() {
+        // Div/Rem can trap with a source line from the cold table; the
+        // peephole must leave them as plain BinChecked slots.
+        let p = program(
+            "global int s;
+            fn main() {
+                for (int i = 1; i < 8; i = i + 1) { s = s / i; }
+            }",
+        );
+        for f in p.code() {
+            for (pc, op) in f.hot.iter().enumerate() {
+                if let HotOp::BinChecked { .. } = op {
+                    assert_ne!(f.trap_line(pc as u32), 0, "checked bin has a line");
+                }
+            }
+            for r in f.rmws.iter() {
+                assert!(!matches!(r.op, BinOp::Div | BinOp::Rem));
+            }
+            for r in f.load_rmws.iter() {
+                assert!(!matches!(r.rmw.op, BinOp::Div | BinOp::Rem));
+            }
+            for c in f.cmp_branches.iter() {
+                assert!(!matches!(c.op, BinOp::Div | BinOp::Rem));
+            }
+        }
     }
 
     #[test]

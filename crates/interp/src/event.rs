@@ -135,6 +135,12 @@ impl Event {
 /// per-event match loop over a slice). Sinks that discard events
 /// ([`NullSink`]) opt out so the uninstrumented baseline pays nothing.
 pub trait Sink {
+    /// Compile-time interest flag: `false` promises every event is ignored,
+    /// letting the interpreter's emit path — including construction of the
+    /// event values themselves — compile away entirely for that sink. This
+    /// is what makes the "native" baseline truly uninstrumented dispatch.
+    const WANTS_EVENTS: bool = true;
+
     /// Handle one event.
     fn event(&mut self, ev: &Event);
 
@@ -160,6 +166,8 @@ pub trait Sink {
 pub struct NullSink;
 
 impl Sink for NullSink {
+    const WANTS_EVENTS: bool = false;
+
     #[inline(always)]
     fn event(&mut self, _ev: &Event) {}
 
@@ -190,6 +198,8 @@ impl Sink for RecordingSink {
 }
 
 impl<S: Sink + ?Sized> Sink for &mut S {
+    const WANTS_EVENTS: bool = S::WANTS_EVENTS;
+
     #[inline(always)]
     fn event(&mut self, ev: &Event) {
         (**self).event(ev);
@@ -209,6 +219,8 @@ impl<S: Sink + ?Sized> Sink for &mut S {
 pub struct TeeSink<A, B>(pub A, pub B);
 
 impl<A: Sink, B: Sink> Sink for TeeSink<A, B> {
+    const WANTS_EVENTS: bool = A::WANTS_EVENTS || B::WANTS_EVENTS;
+
     #[inline(always)]
     fn event(&mut self, ev: &Event) {
         self.0.event(ev);

@@ -18,12 +18,17 @@
 //!
 //! # Execution pipeline
 //!
-//! [`Program::new`] lowers the verified module into a flat, pre-decoded
-//! instruction stream ([`code`]): call targets resolved to indices, place
-//! operands precompiled to address descriptors, blocks flattened to
-//! absolute pcs. [`machine`] executes that stream; [`mod@reference`] keeps
-//! the original tree-walking interpreter as an equivalence oracle — both
-//! emit byte-identical event streams for any program and configuration.
+//! [`Program::new`] lowers the verified module into a compact flat
+//! instruction stream ([`code`]): a dense array of fixed-size (≤ 16-byte)
+//! [`HotOp`] records backed by cold side pools (memory references,
+//! immediates, call arguments), with call targets resolved to indices,
+//! blocks flattened to absolute pcs, and a decode-time peephole that fuses
+//! frequent adjacent sequences (compare-and-branch, read-modify-write)
+//! into superinstructions — observationally invisible: same events, same
+//! timestamps, same step accounting. [`machine`] executes that stream;
+//! [`mod@reference`] keeps the original tree-walking interpreter as an
+//! equivalence oracle — both emit byte-identical event streams for any
+//! program, configuration, and decode mode.
 
 pub mod code;
 pub mod event;
@@ -31,7 +36,7 @@ pub mod machine;
 pub mod program;
 pub mod reference;
 
-pub use code::{Builtin, FuncCode, Op, PlaceCode};
+pub use code::{Builtin, DecodeConfig, FuncCode, HotOp, MemRef, Opnd};
 pub use event::{Event, MemEvent, NullSink, RecordingSink, RegionExitEvent, Sink};
 pub use machine::{run, run_with_config, Interp, RunConfig, RunResult, RuntimeError};
 pub use program::{MemOpMeta, Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};

@@ -1,19 +1,25 @@
 //! The interpreter core: frames, heap, builtins, and the deterministic
 //! multi-thread scheduler, executing the pre-decoded instruction stream.
 //!
-//! The run loop dispatches over [`crate::code::Op`] — the flat form built at
-//! [`Program::new`] — with the current frame's code slice and pc cached in
-//! locals for the duration of a scheduler slice. The pc is written back to
-//! the frame only when the frame changes (call/return), the thread blocks,
-//! or the slice's step budget runs out. [`crate::reference`] keeps the
-//! original tree-walking loop as an equivalence oracle: both interpreters
-//! must emit byte-identical event streams.
+//! The run loop dispatches over [`crate::code::HotOp`] — the compact flat
+//! form built at [`Program::new`] — with the current frame's code slice and
+//! pc cached in locals for the duration of a scheduler slice. The pc is
+//! written back to the frame only when the frame changes (call/return), the
+//! thread blocks, or the slice's step budget runs out. Fused
+//! superinstructions execute their constituents in order, each charged one
+//! step against the slice budget and emitting exactly the events of its
+//! plain form; when the budget expires or a constituent traps mid-sequence,
+//! the pc parks at that constituent's own slot (which still holds the plain
+//! op), so suspension and errors are indistinguishable from the unfused
+//! stream. [`crate::reference`] keeps the original tree-walking loop as an
+//! equivalence oracle: both interpreters must emit byte-identical event
+//! streams.
 
-use crate::code::{Builtin, FuncCode, Op, PlaceCode};
+use crate::code::{Builtin, FuncCode, HotOp, MemRef, DST_NONE};
 use crate::event::{Event, MemEvent, RegionExitEvent, Sink};
 use crate::program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};
 use fxhash::FxHashMap;
-use mir::{BinOp, Operand, RegId, UnOp, Value, VarRef};
+use mir::{BinOp, RegId, UnOp, Value};
 use std::fmt;
 
 #[cfg(test)]
@@ -204,14 +210,13 @@ fn jump(pc: usize, delta: i32) -> usize {
     (pc as i64 + delta as i64) as usize
 }
 
-/// Evaluate an operand against a register file. Free function so the hot
-/// loop can use its slice-cached registers without borrowing the whole
-/// interpreter.
+/// Evaluate a fused bin constituent. The peephole excludes `Div`/`Rem`, so
+/// evaluation cannot fail.
 #[inline]
-fn op_val_in(regs: &[Value], op: &Operand) -> Value {
-    match op {
-        Operand::Reg(r) => regs[r.index()],
-        Operand::Const(v) => *v,
+fn bin_eval_nontrap(op: BinOp, a: Value, b: Value) -> Value {
+    match bin_eval(op, a, b, 0) {
+        Ok(v) => v,
+        Err(_) => unreachable!("fused bins exclude Div/Rem"),
     }
 }
 
@@ -321,8 +326,14 @@ impl<'p, S: Sink> Interp<'p, S> {
         });
     }
 
-    #[inline]
+    /// Forced inline so sinks that opted out of events
+    /// ([`Sink::WANTS_EVENTS`] = `false`, the native baseline) let the
+    /// compiler delete the event construction at every call site.
+    #[inline(always)]
     fn emit(&mut self, t: usize, ev: Event) {
+        if !S::WANTS_EVENTS {
+            return;
+        }
         if self.batching {
             self.batch.push(ev);
             if self.batch.len() >= self.cfg.batch_cap {
@@ -430,9 +441,28 @@ impl<'p, S: Sink> Interp<'p, S> {
     /// blocking, or budget exhaustion; everything else advances `pc` in
     /// place and indexes the local `regs` slice directly instead of going
     /// through `threads[t].frames.last()` per operand.
+    ///
+    /// Fused superinstructions charge the budget once per *constituent*
+    /// (`tick_or_park!`), so slice boundaries — and with them batch and
+    /// racy delivery — are identical to the unfused stream; a mid-sequence
+    /// suspension or trap parks the pc at the constituent's own slot, where
+    /// the plain op still lives, and resumes unfused.
     fn run_slice(&mut self, t: usize, quantum: u32) -> Result<(), RuntimeError> {
         let prog = self.prog;
         let mut budget = quantum;
+        // Step counters live in locals for the whole slice (two fewer
+        // memory read-modify-writes per executed op) and are written back
+        // whenever control leaves the straight-line loop: at `park!`, and
+        // before any call that can observe them (region bookkeeping reads
+        // the thread counter, the scheduler reads the global one).
+        let mut steps = self.steps;
+        let mut th_steps = self.threads[t].steps;
+        macro_rules! sync_steps {
+            () => {{
+                self.steps = steps;
+                self.threads[t].steps = th_steps;
+            }};
+        }
         'frame: while budget > 0 && self.threads[t].state == TState::Ready {
             let fr = self.threads[t].frames.last_mut().unwrap();
             let func = fr.func;
@@ -443,12 +473,52 @@ impl<'p, S: Sink> Interp<'p, S> {
             // whenever control leaves this frame's straight-line execution.
             let mut regs = std::mem::take(&mut fr.regs);
             let code: &FuncCode = &prog.code[func];
-            let ops: &[Op] = &code.ops;
+            let ops: &[HotOp] = &code.hot;
+            let imms: &[Value] = &code.imms;
             macro_rules! park {
                 () => {{
+                    sync_steps!();
                     let fr = self.threads[t].frames.last_mut().unwrap();
                     fr.pc = pc;
                     fr.regs = regs;
+                }};
+            }
+            // One constituent step of a fused op: charge the slice budget,
+            // or suspend with the pc parked at slot `$at` — the plain op
+            // there resumes the remaining constituents unfused.
+            macro_rules! tick_or_park {
+                ($at:expr) => {{
+                    if budget == 0 {
+                        pc = $at;
+                        park!();
+                        break 'frame;
+                    }
+                    budget -= 1;
+                    steps += 1;
+                    th_steps += 1;
+                }};
+            }
+            // A load constituent (also the plain `Load` body); an
+            // out-of-bounds trap parks the pc at slot `$at`, identical to
+            // the unfused stream. The body is shared ([`Interp::exec_load`])
+            // so the dispatch loop stays compact.
+            macro_rules! do_load {
+                ($mem:expr, $dst:expr, $at:expr) => {{
+                    if let Err(e) = self.exec_load(t, imms, &mut regs, base, $mem, $dst, steps) {
+                        pc = $at;
+                        park!();
+                        return Err(e);
+                    }
+                }};
+            }
+            // A store constituent (also the plain `Store` body).
+            macro_rules! do_store {
+                ($mem:expr, $src:expr, $at:expr) => {{
+                    if let Err(e) = self.exec_store(t, imms, &regs, base, $mem, $src, steps) {
+                        pc = $at;
+                        park!();
+                        return Err(e);
+                    }
                 }};
             }
             loop {
@@ -457,100 +527,42 @@ impl<'p, S: Sink> Interp<'p, S> {
                     break 'frame;
                 }
                 budget -= 1;
-                self.steps += 1;
-                self.threads[t].steps += 1;
-                match &ops[pc] {
-                    Op::Load {
-                        dst,
-                        place,
-                        line,
-                        op_id,
-                    } => {
-                        let (addr, is_global, slot, sym) =
-                            match self.resolve(t, func, &regs, base, place, *line) {
-                                Ok(r) => r,
-                                Err(e) => {
-                                    park!();
-                                    return Err(e);
-                                }
-                            };
-                        let v = if is_global {
-                            self.globals[slot]
-                        } else {
-                            self.threads[t].mem[slot]
-                        };
-                        regs[dst.index()] = v;
-                        let ts = self.steps;
-                        self.emit(
-                            t,
-                            Event::Mem(MemEvent {
-                                is_write: false,
-                                addr,
-                                op: *op_id,
-                                line: *line,
-                                var: sym,
-                                thread: t as u32,
-                                ts,
-                            }),
-                        );
+                steps += 1;
+                th_steps += 1;
+                match ops[pc] {
+                    HotOp::Load { dst, mem } => {
+                        do_load!(&code.mems[mem as usize], dst, pc);
                         pc += 1;
                     }
-                    Op::Store {
-                        place,
-                        src,
-                        line,
-                        op_id,
-                    } => {
-                        let v = op_val_in(&regs, src);
-                        let (addr, is_global, slot, sym) =
-                            match self.resolve(t, func, &regs, base, place, *line) {
-                                Ok(r) => r,
-                                Err(e) => {
-                                    park!();
-                                    return Err(e);
-                                }
-                            };
-                        if is_global {
-                            self.globals[slot] = v;
-                        } else {
-                            self.threads[t].mem[slot] = v;
-                        }
-                        let ts = self.steps;
-                        self.emit(
-                            t,
-                            Event::Mem(MemEvent {
-                                is_write: true,
-                                addr,
-                                op: *op_id,
-                                line: *line,
-                                var: sym,
-                                thread: t as u32,
-                                ts,
-                            }),
-                        );
+                    HotOp::Store { mem, src } => {
+                        do_store!(&code.mems[mem as usize], src, pc);
                         pc += 1;
                     }
-                    Op::Bin {
-                        dst,
-                        op,
-                        lhs,
-                        rhs,
-                        line,
-                    } => {
-                        let a = op_val_in(&regs, lhs);
-                        let b = op_val_in(&regs, rhs);
-                        let v = match bin_eval(*op, a, b, *line) {
+                    HotOp::Bin { op, dst, lhs, rhs } => {
+                        let a = lhs.value(&regs, imms);
+                        let b = rhs.value(&regs, imms);
+                        regs[dst as usize] = bin_eval_nontrap(op, a, b);
+                        pc += 1;
+                    }
+                    HotOp::BinChecked { op, dst, lhs, rhs } => {
+                        let a = lhs.value(&regs, imms);
+                        let b = rhs.value(&regs, imms);
+                        // The line travels in the cold table, paid only on
+                        // the trap path.
+                        let v = match bin_eval(op, a, b, 0) {
                             Ok(v) => v,
-                            Err(e) => {
+                            Err(_) => {
                                 park!();
-                                return Err(e);
+                                return Err(RuntimeError::DivByZero {
+                                    line: code.trap_line(pc as u32),
+                                });
                             }
                         };
-                        regs[dst.index()] = v;
+                        regs[dst as usize] = v;
                         pc += 1;
                     }
-                    Op::Un { dst, op, src } => {
-                        let v = op_val_in(&regs, src);
+                    HotOp::Un { op, dst, src } => {
+                        let v = src.value(&regs, imms);
                         let r = match op {
                             UnOp::Neg => match v {
                                 Value::I64(x) => Value::I64(x.wrapping_neg()),
@@ -560,44 +572,54 @@ impl<'p, S: Sink> Interp<'p, S> {
                             UnOp::ToF64 => Value::F64(v.as_f64()),
                             UnOp::ToI64 => Value::I64(v.as_i64()),
                         };
-                        regs[dst.index()] = r;
+                        regs[dst as usize] = r;
                         pc += 1;
                     }
-                    Op::CallUser { dst, target, args } => {
+                    HotOp::CallUser { target, args, dst } => {
                         let mut vals = std::mem::take(&mut self.call_buf);
                         vals.clear();
-                        vals.extend(args.iter().map(|a| op_val_in(&regs, a)));
+                        vals.extend(
+                            code.call_args[args as usize]
+                                .iter()
+                                .map(|a| a.value(&regs, imms)),
+                        );
                         // Resume after the call on return.
                         pc += 1;
                         park!();
-                        let fi = *target as usize;
-                        Self::push_frame_raw(prog, &mut self.threads[t], fi, &vals, *dst);
+                        let fi = target as usize;
+                        let ret_dst = (dst != DST_NONE).then_some(RegId(dst));
+                        Self::push_frame_raw(prog, &mut self.threads[t], fi, &vals, ret_dst);
                         self.recycle_args(vals);
                         self.emit(
                             t,
                             Event::FuncEnter {
-                                func: *target,
+                                func: target,
                                 line: prog.code[fi].start_line,
                                 thread: t as u32,
                             },
                         );
                         continue 'frame;
                     }
-                    Op::CallBuiltin {
-                        dst,
+                    HotOp::CallBuiltin {
                         builtin,
                         args,
+                        dst,
                         line,
                     } => {
                         let mut vals = std::mem::take(&mut self.call_buf);
                         vals.clear();
-                        vals.extend(args.iter().map(|a| op_val_in(&regs, a)));
+                        vals.extend(
+                            code.call_args[args as usize]
+                                .iter()
+                                .map(|a| a.value(&regs, imms)),
+                        );
                         // Builtins may read or write the current frame's
                         // registers (e.g. a result destination), so the
                         // register file goes back into the frame around the
                         // call and is re-taken afterwards.
                         park!();
-                        let completed = self.builtin(t, *builtin, &vals, *dst, *line);
+                        let ret_dst = (dst != DST_NONE).then_some(RegId(dst));
+                        let completed = self.builtin(t, builtin, &vals, ret_dst, line);
                         self.recycle_args(vals);
                         if completed? {
                             let fr = self.threads[t].frames.last_mut().unwrap();
@@ -609,24 +631,25 @@ impl<'p, S: Sink> Interp<'p, S> {
                             continue 'frame;
                         }
                     }
-                    Op::CallUnknown { name } => {
+                    HotOp::CallUnknown { name } => {
                         park!();
-                        return Err(RuntimeError::UnknownFunction(name.to_string()));
+                        return Err(RuntimeError::UnknownFunction(
+                            code.unknown_names[name as usize].to_string(),
+                        ));
                     }
-                    Op::RegionEnter {
-                        region,
+                    HotOp::RegionEnter {
                         kind,
+                        region,
                         line,
                         end_line,
                     } => {
-                        let th_steps = self.threads[t].steps;
                         self.threads[t]
                             .frames
                             .last_mut()
                             .unwrap()
                             .regions
                             .push(RegionState {
-                                region: *region,
+                                region,
                                 th_steps_at_enter: th_steps,
                                 iters: 0,
                             });
@@ -634,68 +657,135 @@ impl<'p, S: Sink> Interp<'p, S> {
                             t,
                             Event::RegionEnter {
                                 func: func as u32,
-                                region: *region,
-                                kind: *kind,
-                                start_line: *line,
-                                end_line: *end_line,
+                                region,
+                                kind,
+                                start_line: line,
+                                end_line,
                                 thread: t as u32,
                             },
                         );
                         pc += 1;
                     }
-                    Op::RegionExit { region } => {
-                        self.pop_regions_through(t, func, *region);
+                    HotOp::RegionExit { region } => {
+                        // Region exits read the thread step counter
+                        // (`dyn_instrs`), so write the locals back first.
+                        sync_steps!();
+                        self.pop_regions_through(t, func, region);
                         pc += 1;
                     }
-                    Op::LoopIter { region } => {
+                    HotOp::LoopIter { region } => {
                         // Abrupt exits (continue) may leave inner branch
                         // regions on the stack; close them before opening
-                        // the next iteration.
-                        self.pop_regions_above(t, func, *region);
+                        // the next iteration (they read the step counter).
+                        sync_steps!();
+                        self.pop_regions_above(t, func, region);
                         self.emit(
                             t,
                             Event::LoopIter {
                                 func: func as u32,
-                                region: *region,
+                                region,
                                 thread: t as u32,
                             },
                         );
                         pc += 1;
                     }
-                    Op::LoopBody { region } => {
+                    HotOp::LoopBody { region } => {
                         let fr = self.threads[t].frames.last_mut().unwrap();
                         if let Some(top) = fr.regions.last_mut() {
-                            if top.region == *region {
+                            if top.region == region {
                                 top.iters += 1;
                             }
                         }
                         pc += 1;
                     }
-                    Op::Jump { delta } => pc = jump(pc, *delta),
-                    Op::Branch {
+                    HotOp::Jump { delta } => pc = jump(pc, delta),
+                    HotOp::Branch {
                         cond,
                         then_delta,
                         else_delta,
                     } => {
-                        let v = op_val_in(&regs, cond);
+                        let v = cond.value(&regs, imms);
                         pc = jump(
                             pc,
                             if v.is_truthy() {
-                                *then_delta
+                                then_delta
                             } else {
-                                *else_delta
+                                else_delta
                             },
                         );
                     }
-                    Op::Return { val } => {
-                        let val = val.as_ref().map(|o| op_val_in(&regs, o));
+                    HotOp::Return { val } => {
+                        let val = val.map(|o| o.value(&regs, imms));
                         // The frame is about to be popped; its (taken-out)
-                        // register file dies with it, so no write-back.
+                        // register file dies with it, so no write-back —
+                        // but region exits read the step counter.
+                        sync_steps!();
                         self.do_return(t, func, code, val);
                         continue 'frame;
                     }
-                    Op::Unreachable => {
+                    HotOp::Unreachable => {
                         unreachable!("verified IR has no unreachable terminators")
+                    }
+                    HotOp::CmpBranch { fused } => {
+                        let cb = &code.cmp_branches[fused as usize];
+                        // Constituent 1: Bin (charged at the loop top).
+                        let a = cb.lhs.value(&regs, imms);
+                        let b = cb.rhs.value(&regs, imms);
+                        regs[cb.dst as usize] = bin_eval_nontrap(cb.op, a, b);
+                        // Constituent 2: Branch at pc + 1; deltas are
+                        // relative to the branch slot, as decoded.
+                        tick_or_park!(pc + 1);
+                        let v = cb.cond.value(&regs, imms);
+                        pc = jump(
+                            pc + 1,
+                            if v.is_truthy() {
+                                cb.then_delta
+                            } else {
+                                cb.else_delta
+                            },
+                        );
+                    }
+                    HotOp::LoadCmpBranch { fused } => {
+                        let c = &code.load_cmp_branches[fused as usize];
+                        do_load!(&c.load, c.load_dst, pc);
+                        tick_or_park!(pc + 1);
+                        let a = c.cmp.lhs.value(&regs, imms);
+                        let b = c.cmp.rhs.value(&regs, imms);
+                        regs[c.cmp.dst as usize] = bin_eval_nontrap(c.cmp.op, a, b);
+                        tick_or_park!(pc + 2);
+                        let v = c.cmp.cond.value(&regs, imms);
+                        pc = jump(
+                            pc + 2,
+                            if v.is_truthy() {
+                                c.cmp.then_delta
+                            } else {
+                                c.cmp.else_delta
+                            },
+                        );
+                    }
+                    HotOp::Rmw { fused } => {
+                        let r = &code.rmws[fused as usize];
+                        do_load!(&r.load, r.load_dst, pc);
+                        tick_or_park!(pc + 1);
+                        let a = r.lhs.value(&regs, imms);
+                        let b = r.rhs.value(&regs, imms);
+                        regs[r.bin_dst as usize] = bin_eval_nontrap(r.op, a, b);
+                        tick_or_park!(pc + 2);
+                        do_store!(&r.store, r.store_src, pc + 2);
+                        pc += 3;
+                    }
+                    HotOp::LoadRmw { fused } => {
+                        let r = &code.load_rmws[fused as usize];
+                        do_load!(&r.load, r.load_dst, pc);
+                        tick_or_park!(pc + 1);
+                        do_load!(&r.rmw.load, r.rmw.load_dst, pc + 1);
+                        tick_or_park!(pc + 2);
+                        let a = r.rmw.lhs.value(&regs, imms);
+                        let b = r.rmw.rhs.value(&regs, imms);
+                        regs[r.rmw.bin_dst as usize] = bin_eval_nontrap(r.rmw.op, a, b);
+                        tick_or_park!(pc + 3);
+                        do_store!(&r.rmw.store, r.rmw.store_src, pc + 3);
+                        pc += 4;
                     }
                 }
             }
@@ -757,46 +847,123 @@ impl<'p, S: Sink> Interp<'p, S> {
         self.threads[t].frames.last_mut().unwrap().regs[r.index()] = v;
     }
 
-    /// Resolve a precompiled place to `(logical address, is_global, storage
-    /// slot, symbol)`, checking bounds. `regs`/`base` are the current
-    /// frame's register file and stack base, cached in `run_slice` locals.
-    #[inline]
+    /// One load step: resolve the memory reference, move the value into
+    /// `regs[dst]`, and emit the memory event — the shared body behind the
+    /// plain `Load` op and every fused load constituent. `ts` is the
+    /// slice-local step counter (the event timestamp).
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_load(
+        &mut self,
+        t: usize,
+        imms: &[Value],
+        regs: &mut [Value],
+        base: usize,
+        m: &MemRef,
+        dst: u32,
+        ts: u64,
+    ) -> Result<(), RuntimeError> {
+        let (addr, is_global, slot, sym) = self.resolve(t, regs, imms, base, m)?;
+        let v = if is_global {
+            self.globals[slot]
+        } else {
+            self.threads[t].mem[slot]
+        };
+        regs[dst as usize] = v;
+        self.emit(
+            t,
+            Event::Mem(MemEvent {
+                is_write: false,
+                addr,
+                op: m.op_id,
+                line: m.line,
+                var: sym,
+                thread: t as u32,
+                ts,
+            }),
+        );
+        Ok(())
+    }
+
+    /// One store step — the shared body behind the plain `Store` op and
+    /// every fused store constituent.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_store(
+        &mut self,
+        t: usize,
+        imms: &[Value],
+        regs: &[Value],
+        base: usize,
+        m: &MemRef,
+        src: crate::code::Opnd,
+        ts: u64,
+    ) -> Result<(), RuntimeError> {
+        let v = src.value(regs, imms);
+        let (addr, is_global, slot, sym) = self.resolve(t, regs, imms, base, m)?;
+        if is_global {
+            self.globals[slot] = v;
+        } else {
+            self.threads[t].mem[slot] = v;
+        }
+        self.emit(
+            t,
+            Event::Mem(MemEvent {
+                is_write: true,
+                addr,
+                op: m.op_id,
+                line: m.line,
+                var: sym,
+                thread: t as u32,
+                ts,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Resolve a precompiled memory reference to `(logical address,
+    /// is_global, storage slot, symbol)`, checking bounds. `regs`/`imms`/
+    /// `base` are the current frame's register file, the function's
+    /// immediate pool, and the stack base, cached in `run_slice` locals.
+    /// Forced inline: letting this fall out of line puts a 7-argument call
+    /// on every memory operation's critical path.
+    #[inline(always)]
     fn resolve(
         &self,
         t: usize,
-        func: usize,
         regs: &[Value],
+        imms: &[Value],
         base: usize,
-        place: &PlaceCode,
-        line: u32,
+        m: &MemRef,
     ) -> Result<(u64, bool, usize, u32), RuntimeError> {
-        let idx = match &place.index {
-            Some(op) => op_val_in(regs, op).as_i64(),
-            None => 0,
-        };
-        if idx < 0 || idx as u64 >= place.elems {
-            return Err(self.out_of_bounds(func, place, line, idx));
-        }
-        if place.global {
-            let slot = place.base as usize + idx as usize;
-            Ok((GLOBAL_BASE + slot as u64 * WORD, true, slot, place.sym))
+        let idx = if m.has_index {
+            m.index.value(regs, imms).as_i64()
         } else {
-            let word = base as u64 + place.base as u64 + idx as u64;
+            0
+        };
+        if idx < 0 || idx as u64 >= m.elems {
+            return Err(self.out_of_bounds(m, idx));
+        }
+        if m.global {
+            let slot = m.base as usize + idx as usize;
+            Ok((GLOBAL_BASE + slot as u64 * WORD, true, slot, m.sym))
+        } else {
+            let word = base as u64 + m.base as u64 + idx as u64;
             let addr = STACK_BASE + t as u64 * STACK_SPAN + word * WORD;
-            Ok((addr, false, word as usize, place.sym))
+            Ok((addr, false, word as usize, m.sym))
         }
     }
 
-    /// Cold path: reconstruct the variable name for the bounds error.
+    /// Cold path: reconstruct the variable name for the bounds error. The
+    /// interned symbol was created from the variable's name, so it *is* the
+    /// name — no module walk needed.
     #[cold]
-    fn out_of_bounds(&self, func: usize, place: &PlaceCode, line: u32, index: i64) -> RuntimeError {
-        let var = match place.var {
-            VarRef::Global(g) => self.prog.module.globals[g.index()].name.clone(),
-            VarRef::Local(l) => self.prog.module.functions[func].locals[l.index()]
-                .name
-                .clone(),
-        };
-        RuntimeError::OutOfBounds { line, var, index }
+    fn out_of_bounds(&self, m: &MemRef, index: i64) -> RuntimeError {
+        RuntimeError::OutOfBounds {
+            line: m.line,
+            var: self.prog.symbol(m.sym).to_string(),
+            index,
+        }
     }
 
     /// Pop and emit exits for all regions strictly above `region` on the

@@ -2,7 +2,7 @@
 //! symbol table, and the pre-decoded instruction streams the interpreter
 //! executes (see [`crate::code`]).
 
-use crate::code::{Builtin, DecodeCtx, FuncCode, Op};
+use crate::code::{Builtin, DecodeConfig, DecodeCtx, FuncCode, HotOp};
 use mir::{Module, Ty};
 
 /// Static metadata of one memory operation: everything a [`MemEvent`]
@@ -60,13 +60,24 @@ pub struct Program {
     pub(crate) code: Vec<FuncCode>,
     /// Total number of static memory operations.
     num_mem_ops: u32,
+    /// Static metadata per memory op, in id order — collected during
+    /// decode, so it never has to be recovered by re-walking the streams.
+    mem_meta: Vec<MemOpMeta>,
 }
 
 impl Program {
-    /// Prepare a module for execution. The module must pass
+    /// Prepare a module for execution with the default decode options
+    /// (superinstruction fusion on). The module must pass
     /// [`mir::verify_module`]; use `lang::compile` to obtain verified
     /// modules from source.
     pub fn new(module: Module) -> Self {
+        Self::with_decode_config(module, DecodeConfig::default())
+    }
+
+    /// Prepare a module for execution with explicit decode options. The
+    /// fused and unfused forms must produce byte-identical event streams;
+    /// the knob exists for differential testing and dispatch benchmarking.
+    pub fn with_decode_config(module: Module, decode: DecodeConfig) -> Self {
         let mut symbols = Vec::new();
         let intern = |name: &str, symbols: &mut Vec<String>| -> u32 {
             if let Some(i) = symbols.iter().position(|s| s == name) {
@@ -113,11 +124,13 @@ impl Program {
             &local_off,
             &local_syms,
             &frame_words,
+            decode,
         );
         let code: Vec<FuncCode> = (0..module.functions.len())
             .map(|fx| ctx.decode_function(fx))
             .collect();
         let num_mem_ops = ctx.next_op;
+        let mem_meta = std::mem::take(&mut ctx.mem_meta);
 
         Program {
             module,
@@ -130,6 +143,7 @@ impl Program {
             frame_words,
             code,
             num_mem_ops,
+            mem_meta,
         }
     }
 
@@ -138,10 +152,12 @@ impl Program {
         &self.code
     }
 
-    /// Total decoded ops across all functions (instructions + flattened
-    /// terminators) — the size of the flat execution form.
+    /// Total decoded op slots across all functions (instructions +
+    /// flattened terminators) — the size of the flat execution form. Fusion
+    /// does not change this: fused heads occupy their first constituent's
+    /// slot and tails keep their plain ops.
     pub fn num_decoded_ops(&self) -> usize {
-        self.code.iter().map(|c| c.ops.len()).sum()
+        self.code.iter().map(|c| c.hot.len()).sum()
     }
 
     /// Static address-footprint upper bound in words: the global segment
@@ -163,52 +179,20 @@ impl Program {
     /// (`0..num_mem_ops`). Every emitted [`crate::MemEvent`] with op id `i`
     /// has exactly `meta[i].line`/`var`/`is_write`, so consumers that
     /// receive the op id can drop those fields from their wire format.
-    pub fn mem_op_meta(&self) -> Vec<MemOpMeta> {
-        let mut meta = vec![
-            MemOpMeta {
-                line: 0,
-                var: 0,
-                is_write: false
-            };
-            self.num_mem_ops as usize
-        ];
-        for c in &self.code {
-            for op in c.ops.iter() {
-                match op {
-                    Op::Load {
-                        place, line, op_id, ..
-                    } => {
-                        meta[*op_id as usize] = MemOpMeta {
-                            line: *line,
-                            var: place.sym,
-                            is_write: false,
-                        }
-                    }
-                    Op::Store {
-                        place, line, op_id, ..
-                    } => {
-                        meta[*op_id as usize] = MemOpMeta {
-                            line: *line,
-                            var: place.sym,
-                            is_write: true,
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-        meta
+    pub fn mem_op_meta(&self) -> &[MemOpMeta] {
+        &self.mem_meta
     }
 
     /// True if any decoded op can spawn a target thread. Engine
     /// auto-selection uses this to route large multithreaded targets to the
-    /// parallel engine.
+    /// parallel engine. Calls never fuse, so scanning the hot stream is
+    /// exhaustive under any decode configuration.
     pub fn spawns_threads(&self) -> bool {
         self.code.iter().any(|c| {
-            c.ops.iter().any(|op| {
+            c.hot.iter().any(|op| {
                 matches!(
                     op,
-                    Op::CallBuiltin {
+                    HotOp::CallBuiltin {
                         builtin: Builtin::Spawn,
                         ..
                     }

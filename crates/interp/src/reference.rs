@@ -5,11 +5,15 @@
 //! [`Program::new`]; this module keeps the original slow path — per-step
 //! frame/block/pc re-resolution, match dispatch on the tree-shaped IR,
 //! name-map call resolution, and the `op_ids` side table (re-derived here) —
-//! as an independent oracle. The decode layer is pure lowering, so for any
-//! program, sink, and configuration the two interpreters must produce
-//! **byte-identical event streams** and results; `tests/decode_equivalence.rs`
-//! pins this on real workloads. Keep this module dumb and obvious: its value
-//! is that it cannot share a bug with the decoder.
+//! as an independent oracle. The decode layer is pure lowering and the
+//! superinstruction peephole is observationally invisible, so for any
+//! program, sink, configuration, and decode mode (fused or unfused) the two
+//! interpreters must produce **byte-identical event streams** and results;
+//! `tests/decode_equivalence.rs` pins this on real workloads. Keep this
+//! module dumb and obvious: its value is that it cannot share a bug with
+//! the decoder. (The only change since the pre-decode implementation is the
+//! [`Sink::WANTS_EVENTS`] gate in `emit`, mirroring the machine so both
+//! interpreters elide event work for the same sinks.)
 
 use crate::event::{Event, MemEvent, RegionExitEvent, Sink};
 use crate::machine::{bin_eval, RunConfig, RunResult, RuntimeError};
@@ -229,6 +233,9 @@ impl<'p, S: Sink> RefInterp<'p, S> {
 
     #[inline]
     fn emit(&mut self, t: usize, ev: Event) {
+        if !S::WANTS_EVENTS {
+            return;
+        }
         if self.batching {
             self.batch.push(ev);
             if self.batch.len() >= self.cfg.batch_cap {

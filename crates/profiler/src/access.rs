@@ -513,6 +513,51 @@ mod tests {
     }
 
     #[test]
+    fn rep_combining_saturates_at_u16_max_and_splits() {
+        // A same-site run longer than a record can count (65536 accesses:
+        // the first plus u16::MAX combined repeats) must split into
+        // multiple records whose replay counts sum to the run length —
+        // the saturated record must NOT absorb further repeats.
+        let mut chunk: Vec<PackedAccess> = Vec::new();
+        let total = 70_000u64;
+        let mk = |ts: u64| PackedAccess {
+            addr: 0x4000,
+            ts,
+            op: 3,
+            instance: NO_INSTANCE,
+            iter: 0,
+            thread: 0,
+            rep: 0,
+        };
+        let mut combined = 0u64;
+        for ts in 0..total {
+            if push_combining(&mut chunk, mk(ts)) {
+                combined += 1;
+            }
+        }
+        assert_eq!(chunk.len(), 2, "the run must split at the u16 boundary");
+        assert_eq!(chunk[0].rep, u16::MAX, "first record saturates");
+        assert_eq!(
+            chunk[1].rep as u64,
+            total - (u16::MAX as u64 + 1) - 1,
+            "second record holds the remainder"
+        );
+        let replayed: u64 = chunk.iter().map(|p| p.rep as u64 + 1).sum();
+        assert_eq!(replayed, total, "no access lost or duplicated");
+        assert_eq!(combined + chunk.len() as u64, total);
+        // Timestamps: each record carries its first access's timestamp.
+        assert_eq!(chunk[0].ts, 0);
+        assert_eq!(chunk[1].ts, u16::MAX as u64 + 1);
+        // A different site after saturation starts a fresh record.
+        let other = PackedAccess {
+            addr: 0x4008,
+            ..mk(total)
+        };
+        assert!(!push_combining(&mut chunk, other));
+        assert_eq!(chunk.len(), 3);
+    }
+
+    #[test]
     fn branch_regions_do_not_affect_loop_stack() {
         let mut ctx = LoopContext::new();
         let mut table = InstanceTable::new();

@@ -878,7 +878,7 @@ impl DepBuilder<crate::maps::PerfectMap> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::access::{InstanceTable, NO_INSTANCE};
+    use crate::access::{push_combining, InstanceTable, NO_INSTANCE};
     use crate::maps::PerfectMap;
 
     fn acc(addr: u64, op: u32, line: u32, is_write: bool, ts: u64) -> Access {
@@ -1132,6 +1132,82 @@ mod tests {
         // reproduce the signature's collision behaviour exactly.
         packed_chunk_matches_scalar_on(|| crate::maps::SignatureMap::new(13), 0xB0B);
         packed_chunk_matches_scalar_on(|| crate::maps::SignatureMap::new(1 << 12), 0xC0FFEE);
+    }
+
+    #[test]
+    fn saturated_rep_run_matches_scalar() {
+        // A same-site run longer than one record can hold (first access +
+        // u16::MAX combined repeats) splits into multiple records at the
+        // saturation boundary; replaying the combined chunk must rebuild
+        // the exact dependences and counts of the uncombined stream.
+        let meta = [
+            interp::MemOpMeta {
+                line: 4,
+                var: 0,
+                is_write: true,
+            },
+            interp::MemOpMeta {
+                line: 5,
+                var: 0,
+                is_write: false,
+            },
+        ];
+        let table = InstanceTable::new();
+        let total = 70_000u64; // > 65536: crosses the u16::MAX boundary
+        let mut scalar = DepBuilder::new(
+            PerfectMap::new(),
+            PerfectMap::new(),
+            2,
+            EngineConfig::default(),
+        );
+        let mut chunked = DepBuilder::new(
+            PerfectMap::new(),
+            PerfectMap::new(),
+            2,
+            EngineConfig::default(),
+        );
+        let mut chunk: Vec<PackedAccess> = Vec::new();
+        let mut ts = 0u64;
+        let mut feed =
+            |op: u32, scalar: &mut DepBuilder<PerfectMap>, chunk: &mut Vec<PackedAccess>| {
+                ts += 1;
+                let a = Access {
+                    addr: 0x4000,
+                    op,
+                    line: meta[op as usize].line,
+                    var: meta[op as usize].var,
+                    thread: 0,
+                    ts,
+                    is_write: meta[op as usize].is_write,
+                    instance: NO_INSTANCE,
+                    iter: 0,
+                };
+                scalar.process(&a, &table);
+                push_combining(chunk, PackedAccess::pack(&a));
+            };
+        feed(0, &mut scalar, &mut chunk); // initial write
+        for _ in 0..total {
+            feed(1, &mut scalar, &mut chunk); // same-site read run
+        }
+        feed(0, &mut scalar, &mut chunk); // closing write (WAR against the reads)
+        assert_eq!(
+            chunk.len(),
+            4,
+            "write + saturated read + remainder read + write"
+        );
+        assert_eq!(chunk[1].rep, u16::MAX, "the run must saturate one record");
+        assert_eq!(
+            chunk.iter().map(|p| p.rep as u64 + 1).sum::<u64>(),
+            total + 2,
+            "replay counts must cover the whole stream"
+        );
+        chunked.process_packed_chunk(&chunk, &meta, &table);
+        assert_eq!(scalar.deps.sorted(), chunked.deps.sorted());
+        assert_eq!(scalar.deps.total_found, chunked.deps.total_found);
+        for d in scalar.deps.sorted() {
+            assert_eq!(scalar.deps.count(&d), chunked.deps.count(&d), "{d:?}");
+        }
+        assert_eq!(scalar.stats.total_accesses, chunked.stats.total_accesses);
     }
 
     #[test]

@@ -147,8 +147,10 @@ impl EngineKind {
     /// Parse the textual spec format produced by [`EngineKind::label`]:
     /// `serial-perfect`, `serial-signature[:slots]`, or
     /// `parallel[:[workers=]workers[x chunk][:queue]]` with queue
-    /// `lock-free` or `lock-based`. This is what `discopop analyze
-    /// --engine` accepts.
+    /// `lock-free` or `lock-based`. Worker, chunk, and slot counts must be
+    /// positive — `parallel:0` and `parallel:4x0` are rejected with an
+    /// error, matching `serial-signature:0`, instead of being silently
+    /// clamped. This is what `discopop analyze --engine` accepts.
     ///
     /// ```
     /// use profiler::EngineKind;
@@ -206,14 +208,22 @@ impl EngineKind {
                         }
                     }
                 };
+                // Zero counts are user errors, rejected like
+                // `serial-signature:0` — not silently clamped to 1.
+                if workers == 0 {
+                    return Err("worker count must be positive".to_string());
+                }
+                if chunk == 0 {
+                    return Err("chunk size must be positive".to_string());
+                }
                 let queue = match parts.next() {
                     None | Some("lock-free") => QueueKind::LockFree,
                     Some("lock-based") => QueueKind::LockBased,
                     Some(q) => return Err(format!("unknown queue `{q}`")),
                 };
                 EngineKind::Parallel {
-                    workers: workers.max(1),
-                    chunk: chunk.max(1),
+                    workers,
+                    chunk,
                     queue,
                 }
             }
@@ -533,6 +543,31 @@ mod tests {
         ] {
             assert!(EngineKind::parse(bad).is_err(), "`{bad}` must be rejected");
         }
+    }
+
+    #[test]
+    fn parse_rejects_zero_workers_and_chunk() {
+        // Zero counts error out like `serial-signature:0` — no silent
+        // `.max(1)` clamping on the parse path.
+        for (bad, msg) in [
+            ("parallel:0", "worker count must be positive"),
+            ("parallel:workers=0", "worker count must be positive"),
+            ("parallel:0x64", "worker count must be positive"),
+            ("parallel:4x0", "chunk size must be positive"),
+            ("parallel:workers=4x0", "chunk size must be positive"),
+            ("parallel:0x0:lock-based", "worker count must be positive"),
+        ] {
+            assert_eq!(EngineKind::parse(bad), Err(msg.to_string()), "`{bad}`");
+        }
+        // Positive counts still parse.
+        assert_eq!(
+            EngineKind::parse("parallel:1x1"),
+            Ok(EngineKind::Parallel {
+                workers: 1,
+                chunk: 1,
+                queue: QueueKind::LockFree,
+            })
+        );
     }
 
     #[test]
