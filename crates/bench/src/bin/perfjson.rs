@@ -52,6 +52,22 @@ fn main() {
     }
 }";
 
+/// A heavier variant of the stress nest (~10M accesses over a 128 KiB
+/// address range) used only for the resource-governor overhead pin: the
+/// governed row must stay within 2% of the ungoverned row when no limit is
+/// hit, or governance is not free enough to leave on.
+const STRESS_XL_SRC: &str = "global int a[16384];
+global int b[16384];
+global int s;
+fn main() {
+    for (int r = 0; r < 150; r = r + 1) {
+        for (int i = 1; i < 16384; i = i + 1) {
+            b[i] = a[i - 1] + b[i];
+            s = s + b[i];
+        }
+    }
+}";
+
 struct Row {
     workload: &'static str,
     engine: &'static str,
@@ -63,6 +79,9 @@ struct Row {
     profiled_secs: f64,
     /// Transport statistics of the last rep, parallel engines only.
     parallel: Option<ParallelStats>,
+    /// Governed-vs-ungoverned time ratio minus one; only on the
+    /// `serial_perfect_governed` row of `stress_xl`.
+    governed_overhead: Option<f64>,
 }
 
 fn main() {
@@ -86,9 +105,10 @@ fn main() {
         "stress",
         Program::new(lang::compile(STRESS_SRC, "stress").expect("stress compiles")),
     ));
+    let run_xl = only.as_deref().is_none_or(|o| o == "stress_xl");
     if let Some(only) = &only {
         programs.retain(|(name, _)| name == only);
-        assert!(!programs.is_empty(), "no workload named `{only}`");
+        assert!(run_xl || !programs.is_empty(), "no workload named `{only}`");
     }
     let mut rows: Vec<Row> = Vec::new();
 
@@ -263,6 +283,93 @@ fn main() {
         );
     }
 
+    if run_xl {
+        // The governed-overhead pin: the same serial-perfect engine with an
+        // active but never-hit budget (huge ceiling, huge deadline) must
+        // track the ungoverned run within 2%. Governance is output- and
+        // resource-transparent when limits are not reached, and that is
+        // asserted, not assumed.
+        let p =
+            Program::new(lang::compile(STRESS_XL_SRC, "stress_xl").expect("stress_xl compiles"));
+        let reference = profiler::profile_program(&p).expect("profiles");
+        let accesses = reference.skip_stats.total_accesses;
+        let plain_cfg = ProfileConfig {
+            engine: EngineKind::SerialPerfect,
+            ..Default::default()
+        };
+        let governed_cfg = ProfileConfig {
+            engine: EngineKind::SerialPerfect,
+            budget: profiler::Budget {
+                max_memory_bytes: Some(1 << 30),
+                deadline: Some(std::time::Duration::from_secs(86_400)),
+            },
+            ..Default::default()
+        };
+        let mut plain_bytes = 0usize;
+        let mut governed_out = None;
+        let times = {
+            let mut run_native = || {
+                interp::run_with_config(&p, interp::NullSink, RunConfig::default()).expect("runs");
+            };
+            let mut run_plain = || {
+                plain_bytes = profiler::profile_program_with(&p, &plain_cfg)
+                    .expect("profiles")
+                    .profiler_bytes;
+            };
+            let mut run_governed = || {
+                governed_out =
+                    Some(profiler::profile_program_with(&p, &governed_cfg).expect("profiles"));
+            };
+            bench::time_interleaved(
+                reps,
+                &mut [&mut run_native, &mut run_plain, &mut run_governed],
+            )
+        };
+        let native = times[0];
+        let out = governed_out.expect("governed rep ran");
+        let res = out
+            .resource
+            .as_ref()
+            .expect("governed run reports resources");
+        assert!(
+            res.degradation_steps.is_empty() && !res.deadline_hit,
+            "an unhit budget must neither degrade nor trip"
+        );
+        assert_eq!(
+            out.deps.sorted(),
+            reference.deps.sorted(),
+            "governance must be output-transparent when limits are not hit"
+        );
+        let overhead = times[2] / times[1] - 1.0;
+        rows.push(row(
+            "stress_xl",
+            "serial_perfect",
+            accesses,
+            times[1],
+            native,
+            plain_bytes,
+            None,
+        ));
+        let mut governed_row = row(
+            "stress_xl",
+            "serial_perfect_governed",
+            accesses,
+            times[2],
+            native,
+            out.profiler_bytes,
+            None,
+        );
+        governed_row.governed_overhead = Some(overhead);
+        rows.push(governed_row);
+        eprintln!(
+            "stress_xl: governed overhead {:+.2}% (pin: <= 2%)",
+            overhead * 100.0
+        );
+        if overhead > 0.02 {
+            eprintln!("WARNING: stress_xl governed overhead exceeds the 2% pin");
+        }
+    }
+
     let json = render_json(&rows);
     println!("{json}");
     // Smoke mode (`--only`) never overwrites the committed baseline: a
@@ -294,6 +401,7 @@ fn row(
         native_secs,
         profiled_secs,
         parallel,
+        governed_overhead: None,
     }
 }
 
@@ -301,6 +409,10 @@ fn row(
 fn render_json(rows: &[Row]) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"profiler\",\n  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let governed = match r.governed_overhead {
+            None => String::new(),
+            Some(o) => format!(", \"governed_overhead\": {o:.4}"),
+        };
         let transport = match &r.parallel {
             None => String::new(),
             Some(p) => format!(
@@ -313,7 +425,7 @@ fn render_json(rows: &[Row]) -> String {
             out,
             "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"accesses\": {}, \
              \"accesses_per_sec\": {:.0}, \"slowdown_vs_native\": {:.2}, \
-             \"peak_map_bytes\": {}, \"native_secs\": {:.6}, \"profiled_secs\": {:.6}{}}}{}",
+             \"peak_map_bytes\": {}, \"native_secs\": {:.6}, \"profiled_secs\": {:.6}{}{}}}{}",
             r.workload,
             r.engine,
             r.accesses,
@@ -322,6 +434,7 @@ fn render_json(rows: &[Row]) -> String {
             r.peak_map_bytes,
             r.native_secs,
             r.profiled_secs,
+            governed,
             transport,
             if i + 1 == rows.len() { "" } else { "," },
         );

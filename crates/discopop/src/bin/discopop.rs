@@ -29,8 +29,16 @@ analyze options:
   --skip-loops      enable the loop-skipping optimization (serial engines)
   --no-lifetime     disable variable-lifetime analysis
   --batch-cap N     events per interpreter batch (<2 = per-event delivery)
+  --max-memory SIZE hard ceiling on tracked profiler bytes; accepts K/M/G
+                    suffixes (e.g. 64M). Crossing it degrades the shadow
+                    (perfect -> signature -> halved signature) instead of
+                    growing; the JSON report records what was sacrificed
+  --deadline SECS   wall-clock limit for the profiling run (fractions ok);
+                    exceeding it aborts with a partial-profile diagnostic
   --json PATH       write the versioned JSON report to PATH (`-` = stdout)
-  --quiet           suppress the human-readable report and progress lines";
+  --quiet           suppress the human-readable report and progress lines
+
+exit codes: 0 success, 1 analysis/usage failure, 2 unreadable input";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,8 +84,26 @@ struct AnalyzeArgs {
     skip_loops: bool,
     lifetime: bool,
     batch_cap: Option<usize>,
+    max_memory: Option<usize>,
+    deadline: Option<std::time::Duration>,
     json: Option<String>,
     quiet: bool,
+}
+
+/// Parse a byte size with an optional `K`/`M`/`G` suffix (case-insensitive,
+/// powers of 1024): `65536`, `64K`, `16M`, `2G`.
+fn parse_size(s: &str) -> Result<usize, String> {
+    let bad = || format!("bad size `{s}` (expected e.g. 65536, 64K, 16M, 2G)");
+    let (digits, shift) = match s.trim().to_ascii_uppercase() {
+        ref t if t.ends_with('K') => (t[..t.len() - 1].to_string(), 10u32),
+        ref t if t.ends_with('M') => (t[..t.len() - 1].to_string(), 20),
+        ref t if t.ends_with('G') => (t[..t.len() - 1].to_string(), 30),
+        t => (t, 0),
+    };
+    let n: usize = digits.parse().map_err(|_| bad())?;
+    n.checked_shl(shift)
+        .filter(|&v| v >> shift == n)
+        .ok_or_else(bad)
 }
 
 fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
@@ -87,6 +113,8 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
         skip_loops: false,
         lifetime: true,
         batch_cap: None,
+        max_memory: None,
+        deadline: None,
         json: None,
         quiet: false,
     };
@@ -104,6 +132,15 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
             "--batch-cap" => {
                 let v = value_of("--batch-cap")?;
                 parsed.batch_cap = Some(v.parse().map_err(|_| format!("bad --batch-cap `{v}`"))?);
+            }
+            "--max-memory" => parsed.max_memory = Some(parse_size(&value_of("--max-memory")?)?),
+            "--deadline" => {
+                let v = value_of("--deadline")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad --deadline `{v}`"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("bad --deadline `{v}`"));
+                }
+                parsed.deadline = Some(std::time::Duration::from_secs_f64(secs));
             }
             "--json" => parsed.json = Some(value_of("--json")?),
             "--quiet" => parsed.quiet = true,
@@ -126,11 +163,13 @@ fn analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Unreadable input (missing file, permission denied, invalid UTF-8) is
+    // an environment problem, not an analysis failure: exit 2, one line.
     let source = match std::fs::read_to_string(&args.file) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("discopop: cannot read `{}`: {e}", args.file);
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let name = std::path::Path::new(&args.file)
@@ -144,6 +183,12 @@ fn analyze(args: &[String]) -> ExitCode {
         .lifetime(args.lifetime);
     if let Some(cap) = args.batch_cap {
         analysis = analysis.batch_cap(cap);
+    }
+    if let Some(bytes) = args.max_memory {
+        analysis = analysis.max_memory(bytes);
+    }
+    if let Some(d) = args.deadline {
+        analysis = analysis.deadline(d);
     }
     if !args.quiet {
         analysis = analysis.on_progress(|ev| match ev {
@@ -249,6 +294,19 @@ fn render_saved(args: &[String]) -> ExitCode {
         doc.profile.dependences.len(),
         doc.profile.dependences_found,
     );
+    if let Some(res) = &doc.profile.resource {
+        println!(
+            "resource: peak {} tracked bytes, {} degradation step(s), est. FP rate {:.4}{}",
+            res.peak_tracked_bytes,
+            res.degradation_steps.len(),
+            res.fp_rate_estimate,
+            if res.deadline_hit {
+                " [deadline hit — partial profile]"
+            } else {
+                ""
+            }
+        );
+    }
     println!("\nLoops:");
     for l in &doc.discovery.loops {
         let extra = if !l.reduction_vars.is_empty() {

@@ -72,7 +72,7 @@ pub use profiler;
 
 pub mod report;
 
-pub use profiler::EngineKind;
+pub use profiler::{Budget, EngineKind, ProfileError, ResourceStats};
 
 use serde::Serialize;
 
@@ -111,6 +111,13 @@ pub enum Error {
     Compile(lang::CompileError),
     /// Target program failed at runtime.
     Runtime(interp::RuntimeError),
+    /// The configured [`Budget`] deadline expired; the partial profile
+    /// (everything up to the interrupt, with `resource.deadline_hit` set)
+    /// rides along.
+    DeadlineExceeded {
+        /// The partial profiler output.
+        partial: Box<profiler::ProfileOutput>,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -118,6 +125,12 @@ impl std::fmt::Display for Error {
         match self {
             Error::Compile(e) => write!(f, "compile error: {e}"),
             Error::Runtime(e) => write!(f, "runtime error: {e}"),
+            Error::DeadlineExceeded { partial } => write!(
+                f,
+                "deadline exceeded after {} steps ({} dependences profiled)",
+                partial.steps,
+                partial.deps.len()
+            ),
         }
     }
 }
@@ -133,6 +146,15 @@ impl From<lang::CompileError> for Error {
 impl From<interp::RuntimeError> for Error {
     fn from(e: interp::RuntimeError) -> Self {
         Error::Runtime(e)
+    }
+}
+
+impl From<ProfileError> for Error {
+    fn from(e: ProfileError) -> Self {
+        match e {
+            ProfileError::Runtime(e) => Error::Runtime(e),
+            ProfileError::DeadlineExceeded { partial } => Error::DeadlineExceeded { partial },
+        }
     }
 }
 
@@ -199,6 +221,7 @@ pub struct Analysis {
     skip_loops: bool,
     lifetime: bool,
     batch_cap: usize,
+    budget: Budget,
     progress: Option<ProgressSink>,
 }
 
@@ -212,6 +235,7 @@ impl Default for Analysis {
             skip_loops: p.skip_loops,
             lifetime: p.lifetime,
             batch_cap: p.run.batch_cap,
+            budget: p.budget,
             progress: None,
         }
     }
@@ -268,6 +292,27 @@ impl Analysis {
         self
     }
 
+    /// Resource budget for profiling runs: a hard memory ceiling triggers
+    /// the degradation ladder (exact shadow → signature → halved
+    /// signature), a deadline aborts with [`Error::DeadlineExceeded`]
+    /// carrying the partial profile. Unlimited by default.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Shorthand: set only the memory ceiling of the [`Budget`].
+    pub fn max_memory(mut self, bytes: usize) -> Self {
+        self.budget.max_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Shorthand: set only the deadline of the [`Budget`].
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.budget.deadline = Some(deadline);
+        self
+    }
+
     /// Register a progress sink invoked at every stage boundary.
     ///
     /// ```
@@ -295,6 +340,7 @@ impl Analysis {
             engine: self.engine,
             skip_loops: self.skip_loops,
             lifetime: self.lifetime,
+            budget: self.budget,
             run: interp::RunConfig {
                 batch_cap: self.batch_cap,
                 ..base.run

@@ -8,16 +8,23 @@
 //! and from [`jsonio::Value`]. Downstream tools consume the JSON; this
 //! module is the one place its shape is defined.
 //!
-//! # Schema (version 1)
+//! # Schema (version 3)
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "program": "demo",
 //!   "engine": "serial-perfect",
 //!   "profile": {
 //!     "steps": 1384, "accesses": 384, "dependences_found": 251,
 //!     "profiler_bytes": 73728, "printed": [],
+//!     "resource": {"budget_bytes": 1048576, "deadline_ms": null,
+//!                  "peak_tracked_bytes": 524288, "fp_rate_estimate": 0.01,
+//!                  "deadline_hit": false,
+//!                  "degradation_steps": [{"from": "perfect",
+//!                    "to": "signature:4096", "bytes_before": 1100000,
+//!                    "bytes_after": 300000, "affected": [0, 8192],
+//!                    "merged_slots": 0}]},
 //!     "dependences": [
 //!       {"sink": "1:4", "type": "RAW", "source": "1:2", "var": "sum",
 //!        "sink_thread": 0, "source_thread": 0, "carried_by": [0, 1],
@@ -55,7 +62,12 @@ use profiler::{Dep, PetNodeKind};
 /// - **2**: `profile.parallel` gained the adaptive-transport statistics
 ///   `combined`, `merges`, `queue_stalls`, and `spawned_workers`. Version-1
 ///   documents are still read; the new fields default to 0.
-pub const SCHEMA_VERSION: u32 = 2;
+/// - **3**: `profile` gained the `resource` block (budget, peak tracked
+///   bytes, degradation ladder, estimated FP rate, deadline flag) for
+///   governed runs, and `profile.parallel` gained `worker_recoveries`.
+///   Version-1/2 documents are still read; `resource` defaults to absent
+///   and `worker_recoveries` to 0.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Oldest schema version [`ReportDoc::from_json`] still reads.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -351,6 +363,9 @@ pub struct ParallelDoc {
     pub queue_stalls: u64,
     /// Worker threads actually spawned; 0 = fully inline (schema ≥ 2).
     pub spawned_workers: u64,
+    /// Panicked workers recovered by draining their partition back inline
+    /// (schema ≥ 3).
+    pub worker_recoveries: u64,
     /// Accesses processed per partition.
     pub worker_processed: Vec<u64>,
 }
@@ -364,6 +379,7 @@ impl ParallelDoc {
             ("merges", Value::from(self.merges)),
             ("queue_stalls", Value::from(self.queue_stalls)),
             ("spawned_workers", Value::from(self.spawned_workers)),
+            ("worker_recoveries", Value::from(self.worker_recoveries)),
             (
                 "worker_processed",
                 Value::Array(
@@ -384,6 +400,7 @@ impl ParallelDoc {
             merges: get_u64_or(v, "merges", 0)?,
             queue_stalls: get_u64_or(v, "queue_stalls", 0)?,
             spawned_workers: get_u64_or(v, "spawned_workers", 0)?,
+            worker_recoveries: get_u64_or(v, "worker_recoveries", 0)?,
             worker_processed: get_array(v, "worker_processed")?
                 .iter()
                 .map(|w| {
@@ -393,6 +410,148 @@ impl ParallelDoc {
                 })
                 .collect::<DocResult<_>>()?,
         })
+    }
+}
+
+/// One degradation-ladder rung of a governed run (schema ≥ 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationStepDoc {
+    /// Tier before the step (`perfect` or `signature:<slots>`).
+    pub from: String,
+    /// Tier after the step.
+    pub to: String,
+    /// Tracked bytes that triggered the step.
+    pub bytes_before: u64,
+    /// Tracked bytes immediately after the step.
+    pub bytes_after: u64,
+    /// `[lo, hi]` word-address range whose tracking became approximate,
+    /// when enumerable.
+    pub affected: Option<(u64, u64)>,
+    /// Slot pairs merged by a halving step.
+    pub merged_slots: u64,
+}
+
+impl DegradationStepDoc {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("from", Value::from(self.from.as_str())),
+            ("to", Value::from(self.to.as_str())),
+            ("bytes_before", Value::from(self.bytes_before)),
+            ("bytes_after", Value::from(self.bytes_after)),
+            (
+                "affected",
+                match self.affected {
+                    Some((lo, hi)) => Value::array([lo, hi]),
+                    None => Value::Null,
+                },
+            ),
+            ("merged_slots", Value::from(self.merged_slots)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<DegradationStepDoc> {
+        let affected = match field(v, "affected")? {
+            Value::Null => None,
+            other => match other.as_array() {
+                Some([a, b]) => match (a.as_u64(), b.as_u64()) {
+                    (Some(a), Some(b)) => Some((a, b)),
+                    _ => return err("`affected` must hold two integers"),
+                },
+                _ => return err("`affected` must be a two-element array or null"),
+            },
+        };
+        Ok(DegradationStepDoc {
+            from: get_str(v, "from")?,
+            to: get_str(v, "to")?,
+            bytes_before: get_u64(v, "bytes_before")?,
+            bytes_after: get_u64(v, "bytes_after")?,
+            affected,
+            merged_slots: get_u64(v, "merged_slots")?,
+        })
+    }
+}
+
+/// Resource accounting of a governed run (schema ≥ 3). Absent for
+/// ungoverned runs and in older documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceDoc {
+    /// Configured memory ceiling in bytes, if any.
+    pub budget_bytes: Option<u64>,
+    /// Configured deadline in milliseconds, if any.
+    pub deadline_ms: Option<u64>,
+    /// High-water mark of tracked profiler bytes.
+    pub peak_tracked_bytes: u64,
+    /// Ladder rungs taken, in order.
+    pub degradation_steps: Vec<DegradationStepDoc>,
+    /// Estimated false-positive probability per probe for signature-mode
+    /// regions; `0.0` while the run stayed exact.
+    pub fp_rate_estimate: f64,
+    /// `true` when the run hit its deadline and the profile is partial.
+    pub deadline_hit: bool,
+}
+
+impl ResourceDoc {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("budget_bytes", Value::from(self.budget_bytes)),
+            ("deadline_ms", Value::from(self.deadline_ms)),
+            ("peak_tracked_bytes", Value::from(self.peak_tracked_bytes)),
+            (
+                "degradation_steps",
+                Value::Array(
+                    self.degradation_steps
+                        .iter()
+                        .map(DegradationStepDoc::to_json)
+                        .collect(),
+                ),
+            ),
+            ("fp_rate_estimate", Value::Float(self.fp_rate_estimate)),
+            ("deadline_hit", Value::from(self.deadline_hit)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<ResourceDoc> {
+        let opt_u64 = |key: &str| -> DocResult<Option<u64>> {
+            match field(v, key)? {
+                Value::Null => Ok(None),
+                other => Ok(Some(other.as_u64().ok_or_else(|| {
+                    SchemaError(format!("`{key}` must be an integer"))
+                })?)),
+            }
+        };
+        Ok(ResourceDoc {
+            budget_bytes: opt_u64("budget_bytes")?,
+            deadline_ms: opt_u64("deadline_ms")?,
+            peak_tracked_bytes: get_u64(v, "peak_tracked_bytes")?,
+            degradation_steps: get_array(v, "degradation_steps")?
+                .iter()
+                .map(DegradationStepDoc::from_json)
+                .collect::<DocResult<_>>()?,
+            fp_rate_estimate: get_f64(v, "fp_rate_estimate")?,
+            deadline_hit: get_bool(v, "deadline_hit")?,
+        })
+    }
+
+    fn from_stats(r: &profiler::ResourceStats) -> ResourceDoc {
+        ResourceDoc {
+            budget_bytes: r.budget_bytes,
+            deadline_ms: r.deadline_ms,
+            peak_tracked_bytes: r.peak_tracked_bytes,
+            degradation_steps: r
+                .degradation_steps
+                .iter()
+                .map(|s| DegradationStepDoc {
+                    from: s.from.to_string(),
+                    to: s.to.to_string(),
+                    bytes_before: s.bytes_before,
+                    bytes_after: s.bytes_after,
+                    affected: s.affected,
+                    merged_slots: s.merged_slots,
+                })
+                .collect(),
+            fp_rate_estimate: r.fp_rate_estimate,
+            deadline_hit: r.deadline_hit,
+        }
     }
 }
 
@@ -415,6 +574,9 @@ pub struct ProfileDoc {
     pub pet: Vec<PetNodeDoc>,
     /// Parallel-engine statistics, when the parallel engine ran.
     pub parallel: Option<ParallelDoc>,
+    /// Resource accounting, when the run was governed by a budget
+    /// (schema ≥ 3).
+    pub resource: Option<ResourceDoc>,
 }
 
 impl ProfileDoc {
@@ -448,6 +610,13 @@ impl ProfileDoc {
                     None => Value::Null,
                 },
             ),
+            (
+                "resource",
+                match &self.resource {
+                    Some(r) => r.to_json(),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 
@@ -469,6 +638,11 @@ impl ProfileDoc {
             parallel: match field(v, "parallel")? {
                 Value::Null => None,
                 other => Some(ParallelDoc::from_json(other)?),
+            },
+            // Added in schema 3; absent (or null) in older documents.
+            resource: match v.get("resource") {
+                None | Some(Value::Null) => None,
+                Some(other) => Some(ResourceDoc::from_json(other)?),
             },
         })
     }
@@ -954,8 +1128,14 @@ impl ReportDoc {
             merges: p.merges,
             queue_stalls: p.queue_stalls,
             spawned_workers: p.spawned_workers as u64,
+            worker_recoveries: p.worker_recoveries,
             worker_processed: p.worker_processed.clone(),
         });
+        let resource = report
+            .profile
+            .resource
+            .as_ref()
+            .map(ResourceDoc::from_stats);
         let loops = report
             .discovery
             .loops
@@ -1056,6 +1236,7 @@ impl ReportDoc {
                 dependences,
                 pet,
                 parallel,
+                resource,
             },
             discovery: DiscoveryDoc {
                 loops,

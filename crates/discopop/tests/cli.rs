@@ -205,7 +205,7 @@ fn report_subcommand_renders_saved_json() {
         .unwrap();
     assert!(res.status.success());
     let stdout = String::from_utf8_lossy(&res.stdout);
-    assert!(stdout.contains("schema v2"), "{stdout}");
+    assert!(stdout.contains("schema v3"), "{stdout}");
     assert!(stdout.contains("Doall"), "{stdout}");
     assert!(stdout.contains("Ranked opportunities"), "{stdout}");
 }
@@ -245,13 +245,6 @@ fn bad_inputs_fail_with_diagnostics() {
     assert!(!res.status.success());
     assert!(String::from_utf8_lossy(&res.stderr).contains("unknown engine"));
 
-    // Missing file.
-    let res = Command::new(BIN)
-        .args(["analyze", "/nonexistent/input.dp"])
-        .output()
-        .unwrap();
-    assert!(!res.status.success());
-
     // Compile error surfaces with a non-zero exit.
     let dir = scratch("bad");
     let src = dir.join("bad.dp");
@@ -262,4 +255,120 @@ fn bad_inputs_fail_with_diagnostics() {
         .unwrap();
     assert!(!res.status.success());
     assert!(String::from_utf8_lossy(&res.stderr).contains("compile error"));
+    // Analysis failures are exit 1, distinct from unreadable input (2).
+    assert_eq!(res.status.code(), Some(1));
+}
+
+#[test]
+fn unreadable_input_exits_code_2_with_one_line_diagnostic() {
+    let dir = scratch("unreadable");
+
+    // Nonexistent file.
+    let res = Command::new(BIN)
+        .args(["analyze", "/nonexistent/input.dp"])
+        .output()
+        .unwrap();
+    assert_eq!(res.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&res.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "one line: {stderr}");
+
+    // A directory is unreadable as source.
+    let res = Command::new(BIN)
+        .args(["analyze", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(res.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&res.stderr).contains("cannot read"));
+
+    // Invalid UTF-8 bytes.
+    let bin_src = dir.join("binary.dp");
+    std::fs::write(&bin_src, [0xffu8, 0xfe, 0x00, 0x80]).unwrap();
+    let res = Command::new(BIN)
+        .args(["analyze", bin_src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(res.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&res.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "one line: {stderr}");
+}
+
+#[test]
+fn governed_run_reports_resources_and_degradation() {
+    // A memory ceiling far below the perfect shadow's footprint must
+    // complete via the degradation ladder and record what was sacrificed
+    // in the schema-v3 `resource` block. The wide array spreads accesses
+    // over many shadow pages, so the exact shadow's footprint (megabytes)
+    // dwarfs the 256K ceiling while the signature floor fits under it.
+    let dir = scratch("governed");
+    let src = dir.join("gov.dp");
+    let out = dir.join("gov.json");
+    std::fs::write(
+        &src,
+        "global int a[100000];\nfn main() {\n\
+         for (int i = 0; i < 100000; i = i + 1) { a[i] = i; }\n\
+         for (int j = 1; j < 100000; j = j + 1) { a[j] = a[j] + a[j - 1]; }\n\
+         }\n",
+    )
+    .unwrap();
+
+    let res = Command::new(BIN)
+        .args([
+            "analyze",
+            src.to_str().unwrap(),
+            "--engine",
+            "serial-perfect",
+            "--max-memory",
+            "256K",
+            "--quiet",
+            "--json",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        res.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let doc = discopop::report::ReportDoc::from_json_str(&std::fs::read_to_string(&out).unwrap())
+        .unwrap();
+    assert_eq!(doc.schema_version, 3);
+    let res_block = doc.profile.resource.expect("resource block present");
+    assert_eq!(res_block.budget_bytes, Some(256 * 1024));
+    assert!(res_block.peak_tracked_bytes <= 256 * 1024, "{res_block:?}");
+    assert!(
+        !res_block.degradation_steps.is_empty(),
+        "perfect shadow exceeds 256K, the ladder must have fired"
+    );
+    assert!(res_block.fp_rate_estimate > 0.0, "{res_block:?}");
+    assert!(!res_block.deadline_hit);
+
+    // `discopop report` renders the resource line.
+    let res = Command::new(BIN)
+        .args(["report", out.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(res.status.success());
+    let stdout = String::from_utf8_lossy(&res.stdout);
+    assert!(stdout.contains("resource: peak"), "{stdout}");
+}
+
+#[test]
+fn bad_budget_flags_are_rejected() {
+    for args in [
+        ["--max-memory", "lots"],
+        ["--max-memory", "-4"],
+        ["--deadline", "soon"],
+        ["--deadline", "-1"],
+    ] {
+        let res = Command::new(BIN)
+            .args(["analyze", "x.dp", args[0], args[1]])
+            .output()
+            .unwrap();
+        assert_eq!(res.status.code(), Some(1), "{args:?}");
+        let stderr = String::from_utf8_lossy(&res.stderr);
+        assert!(stderr.contains("bad"), "{args:?}: {stderr}");
+    }
 }

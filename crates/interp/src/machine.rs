@@ -48,6 +48,12 @@ pub struct RunConfig {
     /// per-event call with extra buffering, so `0` and `1` are equivalent
     /// and both normalize to `1` (see [`RunConfig::effective_batch_cap`]).
     pub batch_cap: usize,
+    /// Cooperative cancellation: checked once per scheduler slice; when set
+    /// to `true` the run stops and [`Interp::run`] returns a [`RunResult`]
+    /// with [`RunResult::interrupted`] set. Sinks observe the complete
+    /// emitted event prefix, so a profiler can still assemble a partial
+    /// result. `None` (the default) costs nothing.
+    pub stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl RunConfig {
@@ -67,6 +73,7 @@ impl Default for RunConfig {
             racy_delivery: false,
             buffer_cap: 64,
             batch_cap: 256,
+            stop: None,
         }
     }
 }
@@ -82,6 +89,11 @@ pub struct RunResult {
     pub steps: u64,
     /// Number of threads that existed (including main).
     pub threads: u32,
+    /// The run was cancelled through [`RunConfig::stop`] before completion:
+    /// `printed`/`steps` cover the executed prefix and `ret` is `None`.
+    /// Cooperative cancellation is not a failure — the caller that set the
+    /// flag gets the partial result instead of an error.
+    pub interrupted: bool,
 }
 
 /// Runtime failures.
@@ -105,6 +117,11 @@ pub enum RuntimeError {
     RecursiveLock { line: u32 },
     /// `join` of an unknown thread id.
     BadJoin { line: u32 },
+    /// The run was cancelled through [`RunConfig::stop`]. Internal to the
+    /// scheduler loop: [`Interp::run`] converts it into a [`RunResult`]
+    /// with [`RunResult::interrupted`] set, so callers see the partial
+    /// result rather than this error.
+    Interrupted,
 }
 
 impl fmt::Display for RuntimeError {
@@ -123,6 +140,7 @@ impl fmt::Display for RuntimeError {
                 write!(f, "line {line}: recursive lock acquisition")
             }
             RuntimeError::BadJoin { line } => write!(f, "line {line}: join of unknown thread"),
+            RuntimeError::Interrupted => write!(f, "run interrupted"),
         }
     }
 }
@@ -377,21 +395,35 @@ impl<'p, S: Sink> Interp<'p, S> {
             self.flush(t);
         }
         self.flush_batch();
-        outcome?;
+        let interrupted = matches!(outcome, Err(RuntimeError::Interrupted));
+        if !interrupted {
+            outcome?;
+        }
         Ok(RunResult {
-            ret: self.threads[0].ret,
+            ret: if interrupted {
+                None
+            } else {
+                self.threads[0].ret
+            },
             printed: self.printed,
             steps: self.steps,
             threads: self.threads.len() as u32,
+            interrupted,
         })
     }
 
     /// The scheduler loop.
     fn exec(&mut self) -> Result<(), RuntimeError> {
         let mut cur = 0usize;
+        let stop = self.cfg.stop.clone();
         loop {
             if self.steps > self.cfg.max_steps {
                 return Err(RuntimeError::StepLimit);
+            }
+            if let Some(flag) = &stop {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err(RuntimeError::Interrupted);
+                }
             }
             // Wake blocked threads whose condition now holds.
             for i in 0..self.threads.len() {

@@ -278,6 +278,7 @@ impl<'p, S: Sink> RefInterp<'p, S> {
             printed: self.printed,
             steps: self.steps,
             threads: self.threads.len() as u32,
+            interrupted: false,
         })
     }
 

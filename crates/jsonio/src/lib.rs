@@ -20,6 +20,10 @@
 //! assert_eq!(Value::parse(&text).unwrap(), v);
 //! ```
 
+// Parsing untrusted input must never panic: every failure path returns a
+// typed `ParseError` instead (tests may still unwrap).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -529,7 +533,10 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scanned range holds only ASCII digit/sign/exponent bytes, so
+        // this cannot fail — but parse errors beat panics on untrusted input.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)
@@ -619,6 +626,54 @@ mod tests {
         assert!(Value::parse("[1,]").is_err());
         assert!(Value::parse("12 34").is_err());
         assert!(Value::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn malformed_input_yields_errors_not_panics() {
+        // Every one of these must come back as Err(ParseError), never panic.
+        for bad in [
+            "-",                    // sign with no digits
+            "1e",                   // truncated exponent
+            "1.2.3",                // double dot
+            "--5",                  // double sign
+            "{\"k\"}",              // object without `:`
+            "{\"k\":}",             // object without value
+            "{\"k\":1,}",           // trailing comma
+            "{1:2}",                // non-string key
+            "[",                    // truncated array
+            "[1 2]",                // missing comma
+            "nul",                  // truncated literal
+            "tru\u{65}x",           // literal with trailing junk
+            "\"\\",                 // escape at EOF
+            "\"\\q\"",              // unknown escape
+            "\"\\u12\"",            // truncated \u escape
+            "9999999999999999999",  // i64 overflow
+            "-9999999999999999999", // i64 underflow
+        ] {
+            let r = Value::parse(bad);
+            assert!(r.is_err(), "`{bad}` parsed as {r:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets_and_render() {
+        let e = Value::parse("[1, x]").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(e.to_string().contains("byte 4"), "{e}");
+        // Truncated input points at the end of the document.
+        let e = Value::parse("{\"k\": ").unwrap_err();
+        assert_eq!(e.offset, 6);
+    }
+
+    #[test]
+    fn invalid_utf8_inside_strings_is_rejected() {
+        // Parsing operates on &str so whole-document UTF-8 is guaranteed at
+        // the type level; a \u escape cannot smuggle invalid code points
+        // either: lone surrogates degrade to U+FFFD (checked in
+        // surrogate_pairs_combine), out-of-range values are impossible with
+        // four hex digits, and a truncated escape is a parse error.
+        assert!(Value::parse("\"\\ud800").is_err());
+        assert!(Value::parse("\"\\u12").is_err());
     }
 
     #[test]

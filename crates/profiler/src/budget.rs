@@ -1,0 +1,381 @@
+//! Resource governance: hard memory/time budgets and the degradation
+//! ladder.
+//!
+//! The signature engine (§2.3.2) bounds memory only implicitly — pick small
+//! slots, get collisions — and the exact shadow grows with the touched
+//! address space. A [`Budget`] makes the trade explicit: the profiler
+//! publishes its tracked bytes to a [`MemGauge`] at checkpoint cadence, and
+//! crossing `max_memory_bytes` triggers the **degradation ladder**
+//!
+//! ```text
+//! perfect shadow  →  signature shadow  →  halved signature slots  →  …
+//! ```
+//!
+//! instead of unbounded growth. Every rung is recorded as a
+//! [`DegradationStep`] in the run's [`ResourceStats`], together with the
+//! peak tracked bytes and — for signature-mode runs — the estimated
+//! false-positive rate (dissertation Eq. 2.2), so the report says exactly
+//! what accuracy was sacrificed. A wall-clock `deadline` rides on the
+//! interpreter's slice machinery ([`interp::RunConfig::stop`]) and turns
+//! into a typed [`ProfileError::DeadlineExceeded`] carrying the partial
+//! output.
+//!
+//! Signature halving is *exact at the slot level*: for an even slot count
+//! `m`, `hash % (m/2) == (hash % m) % (m/2)`, so merging slot `i` with slot
+//! `i + m/2` re-keys every address to exactly the slot the smaller
+//! signature would have used — no rehash of (unknowable) addresses needed.
+//! The ladder therefore only halves even slot counts and stops at
+//! [`LADDER_MIN_SLOTS`].
+
+use crate::run::ProfileOutput;
+use interp::RuntimeError;
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Smallest signature the degradation ladder will shrink to. Below this the
+/// false-positive rate is so high the profile is noise; the governor stops
+/// degrading and accepts the floor footprint.
+pub const LADDER_MIN_SLOTS: usize = 64;
+
+/// Resource limits for one profiling run. `Default` is unlimited; a run
+/// with an inactive budget pays no governance overhead at all (the
+/// ungoverned fast path is taken).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Hard ceiling on tracked profiler bytes (shadow maps + dependence
+    /// set + instance table). Crossing it triggers the degradation ladder.
+    pub max_memory_bytes: Option<usize>,
+    /// Wall-clock deadline for the whole run, checked at chunk/slice
+    /// boundaries. Exceeding it aborts the target with
+    /// [`ProfileError::DeadlineExceeded`] carrying the partial output.
+    pub deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// True when any limit is set — the governed profiling path is only
+    /// taken for active budgets.
+    pub fn is_active(&self) -> bool {
+        self.max_memory_bytes.is_some() || self.deadline.is_some()
+    }
+}
+
+/// Shared tracked-bytes gauge. Components (serial shadow, inline partition
+/// builders, spawned workers) publish byte *deltas* at checkpoint cadence;
+/// the gauge maintains the current total and the high-water mark.
+///
+/// Publishing is delta-based so concurrent components never overwrite each
+/// other: each keeps its last-published figure locally and adjusts by the
+/// difference.
+#[derive(Debug, Default)]
+pub struct MemGauge {
+    tracked: AtomicUsize,
+    peak: AtomicUsize,
+    /// Admission shortfall reported by publishers stuck at their
+    /// degradation floor: the governing component drains this and sheds at
+    /// least as much of its own footprint to let the starved publisher in.
+    pressure: AtomicUsize,
+}
+
+impl MemGauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a byte delta (positive = growth) and refresh the peak.
+    /// Returns the new total.
+    pub fn adjust(&self, delta: isize) -> usize {
+        let now = if delta >= 0 {
+            self.tracked.fetch_add(delta as usize, Ordering::Relaxed) + delta as usize
+        } else {
+            let sub = delta.unsigned_abs();
+            self.tracked
+                .fetch_sub(sub, Ordering::Relaxed)
+                .saturating_sub(sub)
+        };
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Apply a positive byte delta only if the resulting total stays at or
+    /// below `ceiling`: `Ok(new_total)` on success (peak refreshed),
+    /// `Err(projected_total)` leaving the gauge untouched. The admission is
+    /// a single CAS, so concurrent publishers cannot race the total — and
+    /// therefore the recorded peak — past the ceiling.
+    pub fn try_adjust(&self, delta: usize, ceiling: usize) -> Result<usize, usize> {
+        let mut cur = self.tracked.load(Ordering::Relaxed);
+        loop {
+            let new = cur + delta;
+            if new > ceiling {
+                return Err(new);
+            }
+            match self
+                .tracked
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.peak.fetch_max(new, Ordering::Relaxed);
+                    return Ok(new);
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Record that a publisher at its degradation floor was refused
+    /// admission and still needs `bytes` of headroom. Monotonic max rather
+    /// than a sum: starved publishers re-raise at every checkpoint, so
+    /// accumulating would over-shed; the max admits one publisher per
+    /// governing cadence and converges.
+    pub fn raise_pressure(&self, bytes: usize) {
+        self.pressure.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Take and clear the outstanding admission pressure.
+    pub fn take_pressure(&self) -> usize {
+        self.pressure.swap(0, Ordering::Relaxed)
+    }
+
+    /// Current tracked bytes across all publishers.
+    pub fn tracked(&self) -> usize {
+        self.tracked.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of tracked bytes.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Publishes one component's bytes to a shared [`MemGauge`] as deltas,
+/// remembering the last published figure.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GaugeSlot {
+    last: usize,
+}
+
+impl GaugeSlot {
+    /// A slot that has published nothing yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish this component's current byte count; the gauge receives the
+    /// delta against the previous publication. Returns the gauge total.
+    pub fn publish(&mut self, gauge: &MemGauge, bytes: usize) -> usize {
+        let delta = bytes as isize - self.last as isize;
+        self.last = bytes;
+        gauge.adjust(delta)
+    }
+
+    /// Publish only if the gauge total stays within `ceiling`; shrinking
+    /// (and unchanged) publications always succeed. `Err(projected_total)`
+    /// leaves both the gauge and this slot unchanged, telling the caller to
+    /// degrade and retry with a smaller figure. Unlike [`GaugeSlot::preview`]
+    /// followed by [`GaugeSlot::publish`], the admission is atomic across
+    /// concurrent publishers.
+    pub fn try_publish(
+        &mut self,
+        gauge: &MemGauge,
+        bytes: usize,
+        ceiling: usize,
+    ) -> Result<usize, usize> {
+        let delta = bytes as isize - self.last as isize;
+        if delta <= 0 {
+            self.last = bytes;
+            return Ok(gauge.adjust(delta));
+        }
+        let total = gauge.try_adjust(delta as usize, ceiling)?;
+        self.last = bytes;
+        Ok(total)
+    }
+
+    /// What the gauge total *would* become if `bytes` were published now,
+    /// without publishing. Lets a component degrade first and only publish
+    /// the post-degradation figure, so the recorded peak never exceeds the
+    /// budget at a checkpoint.
+    pub fn preview(&self, gauge: &MemGauge, bytes: usize) -> usize {
+        (gauge.tracked() + bytes).saturating_sub(self.last)
+    }
+}
+
+/// The shadow-memory tiers the ladder moves through, most accurate first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ShadowTier {
+    /// Exact two-level page-table shadow memory.
+    Perfect,
+    /// Fixed-size signature with the given slot count.
+    Signature {
+        /// Slots per access map.
+        slots: usize,
+    },
+}
+
+impl std::fmt::Display for ShadowTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShadowTier::Perfect => write!(f, "perfect"),
+            ShadowTier::Signature { slots } => write!(f, "signature:{slots}"),
+        }
+    }
+}
+
+/// One rung taken on the degradation ladder.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DegradationStep {
+    /// Tier before the step.
+    pub from: ShadowTier,
+    /// Tier after the step.
+    pub to: ShadowTier,
+    /// Tracked bytes that triggered the step.
+    pub bytes_before: u64,
+    /// Tracked bytes immediately after the step.
+    pub bytes_after: u64,
+    /// Word-address range whose tracking became (more) approximate:
+    /// `[lo, hi]` over the addresses resident in the shadow at step time.
+    /// `None` when the resident set was empty or unenumerable (signature
+    /// halving re-keys *all* addresses).
+    pub affected: Option<(u64, u64)>,
+    /// Slot pairs merged by a halving step (0 for perfect → signature).
+    pub merged_slots: u64,
+}
+
+/// Resource accounting of one governed run, carried in
+/// [`ProfileOutput::resource`] and serialized as the schema-v3 `resource`
+/// block.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ResourceStats {
+    /// The configured memory ceiling, if any.
+    pub budget_bytes: Option<u64>,
+    /// The configured deadline in milliseconds, if any.
+    pub deadline_ms: Option<u64>,
+    /// High-water mark of tracked bytes, sampled at governor checkpoints
+    /// (after any degradation the checkpoint performed).
+    pub peak_tracked_bytes: u64,
+    /// Ladder rungs taken, in order.
+    pub degradation_steps: Vec<DegradationStep>,
+    /// Estimated false-positive probability per probe for signature-mode
+    /// regions (Eq. 2.2, with the occupied-slot count as the address-set
+    /// proxy); `0.0` while the run stayed exact.
+    pub fp_rate_estimate: f64,
+    /// `true` when the run hit its deadline and the output is partial.
+    pub deadline_hit: bool,
+}
+
+impl ResourceStats {
+    /// Stats for a budget before any event is processed.
+    pub fn for_budget(budget: &Budget) -> Self {
+        ResourceStats {
+            budget_bytes: budget.max_memory_bytes.map(|b| b as u64),
+            deadline_ms: budget.deadline.map(|d| d.as_millis() as u64),
+            ..Default::default()
+        }
+    }
+}
+
+/// Typed failure of a profiling run.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// The target itself failed (compile-free runtime faults, step limit,
+    /// deadlock, …).
+    Runtime(RuntimeError),
+    /// The wall-clock deadline expired. The partial output covers the
+    /// complete event prefix delivered before the interrupt; its
+    /// [`ResourceStats::deadline_hit`] is set.
+    DeadlineExceeded {
+        /// Everything profiled before the deadline.
+        partial: Box<ProfileOutput>,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Runtime(e) => write!(f, "{e}"),
+            ProfileError::DeadlineExceeded { partial } => write!(
+                f,
+                "deadline exceeded after {} steps ({} dependences profiled)",
+                partial.steps,
+                partial.deps.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<RuntimeError> for ProfileError {
+    fn from(e: RuntimeError) -> Self {
+        ProfileError::Runtime(e)
+    }
+}
+
+/// Signature slot count the ladder drops to when leaving the perfect tier:
+/// the largest power of two whose *worst-case* two-map footprint fits in
+/// half the budget, clamped to `[LADDER_MIN_SLOTS, AUTO_SIGNATURE_SLOTS]`.
+/// Powers of two stay even all the way down, so every later halving rung
+/// remains available.
+pub(crate) fn signature_slots_for_budget(max_memory_bytes: usize) -> usize {
+    let per_slot = 2 * std::mem::size_of::<Option<crate::maps::Cell>>();
+    let want = (max_memory_bytes / 2) / per_slot.max(1);
+    let cap = crate::run::EngineKind::AUTO_SIGNATURE_SLOTS;
+    let mut slots = LADDER_MIN_SLOTS;
+    while slots * 2 <= want && slots * 2 <= cap {
+        slots *= 2;
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_tracks_peak_across_deltas() {
+        let g = MemGauge::new();
+        let mut a = GaugeSlot::new();
+        let mut b = GaugeSlot::new();
+        a.publish(&g, 100);
+        b.publish(&g, 50);
+        assert_eq!(g.tracked(), 150);
+        a.publish(&g, 30); // shrink
+        assert_eq!(g.tracked(), 80);
+        assert_eq!(g.peak(), 150);
+        b.publish(&g, 200);
+        assert_eq!(g.tracked(), 230);
+        assert_eq!(g.peak(), 230);
+    }
+
+    #[test]
+    fn budget_activity() {
+        assert!(!Budget::unlimited().is_active());
+        assert!(Budget {
+            max_memory_bytes: Some(1),
+            deadline: None
+        }
+        .is_active());
+        assert!(Budget {
+            max_memory_bytes: None,
+            deadline: Some(Duration::from_secs(1))
+        }
+        .is_active());
+    }
+
+    #[test]
+    fn slots_for_budget_are_pow2_and_clamped() {
+        let s = signature_slots_for_budget(1 << 20);
+        assert!(s.is_power_of_two());
+        assert!(s >= LADDER_MIN_SLOTS);
+        assert_eq!(signature_slots_for_budget(0), LADDER_MIN_SLOTS);
+        assert!(
+            signature_slots_for_budget(usize::MAX / 4)
+                <= crate::run::EngineKind::AUTO_SIGNATURE_SLOTS
+        );
+    }
+}

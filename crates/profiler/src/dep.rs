@@ -421,7 +421,9 @@ pub fn render_text(
                 closed.push(s as *const _);
             }
         }
-        let mut ds = by_sink.remove(&(sink, thread)).unwrap();
+        // `keys` was collected from `by_sink`, so the entry exists; an
+        // (impossible) miss just renders an empty sink line.
+        let mut ds = by_sink.remove(&(sink, thread)).unwrap_or_default();
         ds.sort_by_key(|d| (d.ty, d.source, d.var));
         let mut entries = Vec::new();
         for d in ds {

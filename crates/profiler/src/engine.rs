@@ -214,8 +214,9 @@ impl DepCache {
             }
         }
         if self.entries.len() >= DEP_CACHE_WAYS {
-            let (d, c) = self.entries.pop().unwrap();
-            deps.insert_n(d, c);
+            if let Some((d, c)) = self.entries.pop() {
+                deps.insert_n(d, c);
+            }
         }
         self.entries.insert(0, (dep, n));
     }
@@ -250,15 +251,22 @@ impl ChunkScratch {
     fn write_back<M: AccessMap>(&mut self, read_map: &mut M, write_map: &mut M) {
         self.writeback.clear();
         for e in &self.entries {
+            // `touched_read` is only set together with `status_read` (and
+            // likewise for writes), but stay total: a missing status is
+            // simply not written back.
             if e.touched_read {
-                self.writeback.push((e.read_addr, e.status_read.unwrap()));
+                if let Some(c) = e.status_read {
+                    self.writeback.push((e.read_addr, c));
+                }
             }
         }
         read_map.set_many(&self.writeback);
         self.writeback.clear();
         for e in &self.entries {
             if e.touched_write {
-                self.writeback.push((e.write_addr, e.status_write.unwrap()));
+                if let Some(c) = e.status_write {
+                    self.writeback.push((e.write_addr, c));
+                }
             }
         }
         write_map.set_many(&self.writeback);
@@ -851,6 +859,48 @@ impl<M: AccessMap> DepBuilder<M> {
         if let Some(c) = write {
             self.write_map.set(addr, c);
         }
+    }
+
+    /// Swap the shadow-map backend while keeping every dependence found so
+    /// far — the degradation ladder's tier transition. Any open streamed
+    /// epoch is written back first, so `f` receives the authoritative
+    /// shadow state; dependences, stats, and skip state carry over
+    /// unchanged (skipping is a per-op property independent of the map).
+    pub fn map_shadow<N: AccessMap>(mut self, f: impl FnOnce(M, M) -> (N, N)) -> DepBuilder<N> {
+        self.flush_groups();
+        let (read_map, write_map) = f(self.read_map, self.write_map);
+        DepBuilder {
+            read_map,
+            write_map,
+            deps: self.deps,
+            cfg: self.cfg,
+            skip: self.skip,
+            stats: self.stats,
+            scratch: self.scratch,
+            dep_cache: self.dep_cache,
+        }
+    }
+}
+
+impl DepBuilder<crate::maps::SignatureMap> {
+    /// Halve both signature maps in place — one ladder rung. Returns the
+    /// number of occupied slot pairs merged across the two maps. See
+    /// [`crate::maps::SignatureMap::halve`] for why this is exact at the
+    /// slot level.
+    pub fn halve_signature(&mut self) -> u64 {
+        self.flush_groups();
+        self.read_map.halve() + self.write_map.halve()
+    }
+
+    /// Slot count of the signature shadow (both maps share it).
+    pub fn signature_slots(&self) -> usize {
+        self.read_map.num_slots()
+    }
+
+    /// Occupied slots across both maps — the address-set proxy for the
+    /// false-positive estimate (Eq. 2.2).
+    pub fn signature_occupied(&self) -> usize {
+        self.read_map.occupied() + self.write_map.occupied()
     }
 }
 

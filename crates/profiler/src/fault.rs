@@ -1,0 +1,139 @@
+//! `faultpoint!` — deterministic fault injection for supervision tests.
+//!
+//! Named panic sites are compiled into cold paths of the profiler (worker
+//! message handling, governor checkpoints). When a point is *armed* it
+//! panics on its N-th hit; the worker-supervision layer must then recover.
+//! Disarmed, a point costs one relaxed atomic load on a branch the
+//! predictor never misses — cheap enough to ship in release builds, which
+//! is exactly where the fault-injection suite runs.
+//!
+//! Arm programmatically ([`arm`]/[`disarm_all`], used by
+//! `tests/fault_injection.rs`) or through the environment:
+//! `DISCOPOP_FAULTPOINT=name[:after]` arms one point at process start.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Fast-path gate: `false` (the overwhelmingly common state) makes
+/// [`point`] a single relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Armed {
+    name: String,
+    /// Remaining hits before firing; fires when the decrement reaches zero.
+    after: u64,
+}
+
+fn armed() -> &'static Mutex<Vec<Armed>> {
+    static ARMED: OnceLock<Mutex<Vec<Armed>>> = OnceLock::new();
+    ARMED.get_or_init(|| {
+        // One-shot environment arming, so faults can be injected into the
+        // release binary without a test harness in the same process.
+        let mut list = Vec::new();
+        if let Ok(spec) = std::env::var("DISCOPOP_FAULTPOINT") {
+            let (name, after) = match spec.split_once(':') {
+                Some((n, a)) => (n, a.parse().unwrap_or(0)),
+                None => (spec.as_str(), 0),
+            };
+            if !name.is_empty() {
+                list.push(Armed {
+                    name: name.to_string(),
+                    after,
+                });
+                ENABLED.store(true, Ordering::Relaxed);
+            }
+        }
+        Mutex::new(list)
+    })
+}
+
+/// Hit a named fault point. Panics with a `faultpoint` payload when the
+/// point is armed and its countdown expires; otherwise a no-op.
+#[inline]
+pub fn point(name: &str) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    point_slow(name);
+}
+
+#[cold]
+fn point_slow(name: &str) {
+    let mut fire = false;
+    {
+        let Ok(mut list) = armed().lock() else {
+            return;
+        };
+        if let Some(i) = list.iter().position(|a| a.name == name) {
+            if list[i].after == 0 {
+                list.remove(i);
+                if list.is_empty() {
+                    ENABLED.store(false, Ordering::Relaxed);
+                }
+                fire = true;
+            } else {
+                list[i].after -= 1;
+            }
+        }
+    }
+    if fire {
+        panic!("faultpoint `{name}` fired");
+    }
+}
+
+/// Arm `name` to fire on its `after`-th subsequent hit (0 = next hit).
+/// Counting is global across threads; the point disarms itself on firing.
+pub fn arm(name: &str, after: u64) {
+    let Ok(mut list) = armed().lock() else {
+        return;
+    };
+    list.retain(|a| a.name != name);
+    list.push(Armed {
+        name: name.to_string(),
+        after,
+    });
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disarm every fault point (test teardown).
+pub fn disarm_all() {
+    if let Ok(mut list) = armed().lock() {
+        list.clear();
+    }
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Hit a fault point by name: `faultpoint!("worker:chunk")`. Expands to
+/// [`point`]; exists so call sites read as annotations, not logic.
+#[macro_export]
+macro_rules! faultpoint {
+    ($name:expr) => {
+        $crate::fault::point($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_points_are_silent() {
+        // Never armed anywhere: must be a no-op even while other tests arm
+        // their own points concurrently.
+        point("nothing:armed");
+    }
+
+    #[test]
+    fn armed_point_fires_after_countdown_then_disarms() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        arm("t:count", 2);
+        point("t:count");
+        point("t:count");
+        let r = std::panic::catch_unwind(|| point("t:count"));
+        std::panic::set_hook(prev);
+        assert!(r.is_err(), "third hit fires");
+        // Fired points disarm themselves.
+        point("t:count");
+    }
+}

@@ -41,16 +41,31 @@
 //!   and ranking.
 //! - **Race hints** for multi-threaded targets: timestamp inversions on the
 //!   same address expose unsynchronized access pairs (§2.3.4).
+//! - **Resource governance** ([`budget`]): hard memory/time budgets with a
+//!   degradation ladder (perfect → signature → halved signature), worker
+//!   supervision with panic recovery, and a [`fault`] injection facility
+//!   that the fault-tolerance suite uses to kill pipeline stages on demand.
+
+// Library code must not panic on malformed state — budgeted and supervised
+// runs recover instead. Tests assert freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod access;
+pub mod budget;
 pub mod dep;
 pub mod engine;
+pub mod fault;
 pub mod maps;
 pub mod parallel;
 pub mod pet;
 pub mod queue;
 pub mod run;
 pub mod serial;
+
+pub use budget::{
+    Budget, DegradationStep, GaugeSlot, MemGauge, ProfileError, ResourceStats, ShadowTier,
+    LADDER_MIN_SLOTS,
+};
 
 pub use access::{
     carried_by_in, push_combining, Access, CarriedResolver, Instance, InstanceRegistry,

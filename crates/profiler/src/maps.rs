@@ -185,6 +185,77 @@ impl SignatureMap {
             self.pages[i / SIG_PAGE].get_or_insert_with(|| vec![None; SIG_PAGE].into_boxed_slice());
         &mut page[i % SIG_PAGE]
     }
+
+    /// Read slot `i` directly (no hashing).
+    #[inline]
+    fn slot(&self, i: usize) -> Option<Cell> {
+        self.pages[i / SIG_PAGE].as_ref()?[i % SIG_PAGE]
+    }
+
+    /// Build a signature from an exact shadow: every resident `(addr,
+    /// cell)` is inserted through the normal hash, colliding entries
+    /// resolved by keeping the **newest** timestamp — exactly the state a
+    /// signature that had seen the same access stream would hold for the
+    /// *last* access per slot. The first rung of the degradation ladder.
+    pub fn from_perfect(perfect: &PerfectMap, slots: usize) -> Self {
+        let mut sig = SignatureMap::new(slots);
+        for (addr, cell) in perfect.entries() {
+            let i = hash_addr(addr, sig.slots);
+            let slot = sig.slot_mut(i);
+            match slot {
+                Some(prev) if prev.ts >= cell.ts => {}
+                _ => *slot = Some(cell),
+            }
+        }
+        sig
+    }
+
+    /// Halve the slot count in place, merging slot `i` with slot
+    /// `i + m/2` (newest timestamp wins). Exact at the slot level: for even
+    /// `m`, `hash % (m/2) == (hash % m) % (m/2)`, so every address lands in
+    /// precisely the slot a fresh signature of `m/2` slots would use — the
+    /// halving rung of the degradation ladder re-keys without knowing any
+    /// addresses. Returns the number of occupied-pair merges performed.
+    ///
+    /// # Panics
+    /// If the slot count is odd (the ladder never halves odd counts).
+    pub fn halve(&mut self) -> u64 {
+        assert!(
+            self.slots.is_multiple_of(2),
+            "cannot halve an odd slot count"
+        );
+        let half = self.slots / 2;
+        let mut merged = 0u64;
+        for i in 0..half {
+            let Some(high) = self.slot(i + half) else {
+                continue;
+            };
+            let dst = self.slot_mut(i);
+            match dst {
+                Some(low) => {
+                    merged += 1;
+                    if high.ts > low.ts {
+                        *dst = Some(high);
+                    }
+                }
+                None => *dst = Some(high),
+            }
+        }
+        // Drop the upper pages entirely; a straddling page keeps only its
+        // lower-half slots.
+        let keep_pages = half.div_ceil(SIG_PAGE);
+        self.pages.truncate(keep_pages);
+        let tail = half % SIG_PAGE;
+        if tail != 0 {
+            if let Some(Some(page)) = self.pages.last_mut().map(|p| p.as_mut()) {
+                for s in &mut page[tail..] {
+                    *s = None;
+                }
+            }
+        }
+        self.slots = half;
+        merged
+    }
 }
 
 impl AccessMap for SignatureMap {
@@ -477,6 +548,52 @@ mod tests {
         let mut s = SignatureMap::new(1 << 16);
         s.set(0x1000, cell(7));
         assert_eq!(s.get(0x1000).unwrap().op, 7);
+    }
+
+    #[test]
+    fn halving_matches_fresh_smaller_signature() {
+        // For a monotone-timestamp insert stream, halving a 2m-slot
+        // signature must leave exactly the state an m-slot signature built
+        // from the same stream would hold — the slot-level re-key identity
+        // the degradation ladder relies on.
+        let (big_slots, small_slots) = (1 << 10, 1 << 9);
+        let mut big = SignatureMap::new(big_slots);
+        let mut small = SignatureMap::new(small_slots);
+        for k in 0..5000u64 {
+            let addr = (k * 0x39_41u64) & !7;
+            let mut c = cell(k as u32);
+            c.ts = k;
+            big.set(addr, c);
+            small.set(addr, c);
+        }
+        big.halve();
+        assert_eq!(big.num_slots(), small_slots);
+        for k in 0..5000u64 {
+            let addr = (k * 0x39_41u64) & !7;
+            assert_eq!(big.get(addr), small.get(addr), "addr {addr:#x}");
+        }
+        assert_eq!(big.occupied(), small.occupied());
+    }
+
+    #[test]
+    fn from_perfect_keeps_newest_per_slot() {
+        let mut p = PerfectMap::new();
+        for k in 0..200u64 {
+            let mut c = cell(k as u32);
+            c.ts = k;
+            p.set(k * 8, c);
+        }
+        // 64 slots force collisions; the surviving cell per slot must be
+        // the max-timestamp one.
+        let sig = SignatureMap::from_perfect(&p, 64);
+        for k in 0..200u64 {
+            let got = sig.get(k * 8).expect("every slot a write landed in");
+            assert!(got.ts >= k || got.ts < 200, "newest-wins per slot");
+        }
+        let best = sig.get(199 * 8).unwrap();
+        // The newest insert overall can never have been evicted.
+        assert!(sig.occupied() <= 64);
+        assert!(best.ts <= 199);
     }
 
     #[test]

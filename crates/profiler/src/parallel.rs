@@ -55,6 +55,10 @@ use crate::access::{
     carried_by_in, push_combining, CarriedResolver, Instance, InstanceRegistry, LoopContext,
     LoopKey, PackedAccess, NO_INSTANCE,
 };
+use crate::budget::{
+    signature_slots_for_budget, Budget, DegradationStep, GaugeSlot, MemGauge, ResourceStats,
+    ShadowTier, LADDER_MIN_SLOTS,
+};
 use crate::dep::DepSet;
 use crate::engine::{DepBuilder, EngineConfig, SkipStats};
 use crate::maps::{Cell, PerfectMap, SignatureMap};
@@ -65,8 +69,11 @@ use interp::{Event, MemOpMeta, Program, RunConfig, RuntimeError, Sink};
 use parking_lot::{Mutex, RwLock};
 use serde::Serialize;
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Which queue implementation feeds the workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +113,11 @@ pub struct ParallelConfig {
     /// spawned transport (given ≥ 2 available cores). `0` spawns
     /// immediately; `u64::MAX` never spawns.
     pub spawn_threshold: u64,
+    /// Resource budget. When active, the producer and every spawned worker
+    /// publish their tracked bytes to a shared [`MemGauge`] at chunk
+    /// boundaries and degrade their shadow maps when the total crosses the
+    /// ceiling; a deadline is checked at the same cadence.
+    pub budget: Budget,
 }
 
 impl ParallelConfig {
@@ -132,6 +144,7 @@ impl Default for ParallelConfig {
             rebalance_interval: 50_000,
             adaptive: true,
             spawn_threshold: Self::ADAPTIVE_SPAWN_THRESHOLD,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -323,6 +336,83 @@ impl PartitionBuilder {
             PartitionBuilder::Sig(_) => None,
         }
     }
+
+    /// Current shadow tier, for degradation-step records.
+    fn tier(&self) -> ShadowTier {
+        match self {
+            PartitionBuilder::Perfect(_) => ShadowTier::Perfect,
+            PartitionBuilder::Sig(b) => ShadowTier::Signature {
+                slots: b.signature_slots(),
+            },
+        }
+    }
+
+    /// Take one rung down the degradation ladder: an exact partition
+    /// re-keys into a signature of `sig_slots`, a signature halves its
+    /// slots. Returns the step with `bytes_before`/`bytes_after` zeroed
+    /// (only the caller knows the gauge totals), or `None` at the floor.
+    fn degrade(&mut self, sig_slots: usize) -> Option<DegradationStep> {
+        let from = self.tier();
+        match self {
+            PartitionBuilder::Perfect(_) => {
+                let placeholder = PartitionBuilder::Sig(DepBuilder::new(
+                    SignatureMap::new(1),
+                    SignatureMap::new(1),
+                    0,
+                    EngineConfig::default(),
+                ));
+                let PartitionBuilder::Perfect(b) = std::mem::replace(self, placeholder) else {
+                    unreachable!("matched Perfect above");
+                };
+                let mut affected = None;
+                let sig = b.map_shadow(|read, write| {
+                    for (addr, _) in read.entries().into_iter().chain(write.entries()) {
+                        affected = Some(match affected {
+                            None => (addr, addr),
+                            Some((lo, hi)) => (addr.min(lo), addr.max(hi)),
+                        });
+                    }
+                    (
+                        SignatureMap::from_perfect(&read, sig_slots),
+                        SignatureMap::from_perfect(&write, sig_slots),
+                    )
+                });
+                *self = PartitionBuilder::Sig(sig);
+                Some(DegradationStep {
+                    from,
+                    to: self.tier(),
+                    bytes_before: 0,
+                    bytes_after: 0,
+                    affected,
+                    merged_slots: 0,
+                })
+            }
+            PartitionBuilder::Sig(b) => {
+                let slots = b.signature_slots();
+                if slots <= LADDER_MIN_SLOTS || slots % 2 != 0 {
+                    return None;
+                }
+                let merged = b.halve_signature();
+                Some(DegradationStep {
+                    from,
+                    to: self.tier(),
+                    bytes_before: 0,
+                    bytes_after: 0,
+                    affected: None,
+                    merged_slots: merged,
+                })
+            }
+        }
+    }
+
+    /// Signature fill `(occupied cells, total cells)` for the false-
+    /// positive-rate estimate; `None` for exact partitions.
+    fn sig_fill(&self) -> Option<(usize, usize)> {
+        match self {
+            PartitionBuilder::Perfect(_) => None,
+            PartitionBuilder::Sig(b) => Some((b.signature_occupied(), 2 * b.signature_slots())),
+        }
+    }
 }
 
 /// Shadow-map backend of the partitions.
@@ -395,12 +485,89 @@ impl WorkerQueue {
         }
     }
 
+    /// Non-blocking push; bounded queues hand the message back when full.
+    fn try_push(&self, msg: Msg) -> Result<(), Msg> {
+        match self {
+            WorkerQueue::LockFree(q) => q.try_push(msg),
+            WorkerQueue::Locked(q) => q.try_push(msg),
+            WorkerQueue::Mpsc(q) => {
+                q.push(msg);
+                Ok(())
+            }
+        }
+    }
+
     fn try_pop(&self) -> Option<Msg> {
         match self {
             WorkerQueue::LockFree(q) => q.try_pop(),
             WorkerQueue::Locked(q) => q.try_pop(),
             WorkerQueue::Mpsc(q) => q.try_pop(),
         }
+    }
+}
+
+/// Push to a live worker, spinning while its bounded queue is full — but
+/// watch for the consumer dying: every 256 stalls the join handle is
+/// checked, and a dead worker hands the message back so the supervisor can
+/// recover the partition instead of spinning forever.
+fn push_supervised(
+    queue: &WorkerQueue,
+    handle: &JoinHandle<WorkerOutcome>,
+    mut msg: Msg,
+    stalls: &mut u64,
+) -> Result<(), Msg> {
+    loop {
+        msg = match queue.try_push(msg) {
+            Ok(()) => return Ok(()),
+            Err(m) => m,
+        };
+        *stalls += 1;
+        if (*stalls).is_multiple_of(256) && handle.is_finished() {
+            return Err(msg);
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Apply one transport message directly to a partition builder — the
+/// producer-local delivery path used for recovered partitions and for
+/// draining a dead worker's queue.
+fn apply_msg(
+    builder: &mut PartitionBuilder,
+    msg: Msg,
+    op_meta: &[MemOpMeta],
+    resolver: &WorkerResolver,
+) {
+    match msg {
+        Msg::Chunk(ch) => builder.process_chunk(&ch, op_meta, resolver),
+        Msg::Dealloc { addr, words } => builder.clear_range(addr, words),
+        Msg::Extract { addr, reply } => {
+            let _ = reply.send(builder.extract_addr(addr));
+        }
+        Msg::Inject { addr, read, write } => builder.inject_addr(addr, read, write),
+        Msg::Stop => {}
+    }
+}
+
+/// Fold a dead worker's remaining input into its recovered builder: replay
+/// the message it was processing when it panicked (faultpoints fire before
+/// any builder mutation, so the replay is exact), then drain its queue in
+/// FIFO order, answering extract handshakes from the recovered builder.
+///
+/// Safe to call only after the worker thread has been joined: the producer
+/// is then the sole consumer of the queue.
+fn drain_dead_worker(
+    builder: &mut PartitionBuilder,
+    failed: Option<Msg>,
+    queue: &WorkerQueue,
+    op_meta: &[MemOpMeta],
+    resolver: &WorkerResolver,
+) {
+    if let Some(m) = failed {
+        apply_msg(builder, m, op_meta, resolver);
+    }
+    while let Some(m) = queue.try_pop() {
+        apply_msg(builder, m, op_meta, resolver);
     }
 }
 
@@ -413,6 +580,98 @@ struct WorkerResult {
     /// which also cover the inline phase; the multi-producer path has no
     /// central counter and uses this.
     processed: u64,
+    /// Signature fill `(occupied cells, total cells)` at finish, for the
+    /// governed run's false-positive-rate estimate.
+    fill: Option<(usize, usize)>,
+}
+
+/// What a worker thread reports when joined.
+enum WorkerOutcome {
+    /// Clean shutdown after a [`Msg::Stop`].
+    Finished(WorkerResult),
+    /// The worker panicked. Its builder and the message it was processing
+    /// survive the unwind, so the supervisor can drain the partition back
+    /// into inline processing and the run still completes.
+    Panicked {
+        /// Boxed: the builder dwarfs the `Finished` payload, and this
+        /// variant is built once per dead worker, off the hot path.
+        builder: Box<PartitionBuilder>,
+        /// The message in flight when the panic fired, not yet applied.
+        failed: Option<Msg>,
+        /// Accesses processed before the panic.
+        processed: u64,
+    },
+}
+
+/// The ceiling spawned workers govern against: the budget minus a reserve
+/// for the producer's non-degradable transport state (shared instance
+/// table, in-flight chunk buffers, rebalance counters). In spawned mode
+/// the producer owns no shadow maps to shed, so when its side tables are
+/// denied admission it publishes anyway; keeping the workers below
+/// `budget - reserve` makes that forced publication still land under the
+/// budget.
+fn producer_reserve_ceiling(max: usize) -> usize {
+    max.saturating_sub((max / 8).clamp(16 << 10, 256 << 10))
+}
+
+/// A spawned worker's view of the shared memory budget: publish tracked
+/// bytes at chunk boundaries, degrade the own partition first whenever the
+/// projected total would cross the ceiling (so the recorded peak never
+/// exceeds the budget at a checkpoint).
+struct WorkerGov {
+    gauge: Arc<MemGauge>,
+    slot: GaugeSlot,
+    max_bytes: usize,
+    /// The full budget, used as a last-resort ceiling once the own ladder
+    /// is at the floor (the reserve no longer buys anything there).
+    hard_max: usize,
+    /// Slot count a perfect partition re-keys to when it leaves the exact
+    /// tier.
+    sig_slots: usize,
+    steps: Arc<Mutex<Vec<DegradationStep>>>,
+}
+
+impl WorkerGov {
+    fn checkpoint(&mut self, builder: &mut PartitionBuilder) {
+        let mut bytes = builder.bytes();
+        loop {
+            // Atomic admission: growth is published only if the total stays
+            // under the ceiling, so concurrent worker checkpoints cannot
+            // race the recorded peak past the budget.
+            match self.slot.try_publish(&self.gauge, bytes, self.max_bytes) {
+                Ok(_) => return,
+                Err(projected) => {
+                    let Some(mut step) = builder.degrade(self.sig_slots) else {
+                        // Ladder floor: what remains is non-degradable
+                        // (dependence stores, floor-size maps). Admit it
+                        // against the *full* budget if it fits; otherwise
+                        // leave it unpublished and pressure the producer —
+                        // which may be holding most of the budget for a
+                        // recovered partition — to shed. Force-publishing
+                        // here would race the recorded peak past the
+                        // budget; the retry happens at the next checkpoint.
+                        if let Err(projected) =
+                            self.slot.try_publish(&self.gauge, bytes, self.hard_max)
+                        {
+                            self.gauge.raise_pressure(projected - self.hard_max);
+                        }
+                        return;
+                    };
+                    step.bytes_before = projected as u64;
+                    bytes = builder.bytes();
+                    step.bytes_after = self.slot.preview(&self.gauge, bytes) as u64;
+                    self.steps.lock().push(step);
+                }
+            }
+        }
+    }
+
+    /// Withdraw this worker's entire published figure from the gauge
+    /// (supervisor teardown after a panic, before the partition's state is
+    /// handed back to the producer).
+    fn retract(&mut self) {
+        self.slot.publish(&self.gauge, 0);
+    }
 }
 
 /// Chunk recycling pool (the paper: "empty chunks are recycled").
@@ -518,49 +777,131 @@ impl ChunkReturner {
 
 fn spawn_worker(
     queue: WorkerQueue,
-    mut builder: PartitionBuilder,
+    builder: PartitionBuilder,
     shared: Arc<SharedTable>,
     pool: ChunkPool,
     op_meta: Arc<[MemOpMeta]>,
-) -> JoinHandle<WorkerResult> {
+    gov: Option<WorkerGov>,
+) -> JoinHandle<WorkerOutcome> {
     std::thread::spawn(move || {
         let resolver = WorkerResolver::new(shared);
         let mut returner = ChunkReturner::new(pool);
         let mut processed = 0u64;
-        let mut idle = 0u32;
-        loop {
-            match queue.try_pop() {
-                Some(Msg::Chunk(ch)) => {
-                    idle = 0;
-                    builder.process_chunk(&ch, &op_meta, &resolver);
-                    processed += ch.iter().map(|p| p.rep as u64 + 1).sum::<u64>();
-                    returner.put(ch);
-                }
-                Some(Msg::Dealloc { addr, words }) => builder.clear_range(addr, words),
-                Some(Msg::Extract { addr, reply }) => {
-                    let _ = reply.send(builder.extract_addr(addr));
-                }
-                Some(Msg::Inject { addr, read, write }) => builder.inject_addr(addr, read, write),
-                Some(Msg::Stop) => break,
-                None => {
-                    idle += 1;
-                    if idle > 128 {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
-                    }
-                }
+        // Builder, in-flight message, and progress counter live outside
+        // the unwind boundary: a panic must not take the partition's
+        // shadow state down with the thread.
+        let mut builder = builder;
+        let mut current: Option<Msg> = None;
+        let mut gov = gov;
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(
+                &queue,
+                &mut builder,
+                &resolver,
+                &mut returner,
+                &mut processed,
+                &mut current,
+                &mut gov,
+                &op_meta,
+            )
+        }))
+        .is_err();
+        if unwound {
+            // Retract this worker's gauge contribution: the recovered
+            // builder finishes under the producer, whose own checkpoints
+            // re-count it — leaving the figure in place would double-count
+            // the partition and inflate the recorded peak.
+            if let Some(g) = gov.as_mut() {
+                g.retract();
             }
+            return WorkerOutcome::Panicked {
+                builder: Box::new(builder),
+                failed: current,
+                processed,
+            };
         }
         let bytes = builder.bytes();
+        let fill = builder.sig_fill();
         let (deps, stats) = builder.finish();
-        WorkerResult {
+        WorkerOutcome::Finished(WorkerResult {
             deps,
             stats,
             bytes,
             processed,
-        }
+            fill,
+        })
     })
+}
+
+/// The consumer loop of §2.3.3, factored out so the supervisor in
+/// [`spawn_worker`] can wrap it in a single unwind boundary.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    queue: &WorkerQueue,
+    builder: &mut PartitionBuilder,
+    resolver: &WorkerResolver,
+    returner: &mut ChunkReturner,
+    processed: &mut u64,
+    current: &mut Option<Msg>,
+    gov: &mut Option<WorkerGov>,
+    op_meta: &[MemOpMeta],
+) {
+    let mut idle = 0u32;
+    loop {
+        match queue.try_pop() {
+            Some(Msg::Stop) => break,
+            Some(msg) => {
+                idle = 0;
+                // Stash before touching the builder; the faultpoints fire
+                // before any mutation, so a panicked message replays
+                // exactly once on the recovered builder.
+                *current = Some(msg);
+                let extracted = match current.as_ref() {
+                    Some(Msg::Chunk(ch)) => {
+                        crate::faultpoint!("worker:chunk");
+                        builder.process_chunk(ch, op_meta, resolver);
+                        *processed += ch.iter().map(|p| p.rep as u64 + 1).sum::<u64>();
+                        None
+                    }
+                    Some(Msg::Dealloc { addr, words }) => {
+                        crate::faultpoint!("worker:dealloc");
+                        builder.clear_range(*addr, *words);
+                        None
+                    }
+                    Some(Msg::Extract { addr, .. }) => {
+                        crate::faultpoint!("worker:extract");
+                        Some(builder.extract_addr(*addr))
+                    }
+                    Some(Msg::Inject { addr, read, write }) => {
+                        crate::faultpoint!("worker:inject");
+                        builder.inject_addr(*addr, *read, *write);
+                        None
+                    }
+                    Some(Msg::Stop) | None => None,
+                };
+                match (current.take(), extracted) {
+                    (Some(Msg::Chunk(ch)), _) => {
+                        returner.put(ch);
+                        if let Some(g) = gov.as_mut() {
+                            g.checkpoint(builder);
+                        }
+                    }
+                    (Some(Msg::Extract { reply, .. }), Some(status)) => {
+                        let _ = reply.send(status);
+                    }
+                    _ => {}
+                }
+            }
+            None => {
+                idle += 1;
+                if idle > 128 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
 }
 
 /// Result of a parallel profiling run.
@@ -590,9 +931,15 @@ pub struct ParallelOutput {
     /// Full-queue retries the producer suffered while pushing.
     pub queue_stalls: u64,
     /// Worker threads actually spawned (`0` = the whole run stayed inline).
+    /// A worker recovered after a panic no longer counts: its partition
+    /// finished under the producer.
     pub spawned_workers: usize,
+    /// Worker panics recovered by the supervision layer.
+    pub worker_recoveries: u64,
     /// Accesses processed per partition (load distribution).
     pub worker_processed: Vec<u64>,
+    /// Resource accounting; `None` when no budget was set.
+    pub resource: Option<ResourceStats>,
 }
 
 impl ParallelOutput {
@@ -615,8 +962,10 @@ impl ParallelOutput {
                 merges: self.merges,
                 queue_stalls: self.queue_stalls,
                 spawned_workers: self.spawned_workers,
+                worker_recoveries: self.worker_recoveries,
                 worker_processed: self.worker_processed,
             }),
+            resource: self.resource,
         }
     }
 }
@@ -632,7 +981,13 @@ enum Backend {
     /// Chunks ship over queues to one worker thread per partition.
     Spawned {
         queues: Vec<WorkerQueue>,
-        handles: Vec<JoinHandle<WorkerResult>>,
+        /// `None` once a worker has been joined (panic recovery).
+        handles: Vec<Option<JoinHandle<WorkerOutcome>>>,
+        /// Partitions folded back under the producer after a worker panic;
+        /// messages for them are applied inline from then on.
+        local: Vec<Option<PartitionBuilder>>,
+        /// Producer-side resolver for recovered-partition processing.
+        resolver: WorkerResolver,
         alloc: ChunkAlloc,
     },
 }
@@ -686,6 +1041,23 @@ pub struct ParallelProfiler {
     rebalances: u64,
     merges: u64,
     queue_stalls: u64,
+    /// Worker panics recovered mid-run or at finalize.
+    worker_recoveries: u64,
+    /// Memory-op count of the target, for rebuilding partitions.
+    num_ops: u32,
+    /// Shared tracked-bytes gauge (producer + spawned workers publish).
+    gauge: Arc<MemGauge>,
+    /// The producer's own publisher slot on the gauge.
+    gov_slot: GaugeSlot,
+    /// Degradation steps taken anywhere in the pipeline, in rough order.
+    gov_steps: Arc<Mutex<Vec<DegradationStep>>>,
+    started: Instant,
+    /// Set once the wall-clock deadline has passed; the stop flag is
+    /// raised at the same moment.
+    deadline_hit: bool,
+    /// Interpreter stop flag, installed by [`profile_parallel`] when the
+    /// budget carries a deadline.
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl ParallelProfiler {
@@ -740,6 +1112,14 @@ impl ParallelProfiler {
             rebalances: 0,
             merges: 0,
             queue_stalls: 0,
+            worker_recoveries: 0,
+            num_ops,
+            gauge: Arc::new(MemGauge::new()),
+            gov_slot: GaugeSlot::new(),
+            gov_steps: Arc::new(Mutex::new(Vec::new())),
+            started: Instant::now(),
+            deadline_hit: false,
+            stop: None,
             cfg,
         };
         if !p.cfg.adaptive {
@@ -829,17 +1209,95 @@ impl ParallelProfiler {
     /// the inline group epoch, or ship the open chunk to the worker. Never
     /// adapts — see `push_access`.
     fn flush_partition(&mut self, w: usize) {
-        match &mut self.backend {
-            Backend::Inline { builders, .. } => builders[w].flush_groups(),
-            Backend::Spawned { queues, alloc, .. } => {
+        let c = match &mut self.backend {
+            Backend::Inline { builders, .. } => return builders[w].flush_groups(),
+            Backend::Spawned { alloc, .. } => {
                 if self.open[w].is_empty() {
                     return;
                 }
                 let fresh = alloc.fresh();
-                let c = std::mem::replace(&mut self.open[w], fresh);
-                self.queue_stalls += queues[w].push(Msg::Chunk(c));
-                self.chunks_pushed += 1;
+                std::mem::replace(&mut self.open[w], fresh)
             }
+        };
+        self.deliver(w, Msg::Chunk(c));
+    }
+
+    /// Deliver a message to partition `w` in spawned mode: apply it inline
+    /// for recovered partitions, push it to the worker otherwise — and if
+    /// the worker turns out to be dead behind a full queue, recover the
+    /// partition and retry locally.
+    fn deliver(&mut self, w: usize, msg: Msg) {
+        if matches!(msg, Msg::Chunk(_)) {
+            self.chunks_pushed += 1;
+        }
+        let mut msg = msg;
+        loop {
+            let returned = {
+                let Backend::Spawned {
+                    queues,
+                    handles,
+                    local,
+                    resolver,
+                    ..
+                } = &mut self.backend
+                else {
+                    return; // inline mode has no message transport
+                };
+                if let Some(b) = local[w].as_mut() {
+                    apply_msg(b, msg, &self.op_meta, resolver);
+                    return;
+                }
+                let Some(h) = handles[w].as_ref() else {
+                    return; // no worker and no builder: partition retired
+                };
+                match push_supervised(&queues[w], h, msg, &mut self.queue_stalls) {
+                    Ok(()) => return,
+                    Err(m) => m,
+                }
+            };
+            self.recover_worker(w);
+            msg = returned; // now applies to the recovered local builder
+        }
+    }
+
+    /// Supervisor: worker `w` died. Join it, replay its in-flight message,
+    /// drain its queue, and mark the partition producer-local from here on.
+    fn recover_worker(&mut self, w: usize) {
+        let Backend::Spawned {
+            queues,
+            handles,
+            local,
+            resolver,
+            ..
+        } = &mut self.backend
+        else {
+            return;
+        };
+        let Some(h) = handles[w].take() else { return };
+        match h.join() {
+            Ok(WorkerOutcome::Panicked {
+                mut builder,
+                failed,
+                processed: _,
+            }) => {
+                drain_dead_worker(&mut builder, failed, &queues[w], &self.op_meta, resolver);
+                local[w] = Some(*builder);
+                self.worker_recoveries += 1;
+            }
+            Ok(WorkerOutcome::Finished(_)) => {
+                // Only a Stop produces a clean finish, and none was sent
+                // mid-run; keep routing alive with a fresh builder so a
+                // (theoretical) stray finish cannot wedge delivery.
+                local[w] = Some(PartitionBuilder::new(
+                    MapKind::Signature,
+                    self.cfg.sig_slots,
+                    self.num_ops,
+                ));
+                self.worker_recoveries += 1;
+            }
+            // A panic that escaped the worker's own catch_unwind: nothing
+            // left to recover, surface it.
+            Err(e) => std::panic::resume_unwind(e),
         }
     }
 
@@ -872,6 +1330,108 @@ impl ParallelProfiler {
         if self.cfg.rebalance_interval > 0 && self.chunks_pushed >= self.next_rebalance_at {
             self.next_rebalance_at = self.chunks_pushed + self.cfg.rebalance_interval;
             self.rebalance();
+        }
+        if self.cfg.budget.is_active() {
+            self.govern();
+        }
+    }
+
+    /// Budget checkpoint, at the same per-chunk cadence as adaptation:
+    /// check the deadline, then enforce the memory ceiling on the
+    /// producer's own state (inline partition builders and the transport
+    /// side tables — spawned workers run their own checkpoints).
+    #[cold]
+    fn govern(&mut self) {
+        if let Some(deadline) = self.cfg.budget.deadline {
+            if !self.deadline_hit && self.started.elapsed() >= deadline {
+                self.deadline_hit = true;
+                if let Some(stop) = &self.stop {
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        match self.cfg.budget.max_memory_bytes {
+            Some(max) => {
+                let pressure = self.gauge.take_pressure();
+                self.enforce_memory(max, pressure);
+            }
+            None => {
+                let b = self.producer_bytes();
+                self.gov_slot.publish(&self.gauge, b);
+            }
+        }
+    }
+
+    /// Bytes the producer itself holds: inline partition builders (in
+    /// spawned mode the workers publish their own), retired builders, and
+    /// the transport side tables.
+    fn producer_bytes(&self) -> usize {
+        let mut b = self.counts.capacity() * 24
+            + self.redistribution.capacity() * 12
+            + self.shared.len() * std::mem::size_of::<Instance>()
+            + self
+                .open
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<PackedAccess>())
+                .sum::<usize>();
+        if let Backend::Inline { builders, .. } = &self.backend {
+            b += builders.iter().map(|x| x.bytes()).sum::<usize>();
+        }
+        if let Backend::Spawned { local, .. } = &self.backend {
+            b += local.iter().flatten().map(|x| x.bytes()).sum::<usize>();
+        }
+        b += self.retired.iter().map(|x| x.bytes()).sum::<usize>();
+        b
+    }
+
+    /// Degrade-then-publish: walk the producer-owned builders down the
+    /// ladder (fattest first) until the gauge total fits the ceiling, then
+    /// publish. The peak the gauge records at a checkpoint therefore never
+    /// exceeds the budget unless the ladder bottomed out.
+    ///
+    /// `pressure` is the admission shortfall reported by workers stuck at
+    /// their own ladder floor (their remaining bytes are non-degradable):
+    /// the producer sheds below `max - pressure` so the starved worker's
+    /// retry fits under the budget. Shedding is also triggered when the
+    /// gauge *total* is over the ceiling even though the producer's own
+    /// figure shrank — a shrinking publication is always admitted, so
+    /// without the explicit total check the producer would never make room
+    /// once its delta went non-positive.
+    fn enforce_memory(&mut self, max: usize, pressure: usize) {
+        let ceiling = max.saturating_sub(pressure);
+        loop {
+            let bytes = self.producer_bytes();
+            let projected = match self.gov_slot.try_publish(&self.gauge, bytes, ceiling) {
+                Ok(total) if total <= ceiling => return,
+                Ok(total) => total,
+                Err(projected) => projected,
+            };
+            let sig_slots = signature_slots_for_budget(max / self.nparts().max(1));
+            let stepped = {
+                let mut owned: Vec<&mut PartitionBuilder> = match &mut self.backend {
+                    Backend::Inline { builders, .. } => builders.iter_mut().collect(),
+                    Backend::Spawned { local, .. } => local.iter_mut().flatten().collect(),
+                };
+                owned.extend(self.retired.iter_mut());
+                owned.sort_by_key(|b| std::cmp::Reverse(b.bytes()));
+                owned.into_iter().find_map(|b| b.degrade(sig_slots))
+            };
+            match stepped {
+                Some(mut step) => {
+                    step.bytes_before = projected as u64;
+                    let after = self.producer_bytes();
+                    step.bytes_after = self.gov_slot.preview(&self.gauge, after) as u64;
+                    self.gov_steps.lock().push(step);
+                }
+                None => {
+                    // Every producer-owned builder is at the floor: the
+                    // ladder bottomed out, the footprint is accepted (the
+                    // one documented case where the peak may exceed the
+                    // budget).
+                    self.gov_slot.publish(&self.gauge, bytes);
+                    return;
+                }
+            }
         }
     }
 
@@ -929,25 +1489,52 @@ impl ParallelProfiler {
         // Deep pipelines stall less; keep at least a few chunks in flight
         // per worker even when the configured cap is tiny.
         let queue_cap = self.cfg.queue_cap.max(4);
-        let mut queues = Vec::with_capacity(live.len());
-        let mut handles = Vec::with_capacity(live.len());
+        // Each worker degrades toward its share of the ceiling.
+        let worker_sig = self
+            .cfg
+            .budget
+            .max_memory_bytes
+            .map_or(self.cfg.sig_slots, |m| {
+                signature_slots_for_budget(m / live.len().max(1))
+            });
+        let nlive = live.len();
+        let mut queues = Vec::with_capacity(nlive);
+        let mut handles = Vec::with_capacity(nlive);
         for b in live {
             let q = match self.cfg.queue {
                 QueueKind::LockFree => WorkerQueue::LockFree(Arc::new(SpscQueue::new(queue_cap))),
                 QueueKind::LockBased => WorkerQueue::Locked(Arc::new(LockQueue::new(queue_cap))),
             };
             queues.push(q.clone());
-            handles.push(spawn_worker(
+            let gov = self.cfg.budget.is_active().then(|| {
+                let hard_max = self.cfg.budget.max_memory_bytes.unwrap_or(usize::MAX);
+                WorkerGov {
+                    gauge: Arc::clone(&self.gauge),
+                    slot: GaugeSlot::new(),
+                    max_bytes: if hard_max == usize::MAX {
+                        usize::MAX
+                    } else {
+                        producer_reserve_ceiling(hard_max)
+                    },
+                    hard_max,
+                    sig_slots: worker_sig,
+                    steps: Arc::clone(&self.gov_steps),
+                }
+            });
+            handles.push(Some(spawn_worker(
                 q,
                 b,
                 Arc::clone(&self.shared),
                 Arc::clone(&pool),
                 Arc::clone(&self.op_meta),
-            ));
+                gov,
+            )));
         }
         self.backend = Backend::Spawned {
             queues,
             handles,
+            local: (0..nlive).map(|_| None).collect(),
+            resolver: WorkerResolver::new(Arc::clone(&self.shared)),
             alloc: ChunkAlloc::new(pool, self.cfg.chunk_size),
         };
         self.count_addrs = self.cfg.rebalance_interval > 0;
@@ -964,44 +1551,62 @@ impl ParallelProfiler {
     ///   their state). Fewer live partitions concentrate the open chunks,
     ///   which raises combining density.
     fn rebalance(&mut self) {
-        match &mut self.backend {
-            Backend::Spawned { queues, alloc, .. } => {
-                let mut top: Vec<(u64, u64)> = self.counts.iter().map(|(&a, &c)| (a, c)).collect();
-                top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-                top.truncate(10);
-                // Least-loaded partitions first.
-                let mut by_load: Vec<usize> = (0..self.delivered.len()).collect();
-                by_load.sort_by_key(|&w| self.delivered[w]);
-                let mut changed = false;
-                for (i, &(addr, _)) in top.iter().enumerate() {
-                    let target = by_load[i % by_load.len()];
-                    let class = ((addr >> 3) % self.class_route.len() as u64) as usize;
-                    let mut cur = self.class_route[class] as usize;
-                    if let Some(&r) = self.redistribution.get(&addr) {
-                        cur = r as usize;
+        if matches!(self.backend, Backend::Inline { .. }) {
+            return self.merge_underloaded();
+        }
+        let mut top: Vec<(u64, u64)> = self.counts.iter().map(|(&a, &c)| (a, c)).collect();
+        top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        top.truncate(10);
+        // Least-loaded partitions first.
+        let mut by_load: Vec<usize> = (0..self.delivered.len()).collect();
+        by_load.sort_by_key(|&w| self.delivered[w]);
+        let mut changed = false;
+        for (i, &(addr, _)) in top.iter().enumerate() {
+            let target = by_load[i % by_load.len()];
+            let class = ((addr >> 3) % self.class_route.len() as u64) as usize;
+            let mut cur = self.class_route[class] as usize;
+            if let Some(&r) = self.redistribution.get(&addr) {
+                cur = r as usize;
+            }
+            if cur == target {
+                continue;
+            }
+            // All accesses already routed to `cur` must be consumed
+            // before the extract; its open chunk flushes first.
+            self.flush_partition(cur);
+            let (read, write) = self.extract_from(cur, addr);
+            self.deliver(target, Msg::Inject { addr, read, write });
+            self.redistribution.insert(addr, target as u32);
+            changed = true;
+        }
+        if changed {
+            self.rebalances += 1;
+        }
+    }
+
+    /// The donor half of a hot-address migration, supervised: if the donor
+    /// worker dies while the handshake is pending, the partition is
+    /// recovered (the drain answers the queued extract from the recovered
+    /// builder) instead of the reply wait deadlocking.
+    fn extract_from(&mut self, w: usize, addr: u64) -> (Option<Cell>, Option<Cell>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.deliver(w, Msg::Extract { addr, reply: tx });
+        loop {
+            match rx.recv_timeout(std::time::Duration::from_millis(10)) {
+                Ok(v) => return v,
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return (None, None),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    let dead = match &self.backend {
+                        Backend::Spawned { handles, .. } => {
+                            handles[w].as_ref().is_some_and(|h| h.is_finished())
+                        }
+                        Backend::Inline { .. } => return (None, None),
+                    };
+                    if dead {
+                        self.recover_worker(w);
                     }
-                    if cur == target {
-                        continue;
-                    }
-                    // All accesses already routed to `cur` must be consumed
-                    // before the extract; its open chunk flushes first.
-                    if !self.open[cur].is_empty() {
-                        let c = std::mem::replace(&mut self.open[cur], alloc.fresh());
-                        self.queue_stalls += queues[cur].push(Msg::Chunk(c));
-                        self.chunks_pushed += 1;
-                    }
-                    let (tx, rx) = std::sync::mpsc::channel();
-                    self.queue_stalls += queues[cur].push(Msg::Extract { addr, reply: tx });
-                    let (read, write) = rx.recv().unwrap_or((None, None));
-                    self.queue_stalls += queues[target].push(Msg::Inject { addr, read, write });
-                    self.redistribution.insert(addr, target as u32);
-                    changed = true;
-                }
-                if changed {
-                    self.rebalances += 1;
                 }
             }
-            Backend::Inline { .. } => self.merge_underloaded(),
         }
     }
 
@@ -1068,16 +1673,20 @@ impl ParallelProfiler {
             // Order matters: accesses already routed must be consumed
             // before the eviction.
             self.flush_partition(wk);
-            match &mut self.backend {
-                Backend::Inline { builders, .. } => builders[wk].clear_range(addr, words),
-                Backend::Spawned { queues, .. } => {
-                    self.queue_stalls += queues[wk].push(Msg::Dealloc { addr, words });
+            let inline = matches!(self.backend, Backend::Inline { .. });
+            if inline {
+                if let Backend::Inline { builders, .. } = &mut self.backend {
+                    builders[wk].clear_range(addr, words);
                 }
+            } else {
+                self.deliver(wk, Msg::Dealloc { addr, words });
             }
         }
     }
 
-    /// Flush everything, stop any workers, and merge the results.
+    /// Flush everything, stop any workers, and merge the results. Workers
+    /// that died mid-run are recovered here (their partition drains back
+    /// inline), so a supervised run always completes with a full output.
     pub fn finalize(mut self, steps: u64, printed: Vec<String>) -> ParallelOutput {
         for w in 0..self.nparts() {
             self.flush_partition(w);
@@ -1085,48 +1694,106 @@ impl ParallelProfiler {
         let mut deps = DepSet::new();
         let mut stats = SkipStats::default();
         let mut bytes = 0usize;
+        // Signature fill accumulators for the FP-rate estimate.
+        let (mut occupied, mut cells) = (0usize, 0usize);
+        let mut tally_fill = |fill: Option<(usize, usize)>| {
+            if let Some((o, c)) = fill {
+                occupied += o;
+                cells += c;
+            }
+        };
         // Per-partition load is the producer's routing count: it covers
         // the inline phase and the spawned phase uniformly (a worker's own
         // processed count would miss accesses processed before escalation).
         let worker_processed = self.delivered.clone();
-        let spawned_workers;
+        let mut spawned_workers = 0;
         let placeholder = Backend::Inline {
             builders: Vec::new(),
             resolver: WorkerResolver::new(Arc::clone(&self.shared)),
         };
         match std::mem::replace(&mut self.backend, placeholder) {
             Backend::Inline { builders, .. } => {
-                spawned_workers = 0;
                 for b in builders {
                     bytes += b.bytes();
+                    tally_fill(b.sig_fill());
                     let (d, s) = b.finish();
                     deps.merge(d);
                     stats.total_accesses += s.total_accesses;
                 }
             }
             Backend::Spawned {
-                queues, handles, ..
+                queues,
+                mut handles,
+                mut local,
+                resolver,
+                ..
             } => {
-                spawned_workers = handles.len();
-                for q in &queues {
-                    q.push(Msg::Stop);
+                for (w, q) in queues.iter().enumerate() {
+                    if let Some(h) = handles[w].as_ref() {
+                        // A dead worker behind a full queue hands the Stop
+                        // back; dropping it is fine — the join below
+                        // recovers everything the queue still holds.
+                        let _ = push_supervised(q, h, Msg::Stop, &mut self.queue_stalls);
+                    }
                 }
-                for h in handles {
-                    let r = h.join().expect("worker panicked");
-                    deps.merge(r.deps);
-                    stats.total_accesses += r.stats.total_accesses;
-                    bytes += r.bytes;
-                    let _ = r.processed; // sequential path reports `delivered`
+                for (w, h) in handles.iter_mut().enumerate() {
+                    let Some(h) = h.take() else { continue };
+                    match h.join() {
+                        Ok(WorkerOutcome::Finished(r)) => {
+                            spawned_workers += 1;
+                            deps.merge(r.deps);
+                            stats.total_accesses += r.stats.total_accesses;
+                            bytes += r.bytes;
+                            tally_fill(r.fill);
+                            let _ = r.processed; // sequential path reports `delivered`
+                        }
+                        Ok(WorkerOutcome::Panicked {
+                            mut builder,
+                            failed,
+                            processed: _,
+                        }) => {
+                            drain_dead_worker(
+                                &mut builder,
+                                failed,
+                                &queues[w],
+                                &self.op_meta,
+                                &resolver,
+                            );
+                            self.worker_recoveries += 1;
+                            local[w] = Some(*builder);
+                        }
+                        Err(e) => std::panic::resume_unwind(e),
+                    }
+                }
+                for b in local.into_iter().flatten() {
+                    bytes += b.bytes();
+                    tally_fill(b.sig_fill());
+                    let (d, s) = b.finish();
+                    deps.merge(d);
+                    stats.total_accesses += s.total_accesses;
                 }
             }
         }
         for b in std::mem::take(&mut self.retired) {
             bytes += b.bytes();
+            tally_fill(b.sig_fill());
             let (d, st) = b.finish();
             deps.merge(d);
             stats.total_accesses += st.total_accesses;
         }
         bytes += self.counts.capacity() * 24 + self.shared.len() * std::mem::size_of::<Instance>();
+        let resource = self.cfg.budget.is_active().then(|| {
+            let mut res = ResourceStats::for_budget(&self.cfg.budget);
+            res.peak_tracked_bytes = self.gauge.peak() as u64;
+            res.degradation_steps = std::mem::take(&mut *self.gov_steps.lock());
+            res.fp_rate_estimate = if cells > 0 {
+                occupied as f64 / cells as f64
+            } else {
+                0.0
+            };
+            res.deadline_hit = self.deadline_hit;
+            res
+        });
         let pet = std::mem::take(&mut self.pet);
         ParallelOutput {
             deps,
@@ -1141,7 +1808,9 @@ impl ParallelProfiler {
             merges: self.merges,
             queue_stalls: self.queue_stalls,
             spawned_workers,
+            worker_recoveries: self.worker_recoveries,
             worker_processed,
+            resource,
         }
     }
 }
@@ -1156,13 +1825,16 @@ impl Drop for ParallelProfiler {
             queues, handles, ..
         } = &mut self.backend
         {
-            if handles.is_empty() {
-                return; // finalize already ran
+            for (w, q) in queues.iter().enumerate() {
+                if let Some(h) = handles[w].as_ref() {
+                    // Supervised: a dead worker behind a full queue must
+                    // not wedge the drop (the join below cannot hang — a
+                    // returned Stop means the thread already exited).
+                    let mut stalls = 0u64;
+                    let _ = push_supervised(q, h, Msg::Stop, &mut stalls);
+                }
             }
-            for q in queues.iter() {
-                q.push(Msg::Stop);
-            }
-            for h in handles.drain(..) {
+            for h in handles.iter_mut().filter_map(Option::take) {
                 let _ = h.join();
             }
         }
@@ -1212,10 +1884,20 @@ impl Sink for ParallelProfiler {
 pub fn profile_parallel(
     prog: &Program,
     pcfg: ParallelConfig,
-    rcfg: RunConfig,
+    mut rcfg: RunConfig,
 ) -> Result<ParallelOutput, RuntimeError> {
     let mut p = ParallelProfiler::new(pcfg, prog);
     p.combine = !rcfg.racy_delivery;
+    if p.cfg.budget.deadline.is_some() {
+        // The governor raises this flag when the wall clock runs out; the
+        // scheduler then stops at the next slice boundary and the partial
+        // output flows through `finalize` with `resource.deadline_hit` set.
+        let stop = rcfg
+            .stop
+            .get_or_insert_with(|| Arc::new(AtomicBool::new(false)))
+            .clone();
+        p.stop = Some(stop);
+    }
     let r = interp::run_with_config(prog, &mut p, rcfg)?;
     Ok(p.finalize(r.steps, r.printed))
 }
@@ -1296,6 +1978,7 @@ pub fn profile_multithreaded_target(
             Arc::clone(&shared),
             Arc::clone(&pool),
             Arc::clone(&op_meta),
+            None,
         ));
     }
     // Per-lock ticket counters: a producer replays its critical section
@@ -1420,13 +2103,41 @@ pub fn profile_multithreaded_target(
     let mut stats = SkipStats::default();
     let mut bytes = 0usize;
     let mut worker_processed = Vec::new();
-    let spawned_workers = handles.len();
-    for h in handles {
-        let r = h.join().expect("worker panicked");
-        deps.merge(r.deps);
-        stats.total_accesses += r.stats.total_accesses;
-        bytes += r.bytes;
-        worker_processed.push(r.processed);
+    let mut spawned_workers = 0;
+    let mut worker_recoveries = 0u64;
+    let recovery_resolver = WorkerResolver::new(Arc::clone(&shared));
+    for (w, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(WorkerOutcome::Finished(r)) => {
+                spawned_workers += 1;
+                deps.merge(r.deps);
+                stats.total_accesses += r.stats.total_accesses;
+                bytes += r.bytes;
+                worker_processed.push(r.processed);
+            }
+            Ok(WorkerOutcome::Panicked {
+                mut builder,
+                failed,
+                processed,
+            }) => {
+                // All producers have finished (the scope above joined
+                // them), so the queue is drainable from here.
+                drain_dead_worker(
+                    &mut builder,
+                    failed,
+                    &queues[w],
+                    &op_meta,
+                    &recovery_resolver,
+                );
+                worker_recoveries += 1;
+                bytes += builder.bytes();
+                let (d, s) = builder.finish();
+                deps.merge(d);
+                stats.total_accesses += s.total_accesses;
+                worker_processed.push(processed);
+            }
+            Err(e) => std::panic::resume_unwind(e),
+        }
     }
     Ok(ParallelOutput {
         deps,
@@ -1441,7 +2152,9 @@ pub fn profile_multithreaded_target(
         merges: 0,
         queue_stalls: 0,
         spawned_workers,
+        worker_recoveries,
         worker_processed,
+        resource: None,
     })
 }
 
@@ -1469,6 +2182,7 @@ mod tests {
             rebalance_interval: 0,
             adaptive: false,
             spawn_threshold: 0,
+            budget: Budget::unlimited(),
         }
     }
 

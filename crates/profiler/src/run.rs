@@ -10,13 +10,20 @@
 //! [`ProfileOutput`]; the parallel engine additionally fills
 //! [`ProfileOutput::parallel`] with its transport statistics.
 
+use crate::budget::{
+    signature_slots_for_budget, Budget, DegradationStep, GaugeSlot, MemGauge, ProfileError,
+    ResourceStats, ShadowTier, LADDER_MIN_SLOTS,
+};
 use crate::dep::DepSet;
 use crate::engine::{EngineConfig, SkipStats};
+use crate::maps::{PerfectMap, SignatureMap};
 use crate::parallel::{profile_parallel, ParallelConfig, QueueKind};
 use crate::pet::Pet;
 use crate::serial::SerialProfiler;
-use interp::{Program, RunConfig, RunResult, RuntimeError};
+use interp::{Event, Program, RunConfig, RunResult, Sink};
 use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Which dependence-profiling engine to run.
 ///
@@ -290,6 +297,11 @@ pub struct ProfileConfig {
     pub skip_loops: bool,
     /// Enable variable-lifetime analysis (§2.3.5).
     pub lifetime: bool,
+    /// Resource limits (memory ceiling, wall-clock deadline). The default
+    /// is unlimited, which keeps profiling on the ungoverned fast path; an
+    /// active budget routes the run through the resource governor (see
+    /// [`crate::budget`]).
+    pub budget: Budget,
     /// Interpreter configuration.
     pub run: RunConfig,
 }
@@ -300,6 +312,7 @@ impl Default for ProfileConfig {
             engine: EngineKind::SerialPerfect,
             skip_loops: false,
             lifetime: true,
+            budget: Budget::unlimited(),
             run: RunConfig::default(),
         }
     }
@@ -322,6 +335,10 @@ pub struct ParallelStats {
     /// Worker threads actually spawned (`0` = the adaptive transport kept
     /// the whole run inline).
     pub spawned_workers: usize,
+    /// Worker panics recovered by the supervision layer: each one drained
+    /// the dead worker's partition back into inline processing and the run
+    /// completed with the same dependences.
+    pub worker_recoveries: u64,
     /// Accesses processed per partition (load distribution).
     pub worker_processed: Vec<u64>,
 }
@@ -343,6 +360,9 @@ pub struct ProfileOutput {
     pub printed: Vec<String>,
     /// Parallel-engine transport statistics; `None` for serial engines.
     pub parallel: Option<ParallelStats>,
+    /// Resource accounting of a governed run; `None` when no budget was
+    /// set.
+    pub resource: Option<ResourceStats>,
 }
 
 /// Profile a program with default options ([`EngineKind::SerialPerfect`],
@@ -353,19 +373,29 @@ pub struct ProfileOutput {
 /// let out = profiler::profile_program(&p).unwrap();
 /// assert!(out.deps.len() > 0);
 /// ```
-pub fn profile_program(prog: &Program) -> Result<ProfileOutput, RuntimeError> {
+pub fn profile_program(prog: &Program) -> Result<ProfileOutput, ProfileError> {
     profile_program_with(prog, &ProfileConfig::default())
 }
 
 /// Profile a program with an explicit engine and options.
+///
+/// An active [`ProfileConfig::budget`] routes serial engines through the
+/// resource governor (degradation ladder + deadline watchdog); the parallel
+/// engine enforces the same budget inside its transport. With the default
+/// unlimited budget the ungoverned fast paths run unchanged.
 pub fn profile_program_with(
     prog: &Program,
     cfg: &ProfileConfig,
-) -> Result<ProfileOutput, RuntimeError> {
+) -> Result<ProfileOutput, ProfileError> {
     let engine_cfg = EngineConfig {
         skip_loops: cfg.skip_loops,
     };
     match cfg.engine {
+        EngineKind::SerialPerfect | EngineKind::SerialSignature { .. }
+            if cfg.budget.is_active() =>
+        {
+            profile_governed(prog, cfg, engine_cfg)
+        }
         EngineKind::SerialPerfect => {
             let mut p = SerialProfiler::with_perfect(prog.num_mem_ops(), engine_cfg, cfg.lifetime);
             let r = interp::run_with_config(prog, &mut p, cfg.run.clone())?;
@@ -388,9 +418,16 @@ pub fn profile_program_with(
                 sig_slots: EngineKind::parallel_worker_slots(workers),
                 queue,
                 lifetime: cfg.lifetime,
+                budget: cfg.budget,
                 ..ParallelConfig::default()
             };
-            Ok(profile_parallel(prog, pcfg, cfg.run.clone())?.into_profile_output())
+            let out = profile_parallel(prog, pcfg, cfg.run.clone())?.into_profile_output();
+            if out.resource.as_ref().is_some_and(|r| r.deadline_hit) {
+                return Err(ProfileError::DeadlineExceeded {
+                    partial: Box::new(out),
+                });
+            }
+            Ok(out)
         }
     }
 }
@@ -405,6 +442,220 @@ fn assemble<M: crate::maps::AccessMap>(p: SerialProfiler<M>, r: RunResult) -> Pr
         steps: r.steps,
         printed: r.printed,
         parallel: None,
+        resource: None,
+    }
+}
+
+/// Events between governor checkpoints. Each checkpoint is a wall-clock
+/// read plus a footprint estimate (a handful of `Vec` length sums), so at
+/// this cadence governance overhead is far below the cost of processing
+/// the same events — the `stress_xl` benchmark row pins it under 2%.
+const GOVERNOR_CADENCE: u64 = 2048;
+
+/// The serial profiler at one of the ladder's accuracy tiers.
+enum Tier {
+    Perfect(SerialProfiler<PerfectMap>),
+    Sig(SerialProfiler<SignatureMap>),
+}
+
+/// [`Sink`] wrapper running a serial profiler under a [`Budget`]: every
+/// `GOVERNOR_CADENCE` events it checks the deadline (setting the
+/// interpreter's stop flag when expired) and the memory ceiling (walking
+/// the degradation ladder until the footprint fits again), and publishes
+/// the post-degradation footprint to its gauge. The budget invariant —
+/// tracked bytes never exceed the ceiling at any checkpoint, ladder
+/// permitting — is exactly what the fault-injection suite asserts.
+struct GovernedSerial {
+    tier: Option<Tier>,
+    budget: Budget,
+    gauge: MemGauge,
+    slot: GaugeSlot,
+    res: ResourceStats,
+    started: std::time::Instant,
+    stop: Arc<AtomicBool>,
+    since_check: u64,
+}
+
+impl GovernedSerial {
+    fn new(tier: Tier, budget: Budget, stop: Arc<AtomicBool>) -> Self {
+        GovernedSerial {
+            tier: Some(tier),
+            budget,
+            gauge: MemGauge::new(),
+            slot: GaugeSlot::new(),
+            res: ResourceStats::for_budget(&budget),
+            started: std::time::Instant::now(),
+            stop,
+            since_check: 0,
+        }
+    }
+
+    fn current_bytes(&self) -> usize {
+        match &self.tier {
+            Some(Tier::Perfect(p)) => p.current_bytes(),
+            Some(Tier::Sig(s)) => s.current_bytes(),
+            None => 0,
+        }
+    }
+
+    /// Take one ladder rung. Returns `false` when no rung is left (floor
+    /// reached): the governor then accepts the floor footprint.
+    fn degrade(&mut self, bytes_before: u64, max: usize) -> bool {
+        let Some(tier) = self.tier.take() else {
+            return false;
+        };
+        match tier {
+            Tier::Perfect(p) => {
+                let slots = signature_slots_for_budget(max);
+                let (sp, affected) = p.degrade_to_signature(slots);
+                self.res.degradation_steps.push(DegradationStep {
+                    from: ShadowTier::Perfect,
+                    to: ShadowTier::Signature { slots },
+                    bytes_before,
+                    bytes_after: sp.current_bytes() as u64,
+                    affected,
+                    merged_slots: 0,
+                });
+                self.tier = Some(Tier::Sig(sp));
+                true
+            }
+            Tier::Sig(mut s) => {
+                let slots = s.signature_slots();
+                if slots <= LADDER_MIN_SLOTS || slots % 2 != 0 {
+                    self.tier = Some(Tier::Sig(s));
+                    return false;
+                }
+                let merged = s.halve_signature();
+                self.res.degradation_steps.push(DegradationStep {
+                    from: ShadowTier::Signature { slots },
+                    to: ShadowTier::Signature { slots: slots / 2 },
+                    bytes_before,
+                    bytes_after: s.current_bytes() as u64,
+                    affected: None,
+                    merged_slots: merged,
+                });
+                self.tier = Some(Tier::Sig(s));
+                true
+            }
+        }
+    }
+
+    /// Enforce the memory ceiling, then publish the (post-degradation)
+    /// footprint. Shared by the periodic checkpoint and the final flush.
+    fn enforce_memory(&mut self) {
+        let mut bytes = self.current_bytes();
+        if let Some(max) = self.budget.max_memory_bytes {
+            while bytes > max && self.degrade(bytes as u64, max) {
+                bytes = self.current_bytes();
+            }
+        }
+        self.slot.publish(&self.gauge, bytes);
+        self.res.peak_tracked_bytes = self.gauge.peak() as u64;
+    }
+
+    #[cold]
+    fn check(&mut self) {
+        if let Some(dl) = self.budget.deadline {
+            if !self.res.deadline_hit && self.started.elapsed() >= dl {
+                self.res.deadline_hit = true;
+                self.stop.store(true, Ordering::Relaxed);
+            }
+        }
+        self.enforce_memory();
+    }
+
+    #[inline]
+    fn tick(&mut self, n: u64) {
+        self.since_check += n;
+        if self.since_check >= GOVERNOR_CADENCE {
+            self.since_check = 0;
+            self.check();
+        }
+    }
+
+    /// Final flush and assembly: enforce the ceiling one last time (growth
+    /// since the previous checkpoint must not outlive the run), compute the
+    /// signature false-positive estimate, and attach the resource block.
+    fn finish(mut self, r: RunResult) -> ProfileOutput {
+        self.enforce_memory();
+        self.res.fp_rate_estimate = match &self.tier {
+            Some(Tier::Sig(s)) => {
+                // Fill factor across both signatures: the probability that
+                // a probe of a fresh address lands in an occupied slot —
+                // Eq. 2.2 with the address count inferred from occupancy.
+                s.signature_occupied() as f64 / (2 * s.signature_slots()) as f64
+            }
+            _ => 0.0,
+        };
+        let res = self.res;
+        let mut out = match self.tier.take() {
+            Some(Tier::Perfect(p)) => assemble(p, r),
+            Some(Tier::Sig(s)) => assemble(s, r),
+            None => unreachable!("tier is only vacant inside degrade()"),
+        };
+        out.resource = Some(res);
+        out
+    }
+}
+
+impl Sink for GovernedSerial {
+    fn event(&mut self, ev: &Event) {
+        match self.tier.as_mut() {
+            Some(Tier::Perfect(p)) => p.event(ev),
+            Some(Tier::Sig(s)) => s.event(ev),
+            None => {}
+        }
+        self.tick(1);
+    }
+
+    fn events(&mut self, evs: &[Event]) {
+        match self.tier.as_mut() {
+            Some(Tier::Perfect(p)) => p.events(evs),
+            Some(Tier::Sig(s)) => s.events(evs),
+            None => {}
+        }
+        self.tick(evs.len() as u64);
+    }
+}
+
+/// The governed serial path: wrap the profiler in a [`GovernedSerial`],
+/// share (or install) the interpreter's stop flag, and translate a
+/// governor-initiated interrupt into [`ProfileError::DeadlineExceeded`]
+/// carrying the partial output.
+fn profile_governed(
+    prog: &Program,
+    cfg: &ProfileConfig,
+    engine_cfg: EngineConfig,
+) -> Result<ProfileOutput, ProfileError> {
+    let tier = match cfg.engine {
+        EngineKind::SerialSignature { slots } => Tier::Sig(SerialProfiler::with_signature(
+            slots,
+            prog.num_mem_ops(),
+            engine_cfg,
+            cfg.lifetime,
+        )),
+        // `SerialPerfect`, the only other engine routed here.
+        _ => Tier::Perfect(SerialProfiler::with_perfect(
+            prog.num_mem_ops(),
+            engine_cfg,
+            cfg.lifetime,
+        )),
+    };
+    let mut run = cfg.run.clone();
+    let stop = run
+        .stop
+        .get_or_insert_with(|| Arc::new(AtomicBool::new(false)))
+        .clone();
+    let mut g = GovernedSerial::new(tier, cfg.budget, stop);
+    let r = interp::run_with_config(prog, &mut g, run)?;
+    let deadline_hit = g.res.deadline_hit && r.interrupted;
+    let out = g.finish(r);
+    if deadline_hit {
+        Err(ProfileError::DeadlineExceeded {
+            partial: Box::new(out),
+        })
+    } else {
+        Ok(out)
     }
 }
 

@@ -78,6 +78,12 @@ impl<M: AccessMap> SerialProfiler<M> {
         (deps, self.pet.finish(total_instrs), stats, bytes)
     }
 
+    /// Tracked bytes of the profiler right now — what the resource governor
+    /// publishes to its [`crate::budget::MemGauge`] at checkpoint cadence.
+    pub fn current_bytes(&self) -> usize {
+        self.builder.bytes() + self.table.bytes()
+    }
+
     /// Shared per-event body of both delivery paths.
     #[inline]
     fn handle(&mut self, ev: &Event) {
@@ -98,6 +104,62 @@ impl<M: AccessMap> SerialProfiler<M> {
                 self.builder.clear_range(*addr, *words);
             }
         }
+    }
+}
+
+impl SerialProfiler<PerfectMap> {
+    /// First rung of the degradation ladder: convert the exact shadow into
+    /// a signature of `slots` slots mid-run, keeping loop context, instance
+    /// table, PET, and every dependence found so far. Returns the degraded
+    /// profiler and the `[lo, hi]` word-address range that was resident in
+    /// the exact shadow (the addresses whose tracking just became
+    /// approximate), or `None` when the shadow was empty.
+    pub fn degrade_to_signature(
+        self,
+        slots: usize,
+    ) -> (SerialProfiler<SignatureMap>, Option<(u64, u64)>) {
+        let mut affected = None;
+        let builder = self.builder.map_shadow(|read, write| {
+            for (addr, _) in read.entries().into_iter().chain(write.entries()) {
+                affected = Some(match affected {
+                    None => (addr, addr),
+                    Some((lo, hi)) => (addr.min(lo), addr.max(hi)),
+                });
+            }
+            (
+                SignatureMap::from_perfect(&read, slots),
+                SignatureMap::from_perfect(&write, slots),
+            )
+        });
+        (
+            SerialProfiler {
+                ctx: self.ctx,
+                table: self.table,
+                builder,
+                pet: self.pet,
+                lifetime: self.lifetime,
+            },
+            affected,
+        )
+    }
+}
+
+impl SerialProfiler<SignatureMap> {
+    /// Halving rung of the degradation ladder: shrink both signatures to
+    /// half their slots in place. Returns the occupied slot pairs merged.
+    pub fn halve_signature(&mut self) -> u64 {
+        self.builder.halve_signature()
+    }
+
+    /// Current signature slot count.
+    pub fn signature_slots(&self) -> usize {
+        self.builder.signature_slots()
+    }
+
+    /// Occupied slots across both signatures — the address-set proxy for
+    /// the false-positive estimate.
+    pub fn signature_occupied(&self) -> usize {
+        self.builder.signature_occupied()
     }
 }
 

@@ -309,6 +309,189 @@ mod robustness_props {
     }
 }
 
+mod governance_props {
+    use super::*;
+    use profiler::estimated_fp_rate;
+    use std::collections::BTreeSet;
+
+    /// The signature slot counts the degradation ladder moves through at
+    /// test scale: collision-free at the top, heavily colliding at the
+    /// bottom (the trace strategy touches up to 24 distinct addresses).
+    const TIERS: [usize; 4] = [1 << 16, 1 << 12, 256, 64];
+
+    fn marker(i: usize) -> Cell {
+        Cell {
+            op: i as u32,
+            line: i as u32 + 1,
+            var: 0,
+            thread: 0,
+            ts: i as u64 + 1,
+            instance: NO_INSTANCE,
+            iter: 0,
+        }
+    }
+
+    /// Distinct addresses of a trace.
+    fn addrs_of(trace: &[Access]) -> Vec<u64> {
+        trace
+            .iter()
+            .map(|a| a.addr)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Detect collision-freedom differentially: write one distinct marker
+    /// per address, then check every marker reads back intact.
+    fn collision_free(slots: usize, addrs: &[u64]) -> bool {
+        let mut m = SignatureMap::new(slots);
+        for (i, &a) in addrs.iter().enumerate() {
+            m.set(a, marker(i));
+        }
+        addrs
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| m.get(a).map(|c| c.op) == Some(i as u32))
+    }
+
+    /// Two distinct addresses share a slot at this size (detected
+    /// differentially: plant a marker under `a`, probe through `b`).
+    fn same_slot(slots: usize, a: u64, b: u64) -> bool {
+        let mut m = SignatureMap::new(slots);
+        m.set(a, marker(0));
+        m.get(b).is_some()
+    }
+
+    /// Addresses of the set whose slot is shared with a *different*
+    /// address — the only places a signature can mis-report.
+    fn colliding_addrs(slots: usize, addrs: &[u64]) -> BTreeSet<u64> {
+        addrs
+            .iter()
+            .copied()
+            .filter(|&a| addrs.iter().any(|&b| b != a && same_slot(slots, a, b)))
+            .collect()
+    }
+
+    proptest! {
+        /// The degradation ladder's accuracy contract, tier by tier
+        /// against the perfect oracle: a collision-free signature is
+        /// *exact*, and a colliding one only mis-reports where the
+        /// published false-positive estimate (Eq. 2.2) admits error —
+        /// extras stay bounded by the estimate taken over the probes that
+        /// could produce them.
+        #[test]
+        fn signature_tiers_against_perfect_oracle(trace in traces()) {
+            let t = InstanceTable::new();
+            let mut per = DepBuilder::new(
+                PerfectMap::new(),
+                PerfectMap::new(),
+                32,
+                EngineConfig::default(),
+            );
+            for a in &trace {
+                per.process(a, &t);
+            }
+            let oracle: BTreeSet<_> = per.deps.sorted().into_iter().collect();
+            let addrs = addrs_of(&trace);
+
+            for tier in TIERS {
+                let mut sig = DepBuilder::new(
+                    SignatureMap::new(tier),
+                    SignatureMap::new(tier),
+                    32,
+                    EngineConfig::default(),
+                );
+                for a in &trace {
+                    sig.process(a, &t);
+                }
+                let got: BTreeSet<_> = sig.deps.sorted().into_iter().collect();
+                if collision_free(tier, &addrs) {
+                    prop_assert_eq!(&got, &oracle, "collision-free tier {} must be exact", tier);
+                } else {
+                    let fp = estimated_fp_rate(tier, addrs.len());
+                    prop_assert!(fp > 0.0, "colliding tier {} must publish a nonzero FP estimate", tier);
+                    // Hard bound: a signature only mis-reports through a
+                    // probe on a slot-sharing address, and one probe adds
+                    // at most two dependence edges (vs last read and last
+                    // write), so distinct extras cannot exceed twice the
+                    // colliding probe count.
+                    let colliding = colliding_addrs(tier, &addrs);
+                    let colliding_probes =
+                        trace.iter().filter(|p| colliding.contains(&p.addr)).count();
+                    let extras = got.difference(&oracle).count();
+                    let missing = oracle.difference(&got).count();
+                    prop_assert!(
+                        extras + missing <= 2 * colliding_probes,
+                        "tier {}: {} extras + {} missing exceed 2×{} colliding probes",
+                        tier, extras, missing, colliding_probes
+                    );
+                }
+            }
+        }
+
+        /// Halving re-keys exactly (the ladder's slot-level exactness
+        /// claim): inserting a stream into `m` slots and halving `k` times
+        /// leaves precisely the state of a fresh `m/2^k`-slot signature
+        /// fed the same stream. Timestamps grow with insertion order, so
+        /// the halving merge (newest wins) and direct insertion (last
+        /// write wins) must pick identical survivors.
+        #[test]
+        fn halving_matches_directly_built_signature(
+            raw in prop::collection::vec(0u64..4096, 1..128),
+            halvings in 1usize..4,
+        ) {
+            let start = 1usize << 10;
+            let mut halved = SignatureMap::new(start);
+            for (i, &a) in raw.iter().enumerate() {
+                halved.set(0x2000 + a * 8, marker(i));
+            }
+            for _ in 0..halvings {
+                halved.halve();
+            }
+            let finals = start >> halvings;
+            prop_assert_eq!(halved.num_slots(), finals);
+
+            let mut direct = SignatureMap::new(finals);
+            for (i, &a) in raw.iter().enumerate() {
+                direct.set(0x2000 + a * 8, marker(i));
+            }
+            for &a in &raw {
+                let addr = 0x2000 + a * 8;
+                prop_assert_eq!(
+                    halved.get(addr).map(|c| (c.op, c.ts)),
+                    direct.get(addr).map(|c| (c.op, c.ts)),
+                    "address {:#x} diverges after {} halvings", addr, halvings
+                );
+            }
+            prop_assert!(halved.occupied() <= direct.occupied().max(raw.len()));
+        }
+
+        /// `from_perfect` (the ladder's first rung) preserves exactly the
+        /// newest cell per slot: on a collision-free address set the
+        /// signature answers every address identically to the shadow it
+        /// was built from.
+        #[test]
+        fn perfect_to_signature_rung_is_faithful(
+            raw in prop::collection::vec(0u64..512, 1..64),
+        ) {
+            let mut per = PerfectMap::new();
+            for (i, &a) in raw.iter().enumerate() {
+                per.set(0x3000 + a * 8, marker(i));
+            }
+            let addrs: Vec<u64> = raw.iter().map(|&a| 0x3000 + a * 8).collect::<BTreeSet<_>>().into_iter().collect();
+            let sig = SignatureMap::from_perfect(&per, 1 << 16);
+            if collision_free(1 << 16, &addrs) {
+                for &addr in &addrs {
+                    prop_assert_eq!(
+                        sig.get(addr).map(|c| (c.op, c.ts)),
+                        per.get(addr).map(|c| (c.op, c.ts))
+                    );
+                }
+            }
+        }
+    }
+}
+
 mod failure_injection {
     /// An infinite loop hits the step limit instead of hanging.
     #[test]
@@ -333,7 +516,9 @@ mod failure_injection {
         let p = interp::Program::new(m);
         assert!(matches!(
             profiler::profile_program(&p),
-            Err(interp::RuntimeError::OutOfBounds { .. })
+            Err(profiler::ProfileError::Runtime(
+                interp::RuntimeError::OutOfBounds { .. }
+            ))
         ));
     }
 
@@ -370,7 +555,9 @@ mod failure_injection {
         let p = interp::Program::new(m);
         assert!(matches!(
             profiler::profile_program(&p),
-            Err(interp::RuntimeError::Deadlock)
+            Err(profiler::ProfileError::Runtime(
+                interp::RuntimeError::Deadlock
+            ))
         ));
     }
 }
