@@ -1,0 +1,126 @@
+//! Affine expressions over loop induction variables and loop-invariant
+//! symbols: `c + Σ coef·term`, the currency of the access classifier and
+//! the independence tests.
+
+use mir::{GlobalId, LocalId, RegionId};
+use std::collections::BTreeMap;
+
+/// A symbolic term of an affine expression. All terms are integer-valued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// The 0-based executed-iteration counter of a loop region in the
+    /// current function (value of the IV = `init + step·iter`).
+    Iter(RegionId),
+    /// The (statically unknown) value of a loop IV at loop entry, for IVs
+    /// whose initial value is not a provable constant. Fixed for one
+    /// dynamic instance of the loop.
+    IvBase(RegionId),
+    /// A loop-invariant local scalar with unknown value.
+    InvLocal(LocalId),
+    /// A loop-invariant global scalar with unknown value.
+    InvGlobal(GlobalId),
+}
+
+/// `constant + Σ coef·term`, with exact `i64` coefficients. Construction
+/// fails (returns `None`) on any overflow, so downstream proofs never rest
+/// on wrapped arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Affine {
+    /// Constant part.
+    pub constant: i64,
+    /// Symbolic terms with non-zero coefficients.
+    pub terms: BTreeMap<Term, i64>,
+}
+
+impl Affine {
+    /// A constant expression.
+    pub fn constant(c: i64) -> Self {
+        Affine {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// A single symbolic term with coefficient 1.
+    pub fn term(t: Term) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(t, 1);
+        Affine { constant: 0, terms }
+    }
+
+    /// Whether the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, if this is a plain constant.
+    pub fn as_constant(&self) -> Option<i64> {
+        self.is_constant().then_some(self.constant)
+    }
+
+    /// `self + other`, `None` on coefficient overflow.
+    pub fn add(&self, other: &Affine) -> Option<Affine> {
+        let mut out = self.clone();
+        out.constant = out.constant.checked_add(other.constant)?;
+        for (&t, &c) in &other.terms {
+            let e = out.terms.entry(t).or_insert(0);
+            *e = e.checked_add(c)?;
+            if *e == 0 {
+                out.terms.remove(&t);
+            }
+        }
+        Some(out)
+    }
+
+    /// `self - other`, `None` on coefficient overflow.
+    pub fn sub(&self, other: &Affine) -> Option<Affine> {
+        self.add(&other.scale(-1)?)
+    }
+
+    /// `self · k`, `None` on coefficient overflow.
+    pub fn scale(&self, k: i64) -> Option<Affine> {
+        if k == 0 {
+            return Some(Affine::constant(0));
+        }
+        let mut out = Affine {
+            constant: self.constant.checked_mul(k)?,
+            terms: BTreeMap::new(),
+        };
+        for (&t, &c) in &self.terms {
+            out.terms.insert(t, c.checked_mul(k)?);
+        }
+        Some(out)
+    }
+
+    /// The coefficient of a term (0 if absent).
+    pub fn coef(&self, t: Term) -> i64 {
+        self.terms.get(&t).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_folds_and_cancels() {
+        let i = Term::Iter(RegionId(1));
+        let a = Affine::term(i)
+            .scale(3)
+            .unwrap()
+            .add(&Affine::constant(2))
+            .unwrap();
+        let b = Affine::term(i).scale(3).unwrap();
+        let d = a.sub(&b).unwrap();
+        assert!(d.is_constant());
+        assert_eq!(d.as_constant(), Some(2));
+        assert_eq!(a.coef(i), 3);
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_wrap() {
+        let a = Affine::constant(i64::MAX);
+        assert!(a.add(&Affine::constant(1)).is_none());
+        assert!(a.scale(2).is_none());
+    }
+}

@@ -1,0 +1,376 @@
+//! The affine access classifier: resolves each memory `Place` in a loop
+//! nest to `base + Σ stride_i · iv_i` where provable, `Unknown` otherwise.
+//!
+//! Classification works by symbolic evaluation of the index expression over
+//! the (statically single-assignment) register defs, mapping loads of
+//! recognized IVs to `init + step·iter` and loads of loop-invariant scalars
+//! to opaque symbols, then validating every term against the access's loop
+//! chain.
+
+use crate::affine::{Affine, Term};
+use crate::effects::Effects;
+use crate::loops::{def_reg, FuncLoops};
+use mir::{
+    BinOp, BlockId, FuncId, Function, GlobalId, Instr, LocalId, Module, Operand, Place, RegId, Ty,
+    UnOp, Value, VarRef,
+};
+
+/// The variable a memory access touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VarKey {
+    /// A module global.
+    Global(GlobalId),
+    /// A function local (of the access's own function).
+    Local(LocalId),
+}
+
+/// One static memory operation, in program order. `op_id` equals the
+/// position in [`crate::ModuleAnalysis::accesses`] and matches the static
+/// op ids the interpreter assigns at decode time.
+#[derive(Debug, Clone)]
+pub struct AccessInfo {
+    /// Program-order static op id.
+    pub op_id: u32,
+    /// Enclosing function.
+    pub func: FuncId,
+    /// Block and instruction index of the access.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub instr: usize,
+    /// Source line.
+    pub line: u32,
+    /// `true` for stores.
+    pub is_write: bool,
+    /// Accessed variable.
+    pub var: VarKey,
+    /// Element count of the variable (1 for scalars).
+    pub elems: u64,
+    /// Affine element index, when provable (scalar places are the constant
+    /// 0); `None` means `Unknown`.
+    pub index: Option<Affine>,
+    /// Enclosing loop chain (indexes into the function's
+    /// [`FuncLoops::loops`]), outermost first.
+    pub chain: Vec<usize>,
+}
+
+/// Per-function symbolic evaluator over register defs.
+pub struct Evaluator<'a> {
+    module: &'a Module,
+    f: &'a Function,
+    func: FuncId,
+    loops: &'a FuncLoops,
+    effects: &'a Effects,
+    /// Single static def site per register; `None` for multi-def or no-def.
+    defs: Vec<Option<(BlockId, usize)>>,
+    /// Memoized evaluation per register.
+    memo: Vec<Option<Option<Affine>>>,
+    /// Locals with at least one store per loop: `stores_in[l][local]`.
+    stores_in: Vec<Vec<bool>>,
+    /// Globals with at least one store per loop.
+    global_stores_in: Vec<Vec<bool>>,
+    /// User calls present per loop, as transitive callee union.
+    calls_in: Vec<Vec<bool>>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Build the evaluator for one function.
+    pub fn new(
+        module: &'a Module,
+        func: FuncId,
+        loops: &'a FuncLoops,
+        effects: &'a Effects,
+    ) -> Self {
+        let f = &module.functions[func.index()];
+        let mut defs: Vec<Option<(BlockId, usize)>> = vec![None; f.num_regs as usize];
+        let mut multi = vec![false; f.num_regs as usize];
+        for (bid, b) in f.iter_blocks() {
+            for (ii, instr) in b.instrs.iter().enumerate() {
+                if let Some(r) = def_reg(instr) {
+                    let slot = r.index();
+                    if defs[slot].is_some() {
+                        multi[slot] = true;
+                    }
+                    defs[slot] = Some((bid, ii));
+                }
+            }
+        }
+        for (slot, m) in multi.iter().enumerate() {
+            if *m {
+                defs[slot] = None;
+            }
+        }
+        // Per-loop store and call summaries, for invariance checks.
+        let nl = loops.loops.len();
+        let mut stores_in = vec![vec![false; f.locals.len()]; nl];
+        let mut global_stores_in = vec![vec![false; module.globals.len()]; nl];
+        let mut calls_in = vec![vec![false; module.functions.len()]; nl];
+        for (li, lp) in loops.loops.iter().enumerate() {
+            for (bid, b) in f.iter_blocks() {
+                if !lp.contains(bid) {
+                    continue;
+                }
+                for instr in &b.instrs {
+                    match instr {
+                        Instr::Store { place, .. } => match place.var {
+                            VarRef::Local(l) => stores_in[li][l.index()] = true,
+                            VarRef::Global(g) => global_stores_in[li][g.index()] = true,
+                        },
+                        Instr::Call { func: name, .. } => {
+                            if let Some((target, _)) = module.function(name) {
+                                calls_in[li][target.index()] = true;
+                                for (h, reach) in effects.callees[target.index()].iter().enumerate()
+                                {
+                                    if *reach {
+                                        calls_in[li][h] = true;
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Evaluator {
+            module,
+            f,
+            func,
+            loops,
+            effects,
+            defs,
+            memo: vec![None; f.num_regs as usize],
+            stores_in,
+            global_stores_in,
+            calls_in,
+        }
+    }
+
+    /// Whether any store to local `v` occurs within loop `li`.
+    pub fn local_stored_in(&self, li: usize, v: LocalId) -> bool {
+        self.stores_in[li][v.index()]
+    }
+
+    /// Whether global `g` may be stored during one execution of loop `li`
+    /// (directly or via a call).
+    pub fn global_stored_in(&self, li: usize, g: GlobalId) -> bool {
+        if self.global_stores_in[li][g.index()] {
+            return true;
+        }
+        self.calls_in[li]
+            .iter()
+            .enumerate()
+            .any(|(h, present)| *present && self.effects.writes[h][g.index()])
+    }
+
+    /// Whether loop `li` may (transitively) call back into this function.
+    pub fn recursive_in(&self, li: usize) -> bool {
+        self.calls_in[li][self.func.index()]
+    }
+
+    /// Whether loop `li` contains user calls at all.
+    pub fn has_calls_in(&self, li: usize) -> bool {
+        self.calls_in[li].iter().any(|&x| x)
+    }
+
+    /// Whether loop `li` contains a user call with any global effect.
+    pub fn calls_touch_globals_in(&self, li: usize) -> bool {
+        self.calls_in[li].iter().enumerate().any(|(h, present)| {
+            *present
+                && (self.effects.writes[h].iter().any(|&x| x)
+                    || self.effects.reads[h].iter().any(|&x| x))
+        })
+    }
+
+    fn eval_operand(&mut self, o: &Operand, visiting: &mut Vec<RegId>) -> Option<Affine> {
+        match o {
+            Operand::Const(Value::I64(c)) => Some(Affine::constant(*c)),
+            Operand::Const(Value::F64(_)) => None,
+            Operand::Reg(r) => self.eval_reg(*r, visiting),
+        }
+    }
+
+    fn eval_reg(&mut self, r: RegId, visiting: &mut Vec<RegId>) -> Option<Affine> {
+        if let Some(cached) = &self.memo[r.index()] {
+            return cached.clone();
+        }
+        if visiting.contains(&r) {
+            return None;
+        }
+        visiting.push(r);
+        let out = self.eval_reg_uncached(r, visiting);
+        visiting.pop();
+        self.memo[r.index()] = Some(out.clone());
+        out
+    }
+
+    fn eval_reg_uncached(&mut self, r: RegId, visiting: &mut Vec<RegId>) -> Option<Affine> {
+        let (bid, ii) = self.defs[r.index()]?;
+        let instr = self.f.blocks[bid.index()].instrs[ii].clone();
+        match instr {
+            Instr::Load {
+                place:
+                    Place {
+                        var: VarRef::Local(v),
+                        index: None,
+                    },
+                ..
+            } => {
+                let var = &self.f.locals[v.index()];
+                if var.elems != 1 || var.ty != Ty::I64 {
+                    return None;
+                }
+                // A load of a recognized IV inside its loop reads
+                // `init + step·iter` — provided it executes before the
+                // latch store within the iteration.
+                for lp in &self.loops.loops {
+                    let Some(iv) = &lp.iv else { continue };
+                    if iv.local != v || !lp.contains(bid) {
+                        continue;
+                    }
+                    let (sb, si) = iv.store_at;
+                    if bid == sb && ii > si {
+                        return None; // post-increment position
+                    }
+                    let step = Affine::term(Term::Iter(lp.region)).scale(iv.step)?;
+                    let base = match iv.init {
+                        Some(a) => Affine::constant(a),
+                        None => Affine::term(Term::IvBase(lp.region)),
+                    };
+                    return step.add(&base);
+                }
+                Some(Affine::term(Term::InvLocal(v)))
+            }
+            Instr::Load {
+                place:
+                    Place {
+                        var: VarRef::Global(g),
+                        index: None,
+                    },
+                ..
+            } => {
+                let gv = &self.module.globals[g.index()];
+                if gv.elems != 1 || gv.ty != Ty::I64 {
+                    return None;
+                }
+                Some(Affine::term(Term::InvGlobal(g)))
+            }
+            Instr::Load { .. } => None,
+            Instr::Bin { op, lhs, rhs, .. } => {
+                let a = self.eval_operand(&lhs, visiting)?;
+                let b = self.eval_operand(&rhs, visiting)?;
+                match op {
+                    BinOp::Add => a.add(&b),
+                    BinOp::Sub => a.sub(&b),
+                    BinOp::Mul => {
+                        if let Some(k) = a.as_constant() {
+                            b.scale(k)
+                        } else if let Some(k) = b.as_constant() {
+                            a.scale(k)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            Instr::Un { op, src, .. } => match op {
+                // Affine operands are integer-valued, so int conversion is
+                // the identity.
+                UnOp::ToI64 => self.eval_operand(&src, visiting),
+                UnOp::Neg => self.eval_operand(&src, visiting)?.scale(-1),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Validate an evaluated index against the access's loop chain: every
+    /// IV term must belong to a chain loop, and every invariant symbol must
+    /// actually be invariant across the outermost chain loop.
+    fn validate(&self, aff: &Affine, chain: &[usize]) -> bool {
+        let outer = chain.first().copied();
+        for term in aff.terms.keys() {
+            match *term {
+                Term::Iter(r) | Term::IvBase(r) => {
+                    let Some(li) = self.loops.of_region(r) else {
+                        return false;
+                    };
+                    if !chain.contains(&li) {
+                        return false;
+                    }
+                }
+                Term::InvLocal(v) => {
+                    if let Some(l0) = outer {
+                        if self.local_stored_in(l0, v) {
+                            return false;
+                        }
+                    }
+                }
+                Term::InvGlobal(g) => {
+                    if let Some(l0) = outer {
+                        if self.global_stored_in(l0, g) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Classify one access place; returns the validated affine index
+    /// (`Some(const 0)` for scalar places) or `None` for `Unknown`.
+    pub fn classify_place(&mut self, place: &Place, chain: &[usize]) -> Option<Affine> {
+        match &place.index {
+            None => Some(Affine::constant(0)),
+            Some(op) => {
+                let mut visiting = Vec::new();
+                let aff = self.eval_operand(op, &mut visiting)?;
+                self.validate(&aff, chain).then_some(aff)
+            }
+        }
+    }
+}
+
+/// Collect every memory access of `module` in program order (matching the
+/// interpreter's static op-id assignment), classified.
+pub fn collect_accesses(
+    module: &Module,
+    all_loops: &[FuncLoops],
+    effects: &Effects,
+) -> Vec<AccessInfo> {
+    let mut out = Vec::new();
+    for (fi, f) in module.functions.iter().enumerate() {
+        let func = FuncId(fi as u32);
+        let loops = &all_loops[fi];
+        let mut ev = Evaluator::new(module, func, loops, effects);
+        for (bid, b) in f.iter_blocks() {
+            let chain = loops.chain_of(bid);
+            for (ii, instr) in b.instrs.iter().enumerate() {
+                let (place, is_write, line) = match instr {
+                    Instr::Load { place, line, .. } => (place, false, *line),
+                    Instr::Store { place, line, .. } => (place, true, *line),
+                    _ => continue,
+                };
+                let (var, elems) = match place.var {
+                    VarRef::Global(g) => (VarKey::Global(g), module.globals[g.index()].elems),
+                    VarRef::Local(l) => (VarKey::Local(l), f.locals[l.index()].elems),
+                };
+                let index = ev.classify_place(place, &chain);
+                out.push(AccessInfo {
+                    op_id: out.len() as u32,
+                    func,
+                    block: bid,
+                    instr: ii,
+                    line,
+                    is_write,
+                    var,
+                    elems,
+                    index,
+                    chain: chain.clone(),
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,129 @@
+//! Transitive call-graph effects: which globals each function may read or
+//! write (directly or through calls), which user functions it may reach,
+//! and where threads are spawned. Guards the independence claims against
+//! callee side effects and recursion, and feeds the static race lint.
+
+use mir::{Instr, Module, Operand, Place, Value, VarRef};
+
+/// A statically-resolved `spawn` site.
+#[derive(Debug, Clone, Copy)]
+pub struct SpawnSite {
+    /// Function containing the spawn call.
+    pub caller: usize,
+    /// Spawned entry function.
+    pub target: usize,
+    /// Source line of the spawn.
+    pub line: u32,
+}
+
+/// Module-wide transitive effect sets, one bitset row per function.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// `writes[f][g]`: calling `f` may store to global `g`.
+    pub writes: Vec<Vec<bool>>,
+    /// `reads[f][g]`: calling `f` may load global `g`.
+    pub reads: Vec<Vec<bool>>,
+    /// `callees[f][h]`: `f` may (transitively) call user function `h`.
+    pub callees: Vec<Vec<bool>>,
+    /// `locks[f]`: `f` (transitively) calls `lock`/`unlock`.
+    pub locks: Vec<bool>,
+    /// All statically-resolved spawn sites.
+    pub spawns: Vec<SpawnSite>,
+}
+
+impl Effects {
+    /// Compute the fixed point over the (acyclic or cyclic) call graph.
+    pub fn of(module: &Module) -> Effects {
+        let nf = module.functions.len();
+        let ng = module.globals.len();
+        let mut e = Effects {
+            writes: vec![vec![false; ng]; nf],
+            reads: vec![vec![false; ng]; nf],
+            callees: vec![vec![false; nf]; nf],
+            locks: vec![false; nf],
+            spawns: Vec::new(),
+        };
+        // Direct effects and call edges.
+        for (fi, f) in module.functions.iter().enumerate() {
+            for b in &f.blocks {
+                for instr in &b.instrs {
+                    match instr {
+                        Instr::Load {
+                            place:
+                                Place {
+                                    var: VarRef::Global(g),
+                                    ..
+                                },
+                            ..
+                        } => e.reads[fi][g.index()] = true,
+                        Instr::Store {
+                            place:
+                                Place {
+                                    var: VarRef::Global(g),
+                                    ..
+                                },
+                            ..
+                        } => e.writes[fi][g.index()] = true,
+                        Instr::Call {
+                            func, args, line, ..
+                        } => {
+                            if func == "lock" || func == "unlock" {
+                                e.locks[fi] = true;
+                            } else if func == "spawn" {
+                                // The frontend resolves the target to a
+                                // constant function index.
+                                if let Some(Operand::Const(Value::I64(t))) = args.first() {
+                                    let t = *t as usize;
+                                    if t < nf {
+                                        e.spawns.push(SpawnSite {
+                                            caller: fi,
+                                            target: t,
+                                            line: *line,
+                                        });
+                                    }
+                                }
+                            } else if let Some((target, _)) = module.function(func) {
+                                e.callees[fi][target.index()] = true;
+                            }
+                            // Other builtins touch no program memory.
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Transitive closure: propagate callee effects until stable.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for fi in 0..nf {
+                for h in 0..nf {
+                    if !e.callees[fi][h] {
+                        continue;
+                    }
+                    for h2 in 0..nf {
+                        if e.callees[h][h2] && !e.callees[fi][h2] {
+                            e.callees[fi][h2] = true;
+                            changed = true;
+                        }
+                    }
+                    for g in 0..ng {
+                        if e.writes[h][g] && !e.writes[fi][g] {
+                            e.writes[fi][g] = true;
+                            changed = true;
+                        }
+                        if e.reads[h][g] && !e.reads[fi][g] {
+                            e.reads[fi][g] = true;
+                            changed = true;
+                        }
+                    }
+                    if e.locks[h] && !e.locks[fi] {
+                        e.locks[fi] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        e
+    }
+}

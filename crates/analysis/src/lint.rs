@@ -1,0 +1,328 @@
+//! Static lint pass over MIR modules: reads of possibly-uninitialized
+//! scalar locals, provably out-of-bounds array indices, and race hints on
+//! globals shared between threads without synchronization.
+
+use crate::affine::Term;
+use crate::classify::{AccessInfo, VarKey};
+use crate::effects::Effects;
+use crate::loops::FuncLoops;
+use mir::cfg::{predecessors, reverse_post_order};
+use mir::{Instr, Module, Place, VarRef};
+use std::collections::BTreeSet;
+
+/// Lint category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// A scalar local may be read before any store on some path.
+    UninitRead,
+    /// An array index that is provably outside `0..elems` on every
+    /// execution of the access.
+    ConstOob,
+    /// An affine index whose provable value range leaves `0..elems` for
+    /// some iteration.
+    RangeOob,
+    /// A global touched by multiple threads, with at least one writer and
+    /// no lock discipline on some accessor.
+    RaceHint,
+}
+
+impl LintKind {
+    /// Stable lowercase code for reports and CLI output.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintKind::UninitRead => "uninit-read",
+            LintKind::ConstOob => "const-oob",
+            LintKind::RangeOob => "range-oob",
+            LintKind::RaceHint => "race-hint",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// Category.
+    pub kind: LintKind,
+    /// Function the finding is in (empty for module-level race hints that
+    /// span functions).
+    pub func: String,
+    /// Variable concerned.
+    pub var: String,
+    /// Source line (0 when spanning multiple sites).
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Run every lint over the module.
+pub fn lint_module(
+    module: &Module,
+    all_loops: &[FuncLoops],
+    accesses: &[AccessInfo],
+    effects: &Effects,
+) -> Vec<Lint> {
+    let mut out = Vec::new();
+    uninit_reads(module, &mut out);
+    oob_indices(module, all_loops, accesses, &mut out);
+    race_hints(module, effects, &mut out);
+    out
+}
+
+/// Forward must-initialize dataflow over scalar locals. Parameters start
+/// initialized; array locals are exempt (partial writes cannot be tracked
+/// element-wise here). A load of a scalar local outside the must-init set
+/// may observe the frame's default value.
+fn uninit_reads(module: &Module, out: &mut Vec<Lint>) {
+    for f in &module.functions {
+        let nl = f.locals.len();
+        let preds = predecessors(f);
+        let rpo = reverse_post_order(f);
+        let entry_set: Vec<bool> = f
+            .locals
+            .iter()
+            .map(|v| v.is_param || v.elems != 1)
+            .collect();
+        // Greatest fixed point: start every non-entry block at "all
+        // initialized" and intersect over predecessors.
+        let nb = f.blocks.len();
+        let mut in_sets: Vec<Vec<bool>> = vec![vec![true; nl]; nb];
+        let entry = f.entry();
+        in_sets[entry.index()] = entry_set;
+        let transfer = |bid: mir::BlockId, mut set: Vec<bool>| -> Vec<bool> {
+            for instr in &f.blocks[bid.index()].instrs {
+                if let Instr::Store {
+                    place:
+                        Place {
+                            var: VarRef::Local(v),
+                            index: None,
+                        },
+                    ..
+                } = instr
+                {
+                    set[v.index()] = true;
+                }
+            }
+            set
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bid in &rpo {
+                if bid == entry {
+                    continue;
+                }
+                let mut newin = vec![true; nl];
+                let mut any_pred = false;
+                for &p in &preds[bid.index()] {
+                    any_pred = true;
+                    let pout = transfer(p, in_sets[p.index()].clone());
+                    for (slot, val) in newin.iter_mut().enumerate() {
+                        *val = *val && pout[slot];
+                    }
+                }
+                if !any_pred {
+                    // Unreachable block: treat as fully initialized.
+                    newin = vec![true; nl];
+                }
+                if newin != in_sets[bid.index()] {
+                    in_sets[bid.index()] = newin;
+                    changed = true;
+                }
+            }
+        }
+        // Report loads ahead of the must-init frontier, once per site.
+        let mut seen = BTreeSet::new();
+        for (bid, b) in f.iter_blocks() {
+            let mut set = in_sets[bid.index()].clone();
+            for instr in &b.instrs {
+                match instr {
+                    Instr::Load {
+                        place:
+                            Place {
+                                var: VarRef::Local(v),
+                                index: None,
+                            },
+                        line,
+                        ..
+                    } if !set[v.index()] && seen.insert((v.index(), *line)) => {
+                        let name = &f.locals[v.index()].name;
+                        out.push(Lint {
+                            kind: LintKind::UninitRead,
+                            func: f.name.clone(),
+                            var: name.clone(),
+                            line: *line,
+                            message: format!(
+                                "`{name}` may be read before initialization in `{}`",
+                                f.name
+                            ),
+                        });
+                    }
+                    Instr::Store {
+                        place:
+                            Place {
+                                var: VarRef::Local(v),
+                                index: None,
+                            },
+                        ..
+                    } => set[v.index()] = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Flag classified indices whose provable range leaves the array bounds:
+/// constant indices exactly, affine indices via iteration-range interval
+/// arithmetic when trip counts are known.
+fn oob_indices(
+    module: &Module,
+    all_loops: &[FuncLoops],
+    accesses: &[AccessInfo],
+    out: &mut Vec<Lint>,
+) {
+    for a in accesses {
+        // Scalar places carry the implicit constant index 0: always fine.
+        let f = &module.functions[a.func.index()];
+        let is_indexed = matches!(
+            f.blocks[a.block.index()].instrs.get(a.instr),
+            Some(Instr::Load {
+                place: Place { index: Some(_), .. },
+                ..
+            }) | Some(Instr::Store {
+                place: Place { index: Some(_), .. },
+                ..
+            })
+        );
+        if !is_indexed {
+            continue;
+        }
+        let Some(aff) = &a.index else { continue };
+        let loops = &all_loops[a.func.index()];
+        let var_name = match a.var {
+            VarKey::Global(g) => module.globals[g.index()].name.clone(),
+            VarKey::Local(v) => f.locals[v.index()].name.clone(),
+        };
+        if let Some(c) = aff.as_constant() {
+            if c < 0 || (c as u64) >= a.elems {
+                out.push(Lint {
+                    kind: LintKind::ConstOob,
+                    func: f.name.clone(),
+                    var: var_name,
+                    line: a.line,
+                    message: format!(
+                        "index {c} is outside `{}`'s bounds 0..{}",
+                        match a.var {
+                            VarKey::Global(g) => &module.globals[g.index()].name,
+                            VarKey::Local(v) => &f.locals[v.index()].name,
+                        },
+                        a.elems
+                    ),
+                });
+            }
+            continue;
+        }
+        // Interval over known iteration ranges; any unbounded term makes
+        // the range unknown and the access is left alone.
+        let mut lo = aff.constant as i128;
+        let mut hi = aff.constant as i128;
+        let mut bounded = true;
+        for (&t, &c) in &aff.terms {
+            let range = match t {
+                Term::Iter(r) => loops
+                    .of_region(r)
+                    .and_then(|li| loops.loops[li].iv.as_ref())
+                    .and_then(|iv| iv.trip_count)
+                    .map(|n| (0i128, n.saturating_sub(1) as i128)),
+                _ => None,
+            };
+            match range {
+                Some((ra, rb)) => {
+                    let (p, q) = (c as i128 * ra, c as i128 * rb);
+                    lo += p.min(q);
+                    hi += p.max(q);
+                }
+                None => {
+                    bounded = false;
+                    break;
+                }
+            }
+        }
+        if bounded && (lo < 0 || hi >= a.elems as i128) {
+            out.push(Lint {
+                kind: LintKind::RangeOob,
+                func: f.name.clone(),
+                var: var_name.clone(),
+                line: a.line,
+                message: format!(
+                    "index range {lo}..={hi} leaves `{var_name}`'s bounds 0..{}",
+                    a.elems
+                ),
+            });
+        }
+    }
+}
+
+/// For spawning modules: a global with two thread-side accessors, at least
+/// one of them writing, where some accessor thread never locks, is a
+/// static race hint. Thread sides are the spawned entry functions plus the
+/// spawning caller, each taken with its transitive effects.
+fn race_hints(module: &Module, effects: &Effects, out: &mut Vec<Lint>) {
+    if effects.spawns.is_empty() {
+        return;
+    }
+    // Distinct thread roots.
+    let mut roots: BTreeSet<usize> = BTreeSet::new();
+    for s in &effects.spawns {
+        roots.insert(s.target);
+        roots.insert(s.caller);
+    }
+    let reads_w_closure = |fi: usize, g: usize| -> (bool, bool) {
+        let mut rd = effects.reads[fi][g];
+        let mut wr = effects.writes[fi][g];
+        for (h, reach) in effects.callees[fi].iter().enumerate() {
+            if *reach {
+                rd |= effects.reads[h][g];
+                wr |= effects.writes[h][g];
+            }
+        }
+        (rd, wr)
+    };
+    let locks_closure = |fi: usize| -> bool {
+        effects.locks[fi]
+            || effects.callees[fi]
+                .iter()
+                .enumerate()
+                .any(|(h, reach)| *reach && effects.locks[h])
+    };
+    for (gi, gv) in module.globals.iter().enumerate() {
+        let mut readers = 0u32;
+        let mut writers = 0u32;
+        let mut unlocked = false;
+        for &fi in &roots {
+            let (rd, wr) = reads_w_closure(fi, gi);
+            if rd || wr {
+                if wr {
+                    writers += 1;
+                }
+                readers += 1;
+                if !locks_closure(fi) {
+                    unlocked = true;
+                }
+            }
+        }
+        if writers >= 1 && readers >= 2 && unlocked {
+            out.push(Lint {
+                kind: LintKind::RaceHint,
+                func: String::new(),
+                var: gv.name.clone(),
+                line: 0,
+                message: format!(
+                    "global `{}` is shared across threads with a writer and \
+                     no lock discipline on every side",
+                    gv.name
+                ),
+            });
+        }
+    }
+}

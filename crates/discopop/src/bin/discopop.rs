@@ -20,6 +20,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   discopop analyze <file> [options]   compile, profile, discover, report
+  discopop lint <file>                static lints only (no execution)
   discopop report <report.json>       render a saved JSON report
   discopop engines                    list --engine specs
 
@@ -35,15 +36,24 @@ analyze options:
                     growing; the JSON report records what was sacrificed
   --deadline SECS   wall-clock limit for the profiling run (fractions ok);
                     exceeding it aborts with a partial-profile diagnostic
+  --static          run the static pre-pass (affine classification,
+                    independence proofs, lints); adds the `static` block to
+                    the JSON report and cross-checks every proven claim
+                    against the dynamic dependences (a contradiction is an
+                    analysis failure)
+  --text            also print the dependences in the line-oriented
+                    DiscoPoP text format (NOM/BGN/END lines)
   --json PATH       write the versioned JSON report to PATH (`-` = stdout)
   --quiet           suppress the human-readable report and progress lines
 
-exit codes: 0 success, 1 analysis/usage failure, 2 unreadable input";
+exit codes: 0 success, 1 analysis/usage failure (including lint findings
+and cross-check violations), 2 unreadable input";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("report") => render_saved(&args[1..]),
         Some("engines") => {
             println!("engine specs accepted by --engine:");
@@ -86,6 +96,8 @@ struct AnalyzeArgs {
     batch_cap: Option<usize>,
     max_memory: Option<usize>,
     deadline: Option<std::time::Duration>,
+    statics: bool,
+    text: bool,
     json: Option<String>,
     quiet: bool,
 }
@@ -115,6 +127,8 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
         batch_cap: None,
         max_memory: None,
         deadline: None,
+        statics: false,
+        text: false,
         json: None,
         quiet: false,
     };
@@ -142,6 +156,8 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
                 }
                 parsed.deadline = Some(std::time::Duration::from_secs_f64(secs));
             }
+            "--static" => parsed.statics = true,
+            "--text" => parsed.text = true,
             "--json" => parsed.json = Some(value_of("--json")?),
             "--quiet" => parsed.quiet = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
@@ -180,7 +196,8 @@ fn analyze(args: &[String]) -> ExitCode {
 
     let mut analysis = Analysis::new()
         .skip_loops(args.skip_loops)
-        .lifetime(args.lifetime);
+        .lifetime(args.lifetime)
+        .with_static(args.statics);
     if let Some(cap) = args.batch_cap {
         analysis = analysis.batch_cap(cap);
     }
@@ -205,6 +222,13 @@ fn analyze(args: &[String]) -> ExitCode {
                 dependences,
             } => {
                 eprintln!("[2/3] profiled with {engine}: {steps} instructions, {dependences} distinct dependences");
+            }
+            StageEvent::StaticAnalyzed {
+                loops,
+                claims,
+                lints,
+            } => {
+                eprintln!("[2.5/3] static pre-pass: {loops} loops, {claims} independence claims, {lints} lints");
             }
             StageEvent::Discovered {
                 loops,
@@ -244,11 +268,37 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     };
 
+    // The static-vs-dynamic oracle: a statically-proven independence
+    // contradicted by an observed dependence is a soundness failure and
+    // must abort the run visibly.
+    if let Some(statics) = &report.statics {
+        let violations = discopop::cross_check(compiled.program(), statics, &report.profile.deps);
+        if violations.is_empty() {
+            if !args.quiet {
+                eprintln!(
+                    "cross-check: {} independence claims, 0 contradicted",
+                    statics.claims.len()
+                );
+            }
+        } else {
+            for v in &violations {
+                eprintln!("discopop: cross-check violation: {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
     // `--json -` owns stdout: the JSON document must stay machine-parseable,
     // so the human-readable report is suppressed as if --quiet were given.
     let json_on_stdout = args.json.as_deref() == Some("-");
     if !args.quiet && !json_on_stdout {
         print!("{}", discopop::render_report(compiled.program(), &report));
+    }
+    if args.text && !json_on_stdout {
+        print!(
+            "{}",
+            discopop::render_dependence_text(compiled.program(), &report)
+        );
     }
     if let Some(path) = &args.json {
         let json = report.to_json_string(compiled.program());
@@ -262,6 +312,48 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `discopop lint <file>`: compile and run the static lints, nothing else.
+/// Exit 0 when clean, 1 when findings (or compile failure), 2 on
+/// unreadable input.
+fn lint(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("discopop lint: no input file\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("discopop: cannot read `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("module");
+    let module = match discopop::lang::compile(&source, name) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("discopop: compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let statics = discopop::StaticReport::of(&module);
+    if statics.lints.is_empty() {
+        println!("{name}: no lint findings");
+        return ExitCode::SUCCESS;
+    }
+    for l in &statics.lints {
+        if l.line > 0 {
+            println!("{path}:{}: [{}] {}", l.line, l.kind.code(), l.message);
+        } else {
+            println!("{path}: [{}] {}", l.kind.code(), l.message);
+        }
+    }
+    println!("{} finding(s)", statics.lints.len());
+    ExitCode::FAILURE
 }
 
 fn render_saved(args: &[String]) -> ExitCode {

@@ -62,6 +62,7 @@
 //!   (Ch. 5)
 //! - [`report`]: the versioned JSON wire format of a [`Report`]
 
+pub use analysis;
 pub use apps;
 pub use cu;
 pub use discovery;
@@ -88,6 +89,10 @@ pub struct Report {
     pub profile: profiler::ProfileOutput,
     /// Discovery results: loop classes, tasks, ranking.
     pub discovery: discovery::Discovery,
+    /// Static pre-pass results (affine coverage, independence claims,
+    /// lints); present when the pipeline ran with
+    /// [`Analysis::with_static`].
+    pub statics: Option<StaticReport>,
 }
 
 impl Report {
@@ -182,6 +187,15 @@ pub enum StageEvent<'a> {
         /// Distinct (merged) dependences.
         dependences: usize,
     },
+    /// The static pre-pass finished (only with [`Analysis::with_static`]).
+    StaticAnalyzed {
+        /// Loops examined.
+        loops: usize,
+        /// Independence claims proven.
+        claims: usize,
+        /// Lint findings.
+        lints: usize,
+    },
     /// Parallelism discovery finished.
     Discovered {
         /// Loops classified.
@@ -195,6 +209,138 @@ pub enum StageEvent<'a> {
 
 /// Boxed progress sink registered with [`Analysis::on_progress`].
 pub type ProgressSink = Box<dyn FnMut(&StageEvent<'_>)>;
+
+/// Results of the static pre-pass ([`analysis`]): per-loop affine coverage,
+/// statically-proven independence claims, and lint findings.
+#[derive(Debug, Clone, Serialize)]
+pub struct StaticReport {
+    /// Per-loop affine coverage and independence statistics.
+    pub loops: Vec<analysis::LoopReport>,
+    /// Proven-independent `(loop, var, line pair)` claims — each one a
+    /// falsifiable prediction about the dynamic profile (see
+    /// [`cross_check`]).
+    pub claims: Vec<analysis::Claim>,
+    /// Lint findings (uninitialized reads, out-of-bounds indices, race
+    /// hints).
+    pub lints: Vec<analysis::Lint>,
+    /// The module spawns threads, so claims were suppressed.
+    pub spawns_threads: bool,
+}
+
+impl StaticReport {
+    /// Run the static pipeline over a module.
+    pub fn of(module: &mir::Module) -> StaticReport {
+        let a = analysis::analyze(module);
+        StaticReport {
+            loops: a.loop_reports,
+            claims: a.claims,
+            lints: a.lints,
+            spawns_threads: a.spawns_threads,
+        }
+    }
+
+    /// `(affine_ops, mem_ops)` summed over every loop.
+    pub fn coverage(&self) -> (u32, u32) {
+        self.loops
+            .iter()
+            .fold((0, 0), |(a, m), r| (a + r.affine_ops, m + r.mem_ops))
+    }
+
+    /// Fraction of in-loop memory ops proven affine (1.0 for loop-free
+    /// programs).
+    pub fn affine_fraction(&self) -> f64 {
+        let (a, m) = self.coverage();
+        if m == 0 {
+            1.0
+        } else {
+            f64::from(a) / f64::from(m)
+        }
+    }
+
+    /// Loops whose cross-iteration conflicts were all statically excluded.
+    pub fn doall_candidates(&self) -> impl Iterator<Item = &analysis::LoopReport> {
+        self.loops.iter().filter(|l| l.doall_candidate)
+    }
+}
+
+/// A statically-proven independence contradicted by a dynamically-observed
+/// dependence — by construction this must never happen; any instance is a
+/// soundness bug in the static analysis (or the profiler).
+#[derive(Debug, Clone)]
+pub struct CrossCheckViolation {
+    /// The static claim.
+    pub claim: analysis::Claim,
+    /// The observed dependence contradicting it.
+    pub dep: profiler::Dep,
+}
+
+impl std::fmt::Display for CrossCheckViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "claim `{}` independent across loop (f{}, r{}) at lines {}-{} \
+             contradicted by dynamic {} {} <- {}",
+            self.claim.var_name,
+            self.claim.func.index(),
+            self.claim.region.index(),
+            self.claim.line_a,
+            self.claim.line_b,
+            self.dep.ty,
+            self.dep.sink,
+            self.dep.source,
+        )
+    }
+}
+
+/// The static-vs-dynamic oracle: find every dynamically-observed dependence
+/// that contradicts a static independence claim. A claim covers a
+/// `(carrying loop, variable, unordered line pair)`; a dependence
+/// contradicts it when it is carried by exactly that loop, names that
+/// variable, and connects those lines. INIT entries are bookkeeping, not
+/// dependences, and are skipped. An empty result is the expected outcome on
+/// every engine.
+pub fn cross_check(
+    program: &interp::Program,
+    statics: &StaticReport,
+    deps: &profiler::DepSet,
+) -> Vec<CrossCheckViolation> {
+    use std::collections::HashMap;
+    let mut by_key: HashMap<(u32, u32, &str, u32, u32), &analysis::Claim> = HashMap::new();
+    for c in &statics.claims {
+        by_key.insert(
+            (
+                c.func.index() as u32,
+                c.region.index() as u32,
+                c.var_name.as_str(),
+                c.line_a,
+                c.line_b,
+            ),
+            c,
+        );
+    }
+    let mut out = Vec::new();
+    for d in deps.sorted() {
+        if d.ty == profiler::DepType::Init || d.var == u32::MAX {
+            continue;
+        }
+        let Some((cf, cr)) = d.carried_by else {
+            continue;
+        };
+        let (la, lb) = if d.source.line <= d.sink.line {
+            (d.source.line, d.sink.line)
+        } else {
+            (d.sink.line, d.source.line)
+        };
+        let var = program.symbol(d.var);
+        if let Some(&claim) = by_key.get(&(cf, cr, var, la, lb)) {
+            out.push(CrossCheckViolation {
+                claim: claim.clone(),
+                dep: d,
+            });
+        }
+    }
+    out
+}
 
 /// The staged analysis pipeline: configure once, then drive
 /// compile → profile → discover, or let [`Analysis::analyze`] run all three.
@@ -222,6 +368,7 @@ pub struct Analysis {
     lifetime: bool,
     batch_cap: usize,
     budget: Budget,
+    statics: bool,
     progress: Option<ProgressSink>,
 }
 
@@ -236,6 +383,7 @@ impl Default for Analysis {
             lifetime: p.lifetime,
             batch_cap: p.run.batch_cap,
             budget: p.budget,
+            statics: false,
             progress: None,
         }
     }
@@ -248,6 +396,7 @@ impl std::fmt::Debug for Analysis {
             .field("skip_loops", &self.skip_loops)
             .field("lifetime", &self.lifetime)
             .field("batch_cap", &self.batch_cap)
+            .field("statics", &self.statics)
             .field("progress", &self.progress.is_some())
             .finish()
     }
@@ -310,6 +459,15 @@ impl Analysis {
     /// Shorthand: set only the deadline of the [`Budget`].
     pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
         self.budget.deadline = Some(deadline);
+        self
+    }
+
+    /// Enable the static pre-pass: [`Report::statics`] is populated with
+    /// affine coverage, independence claims, and lints, and the
+    /// [`StageEvent::StaticAnalyzed`] event fires between profile and
+    /// discovery. Off by default.
+    pub fn with_static(mut self, on: bool) -> Self {
+        self.statics = on;
         self
     }
 
@@ -418,6 +576,15 @@ impl Analysis {
         name: &str,
         profiled: Profiled,
     ) -> Report {
+        let statics = self.statics.then(|| {
+            let s = StaticReport::of(&program.module);
+            self.notify(StageEvent::StaticAnalyzed {
+                loops: s.loops.len(),
+                claims: s.claims.len(),
+                lints: s.lints.len(),
+            });
+            s
+        });
         let discovery = discovery::discover(program, &profiled.output.deps, &profiled.output.pet);
         self.notify(StageEvent::Discovered {
             loops: discovery.loops.len(),
@@ -429,6 +596,7 @@ impl Analysis {
             engine: profiled.engine,
             profile: profiled.output,
             discovery,
+            statics,
         }
     }
 
@@ -524,6 +692,26 @@ pub fn analyze_program(program: &interp::Program) -> Result<Report, Error> {
     Analysis::new().analyze_program(program)
 }
 
+/// Render the dependence set in the DiscoPoP text format (Fig. 2.1 /
+/// Fig. 2.3): `NOM` lines with aggregated dependences, `BGN`/`END` control
+/// spans — the original tooling's line-oriented output, as opposed to the
+/// JSON report.
+pub fn render_dependence_text(program: &interp::Program, report: &Report) -> String {
+    let spans = profiler::control_spans(program, &report.profile.pet);
+    let multithreaded = report
+        .profile
+        .deps
+        .sorted()
+        .iter()
+        .any(|d| d.sink_thread != 0 || d.source_thread != 0);
+    profiler::render_text(
+        &report.profile.deps,
+        &|sym| program.symbol(sym).to_string(),
+        &spans,
+        multithreaded,
+    )
+}
+
 /// Render a human-readable report of the ranked suggestions.
 pub fn render_report(program: &interp::Program, report: &Report) -> String {
     use std::fmt::Write;
@@ -578,6 +766,44 @@ pub fn render_report(program: &interp::Program, report: &Report) -> String {
             );
         }
     }
+    if let Some(s) = &report.statics {
+        let (aff, mem) = s.coverage();
+        let _ = writeln!(
+            out,
+            "\nStatic analysis: {aff}/{mem} in-loop memory ops affine ({:.1}%), \
+             {} independence claims, {} doall candidates, {} lint findings{}",
+            s.affine_fraction() * 100.0,
+            s.claims.len(),
+            s.doall_candidates().count(),
+            s.lints.len(),
+            if s.spawns_threads {
+                " (threaded module: claims suppressed)"
+            } else {
+                ""
+            }
+        );
+        for l in &s.loops {
+            let _ = writeln!(
+                out,
+                "  loop at lines {}-{} in {}: {}/{} affine, {}/{} pairs proven{}",
+                l.start_line,
+                l.end_line,
+                l.func_name,
+                l.affine_ops,
+                l.mem_ops,
+                l.proven_pairs,
+                l.tested_pairs,
+                if l.doall_candidate {
+                    " [static doall candidate]"
+                } else {
+                    ""
+                }
+            );
+        }
+        for l in &s.lints {
+            let _ = writeln!(out, "  lint [{}]: {}", l.kind.code(), l.message);
+        }
+    }
     out
 }
 
@@ -625,17 +851,21 @@ mod tests {
         use std::rc::Rc;
         let seen: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
         let sink = Rc::clone(&seen);
-        let mut analysis = Analysis::new().on_progress(move |ev| {
+        let mut analysis = Analysis::new().with_static(true).on_progress(move |ev| {
             sink.borrow_mut().push(match ev {
                 StageEvent::Compiled { .. } => "compiled",
                 StageEvent::Profiled { .. } => "profiled",
+                StageEvent::StaticAnalyzed { .. } => "static",
                 StageEvent::Discovered { .. } => "discovered",
             });
         });
         analysis
             .analyze("global int g;\nfn main() { g = 1; int x = g; }", "progress")
             .unwrap();
-        assert_eq!(*seen.borrow(), vec!["compiled", "profiled", "discovered"]);
+        assert_eq!(
+            *seen.borrow(),
+            vec!["compiled", "profiled", "static", "discovered"]
+        );
     }
 
     #[test]

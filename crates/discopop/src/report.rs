@@ -8,11 +8,11 @@
 //! and from [`jsonio::Value`]. Downstream tools consume the JSON; this
 //! module is the one place its shape is defined.
 //!
-//! # Schema (version 3)
+//! # Schema (version 4)
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "program": "demo",
 //!   "engine": "serial-perfect",
 //!   "profile": {
@@ -45,9 +45,24 @@
 //!                   "cu_imbalance": 0.0, "score": 39.7}],
 //!     "patterns": [{"name": "geometric decomposition", "loop_line": 3,
 //!                   "width": 64}]
+//!   },
+//!   "static": {
+//!     "spawns_threads": false, "affine_ops": 2, "mem_ops": 2,
+//!     "loops": [{"func": 0, "func_name": "main", "region": 1,
+//!                "start_line": 3, "end_line": 5, "mem_ops": 2,
+//!                "affine_ops": 2, "has_iv": true, "trip_count": 64,
+//!                "tested_pairs": 3, "proven_pairs": 3,
+//!                "doall_candidate": true}],
+//!     "claims": [{"func": 0, "region": 1, "var": "a",
+//!                 "line_a": 4, "line_b": 4}],
+//!     "lints": [{"kind": "const-oob", "func": "main", "var": "a",
+//!                "line": 9, "message": "..."}]
 //!   }
 //! }
 //! ```
+//!
+//! The `static` block is only present for runs with the static pre-pass
+//! enabled ([`crate::Analysis::with_static`]).
 
 use crate::Report;
 use discovery::ranking::SuggestionTarget;
@@ -67,7 +82,11 @@ use profiler::{Dep, PetNodeKind};
 ///   governed runs, and `profile.parallel` gained `worker_recoveries`.
 ///   Version-1/2 documents are still read; `resource` defaults to absent
 ///   and `worker_recoveries` to 0.
-pub const SCHEMA_VERSION: u32 = 3;
+/// - **4**: new top-level `static` block (per-loop affine coverage,
+///   statically-proven independence claims, lint findings) for runs with
+///   the static pre-pass enabled. Version-1/2/3 documents are still read;
+///   `static` defaults to absent.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Oldest schema version [`ReportDoc::from_json`] still reads.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -1007,6 +1026,260 @@ impl PatternDoc {
     }
 }
 
+/// Per-loop static coverage and independence statistics (schema ≥ 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticLoopDoc {
+    /// Function index.
+    pub func: u32,
+    /// Function name.
+    pub func_name: String,
+    /// Region index within the function.
+    pub region: u32,
+    /// First source line.
+    pub start_line: u32,
+    /// Last source line.
+    pub end_line: u32,
+    /// Static memory ops inside the loop.
+    pub mem_ops: u32,
+    /// Of those, classified affine.
+    pub affine_ops: u32,
+    /// A canonical induction variable was recognized.
+    pub has_iv: bool,
+    /// Constant trip count, when provable.
+    pub trip_count: Option<u64>,
+    /// Same-variable pairs tested for independence.
+    pub tested_pairs: u32,
+    /// Pairs proven independent.
+    pub proven_pairs: u32,
+    /// All cross-iteration conflicts statically excluded.
+    pub doall_candidate: bool,
+}
+
+impl StaticLoopDoc {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("func", Value::from(self.func)),
+            ("func_name", Value::from(self.func_name.as_str())),
+            ("region", Value::from(self.region)),
+            ("start_line", Value::from(self.start_line)),
+            ("end_line", Value::from(self.end_line)),
+            ("mem_ops", Value::from(self.mem_ops)),
+            ("affine_ops", Value::from(self.affine_ops)),
+            ("has_iv", Value::from(self.has_iv)),
+            ("trip_count", Value::from(self.trip_count)),
+            ("tested_pairs", Value::from(self.tested_pairs)),
+            ("proven_pairs", Value::from(self.proven_pairs)),
+            ("doall_candidate", Value::from(self.doall_candidate)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<StaticLoopDoc> {
+        Ok(StaticLoopDoc {
+            func: get_u32(v, "func")?,
+            func_name: get_str(v, "func_name")?,
+            region: get_u32(v, "region")?,
+            start_line: get_u32(v, "start_line")?,
+            end_line: get_u32(v, "end_line")?,
+            mem_ops: get_u32(v, "mem_ops")?,
+            affine_ops: get_u32(v, "affine_ops")?,
+            has_iv: get_bool(v, "has_iv")?,
+            trip_count: match field(v, "trip_count")? {
+                Value::Null => None,
+                other => Some(other.as_u64().ok_or_else(|| {
+                    SchemaError("`trip_count` must be an integer or null".into())
+                })?),
+            },
+            tested_pairs: get_u32(v, "tested_pairs")?,
+            proven_pairs: get_u32(v, "proven_pairs")?,
+            doall_candidate: get_bool(v, "doall_candidate")?,
+        })
+    }
+}
+
+/// One statically-proven independence claim (schema ≥ 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimDoc {
+    /// Function index of the carrying loop.
+    pub func: u32,
+    /// Region index of the carrying loop.
+    pub region: u32,
+    /// Variable name.
+    pub var: String,
+    /// Smaller source line of the proven pair.
+    pub line_a: u32,
+    /// Larger source line of the proven pair.
+    pub line_b: u32,
+}
+
+impl ClaimDoc {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("func", Value::from(self.func)),
+            ("region", Value::from(self.region)),
+            ("var", Value::from(self.var.as_str())),
+            ("line_a", Value::from(self.line_a)),
+            ("line_b", Value::from(self.line_b)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<ClaimDoc> {
+        Ok(ClaimDoc {
+            func: get_u32(v, "func")?,
+            region: get_u32(v, "region")?,
+            var: get_str(v, "var")?,
+            line_a: get_u32(v, "line_a")?,
+            line_b: get_u32(v, "line_b")?,
+        })
+    }
+}
+
+/// One lint finding (schema ≥ 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintDoc {
+    /// Stable lint code (`uninit-read`, `const-oob`, `range-oob`,
+    /// `race-hint`).
+    pub kind: String,
+    /// Function (empty for module-level findings).
+    pub func: String,
+    /// Variable concerned.
+    pub var: String,
+    /// Source line (0 when spanning multiple sites).
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl LintDoc {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("kind", Value::from(self.kind.as_str())),
+            ("func", Value::from(self.func.as_str())),
+            ("var", Value::from(self.var.as_str())),
+            ("line", Value::from(self.line)),
+            ("message", Value::from(self.message.as_str())),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<LintDoc> {
+        Ok(LintDoc {
+            kind: get_str(v, "kind")?,
+            func: get_str(v, "func")?,
+            var: get_str(v, "var")?,
+            line: get_u32(v, "line")?,
+            message: get_str(v, "message")?,
+        })
+    }
+}
+
+/// The static pre-pass section of the report (schema ≥ 4; absent for runs
+/// without [`crate::Analysis::with_static`] and in older documents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticDoc {
+    /// The module spawns threads (claims suppressed).
+    pub spawns_threads: bool,
+    /// In-loop memory ops classified affine, summed over loops.
+    pub affine_ops: u32,
+    /// In-loop memory ops total.
+    pub mem_ops: u32,
+    /// Per-loop statistics.
+    pub loops: Vec<StaticLoopDoc>,
+    /// Proven independence claims.
+    pub claims: Vec<ClaimDoc>,
+    /// Lint findings.
+    pub lints: Vec<LintDoc>,
+}
+
+impl StaticDoc {
+    fn from_static(s: &crate::StaticReport) -> StaticDoc {
+        let (affine_ops, mem_ops) = s.coverage();
+        StaticDoc {
+            spawns_threads: s.spawns_threads,
+            affine_ops,
+            mem_ops,
+            loops: s
+                .loops
+                .iter()
+                .map(|l| StaticLoopDoc {
+                    func: l.func.index() as u32,
+                    func_name: l.func_name.clone(),
+                    region: l.region.index() as u32,
+                    start_line: l.start_line,
+                    end_line: l.end_line,
+                    mem_ops: l.mem_ops,
+                    affine_ops: l.affine_ops,
+                    has_iv: l.has_iv,
+                    trip_count: l.trip_count,
+                    tested_pairs: l.tested_pairs,
+                    proven_pairs: l.proven_pairs,
+                    doall_candidate: l.doall_candidate,
+                })
+                .collect(),
+            claims: s
+                .claims
+                .iter()
+                .map(|c| ClaimDoc {
+                    func: c.func.index() as u32,
+                    region: c.region.index() as u32,
+                    var: c.var_name.clone(),
+                    line_a: c.line_a,
+                    line_b: c.line_b,
+                })
+                .collect(),
+            lints: s
+                .lints
+                .iter()
+                .map(|l| LintDoc {
+                    kind: l.kind.code().to_string(),
+                    func: l.func.clone(),
+                    var: l.var.clone(),
+                    line: l.line,
+                    message: l.message.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("spawns_threads", Value::from(self.spawns_threads)),
+            ("affine_ops", Value::from(self.affine_ops)),
+            ("mem_ops", Value::from(self.mem_ops)),
+            (
+                "loops",
+                Value::Array(self.loops.iter().map(StaticLoopDoc::to_json).collect()),
+            ),
+            (
+                "claims",
+                Value::Array(self.claims.iter().map(ClaimDoc::to_json).collect()),
+            ),
+            (
+                "lints",
+                Value::Array(self.lints.iter().map(LintDoc::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<StaticDoc> {
+        Ok(StaticDoc {
+            spawns_threads: get_bool(v, "spawns_threads")?,
+            affine_ops: get_u32(v, "affine_ops")?,
+            mem_ops: get_u32(v, "mem_ops")?,
+            loops: get_array(v, "loops")?
+                .iter()
+                .map(StaticLoopDoc::from_json)
+                .collect::<DocResult<_>>()?,
+            claims: get_array(v, "claims")?
+                .iter()
+                .map(ClaimDoc::from_json)
+                .collect::<DocResult<_>>()?,
+            lints: get_array(v, "lints")?
+                .iter()
+                .map(LintDoc::from_json)
+                .collect::<DocResult<_>>()?,
+        })
+    }
+}
+
 /// The discovery section of the report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiscoveryDoc {
@@ -1102,6 +1375,9 @@ pub struct ReportDoc {
     pub profile: ProfileDoc,
     /// Discovery section.
     pub discovery: DiscoveryDoc,
+    /// Static pre-pass section (schema ≥ 4; `None` when the run did not
+    /// enable static analysis or the document predates the block).
+    pub statics: Option<StaticDoc>,
 }
 
 impl ReportDoc {
@@ -1245,6 +1521,7 @@ impl ReportDoc {
                 ranked,
                 patterns,
             },
+            statics: report.statics.as_ref().map(StaticDoc::from_static),
         }
     }
 
@@ -1256,6 +1533,13 @@ impl ReportDoc {
             ("engine", Value::from(self.engine.as_str())),
             ("profile", self.profile.to_json()),
             ("discovery", self.discovery.to_json()),
+            (
+                "static",
+                match &self.statics {
+                    Some(s) => s.to_json(),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 
@@ -1274,6 +1558,10 @@ impl ReportDoc {
             engine: get_str(v, "engine")?,
             profile: ProfileDoc::from_json(field(v, "profile")?)?,
             discovery: DiscoveryDoc::from_json(field(v, "discovery")?)?,
+            statics: match v.get("static") {
+                None | Some(Value::Null) => None,
+                Some(other) => Some(StaticDoc::from_json(other)?),
+            },
         })
     }
 

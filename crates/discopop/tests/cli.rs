@@ -205,9 +205,110 @@ fn report_subcommand_renders_saved_json() {
         .unwrap();
     assert!(res.status.success());
     let stdout = String::from_utf8_lossy(&res.stdout);
-    assert!(stdout.contains("schema v3"), "{stdout}");
+    assert!(stdout.contains("schema v4"), "{stdout}");
     assert!(stdout.contains("Doall"), "{stdout}");
     assert!(stdout.contains("Ranked opportunities"), "{stdout}");
+}
+
+#[test]
+fn text_flag_renders_dependence_listing() {
+    // `--text` appends the raw line-level dependence listing (the
+    // profiler's render_text path) after the structured report.
+    let dir = scratch("text");
+    let src = dir.join("t.dp");
+    std::fs::write(&src, SRC).unwrap();
+
+    let res = Command::new(BIN)
+        .args(["analyze", src.to_str().unwrap(), "--quiet", "--text"])
+        .output()
+        .unwrap();
+    assert!(
+        res.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&res.stdout);
+    // The reduction loop's s-accumulation is a RAW on s; render_text
+    // writes `NOM` lines with `RAW` entries between `BGN`/`END` loop
+    // markers.
+    assert!(stdout.contains("NOM"), "{stdout}");
+    assert!(stdout.contains("RAW"), "{stdout}");
+    assert!(stdout.contains("BGN loop"), "{stdout}");
+    assert!(stdout.contains("END loop"), "{stdout}");
+}
+
+#[test]
+fn static_flag_adds_block_and_cross_check_passes() {
+    let dir = scratch("static");
+    let src = dir.join("st.dp");
+    let out = dir.join("st.json");
+    std::fs::write(&src, SRC).unwrap();
+
+    let res = Command::new(BIN)
+        .args([
+            "analyze",
+            src.to_str().unwrap(),
+            "--static",
+            "--json",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        res.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&res.stderr);
+    assert!(stderr.contains("static pre-pass"), "{stderr}");
+    assert!(stderr.contains("0 contradicted"), "{stderr}");
+
+    let doc = discopop::report::ReportDoc::from_json_str(&std::fs::read_to_string(&out).unwrap())
+        .unwrap();
+    let st = doc.statics.expect("static block present with --static");
+    assert!(st.mem_ops > 0);
+    assert!(
+        st.affine_ops * 2 >= st.mem_ops,
+        "affine coverage ≥ 50%: {}/{}",
+        st.affine_ops,
+        st.mem_ops
+    );
+    assert!(st.loops.iter().any(|l| l.doall_candidate));
+}
+
+#[test]
+fn lint_subcommand_reports_findings_and_exit_code() {
+    let dir = scratch("lint");
+
+    // Clean program: exit 0, no findings.
+    let clean = dir.join("clean.dp");
+    std::fs::write(&clean, SRC).unwrap();
+    let res = Command::new(BIN)
+        .args(["lint", clean.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        res.status.success(),
+        "clean program lints clean: {}",
+        String::from_utf8_lossy(&res.stdout)
+    );
+
+    // Uninitialized read + constant out-of-bounds store: nonzero exit,
+    // one diagnostic line per finding.
+    let dirty = dir.join("dirty.dp");
+    std::fs::write(
+        &dirty,
+        "global int a[4];\nfn main() {\n    int x;\n    int y = x + 1;\n    a[9] = y;\n}\n",
+    )
+    .unwrap();
+    let res = Command::new(BIN)
+        .args(["lint", dirty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!res.status.success(), "findings must fail the lint run");
+    let stdout = String::from_utf8_lossy(&res.stdout);
+    assert!(stdout.contains("[uninit-read]"), "{stdout}");
+    assert!(stdout.contains("[const-oob]"), "{stdout}");
 }
 
 #[test]
@@ -298,7 +399,7 @@ fn unreadable_input_exits_code_2_with_one_line_diagnostic() {
 fn governed_run_reports_resources_and_degradation() {
     // A memory ceiling far below the perfect shadow's footprint must
     // complete via the degradation ladder and record what was sacrificed
-    // in the schema-v3 `resource` block. The wide array spreads accesses
+    // in the `resource` block. The wide array spreads accesses
     // over many shadow pages, so the exact shadow's footprint (megabytes)
     // dwarfs the 256K ceiling while the signature floor fits under it.
     let dir = scratch("governed");
@@ -334,7 +435,7 @@ fn governed_run_reports_resources_and_degradation() {
     );
     let doc = discopop::report::ReportDoc::from_json_str(&std::fs::read_to_string(&out).unwrap())
         .unwrap();
-    assert_eq!(doc.schema_version, 3);
+    assert_eq!(doc.schema_version, discopop::report::SCHEMA_VERSION);
     let res_block = doc.profile.resource.expect("resource block present");
     assert_eq!(res_block.budget_bytes, Some(256 * 1024));
     assert!(res_block.peak_tracked_bytes <= 256 * 1024, "{res_block:?}");

@@ -152,6 +152,74 @@ fn schema_v1_documents_still_parse() {
     );
 }
 
+/// Schema evolution: a version-3 document — no top-level `static` block —
+/// must still parse, with `statics` defaulting to absent.
+#[test]
+fn schema_v3_documents_still_parse() {
+    let mut analysis = Analysis::new().with_static(true);
+    let compiled = analysis.compile(SRC, "v3compat").unwrap();
+    let report = analysis.analyze_compiled(&compiled).unwrap();
+    assert!(report.statics.is_some(), "static pre-pass ran");
+
+    let doc = report.to_doc(compiled.program());
+    let mut json = doc.to_json();
+    // A v3 writer never emitted the block; drop it and restamp.
+    let jsonio::Value::Object(ref mut fields) = json else {
+        panic!("document must be an object");
+    };
+    fields.retain(|(k, _)| k != "static");
+    fields
+        .iter_mut()
+        .find(|(k, _)| k == "schema_version")
+        .expect("version stamp present")
+        .1 = jsonio::Value::from(3u32);
+
+    let parsed =
+        ReportDoc::from_json_str(&json.to_string_pretty()).expect("v3 documents must parse");
+    assert_eq!(parsed.schema_version, 3);
+    assert!(parsed.statics.is_none(), "static defaults to absent");
+    assert_eq!(parsed.discovery, doc.discovery, "v3 fields read normally");
+}
+
+/// The schema-v4 `static` block survives a full JSON round trip and
+/// reports sensible numbers for the roundtrip program.
+#[test]
+fn static_block_roundtrips_and_reports_coverage() {
+    let mut analysis = Analysis::new().with_static(true);
+    let compiled = analysis.compile(SRC, "static-rt").unwrap();
+    let report = analysis.analyze_compiled(&compiled).unwrap();
+    let doc = report.to_doc(compiled.program());
+
+    let st = doc.statics.as_ref().expect("static block present");
+    assert!(!st.spawns_threads);
+    assert_eq!(st.loops.len(), 3, "one entry per source loop");
+    assert!(st.mem_ops > 0);
+    assert!(
+        st.affine_ops * 2 >= st.mem_ops,
+        "at least half the in-loop ops classify affine: {}/{}",
+        st.affine_ops,
+        st.mem_ops
+    );
+    assert!(
+        st.loops.iter().any(|l| l.doall_candidate),
+        "the a[i] = scale(i) loop is a static doall candidate"
+    );
+    assert!(
+        st.claims.iter().any(|c| c.var == "a"),
+        "independent a[i] accesses are claimed: {:?}",
+        st.claims
+    );
+
+    let json = doc.to_json().to_string_pretty();
+    let parsed = ReportDoc::from_json_str(&json).expect("parses back");
+    assert_eq!(parsed, doc, "doc-level round trip");
+    assert_eq!(
+        parsed.to_json().to_string_pretty(),
+        json,
+        "byte-level round trip"
+    );
+}
+
 #[test]
 fn malformed_documents_are_rejected() {
     for bad in ["", "{}", "[1,2,3]", "{\"schema_version\": 1}"] {

@@ -39,6 +39,7 @@
 //! | [`HotOp::LoadCmpBranch`]  | `Load`,`Bin`,`Branch`      | `i < n` loop header |
 //! | [`HotOp::Rmw`]            | `Load`,`Bin`,`Store`       | `i = i + 1`, `x += v` |
 //! | [`HotOp::LoadRmw`]        | `Load`,`Load`,`Bin`,`Store`| `a[i] = a[i] op b[j]` |
+//! | [`HotOp::LoadBin`]        | `Load`,`Bin`                | `a[i] * x` subterm |
 //!
 //! Fusion is *observationally invisible* — the invariants, pinned by
 //! `tests/decode_equivalence.rs` against the tree-walking oracle in
@@ -342,6 +343,25 @@ pub struct LoadRmwCode {
     pub rmw: RmwCode,
 }
 
+/// Cold body of a fused `Load`+`Bin` ([`HotOp::LoadBin`]) — the
+/// array-subterm pair (`a[i] op x`), the most frequent 2-op pattern left
+/// after the longer fusions per PR 5's static counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadBinCode {
+    /// Load destination register.
+    pub load_dst: u32,
+    /// Load memory reference (copy of the head slot's pool entry).
+    pub load: MemRef,
+    /// The (non-trapping) binary operator.
+    pub op: BinOp,
+    /// Bin destination register.
+    pub bin_dst: u32,
+    /// Bin left operand.
+    pub lhs: Opnd,
+    /// Bin right operand.
+    pub rhs: Opnd,
+}
+
 /// A decoded instruction slot of the flat stream — the fixed-size hot
 /// record of the hot/cold split. Exactly one slot per dynamic instruction
 /// of the unfused stream; fused ops occupy their head constituent's slot
@@ -497,6 +517,12 @@ pub enum HotOp {
         /// Superinstruction pool index.
         fused: u32,
     },
+    /// Fused `Load`+`Bin` (2 logical steps); body in
+    /// [`FuncCode::load_bins`].
+    LoadBin {
+        /// Superinstruction pool index.
+        fused: u32,
+    },
 }
 
 // The whole point of the hot/cold split: growing any variant past the
@@ -552,6 +578,8 @@ pub struct FuncCode {
     pub rmws: Box<[RmwCode]>,
     /// Fused load-read-modify-write bodies.
     pub load_rmws: Box<[LoadRmwCode]>,
+    /// Fused load-bin bodies.
+    pub load_bins: Box<[LoadBinCode]>,
     /// `(pc, source line)` for every [`HotOp::BinChecked`] slot, sorted by
     /// pc — consulted only on the cold division-by-zero path.
     pub trap_lines: Box<[(u32, u32)]>,
@@ -594,6 +622,7 @@ struct FuncBuilder {
     load_cmp_branches: Vec<LoadCmpBranchCode>,
     rmws: Vec<RmwCode>,
     load_rmws: Vec<LoadRmwCode>,
+    load_bins: Vec<LoadBinCode>,
     trap_lines: Vec<(u32, u32)>,
 }
 
@@ -815,6 +844,7 @@ impl<'m> DecodeCtx<'m> {
             load_cmp_branches: fb.load_cmp_branches.into_boxed_slice(),
             rmws: fb.rmws.into_boxed_slice(),
             load_rmws: fb.load_rmws.into_boxed_slice(),
+            load_bins: fb.load_bins.into_boxed_slice(),
             trap_lines: fb.trap_lines.into_boxed_slice(),
             regions,
             block_starts: block_starts.into_boxed_slice(),
@@ -1013,8 +1043,8 @@ fn try_fuse_at(fb: &mut FuncBuilder, i: usize, end: usize) -> usize {
             return 3;
         }
     }
-    // Bin + Branch.
     if i + 1 < end {
+        // Bin + Branch.
         if let (
             Bin { op, dst, lhs, rhs },
             Branch {
@@ -1035,6 +1065,22 @@ fn try_fuse_at(fb: &mut FuncBuilder, i: usize, end: usize) -> usize {
             });
             fb.hot[i] = CmpBranch {
                 fused: (fb.cmp_branches.len() - 1) as u32,
+            };
+            return 2;
+        }
+        // Load + Bin — only once every longer Load-headed pattern above
+        // has declined the slot.
+        if let (Load { dst: d0, mem: m0 }, Bin { op, dst, lhs, rhs }) = (fb.hot[i], fb.hot[i + 1]) {
+            fb.load_bins.push(LoadBinCode {
+                load_dst: d0,
+                load: fb.mems[m0 as usize],
+                op,
+                bin_dst: dst,
+                lhs,
+                rhs,
+            });
+            fb.hot[i] = LoadBin {
+                fused: (fb.load_bins.len() - 1) as u32,
             };
             return 2;
         }
@@ -1213,6 +1259,27 @@ mod tests {
     }
 
     #[test]
+    fn load_bin_pairs_fuse() {
+        // `s + a[i] + 1` leaves a bare Load+Bin pair once the longer
+        // patterns decline it (the second Bin breaks the Rmw shapes).
+        let p = program(
+            "global int a[16];
+            global int s;
+            fn main() {
+                for (int i = 0; i < 16; i = i + 1) {
+                    s = s + a[i] + 1;
+                }
+            }",
+        );
+        let main = &p.code()[0];
+        assert!(
+            main.hot.iter().any(|o| matches!(o, HotOp::LoadBin { .. })),
+            "a[i] + 1 subterm fuses to LoadBin"
+        );
+        assert!(!main.load_bins.is_empty());
+    }
+
+    #[test]
     fn fusion_preserves_slot_count_and_tails() {
         let src = "global int s;
             fn main() {
@@ -1236,6 +1303,7 @@ mod tests {
                             | HotOp::LoadCmpBranch { .. }
                             | HotOp::Rmw { .. }
                             | HotOp::LoadRmw { .. }
+                            | HotOp::LoadBin { .. }
                     ),
                     "slot {i} diverges but is not a fused head: {a:?}"
                 );
@@ -1269,6 +1337,9 @@ mod tests {
             }
             for c in f.cmp_branches.iter() {
                 assert!(!matches!(c.op, BinOp::Div | BinOp::Rem));
+            }
+            for r in f.load_bins.iter() {
+                assert!(!matches!(r.op, BinOp::Div | BinOp::Rem));
             }
         }
     }

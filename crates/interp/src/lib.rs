@@ -30,6 +30,8 @@
 //! equivalence oracle — both emit byte-identical event streams for any
 //! program, configuration, and decode mode.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod code;
 pub mod event;
 pub mod machine;

@@ -15,6 +15,13 @@
 //! equivalence oracle: both interpreters must emit byte-identical event
 //! streams.
 
+// The execution core leans on machine invariants — a ready thread always
+// has a frame, decoded operands index in-bounds side pools — established
+// by `mir::verify_module` plus the decode pass. A failed lookup here is an
+// interpreter bug, not bad input: panicking is correct, and threading
+// `Result` through the dispatch loop would tax every step.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::code::{Builtin, FuncCode, HotOp, MemRef, DST_NONE};
 use crate::event::{Event, MemEvent, RegionExitEvent, Sink};
 use crate::program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};
@@ -818,6 +825,15 @@ impl<'p, S: Sink> Interp<'p, S> {
                         tick_or_park!(pc + 3);
                         do_store!(&r.rmw.store, r.rmw.store_src, pc + 3);
                         pc += 4;
+                    }
+                    HotOp::LoadBin { fused } => {
+                        let r = &code.load_bins[fused as usize];
+                        do_load!(&r.load, r.load_dst, pc);
+                        tick_or_park!(pc + 1);
+                        let a = r.lhs.value(&regs, imms);
+                        let b = r.rhs.value(&regs, imms);
+                        regs[r.bin_dst as usize] = bin_eval_nontrap(r.op, a, b);
+                        pc += 2;
                     }
                 }
             }

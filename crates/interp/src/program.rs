@@ -63,6 +63,12 @@ pub struct Program {
     /// Static metadata per memory op, in id order — collected during
     /// decode, so it never has to be recovered by re-walking the streams.
     mem_meta: Vec<MemOpMeta>,
+    /// Static analysis facts per memory op, in id order: affine
+    /// classification, constant indices, innermost-loop strides. Both
+    /// tables are built from the same program-order walk over
+    /// `Load`/`Store` instructions, so `mem_facts[i]` describes the same
+    /// access as `mem_meta[i]`.
+    mem_facts: Vec<analysis::AccessFact>,
 }
 
 impl Program {
@@ -131,6 +137,12 @@ impl Program {
             .collect();
         let num_mem_ops = ctx.next_op;
         let mem_meta = std::mem::take(&mut ctx.mem_meta);
+        let mem_facts = analysis::access_facts(&module);
+        debug_assert_eq!(
+            mem_facts.len(),
+            num_mem_ops as usize,
+            "static fact table must align with decode-time op ids"
+        );
 
         Program {
             module,
@@ -144,6 +156,7 @@ impl Program {
             code,
             num_mem_ops,
             mem_meta,
+            mem_facts,
         }
     }
 
@@ -181,6 +194,15 @@ impl Program {
     /// receive the op id can drop those fields from their wire format.
     pub fn mem_op_meta(&self) -> &[MemOpMeta] {
         &self.mem_meta
+    }
+
+    /// Static analysis facts per memory op, indexed by op id like
+    /// [`Program::mem_op_meta`]: whether the access classified affine, its
+    /// constant index when provable, and its stride along the innermost
+    /// enclosing loop. Profiler consumers can use these to pre-filter
+    /// provably-independent traffic.
+    pub fn mem_op_facts(&self) -> &[analysis::AccessFact] {
+        &self.mem_facts
     }
 
     /// True if any decoded op can spawn a target thread. Engine
@@ -251,6 +273,36 @@ mod tests {
         assert_eq!(p.global_words, 6);
         assert_eq!(p.global_ty_at(b), Some(Ty::F64));
         assert_eq!(p.global_ty_at(0), None);
+    }
+
+    #[test]
+    fn static_facts_align_with_mem_op_meta() {
+        let src = "global int a[16];\n\
+                   global int s;\n\
+                   fn main() {\n\
+                       for (int i = 0; i < 16; i = i + 1) {\n\
+                           s = s + a[i];\n\
+                       }\n\
+                   }\n";
+        let m = lang::compile(src, "t").unwrap();
+        let facts_by_access = analysis::analyze(&m);
+        let p = Program::new(m);
+        let meta = p.mem_op_meta();
+        let facts = p.mem_op_facts();
+        assert_eq!(meta.len(), facts.len());
+        assert_eq!(meta.len() as u32, p.num_mem_ops());
+        // Same program-order walk on both sides: op i has the same line
+        // and direction in the analysis access list and the decode table.
+        assert_eq!(facts_by_access.accesses.len(), meta.len());
+        for (i, a) in facts_by_access.accesses.iter().enumerate() {
+            assert_eq!(a.op_id as usize, i);
+            assert_eq!(a.line, meta[i].line, "op {i} line");
+            assert_eq!(a.is_write, meta[i].is_write, "op {i} direction");
+        }
+        // The a[i] load is affine with stride 1; the s accesses are
+        // constant-index scalars.
+        assert!(facts.iter().any(|f| f.affine && f.stride == Some(1)));
+        assert!(facts.iter().any(|f| f.const_index == Some(0)));
     }
 
     #[test]

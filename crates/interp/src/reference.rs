@@ -15,6 +15,11 @@
 //! [`Sink::WANTS_EVENTS`] gate in `emit`, mirroring the machine so both
 //! interpreters elide event work for the same sinks.)
 
+// Same panic policy as `machine`: verified-module invariants make these
+// lookups infallible, and the oracle must stay dumb and obvious rather
+// than grow error plumbing the machine does not have.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::event::{Event, MemEvent, RegionExitEvent, Sink};
 use crate::machine::{bin_eval, RunConfig, RunResult, RuntimeError};
 use crate::program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};

@@ -56,13 +56,17 @@ pub fn immediate_dominators(f: &Function) -> Vec<Option<BlockId>> {
     let mut idom: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
     idom[f.entry().index()] = Some(f.entry());
 
+    // Both finger chains only ever visit processed nodes, whose idom is
+    // set; the entry fallback keeps the walk total (and correct — every
+    // chain ends at the entry anyway) without a panicking path.
+    let entry = f.entry();
     let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
         while a != b {
             while rpo_index[a.index()] > rpo_index[b.index()] {
-                a = idom[a.index()].expect("processed");
+                a = idom[a.index()].unwrap_or(entry);
             }
             while rpo_index[b.index()] > rpo_index[a.index()] {
-                b = idom[b.index()].expect("processed");
+                b = idom[b.index()].unwrap_or(entry);
             }
         }
         a

@@ -17,6 +17,8 @@
 //! for the instrumenting interpreter — and no surface syntax — see the `lang`
 //! crate for the mini-C frontend.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod builder;
 pub mod cfg;
 pub mod instr;

@@ -32,6 +32,7 @@ fn main() {
     // Configure once; the progress sink narrates the stages.
     let mut analysis = Analysis::new()
         .engine(EngineKind::SerialPerfect)
+        .with_static(true)
         .on_progress(|ev| match ev {
             StageEvent::Compiled {
                 name,
@@ -43,6 +44,13 @@ fn main() {
                 steps,
                 dependences,
             } => eprintln!("profiled with {engine}: {steps} steps, {dependences} dependences"),
+            StageEvent::StaticAnalyzed {
+                loops,
+                claims,
+                lints,
+            } => eprintln!(
+                "static pre-pass: {loops} loops, {claims} independence claims, {lints} lints"
+            ),
             StageEvent::Discovered { loops, ranked, .. } => {
                 eprintln!("discovered {loops} loops, {ranked} ranked suggestions")
             }

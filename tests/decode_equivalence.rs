@@ -69,6 +69,7 @@ fn has_superinstructions(p: &Program) -> bool {
                     | HotOp::LoadCmpBranch { .. }
                     | HotOp::Rmw { .. }
                     | HotOp::LoadRmw { .. }
+                    | HotOp::LoadBin { .. }
             )
         })
     })

@@ -1,0 +1,282 @@
+//! Static-vs-dynamic cross-check suite: every independence claim the
+//! static pre-pass proves must survive dynamic profiling under every
+//! engine, and — independently of the profiler — must agree with a
+//! brute-force enumeration oracle over the generated loop's actual index
+//! sets. A single surviving contradiction means the affine classifier or
+//! the GCD/interval solver is unsound, so these tests are the gate for
+//! both.
+
+use discopop::{Analysis, StaticReport};
+use profiler::EngineKind;
+use proptest::prelude::*;
+
+/// The engines the cross-check must hold under. The signature engine gets
+/// enough slots to be collision-free on these programs (the paper runs
+/// 1e6–1e8 slots; the hash is deterministic, so so is this property):
+/// signature collisions manufacture *false* dependences, which would
+/// contradict a perfectly sound claim — the oracle test below is the
+/// collision-immune soundness check.
+fn engines() -> Vec<EngineKind> {
+    vec![
+        EngineKind::SerialPerfect,
+        EngineKind::SerialSignature { slots: 1 << 22 },
+        EngineKind::parallel(2),
+    ]
+}
+
+/// Run one source through static analysis + dynamic profiling under
+/// `engine` and return (static report, cross-check violations).
+fn check(src: &str, name: &str, engine: EngineKind) -> (StaticReport, usize) {
+    let mut analysis = Analysis::new().engine(engine).with_static(true);
+    let compiled = analysis.compile(src, name).expect("compiles");
+    let report = analysis.analyze_compiled(&compiled).expect("profiles");
+    let statics = report.statics.clone().expect("static pre-pass ran");
+    let violations = discopop::cross_check(compiled.program(), &statics, &report.profile.deps);
+    for v in &violations {
+        eprintln!("cross-check violation in {name}: {v}");
+    }
+    (statics, violations.len())
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic cases
+// ---------------------------------------------------------------------------
+
+/// A genuine loop-carried recurrence: the static pass must never claim
+/// the a[j] / a[j-1] line independent, so the cross-check stays clean
+/// even though the dynamic profiler observes the carried RAW every
+/// iteration.
+#[test]
+fn carried_recurrence_is_never_claimed() {
+    let src = "global int a[32];\n\
+               fn main() {\n\
+                   for (int j = 1; j < 32; j = j + 1) {\n\
+                       a[j] = a[j - 1] + 1;\n\
+                   }\n\
+               }\n";
+    for engine in engines() {
+        let (statics, violations) = check(src, "recurrence", engine);
+        assert!(
+            statics.claims.iter().all(|c| c.var_name != "a"),
+            "no independence claim on the recurrence: {:?}",
+            statics.claims
+        );
+        assert_eq!(violations, 0, "engine {engine:?}");
+    }
+}
+
+/// Strided disjoint accesses (even writes, odd reads): provable by the
+/// GCD test, and the dynamic run must confirm it under every engine.
+#[test]
+fn strided_disjoint_claim_survives_every_engine() {
+    let src = "global int a[64];\n\
+               fn main() {\n\
+                   for (int i = 0; i < 31; i = i + 1) {\n\
+                       a[2 * i] = a[2 * i + 1] + 1;\n\
+                   }\n\
+               }\n";
+    for engine in engines() {
+        let (statics, violations) = check(src, "strided", engine);
+        assert!(
+            statics.claims.iter().any(|c| c.var_name == "a"),
+            "the even/odd split is statically provable: {:?}",
+            statics.claims
+        );
+        assert_eq!(violations, 0, "engine {engine:?}");
+    }
+}
+
+/// The acceptance benchmark: on at least two real workloads the affine
+/// classifier must resolve at least half of all in-loop memory operations,
+/// and the resulting claims must survive the dynamic cross-check.
+#[test]
+fn affine_coverage_at_least_half_on_workloads() {
+    let mut covered = 0;
+    for name in ["matmul", "dotprod"] {
+        let w = workloads::by_name(name).expect("workload exists");
+        let (statics, violations) = check(w.source, w.name, EngineKind::SerialPerfect);
+        let (affine, total) = statics.coverage();
+        eprintln!("{name}: {affine}/{total} affine in-loop mem ops");
+        assert!(total > 0, "{name} has in-loop memory traffic");
+        assert!(
+            statics.affine_fraction() >= 0.5,
+            "{name}: {affine}/{total} below the 50% bar"
+        );
+        assert_eq!(violations, 0, "{name} cross-check");
+        covered += 1;
+    }
+    assert_eq!(covered, 2);
+}
+
+/// Every sequential textbook workload cross-checks clean under every
+/// engine: no statically proven independence is ever contradicted by an
+/// observed dependence.
+#[test]
+fn textbook_workloads_cross_check_clean_across_engines() {
+    for w in workloads::suite(workloads::Suite::Textbook) {
+        if w.parallel_target {
+            continue; // spawning targets suppress claims; nothing to check
+        }
+        for engine in engines() {
+            let (_, violations) = check(w.source, w.name, engine);
+            assert_eq!(violations, 0, "{} under {engine:?}", w.name);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generated affine loop nests
+// ---------------------------------------------------------------------------
+
+/// One generated statement inside the loop body; all indices stay inside
+/// `a[64]`/`b[64]` by construction (stride ≤ 3, offset ≤ 7, trip ≤ 16 →
+/// max index 3·15+7 = 52).
+#[derive(Debug, Clone, Copy)]
+enum Stmt {
+    /// `a[c1*i + d1] = a[c2*i + d2] + 1;` — write and read of `a`.
+    RewriteA { c1: i64, d1: i64, c2: i64, d2: i64 },
+    /// `b[c1*i + d1] = a[c2*i + d2];` — write `b`, read `a`.
+    Copy { c1: i64, d1: i64, c2: i64, d2: i64 },
+    /// `s = s + a[c2*i + d2];` — scalar reduction, read `a`.
+    Reduce { c2: i64, d2: i64 },
+}
+
+/// A generated single-loop program plus everything the oracle needs.
+#[derive(Debug, Clone)]
+struct Nest {
+    trip: i64,
+    stmts: Vec<Stmt>,
+}
+
+fn idx(c: i64, d: i64) -> String {
+    format!("{c} * i + {d}")
+}
+
+impl Nest {
+    fn source(&self) -> String {
+        let mut body = String::new();
+        for s in &self.stmts {
+            let line = match *s {
+                Stmt::RewriteA { c1, d1, c2, d2 } => {
+                    format!("a[{}] = a[{}] + 1;", idx(c1, d1), idx(c2, d2))
+                }
+                Stmt::Copy { c1, d1, c2, d2 } => {
+                    format!("b[{}] = a[{}];", idx(c1, d1), idx(c2, d2))
+                }
+                Stmt::Reduce { c2, d2 } => format!("s = s + a[{}];", idx(c2, d2)),
+            };
+            body.push_str("        ");
+            body.push_str(&line);
+            body.push('\n');
+        }
+        format!(
+            "global int a[64];\nglobal int b[64];\nglobal int s;\n\
+             fn main() {{\n    for (int i = 0; i < {}; i = i + 1) {{\n{body}    }}\n}}\n",
+            self.trip
+        )
+    }
+
+    /// All accesses of `var` as (line, iteration, element index, is_write).
+    /// Lines follow `source()` exactly: statement k sits on line 6 + k.
+    fn accesses_of(&self, var: &str) -> Vec<(u32, i64, i64, bool)> {
+        let mut out = Vec::new();
+        for (k, s) in self.stmts.iter().enumerate() {
+            let line = 6 + k as u32;
+            for i in 0..self.trip {
+                match *s {
+                    Stmt::RewriteA { c1, d1, c2, d2 } => {
+                        if var == "a" {
+                            out.push((line, i, c2 * i + d2, false));
+                            out.push((line, i, c1 * i + d1, true));
+                        }
+                    }
+                    Stmt::Copy { c1, d1, c2, d2 } => {
+                        if var == "a" {
+                            out.push((line, i, c2 * i + d2, false));
+                        }
+                        if var == "b" {
+                            out.push((line, i, c1 * i + d1, true));
+                        }
+                    }
+                    Stmt::Reduce { c2, d2 } => {
+                        if var == "a" {
+                            out.push((line, i, c2 * i + d2, false));
+                        }
+                        if var == "s" {
+                            out.push((line, i, 0, false));
+                            out.push((line, i, 0, true));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Brute-force oracle: true iff a loop-carried conflict (same element,
+    /// different iterations, at least one write) exists between the two
+    /// lines for `var`.
+    fn carried_conflict(&self, var: &str, line_a: u32, line_b: u32) -> bool {
+        let accs = self.accesses_of(var);
+        accs.iter().any(|&(la, ia, ea, wa)| {
+            la == line_a
+                && accs
+                    .iter()
+                    .any(|&(lb, ib, eb, wb)| lb == line_b && ia != ib && ea == eb && (wa || wb))
+        })
+    }
+}
+
+fn nests() -> impl Strategy<Value = Nest> {
+    (
+        4i64..16,
+        prop::collection::vec((0u32..3, 0i64..4, 0i64..8, 0i64..4, 0i64..8), 1..4),
+    )
+        .prop_map(|(trip, raw)| Nest {
+            trip,
+            stmts: raw
+                .into_iter()
+                .map(|(kind, c1, d1, c2, d2)| match kind {
+                    0 => Stmt::RewriteA { c1, d1, c2, d2 },
+                    1 => Stmt::Copy { c1, d1, c2, d2 },
+                    _ => Stmt::Reduce { c2, d2 },
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    /// Soundness against the enumeration oracle: every claim the static
+    /// pass makes about a generated nest is confirmed by brute-force
+    /// enumeration of the loop's actual index sets. This is the
+    /// profiler-independent half of the cross-check (immune to signature
+    /// collisions and engine quirks).
+    #[test]
+    fn static_claims_sound_against_enumeration_oracle(nest in nests()) {
+        let src = nest.source();
+        let module = lang::compile(&src, "gen").expect("generated nest compiles");
+        let statics = StaticReport::of(&module);
+        for c in &statics.claims {
+            prop_assert!(
+                !nest.carried_conflict(&c.var_name, c.line_a, c.line_b),
+                "unsound claim {}:{}-{} in\n{src}",
+                c.var_name, c.line_a, c.line_b
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// The full dynamic cross-check on generated nests, under every
+    /// engine: profiling must never observe a dependence that the static
+    /// pass proved away.
+    #[test]
+    fn generated_nests_cross_check_clean(nest in nests()) {
+        let src = nest.source();
+        for engine in engines() {
+            let (_, violations) = check(&src, "gen", engine);
+            prop_assert!(violations == 0, "{engine:?} on\n{src}");
+        }
+    }
+}
