@@ -111,13 +111,28 @@ pub struct AccessFact {
     pub stride: Option<i64>,
 }
 
-/// Derive the fact table for a module, one entry per static memory op in
-/// program order.
-pub fn access_facts(module: &Module) -> Vec<AccessFact> {
+/// The combined static export the interpreter's decode consumes: the
+/// per-op fact table plus, per function, the statically known loop trip
+/// counts indexed by region id. Both halves come from one loop-discovery
+/// pass, so they describe the same loops.
+#[derive(Debug, Clone)]
+pub struct StaticFacts {
+    /// One [`AccessFact`] per static memory op, in program order (the
+    /// interpreter's decode-time op-id order).
+    pub access: Vec<AccessFact>,
+    /// Per function, indexed by region id: the loop's static trip count
+    /// when the region is a recognized loop with a provable count
+    /// (`Some(n)`), `None` for non-loop regions and unknown counts.
+    pub trip_counts: Vec<Vec<Option<u64>>>,
+}
+
+/// Derive the full static export for a module: per-op access facts and
+/// per-region loop trip counts (the affine skip tier's eligibility inputs).
+pub fn static_facts(module: &Module) -> StaticFacts {
     let loops: Vec<FuncLoops> = module.functions.iter().map(loops::find_loops).collect();
     let effects = Effects::of(module);
     let accesses = classify::collect_accesses(module, &loops, &effects);
-    accesses
+    let access = accesses
         .iter()
         .map(|a| {
             let aff = a.index.as_ref();
@@ -132,7 +147,31 @@ pub fn access_facts(module: &Module) -> Vec<AccessFact> {
                 stride,
             }
         })
-        .collect()
+        .collect();
+    let trip_counts = module
+        .functions
+        .iter()
+        .zip(&loops)
+        .map(|(f, fl)| {
+            (0..f.regions.len())
+                .map(|r| {
+                    fl.by_region[r]
+                        .and_then(|li| fl.loops[li].iv.as_ref())
+                        .and_then(|iv| iv.trip_count)
+                })
+                .collect()
+        })
+        .collect();
+    StaticFacts {
+        access,
+        trip_counts,
+    }
+}
+
+/// Derive the fact table for a module, one entry per static memory op in
+/// program order.
+pub fn access_facts(module: &Module) -> Vec<AccessFact> {
+    static_facts(module).access
 }
 
 #[cfg(test)]
@@ -284,6 +323,22 @@ mod tests {
             "lints: {:#?}",
             an.lints
         );
+    }
+
+    #[test]
+    fn static_facts_export_trip_counts_by_region() {
+        let m = compile(
+            "global int a[16];\n\
+             fn main() {\n\
+                 for (int i = 0; i < 16; i = i + 1) { a[i] = i; }\n\
+             }\n",
+        );
+        let sf = static_facts(&m);
+        assert_eq!(sf.access, access_facts(&m), "wrapper agrees with export");
+        assert_eq!(sf.trip_counts.len(), m.functions.len());
+        assert_eq!(sf.trip_counts[0].len(), m.functions[0].regions.len());
+        let trips: Vec<u64> = sf.trip_counts[0].iter().flatten().copied().collect();
+        assert_eq!(trips, vec![16], "the counted for-loop is the only loop");
     }
 
     #[test]

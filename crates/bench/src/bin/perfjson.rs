@@ -82,6 +82,9 @@ struct Row {
     /// Governed-vs-ungoverned time ratio minus one; only on the
     /// `serial_perfect_governed` row of `stress_xl`.
     governed_overhead: Option<f64>,
+    /// Affine-skip-tier counters; only on the `serial_perfect_skip` /
+    /// `serial_perfect_noskip` row pairs.
+    synth: Option<profiler::SynthSummary>,
 }
 
 fn main() {
@@ -94,7 +97,7 @@ fn main() {
             n => reps = n.parse().unwrap_or_else(|_| panic!("bad argument `{n}`")),
         }
     }
-    let mut programs: Vec<(&'static str, Program)> = ["MG", "FT", "matmul"]
+    let mut programs: Vec<(&'static str, Program)> = ["MG", "FT", "matmul", "dotprod"]
         .into_iter()
         .map(|name| {
             let w = workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
@@ -281,6 +284,119 @@ fn main() {
             "{name}: native {native:.3}s (unfused {:.3}s), {accesses} accesses",
             times[1]
         );
+
+        // Affine skip tier on/off pair: same serial-perfect engine, with
+        // plan replay forced on vs forced off. The tier must be
+        // output-transparent (asserted against the reference deps) and
+        // must actually eliminate dispatch on the fully-affine workloads.
+        if matches!(name, "matmul" | "dotprod" | "stress") {
+            let skip_cfg = ProfileConfig {
+                engine: EngineKind::SerialPerfect,
+                run: RunConfig {
+                    affine_skip: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let noskip_cfg = ProfileConfig {
+                engine: EngineKind::SerialPerfect,
+                run: RunConfig {
+                    affine_skip: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let mut skip_out = None;
+            let mut noskip_out = None;
+            let times = {
+                let mut run_skip = || {
+                    skip_out =
+                        Some(profiler::profile_program_with(p, &skip_cfg).expect("profiles"));
+                };
+                let mut run_noskip = || {
+                    noskip_out =
+                        Some(profiler::profile_program_with(p, &noskip_cfg).expect("profiles"));
+                };
+                bench::time_interleaved(reps, &mut [&mut run_skip, &mut run_noskip])
+            };
+            let skip_out = skip_out.expect("skip rep ran");
+            let noskip_out = noskip_out.expect("noskip rep ran");
+            assert_eq!(
+                skip_out.deps.sorted(),
+                reference.deps.sorted(),
+                "{name}: plan replay must be output-transparent"
+            );
+            assert_eq!(
+                noskip_out.deps.sorted(),
+                reference.deps.sorted(),
+                "{name}: skip-off run must match the reference"
+            );
+            assert_eq!(noskip_out.synth.loops_skipped, 0);
+            assert!(
+                skip_out.synth.loops_skipped > 0,
+                "{name}: the affine skip tier must engage ({:?})",
+                skip_out.synth
+            );
+            assert!(
+                skip_out.synth.dispatches < noskip_out.synth.dispatches,
+                "{name}: plan replay must reduce interpreted dispatches \
+                 ({} skip vs {} noskip)",
+                skip_out.synth.dispatches,
+                noskip_out.synth.dispatches
+            );
+            // stress is fully affine (every loop plan-eligible), so the
+            // dispatch elimination is pinned at >= 2x there; matmul and
+            // dotprod keep ineligible companion loops (checked `%` ops in
+            // their fill loops) and only pin a strict reduction.
+            if name == "stress" {
+                assert!(
+                    skip_out.synth.dispatches * 2 <= noskip_out.synth.dispatches,
+                    "stress: plan replay must at least halve interpreted dispatches \
+                     ({} skip vs {} noskip)",
+                    skip_out.synth.dispatches,
+                    noskip_out.synth.dispatches
+                );
+            }
+            // Timing is advisory (hosts are noisy); the dispatch counts
+            // above are the hard pin.
+            if times[0] > times[1] * 1.10 {
+                eprintln!(
+                    "WARNING: {name} skip-on slower than skip-off beyond noise \
+                     ({:.3}s vs {:.3}s)",
+                    times[0], times[1]
+                );
+            }
+            let mut r = row(
+                name,
+                "serial_perfect_skip",
+                accesses,
+                times[0],
+                native,
+                0,
+                None,
+            );
+            r.synth = Some(skip_out.synth);
+            rows.push(r);
+            let mut r = row(
+                name,
+                "serial_perfect_noskip",
+                accesses,
+                times[1],
+                native,
+                0,
+                None,
+            );
+            r.synth = Some(noskip_out.synth);
+            rows.push(r);
+            eprintln!(
+                "{name}: skip {:.3}s / noskip {:.3}s, dispatches {} -> {} ({} loops plan-replayed)",
+                times[0],
+                times[1],
+                noskip_out.synth.dispatches,
+                skip_out.synth.dispatches,
+                skip_out.synth.loops_skipped,
+            );
+        }
     }
 
     if run_xl {
@@ -402,6 +518,7 @@ fn row(
         profiled_secs,
         parallel,
         governed_overhead: None,
+        synth: None,
     }
 }
 
@@ -412,6 +529,13 @@ fn render_json(rows: &[Row]) -> String {
         let governed = match r.governed_overhead {
             None => String::new(),
             Some(o) => format!(", \"governed_overhead\": {o:.4}"),
+        };
+        let synth = match &r.synth {
+            None => String::new(),
+            Some(s) => format!(
+                ", \"loops_skipped\": {}, \"synthesized_accesses\": {}, \"dispatches\": {}",
+                s.loops_skipped, s.synthesized_accesses, s.dispatches,
+            ),
         };
         let transport = match &r.parallel {
             None => String::new(),
@@ -425,7 +549,7 @@ fn render_json(rows: &[Row]) -> String {
             out,
             "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"accesses\": {}, \
              \"accesses_per_sec\": {:.0}, \"slowdown_vs_native\": {:.2}, \
-             \"peak_map_bytes\": {}, \"native_secs\": {:.6}, \"profiled_secs\": {:.6}{}{}}}{}",
+             \"peak_map_bytes\": {}, \"native_secs\": {:.6}, \"profiled_secs\": {:.6}{}{}{}}}{}",
             r.workload,
             r.engine,
             r.accesses,
@@ -435,6 +559,7 @@ fn render_json(rows: &[Row]) -> String {
             r.native_secs,
             r.profiled_secs,
             governed,
+            synth,
             transport,
             if i + 1 == rows.len() { "" } else { "," },
         );

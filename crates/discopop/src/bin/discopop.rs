@@ -40,7 +40,12 @@ analyze options:
                     independence proofs, lints); adds the `static` block to
                     the JSON report and cross-checks every proven claim
                     against the dynamic dependences (a contradiction is an
-                    analysis failure)
+                    analysis failure). Also arms the affine skip tier: loops
+                    whose accesses are all proven affine are plan-replayed
+                    instead of interpreted (same output, less dispatch)
+  --no-skip         keep full interpretation even with --static: disables
+                    the affine skip tier. Dependence output is bit-identical
+                    either way; only profiling speed changes
   --text            also print the dependences in the line-oriented
                     DiscoPoP text format (NOM/BGN/END lines)
   --json PATH       write the versioned JSON report to PATH (`-` = stdout)
@@ -74,6 +79,11 @@ fn main() -> ExitCode {
                 "examples: serial-signature:1048576   parallel:8   parallel:workers=4   \
                  parallel:4x128:lock-based"
             );
+            println!(
+                "every engine reads the same interpreter access stream; with --static \
+                 the affine skip tier synthesizes it for proven-affine loops \
+                 (disable with --no-skip; the stream is identical either way)"
+            );
             ExitCode::SUCCESS
         }
         Some("--help") | Some("-h") | None => {
@@ -97,6 +107,7 @@ struct AnalyzeArgs {
     max_memory: Option<usize>,
     deadline: Option<std::time::Duration>,
     statics: bool,
+    no_skip: bool,
     text: bool,
     json: Option<String>,
     quiet: bool,
@@ -128,6 +139,7 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
         max_memory: None,
         deadline: None,
         statics: false,
+        no_skip: false,
         text: false,
         json: None,
         quiet: false,
@@ -157,6 +169,7 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
                 parsed.deadline = Some(std::time::Duration::from_secs_f64(secs));
             }
             "--static" => parsed.statics = true,
+            "--no-skip" => parsed.no_skip = true,
             "--text" => parsed.text = true,
             "--json" => parsed.json = Some(value_of("--json")?),
             "--quiet" => parsed.quiet = true,
@@ -198,6 +211,9 @@ fn analyze(args: &[String]) -> ExitCode {
         .skip_loops(args.skip_loops)
         .lifetime(args.lifetime)
         .with_static(args.statics);
+    if args.no_skip {
+        analysis = analysis.affine_skip(false);
+    }
     if let Some(cap) = args.batch_cap {
         analysis = analysis.batch_cap(cap);
     }
@@ -386,6 +402,14 @@ fn render_saved(args: &[String]) -> ExitCode {
         doc.profile.dependences.len(),
         doc.profile.dependences_found,
     );
+    if let Some(s) = &doc.profile.summary {
+        if s.loops_skipped > 0 {
+            println!(
+                "affine skip tier: {} loops plan-replayed, {} accesses synthesized, {} dispatches",
+                s.loops_skipped, s.synthesized_accesses, s.dispatches
+            );
+        }
+    }
     if let Some(res) = &doc.profile.resource {
         println!(
             "resource: peak {} tracked bytes, {} degradation step(s), est. FP rate {:.4}{}",

@@ -365,6 +365,9 @@ pub fn cross_check(
 pub struct Analysis {
     engine: EngineKind,
     skip_loops: bool,
+    /// Affine skip tier policy: `None` = auto (on exactly when the static
+    /// pre-pass runs), `Some(v)` = forced.
+    affine_skip: Option<bool>,
     lifetime: bool,
     batch_cap: usize,
     budget: Budget,
@@ -380,6 +383,7 @@ impl Default for Analysis {
         Analysis {
             engine: p.engine,
             skip_loops: p.skip_loops,
+            affine_skip: None,
             lifetime: p.lifetime,
             batch_cap: p.run.batch_cap,
             budget: p.budget,
@@ -394,6 +398,7 @@ impl std::fmt::Debug for Analysis {
         f.debug_struct("Analysis")
             .field("engine", &self.engine)
             .field("skip_loops", &self.skip_loops)
+            .field("affine_skip", &self.affine_skip)
             .field("lifetime", &self.lifetime)
             .field("batch_cap", &self.batch_cap)
             .field("statics", &self.statics)
@@ -426,6 +431,27 @@ impl Analysis {
     pub fn skip_loops(mut self, on: bool) -> Self {
         self.skip_loops = on;
         self
+    }
+
+    /// Force the interpreter's affine skip tier on or off. The tier
+    /// replays a precompiled straight-line plan for counted loops whose
+    /// in-loop accesses are all statically proven affine, eliminating
+    /// per-op dispatch; its access stream is bit-identical to full
+    /// interpretation (same events, op ids, timestamps), so only
+    /// profiling speed changes. By default (without this call) the tier
+    /// is active exactly when the static pre-pass runs
+    /// ([`Analysis::with_static`]) — the same affine facts that justify
+    /// skipping are then part of the report. The CLI's `--no-skip` maps
+    /// to `affine_skip(false)`.
+    pub fn affine_skip(mut self, on: bool) -> Self {
+        self.affine_skip = Some(on);
+        self
+    }
+
+    /// Whether the affine skip tier will be active for the next profiling
+    /// run (resolves the auto policy against [`Analysis::with_static`]).
+    pub fn affine_skip_effective(&self) -> bool {
+        self.affine_skip.unwrap_or(self.statics)
     }
 
     /// Enable variable-lifetime analysis (§2.3.5); on by default.
@@ -501,6 +527,7 @@ impl Analysis {
             budget: self.budget,
             run: interp::RunConfig {
                 batch_cap: self.batch_cap,
+                affine_skip: self.affine_skip_effective(),
                 ..base.run
             },
         }
@@ -725,6 +752,17 @@ pub fn render_report(program: &interp::Program, report: &Report) -> String {
         report.profile.deps.len(),
         report.profile.deps.total_found
     );
+    let synth = &report.profile.synth;
+    if synth.loops_skipped > 0 {
+        let _ = writeln!(
+            out,
+            "affine skip tier: {} loops plan-replayed ({} cycles, {} accesses synthesized, {} fallbacks)",
+            synth.loops_skipped,
+            synth.cycles,
+            synth.synthesized_accesses,
+            synth.fallbacks(),
+        );
+    }
     let _ = writeln!(out, "\nRanked parallelization opportunities:");
     for (i, r) in report.discovery.ranked.iter().enumerate() {
         match &r.target {
@@ -878,6 +916,38 @@ mod tests {
         assert!(text.contains("Ranked parallelization opportunities"));
         assert!(text.contains("Doall"));
         assert!(text.contains("serial-perfect"));
+    }
+
+    #[test]
+    fn affine_skip_defaults_to_the_static_switch_and_changes_nothing() {
+        let src = "global int a[64];\nglobal int s;\nfn main() {\nfor (int i = 0; i < 64; i = i + 1) { a[i] = i * 2; }\nfor (int i = 0; i < 64; i = i + 1) { s = s + a[i]; }\n}";
+        // Auto policy: off without statics, on with them, forcible both ways.
+        assert!(!Analysis::new().affine_skip_effective());
+        assert!(Analysis::new().with_static(true).affine_skip_effective());
+        assert!(Analysis::new().affine_skip(true).affine_skip_effective());
+        assert!(!Analysis::new()
+            .with_static(true)
+            .affine_skip(false)
+            .affine_skip_effective());
+
+        let mut on = Analysis::new().with_static(true);
+        let compiled = on.compile(src, "skip").unwrap();
+        let skipped = on.analyze_compiled(&compiled).unwrap();
+        assert!(
+            skipped.profile.synth.loops_skipped > 0,
+            "fully-affine counted loops engage the tier: {:?}",
+            skipped.profile.synth
+        );
+        let mut off = Analysis::new().with_static(true).affine_skip(false);
+        let interpreted = off.analyze_compiled(&compiled).unwrap();
+        assert_eq!(interpreted.profile.synth.loops_skipped, 0);
+        // Bit-identical dependence output, fewer interpreter dispatches.
+        assert_eq!(
+            skipped.profile.deps.sorted(),
+            interpreted.profile.deps.sorted()
+        );
+        assert_eq!(skipped.profile.steps, interpreted.profile.steps);
+        assert!(skipped.profile.synth.dispatches < interpreted.profile.synth.dispatches);
     }
 
     #[test]

@@ -8,11 +8,11 @@
 //! and from [`jsonio::Value`]. Downstream tools consume the JSON; this
 //! module is the one place its shape is defined.
 //!
-//! # Schema (version 4)
+//! # Schema (version 5)
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "program": "demo",
 //!   "engine": "serial-perfect",
 //!   "profile": {
@@ -33,7 +33,12 @@
 //!     "pet": [{"kind": "function", "name": "main", "entries": 1, "iters": 0,
 //!              "dyn_instrs": 1384, "start_line": 2, "end_line": 7,
 //!              "children": [1]}],
-//!     "parallel": null
+//!     "parallel": null,
+//!     "summary": {"loops_skipped": 1, "cycles": 63,
+//!                 "synthesized_accesses": 252,
+//!                 "fallback_reasons": {"budget": 0, "precondition": 0,
+//!                                      "fault": 0},
+//!                 "dispatches": 412}
 //!   },
 //!   "discovery": {
 //!     "loops":    [{"start_line": 3, "class": "Doall", "...": "..."}],
@@ -86,7 +91,11 @@ use profiler::{Dep, PetNodeKind};
 ///   statically-proven independence claims, lint findings) for runs with
 ///   the static pre-pass enabled. Version-1/2/3 documents are still read;
 ///   `static` defaults to absent.
-pub const SCHEMA_VERSION: u32 = 4;
+/// - **5**: `profile` gained the `summary` block (affine skip tier
+///   accounting: plan-replayed loops, synthesized accesses, fallback
+///   reasons, interpreter dispatches). Version-1..4 documents are still
+///   read; `summary` defaults to absent.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Oldest schema version [`ReportDoc::from_json`] still reads.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -574,6 +583,74 @@ impl ResourceDoc {
     }
 }
 
+/// Affine-skip-tier accounting (schema ≥ 5). Written by every v5
+/// document; absent in older documents and `None` when reading them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryDoc {
+    /// Distinct loops whose iterations were plan-replayed.
+    pub loops_skipped: u64,
+    /// Full loop cycles replayed without dispatch.
+    pub cycles: u64,
+    /// Memory access events synthesized by plan replay.
+    pub synthesized_accesses: u64,
+    /// Replays abandoned mid-cycle by slice-budget expiry.
+    pub fallback_budget: u64,
+    /// Engagements declined because a runtime precondition failed.
+    pub fallback_precondition: u64,
+    /// Tier shutdowns forced by fault injection.
+    pub fallback_fault: u64,
+    /// Interpreter dispatch-loop iterations for the whole run (plan
+    /// replay performs none; compare against a `--no-skip` run).
+    pub dispatches: u64,
+}
+
+impl SummaryDoc {
+    fn from_synth(s: &profiler::SynthSummary) -> SummaryDoc {
+        SummaryDoc {
+            loops_skipped: s.loops_skipped,
+            cycles: s.cycles,
+            synthesized_accesses: s.synthesized_accesses,
+            fallback_budget: s.fallback_budget,
+            fallback_precondition: s.fallback_precondition,
+            fallback_fault: s.fallback_fault,
+            dispatches: s.dispatches,
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("loops_skipped", Value::from(self.loops_skipped)),
+            ("cycles", Value::from(self.cycles)),
+            (
+                "synthesized_accesses",
+                Value::from(self.synthesized_accesses),
+            ),
+            (
+                "fallback_reasons",
+                Value::object([
+                    ("budget", Value::from(self.fallback_budget)),
+                    ("precondition", Value::from(self.fallback_precondition)),
+                    ("fault", Value::from(self.fallback_fault)),
+                ]),
+            ),
+            ("dispatches", Value::from(self.dispatches)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<SummaryDoc> {
+        let reasons = field(v, "fallback_reasons")?;
+        Ok(SummaryDoc {
+            loops_skipped: get_u64(v, "loops_skipped")?,
+            cycles: get_u64(v, "cycles")?,
+            synthesized_accesses: get_u64(v, "synthesized_accesses")?,
+            fallback_budget: get_u64(reasons, "budget")?,
+            fallback_precondition: get_u64(reasons, "precondition")?,
+            fallback_fault: get_u64(reasons, "fault")?,
+            dispatches: get_u64(v, "dispatches")?,
+        })
+    }
+}
+
 /// The profiler section of the report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProfileDoc {
@@ -596,6 +673,9 @@ pub struct ProfileDoc {
     /// Resource accounting, when the run was governed by a budget
     /// (schema ≥ 3).
     pub resource: Option<ResourceDoc>,
+    /// Affine-skip-tier accounting (schema ≥ 5; absent in older
+    /// documents).
+    pub summary: Option<SummaryDoc>,
 }
 
 impl ProfileDoc {
@@ -636,6 +716,13 @@ impl ProfileDoc {
                     None => Value::Null,
                 },
             ),
+            (
+                "summary",
+                match &self.summary {
+                    Some(s) => s.to_json(),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 
@@ -662,6 +749,11 @@ impl ProfileDoc {
             resource: match v.get("resource") {
                 None | Some(Value::Null) => None,
                 Some(other) => Some(ResourceDoc::from_json(other)?),
+            },
+            // Added in schema 5; absent (or null) in older documents.
+            summary: match v.get("summary") {
+                None | Some(Value::Null) => None,
+                Some(other) => Some(SummaryDoc::from_json(other)?),
             },
         })
     }
@@ -1513,6 +1605,7 @@ impl ReportDoc {
                 pet,
                 parallel,
                 resource,
+                summary: Some(SummaryDoc::from_synth(&report.profile.synth)),
             },
             discovery: DiscoveryDoc {
                 loops,

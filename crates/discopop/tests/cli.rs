@@ -63,6 +63,68 @@ fn analyze_emits_versioned_json_with_all_sections() {
 }
 
 #[test]
+fn no_skip_flag_disables_the_affine_tier_without_changing_output() {
+    let dir = scratch("noskip");
+    let src = dir.join("skip.dp");
+    std::fs::write(&src, SRC).unwrap();
+
+    let run = |extra: &[&str], out: &PathBuf| {
+        let mut args = vec!["analyze", src.to_str().unwrap(), "--quiet", "--json"];
+        args.push(out.to_str().unwrap());
+        args.extend_from_slice(extra);
+        let res = Command::new(BIN).args(&args).output().expect("binary runs");
+        assert!(
+            res.status.success(),
+            "{extra:?} stderr: {}",
+            String::from_utf8_lossy(&res.stderr)
+        );
+        discopop::report::ReportDoc::from_json_str(&std::fs::read_to_string(out).unwrap()).unwrap()
+    };
+
+    // Without --static the tier stays off even though plans exist.
+    let plain = run(&[], &dir.join("plain.json"));
+    let plain_summary = plain.profile.summary.as_ref().expect("summary block");
+    assert_eq!(plain_summary.loops_skipped, 0);
+
+    // --static arms it; both SRC loops are fully affine and counted.
+    let skipped = run(&["--static"], &dir.join("skip.json"));
+    let s = skipped.profile.summary.as_ref().expect("summary block");
+    assert!(s.loops_skipped > 0, "{s:?}");
+    assert!(s.synthesized_accesses > 0, "{s:?}");
+
+    // --no-skip overrides --static back to full interpretation.
+    let unskipped = run(&["--static", "--no-skip"], &dir.join("noskip.json"));
+    let u = unskipped.profile.summary.as_ref().expect("summary block");
+    assert_eq!(u.loops_skipped, 0);
+    assert!(
+        s.dispatches < u.dispatches,
+        "plan replay must reduce dispatches: {} vs {}",
+        s.dispatches,
+        u.dispatches
+    );
+
+    // The dependence output is bit-identical across all three runs.
+    assert_eq!(skipped.profile.dependences, unskipped.profile.dependences);
+    assert_eq!(skipped.profile.dependences, plain.profile.dependences);
+    assert_eq!(skipped.profile.steps, unskipped.profile.steps);
+    assert_eq!(skipped.profile.pet, unskipped.profile.pet);
+}
+
+#[test]
+fn help_and_engines_mention_the_skip_tier() {
+    let help = Command::new(BIN).arg("--help").output().unwrap();
+    assert!(help.status.success());
+    let text = String::from_utf8_lossy(&help.stdout);
+    assert!(text.contains("--no-skip"), "{text}");
+    assert!(text.contains("affine skip tier"), "{text}");
+
+    let engines = Command::new(BIN).arg("engines").output().unwrap();
+    assert!(engines.status.success());
+    let text = String::from_utf8_lossy(&engines.stdout);
+    assert!(text.contains("affine skip tier"), "{text}");
+}
+
+#[test]
 fn parallel_engine_selectable_from_cli() {
     let dir = scratch("parallel");
     let src = dir.join("par.dp");
@@ -205,7 +267,7 @@ fn report_subcommand_renders_saved_json() {
         .unwrap();
     assert!(res.status.success());
     let stdout = String::from_utf8_lossy(&res.stdout);
-    assert!(stdout.contains("schema v4"), "{stdout}");
+    assert!(stdout.contains("schema v5"), "{stdout}");
     assert!(stdout.contains("Doall"), "{stdout}");
     assert!(stdout.contains("Ranked opportunities"), "{stdout}");
 }

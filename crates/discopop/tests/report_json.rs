@@ -181,6 +181,82 @@ fn schema_v3_documents_still_parse() {
     assert_eq!(parsed.discovery, doc.discovery, "v3 fields read normally");
 }
 
+/// Schema evolution: a version-4 document — no `profile.summary` block —
+/// must still parse, with `summary` defaulting to absent.
+#[test]
+fn schema_v4_documents_still_parse() {
+    let (compiled, report) = full_report(EngineKind::SerialPerfect);
+    let doc = report.to_doc(compiled.program());
+    assert!(
+        doc.profile.summary.is_some(),
+        "v5 writers always emit the summary block"
+    );
+
+    let mut json = doc.to_json();
+    // A v4 writer never emitted the block; drop it and restamp.
+    let jsonio::Value::Object(ref mut fields) = json else {
+        panic!("document must be an object");
+    };
+    fields
+        .iter_mut()
+        .find(|(k, _)| k == "schema_version")
+        .expect("version stamp present")
+        .1 = jsonio::Value::from(4u32);
+    let profile = &mut fields
+        .iter_mut()
+        .find(|(k, _)| k == "profile")
+        .expect("profile section present")
+        .1;
+    let jsonio::Value::Object(ref mut pfields) = profile else {
+        panic!("profile must be an object");
+    };
+    pfields.retain(|(k, _)| k != "summary");
+
+    let parsed =
+        ReportDoc::from_json_str(&json.to_string_pretty()).expect("v4 documents must parse");
+    assert_eq!(parsed.schema_version, 4);
+    assert!(
+        parsed.profile.summary.is_none(),
+        "summary defaults to absent"
+    );
+    assert_eq!(parsed.discovery, doc.discovery, "v4 fields read normally");
+}
+
+/// The schema-v5 `summary` block reports plan replay when the affine skip
+/// tier engages, and zeroes (but still round-trips) when it is off.
+#[test]
+fn summary_block_reflects_the_affine_skip_tier() {
+    let mut on = Analysis::new().with_static(true);
+    let compiled = on.compile(SRC, "summary").unwrap();
+    let report = on.analyze_compiled(&compiled).unwrap();
+    let doc = report.to_doc(compiled.program());
+    let s = doc.profile.summary.as_ref().expect("summary present");
+    // The recurrence and reduction loops are fully affine and counted; the
+    // call-bearing first loop is not eligible.
+    assert!(s.loops_skipped > 0, "{s:?}");
+    assert!(s.synthesized_accesses > 0, "{s:?}");
+    assert!(s.dispatches > 0);
+
+    let mut off = Analysis::new().with_static(true).affine_skip(false);
+    let report_off = off.analyze_compiled(&compiled).unwrap();
+    let doc_off = report_off.to_doc(compiled.program());
+    let s_off = doc_off.profile.summary.as_ref().expect("summary present");
+    assert_eq!(s_off.loops_skipped, 0);
+    assert_eq!(s_off.synthesized_accesses, 0);
+    assert!(
+        s.dispatches < s_off.dispatches,
+        "plan replay must eliminate dispatches: {} vs {}",
+        s.dispatches,
+        s_off.dispatches
+    );
+    // Identical dependences either way.
+    assert_eq!(doc.profile.dependences, doc_off.profile.dependences);
+
+    let json = doc.to_json().to_string_pretty();
+    let parsed = ReportDoc::from_json_str(&json).expect("parses back");
+    assert_eq!(parsed, doc, "summary round-trips");
+}
+
 /// The schema-v4 `static` block survives a full JSON round trip and
 /// reports sensible numbers for the roundtrip program.
 #[test]

@@ -38,8 +38,17 @@
 //! | [`HotOp::CmpBranch`]      | `Bin`,`Branch`             | loop/if condition |
 //! | [`HotOp::LoadCmpBranch`]  | `Load`,`Bin`,`Branch`      | `i < n` loop header |
 //! | [`HotOp::Rmw`]            | `Load`,`Bin`,`Store`       | `i = i + 1`, `x += v` |
+//! | [`HotOp::RmwJump`]        | `Load`,`Bin`,`Store`,`Jump`| loop-increment block |
 //! | [`HotOp::LoadRmw`]        | `Load`,`Load`,`Bin`,`Store`| `a[i] = a[i] op b[j]` |
+//! | [`HotOp::LoadRmwJump`]    | `Load`,`Load`,`Bin`,`Store`,`Jump` | body-final array update |
+//! | [`HotOp::LoadLoadBin`]    | `Load`,`Load`,`Bin`        | `a[i] op b[j]` subterm |
 //! | [`HotOp::LoadBin`]        | `Load`,`Bin`                | `a[i] * x` subterm |
+//!
+//! The `*Jump` variants fold a block's trailing unconditional `Jump`
+//! terminator into the superinstruction exit (the jump is one charged
+//! constituent, its delta rides in the hot record relative to the jump's
+//! own slot), so a loop's increment block or body-final update dispatches
+//! once instead of twice.
 //!
 //! Fusion is *observationally invisible* — the invariants, pinned by
 //! `tests/decode_equivalence.rs` against the tree-walking oracle in
@@ -343,6 +352,29 @@ pub struct LoadRmwCode {
     pub rmw: RmwCode,
 }
 
+/// Cold body of a fused `Load`+`Load`+`Bin` ([`HotOp::LoadLoadBin`]) —
+/// the two-array subterm triple (`a[i] op b[j]`), hot in CG's
+/// sparse-matrix inner products per PR 5's static counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadLoadBinCode {
+    /// First load destination register.
+    pub load_dst: u32,
+    /// First load memory reference (copy of the head slot's pool entry).
+    pub load: MemRef,
+    /// Second load destination register.
+    pub load2_dst: u32,
+    /// Second load memory reference (copy of the tail slot's pool entry).
+    pub load2: MemRef,
+    /// The (non-trapping) binary operator.
+    pub op: BinOp,
+    /// Bin destination register.
+    pub bin_dst: u32,
+    /// Bin left operand.
+    pub lhs: Opnd,
+    /// Bin right operand.
+    pub rhs: Opnd,
+}
+
 /// Cold body of a fused `Load`+`Bin` ([`HotOp::LoadBin`]) — the
 /// array-subterm pair (`a[i] op x`), the most frequent 2-op pattern left
 /// after the longer fusions per PR 5's static counts.
@@ -511,9 +543,35 @@ pub enum HotOp {
         /// Superinstruction pool index.
         fused: u32,
     },
+    /// Fused `Load`+`Bin`+`Store`+`Jump` (4 logical steps): an [`HotOp::Rmw`]
+    /// body (in [`FuncCode::rmws`]) whose block ends in an unconditional
+    /// jump — the canonical loop-increment block. The jump delta is
+    /// relative to the jump constituent's own slot (head pc + 3).
+    RmwJump {
+        /// Superinstruction pool index (shares [`FuncCode::rmws`]).
+        fused: u32,
+        /// Jump delta from the jump constituent's slot.
+        delta: i32,
+    },
     /// Fused `Load`+`Load`+`Bin`+`Store` (4 logical steps); body in
     /// [`FuncCode::load_rmws`].
     LoadRmw {
+        /// Superinstruction pool index.
+        fused: u32,
+    },
+    /// Fused `Load`+`Load`+`Bin`+`Store`+`Jump` (5 logical steps): a
+    /// [`HotOp::LoadRmw`] body (in [`FuncCode::load_rmws`]) whose block ends
+    /// in an unconditional jump — a body-final array update. The jump delta
+    /// is relative to the jump constituent's own slot (head pc + 4).
+    LoadRmwJump {
+        /// Superinstruction pool index (shares [`FuncCode::load_rmws`]).
+        fused: u32,
+        /// Jump delta from the jump constituent's slot.
+        delta: i32,
+    },
+    /// Fused `Load`+`Load`+`Bin` (3 logical steps); body in
+    /// [`FuncCode::load_load_bins`].
+    LoadLoadBin {
         /// Superinstruction pool index.
         fused: u32,
     },
@@ -578,11 +636,19 @@ pub struct FuncCode {
     pub rmws: Box<[RmwCode]>,
     /// Fused load-read-modify-write bodies.
     pub load_rmws: Box<[LoadRmwCode]>,
+    /// Fused load-load-bin bodies.
+    pub load_load_bins: Box<[LoadLoadBinCode]>,
     /// Fused load-bin bodies.
     pub load_bins: Box<[LoadBinCode]>,
     /// `(pc, source line)` for every [`HotOp::BinChecked`] slot, sorted by
     /// pc — consulted only on the cold division-by-zero path.
     pub trap_lines: Box<[(u32, u32)]>,
+    /// Affine skip-tier loop plans ([`crate::synth::LoopPlan`]), compiled
+    /// after decode from the static facts; empty when no loop qualifies.
+    pub plans: Box<[crate::synth::LoopPlan]>,
+    /// `(trigger pc, plan index)` sorted by trigger pc — the
+    /// [`HotOp::LoopIter`] slots that own a plan, for [`FuncCode::plan_at`].
+    pub plan_idx: Box<[(u32, u32)]>,
     /// Pre-resolved region metadata, indexed by region id.
     pub regions: Box<[RegionCode]>,
     /// Absolute pc of each basic block's first op (diagnostics/printing).
@@ -608,6 +674,16 @@ impl FuncCode {
             Err(_) => 0,
         }
     }
+
+    /// The affine skip-tier plan anchored at the [`HotOp::LoopIter`] slot
+    /// `pc`, if that loop qualified at compile time. Consulted only when
+    /// the skip tier is enabled, off the per-op hot path.
+    pub fn plan_at(&self, pc: u32) -> Option<&crate::synth::LoopPlan> {
+        match self.plan_idx.binary_search_by_key(&pc, |&(p, _)| p) {
+            Ok(i) => Some(&self.plans[self.plan_idx[i].1 as usize]),
+            Err(_) => None,
+        }
+    }
 }
 
 /// Per-function pools under construction during decode.
@@ -622,6 +698,7 @@ struct FuncBuilder {
     load_cmp_branches: Vec<LoadCmpBranchCode>,
     rmws: Vec<RmwCode>,
     load_rmws: Vec<LoadRmwCode>,
+    load_load_bins: Vec<LoadLoadBinCode>,
     load_bins: Vec<LoadBinCode>,
     trap_lines: Vec<(u32, u32)>,
 }
@@ -844,8 +921,13 @@ impl<'m> DecodeCtx<'m> {
             load_cmp_branches: fb.load_cmp_branches.into_boxed_slice(),
             rmws: fb.rmws.into_boxed_slice(),
             load_rmws: fb.load_rmws.into_boxed_slice(),
+            load_load_bins: fb.load_load_bins.into_boxed_slice(),
             load_bins: fb.load_bins.into_boxed_slice(),
             trap_lines: fb.trap_lines.into_boxed_slice(),
+            // Skip-tier plans are compiled after decode (they need the
+            // static fact table), in `Program::with_decode_config`.
+            plans: Box::new([]),
+            plan_idx: Box::new([]),
             regions,
             block_starts: block_starts.into_boxed_slice(),
             params: (0..f.num_params)
@@ -964,7 +1046,7 @@ fn fuse_function(fb: &mut FuncBuilder, block_starts: &[u32]) {
 /// slots consumed (0 = no fusion).
 fn try_fuse_at(fb: &mut FuncBuilder, i: usize, end: usize) -> usize {
     use HotOp::*;
-    // Load + Load + Bin + Store.
+    // Load + Load + Bin + Store (+ trailing Jump terminator).
     if i + 3 < end {
         if let (
             Load { dst: d0, mem: m0 },
@@ -987,14 +1069,21 @@ fn try_fuse_at(fb: &mut FuncBuilder, i: usize, end: usize) -> usize {
                     store_src: src,
                 },
             });
-            fb.hot[i] = LoadRmw {
-                fused: (fb.load_rmws.len() - 1) as u32,
-            };
+            let fused = (fb.load_rmws.len() - 1) as u32;
+            // Fold the block's unconditional Jump terminator into the exit
+            // when it directly follows the store (body-final array update).
+            if i + 4 < end {
+                if let Jump { delta } = fb.hot[i + 4] {
+                    fb.hot[i] = LoadRmwJump { fused, delta };
+                    return 5;
+                }
+            }
+            fb.hot[i] = LoadRmw { fused };
             return 4;
         }
     }
     if i + 2 < end {
-        // Load + Bin + Store.
+        // Load + Bin + Store (+ trailing Jump terminator).
         if let (Load { dst: d0, mem: m0 }, Bin { op, dst, lhs, rhs }, Store { mem: sm, src }) =
             (fb.hot[i], fb.hot[i + 1], fb.hot[i + 2])
         {
@@ -1008,9 +1097,15 @@ fn try_fuse_at(fb: &mut FuncBuilder, i: usize, end: usize) -> usize {
                 store: fb.mems[sm as usize],
                 store_src: src,
             });
-            fb.hot[i] = Rmw {
-                fused: (fb.rmws.len() - 1) as u32,
-            };
+            let fused = (fb.rmws.len() - 1) as u32;
+            // The canonical loop-increment block: `i = i + 1; jump header`.
+            if i + 3 < end {
+                if let Jump { delta } = fb.hot[i + 3] {
+                    fb.hot[i] = RmwJump { fused, delta };
+                    return 4;
+                }
+            }
+            fb.hot[i] = Rmw { fused };
             return 3;
         }
         // Load + Bin + Branch.
@@ -1039,6 +1134,26 @@ fn try_fuse_at(fb: &mut FuncBuilder, i: usize, end: usize) -> usize {
             });
             fb.hot[i] = LoadCmpBranch {
                 fused: (fb.load_cmp_branches.len() - 1) as u32,
+            };
+            return 3;
+        }
+        // Load + Load + Bin — the two-array subterm (`a[i] op b[j]`), once
+        // the Store-ending quadruple above has declined the slot.
+        if let (Load { dst: d0, mem: m0 }, Load { dst: d1, mem: m1 }, Bin { op, dst, lhs, rhs }) =
+            (fb.hot[i], fb.hot[i + 1], fb.hot[i + 2])
+        {
+            fb.load_load_bins.push(LoadLoadBinCode {
+                load_dst: d0,
+                load: fb.mems[m0 as usize],
+                load2_dst: d1,
+                load2: fb.mems[m1 as usize],
+                op,
+                bin_dst: dst,
+                lhs,
+                rhs,
+            });
+            fb.hot[i] = LoadLoadBin {
+                fused: (fb.load_load_bins.len() - 1) as u32,
             };
             return 3;
         }
@@ -1231,9 +1346,10 @@ mod tests {
 
     #[test]
     fn peephole_fuses_the_named_patterns() {
-        // A loop with `i = i + 1` (Load+Bin+Store), `s = s + a[i]`
-        // (Load+Load+Bin+Store), and an `i < n` header
-        // (Load+Bin+Branch); the plain Bin+Branch pair appears in
+        // A loop with `i = i + 1` (Load+Bin+Store, block terminated by a
+        // Jump → the folded RmwJump), `s = s + a[i]`
+        // (Load+Load+Bin+Store, likewise Jump-terminated), and an `i < n`
+        // header (Load+Bin+Branch); the plain Bin+Branch pair appears in
         // register-condition branches.
         let p = program(
             "global int a[16];
@@ -1246,9 +1362,12 @@ mod tests {
         );
         let main = &p.code()[0];
         let has = |pat: fn(&HotOp) -> bool| main.hot.iter().any(pat);
-        assert!(has(|o| matches!(o, HotOp::Rmw { .. })), "i = i + 1 fuses");
         assert!(
-            has(|o| matches!(o, HotOp::LoadRmw { .. })),
+            has(|o| matches!(o, HotOp::Rmw { .. } | HotOp::RmwJump { .. })),
+            "i = i + 1 fuses"
+        );
+        assert!(
+            has(|o| matches!(o, HotOp::LoadRmw { .. } | HotOp::LoadRmwJump { .. })),
             "s = s + a[i] fuses"
         );
         assert!(
@@ -1259,22 +1378,99 @@ mod tests {
     }
 
     #[test]
-    fn load_bin_pairs_fuse() {
-        // `s + a[i] + 1` leaves a bare Load+Bin pair once the longer
-        // patterns decline it (the second Bin breaks the Rmw shapes).
+    fn trailing_jumps_fold_into_superinstruction_exits() {
+        // The for-loop increment block is exactly Load+Bin+Store+Jump, and
+        // the body-final `s = s + a[i]` sits directly before the body
+        // block's jump: both must fold their terminators.
         let p = program(
             "global int a[16];
             global int s;
             fn main() {
                 for (int i = 0; i < 16; i = i + 1) {
-                    s = s + a[i] + 1;
+                    s = s + a[i];
+                }
+            }",
+        );
+        let main = &p.code()[0];
+        let rmw_jump = main
+            .hot
+            .iter()
+            .enumerate()
+            .find_map(|(pc, o)| match o {
+                HotOp::RmwJump { delta, .. } => Some((pc, *delta)),
+                _ => None,
+            })
+            .expect("increment block folds its jump");
+        let llb_jump = main
+            .hot
+            .iter()
+            .enumerate()
+            .find_map(|(pc, o)| match o {
+                HotOp::LoadRmwJump { delta, .. } => Some((pc, *delta)),
+                _ => None,
+            })
+            .expect("body-final update folds its jump");
+        // The folded delta is relative to the jump constituent's own slot,
+        // which still holds the plain Jump with the same delta (tail-resume
+        // invariant), and targets a block start.
+        for (head, delta, jump_slot) in [
+            (rmw_jump.0, rmw_jump.1, rmw_jump.0 + 3),
+            (llb_jump.0, llb_jump.1, llb_jump.0 + 4),
+        ] {
+            assert!(
+                matches!(main.hot[jump_slot], HotOp::Jump { delta: d } if d == delta),
+                "head {head}: tail slot {jump_slot} keeps the plain jump"
+            );
+            let target = (jump_slot as i64 + delta as i64) as u32;
+            assert!(
+                main.block_starts.contains(&target),
+                "head {head}: folded jump target {target} is a block start"
+            );
+        }
+    }
+
+    #[test]
+    fn load_load_bin_triples_fuse() {
+        // `s = s + a[i] * b[i]` — the dotprod kernel: a[i], b[i] load pair
+        // feeding a Bin whose result is consumed by another Bin, so the
+        // Store-ending quadruple declines and Load+Load+Bin takes it.
+        let p = program(
+            "global int a[16];
+            global int b[16];
+            global int s;
+            fn main() {
+                for (int i = 0; i < 16; i = i + 1) {
+                    s = s + a[i] * b[i];
+                }
+            }",
+        );
+        let main = &p.code()[0];
+        assert!(
+            main.hot
+                .iter()
+                .any(|o| matches!(o, HotOp::LoadLoadBin { .. })),
+            "a[i] * b[i] subterm fuses to LoadLoadBin"
+        );
+        assert!(!main.load_load_bins.is_empty());
+    }
+
+    #[test]
+    fn load_bin_pairs_fuse() {
+        // `s * 2 + 1` leaves a bare Load+Bin pair once the longer patterns
+        // decline it (the second Bin breaks the Rmw shapes, and a single
+        // load cannot head the Load+Load+Bin triple).
+        let p = program(
+            "global int s;
+            fn main() {
+                for (int i = 0; i < 16; i = i + 1) {
+                    s = s * 2 + 1;
                 }
             }",
         );
         let main = &p.code()[0];
         assert!(
             main.hot.iter().any(|o| matches!(o, HotOp::LoadBin { .. })),
-            "a[i] + 1 subterm fuses to LoadBin"
+            "s * 2 subterm fuses to LoadBin"
         );
         assert!(!main.load_bins.is_empty());
     }
@@ -1302,7 +1498,10 @@ mod tests {
                         HotOp::CmpBranch { .. }
                             | HotOp::LoadCmpBranch { .. }
                             | HotOp::Rmw { .. }
+                            | HotOp::RmwJump { .. }
                             | HotOp::LoadRmw { .. }
+                            | HotOp::LoadRmwJump { .. }
+                            | HotOp::LoadLoadBin { .. }
                             | HotOp::LoadBin { .. }
                     ),
                     "slot {i} diverges but is not a fused head: {a:?}"
@@ -1337,6 +1536,9 @@ mod tests {
             }
             for c in f.cmp_branches.iter() {
                 assert!(!matches!(c.op, BinOp::Div | BinOp::Rem));
+            }
+            for r in f.load_load_bins.iter() {
+                assert!(!matches!(r.op, BinOp::Div | BinOp::Rem));
             }
             for r in f.load_bins.iter() {
                 assert!(!matches!(r.op, BinOp::Div | BinOp::Rem));

@@ -37,8 +37,10 @@ pub mod event;
 pub mod machine;
 pub mod program;
 pub mod reference;
+pub mod synth;
 
 pub use code::{Builtin, DecodeConfig, FuncCode, HotOp, MemRef, Opnd};
 pub use event::{Event, MemEvent, NullSink, RecordingSink, RegionExitEvent, Sink};
-pub use machine::{run, run_with_config, Interp, RunConfig, RunResult, RuntimeError};
+pub use machine::{run, run_with_config, Interp, RunConfig, RunResult, RuntimeError, SynthStats};
 pub use program::{MemOpMeta, Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};
+pub use synth::LoopPlan;

@@ -25,7 +25,8 @@
 use crate::code::{Builtin, FuncCode, HotOp, MemRef, DST_NONE};
 use crate::event::{Event, MemEvent, RegionExitEvent, Sink};
 use crate::program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};
-use fxhash::FxHashMap;
+use crate::synth::{LoopPlan, PlanOp};
+use fxhash::{FxHashMap, FxHashSet};
 use mir::{BinOp, RegId, UnOp, Value};
 use std::fmt;
 
@@ -61,6 +62,18 @@ pub struct RunConfig {
     /// emitted event prefix, so a profiler can still assemble a partial
     /// result. `None` (the default) costs nothing.
     pub stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Engage the affine skip tier: loops whose cycles compiled to a
+    /// [`crate::synth::LoopPlan`] execute through the plan replayer instead
+    /// of the dispatch loop. Observationally invisible — same events, same
+    /// timestamps, same step accounting — so it defaults to on; the knob
+    /// exists for differential testing and for callers that want dispatch
+    /// counts of the pure interpreter.
+    pub affine_skip: bool,
+    /// Fault injection for the skip tier: after this many synthesized
+    /// cycles, the tier permanently disables itself mid-run (counted as a
+    /// `fallback_fault`), forcing the drop back to full interpretation at a
+    /// genuinely mid-loop point. `None` (the default) never trips.
+    pub affine_skip_fault: Option<u64>,
 }
 
 impl RunConfig {
@@ -81,7 +94,39 @@ impl Default for RunConfig {
             buffer_cap: 64,
             batch_cap: 256,
             stop: None,
+            affine_skip: true,
+            affine_skip_fault: None,
         }
+    }
+}
+
+/// Activity counters of the affine skip tier during one run (see
+/// [`crate::synth`]). All zeros when the tier is disabled or no loop
+/// qualified.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynthStats {
+    /// Distinct loops whose plan engaged at least once.
+    pub loops: u64,
+    /// Full loop cycles replayed through plans.
+    pub cycles: u64,
+    /// Memory accesses synthesized by the plan replayer (each still emitted
+    /// through the normal event path).
+    pub accesses: u64,
+    /// Plan executions that parked mid-cycle on slice-budget exhaustion and
+    /// resumed under full interpretation.
+    pub fallback_budget: u64,
+    /// Engagements skipped because a runtime precondition did not hold
+    /// (the loop's region was not on top of the region stack).
+    pub fallback_precondition: u64,
+    /// The injected fault ([`RunConfig::affine_skip_fault`]) tripped and
+    /// disabled the tier mid-loop.
+    pub fallback_fault: u64,
+}
+
+impl SynthStats {
+    /// Total fallbacks across all reasons.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallback_budget + self.fallback_precondition + self.fallback_fault
     }
 }
 
@@ -94,6 +139,15 @@ pub struct RunResult {
     pub printed: Vec<String>,
     /// Total executed instructions across all threads.
     pub steps: u64,
+    /// Dispatch-loop iterations: how many times the interpreter actually
+    /// decoded-and-dispatched an op. Fused superinstructions count one
+    /// dispatch for several steps; plan-replayed loop cycles count zero.
+    /// `steps` is the architectural count (identical under every decode
+    /// and skip configuration), `dispatches` is the work the interpreter
+    /// did to produce it — the skip tier's perf claim is measured here.
+    pub dispatches: u64,
+    /// Affine skip tier activity counters.
+    pub synth: SynthStats,
     /// Number of threads that existed (including main).
     pub threads: u32,
     /// The run was cancelled through [`RunConfig::stop`] before completion:
@@ -214,6 +268,16 @@ pub struct Interp<'p, S: Sink> {
     /// Resolved once at construction: `batch_hint` of the sink, gated on
     /// the config. Checked on every emit, so it must be a plain bool.
     batching: bool,
+    /// Dispatch-loop iterations (see [`RunResult::dispatches`]).
+    dispatches: u64,
+    /// Affine skip tier counters.
+    synth: SynthStats,
+    /// Live skip switch: starts at [`RunConfig::affine_skip`], cleared
+    /// permanently when the injected fault trips.
+    skip_enabled: bool,
+    /// `(func, trigger pc)` of every plan that has engaged — distinct-loop
+    /// accounting for [`SynthStats::loops`].
+    synth_seen: FxHashSet<(u32, u32)>,
 }
 
 /// Run a program with the default configuration.
@@ -265,6 +329,10 @@ impl<'p, S: Sink> Interp<'p, S> {
             call_buf: Vec::new(),
             batch: Vec::with_capacity(if batching { cfg.batch_cap } else { 0 }),
             batching,
+            dispatches: 0,
+            synth: SynthStats::default(),
+            skip_enabled: cfg.affine_skip,
+            synth_seen: FxHashSet::default(),
         };
         it.spawn_thread(main_id.index(), &[], None, 0);
         Ok(it)
@@ -414,6 +482,8 @@ impl<'p, S: Sink> Interp<'p, S> {
             },
             printed: self.printed,
             steps: self.steps,
+            dispatches: self.dispatches,
+            synth: self.synth,
             threads: self.threads.len() as u32,
             interrupted,
         })
@@ -496,10 +566,12 @@ impl<'p, S: Sink> Interp<'p, S> {
         // the thread counter, the scheduler reads the global one).
         let mut steps = self.steps;
         let mut th_steps = self.threads[t].steps;
+        let mut dispatches = self.dispatches;
         macro_rules! sync_steps {
             () => {{
                 self.steps = steps;
                 self.threads[t].steps = th_steps;
+                self.dispatches = dispatches;
             }};
         }
         'frame: while budget > 0 && self.threads[t].state == TState::Ready {
@@ -568,6 +640,7 @@ impl<'p, S: Sink> Interp<'p, S> {
                 budget -= 1;
                 steps += 1;
                 th_steps += 1;
+                dispatches += 1;
                 match ops[pc] {
                     HotOp::Load { dst, mem } => {
                         do_load!(&code.mems[mem as usize], dst, pc);
@@ -727,6 +800,51 @@ impl<'p, S: Sink> Interp<'p, S> {
                             },
                         );
                         pc += 1;
+                        // Affine skip tier: when this LoopIter anchors a
+                        // compiled plan, replay whole cycles without
+                        // dispatching. The iteration just opened (charged
+                        // and emitted above) is the plan's first cycle.
+                        if self.skip_enabled {
+                            if let Some(plan) = code.plan_at((pc - 1) as u32) {
+                                // Precondition: the loop's own region must
+                                // be on top of the region stack, so the
+                                // Body steps bump the right iteration
+                                // counter. Abrupt control flow into the
+                                // header can violate this; fall back.
+                                let top = self.threads[t]
+                                    .frames
+                                    .last()
+                                    .unwrap()
+                                    .regions
+                                    .last()
+                                    .map(|r| r.region);
+                                if top == Some(region) {
+                                    if self.synth_seen.insert((func as u32, plan.trigger)) {
+                                        self.synth.loops += 1;
+                                    }
+                                    match self.exec_plan(
+                                        t,
+                                        func,
+                                        code,
+                                        plan,
+                                        base,
+                                        &mut regs,
+                                        &mut budget,
+                                        &mut steps,
+                                        &mut th_steps,
+                                    ) {
+                                        Ok(next) => pc = next,
+                                        Err((at, e)) => {
+                                            pc = at;
+                                            park!();
+                                            return Err(e);
+                                        }
+                                    }
+                                } else {
+                                    self.synth.fallback_precondition += 1;
+                                }
+                            }
+                        }
                     }
                     HotOp::LoopBody { region } => {
                         let fr = self.threads[t].frames.last_mut().unwrap();
@@ -813,6 +931,20 @@ impl<'p, S: Sink> Interp<'p, S> {
                         do_store!(&r.store, r.store_src, pc + 2);
                         pc += 3;
                     }
+                    HotOp::RmwJump { fused, delta } => {
+                        let r = &code.rmws[fused as usize];
+                        do_load!(&r.load, r.load_dst, pc);
+                        tick_or_park!(pc + 1);
+                        let a = r.lhs.value(&regs, imms);
+                        let b = r.rhs.value(&regs, imms);
+                        regs[r.bin_dst as usize] = bin_eval_nontrap(r.op, a, b);
+                        tick_or_park!(pc + 2);
+                        do_store!(&r.store, r.store_src, pc + 2);
+                        // Constituent 4: the folded trailing Jump at pc + 3;
+                        // the delta is relative to the jump's own slot.
+                        tick_or_park!(pc + 3);
+                        pc = jump(pc + 3, delta);
+                    }
                     HotOp::LoadRmw { fused } => {
                         let r = &code.load_rmws[fused as usize];
                         do_load!(&r.load, r.load_dst, pc);
@@ -825,6 +957,32 @@ impl<'p, S: Sink> Interp<'p, S> {
                         tick_or_park!(pc + 3);
                         do_store!(&r.rmw.store, r.rmw.store_src, pc + 3);
                         pc += 4;
+                    }
+                    HotOp::LoadRmwJump { fused, delta } => {
+                        let r = &code.load_rmws[fused as usize];
+                        do_load!(&r.load, r.load_dst, pc);
+                        tick_or_park!(pc + 1);
+                        do_load!(&r.rmw.load, r.rmw.load_dst, pc + 1);
+                        tick_or_park!(pc + 2);
+                        let a = r.rmw.lhs.value(&regs, imms);
+                        let b = r.rmw.rhs.value(&regs, imms);
+                        regs[r.rmw.bin_dst as usize] = bin_eval_nontrap(r.rmw.op, a, b);
+                        tick_or_park!(pc + 3);
+                        do_store!(&r.rmw.store, r.rmw.store_src, pc + 3);
+                        // Constituent 5: the folded trailing Jump at pc + 4.
+                        tick_or_park!(pc + 4);
+                        pc = jump(pc + 4, delta);
+                    }
+                    HotOp::LoadLoadBin { fused } => {
+                        let r = &code.load_load_bins[fused as usize];
+                        do_load!(&r.load, r.load_dst, pc);
+                        tick_or_park!(pc + 1);
+                        do_load!(&r.load2, r.load2_dst, pc + 1);
+                        tick_or_park!(pc + 2);
+                        let a = r.lhs.value(&regs, imms);
+                        let b = r.rhs.value(&regs, imms);
+                        regs[r.bin_dst as usize] = bin_eval_nontrap(r.op, a, b);
+                        pc += 3;
                     }
                     HotOp::LoadBin { fused } => {
                         let r = &code.load_bins[fused as usize];
@@ -839,6 +997,146 @@ impl<'p, S: Sink> Interp<'p, S> {
             }
         }
         Ok(())
+    }
+
+    /// Replay full cycles of one compiled loop plan — the affine skip
+    /// tier's fast path. Called from the `LoopIter` dispatch arm *after*
+    /// that arm charged and emitted the iteration that engages the plan,
+    /// so the plan's steps (which start at `trigger + 1`) continue it.
+    ///
+    /// The replay is observationally identical to interpretation: every
+    /// constituent charges exactly one step *before* executing (memory
+    /// events carry the post-increment counter as their timestamp, exactly
+    /// like `tick_or_park!` + `do_load!`), the cycle-heading `LoopIter` is
+    /// charged and emitted the way its dispatch arm would, and the exit
+    /// test runs live every cycle — the statically proven trip count is
+    /// eligibility evidence, never trusted at runtime.
+    ///
+    /// Returns `Ok(pc)` with the pc interpretation resumes at:
+    /// - the exit target, when the loop's live exit test fails;
+    /// - the first uncharged constituent's own slot, when the slice budget
+    ///   expires mid-cycle (the plain op there resumes interpreted — the
+    ///   exact fused-op park semantics);
+    /// - the trigger slot, when the budget expires at a cycle boundary or
+    ///   the injected fault ([`RunConfig::affine_skip_fault`]) trips —
+    ///   interpretation re-dispatches the `LoopIter` there.
+    ///
+    /// Returns `Err((pc, e))` when a constituent traps; the caller parks at
+    /// `pc` and propagates, identical to `do_load!`/`do_store!`.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_plan(
+        &mut self,
+        t: usize,
+        func: usize,
+        code: &FuncCode,
+        plan: &LoopPlan,
+        base: usize,
+        regs: &mut [Value],
+        budget: &mut u32,
+        steps: &mut u64,
+        th_steps: &mut u64,
+    ) -> Result<usize, (usize, RuntimeError)> {
+        let imms: &[Value] = &code.imms;
+        let mut first = true;
+        loop {
+            if !first {
+                // Cycle boundary: control is back at the trigger slot.
+                // Interpretation would park here on an empty budget (its
+                // budget check precedes the charge), and the fault check
+                // sits here because a disabled tier resumes by
+                // re-dispatching the LoopIter.
+                if *budget == 0 {
+                    return Ok(plan.trigger as usize);
+                }
+                if let Some(limit) = self.cfg.affine_skip_fault {
+                    if self.synth.cycles >= limit {
+                        self.skip_enabled = false;
+                        self.synth.fallback_fault += 1;
+                        return Ok(plan.trigger as usize);
+                    }
+                }
+                // The next cycle's LoopIter: charge and emit exactly as
+                // its dispatch arm does. `pop_regions_above` is a no-op by
+                // the straight-line invariant (no region ops in the
+                // cycle), so the region stack cannot have changed.
+                *budget -= 1;
+                *steps += 1;
+                *th_steps += 1;
+                self.emit(
+                    t,
+                    Event::LoopIter {
+                        func: func as u32,
+                        region: plan.region,
+                        thread: t as u32,
+                    },
+                );
+            }
+            first = false;
+            for step in plan.steps.iter() {
+                if *budget == 0 {
+                    // Mid-cycle slice expiry: genuine fallback — the rest
+                    // of this cycle runs interpreted, re-engaging at the
+                    // next LoopIter.
+                    self.synth.fallback_budget += 1;
+                    return Ok(step.pc as usize);
+                }
+                *budget -= 1;
+                *steps += 1;
+                *th_steps += 1;
+                match &step.op {
+                    PlanOp::Load { dst, mem } => {
+                        self.synth.accesses += 1;
+                        if let Err(e) = self.exec_load(t, imms, regs, base, mem, *dst, *steps) {
+                            return Err((step.pc as usize, e));
+                        }
+                    }
+                    PlanOp::Store { src, mem } => {
+                        self.synth.accesses += 1;
+                        if let Err(e) = self.exec_store(t, imms, regs, base, mem, *src, *steps) {
+                            return Err((step.pc as usize, e));
+                        }
+                    }
+                    PlanOp::Bin { op, dst, lhs, rhs } => {
+                        let a = lhs.value(regs, imms);
+                        let b = rhs.value(regs, imms);
+                        regs[*dst as usize] = bin_eval_nontrap(*op, a, b);
+                    }
+                    PlanOp::Un { op, dst, src } => {
+                        let v = src.value(regs, imms);
+                        let r = match op {
+                            UnOp::Neg => match v {
+                                Value::I64(x) => Value::I64(x.wrapping_neg()),
+                                Value::F64(x) => Value::F64(-x),
+                            },
+                            UnOp::Not => Value::I64(i64::from(!v.is_truthy())),
+                            UnOp::ToF64 => Value::F64(v.as_f64()),
+                            UnOp::ToI64 => Value::I64(v.as_i64()),
+                        };
+                        regs[*dst as usize] = r;
+                    }
+                    PlanOp::Body { region } => {
+                        let fr = self.threads[t].frames.last_mut().unwrap();
+                        if let Some(top) = fr.regions.last_mut() {
+                            if top.region == *region {
+                                top.iters += 1;
+                            }
+                        }
+                    }
+                    PlanOp::Skip => {}
+                    PlanOp::Exit {
+                        cond,
+                        cont_on_true,
+                        exit_pc,
+                    } => {
+                        let v = cond.value(regs, imms);
+                        if v.is_truthy() != *cont_on_true {
+                            return Ok(*exit_pc as usize);
+                        }
+                    }
+                }
+            }
+            self.synth.cycles += 1;
+        }
     }
 
     /// Return the argument buffer for reuse by the next call.

@@ -132,17 +132,27 @@ impl Program {
             &frame_words,
             decode,
         );
-        let code: Vec<FuncCode> = (0..module.functions.len())
+        let mut code: Vec<FuncCode> = (0..module.functions.len())
             .map(|fx| ctx.decode_function(fx))
             .collect();
         let num_mem_ops = ctx.next_op;
         let mem_meta = std::mem::take(&mut ctx.mem_meta);
-        let mem_facts = analysis::access_facts(&module);
+        let statics = analysis::static_facts(&module);
+        let mem_facts = statics.access;
         debug_assert_eq!(
             mem_facts.len(),
             num_mem_ops as usize,
             "static fact table must align with decode-time op ids"
         );
+        // Skip-tier plan compilation: with the fact table and trip counts
+        // in hand, compile each eligible loop's cycle into a straight-line
+        // plan the machine can replay without dispatching (see
+        // [`crate::synth`]). Fused and unfused decodes yield identical
+        // plans, since tracing expands superinstructions back into their
+        // constituents.
+        for (fx, c) in code.iter_mut().enumerate() {
+            crate::synth::compile_plans(c, &mem_facts, &statics.trip_counts[fx]);
+        }
 
         Program {
             module,

@@ -282,6 +282,10 @@ impl<'p, S: Sink> RefInterp<'p, S> {
             ret: self.threads[0].ret,
             printed: self.printed,
             steps: self.steps,
+            // The tree-walker dispatches every instruction individually
+            // and never skips: each step is one dispatch, no synthesis.
+            dispatches: self.steps,
+            synth: crate::machine::SynthStats::default(),
             threads: self.threads.len() as u32,
             interrupted: false,
         })

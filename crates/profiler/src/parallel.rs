@@ -914,6 +914,8 @@ pub struct ParallelOutput {
     /// Aggregated skip statistics (all zero: skipping is a serial-engine
     /// feature, kept for interface symmetry).
     pub skip_stats: SkipStats,
+    /// Affine skip tier activity of the producer's interpreter run.
+    pub synth: crate::run::SynthSummary,
     /// Estimated profiler memory footprint in bytes.
     pub profiler_bytes: usize,
     /// Executed target instructions.
@@ -952,6 +954,7 @@ impl ParallelOutput {
             deps: self.deps,
             pet: self.pet,
             skip_stats: self.skip_stats,
+            synth: self.synth,
             profiler_bytes: self.profiler_bytes,
             steps: self.steps,
             printed: self.printed,
@@ -1799,6 +1802,9 @@ impl ParallelProfiler {
             deps,
             pet: pet.finish(steps),
             skip_stats: stats,
+            // The caller holds the RunResult; `profile_parallel` patches
+            // the real counters in after finalize.
+            synth: crate::run::SynthSummary::default(),
             profiler_bytes: bytes,
             steps,
             printed,
@@ -1899,7 +1905,10 @@ pub fn profile_parallel(
         p.stop = Some(stop);
     }
     let r = interp::run_with_config(prog, &mut p, rcfg)?;
-    Ok(p.finalize(r.steps, r.printed))
+    let synth = crate::run::SynthSummary::from_run(&r);
+    let mut out = p.finalize(r.steps, r.printed);
+    out.synth = synth;
+    Ok(out)
 }
 
 /// Profile a multi-threaded target program.
@@ -2143,6 +2152,7 @@ pub fn profile_multithreaded_target(
         deps,
         pet: pet.finish(r.steps),
         skip_stats: stats,
+        synth: crate::run::SynthSummary::from_run(&r),
         profiler_bytes: bytes,
         steps: r.steps,
         printed: r.printed,

@@ -343,6 +343,53 @@ pub struct ParallelStats {
     pub worker_processed: Vec<u64>,
 }
 
+/// Affine skip tier activity of one profiled run — the interpreter's
+/// [`interp::SynthStats`] counters plus the dispatch count, mirrored here
+/// so it serializes with the rest of the profile (the report's schema-v5
+/// `summary` block). All zeros when the tier was off or nothing
+/// qualified.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SynthSummary {
+    /// Distinct loops replayed through compiled plans.
+    pub loops_skipped: u64,
+    /// Full loop cycles replayed without dispatch.
+    pub cycles: u64,
+    /// Memory accesses synthesized by the plan replayer (each still
+    /// delivered through the normal event path — same events, timestamps,
+    /// and op ids as interpretation).
+    pub synthesized_accesses: u64,
+    /// Mid-cycle slice-budget parks that fell back to interpretation.
+    pub fallback_budget: u64,
+    /// Engagements declined on a violated runtime precondition.
+    pub fallback_precondition: u64,
+    /// Injected-fault trips that disabled the tier mid-run.
+    pub fallback_fault: u64,
+    /// Interpreter dispatch-loop iterations for the whole run — the
+    /// denominator of the tier's perf claim (plan-replayed cycles count
+    /// zero dispatches).
+    pub dispatches: u64,
+}
+
+impl SynthSummary {
+    /// Extract the summary from an interpreter run.
+    pub fn from_run(r: &RunResult) -> Self {
+        SynthSummary {
+            loops_skipped: r.synth.loops,
+            cycles: r.synth.cycles,
+            synthesized_accesses: r.synth.accesses,
+            fallback_budget: r.synth.fallback_budget,
+            fallback_precondition: r.synth.fallback_precondition,
+            fallback_fault: r.synth.fallback_fault,
+            dispatches: r.dispatches,
+        }
+    }
+
+    /// Total fallbacks across all reasons.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallback_budget + self.fallback_precondition + self.fallback_fault
+    }
+}
+
 /// Everything a profiling run produces, identical across engines.
 #[derive(Debug, Serialize)]
 pub struct ProfileOutput {
@@ -352,6 +399,9 @@ pub struct ProfileOutput {
     pub pet: Pet,
     /// Skip-optimization statistics.
     pub skip_stats: SkipStats,
+    /// Affine skip tier activity (loops replayed, accesses synthesized,
+    /// fallbacks, dispatch count).
+    pub synth: SynthSummary,
     /// Estimated profiler memory footprint in bytes.
     pub profiler_bytes: usize,
     /// Executed instructions of the target program.
@@ -438,6 +488,7 @@ fn assemble<M: crate::maps::AccessMap>(p: SerialProfiler<M>, r: RunResult) -> Pr
         deps,
         pet,
         skip_stats,
+        synth: SynthSummary::from_run(&r),
         profiler_bytes,
         steps: r.steps,
         printed: r.printed,

@@ -314,6 +314,113 @@ fn parallel_deadline_returns_typed_partial() {
     });
 }
 
+// ---------------------------------------------------------------------------
+// Affine skip tier fallbacks
+// ---------------------------------------------------------------------------
+
+/// The skip tier's own faultpoint: after N synthesized cycles the tier
+/// permanently disarms mid-loop. The run must finish under full
+/// interpretation with dependences identical to a never-skipped run.
+#[test]
+fn skip_tier_fault_falls_back_with_identical_deps() {
+    fault_session(|| {
+        let prog = program(SEQ_SRC);
+        let baseline_cfg = ProfileConfig {
+            engine: EngineKind::SerialPerfect,
+            run: RunConfig {
+                affine_skip: false,
+                ..RunConfig::default()
+            },
+            ..ProfileConfig::default()
+        };
+        let baseline = profile_program_with(&prog, &baseline_cfg).expect("skip-off run");
+        assert_eq!(baseline.synth.loops_skipped, 0);
+
+        for limit in [0u64, 1, 5] {
+            let cfg = ProfileConfig {
+                engine: EngineKind::SerialPerfect,
+                run: RunConfig {
+                    affine_skip_fault: Some(limit),
+                    ..RunConfig::default()
+                },
+                ..ProfileConfig::default()
+            };
+            let out = profile_program_with(&prog, &cfg).expect("faulted run completes");
+            assert_eq!(
+                out.synth.fallback_fault, 1,
+                "limit={limit}: the injected fault trips exactly once"
+            );
+            assert_eq!(
+                out.deps.sorted(),
+                baseline.deps.sorted(),
+                "limit={limit}: mid-loop fallback must not change dependences"
+            );
+            assert_eq!(out.steps, baseline.steps, "limit={limit}");
+        }
+    });
+}
+
+/// Slice-budget exhaustion inside a plan cycle: a quantum of 1 parks the
+/// replay at every constituent, forcing the interpreted-resume path on each
+/// park, yet the profile is unchanged.
+#[test]
+fn skip_tier_budget_exhaustion_parks_and_resumes_identically() {
+    fault_session(|| {
+        let prog = program(SEQ_SRC);
+        let mk = |skip: bool| ProfileConfig {
+            engine: EngineKind::SerialPerfect,
+            run: RunConfig {
+                quantum: 1,
+                affine_skip: skip,
+                ..RunConfig::default()
+            },
+            ..ProfileConfig::default()
+        };
+        let on = profile_program_with(&prog, &mk(true)).expect("skip-on run");
+        let off = profile_program_with(&prog, &mk(false)).expect("skip-off run");
+        assert!(
+            on.synth.fallback_budget > 0,
+            "a one-step quantum must park plan replay mid-cycle: {:?}",
+            on.synth
+        );
+        assert_eq!(on.deps.sorted(), off.deps.sorted());
+        assert_eq!(on.steps, off.steps);
+    });
+}
+
+/// A deadline trip while the skip tier is engaged still yields the typed
+/// partial: the governor's stop flag is honored at slice boundaries, which
+/// plan replay respects by parking on budget expiry.
+#[test]
+fn skip_tier_respects_deadline_trips() {
+    fault_session(|| {
+        let prog = program(SEQ_SRC);
+        let cfg = ProfileConfig {
+            engine: EngineKind::SerialPerfect,
+            budget: Budget {
+                max_memory_bytes: None,
+                deadline: Some(Duration::ZERO),
+            },
+            run: RunConfig {
+                affine_skip: true,
+                ..RunConfig::default()
+            },
+            ..ProfileConfig::default()
+        };
+        match profile_program_with(&prog, &cfg) {
+            Err(ProfileError::DeadlineExceeded { partial }) => {
+                assert!(partial.resource.as_ref().is_some_and(|r| r.deadline_hit));
+                assert!(
+                    partial.steps > 0,
+                    "the event prefix before the interrupt was profiled"
+                );
+            }
+            Err(other) => panic!("expected DeadlineExceeded, got: {other}"),
+            Ok(_) => panic!("a zero deadline cannot be met"),
+        }
+    });
+}
+
 /// A generous deadline must not trip: governance stays an observer when
 /// limits are not hit.
 #[test]

@@ -68,8 +68,11 @@ fn has_superinstructions(p: &Program) -> bool {
                 HotOp::CmpBranch { .. }
                     | HotOp::LoadCmpBranch { .. }
                     | HotOp::Rmw { .. }
+                    | HotOp::RmwJump { .. }
                     | HotOp::LoadRmw { .. }
+                    | HotOp::LoadRmwJump { .. }
                     | HotOp::LoadBin { .. }
+                    | HotOp::LoadLoadBin { .. }
             )
         })
     })
