@@ -1,0 +1,392 @@
+//! `loadtest` — throughput and latency baseline for the analysis service.
+//!
+//! Boots an in-process `discopop serve` daemon and drives it with
+//! concurrent `submit` clients over real TCP, measuring what the service
+//! chapter of the README promises: request throughput, p50/p99 latency,
+//! and — the robustness headline — that killing a worker mid-run corrupts
+//! nothing: every healthy response must stay byte-identical to a direct
+//! in-process [`Analysis`] run of the same source.
+//!
+//! Scenarios:
+//! - `single_client_warm`: one client, one source — the cache-hit serving
+//!   floor (connection + protocol + cache lookup, no compile).
+//! - `mixed_4c`: four clients round-robining four distinct sources — the
+//!   steady-state mix with cache hits and misses.
+//! - `burst_8c`: eight clients against two workers — queueing and (if the
+//!   queue fills) admission-control shedding; clients retry typed sheds
+//!   with backoff, so `shed` counts pressure, not failures.
+//! - `worker_kill_mid_run`: same mix with `serve:mid-job` armed to fire
+//!   partway through — exactly one job dies with a typed `panic` error,
+//!   the supervisor recovers the worker, and every other response is
+//!   byte-checked against the direct-run oracle (`corrupt` must be 0).
+//!
+//! Usage: `cargo run --release -p bench --bin loadtest [--only smoke]`.
+//!
+//! `--only smoke` runs shrunken scenarios and prints the JSON to stdout
+//! **without** touching `BENCH_loadtest.json` — the CI mode that keeps
+//! the service path exercised on every push without gating on timing.
+
+use discopop::protocol::{ErrorKind, JobOptions, Request, Response};
+use discopop::serve::{serve, ServeConfig};
+use discopop::submit::{submit, SubmitConfig, SubmitError};
+use discopop::{Analysis, EngineKind};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Four small, distinct, deterministic workloads (auto engine resolves to
+/// serial-perfect for all of them, so repeated runs render identical
+/// reports — the property the `corrupt` column leans on).
+const SOURCES: [(&str, &str); 4] = [
+    (
+        "fill_sum",
+        "fn main() {
+    int a[256];
+    for (int i = 0; i < 256; i = i + 1) { a[i] = i * 2; }
+    int s = 0;
+    for (int i = 0; i < 256; i = i + 1) { s = s + a[i]; }
+}",
+    ),
+    (
+        "prefix",
+        "fn main() {
+    int b[128];
+    for (int i = 1; i < 128; i = i + 1) { b[i] = b[i - 1] + i; }
+}",
+    ),
+    (
+        "stencil",
+        "global int c[512];
+fn main() {
+    for (int i = 1; i < 511; i = i + 1) { c[i] = c[i - 1] + c[i + 1]; }
+}",
+    ),
+    (
+        "reduce",
+        "global int d[1024];
+global int s;
+fn main() {
+    for (int i = 0; i < 1024; i = i + 1) { s = s + d[i]; }
+}",
+    ),
+];
+
+struct Row {
+    scenario: &'static str,
+    clients: usize,
+    workers: usize,
+    requests: usize,
+    ok: usize,
+    typed_errors: usize,
+    corrupt: usize,
+    shed: u64,
+    worker_recoveries: u64,
+    req_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    wall_secs: f64,
+}
+
+/// The report JSON a direct in-process run renders for `source` — the
+/// oracle every served response is compared against byte-for-byte.
+fn direct_report_json(name: &str, source: &str) -> String {
+    let mut analysis = Analysis::new();
+    let compiled = analysis.compile(source, name).expect("oracle compiles");
+    analysis.engine_mut(EngineKind::auto_for(compiled.program()));
+    let report = analysis
+        .analyze_compiled(&compiled)
+        .expect("oracle analysis succeeds");
+    report.to_doc(compiled.program()).to_json().to_string()
+}
+
+struct ScenarioSpec {
+    scenario: &'static str,
+    clients: usize,
+    reqs_per_client: usize,
+    /// How many of [`SOURCES`] the clients round-robin over.
+    source_count: usize,
+    /// Arm `serve:mid-job` to fire after this many profiled jobs.
+    kill_after: Option<u64>,
+    /// Shrink the admission queue to provoke shedding under burst.
+    queue_cap: Option<usize>,
+}
+
+fn run_scenario(spec: &ScenarioSpec) -> Row {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        io_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    if let Some(cap) = spec.queue_cap {
+        cfg.queue_cap = cap;
+    }
+    let workers = cfg.workers;
+    let server = serve(cfg).expect("daemon starts");
+    let addr = server.local_addr().to_string();
+
+    let sources: Vec<(&str, &str)> = SOURCES[..spec.source_count].to_vec();
+    let expected: Vec<String> = sources
+        .iter()
+        .map(|(name, src)| direct_report_json(name, src))
+        .collect();
+
+    if let Some(after) = spec.kill_after {
+        profiler::fault::arm("serve:mid-job", after);
+    }
+
+    let ok = AtomicU64::new(0);
+    let typed_errors = AtomicU64::new(0);
+    let corrupt = AtomicU64::new(0);
+    let next_id = AtomicU64::new(1);
+    let t0 = Instant::now();
+    let mut latencies_us: Vec<u64> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..spec.clients {
+            let (addr, sources, expected) = (&addr, &sources, &expected);
+            let (ok, typed_errors, corrupt, next_id) = (&ok, &typed_errors, &corrupt, &next_id);
+            handles.push(scope.spawn(move || {
+                let client = SubmitConfig {
+                    addr: addr.clone(),
+                    attempts: 4,
+                    base_backoff: Duration::from_millis(5),
+                    max_backoff: Duration::from_millis(100),
+                    io_timeout: Duration::from_secs(30),
+                };
+                let mut lat = Vec::with_capacity(spec.reqs_per_client);
+                for _ in 0..spec.reqs_per_client {
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                    let which = (id as usize) % sources.len();
+                    let (name, src) = sources[which];
+                    let req = Request::Analyze {
+                        id,
+                        name: name.to_string(),
+                        source: src.to_string(),
+                        options: JobOptions::default(),
+                    };
+                    let t = Instant::now();
+                    match submit(&client, &req) {
+                        Ok(Response::Report { report, .. }) => {
+                            lat.push(t.elapsed().as_micros() as u64);
+                            if report.to_string() != expected[which] {
+                                corrupt.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(Response::Error(e)) => {
+                            lat.push(t.elapsed().as_micros() as u64);
+                            typed_errors.fetch_add(1, Ordering::Relaxed);
+                            assert_eq!(
+                                e.kind,
+                                ErrorKind::Panic,
+                                "only the armed kill may produce a typed error, got {e:?}"
+                            );
+                        }
+                        Ok(other) => panic!("unexpected response {other:?}"),
+                        Err(SubmitError::Shed { last, .. }) => {
+                            // Shed even after retries: pressure, not a bug.
+                            lat.push(t.elapsed().as_micros() as u64);
+                            typed_errors.fetch_add(1, Ordering::Relaxed);
+                            assert!(last.kind.is_retryable(), "shed error must be retryable");
+                        }
+                        Err(e) => panic!("transport failure under load: {e}"),
+                    }
+                }
+                lat
+            }));
+        }
+        for h in handles {
+            latencies_us.extend(h.join().expect("client thread"));
+        }
+    });
+
+    let wall = t0.elapsed().as_secs_f64();
+    let status = server.status();
+    let drain = server.shutdown();
+    assert!(drain.drained, "daemon must drain after load");
+    profiler::fault::disarm_all();
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        latencies_us[idx] as f64 / 1000.0
+    };
+
+    let requests = spec.clients * spec.reqs_per_client;
+    Row {
+        scenario: spec.scenario,
+        clients: spec.clients,
+        workers,
+        requests,
+        ok: ok.load(Ordering::Relaxed) as usize,
+        typed_errors: typed_errors.load(Ordering::Relaxed) as usize,
+        corrupt: corrupt.load(Ordering::Relaxed) as usize,
+        shed: status.jobs_shed,
+        worker_recoveries: status.worker_recoveries,
+        req_per_sec: requests as f64 / wall,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        wall_secs: wall,
+    }
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"loadtest\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"scenario\": \"{}\", \"clients\": {}, \"workers\": {}, \
+             \"requests\": {}, \"ok\": {}, \"typed_errors\": {}, \"corrupt\": {}, \
+             \"shed\": {}, \"worker_recoveries\": {}, \"req_per_sec\": {:.0}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"wall_secs\": {:.3}}}{}",
+            r.scenario,
+            r.clients,
+            r.workers,
+            r.requests,
+            r.ok,
+            r.typed_errors,
+            r.corrupt,
+            r.shed,
+            r.worker_recoveries,
+            r.req_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            r.wall_secs,
+            sep,
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--only" => {
+                let what = args.next().expect("--only needs a mode name");
+                assert_eq!(what, "smoke", "only `--only smoke` is supported");
+                smoke = true;
+            }
+            other => panic!("bad argument `{other}`"),
+        }
+    }
+
+    // Injected worker panics unwind by design; the default hook would spam
+    // a backtrace per kill.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info.to_string();
+        if !msg.contains("faultpoint") {
+            eprintln!("{msg}");
+        }
+    }));
+
+    let specs: Vec<ScenarioSpec> = if smoke {
+        vec![
+            ScenarioSpec {
+                scenario: "single_client_warm",
+                clients: 1,
+                reqs_per_client: 10,
+                source_count: 1,
+                kill_after: None,
+                queue_cap: None,
+            },
+            ScenarioSpec {
+                scenario: "worker_kill_mid_run",
+                clients: 2,
+                reqs_per_client: 10,
+                source_count: 2,
+                kill_after: Some(5),
+                queue_cap: None,
+            },
+        ]
+    } else {
+        vec![
+            ScenarioSpec {
+                scenario: "single_client_warm",
+                clients: 1,
+                reqs_per_client: 200,
+                source_count: 1,
+                kill_after: None,
+                queue_cap: None,
+            },
+            ScenarioSpec {
+                scenario: "mixed_4c",
+                clients: 4,
+                reqs_per_client: 100,
+                source_count: 4,
+                kill_after: None,
+                queue_cap: None,
+            },
+            ScenarioSpec {
+                scenario: "burst_8c",
+                clients: 8,
+                reqs_per_client: 50,
+                source_count: 4,
+                kill_after: None,
+                queue_cap: Some(2),
+            },
+            ScenarioSpec {
+                scenario: "worker_kill_mid_run",
+                clients: 4,
+                reqs_per_client: 50,
+                source_count: 4,
+                kill_after: Some(60),
+                queue_cap: None,
+            },
+        ]
+    };
+
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let row = run_scenario(spec);
+        eprintln!(
+            "{}: {} req in {:.2}s ({:.0} req/s, p50 {:.2} ms, p99 {:.2} ms, \
+             {} shed, {} recoveries, {} corrupt)",
+            row.scenario,
+            row.requests,
+            row.wall_secs,
+            row.req_per_sec,
+            row.p50_ms,
+            row.p99_ms,
+            row.shed,
+            row.worker_recoveries,
+            row.corrupt,
+        );
+        // The robustness pins: fault isolation means zero corrupted
+        // neighbors, and the armed kill must actually have killed.
+        assert_eq!(row.corrupt, 0, "{}: corrupted responses", row.scenario);
+        if spec.kill_after.is_some() {
+            assert_eq!(
+                row.worker_recoveries, 1,
+                "{}: the armed kill must recover exactly one worker",
+                row.scenario
+            );
+            assert_eq!(
+                row.typed_errors, 1,
+                "{}: exactly one job may die with the armed kill",
+                row.scenario
+            );
+        }
+        rows.push(row);
+    }
+
+    let json = render_json(&rows);
+    println!("{json}");
+    // Smoke mode never overwrites the committed baseline: a shrunken run
+    // is not a baseline.
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_loadtest.json");
+        std::fs::write(path, &json).expect("write BENCH_loadtest.json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -5,6 +5,9 @@
 //!                         [--batch-cap N] [--json PATH] [--quiet]
 //! discopop report <report.json>
 //! discopop engines
+//! discopop serve [--addr HOST:PORT] [--workers N] ...
+//! discopop submit <file> --addr HOST:PORT [options]
+//! discopop status|shutdown --addr HOST:PORT
 //! ```
 //!
 //! `analyze` compiles a mini-C source file, profiles it under the selected
@@ -12,17 +15,28 @@
 //! and (with `--json`) writes the versioned JSON report — the
 //! machine-readable dependence output downstream tools consume.
 //! `report` renders a previously written JSON report without re-running
-//! anything. `engines` lists the accepted `--engine` specs.
+//! anything. `engines` lists the accepted `--engine` specs. `serve` runs
+//! the pipeline as a long-lived fault-isolated daemon (see
+//! [`discopop::serve`]); `submit`, `status`, and `shutdown` are its
+//! clients (see [`discopop::submit`]).
 
+use discopop::protocol::{ErrorKind, JobOptions, Request, Response};
 use discopop::report::ReportDoc;
+use discopop::serve::ServeConfig;
+use discopop::submit::{submit, SubmitConfig};
 use discopop::{Analysis, EngineKind, StageEvent};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage:
   discopop analyze <file> [options]   compile, profile, discover, report
   discopop lint <file>                static lints only (no execution)
   discopop report <report.json>       render a saved JSON report
   discopop engines                    list --engine specs
+  discopop serve [options]            run the analysis daemon
+  discopop submit <file> [options]    send one job to a running daemon
+  discopop status [--addr A]          query daemon health counters
+  discopop shutdown [--addr A]        ask the daemon to drain and exit
 
 analyze options:
   --engine SPEC     profiling engine (default: auto-selected from the
@@ -51,8 +65,35 @@ analyze options:
   --json PATH       write the versioned JSON report to PATH (`-` = stdout)
   --quiet           suppress the human-readable report and progress lines
 
+serve options:
+  --addr HOST:PORT  bind address (default 127.0.0.1:7077; port 0 = ephemeral)
+  --workers N       worker pool size (default 2)
+  --queue-cap N     bounded job queue; jobs beyond it are shed with a typed
+                    `overloaded` response + retry hint (default 16)
+  --max-request-bytes SIZE   per-request size cap, K/M/G ok (default 4M)
+  --io-timeout SECS per-connection read/write timeout (default 10)
+  --deadline SECS   default per-job deadline (jobs may override)
+  --max-memory SIZE total job-memory pool; each worker gets an equal slice
+                    as its per-job budget ceiling
+  --cache-bytes SIZE compiled-program cache ceiling, LRU-evicted (default 64M)
+  --drain-deadline SECS  grace period for in-flight jobs on shutdown (default 5)
+  --port-file PATH  write the resolved listen address to PATH (for scripts
+                    binding port 0)
+
+submit options:
+  --addr HOST:PORT  daemon address (default 127.0.0.1:7077)
+  --name NAME       module name (default: file stem)
+  --id N            correlation id echoed in the response (default 1)
+  --engine SPEC / --static / --no-skip / --deadline SECS / --max-memory SIZE
+                    forwarded as per-job options
+  --attempts N      total attempts on overloaded/connect failure, with
+                    exponential backoff + jitter (default 5)
+  --json PATH       write the returned report JSON to PATH (`-` = stdout)
+  --quiet           suppress the summary line
+
 exit codes: 0 success, 1 analysis/usage failure (including lint findings
-and cross-check violations), 2 unreadable input";
+and cross-check violations), 2 unreadable input, 3 typed partial result
+(--deadline expired; the partial profile diagnostic is on stderr)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +101,10 @@ fn main() -> ExitCode {
         Some("analyze") => analyze(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("report") => render_saved(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("submit") => submit_cmd(&args[1..]),
+        Some("status") => status_cmd(&args[1..]),
+        Some("shutdown") => shutdown_cmd(&args[1..]),
         Some("engines") => {
             println!("engine specs accepted by --engine:");
             println!("  serial-perfect                    exact page-table shadow memory");
@@ -278,6 +323,13 @@ fn analyze(args: &[String]) -> ExitCode {
     }
     let report = match analysis.analyze_compiled(&compiled) {
         Ok(r) => r,
+        // A blown --deadline is a *typed partial result* — the budget did
+        // its job — not an unreadable input (2) or a pipeline failure (1).
+        Err(e @ discopop::Error::DeadlineExceeded { .. }) => {
+            eprintln!("discopop: {e}");
+            eprintln!("discopop: partial result — profiling stopped at the configured deadline");
+            return ExitCode::from(3);
+        }
         Err(e) => {
             eprintln!("discopop: {e}");
             return ExitCode::FAILURE;
@@ -457,4 +509,395 @@ fn render_saved(args: &[String]) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// SIGTERM/SIGINT → a flag the serve loop polls, so ctrl-c and service
+/// managers get the same graceful drain as a protocol `shutdown` request.
+/// Registered through libc's `signal` directly (std links libc on every
+/// unix target; no new dependency).
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: set the flag, nothing else.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+fn parse_secs(flag: &str, v: &str) -> Result<Duration, String> {
+    let secs: f64 = v.parse().map_err(|_| format!("bad {flag} `{v}`"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("bad {flag} `{v}`"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn parse_serve_args(args: &[String]) -> Result<(ServeConfig, Option<String>), String> {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7077".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut port_file = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = value_of("--addr")?,
+            "--workers" => {
+                let v = value_of("--workers")?;
+                cfg.workers = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+            }
+            "--queue-cap" => {
+                let v = value_of("--queue-cap")?;
+                cfg.queue_cap = v.parse().map_err(|_| format!("bad --queue-cap `{v}`"))?;
+            }
+            "--max-request-bytes" => {
+                cfg.max_request_bytes = parse_size(&value_of("--max-request-bytes")?)?;
+            }
+            "--io-timeout" => {
+                cfg.io_timeout = parse_secs("--io-timeout", &value_of("--io-timeout")?)?
+            }
+            "--deadline" => {
+                cfg.default_deadline = Some(parse_secs("--deadline", &value_of("--deadline")?)?);
+            }
+            "--max-memory" => cfg.max_memory = Some(parse_size(&value_of("--max-memory")?)?),
+            "--cache-bytes" => cfg.cache_bytes = parse_size(&value_of("--cache-bytes")?)?,
+            "--drain-deadline" => {
+                cfg.drain_deadline =
+                    parse_secs("--drain-deadline", &value_of("--drain-deadline")?)?;
+            }
+            "--port-file" => port_file = Some(value_of("--port-file")?),
+            other => return Err(format!("unknown serve argument `{other}`")),
+        }
+    }
+    if cfg.workers == 0 {
+        return Err("--workers must be positive".to_string());
+    }
+    Ok((cfg, port_file))
+}
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let (cfg, port_file) = match parse_serve_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("discopop serve: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    sig::install();
+    let server = match discopop::serve::serve(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("discopop serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("discopop serve: listening on {}", server.local_addr());
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, server.local_addr().to_string()) {
+            eprintln!("discopop serve: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    while !sig::requested() && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("discopop serve: shutdown requested, draining");
+    let report = server.shutdown();
+    eprintln!(
+        "discopop serve: drained={} completed={} abandoned_queued={} abandoned_in_flight={}",
+        report.drained, report.completed, report.abandoned_queued, report.abandoned_in_flight
+    );
+    if report.drained {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+struct SubmitArgs {
+    file: String,
+    addr: String,
+    id: u64,
+    name: Option<String>,
+    options: JobOptions,
+    attempts: u32,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
+    let mut parsed = SubmitArgs {
+        file: String::new(),
+        addr: "127.0.0.1:7077".to_string(),
+        id: 1,
+        name: None,
+        options: JobOptions::default(),
+        attempts: 5,
+        json: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => parsed.addr = value_of("--addr")?,
+            "--id" => {
+                let v = value_of("--id")?;
+                parsed.id = v.parse().map_err(|_| format!("bad --id `{v}`"))?;
+            }
+            "--name" => parsed.name = Some(value_of("--name")?),
+            "--engine" => {
+                let spec = value_of("--engine")?;
+                EngineKind::parse(&spec)?; // validate locally, ship the spec
+                parsed.options.engine = Some(spec);
+            }
+            "--static" => parsed.options.statics = true,
+            "--no-skip" => parsed.options.no_skip = true,
+            "--deadline" => {
+                let d = parse_secs("--deadline", &value_of("--deadline")?)?;
+                parsed.options.deadline_ms = Some(d.as_millis() as u64);
+            }
+            "--max-memory" => {
+                parsed.options.max_memory = Some(parse_size(&value_of("--max-memory")?)? as u64);
+            }
+            "--attempts" => {
+                let v = value_of("--attempts")?;
+                parsed.attempts = v.parse().map_err(|_| format!("bad --attempts `{v}`"))?;
+            }
+            "--json" => parsed.json = Some(value_of("--json")?),
+            "--quiet" => parsed.quiet = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file if parsed.file.is_empty() => parsed.file = file.to_string(),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    if parsed.file.is_empty() {
+        return Err("no input file".to_string());
+    }
+    Ok(parsed)
+}
+
+fn submit_cfg(addr: &str, attempts: u32) -> SubmitConfig {
+    SubmitConfig {
+        addr: addr.to_string(),
+        attempts,
+        ..SubmitConfig::default()
+    }
+}
+
+fn submit_cmd(args: &[String]) -> ExitCode {
+    let args = match parse_submit_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("discopop submit: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("discopop: cannot read `{}`: {e}", args.file);
+            return ExitCode::from(2);
+        }
+    };
+    let name = args.name.clone().unwrap_or_else(|| {
+        std::path::Path::new(&args.file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("module")
+            .to_string()
+    });
+    let req = Request::Analyze {
+        id: args.id,
+        name,
+        source,
+        options: args.options.clone(),
+    };
+    match submit(&submit_cfg(&args.addr, args.attempts), &req) {
+        Ok(Response::Report {
+            id,
+            cached,
+            elapsed_ms,
+            report,
+        }) => {
+            if !args.quiet {
+                eprintln!(
+                    "discopop submit: job {id} done in {elapsed_ms} ms{}",
+                    if cached { " (cached program)" } else { "" }
+                );
+            }
+            if let Some(path) = &args.json {
+                let json = report.to_string_pretty();
+                if path == "-" {
+                    print!("{json}");
+                } else if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("discopop: cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                } else if !args.quiet {
+                    eprintln!("wrote {path}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Error(e)) => {
+            eprintln!("discopop submit: [{}] {}", e.kind, e.message);
+            if let Some(p) = &e.partial {
+                eprintln!(
+                    "discopop submit: partial progress: {} steps, {} dependences",
+                    p.steps, p.dependences
+                );
+            }
+            // Mirror `analyze`: a typed deadline partial is exit 3.
+            if e.kind == ErrorKind::Deadline {
+                ExitCode::from(3)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Ok(other) => {
+            eprintln!(
+                "discopop submit: unexpected response: {}",
+                other.to_json().to_string()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("discopop submit: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse `[--addr HOST:PORT]` for the status/shutdown one-shots.
+fn parse_addr_only(cmd: &str, args: &[String]) -> Result<String, String> {
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("discopop {cmd}: --addr needs a value"))?;
+            }
+            other => return Err(format!("discopop {cmd}: unknown argument `{other}`")),
+        }
+    }
+    Ok(addr)
+}
+
+fn status_cmd(args: &[String]) -> ExitCode {
+    let addr = match parse_addr_only("status", args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match submit(&submit_cfg(&addr, 3), &Request::Status { id: 1 }) {
+        Ok(Response::Status { status, .. }) => {
+            println!("daemon at {addr} (protocol v{})", status.protocol);
+            println!(
+                "  accepting: {}  uptime: {} ms  workers: {}",
+                status.accepting, status.uptime_ms, status.workers
+            );
+            println!(
+                "  queue: {}/{}  in-flight: {}",
+                status.queue_depth, status.queue_cap, status.in_flight
+            );
+            println!(
+                "  jobs: {} done, {} failed, {} shed",
+                status.jobs_done, status.jobs_failed, status.jobs_shed
+            );
+            println!(
+                "  recoveries: {} worker, {} connection",
+                status.worker_recoveries, status.conn_recoveries
+            );
+            println!(
+                "  cache: {} entries, {} bytes, {} hits, {} misses, {} evictions",
+                status.cache_entries,
+                status.cache_bytes,
+                status.cache_hits,
+                status.cache_misses,
+                status.cache_evictions
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            eprintln!(
+                "discopop status: unexpected response: {}",
+                other.to_json().to_string()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("discopop status: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn shutdown_cmd(args: &[String]) -> ExitCode {
+    let addr = match parse_addr_only("shutdown", args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match submit(&submit_cfg(&addr, 1), &Request::Shutdown { id: 1 }) {
+        Ok(Response::ShutdownAck { .. }) => {
+            eprintln!("discopop shutdown: daemon at {addr} is draining");
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            eprintln!(
+                "discopop shutdown: unexpected response: {}",
+                other.to_json().to_string()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("discopop shutdown: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -71,7 +71,10 @@ pub use lang;
 pub use mir;
 pub use profiler;
 
+pub mod protocol;
 pub mod report;
+pub mod serve;
+pub mod submit;
 
 pub use profiler::{Budget, EngineKind, ProfileError, ResourceStats};
 

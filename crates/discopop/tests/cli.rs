@@ -2,7 +2,7 @@
 //! `std::process::Command` — analyze a source file with every engine,
 //! check the emitted JSON, and re-render it with `discopop report`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 const BIN: &str = env!("CARGO_BIN_EXE_discopop");
@@ -534,4 +534,219 @@ fn bad_budget_flags_are_rejected() {
         let stderr = String::from_utf8_lossy(&res.stderr);
         assert!(stderr.contains("bad"), "{args:?}: {stderr}");
     }
+}
+
+#[test]
+fn deadline_partial_exits_code_3_and_says_so() {
+    // A 1 ms deadline against a ~100k-step run must trip mid-profile; the
+    // typed partial result is exit 3 (vs 1 for failures, 2 for unreadable
+    // input), and stderr says the result is partial.
+    let dir = scratch("deadline3");
+    let src = dir.join("slow.dp");
+    std::fs::write(
+        &src,
+        "global int a[4096];\nfn main() {\n\
+         for (int r = 0; r < 8; r = r + 1) {\n\
+         for (int i = 0; i < 4096; i = i + 1) { a[i] = a[i] + i; }\n\
+         }\n}\n",
+    )
+    .unwrap();
+
+    let res = Command::new(BIN)
+        .args([
+            "analyze",
+            src.to_str().unwrap(),
+            "--deadline",
+            "0.001",
+            "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        res.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&res.stderr);
+    assert!(stderr.contains("deadline exceeded"), "{stderr}");
+    assert!(stderr.contains("partial result"), "{stderr}");
+}
+
+/// A spawned `discopop serve` that cannot outlive its test: killed on
+/// drop (so a failed assertion never leaks a daemon), with stdio routed
+/// to /dev/null (so a leaked process can never hold libtest's output
+/// pipe open and hang the harness).
+struct Daemon(Option<std::process::Child>);
+
+impl Daemon {
+    /// Consume the guard and assert the daemon drained to a clean exit.
+    fn wait_clean(mut self) {
+        let mut child = self.0.take().unwrap();
+        let status = child.wait().expect("daemon exits");
+        assert!(status.success(), "daemon must drain cleanly on shutdown");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Spawn `discopop serve` on an ephemeral port and resolve the address
+/// through `--port-file` (the race-free pattern CI uses too).
+fn spawn_daemon(dir: &Path, env: &[(&str, &str)]) -> (Daemon, String) {
+    let port_file = dir.join("daemon.port");
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--port-file",
+        port_file.to_str().unwrap(),
+        "--workers",
+        "2",
+    ]);
+    cmd.stdin(std::process::Stdio::null());
+    cmd.stdout(std::process::Stdio::null());
+    cmd.stderr(std::process::Stdio::null());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let daemon = Daemon(Some(cmd.spawn().expect("daemon starts")));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(addr) = std::fs::read_to_string(&port_file) {
+            if !addr.trim().is_empty() {
+                break addr.trim().to_string();
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never wrote its port file"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    (daemon, addr)
+}
+
+#[test]
+fn serve_submit_roundtrip_with_faultpoint_isolation() {
+    let dir = scratch("serve-roundtrip");
+    let src = dir.join("job.dp");
+    let out = dir.join("served.json");
+    std::fs::write(&src, SRC).unwrap();
+
+    // The daemon starts with one armed faultpoint: the first job dies
+    // mid-profile, and only that job.
+    let (daemon, addr) = spawn_daemon(&dir, &[("DISCOPOP_FAULTPOINT", "serve:mid-job")]);
+
+    // Job 1 trips the armed fault: typed error, distinct exit code 1.
+    let res = Command::new(BIN)
+        .args(["submit", src.to_str().unwrap(), "--addr", &addr])
+        .output()
+        .unwrap();
+    assert_eq!(res.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&res.stderr);
+    assert!(stderr.contains("[panic]"), "typed panic error: {stderr}");
+
+    // Job 2 on the same daemon: healthy, and its report matches a direct
+    // `analyze` run byte for byte.
+    let res = Command::new(BIN)
+        .args([
+            "submit",
+            src.to_str().unwrap(),
+            "--addr",
+            &addr,
+            "--json",
+            out.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        res.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let direct = dir.join("direct.json");
+    let res = Command::new(BIN)
+        .args([
+            "analyze",
+            src.to_str().unwrap(),
+            "--quiet",
+            "--json",
+            direct.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(res.status.success());
+    assert_eq!(
+        std::fs::read_to_string(&out).unwrap(),
+        std::fs::read_to_string(&direct).unwrap(),
+        "served report must be byte-identical to the direct run"
+    );
+
+    // Status shows the recovery; shutdown drains cleanly.
+    let res = Command::new(BIN)
+        .args(["status", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(res.status.success());
+    let stdout = String::from_utf8_lossy(&res.stdout);
+    assert!(stdout.contains("recoveries: 1 worker"), "{stdout}");
+
+    let res = Command::new(BIN)
+        .args(["shutdown", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(res.status.success());
+    daemon.wait_clean();
+}
+
+#[test]
+fn submit_deadline_partial_exits_code_3_too() {
+    let dir = scratch("submit-deadline");
+    let src = dir.join("slow.dp");
+    std::fs::write(
+        &src,
+        "global int a[4096];\nfn main() {\n\
+         for (int r = 0; r < 8; r = r + 1) {\n\
+         for (int i = 0; i < 4096; i = i + 1) { a[i] = a[i] + i; }\n\
+         }\n}\n",
+    )
+    .unwrap();
+
+    let (daemon, addr) = spawn_daemon(&dir, &[]);
+    let res = Command::new(BIN)
+        .args([
+            "submit",
+            src.to_str().unwrap(),
+            "--addr",
+            &addr,
+            "--deadline",
+            "0.001",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        res.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&res.stderr);
+    assert!(stderr.contains("[deadline]"), "{stderr}");
+    assert!(stderr.contains("partial progress"), "{stderr}");
+
+    let res = Command::new(BIN)
+        .args(["shutdown", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(res.status.success());
+    daemon.wait_clean();
 }

@@ -244,11 +244,37 @@ impl Value {
     }
 
     /// Parse a JSON document. The entire input must be consumed (trailing
-    /// whitespace is fine).
+    /// whitespace is fine). Nesting is capped at
+    /// [`ParseLimits::DEFAULT_MAX_DEPTH`] so a hostile document cannot
+    /// exhaust the stack; use [`Value::parse_with_limits`] to choose the
+    /// caps (network-facing callers should also bound the input size).
     pub fn parse(text: &str) -> Result<Value, ParseError> {
+        Self::parse_with_limits(text, &ParseLimits::default())
+    }
+
+    /// Parse a JSON document under explicit resource limits. Inputs longer
+    /// than [`ParseLimits::max_bytes`] are rejected up front with
+    /// [`ParseErrorKind::TooLarge`] (no allocation proportional to the
+    /// input happens first); arrays/objects nested deeper than
+    /// [`ParseLimits::max_depth`] fail with [`ParseErrorKind::TooDeep`]
+    /// at the offending bracket.
+    pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Value, ParseError> {
+        if text.len() > limits.max_bytes {
+            return Err(ParseError {
+                offset: limits.max_bytes,
+                kind: ParseErrorKind::TooLarge,
+                message: format!(
+                    "document is {} bytes (limit {})",
+                    text.len(),
+                    limits.max_bytes
+                ),
+            });
+        }
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
+            max_depth: limits.max_depth,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -301,11 +327,64 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Resource limits for parsing untrusted input. The defaults keep
+/// [`Value::parse`] safe against stack exhaustion (a depth cap) while
+/// accepting any input size; network-facing callers should pass explicit
+/// limits sized to their protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input length in bytes; longer documents are rejected before
+    /// any parsing work ([`ParseErrorKind::TooLarge`]).
+    pub max_bytes: usize,
+    /// Maximum array/object nesting depth ([`ParseErrorKind::TooDeep`]).
+    /// The parser recurses per nesting level, so this bounds stack use.
+    pub max_depth: usize,
+}
+
+impl ParseLimits {
+    /// Default nesting cap: far deeper than any document this workspace
+    /// writes (reports nest < 16 levels), far shallower than what it takes
+    /// to overflow a thread stack (each level is a small parser frame).
+    pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+    /// Limits for a given byte budget with the default depth cap.
+    pub fn with_max_bytes(max_bytes: usize) -> Self {
+        ParseLimits {
+            max_bytes,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_bytes: usize::MAX,
+            max_depth: Self::DEFAULT_MAX_DEPTH,
+        }
+    }
+}
+
+/// What class of failure a [`ParseError`] is — lets callers map resource
+/// violations (a hostile document) to different responses than plain
+/// syntax errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed JSON text (bad token, truncation, number overflow, …).
+    Syntax,
+    /// Nesting exceeded [`ParseLimits::max_depth`].
+    TooDeep,
+    /// Input exceeded [`ParseLimits::max_bytes`].
+    TooLarge,
+}
+
 /// A parse failure with a byte offset into the input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset where parsing failed.
     pub offset: usize,
+    /// Failure class (syntax vs resource-limit violation).
+    pub kind: ParseErrorKind,
     /// What went wrong.
     pub message: String,
 }
@@ -325,14 +404,31 @@ impl std::error::Error for ParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> ParseError {
         ParseError {
             offset: self.pos,
+            kind: ParseErrorKind::Syntax,
             message: msg.to_string(),
         }
+    }
+
+    /// Track one nesting level; errors with [`ParseErrorKind::TooDeep`] at
+    /// the opening bracket once the cap is crossed.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(ParseError {
+                offset: self.pos,
+                kind: ParseErrorKind::TooDeep,
+                message: format!("nesting exceeds {} levels", self.max_depth),
+            });
+        }
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -381,11 +477,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
+        self.descend()?;
         self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -396,6 +494,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -404,11 +503,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
+        self.descend()?;
         self.eat(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(fields));
         }
         loop {
@@ -424,6 +525,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(fields));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -699,6 +801,63 @@ mod tests {
         );
         assert!(Value::parse(r#""\ud83d"#).is_err(), "unterminated");
         assert!(Value::parse(r#""\uZZZZ""#).is_err(), "non-hex digits");
+    }
+
+    #[test]
+    fn deeply_nested_input_is_rejected_not_stack_overflowed() {
+        // A pathological document: 1M open brackets. Without the depth cap
+        // this recursion would blow the stack; with it, a typed error.
+        let deep = "[".repeat(1_000_000);
+        let e = Value::parse(&deep).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooDeep);
+        assert_eq!(e.offset, ParseLimits::DEFAULT_MAX_DEPTH);
+        assert!(e.to_string().contains("nesting"), "{e}");
+        // Same for objects, and for alternating nesting.
+        let deep = r#"{"k":"#.repeat(100_000);
+        assert_eq!(
+            Value::parse(&deep).unwrap_err().kind,
+            ParseErrorKind::TooDeep
+        );
+        let deep = r#"[{"k":"#.repeat(100_000);
+        assert_eq!(
+            Value::parse(&deep).unwrap_err().kind,
+            ParseErrorKind::TooDeep
+        );
+    }
+
+    #[test]
+    fn depth_exactly_at_the_cap_parses() {
+        let limits = ParseLimits {
+            max_bytes: usize::MAX,
+            max_depth: 4,
+        };
+        let ok = "[[[[1]]]]";
+        assert!(Value::parse_with_limits(ok, &limits).is_ok());
+        let too_deep = "[[[[[1]]]]]";
+        let e = Value::parse_with_limits(too_deep, &limits).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooDeep);
+        // Siblings do not accumulate depth: closing resets the level.
+        let wide = "[[1],[2],[3],[[4]]]";
+        assert!(Value::parse_with_limits(wide, &limits).is_ok());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_up_front() {
+        let limits = ParseLimits::with_max_bytes(16);
+        let e = Value::parse_with_limits(&"9".repeat(17), &limits).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooLarge);
+        assert!(e.message.contains("17 bytes"), "{e}");
+        assert!(Value::parse_with_limits("[1,2,3]", &limits).is_ok());
+        // Exactly at the limit is accepted.
+        assert!(Value::parse_with_limits(&"1".repeat(16), &limits).is_ok());
+    }
+
+    #[test]
+    fn syntax_errors_keep_the_syntax_kind() {
+        assert_eq!(
+            Value::parse("[1, x]").unwrap_err().kind,
+            ParseErrorKind::Syntax
+        );
     }
 
     #[test]

@@ -15,8 +15,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Fast-path gate: `false` (the overwhelmingly common state) makes
-/// [`point`] a single relaxed load.
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// [`point`] a single relaxed load. Starts `true` so the very first hit
+/// takes the slow path once and runs the environment arming in [`armed`]
+/// — gating on `false` initially would mean `DISCOPOP_FAULTPOINT` is
+/// never even read; with nothing armed the first hit drops the gate and
+/// the single-load fast path is restored for good.
+static ENABLED: AtomicBool = AtomicBool::new(true);
 
 struct Armed {
     name: String,
@@ -31,11 +35,7 @@ fn armed() -> &'static Mutex<Vec<Armed>> {
         // release binary without a test harness in the same process.
         let mut list = Vec::new();
         if let Ok(spec) = std::env::var("DISCOPOP_FAULTPOINT") {
-            let (name, after) = match spec.split_once(':') {
-                Some((n, a)) => (n, a.parse().unwrap_or(0)),
-                None => (spec.as_str(), 0),
-            };
-            if !name.is_empty() {
+            if let Some((name, after)) = parse_spec(&spec) {
                 list.push(Armed {
                     name: name.to_string(),
                     after,
@@ -45,6 +45,20 @@ fn armed() -> &'static Mutex<Vec<Armed>> {
         }
         Mutex::new(list)
     })
+}
+
+/// Parse a `name[:after]` arming spec. Point names themselves contain
+/// colons (`serve:mid-job`), so the optional `after` count is the suffix
+/// after the *last* colon, and only when it is actually numeric.
+fn parse_spec(spec: &str) -> Option<(&str, u64)> {
+    let (name, after) = match spec.rsplit_once(':') {
+        Some((n, a)) => match a.parse::<u64>() {
+            Ok(after) => (n, after),
+            Err(_) => (spec, 0),
+        },
+        None => (spec, 0),
+    };
+    (!name.is_empty()).then_some((name, after))
 }
 
 /// Hit a named fault point. Panics with a `faultpoint` payload when the
@@ -64,6 +78,13 @@ fn point_slow(name: &str) {
         let Ok(mut list) = armed().lock() else {
             return;
         };
+        if list.is_empty() {
+            // Nothing armed (and env arming, run by `armed()` above, found
+            // nothing): close the gate so later hits are a single load.
+            // Stored under the lock so it serializes against `arm`.
+            ENABLED.store(false, Ordering::Relaxed);
+            return;
+        }
         if let Some(i) = list.iter().position(|a| a.name == name) {
             if list[i].after == 0 {
                 list.remove(i);
@@ -115,6 +136,18 @@ macro_rules! faultpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_parsing_keeps_colons_inside_point_names() {
+        // `serve:mid-job` is a name, not `serve` with a count of "mid-job".
+        assert_eq!(parse_spec("serve:mid-job"), Some(("serve:mid-job", 0)));
+        assert_eq!(parse_spec("serve:mid-job:2"), Some(("serve:mid-job", 2)));
+        assert_eq!(parse_spec("worker:chunk:0"), Some(("worker:chunk", 0)));
+        assert_eq!(parse_spec("plain"), Some(("plain", 0)));
+        assert_eq!(parse_spec("plain:7"), Some(("plain", 7)));
+        assert_eq!(parse_spec(""), None);
+        assert_eq!(parse_spec(":3"), None);
+    }
 
     #[test]
     fn disarmed_points_are_silent() {
