@@ -84,6 +84,75 @@ pub fn comm_matrix(deps: &DepSet, threads: usize) -> CommMatrix {
     CommMatrix { threads, counts }
 }
 
+/// Per-channel actor communication summary: the interpreter's exact
+/// message counts arranged as an actor×actor matrix, plus the dependence
+/// view of mailbox state — each send/receive pair is a write/read of the
+/// same mailbox slot, so message handoffs appear as RAW dependences,
+/// slot reuse at the capacity bound as WAR/WAW coupling, and unsynchronized
+/// delivery as race hints.
+#[derive(Debug, Clone, Serialize)]
+pub struct ActorComm {
+    /// Actor×actor message counts (`matrix.get(from, to)` = messages sent
+    /// from `from` to `to`). Pattern classification applies unchanged.
+    pub matrix: CommMatrix,
+    /// Cross-actor RAW dependences over mailbox slots — the profiler's
+    /// view of message handoffs.
+    pub handoff_deps: u64,
+    /// WAR/WAW dependences over mailbox slots: capacity coupling from
+    /// bounded-mailbox slot reuse (a later message overwrites the slot an
+    /// earlier one occupied).
+    pub capacity_deps: u64,
+    /// Race-hinted dependences over mailbox state (out-of-order delivery
+    /// observed by timestamp inversion).
+    pub race_hints: u64,
+}
+
+/// Build the per-channel actor summary from the interpreter's channel
+/// counts and the profiled dependence set. `mailbox_sym` is the interned
+/// `"<mailbox>"` symbol ([`interp::Program::mailbox_symbol`]); when
+/// `None` (no mailbox ops in the program) the dependence counters are
+/// zero and only the matrix is meaningful.
+pub fn actor_comm(
+    channels: &[(u32, u32, u64)],
+    actors: usize,
+    deps: &DepSet,
+    mailbox_sym: Option<u32>,
+) -> ActorComm {
+    let mut counts = vec![0u64; actors * actors];
+    for &(from, to, n) in channels {
+        if (from as usize) < actors && (to as usize) < actors {
+            counts[from as usize * actors + to as usize] += n;
+        }
+    }
+    let mut handoff_deps = 0u64;
+    let mut capacity_deps = 0u64;
+    let mut race_hints = 0u64;
+    if let Some(sym) = mailbox_sym {
+        for (d, n) in deps.iter() {
+            if d.var != sym {
+                continue;
+            }
+            match d.ty {
+                DepType::Raw if d.is_cross_thread() => handoff_deps += n,
+                DepType::War | DepType::Waw => capacity_deps += n,
+                _ => {}
+            }
+            if d.race_hint {
+                race_hints += n;
+            }
+        }
+    }
+    ActorComm {
+        matrix: CommMatrix {
+            threads: actors,
+            counts,
+        },
+        handoff_deps,
+        capacity_deps,
+        race_hints,
+    }
+}
+
 /// ASCII rendering of the matrix (Fig. 5.1 style): rows = producers,
 /// columns = consumers, cells shaded by volume.
 pub fn render_matrix(m: &CommMatrix) -> String {
@@ -164,6 +233,42 @@ mod tests {
         }
         let m = comm_matrix(&d, 4);
         assert_eq!(m.pattern(), "nearest-neighbour");
+    }
+
+    #[test]
+    fn actor_comm_counts_channels_and_mailbox_deps() {
+        let p = interp::Program::new(
+            lang::compile(
+                "fn main() -> int {
+                    int c = spawn_actor(stage, 0);
+                    for (int i = 0; i < 8; i = i + 1) { send(c, i); }
+                    join(c);
+                    return receive();
+                }
+                fn stage(int x) {
+                    int s = 0;
+                    for (int i = 0; i < 8; i = i + 1) { s = s + receive(); }
+                    send(0, s);
+                }",
+                "t",
+            )
+            .unwrap(),
+        );
+        let out = profiler::profile_program(&p).unwrap();
+        let actors = out.actors.as_ref().expect("actor block present");
+        let comm = actor_comm(
+            &actors.channels,
+            actors.spawned as usize,
+            &out.deps,
+            p.mailbox_symbol(),
+        );
+        assert_eq!(comm.matrix.get(0, 1), 8);
+        assert_eq!(comm.matrix.get(1, 0), 1);
+        assert_eq!(comm.matrix.total(), 9);
+        // Each message handoff is a cross-actor RAW over a mailbox slot.
+        assert!(comm.handoff_deps > 0, "handoffs visible as RAW deps");
+        // Two actors exchanging 0↔1 traffic are adjacent.
+        assert_eq!(comm.matrix.pattern(), "nearest-neighbour");
     }
 
     #[test]

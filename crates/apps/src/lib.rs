@@ -17,6 +17,6 @@ pub mod comm;
 pub mod ml;
 pub mod stm;
 
-pub use comm::{comm_matrix, render_matrix, CommMatrix};
+pub use comm::{actor_comm, comm_matrix, render_matrix, ActorComm, CommMatrix};
 pub use ml::{AdaBoost, Dataset, Features, Sample, Scores};
 pub use stm::{transactions_for, Transaction};

@@ -109,9 +109,13 @@ fn main() {
         Program::new(lang::compile(STRESS_SRC, "stress").expect("stress compiles")),
     ));
     let run_xl = only.as_deref().is_none_or(|o| o == "stress_xl");
+    let run_actors = only.as_deref().is_none_or(|o| o == "actors_10k");
     if let Some(only) = &only {
         programs.retain(|(name, _)| name == only);
-        assert!(run_xl || !programs.is_empty(), "no workload named `{only}`");
+        assert!(
+            run_xl || run_actors || !programs.is_empty(),
+            "no workload named `{only}`"
+        );
     }
     let mut rows: Vec<Row> = Vec::new();
 
@@ -484,6 +488,65 @@ fn main() {
         if overhead > 0.02 {
             eprintln!("WARNING: stress_xl governed overhead exceeds the 2% pin");
         }
+    }
+
+    if run_actors {
+        // The 10k-actor stress family: the actor-scheduler tier's
+        // acceptance pin. The workload must complete under a 256M budget
+        // (degrading the shadow if it has to) and be seed-stable: two runs
+        // with the same scheduler seed reproduce the dependence set, step
+        // count, and channel matrix exactly.
+        let w = workloads::by_name("actors_10k").expect("actors_10k workload exists");
+        let p = w.program().expect("actors_10k compiles");
+        let budgeted = ProfileConfig {
+            engine: EngineKind::auto_for(&p),
+            budget: profiler::Budget {
+                max_memory_bytes: Some(256 << 20),
+                deadline: None,
+            },
+            ..Default::default()
+        };
+        let mut out = None;
+        let times = {
+            let mut run_native = || {
+                interp::run_with_config(&p, interp::NullSink, RunConfig::default()).expect("runs");
+            };
+            let mut run_budgeted = || {
+                out = Some(profiler::profile_program_with(&p, &budgeted).expect("profiles"));
+            };
+            bench::time_interleaved(reps, &mut [&mut run_native, &mut run_budgeted])
+        };
+        let out = out.expect("budgeted rep ran");
+        let again = profiler::profile_program_with(&p, &budgeted).expect("profiles");
+        assert_eq!(
+            out.deps.sorted(),
+            again.deps.sorted(),
+            "actors_10k dependences must be seed-stable"
+        );
+        assert_eq!(
+            out.steps, again.steps,
+            "actors_10k steps must be seed-stable"
+        );
+        assert_eq!(
+            out.actors, again.actors,
+            "actors_10k channel matrix must be seed-stable"
+        );
+        let a = out.actors.as_ref().expect("actors block present");
+        assert_eq!(a.spawned, 10_002, "10k echoes + collector + main");
+        let accesses = out.skip_stats.total_accesses;
+        rows.push(row(
+            "actors_10k",
+            "auto_governed_256M",
+            accesses,
+            times[1],
+            times[0],
+            out.profiler_bytes,
+            None,
+        ));
+        eprintln!(
+            "actors_10k: {} actors (peak {} live), {} messages, native {:.3}s, profiled {:.3}s",
+            a.spawned, a.peak_live, a.sent, times[0], times[1]
+        );
     }
 
     let json = render_json(&rows);

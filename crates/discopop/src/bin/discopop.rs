@@ -118,7 +118,8 @@ fn main() -> ExitCode {
             println!(
                 "without --engine, the engine is auto-selected (EngineKind::auto_for): \
                  serial-perfect for small address footprints, and beyond them \
-                 serial-signature — or parallel for targets that spawn threads"
+                 serial-signature — or parallel for scheduler-driven targets \
+                 (spawn/spawn_actor: anything the run-queue scheduler interleaves)"
             );
             println!(
                 "examples: serial-signature:1048576   parallel:8   parallel:workers=4   \
@@ -461,6 +462,17 @@ fn render_saved(args: &[String]) -> ExitCode {
                 s.loops_skipped, s.synthesized_accesses, s.dispatches
             );
         }
+    }
+    if let Some(a) = &doc.profile.actors {
+        println!(
+            "actors: {} spawned (peak {} live), {} sent / {} received, {} channel(s), digest {:016x}",
+            a.spawned,
+            a.peak_live,
+            a.sent,
+            a.received,
+            a.channels.len(),
+            a.channel_digest,
+        );
     }
     if let Some(res) = &doc.profile.resource {
         println!(

@@ -766,6 +766,40 @@ pub fn render_report(program: &interp::Program, report: &Report) -> String {
             synth.fallbacks(),
         );
     }
+    if let Some(a) = &report.profile.actors {
+        let _ = writeln!(
+            out,
+            "actors: {} spawned (peak {} live), {} messages sent / {} received over {} channel(s)",
+            a.spawned,
+            a.peak_live,
+            a.sent,
+            a.received,
+            a.channels.len(),
+        );
+        let comm = apps::actor_comm(
+            &a.channels,
+            a.spawned as usize,
+            &report.profile.deps,
+            program.mailbox_symbol(),
+        );
+        let _ = writeln!(
+            out,
+            "mailbox dependences: {} handoffs (RAW), {} capacity couplings (WAR/WAW), {} race hints",
+            comm.handoff_deps, comm.capacity_deps, comm.race_hints,
+        );
+        // The actor×actor matrix reads like the Fig. 5.1 thread matrices;
+        // keep it to a screenful for the 10k-actor stress family.
+        if a.spawned <= 16 {
+            let _ = write!(out, "{}", apps::render_matrix(&comm.matrix));
+        } else {
+            let _ = writeln!(
+                out,
+                "channel matrix: {} actors, pattern {} (matrix elided)",
+                a.spawned,
+                comm.matrix.pattern(),
+            );
+        }
+    }
     let _ = writeln!(out, "\nRanked parallelization opportunities:");
     for (i, r) in report.discovery.ranked.iter().enumerate() {
         match &r.target {

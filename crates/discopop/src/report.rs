@@ -8,11 +8,11 @@
 //! and from [`jsonio::Value`]. Downstream tools consume the JSON; this
 //! module is the one place its shape is defined.
 //!
-//! # Schema (version 5)
+//! # Schema (version 6)
 //!
 //! ```json
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "program": "demo",
 //!   "engine": "serial-perfect",
 //!   "profile": {
@@ -38,7 +38,11 @@
 //!                 "synthesized_accesses": 252,
 //!                 "fallback_reasons": {"budget": 0, "precondition": 0,
 //!                                      "fault": 0},
-//!                 "dispatches": 412}
+//!                 "dispatches": 412},
+//!     "actors": {"spawned": 3, "peak_live": 3, "sent": 16, "received": 16,
+//!                "channels": [{"from": 0, "to": 1, "messages": 8},
+//!                             {"from": 1, "to": 2, "messages": 8}],
+//!                "channel_digest": 1234567890}
 //!   },
 //!   "discovery": {
 //!     "loops":    [{"start_line": 3, "class": "Doall", "...": "..."}],
@@ -67,7 +71,8 @@
 //! ```
 //!
 //! The `static` block is only present for runs with the static pre-pass
-//! enabled ([`crate::Analysis::with_static`]).
+//! enabled ([`crate::Analysis::with_static`]); the `actors` block only
+//! for targets that spawned a second actor or passed a message.
 
 use crate::Report;
 use discovery::ranking::SuggestionTarget;
@@ -95,7 +100,11 @@ use profiler::{Dep, PetNodeKind};
 ///   accounting: plan-replayed loops, synthesized accesses, fallback
 ///   reasons, interpreter dispatches). Version-1..4 documents are still
 ///   read; `summary` defaults to absent.
-pub const SCHEMA_VERSION: u32 = 5;
+/// - **6**: `profile` gained the `actors` block (actors spawned, peak
+///   live, messages sent/received, per-channel matrix plus its digest)
+///   for targets that run under the actor scheduler. Version-1..5
+///   documents are still read; `actors` defaults to absent.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Oldest schema version [`ReportDoc::from_json`] still reads.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -651,6 +660,103 @@ impl SummaryDoc {
     }
 }
 
+/// Actor-scheduler accounting (schema ≥ 6). Present when the run
+/// spawned a second actor or passed a message; absent for sequential
+/// targets and in older documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActorsDoc {
+    /// Actors ever spawned (main included).
+    pub spawned: u32,
+    /// Peak simultaneously-live actors.
+    pub peak_live: u32,
+    /// Messages sent across all mailboxes.
+    pub sent: u64,
+    /// Messages received across all mailboxes.
+    pub received: u64,
+    /// Per-channel message counts `(from, to, messages)`, sorted by
+    /// `(from, to)`.
+    pub channels: Vec<(u32, u32, u64)>,
+    /// FNV-1a digest of the channel matrix — a compact, order-stable
+    /// fingerprint for determinism checks across runs ([`ActorsDoc::digest_channels`]).
+    pub channel_digest: u64,
+}
+
+impl ActorsDoc {
+    /// FNV-1a over the `(from, to, messages)` triples in sorted order:
+    /// equal matrices hash equal across runs and builds.
+    pub fn digest_channels(channels: &[(u32, u32, u64)]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for &(from, to, n) in channels {
+            mix(from as u64);
+            mix(to as u64);
+            mix(n);
+        }
+        h
+    }
+
+    fn from_summary(a: &profiler::ActorSummary) -> ActorsDoc {
+        ActorsDoc {
+            spawned: a.spawned,
+            peak_live: a.peak_live,
+            sent: a.sent,
+            received: a.received,
+            channel_digest: Self::digest_channels(&a.channels),
+            channels: a.channels.clone(),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("spawned", Value::from(self.spawned)),
+            ("peak_live", Value::from(self.peak_live)),
+            ("sent", Value::from(self.sent)),
+            ("received", Value::from(self.received)),
+            (
+                "channels",
+                Value::Array(
+                    self.channels
+                        .iter()
+                        .map(|&(from, to, n)| {
+                            Value::object([
+                                ("from", Value::from(from)),
+                                ("to", Value::from(to)),
+                                ("messages", Value::from(n)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("channel_digest", Value::from(self.channel_digest)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> DocResult<ActorsDoc> {
+        Ok(ActorsDoc {
+            spawned: get_u32(v, "spawned")?,
+            peak_live: get_u32(v, "peak_live")?,
+            sent: get_u64(v, "sent")?,
+            received: get_u64(v, "received")?,
+            channels: get_array(v, "channels")?
+                .iter()
+                .map(|c| {
+                    Ok((
+                        get_u32(c, "from")?,
+                        get_u32(c, "to")?,
+                        get_u64(c, "messages")?,
+                    ))
+                })
+                .collect::<DocResult<_>>()?,
+            channel_digest: get_u64(v, "channel_digest")?,
+        })
+    }
+}
+
 /// The profiler section of the report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProfileDoc {
@@ -676,6 +782,9 @@ pub struct ProfileDoc {
     /// Affine-skip-tier accounting (schema ≥ 5; absent in older
     /// documents).
     pub summary: Option<SummaryDoc>,
+    /// Actor-scheduler accounting (schema ≥ 6; absent for sequential
+    /// targets and in older documents).
+    pub actors: Option<ActorsDoc>,
 }
 
 impl ProfileDoc {
@@ -723,6 +832,13 @@ impl ProfileDoc {
                     None => Value::Null,
                 },
             ),
+            (
+                "actors",
+                match &self.actors {
+                    Some(a) => a.to_json(),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 
@@ -754,6 +870,12 @@ impl ProfileDoc {
             summary: match v.get("summary") {
                 None | Some(Value::Null) => None,
                 Some(other) => Some(SummaryDoc::from_json(other)?),
+            },
+            // Added in schema 6; absent (or null) in older documents and
+            // for sequential targets.
+            actors: match v.get("actors") {
+                None | Some(Value::Null) => None,
+                Some(other) => Some(ActorsDoc::from_json(other)?),
             },
         })
     }
@@ -1606,6 +1728,7 @@ impl ReportDoc {
                 parallel,
                 resource,
                 summary: Some(SummaryDoc::from_synth(&report.profile.synth)),
+                actors: report.profile.actors.as_ref().map(ActorsDoc::from_summary),
             },
             discovery: DiscoveryDoc {
                 loops,

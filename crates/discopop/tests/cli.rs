@@ -267,7 +267,7 @@ fn report_subcommand_renders_saved_json() {
         .unwrap();
     assert!(res.status.success());
     let stdout = String::from_utf8_lossy(&res.stdout);
-    assert!(stdout.contains("schema v5"), "{stdout}");
+    assert!(stdout.contains("schema v6"), "{stdout}");
     assert!(stdout.contains("Doall"), "{stdout}");
     assert!(stdout.contains("Ranked opportunities"), "{stdout}");
 }

@@ -222,6 +222,91 @@ fn schema_v4_documents_still_parse() {
     assert_eq!(parsed.discovery, doc.discovery, "v4 fields read normally");
 }
 
+/// Schema evolution: a version-5 document — no `profile.actors` block —
+/// must still parse, with `actors` defaulting to absent.
+#[test]
+fn schema_v5_documents_still_parse() {
+    let (compiled, report) = full_report(EngineKind::SerialPerfect);
+    let doc = report.to_doc(compiled.program());
+
+    let mut json = doc.to_json();
+    // A v5 writer never emitted the block; drop it and restamp.
+    let jsonio::Value::Object(ref mut fields) = json else {
+        panic!("document must be an object");
+    };
+    fields
+        .iter_mut()
+        .find(|(k, _)| k == "schema_version")
+        .expect("version stamp present")
+        .1 = jsonio::Value::from(5u32);
+    let profile = &mut fields
+        .iter_mut()
+        .find(|(k, _)| k == "profile")
+        .expect("profile section present")
+        .1;
+    let jsonio::Value::Object(ref mut pfields) = profile else {
+        panic!("profile must be an object");
+    };
+    pfields.retain(|(k, _)| k != "actors");
+
+    let parsed =
+        ReportDoc::from_json_str(&json.to_string_pretty()).expect("v5 documents must parse");
+    assert_eq!(parsed.schema_version, 5);
+    assert!(parsed.profile.actors.is_none(), "actors defaults to absent");
+    assert_eq!(parsed.discovery, doc.discovery, "v5 fields read normally");
+}
+
+/// A message-passing program that exercises the scheduler and mailboxes.
+const ACTOR_SRC: &str = r#"
+fn main() -> int {
+    int c = spawn_actor(stage, 0);
+    for (int i = 0; i < 8; i = i + 1) { send(c, i); }
+    join(c);
+    return receive();
+}
+fn stage(int x) {
+    int s = 0;
+    for (int i = 0; i < 8; i = i + 1) { s = s + receive(); }
+    send(0, s);
+}
+"#;
+
+/// The schema-v6 `actors` block is emitted for message-passing programs,
+/// carries the channel matrix and its digest, and round-trips byte-for-byte.
+#[test]
+fn actors_block_roundtrips_for_message_passing_programs() {
+    let mut analysis = Analysis::new();
+    let compiled = analysis.compile(ACTOR_SRC, "actors-rt").unwrap();
+    let report = analysis.analyze_compiled(&compiled).unwrap();
+    let doc = report.to_doc(compiled.program());
+
+    let a = doc.profile.actors.as_ref().expect("actors block present");
+    assert_eq!(a.spawned, 2);
+    assert_eq!(a.peak_live, 2);
+    assert_eq!(a.sent, 9, "8 pipeline messages + 1 reply");
+    assert_eq!(a.received, 9);
+    assert_eq!(a.channels, vec![(0, 1, 8), (1, 0, 1)]);
+    assert_eq!(
+        a.channel_digest,
+        discopop::report::ActorsDoc::digest_channels(&a.channels)
+    );
+
+    let json = doc.to_json().to_string_pretty();
+    assert!(json.contains("\"actors\""), "{json}");
+    let parsed = ReportDoc::from_json_str(&json).expect("parses back");
+    assert_eq!(parsed, doc, "doc-level round trip");
+    assert_eq!(
+        parsed.to_json().to_string_pretty(),
+        json,
+        "byte-level round trip"
+    );
+
+    // Single-actor programs never emit the block.
+    let (compiled, report) = full_report(EngineKind::SerialPerfect);
+    let doc = report.to_doc(compiled.program());
+    assert!(doc.profile.actors.is_none());
+}
+
 /// The schema-v5 `summary` block reports plan replay when the affine skip
 /// tier engages, and zeroes (but still round-trips) when it is off.
 #[test]

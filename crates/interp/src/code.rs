@@ -133,6 +133,16 @@ pub enum Builtin {
     Join,
     /// `spawn(func_index, args…)`.
     Spawn,
+    /// `spawn_actor(func_index, args…)` — like `spawn`; the child is an
+    /// actor addressable with `send`. (Every thread is an actor; the
+    /// distinct name keeps message-passing workloads self-describing.)
+    SpawnActor,
+    /// `send(actor, value)` — deliver into the target's bounded mailbox;
+    /// blocks while the mailbox is full.
+    Send,
+    /// `receive()` — take the oldest message from the calling actor's
+    /// mailbox; blocks while it is empty.
+    Receive,
 }
 
 impl Builtin {
@@ -162,8 +172,19 @@ impl Builtin {
             "unlock" => Builtin::Unlock,
             "join" => Builtin::Join,
             "spawn" => Builtin::Spawn,
+            "spawn_actor" => Builtin::SpawnActor,
+            "send" => Builtin::Send,
+            "receive" => Builtin::Receive,
             _ => return None,
         })
+    }
+
+    /// Does this builtin touch a mailbox? Such call sites get a static
+    /// memory-op id (appended after the load/store id range) because their
+    /// sends/receives are emitted as [`crate::MemEvent`]s over mailbox
+    /// addresses — dependence-bearing accesses like any other.
+    pub fn is_mailbox_op(self) -> bool {
+        matches!(self, Builtin::Send | Builtin::Receive)
     }
 }
 
@@ -649,6 +670,11 @@ pub struct FuncCode {
     /// `(trigger pc, plan index)` sorted by trigger pc — the
     /// [`HotOp::LoopIter`] slots that own a plan, for [`FuncCode::plan_at`].
     pub plan_idx: Box<[(u32, u32)]>,
+    /// `(pc, static op id)` of every `send`/`receive` call slot, sorted by
+    /// pc. The ids live past the load/store range (see
+    /// [`crate::Program::num_mem_ops`]); consulted off the hot path when
+    /// the builtin executes, via [`FuncCode::mailbox_op_at`].
+    pub mbox_ops: Box<[(u32, u32)]>,
     /// Pre-resolved region metadata, indexed by region id.
     pub regions: Box<[RegionCode]>,
     /// Absolute pc of each basic block's first op (diagnostics/printing).
@@ -684,6 +710,15 @@ impl FuncCode {
             Err(_) => None,
         }
     }
+
+    /// The static memory-op id of the `send`/`receive` call at slot `pc`.
+    /// Off the hot path: consulted once per executed mailbox builtin.
+    pub fn mailbox_op_at(&self, pc: u32) -> Option<u32> {
+        match self.mbox_ops.binary_search_by_key(&pc, |&(p, _)| p) {
+            Ok(i) => Some(self.mbox_ops[i].1),
+            Err(_) => None,
+        }
+    }
 }
 
 /// Per-function pools under construction during decode.
@@ -701,6 +736,7 @@ struct FuncBuilder {
     load_load_bins: Vec<LoadLoadBinCode>,
     load_bins: Vec<LoadBinCode>,
     trap_lines: Vec<(u32, u32)>,
+    mbox_ops: Vec<(u32, u32)>,
 }
 
 impl FuncBuilder {
@@ -759,6 +795,15 @@ pub(crate) struct DecodeCtx<'m> {
     /// Static metadata per memory op, in id order — what used to be
     /// recovered by re-walking the op stream.
     pub mem_meta: Vec<MemOpMeta>,
+    /// Running mailbox-operation ordinal counter (`send`/`receive` call
+    /// sites, in program order). Their final op ids are `next_op + ordinal`
+    /// — appended past the load/store range by `Program` once `next_op` is
+    /// final, so load/store ids keep aligning with the analysis crate's
+    /// program-order walk.
+    pub next_mbox: u32,
+    /// `(line, is_write)` per mailbox op, in ordinal order; `Program`
+    /// extends `mem_meta` from this.
+    pub mbox_meta: Vec<(u32, bool)>,
     /// Decode options (superinstruction peephole).
     pub cfg: DecodeConfig,
 }
@@ -791,6 +836,8 @@ impl<'m> DecodeCtx<'m> {
             func_by_name,
             next_op: 0,
             mem_meta: Vec::new(),
+            next_mbox: 0,
+            mbox_meta: Vec::new(),
             cfg,
         }
     }
@@ -924,6 +971,7 @@ impl<'m> DecodeCtx<'m> {
             load_load_bins: fb.load_load_bins.into_boxed_slice(),
             load_bins: fb.load_bins.into_boxed_slice(),
             trap_lines: fb.trap_lines.into_boxed_slice(),
+            mbox_ops: fb.mbox_ops.into_boxed_slice(),
             // Skip-tier plans are compiled after decode (they need the
             // static fact table), in `Program::with_decode_config`.
             plans: Box::new([]),
@@ -996,6 +1044,15 @@ impl<'m> DecodeCtx<'m> {
                         dst: FuncBuilder::dst(dst),
                     }
                 } else if let Some(builtin) = Builtin::from_name(func) {
+                    if builtin.is_mailbox_op() {
+                        // Assign the mailbox op its program-order ordinal;
+                        // `Program` rebases these past the final load/store
+                        // id range after all functions decode.
+                        b.mbox_ops.push((pc, self.next_mbox));
+                        self.next_mbox += 1;
+                        self.mbox_meta
+                            .push((*line, matches!(builtin, Builtin::Send)));
+                    }
                     HotOp::CallBuiltin {
                         builtin,
                         args,
@@ -1549,9 +1606,32 @@ mod tests {
     #[test]
     fn builtin_names_roundtrip() {
         for name in [
-            "print", "sqrt", "sin", "cos", "exp", "log", "fabs", "floor", "ceil", "pow", "fmin",
-            "fmax", "abs", "min", "max", "rand", "frand", "srand", "tid", "lock", "unlock", "join",
+            "print",
+            "sqrt",
+            "sin",
+            "cos",
+            "exp",
+            "log",
+            "fabs",
+            "floor",
+            "ceil",
+            "pow",
+            "fmin",
+            "fmax",
+            "abs",
+            "min",
+            "max",
+            "rand",
+            "frand",
+            "srand",
+            "tid",
+            "lock",
+            "unlock",
+            "join",
             "spawn",
+            "spawn_actor",
+            "send",
+            "receive",
         ] {
             assert!(Builtin::from_name(name).is_some(), "{name}");
         }

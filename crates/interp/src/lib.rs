@@ -8,9 +8,13 @@
 //! function entry/exit; variable deallocation (for lifetime analysis); and
 //! thread/lock events for multi-threaded targets.
 //!
-//! Multi-threaded mini-C programs (`spawn`/`join`/`lock`/`unlock`) execute
-//! under a deterministic, seeded round-robin scheduler, so every experiment
-//! is reproducible. The optional *racy delivery* mode buffers events per
+//! Multi-threaded mini-C programs (`spawn`/`join`/`lock`/`unlock`) and
+//! actor programs (`spawn_actor`/`send`/`receive` over bounded mailboxes)
+//! execute under a deterministic, seeded run-queue scheduler
+//! ([`sched::Scheduler`]: O(1) park/wake, typed wake reasons, seeded
+//! quantum jitter), so every experiment is reproducible — the same seed
+//! yields the same schedule, events, and dependences, even with 10k green
+//! threads. The optional *racy delivery* mode buffers events per
 //! thread and flushes them at synchronization points, reproducing the
 //! out-of-order event delivery of real threads that the profiler's
 //! timestamp-based race detection is designed to catch (dissertation
@@ -37,10 +41,16 @@ pub mod event;
 pub mod machine;
 pub mod program;
 pub mod reference;
+pub mod sched;
 pub mod synth;
 
 pub use code::{Builtin, DecodeConfig, FuncCode, HotOp, MemRef, Opnd};
 pub use event::{Event, MemEvent, NullSink, RecordingSink, RegionExitEvent, Sink};
-pub use machine::{run, run_with_config, Interp, RunConfig, RunResult, RuntimeError, SynthStats};
-pub use program::{MemOpMeta, Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};
+pub use machine::{
+    run, run_with_config, ActorStats, Interp, RunConfig, RunResult, RuntimeError, SynthStats,
+};
+pub use program::{
+    MemOpMeta, Program, GLOBAL_BASE, MAILBOX_BASE, MAILBOX_SPAN, STACK_BASE, STACK_SPAN, WORD,
+};
+pub use sched::{ActorId, Scheduler, WaitReason};
 pub use synth::LoopPlan;

@@ -24,10 +24,14 @@
 
 use crate::code::{Builtin, FuncCode, HotOp, MemRef, DST_NONE};
 use crate::event::{Event, MemEvent, RegionExitEvent, Sink};
-use crate::program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};
+use crate::program::{
+    Program, GLOBAL_BASE, MAILBOX_BASE, MAILBOX_SLOTS, MAILBOX_SPAN, STACK_BASE, STACK_SPAN, WORD,
+};
+use crate::sched::{ActorId, Scheduler, WaitReason};
 use crate::synth::{LoopPlan, PlanOp};
 use fxhash::{FxHashMap, FxHashSet};
 use mir::{BinOp, RegId, UnOp, Value};
+use std::collections::VecDeque;
 use std::fmt;
 
 #[cfg(test)]
@@ -74,6 +78,10 @@ pub struct RunConfig {
     /// `fallback_fault`), forcing the drop back to full interpretation at a
     /// genuinely mid-loop point. `None` (the default) never trips.
     pub affine_skip_fault: Option<u64>,
+    /// Bounded mailbox capacity per actor: `send` to a full mailbox parks
+    /// the sender until the receiver drains a slot. Values below 1
+    /// normalize to 1.
+    pub mailbox_cap: usize,
 }
 
 impl RunConfig {
@@ -96,6 +104,7 @@ impl Default for RunConfig {
             stop: None,
             affine_skip: true,
             affine_skip_fault: None,
+            mailbox_cap: 64,
         }
     }
 }
@@ -130,6 +139,25 @@ impl SynthStats {
     }
 }
 
+/// Message-passing activity of one run: actor population and per-channel
+/// traffic. All zeros/empty for programs that never spawn or send — the
+/// main thread alone counts as one spawned actor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActorStats {
+    /// Actors that existed, including the main actor (same number as
+    /// [`RunResult::threads`]; every thread is an actor).
+    pub spawned: u32,
+    /// High-water mark of simultaneously live actors.
+    pub peak_live: u32,
+    /// Messages delivered into mailboxes (`send` completions).
+    pub sent: u64,
+    /// Messages taken out of mailboxes (`receive` completions).
+    pub received: u64,
+    /// Per-channel send counts `(from, to, messages)`, sorted by
+    /// `(from, to)` — the communication matrix in sparse form.
+    pub channels: Vec<(u32, u32, u64)>,
+}
+
 /// Result of a successful run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -150,6 +178,8 @@ pub struct RunResult {
     pub synth: SynthStats,
     /// Number of threads that existed (including main).
     pub threads: u32,
+    /// Actor population and message-passing traffic.
+    pub actors: ActorStats,
     /// The run was cancelled through [`RunConfig::stop`] before completion:
     /// `printed`/`steps` cover the executed prefix and `ret` is `None`.
     /// Cooperative cancellation is not a failure — the caller that set the
@@ -168,8 +198,11 @@ pub enum RuntimeError {
     OutOfBounds { line: u32, var: String, index: i64 },
     /// Integer division or remainder by zero.
     DivByZero { line: u32 },
-    /// All live threads are blocked.
-    Deadlock,
+    /// All live actors are blocked. `waiting` lists every parked actor
+    /// with the resource it waits on, in actor-id order — the cycle is in
+    /// here (each waited-on join target/lock holder/mailbox owner is
+    /// itself in the list or dead).
+    Deadlock { waiting: Vec<(u32, WaitReason)> },
     /// `max_steps` exceeded.
     StepLimit,
     /// `unlock` of a lock not held by the calling thread.
@@ -178,6 +211,8 @@ pub enum RuntimeError {
     RecursiveLock { line: u32 },
     /// `join` of an unknown thread id.
     BadJoin { line: u32 },
+    /// `send` to an unknown actor id.
+    BadSend { line: u32 },
     /// The run was cancelled through [`RunConfig::stop`]. Internal to the
     /// scheduler loop: [`Interp::run`] converts it into a [`RunResult`]
     /// with [`RunResult::interrupted`] set, so callers see the partial
@@ -194,27 +229,30 @@ impl fmt::Display for RuntimeError {
                 write!(f, "line {line}: `{var}[{index}]` out of bounds")
             }
             RuntimeError::DivByZero { line } => write!(f, "line {line}: division by zero"),
-            RuntimeError::Deadlock => write!(f, "deadlock: all threads blocked"),
+            RuntimeError::Deadlock { waiting } => {
+                write!(f, "deadlock: {} actor(s) blocked", waiting.len())?;
+                // Keep the report readable at 10k-actor scale.
+                for (a, r) in waiting.iter().take(8) {
+                    write!(f, "; actor {a} waiting on {r}")?;
+                }
+                if waiting.len() > 8 {
+                    write!(f, "; … {} more", waiting.len() - 8)?;
+                }
+                Ok(())
+            }
             RuntimeError::StepLimit => write!(f, "step limit exceeded"),
             RuntimeError::BadUnlock { line } => write!(f, "line {line}: unlock of unheld lock"),
             RuntimeError::RecursiveLock { line } => {
                 write!(f, "line {line}: recursive lock acquisition")
             }
             RuntimeError::BadJoin { line } => write!(f, "line {line}: join of unknown thread"),
+            RuntimeError::BadSend { line } => write!(f, "line {line}: send to unknown actor"),
             RuntimeError::Interrupted => write!(f, "run interrupted"),
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum TState {
-    Ready,
-    BlockedJoin(u32),
-    BlockedLock(i64),
-    Done,
-}
 
 #[derive(Debug)]
 struct RegionState {
@@ -241,10 +279,16 @@ struct Thread {
     mem: Vec<Value>,
     sp: usize,
     frames: Vec<Frame>,
-    state: TState,
     buf: Vec<Event>,
     steps: u64,
     ret: Option<Value>,
+    /// Bounded mailbox (capacity [`RunConfig::mailbox_cap`]); lifecycle
+    /// state lives in the [`Scheduler`].
+    mbox: VecDeque<Value>,
+    /// Messages ever delivered into this mailbox (tail ring sequence).
+    mbox_in: u64,
+    /// Messages ever taken out (head ring sequence).
+    mbox_out: u64,
 }
 
 /// The interpreter. Construct with [`Interp::new`], execute with
@@ -255,11 +299,17 @@ pub struct Interp<'p, S: Sink> {
     cfg: RunConfig,
     globals: Vec<Value>,
     threads: Vec<Thread>,
+    /// The run queue: ready/sleeping/dead accounting, typed park/wake,
+    /// and the seeded slice jitter (see [`crate::sched`]).
+    sched: Scheduler,
     locks: FxHashMap<i64, u32>,
     steps: u64,
     user_rng: u64,
-    sched_rng: u64,
     printed: Vec<String>,
+    /// Messages delivered / taken out, and the per-channel send counts.
+    msgs_sent: u64,
+    msgs_received: u64,
+    channels: FxHashMap<(u32, u32), u64>,
     /// Reusable call-argument buffer: evaluating call operands never
     /// allocates in steady state.
     call_buf: Vec<Value>,
@@ -321,11 +371,14 @@ impl<'p, S: Sink> Interp<'p, S> {
             cfg: cfg.clone(),
             globals: vec![Value::I64(0); prog.global_words],
             threads: Vec::new(),
+            sched: Scheduler::new(cfg.seed),
             locks: FxHashMap::default(),
             steps: 0,
             user_rng: cfg.seed | 1,
-            sched_rng: cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
             printed: Vec::new(),
+            msgs_sent: 0,
+            msgs_received: 0,
+            channels: FxHashMap::default(),
             call_buf: Vec::new(),
             batch: Vec::with_capacity(if batching { cfg.batch_cap } else { 0 }),
             batching,
@@ -336,15 +389,6 @@ impl<'p, S: Sink> Interp<'p, S> {
         };
         it.spawn_thread(main_id.index(), &[], None, 0);
         Ok(it)
-    }
-
-    fn sched_next(&mut self) -> u64 {
-        let mut x = self.sched_rng;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.sched_rng = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
     fn user_next(&mut self) -> u64 {
@@ -362,13 +406,17 @@ impl<'p, S: Sink> Interp<'p, S> {
             mem: Vec::new(),
             sp: 0,
             frames: Vec::new(),
-            state: TState::Ready,
             buf: Vec::new(),
             steps: 0,
             ret: None,
+            mbox: VecDeque::new(),
+            mbox_in: 0,
+            mbox_out: 0,
         };
         Self::push_frame_raw(self.prog, &mut th, func, args, None);
         self.threads.push(th);
+        let aid = self.sched.spawn();
+        debug_assert_eq!(aid.0, tid, "scheduler ids track thread ids");
         if let Some(p) = parent {
             self.emit(
                 p as usize,
@@ -474,6 +522,12 @@ impl<'p, S: Sink> Interp<'p, S> {
         if !interrupted {
             outcome?;
         }
+        let mut channels: Vec<(u32, u32, u64)> = self
+            .channels
+            .iter()
+            .map(|(&(from, to), &count)| (from, to, count))
+            .collect();
+        channels.sort_unstable();
         Ok(RunResult {
             ret: if interrupted {
                 None
@@ -485,13 +539,23 @@ impl<'p, S: Sink> Interp<'p, S> {
             dispatches: self.dispatches,
             synth: self.synth,
             threads: self.threads.len() as u32,
+            actors: ActorStats {
+                spawned: self.sched.spawned(),
+                peak_live: self.sched.peak_live(),
+                sent: self.msgs_sent,
+                received: self.msgs_received,
+                channels,
+            },
             interrupted,
         })
     }
 
-    /// The scheduler loop.
+    /// The scheduler loop: pop the next runnable actor off the run queue,
+    /// execute one jittered slice, and return it to the back if it is
+    /// still runnable. Park/wake is event-driven through the
+    /// [`Scheduler`]'s typed wait lists — an empty queue means completion
+    /// (all actors dead) or a reportable deadlock.
     fn exec(&mut self) -> Result<(), RuntimeError> {
-        let mut cur = 0usize;
         let stop = self.cfg.stop.clone();
         loop {
             if self.steps > self.cfg.max_steps {
@@ -502,44 +566,17 @@ impl<'p, S: Sink> Interp<'p, S> {
                     return Err(RuntimeError::Interrupted);
                 }
             }
-            // Wake blocked threads whose condition now holds.
-            for i in 0..self.threads.len() {
-                match self.threads[i].state {
-                    TState::BlockedJoin(t)
-                        if self
-                            .threads
-                            .get(t as usize)
-                            .map(|x| x.state == TState::Done)
-                            .unwrap_or(false) =>
-                    {
-                        self.threads[i].state = TState::Ready;
-                    }
-                    TState::BlockedLock(l) if !self.locks.contains_key(&l) => {
-                        self.threads[i].state = TState::Ready;
-                    }
-                    _ => {}
-                }
-            }
-            // Round-robin pick.
-            let n = self.threads.len();
-            let mut picked = None;
-            for k in 0..n {
-                let t = (cur + k) % n;
-                if self.threads[t].state == TState::Ready {
-                    picked = Some(t);
+            let Some(a) = self.sched.pick() else {
+                if self.sched.all_dead() {
                     break;
                 }
-            }
-            let Some(t) = picked else {
-                if self.threads.iter().all(|t| t.state == TState::Done) {
-                    break;
-                }
-                return Err(RuntimeError::Deadlock);
+                return Err(RuntimeError::Deadlock {
+                    waiting: self.sched.blocked_actors(),
+                });
             };
-            let jitter = (self.sched_next() % self.cfg.quantum.max(1) as u64) as u32;
-            let q = self.cfg.quantum + jitter;
-            self.run_slice(t, q)?;
-            cur = t + 1;
+            let q = self.sched.next_quantum(self.cfg.quantum);
+            self.run_slice(a.index(), q)?;
+            self.sched.yield_back(a);
         }
         Ok(())
     }
@@ -574,7 +611,7 @@ impl<'p, S: Sink> Interp<'p, S> {
                 self.dispatches = dispatches;
             }};
         }
-        'frame: while budget > 0 && self.threads[t].state == TState::Ready {
+        'frame: while budget > 0 && self.sched.is_ready(ActorId(t as u32)) {
             let fr = self.threads[t].frames.last_mut().unwrap();
             let func = fr.func;
             let base = fr.base;
@@ -731,7 +768,14 @@ impl<'p, S: Sink> Interp<'p, S> {
                         // call and is re-taken afterwards.
                         park!();
                         let ret_dst = (dst != DST_NONE).then_some(RegId(dst));
-                        let completed = self.builtin(t, builtin, &vals, ret_dst, line);
+                        // Mailbox builtins carry a static memory-op id,
+                        // pre-resolved at decode time from the call's slot.
+                        let mbox_op = if builtin.is_mailbox_op() {
+                            code.mailbox_op_at(pc as u32).unwrap_or(u32::MAX)
+                        } else {
+                            u32::MAX
+                        };
+                        let completed = self.builtin(t, builtin, &vals, ret_dst, line, mbox_op);
                         self.recycle_args(vals);
                         if completed? {
                             let fr = self.threads[t].frames.last_mut().unwrap();
@@ -1177,7 +1221,7 @@ impl<'p, S: Sink> Interp<'p, S> {
         );
         self.threads[t].sp = fr.base;
         if self.threads[t].frames.is_empty() {
-            self.threads[t].state = TState::Done;
+            self.sched.actor_died(ActorId(t as u32));
             self.threads[t].ret = val;
             self.emit(t, Event::ThreadEnd { thread: t as u32 });
             self.flush(t);
@@ -1371,8 +1415,9 @@ impl<'p, S: Sink> Interp<'p, S> {
     }
 
     /// Execute a builtin call. Returns `Ok(true)` when the call completed
-    /// (the caller advances past it) and `Ok(false)` when the thread
-    /// blocked (the call op is retried on wake).
+    /// (the caller advances past it) and `Ok(false)` when the actor
+    /// parked (the call op is retried on wake). `mbox_op` is the static
+    /// memory-op id for mailbox builtins (`u32::MAX` otherwise).
     fn builtin(
         &mut self,
         t: usize,
@@ -1380,6 +1425,7 @@ impl<'p, S: Sink> Interp<'p, S> {
         args: &[Value],
         dst: Option<RegId>,
         line: u32,
+        mbox_op: u32,
     ) -> Result<bool, RuntimeError> {
         let mut result: Option<Value> = None;
         match builtin {
@@ -1427,8 +1473,9 @@ impl<'p, S: Sink> Interp<'p, S> {
                 if target < 0 || target as usize >= self.threads.len() {
                     return Err(RuntimeError::BadJoin { line });
                 }
-                if self.threads[target as usize].state != TState::Done {
-                    self.threads[t].state = TState::BlockedJoin(target as u32);
+                if !self.sched.is_dead(ActorId(target as u32)) {
+                    self.sched
+                        .park(ActorId(t as u32), WaitReason::Join(ActorId(target as u32)));
                     return Ok(false); // do not advance; retried on wake
                 }
                 self.emit(
@@ -1459,7 +1506,7 @@ impl<'p, S: Sink> Interp<'p, S> {
                         return Err(RuntimeError::RecursiveLock { line })
                     }
                     Some(_) => {
-                        self.threads[t].state = TState::BlockedLock(id);
+                        self.sched.park(ActorId(t as u32), WaitReason::Lock(id));
                         return Ok(false); // do not advance; retried on wake
                     }
                 }
@@ -1479,6 +1526,81 @@ impl<'p, S: Sink> Interp<'p, S> {
                 );
                 self.flush(t); // release: make everything visible
                 self.locks.remove(&id);
+                self.sched.lock_released(id);
+            }
+            Builtin::SpawnActor => {
+                let fi = args[0].as_i64() as usize;
+                let child = self.spawn_thread(fi, &args[1..], Some(t as u32), line);
+                result = Some(Value::I64(child as i64));
+            }
+            Builtin::Send => {
+                let target = args[0].as_i64();
+                if target < 0 || target as usize >= self.threads.len() {
+                    return Err(RuntimeError::BadSend { line });
+                }
+                let tgt = target as usize;
+                let cap = self.cfg.mailbox_cap.max(1);
+                if self.threads[tgt].mbox.len() >= cap {
+                    // Mailbox full: backpressure — park until the receiver
+                    // frees a slot, then retry the whole send.
+                    self.sched
+                        .park(ActorId(t as u32), WaitReason::SendCap(ActorId(tgt as u32)));
+                    return Ok(false);
+                }
+                let seq = self.threads[tgt].mbox_in;
+                self.threads[tgt].mbox_in += 1;
+                self.threads[tgt].mbox.push_back(args[1]);
+                // The send is a store into the target's mailbox slot: an
+                // ordinary dependence-bearing access. Slot reuse at the
+                // capacity bound yields WAR/WAW coupling with earlier
+                // occupants of the same slot.
+                let slot = (seq % cap as u64) % MAILBOX_SLOTS;
+                let addr = MAILBOX_BASE + tgt as u64 * MAILBOX_SPAN + slot * WORD;
+                self.emit(
+                    t,
+                    Event::Mem(MemEvent {
+                        is_write: true,
+                        addr,
+                        op: mbox_op,
+                        line,
+                        var: self.prog.mailbox_symbol().unwrap_or(0),
+                        thread: t as u32,
+                        ts: self.steps,
+                    }),
+                );
+                self.flush(t); // message handoff: make the send visible now
+                self.msgs_sent += 1;
+                *self.channels.entry((t as u32, tgt as u32)).or_insert(0) += 1;
+                self.sched.message_arrived(ActorId(tgt as u32));
+            }
+            Builtin::Receive => {
+                let Some(val) = self.threads[t].mbox.pop_front() else {
+                    // Empty mailbox: park until a message arrives.
+                    self.sched.park(ActorId(t as u32), WaitReason::Receive);
+                    return Ok(false);
+                };
+                let seq = self.threads[t].mbox_out;
+                self.threads[t].mbox_out += 1;
+                let cap = self.cfg.mailbox_cap.max(1);
+                let slot = (seq % cap as u64) % MAILBOX_SLOTS;
+                let addr = MAILBOX_BASE + t as u64 * MAILBOX_SPAN + slot * WORD;
+                self.emit(
+                    t,
+                    Event::Mem(MemEvent {
+                        is_write: false,
+                        addr,
+                        op: mbox_op,
+                        line,
+                        var: self.prog.mailbox_symbol().unwrap_or(0),
+                        thread: t as u32,
+                        ts: self.steps,
+                    }),
+                );
+                self.flush(t);
+                self.msgs_received += 1;
+                result = Some(val);
+                // A slot freed: senders parked on our capacity may retry.
+                self.sched.mailbox_slot_freed(ActorId(t as u32));
             }
         }
         if let (Some(d), Some(v)) = (dst, result) {
@@ -1570,6 +1692,116 @@ mod tests {
         let mut sink = RecordingSink::default();
         let r = run(&p, &mut sink).unwrap();
         (r, sink.events)
+    }
+
+    #[test]
+    fn actor_ping_pong() {
+        let r = exec(
+            "fn main() -> int {
+                int c = spawn_actor(echo, 0);
+                send(c, 41);
+                int v = receive();
+                join(c);
+                return v;
+            }
+            fn echo(int x) { int v = receive(); send(0, v + 1); }",
+        );
+        assert_eq!(r.ret, Some(Value::I64(42)));
+        assert_eq!(r.actors.spawned, 2);
+        assert_eq!(r.actors.peak_live, 2);
+        assert_eq!(r.actors.sent, 2);
+        assert_eq!(r.actors.received, 2);
+        assert_eq!(r.actors.channels, vec![(0, 1, 1), (1, 0, 1)]);
+    }
+
+    #[test]
+    fn send_backpressure_parks_until_slot_freed() {
+        // Mailbox capacity 2: the producer must park on its third send
+        // until the consumer drains a slot; everything still completes.
+        let m = lang::compile(
+            "fn main() -> int {
+                int c = spawn_actor(consumer, 0);
+                for (int i = 0; i < 6; i = i + 1) { send(c, i); }
+                join(c);
+                return receive();
+            }
+            fn consumer(int x) {
+                int s = 0;
+                for (int i = 0; i < 6; i = i + 1) { s = s + receive(); }
+                send(0, s);
+            }",
+            "t",
+        )
+        .unwrap();
+        let p = Program::new(m);
+        let cfg = RunConfig {
+            mailbox_cap: 2,
+            ..RunConfig::default()
+        };
+        let r = run_with_config(&p, NullSink, cfg).unwrap();
+        assert_eq!(r.ret, Some(Value::I64(15)));
+        assert_eq!(r.actors.sent, 7);
+        assert_eq!(r.actors.received, 7);
+    }
+
+    #[test]
+    fn receive_without_sender_is_reported_deadlock() {
+        let m = lang::compile("fn main() { int v = receive(); }", "t").unwrap();
+        let p = Program::new(m);
+        let err = run(&p, NullSink).unwrap_err();
+        let RuntimeError::Deadlock { waiting } = err else {
+            panic!("expected deadlock, got {err}");
+        };
+        assert_eq!(waiting, vec![(0, WaitReason::Receive)]);
+    }
+
+    #[test]
+    fn send_to_unknown_actor_fails() {
+        let m = lang::compile("fn main() { send(7, 1); }", "t").unwrap();
+        let p = Program::new(m);
+        assert!(matches!(
+            run(&p, NullSink).unwrap_err(),
+            RuntimeError::BadSend { line: 1 }
+        ));
+    }
+
+    #[test]
+    fn mailbox_events_carry_appended_op_ids() {
+        let (_, evs) = exec_rec(
+            "fn main() -> int {
+                int c = spawn_actor(echo, 0);
+                send(c, 5);
+                join(c);
+                return 0;
+            }
+            fn echo(int x) { int v = receive(); }",
+        );
+        let m = lang::compile(
+            "fn main() -> int {
+                int c = spawn_actor(echo, 0);
+                send(c, 5);
+                join(c);
+                return 0;
+            }
+            fn echo(int x) { int v = receive(); }",
+            "t",
+        )
+        .unwrap();
+        let p = Program::new(m);
+        let base = p.mailbox_op_base();
+        let mbox: Vec<&MemEvent> = evs
+            .iter()
+            .filter_map(|e| match e {
+                Event::Mem(m) if m.addr >= crate::program::MAILBOX_BASE => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(mbox.len(), 2); // one send (write), one receive (read)
+        assert!(mbox.iter().all(|m| m.op >= base));
+        assert!(mbox[0].is_write && !mbox[1].is_write);
+        // Send and receive of the same message target the same slot.
+        assert_eq!(mbox[0].addr, mbox[1].addr);
+        assert_eq!(p.symbol(mbox[0].var), "<mailbox>");
     }
 
     #[test]
@@ -1744,7 +1976,15 @@ mod tests {
         )
         .unwrap();
         let p = Program::new(m);
-        assert_eq!(run(&p, NullSink).unwrap_err(), RuntimeError::Deadlock);
+        let err = run(&p, NullSink).unwrap_err();
+        let RuntimeError::Deadlock { waiting } = err else {
+            panic!("expected deadlock, got {err}");
+        };
+        // Main (actor 0) waits on join(1); helper (actor 1) waits on lock 1.
+        assert_eq!(
+            waiting,
+            vec![(0, WaitReason::Join(ActorId(1))), (1, WaitReason::Lock(1)),]
+        );
     }
 
     #[test]

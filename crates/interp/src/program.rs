@@ -30,6 +30,19 @@ pub const GLOBAL_BASE: u64 = 0x1000_0000;
 pub const STACK_BASE: u64 = 0x5000_0000;
 /// Address span reserved per thread stack.
 pub const STACK_SPAN: u64 = 0x0100_0000;
+/// Base address of actor 0's mailbox segment. Mailbox slots are
+/// addressable memory: a `send` is a store to the target's slot
+/// `seq % cap`, the matching `receive` a load from the same slot, so
+/// message passing surfaces to the profiler as ordinary RAW (and, once a
+/// slot is reused, WAR/WAW) dependences. Far above any stack: stacks
+/// reach this base only past ~4M actors.
+pub const MAILBOX_BASE: u64 = 0x4000_0000_0000;
+/// Address span reserved per actor mailbox.
+pub const MAILBOX_SPAN: u64 = 0x1_0000;
+/// Addressable slots per mailbox (`MAILBOX_SPAN / WORD`); ring addressing
+/// wraps within this many slots even if the configured capacity exceeds
+/// it.
+pub const MAILBOX_SLOTS: u64 = MAILBOX_SPAN / WORD;
 
 /// A program ready for execution: module + layout + symbols.
 ///
@@ -58,8 +71,14 @@ pub struct Program {
     /// Per-function pre-decoded instruction streams (the tentpole of the
     /// flattened hot path); built once here, executed by [`crate::machine`].
     pub(crate) code: Vec<FuncCode>,
-    /// Total number of static memory operations.
+    /// Total number of static memory operations, including mailbox ops.
     num_mem_ops: u32,
+    /// First mailbox op id: loads/stores occupy `0..mbox_op_base`,
+    /// `send`/`receive` sites `mbox_op_base..num_mem_ops`.
+    mbox_op_base: u32,
+    /// Interned symbol every mailbox access reports as its variable;
+    /// `u32::MAX` when the program has no mailbox ops.
+    mbox_sym: u32,
     /// Static metadata per memory op, in id order — collected during
     /// decode, so it never has to be recovered by re-walking the streams.
     mem_meta: Vec<MemOpMeta>,
@@ -135,15 +154,45 @@ impl Program {
         let mut code: Vec<FuncCode> = (0..module.functions.len())
             .map(|fx| ctx.decode_function(fx))
             .collect();
-        let num_mem_ops = ctx.next_op;
-        let mem_meta = std::mem::take(&mut ctx.mem_meta);
+        let mbox_op_base = ctx.next_op;
+        let num_mem_ops = ctx.next_op + ctx.next_mbox;
+        let mut mem_meta = std::mem::take(&mut ctx.mem_meta);
+        let mbox_meta = std::mem::take(&mut ctx.mbox_meta);
         let statics = analysis::static_facts(&module);
-        let mem_facts = statics.access;
+        let mut mem_facts = statics.access;
         debug_assert_eq!(
             mem_facts.len(),
-            num_mem_ops as usize,
-            "static fact table must align with decode-time op ids"
+            mbox_op_base as usize,
+            "static fact table must align with decode-time load/store ids"
         );
+        // Mailbox ops (`send`/`receive` sites) extend the op-id space past
+        // the load/store range: rebase the decode-time ordinals and pad the
+        // per-op tables, so every consumer indexing by `MemEvent::op` —
+        // skip vectors, the parallel transport's meta lookup — covers them
+        // without the analysis crate having to know about mailboxes. Their
+        // addresses are runtime ring positions, never affine.
+        let mbox_sym = if mbox_meta.is_empty() {
+            u32::MAX
+        } else {
+            intern("<mailbox>", &mut symbols)
+        };
+        for c in code.iter_mut() {
+            for e in c.mbox_ops.iter_mut() {
+                e.1 += mbox_op_base;
+            }
+        }
+        for (line, is_write) in &mbox_meta {
+            mem_meta.push(MemOpMeta {
+                line: *line,
+                var: mbox_sym,
+                is_write: *is_write,
+            });
+            mem_facts.push(analysis::AccessFact {
+                affine: false,
+                const_index: None,
+                stride: None,
+            });
+        }
         // Skip-tier plan compilation: with the fact table and trip counts
         // in hand, compile each eligible loop's cycle into a straight-line
         // plan the machine can replay without dispatching (see
@@ -165,6 +214,8 @@ impl Program {
             frame_words,
             code,
             num_mem_ops,
+            mbox_op_base,
+            mbox_sym,
             mem_meta,
             mem_facts,
         }
@@ -192,10 +243,25 @@ impl Program {
         self.global_words + self.frame_words.iter().sum::<usize>()
     }
 
-    /// Total number of static memory operations (loads + stores) in the
-    /// program.
+    /// Total number of static memory operations in the program: loads and
+    /// stores (`0..mailbox_op_base`) followed by `send`/`receive` sites
+    /// (`mailbox_op_base..num_mem_ops`). Per-op tables indexed by
+    /// [`crate::MemEvent::op`] must be sized by this total.
     pub fn num_mem_ops(&self) -> u32 {
         self.num_mem_ops
+    }
+
+    /// First mailbox op id; equals [`Program::num_mem_ops`] when the
+    /// program has no `send`/`receive` sites.
+    pub fn mailbox_op_base(&self) -> u32 {
+        self.mbox_op_base
+    }
+
+    /// The interned symbol mailbox accesses report as their variable, when
+    /// the program has mailbox ops. Consumers can use it to separate
+    /// message-passing traffic from ordinary variable traffic.
+    pub fn mailbox_symbol(&self) -> Option<u32> {
+        (self.mbox_sym != u32::MAX).then_some(self.mbox_sym)
     }
 
     /// Per-memory-operation static metadata, indexed by op id
@@ -215,7 +281,7 @@ impl Program {
         &self.mem_facts
     }
 
-    /// True if any decoded op can spawn a target thread. Engine
+    /// True if any decoded op can spawn a target thread or actor. Engine
     /// auto-selection uses this to route large multithreaded targets to the
     /// parallel engine. Calls never fuse, so scanning the hot stream is
     /// exhaustive under any decode configuration.
@@ -225,12 +291,30 @@ impl Program {
                 matches!(
                     op,
                     HotOp::CallBuiltin {
-                        builtin: Builtin::Spawn,
+                        builtin: Builtin::Spawn | Builtin::SpawnActor,
                         ..
                     }
                 )
             })
         })
+    }
+
+    /// True if the target passes messages (`spawn_actor`/`send`/`receive`
+    /// sites decoded). Scheduler-aware engine auto-detection and the
+    /// report's `actors` block key off this.
+    pub fn uses_actors(&self) -> bool {
+        self.mbox_op_base != self.num_mem_ops
+            || self.code.iter().any(|c| {
+                c.hot.iter().any(|op| {
+                    matches!(
+                        op,
+                        HotOp::CallBuiltin {
+                            builtin: Builtin::SpawnActor,
+                            ..
+                        }
+                    )
+                })
+            })
     }
 
     /// Resolve a symbol id to its variable name.

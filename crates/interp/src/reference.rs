@@ -21,18 +21,14 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::event::{Event, MemEvent, RegionExitEvent, Sink};
-use crate::machine::{bin_eval, RunConfig, RunResult, RuntimeError};
-use crate::program::{Program, GLOBAL_BASE, STACK_BASE, STACK_SPAN, WORD};
+use crate::machine::{bin_eval, ActorStats, RunConfig, RunResult, RuntimeError};
+use crate::program::{
+    Program, GLOBAL_BASE, MAILBOX_BASE, MAILBOX_SLOTS, MAILBOX_SPAN, STACK_BASE, STACK_SPAN, WORD,
+};
+use crate::sched::{ActorId, Scheduler, WaitReason};
 use fxhash::FxHashMap;
 use mir::{Instr, Operand, Place, RegId, Terminator, UnOp, Value, VarRef};
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum TState {
-    Ready,
-    BlockedJoin(u32),
-    BlockedLock(i64),
-    Done,
-}
+use std::collections::VecDeque;
 
 #[derive(Debug)]
 struct RegionState {
@@ -57,10 +53,12 @@ struct Thread {
     mem: Vec<Value>,
     sp: usize,
     frames: Vec<Frame>,
-    state: TState,
     buf: Vec<Event>,
     steps: u64,
     ret: Option<Value>,
+    mbox: VecDeque<Value>,
+    mbox_in: u64,
+    mbox_out: u64,
 }
 
 enum Target {
@@ -69,8 +67,32 @@ enum Target {
 }
 
 const BUILTINS: &[&str] = &[
-    "print", "sqrt", "sin", "cos", "exp", "log", "fabs", "floor", "ceil", "pow", "fmin", "fmax",
-    "abs", "min", "max", "rand", "frand", "srand", "tid", "lock", "unlock", "join", "spawn",
+    "print",
+    "sqrt",
+    "sin",
+    "cos",
+    "exp",
+    "log",
+    "fabs",
+    "floor",
+    "ceil",
+    "pow",
+    "fmin",
+    "fmax",
+    "abs",
+    "min",
+    "max",
+    "rand",
+    "frand",
+    "srand",
+    "tid",
+    "lock",
+    "unlock",
+    "join",
+    "spawn",
+    "spawn_actor",
+    "send",
+    "receive",
 ];
 
 /// The reference interpreter. Use [`run_with_config`]; the struct itself is
@@ -84,11 +106,17 @@ struct RefInterp<'p, S: Sink> {
     locks: FxHashMap<i64, u32>,
     steps: u64,
     user_rng: u64,
-    sched_rng: u64,
+    sched: Scheduler,
+    msgs_sent: u64,
+    msgs_received: u64,
+    channels: FxHashMap<(u32, u32), u64>,
     printed: Vec<String>,
     targets: FxHashMap<String, Target>,
     /// Static memory-op ids re-derived from the module:
     /// `op_ids[func][block][pc]`, `u32::MAX` for non-memory instructions.
+    /// Mailbox builtin calls (`send`/`receive` not shadowed by a user
+    /// function) carry ids appended after the load/store range, in the
+    /// same program order the decoder assigns them.
     op_ids: Vec<Vec<Vec<u32>>>,
     batch: Vec<Event>,
     batching: bool,
@@ -113,23 +141,40 @@ impl<'p, S: Sink> RefInterp<'p, S> {
             targets.entry(b.to_string()).or_insert(Target::Builtin(b));
         }
         // Independent re-derivation of the static memory-op id table.
+        // Load/store ids come first in program order; mailbox builtin call
+        // ids are appended after that range (second walk patches them once
+        // the load/store count is known), matching the decoder's layout.
         let mut op_ids = Vec::new();
         let mut next_op = 0u32;
-        for f in &prog.module.functions {
+        let mut mbox_slots: Vec<(usize, usize, usize)> = Vec::new();
+        for (fi, f) in prog.module.functions.iter().enumerate() {
             let mut per_block = Vec::new();
-            for b in &f.blocks {
+            for (bi, b) in f.blocks.iter().enumerate() {
                 let mut ids = Vec::with_capacity(b.instrs.len());
-                for i in &b.instrs {
+                for (pi, i) in b.instrs.iter().enumerate() {
                     if i.is_memory_op() {
                         ids.push(next_op);
                         next_op += 1;
                     } else {
+                        if let Instr::Call { func: callee, .. } = i {
+                            let is_user =
+                                matches!(targets.get(callee.as_str()), Some(Target::User(_)));
+                            let is_mbox = crate::code::Builtin::from_name(callee)
+                                .map(|b| b.is_mailbox_op())
+                                .unwrap_or(false);
+                            if !is_user && is_mbox {
+                                mbox_slots.push((fi, bi, pi));
+                            }
+                        }
                         ids.push(u32::MAX);
                     }
                 }
                 per_block.push(ids);
             }
             op_ids.push(per_block);
+        }
+        for (ord, (fi, bi, pi)) in mbox_slots.into_iter().enumerate() {
+            op_ids[fi][bi][pi] = next_op + ord as u32;
         }
         let (main_id, _) = prog.module.function("main").ok_or(RuntimeError::NoMain)?;
         let batching = !cfg.racy_delivery && cfg.effective_batch_cap() >= 2 && sink.batch_hint();
@@ -142,7 +187,10 @@ impl<'p, S: Sink> RefInterp<'p, S> {
             locks: FxHashMap::default(),
             steps: 0,
             user_rng: cfg.seed | 1,
-            sched_rng: cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            sched: Scheduler::new(cfg.seed),
+            msgs_sent: 0,
+            msgs_received: 0,
+            channels: FxHashMap::default(),
             printed: Vec::new(),
             targets,
             op_ids,
@@ -151,15 +199,6 @@ impl<'p, S: Sink> RefInterp<'p, S> {
         };
         it.spawn_thread(main_id.index(), &[], None, 0);
         Ok(it)
-    }
-
-    fn sched_next(&mut self) -> u64 {
-        let mut x = self.sched_rng;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.sched_rng = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
     fn user_next(&mut self) -> u64 {
@@ -177,13 +216,17 @@ impl<'p, S: Sink> RefInterp<'p, S> {
             mem: Vec::new(),
             sp: 0,
             frames: Vec::new(),
-            state: TState::Ready,
             buf: Vec::new(),
             steps: 0,
             ret: None,
+            mbox: VecDeque::new(),
+            mbox_in: 0,
+            mbox_out: 0,
         };
         Self::push_frame_raw(self.prog, &mut th, func, args, None);
         self.threads.push(th);
+        let aid = self.sched.spawn();
+        debug_assert_eq!(aid.0, tid, "scheduler ids track thread ids");
         if let Some(p) = parent {
             self.emit(
                 p as usize,
@@ -278,6 +321,12 @@ impl<'p, S: Sink> RefInterp<'p, S> {
         }
         self.flush_batch();
         outcome?;
+        let mut channels: Vec<(u32, u32, u64)> = self
+            .channels
+            .iter()
+            .map(|(&(from, to), &count)| (from, to, count))
+            .collect();
+        channels.sort_unstable();
         Ok(RunResult {
             ret: self.threads[0].ret,
             printed: self.printed,
@@ -287,57 +336,42 @@ impl<'p, S: Sink> RefInterp<'p, S> {
             dispatches: self.steps,
             synth: crate::machine::SynthStats::default(),
             threads: self.threads.len() as u32,
+            actors: ActorStats {
+                spawned: self.sched.spawned(),
+                peak_live: self.sched.peak_live(),
+                sent: self.msgs_sent,
+                received: self.msgs_received,
+                channels,
+            },
             interrupted: false,
         })
     }
 
+    /// The scheduler loop, mirroring `machine::Interp::exec` call for
+    /// call: same picks, same quantum draws, same park/wake — so the two
+    /// interpreters make identical scheduling decisions.
     fn exec(&mut self) -> Result<(), RuntimeError> {
-        let mut cur = 0usize;
         loop {
             if self.steps > self.cfg.max_steps {
                 return Err(RuntimeError::StepLimit);
             }
-            for i in 0..self.threads.len() {
-                match self.threads[i].state {
-                    TState::BlockedJoin(t)
-                        if self
-                            .threads
-                            .get(t as usize)
-                            .map(|x| x.state == TState::Done)
-                            .unwrap_or(false) =>
-                    {
-                        self.threads[i].state = TState::Ready;
-                    }
-                    TState::BlockedLock(l) if !self.locks.contains_key(&l) => {
-                        self.threads[i].state = TState::Ready;
-                    }
-                    _ => {}
-                }
-            }
-            let n = self.threads.len();
-            let mut picked = None;
-            for k in 0..n {
-                let t = (cur + k) % n;
-                if self.threads[t].state == TState::Ready {
-                    picked = Some(t);
+            let Some(a) = self.sched.pick() else {
+                if self.sched.all_dead() {
                     break;
                 }
-            }
-            let Some(t) = picked else {
-                if self.threads.iter().all(|t| t.state == TState::Done) {
-                    break;
-                }
-                return Err(RuntimeError::Deadlock);
+                return Err(RuntimeError::Deadlock {
+                    waiting: self.sched.blocked_actors(),
+                });
             };
-            let jitter = (self.sched_next() % self.cfg.quantum.max(1) as u64) as u32;
-            let q = self.cfg.quantum + jitter;
+            let t = a.index();
+            let q = self.sched.next_quantum(self.cfg.quantum);
             for _ in 0..q {
-                if self.threads[t].state != TState::Ready {
+                if !self.sched.is_ready(a) {
                     break;
                 }
                 self.step(t)?;
             }
-            cur = t + 1;
+            self.sched.yield_back(a);
         }
         Ok(())
     }
@@ -417,7 +451,8 @@ impl<'p, S: Sink> RefInterp<'p, S> {
         let fr = self.threads[t].frames.last().unwrap();
         let func_idx = fr.func;
         let f = &prog.module.functions[func_idx];
-        let block = &f.blocks[fr.block];
+        let block_idx = fr.block;
+        let block = &f.blocks[block_idx];
         let pc = fr.pc;
         self.steps += 1;
         self.threads[t].steps += 1;
@@ -531,7 +566,10 @@ impl<'p, S: Sink> RefInterp<'p, S> {
                         let name = *name;
                         let dst = *dst;
                         let line = *line;
-                        self.builtin(t, name, &vals, dst, line)?;
+                        // Mailbox builtins carry their appended static
+                        // memory-op id in the same table as loads/stores.
+                        let mbox_op = self.op_ids[func_idx][block_idx][pc];
+                        self.builtin(t, name, &vals, dst, line, mbox_op)?;
                     }
                     None => return Err(RuntimeError::UnknownFunction(callee.clone())),
                 }
@@ -705,7 +743,7 @@ impl<'p, S: Sink> RefInterp<'p, S> {
                 );
                 self.threads[t].sp = fr.base;
                 if self.threads[t].frames.is_empty() {
-                    self.threads[t].state = TState::Done;
+                    self.sched.actor_died(ActorId(t as u32));
                     self.threads[t].ret = val;
                     self.emit(t, Event::ThreadEnd { thread: t as u32 });
                     self.flush(t);
@@ -725,6 +763,7 @@ impl<'p, S: Sink> RefInterp<'p, S> {
         args: &[Value],
         dst: Option<RegId>,
         line: u32,
+        mbox_op: u32,
     ) -> Result<(), RuntimeError> {
         let mut result: Option<Value> = None;
         match name {
@@ -772,8 +811,9 @@ impl<'p, S: Sink> RefInterp<'p, S> {
                 if target < 0 || target as usize >= self.threads.len() {
                     return Err(RuntimeError::BadJoin { line });
                 }
-                if self.threads[target as usize].state != TState::Done {
-                    self.threads[t].state = TState::BlockedJoin(target as u32);
+                if !self.sched.is_dead(ActorId(target as u32)) {
+                    self.sched
+                        .park(ActorId(t as u32), WaitReason::Join(ActorId(target as u32)));
                     return Ok(());
                 }
                 self.emit(
@@ -804,7 +844,7 @@ impl<'p, S: Sink> RefInterp<'p, S> {
                         return Err(RuntimeError::RecursiveLock { line })
                     }
                     Some(_) => {
-                        self.threads[t].state = TState::BlockedLock(id);
+                        self.sched.park(ActorId(t as u32), WaitReason::Lock(id));
                         return Ok(());
                     }
                 }
@@ -824,6 +864,73 @@ impl<'p, S: Sink> RefInterp<'p, S> {
                 );
                 self.flush(t);
                 self.locks.remove(&id);
+                self.sched.lock_released(id);
+            }
+            "spawn_actor" => {
+                let fi = args[0].as_i64() as usize;
+                let child = self.spawn_thread(fi, &args[1..], Some(t as u32), line);
+                result = Some(Value::I64(child as i64));
+            }
+            "send" => {
+                let target = args[0].as_i64();
+                if target < 0 || target as usize >= self.threads.len() {
+                    return Err(RuntimeError::BadSend { line });
+                }
+                let tgt = target as usize;
+                let cap = self.cfg.mailbox_cap.max(1);
+                if self.threads[tgt].mbox.len() >= cap {
+                    self.sched
+                        .park(ActorId(t as u32), WaitReason::SendCap(ActorId(tgt as u32)));
+                    return Ok(());
+                }
+                let seq = self.threads[tgt].mbox_in;
+                self.threads[tgt].mbox_in += 1;
+                self.threads[tgt].mbox.push_back(args[1]);
+                let slot = (seq % cap as u64) % MAILBOX_SLOTS;
+                let addr = MAILBOX_BASE + tgt as u64 * MAILBOX_SPAN + slot * WORD;
+                self.emit(
+                    t,
+                    Event::Mem(MemEvent {
+                        is_write: true,
+                        addr,
+                        op: mbox_op,
+                        line,
+                        var: self.prog.mailbox_symbol().unwrap_or(0),
+                        thread: t as u32,
+                        ts: self.steps,
+                    }),
+                );
+                self.flush(t);
+                self.msgs_sent += 1;
+                *self.channels.entry((t as u32, tgt as u32)).or_insert(0) += 1;
+                self.sched.message_arrived(ActorId(tgt as u32));
+            }
+            "receive" => {
+                let Some(val) = self.threads[t].mbox.pop_front() else {
+                    self.sched.park(ActorId(t as u32), WaitReason::Receive);
+                    return Ok(());
+                };
+                let seq = self.threads[t].mbox_out;
+                self.threads[t].mbox_out += 1;
+                let cap = self.cfg.mailbox_cap.max(1);
+                let slot = (seq % cap as u64) % MAILBOX_SLOTS;
+                let addr = MAILBOX_BASE + t as u64 * MAILBOX_SPAN + slot * WORD;
+                self.emit(
+                    t,
+                    Event::Mem(MemEvent {
+                        is_write: false,
+                        addr,
+                        op: mbox_op,
+                        line,
+                        var: self.prog.mailbox_symbol().unwrap_or(0),
+                        thread: t as u32,
+                        ts: self.steps,
+                    }),
+                );
+                self.flush(t);
+                self.msgs_received += 1;
+                result = Some(val);
+                self.sched.mailbox_slot_freed(ActorId(t as u32));
             }
             other => return Err(RuntimeError::UnknownFunction(other.to_string())),
         }

@@ -82,6 +82,11 @@ fn builtin(name: &str) -> Option<Builtin> {
         "tid" => b(&[], Some(Int)),
         "lock" | "unlock" => b(&[Int], None),
         "join" => b(&[Int], None),
+        // Actor mailboxes: `send(actor, value)` blocks when the target's
+        // bounded mailbox is full; `receive()` blocks until a message
+        // arrives in the calling actor's own mailbox.
+        "send" => b(&[Int, Int], None),
+        "receive" => b(&[], Some(Int)),
         _ => None,
     }
 }
@@ -108,7 +113,7 @@ pub fn lower(prog: &Program, module_name: &str) -> Result<mir::Module, CompileEr
                 format!("duplicate function `{}`", f.name),
             ));
         }
-        if builtin(&f.name).is_some() || f.name == "spawn" {
+        if builtin(&f.name).is_some() || f.name == "spawn" || f.name == "spawn_actor" {
             return Err(CompileError::new(
                 f.line,
                 format!("`{}` shadows a builtin", f.name),
@@ -518,22 +523,24 @@ impl<'a> FnLower<'a> {
         line: u32,
         as_stmt: bool,
     ) -> Result<Option<(Operand, Type)>, CompileError> {
-        // `spawn(worker, arg…)` — resolve the callee statically.
-        if name == "spawn" {
+        // `spawn(worker, arg…)` / `spawn_actor(worker, arg…)` — resolve
+        // the callee statically. Both return the new thread/actor id;
+        // `spawn_actor` marks the child as a mailbox-owning actor.
+        if name == "spawn" || name == "spawn_actor" {
             let Some(Expr::Var(fname, _)) = args.first() else {
                 return Err(CompileError::new(
                     line,
-                    "first argument of `spawn` must be a function name",
+                    format!("first argument of `{name}` must be a function name"),
                 ));
             };
             let sig = self.sigs.get(fname).ok_or_else(|| {
-                CompileError::new(line, format!("unknown function `{fname}` in spawn"))
+                CompileError::new(line, format!("unknown function `{fname}` in {name}"))
             })?;
             if args.len() - 1 != sig.params.len() {
                 return Err(CompileError::new(
                     line,
                     format!(
-                        "spawn of `{fname}`: expected {} args, got {}",
+                        "{name} of `{fname}`: expected {} args, got {}",
                         sig.params.len(),
                         args.len() - 1
                     ),
@@ -545,7 +552,7 @@ impl<'a> FnLower<'a> {
                 let (v, vty) = self.expr(a)?;
                 ops.push(self.coerce(v, vty, pty, line));
             }
-            let dst = self.fb.call("spawn", ops, true, line);
+            let dst = self.fb.call(name, ops, true, line);
             return Ok(Some((Operand::Reg(dst.unwrap()), Type::Int)));
         }
 

@@ -81,7 +81,7 @@ pub use parallel::{
 pub use pet::{Pet, PetBuilder, PetNode, PetNodeKind};
 pub use queue::{LockQueue, MpscQueue, SpscQueue};
 pub use run::{
-    profile_program, profile_program_with, EngineKind, ParallelStats, ProfileConfig, ProfileOutput,
-    SynthSummary,
+    profile_program, profile_program_with, ActorSummary, EngineKind, ParallelStats, ProfileConfig,
+    ProfileOutput, SynthSummary,
 };
 pub use serial::{control_spans, SerialProfiler};

@@ -942,6 +942,9 @@ pub struct ParallelOutput {
     pub worker_processed: Vec<u64>,
     /// Resource accounting; `None` when no budget was set.
     pub resource: Option<ResourceStats>,
+    /// Actor-tier activity of the producer's interpreter run; `None`
+    /// for single-actor, message-free targets.
+    pub actors: Option<crate::run::ActorSummary>,
 }
 
 impl ParallelOutput {
@@ -969,6 +972,7 @@ impl ParallelOutput {
                 worker_processed: self.worker_processed,
             }),
             resource: self.resource,
+            actors: self.actors,
         }
     }
 }
@@ -1805,6 +1809,7 @@ impl ParallelProfiler {
             // The caller holds the RunResult; `profile_parallel` patches
             // the real counters in after finalize.
             synth: crate::run::SynthSummary::default(),
+            actors: None,
             profiler_bytes: bytes,
             steps,
             printed,
@@ -1906,8 +1911,10 @@ pub fn profile_parallel(
     }
     let r = interp::run_with_config(prog, &mut p, rcfg)?;
     let synth = crate::run::SynthSummary::from_run(&r);
+    let actors = crate::run::ActorSummary::from_run(&r);
     let mut out = p.finalize(r.steps, r.printed);
     out.synth = synth;
+    out.actors = actors;
     Ok(out)
 }
 
@@ -2153,6 +2160,7 @@ pub fn profile_multithreaded_target(
         pet: pet.finish(r.steps),
         skip_stats: stats,
         synth: crate::run::SynthSummary::from_run(&r),
+        actors: crate::run::ActorSummary::from_run(&r),
         profiler_bytes: bytes,
         steps: r.steps,
         printed: r.printed,

@@ -390,6 +390,45 @@ impl SynthSummary {
     }
 }
 
+/// Actor-tier activity of one profiled run — the interpreter's
+/// [`interp::ActorStats`] mirrored into a serializable block (the
+/// report's schema-v6 `actors` block). Absent (`None`) for plain
+/// sequential targets: present as soon as the run spawned a second
+/// actor or passed a message, generalizing the old thread count to
+/// full per-actor attribution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct ActorSummary {
+    /// Actors ever spawned (main included).
+    pub spawned: u32,
+    /// Peak simultaneously-live actors.
+    pub peak_live: u32,
+    /// Messages sent across all mailboxes.
+    pub sent: u64,
+    /// Messages received across all mailboxes.
+    pub received: u64,
+    /// Per-channel message counts `(from, to, messages)`, sorted by
+    /// `(from, to)` — the communication matrix of the run.
+    pub channels: Vec<(u32, u32, u64)>,
+}
+
+impl ActorSummary {
+    /// Extract the summary from an interpreter run; `None` when the run
+    /// was single-actor and message-free.
+    pub fn from_run(r: &RunResult) -> Option<Self> {
+        let a = &r.actors;
+        if a.spawned <= 1 && a.sent == 0 && a.received == 0 {
+            return None;
+        }
+        Some(ActorSummary {
+            spawned: a.spawned,
+            peak_live: a.peak_live,
+            sent: a.sent,
+            received: a.received,
+            channels: a.channels.clone(),
+        })
+    }
+}
+
 /// Everything a profiling run produces, identical across engines.
 #[derive(Debug, Serialize)]
 pub struct ProfileOutput {
@@ -413,6 +452,8 @@ pub struct ProfileOutput {
     /// Resource accounting of a governed run; `None` when no budget was
     /// set.
     pub resource: Option<ResourceStats>,
+    /// Actor-tier activity; `None` for single-actor, message-free runs.
+    pub actors: Option<ActorSummary>,
 }
 
 /// Profile a program with default options ([`EngineKind::SerialPerfect`],
@@ -491,6 +532,7 @@ fn assemble<M: crate::maps::AccessMap>(p: SerialProfiler<M>, r: RunResult) -> Pr
         synth: SynthSummary::from_run(&r),
         profiler_bytes,
         steps: r.steps,
+        actors: ActorSummary::from_run(&r),
         printed: r.printed,
         parallel: None,
         resource: None,

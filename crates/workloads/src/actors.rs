@@ -1,0 +1,243 @@
+//! Actor-scenario workloads: message-passing programs driving the
+//! run-queue scheduler and bounded mailboxes (`spawn_actor`/`send`/
+//! `receive`). The family covers the canonical communication topologies —
+//! pipeline, fan-out/fan-in, ring — plus a 10k-actor stress program that
+//! exercises O(1) park/wake and mailbox backpressure at production task
+//! counts (the ROADMAP's "thousands of green threads" tier).
+//!
+//! Unlike the sequential suites, ground truth here is about communication
+//! structure, not loop classes: every workload's channel matrix and
+//! actor counts are deterministic for a fixed scheduler seed, and the
+//! detection tests assert the profiler's `actors` block against them.
+
+use crate::meta::{LoopTruth, Suite, Workload};
+
+/// All actor workloads.
+pub fn suite() -> Vec<Workload> {
+    vec![ACTOR_PIPELINE, ACTOR_FANOUT, ACTOR_RING, ACTORS_10K]
+}
+
+/// Three-stage pipeline: main feeds 64 items into stage1, stage1 doubles
+/// and forwards to stage2, stage2 accumulates and replies to main. Each
+/// hop is a mailbox RAW handoff; the channel matrix is the 0→1→2→0 chain.
+pub const ACTOR_PIPELINE: Workload = Workload {
+    name: "actor_pipeline",
+    suite: Suite::Actors,
+    parallel_target: true,
+    source: r#"fn main() {
+    int s2 = spawn_actor(stage2, 0);
+    int s1 = spawn_actor(stage1, s2);
+    for (int i = 0; i < 64; i = i + 1) {
+        send(s1, i);
+    }
+    send(s1, 0 - 1);
+    int total = receive();
+    join(s1);
+    join(s2);
+    print(total);
+}
+fn stage1(int next) {
+    while (0 < 1) {
+        int v = receive();
+        if (v < 0) {
+            send(next, v);
+            return;
+        }
+        send(next, v * 2);
+    }
+}
+fn stage2(int unused) {
+    int acc = 0;
+    while (0 < 1) {
+        int v = receive();
+        if (v < 0) {
+            send(0, acc);
+            return;
+        }
+        acc = acc + v;
+    }
+}
+"#,
+    truths: &[LoopTruth {
+        marker: "i < 64",
+        parallel: false,
+        reduction: false,
+        note: "feed loop: sends are ordered mailbox writes, not a DOALL",
+    }],
+};
+
+/// Fan-out/fan-in: main scatters 16 items to each of 8 workers, every
+/// worker reduces its batch locally and sends one partial back; main
+/// gathers the 8 partials.
+pub const ACTOR_FANOUT: Workload = Workload {
+    name: "actor_fanout",
+    suite: Suite::Actors,
+    parallel_target: true,
+    source: r#"fn main() {
+    int first = spawn_actor(worker, 0);
+    for (int k = 1; k < 8; k = k + 1) {
+        int c = spawn_actor(worker, k);
+    }
+    for (int k = 0; k < 8; k = k + 1) {
+        for (int j = 0; j < 16; j = j + 1) {
+            send(first + k, k * 16 + j);
+        }
+        send(first + k, 0 - 1);
+    }
+    int total = 0;
+    for (int k = 0; k < 8; k = k + 1) {
+        total = total + receive();
+    }
+    print(total);
+}
+fn worker(int id) {
+    int acc = 0;
+    while (0 < 1) {
+        int v = receive();
+        if (v < 0) {
+            send(0, acc);
+            return;
+        }
+        acc = acc + v;
+    }
+}
+"#,
+    truths: &[LoopTruth {
+        marker: "total + receive",
+        parallel: false,
+        reduction: false,
+        note: "fan-in gather: blocking receives serialize on the mailbox",
+    }],
+};
+
+/// Token ring: 8 nodes forward an incrementing token for 4 laps; the last
+/// node closes the ring back to node 1 and finally delivers the token to
+/// main. Adjacent actor ids give the nearest-neighbour channel pattern.
+pub const ACTOR_RING: Workload = Workload {
+    name: "actor_ring",
+    suite: Suite::Actors,
+    parallel_target: true,
+    source: r#"fn main() {
+    int first = spawn_actor(node, 0);
+    for (int k = 1; k < 8; k = k + 1) {
+        int c = spawn_actor(node, k);
+    }
+    send(first, 0);
+    int token = receive();
+    print(token);
+}
+fn node(int id) {
+    int next = id + 2;
+    if (id == 7) {
+        next = 1;
+    }
+    int rounds = 0;
+    while (rounds < 4) {
+        int v = receive();
+        rounds = rounds + 1;
+        if (id == 7) {
+            if (rounds == 4) {
+                next = 0;
+            }
+        }
+        send(next, v + 1);
+    }
+}
+"#,
+    truths: &[LoopTruth {
+        marker: "rounds < 4",
+        parallel: false,
+        reduction: false,
+        note: "lap loop: the token is a serial recurrence through the ring",
+    }],
+};
+
+/// 10k-actor stress: spawn 10,000 echo actors, round-trip one message
+/// through each, then drive a 128-message burst through one bounded
+/// mailbox (capacity 64) so the sender parks on backpressure. Exercises
+/// O(1) park/wake at scale; the final total is seed-stable.
+pub const ACTORS_10K: Workload = Workload {
+    name: "actors_10k",
+    suite: Suite::Actors,
+    parallel_target: true,
+    source: r#"fn main() {
+    int first = spawn_actor(echo, 0);
+    for (int k = 1; k < 10000; k = k + 1) {
+        int c = spawn_actor(echo, k);
+    }
+    int total = 0;
+    for (int k = 0; k < 10000; k = k + 1) {
+        send(first + k, k);
+        total = total + receive();
+    }
+    int burst = spawn_actor(collector, 0);
+    for (int i = 0; i < 128; i = i + 1) {
+        send(burst, 1);
+    }
+    send(burst, 0 - 1);
+    total = total + receive();
+    print(total);
+}
+fn echo(int id) {
+    int v = receive();
+    send(0, v * 2 + 1);
+}
+fn collector(int unused) {
+    int acc = 0;
+    while (0 < 1) {
+        int v = receive();
+        if (v < 0) {
+            send(0, acc);
+            return;
+        }
+        acc = acc + v;
+    }
+}
+"#,
+    truths: &[LoopTruth {
+        marker: "k < 10000",
+        parallel: false,
+        reduction: false,
+        note: "spawn wave: 10k green threads through the run queue",
+    }],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 10k stress total is the closed form: sum(2k+1, k<10000) = 1e8
+    /// plus the 128-message burst.
+    #[test]
+    fn actors_10k_total_is_closed_form() {
+        let p = ACTORS_10K.program().expect("compiles");
+        let r = interp::run(&p, interp::NullSink).expect("runs");
+        assert_eq!(r.printed, vec!["100000128".to_string()]);
+        assert_eq!(r.actors.spawned, 10_002);
+    }
+
+    /// Pipeline and ring produce their closed-form answers and the
+    /// expected channel matrices.
+    #[test]
+    fn topologies_compute_and_route_correctly() {
+        let p = ACTOR_PIPELINE.program().expect("compiles");
+        let r = interp::run(&p, interp::NullSink).expect("runs");
+        // sum(2i, i<64) = 2 * 2016
+        assert_eq!(r.printed, vec!["4032".to_string()]);
+        assert_eq!(r.actors.spawned, 3);
+        // main→stage1 (65 incl. sentinel), stage1→stage2 (65), stage2→main.
+        assert_eq!(r.actors.channels, vec![(0, 2, 65), (1, 0, 1), (2, 1, 65)]);
+
+        let p = ACTOR_RING.program().expect("compiles");
+        let r = interp::run(&p, interp::NullSink).expect("runs");
+        // 8 nodes × 4 laps, one increment per hop.
+        assert_eq!(r.printed, vec!["32".to_string()]);
+        assert_eq!(r.actors.spawned, 9);
+
+        let p = ACTOR_FANOUT.program().expect("compiles");
+        let r = interp::run(&p, interp::NullSink).expect("runs");
+        // sum(k*16+j over k<8, j<16) = sum(0..127)
+        assert_eq!(r.printed, vec!["8128".to_string()]);
+        assert_eq!(r.actors.peak_live, 9);
+    }
+}

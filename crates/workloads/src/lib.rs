@@ -15,6 +15,7 @@
 //! FaceDetection task graph, used to measure actual speedups for
 //! Table 4.2 and Fig. 4.11.
 
+pub mod actors;
 pub mod apps;
 pub mod bots;
 pub mod meta;
@@ -35,6 +36,7 @@ pub fn all() -> Vec<Workload> {
     v.extend(apps::suite());
     v.extend(parsec::suite());
     v.extend(textbook::suite());
+    v.extend(actors::suite());
     v
 }
 
@@ -83,6 +85,7 @@ mod tests {
         assert!(suite(Suite::Apps).len() >= 4);
         assert!(suite(Suite::Textbook).len() >= 5);
         assert!(suite(Suite::Parsec).len() >= 4);
+        assert!(suite(Suite::Actors).len() >= 4);
     }
 
     #[test]

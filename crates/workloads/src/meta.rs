@@ -15,6 +15,9 @@ pub enum Suite {
     Parsec,
     /// Textbook programs of Table 4.2.
     Textbook,
+    /// Actor scenarios: message-passing topologies over the run-queue
+    /// scheduler (pipeline, fan-out/fan-in, ring, 10k-actor stress).
+    Actors,
 }
 
 impl std::fmt::Display for Suite {
@@ -26,6 +29,7 @@ impl std::fmt::Display for Suite {
             Suite::Apps => "Apps",
             Suite::Parsec => "PARSEC",
             Suite::Textbook => "Textbook",
+            Suite::Actors => "Actors",
         };
         write!(f, "{s}")
     }

@@ -556,7 +556,7 @@ mod failure_injection {
         assert!(matches!(
             profiler::profile_program(&p),
             Err(profiler::ProfileError::Runtime(
-                interp::RuntimeError::Deadlock
+                interp::RuntimeError::Deadlock { .. }
             ))
         ));
     }

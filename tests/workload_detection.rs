@@ -94,6 +94,94 @@ fn sequential_truths_never_doall_anywhere() {
 }
 
 #[test]
+fn starbench_verdicts_match_annotations() {
+    // The Starbench remainder (kmeans, md5, tinyjpeg, bodytrack, h264dec,
+    // the rotate/ray family, …): every annotated loop verdict on the
+    // sequential stand-ins matches its ground truth.
+    let mut checked = 0;
+    for w in workloads::suite(workloads::Suite::Starbench) {
+        if w.parallel_target {
+            continue;
+        }
+        for t in w.truths {
+            let (class, parallel) = verdict(&w, t.marker);
+            assert_eq!(
+                parallel, t.parallel,
+                "{}: `{}` ({}) got {class:?}",
+                w.name, t.marker, t.note
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 25,
+        "too few annotated Starbench loops: {checked}"
+    );
+}
+
+#[test]
+fn full_corpus_verdicts_match_annotations() {
+    // Every sequential workload in every suite — NAS, Starbench, BOTS,
+    // Apps, PARSEC, Textbook — gets the correct parallel/sequential
+    // decision on every annotated loop. The detection suite covers the
+    // whole corpus, not a per-suite sample.
+    let mut checked = 0;
+    for w in workloads::all() {
+        if w.parallel_target {
+            continue;
+        }
+        for t in w.truths {
+            let (class, parallel) = verdict(&w, t.marker);
+            assert_eq!(
+                parallel, t.parallel,
+                "{}: `{}` ({}) got {class:?}",
+                w.name, t.marker, t.note
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 80,
+        "corpus shrank: only {checked} annotated loops"
+    );
+}
+
+#[test]
+fn actor_workloads_report_communication_patterns() {
+    // The actor family is judged on communication structure rather than
+    // loop classes: the profiler's `actors` block and the mailbox
+    // dependence view must reproduce each topology.
+    let run = |name: &str| {
+        let w = workloads::by_name(name).unwrap();
+        let p = w.program().unwrap();
+        let out = profiler::profile_program(&p).unwrap();
+        let actors = out.actors.clone().expect("actors block present");
+        let comm = apps::actor_comm(
+            &actors.channels,
+            actors.spawned as usize,
+            &out.deps,
+            p.mailbox_symbol(),
+        );
+        (actors, comm)
+    };
+
+    let (actors, comm) = run("actor_pipeline");
+    assert_eq!(actors.spawned, 3);
+    assert_eq!(actors.channels, vec![(0, 2, 65), (1, 0, 1), (2, 1, 65)]);
+    assert!(comm.handoff_deps > 0, "pipeline handoffs are RAW deps");
+
+    let (actors, comm) = run("actor_ring");
+    assert_eq!(actors.spawned, 9);
+    assert_eq!(comm.matrix.pattern(), "nearest-neighbour");
+
+    let (actors, comm) = run("actor_fanout");
+    assert_eq!(actors.spawned, 9);
+    // 8 workers × (16 items + sentinel) out, 8 partials back.
+    assert_eq!(actors.sent, 8 * 17 + 8);
+    assert!(comm.capacity_deps > 0 || comm.handoff_deps > 0);
+}
+
+#[test]
 fn bots_hot_spots_all_get_correct_decisions() {
     // §4.4.3: "correct parallelization decisions on all the 20 hot spots
     // from the Barcelona OpenMP Task Suite". Here: every annotated BOTS
